@@ -1,0 +1,1 @@
+"""Benchmark suite: one module per DESIGN.md experiment (E1-E14)."""

@@ -1,0 +1,69 @@
+"""E11 (§3.2(5)): Unicorn-style unified data matching.
+
+Claim to reproduce: a *single* model — unified encoder + mixture-of-experts
++ one matcher head — handles multiple matching task types at once, with
+accuracy comparable to per-task specialist models of the same architecture;
+and (ablation) the MoE layer earns its keep over expert-count 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.evaluation import ResultTable
+from repro.matching import UnicornMatcher, unified_task_mixture
+
+
+@pytest.fixture(scope="module")
+def task_mixture(world, em_by_domain):
+    instances = unified_task_mixture(world, em_by_domain["products"],
+                                     per_task=60, seed=0)
+    cut = int(len(instances) * 0.7)
+    return instances[:cut], instances[cut:]
+
+
+def test_e11_unified_vs_specialists(benchmark, task_mixture, fresh_encoder):
+    train, test = task_mixture
+
+    def experiment():
+        unified = UnicornMatcher(fresh_encoder(), num_experts=3, seed=0)
+        unified.fit(train, epochs=6)
+        unified_per_task = unified.per_task_accuracy(test)
+
+        specialist_per_task = {}
+        for task in sorted({i.task for i in train}):
+            specialist = UnicornMatcher(fresh_encoder(), num_experts=1, seed=0)
+            specialist.fit([i for i in train if i.task == task], epochs=6)
+            specialist_per_task[task] = specialist.per_task_accuracy(
+                [i for i in test if i.task == task]
+            )[task]
+
+        single_expert = UnicornMatcher(fresh_encoder(), num_experts=1, seed=0)
+        single_expert.fit(train, epochs=6)
+        return {
+            "unified": unified_per_task,
+            "specialists": specialist_per_task,
+            "unified overall": unified.accuracy(test),
+            "no-moe overall": single_expert.accuracy(test),
+            "expert usage": unified.expert_usage(test),
+        }
+
+    results = run_once(benchmark, experiment)
+
+    table = ResultTable("E11: unified model vs per-task specialists (accuracy)",
+                        ["task", "unified (1 model)", "specialist (3 models)"])
+    for task in sorted(results["unified"]):
+        table.add(task, results["unified"][task], results["specialists"][task])
+    table.show()
+    print(f"unified overall: {results['unified overall']:.3f} | "
+          f"ablation without MoE (1 expert): {results['no-moe overall']:.3f}")
+    for task, usage in results["expert usage"].items():
+        print(f"  expert usage [{task}]: {np.round(usage, 2)}")
+
+    # Shape: one unified model ≈ per-task specialists on every task…
+    for task in results["unified"]:
+        assert results["unified"][task] >= results["specialists"][task] - 0.05, task
+    # …and the unified model is strong overall.
+    assert results["unified overall"] > 0.85

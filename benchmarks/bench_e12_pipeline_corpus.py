@@ -1,0 +1,91 @@
+"""E12 (§3.3(1)): statistics of human-orchestrated pipelines.
+
+Claims to reproduce (from the notebook-mining studies the tutorial cites —
+Psallidas et al. 2022, Lee et al. 2020):
+
+- operator usage is heavy-tailed: a few operators dominate;
+- humans are domain-aware: visibly missing data almost always gets an
+  imputer;
+- "blind spots": powerful operators like PolynomialFeatures are almost never
+  used — and leaving them out costs accuracy on interaction-driven tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.datasets.mltasks import make_ml_task, task_suite
+from repro.evaluation import ResultTable
+from repro.pipelines import (
+    BLIND_SPOT_OPERATORS,
+    PipelineEvaluator,
+    build_registry,
+    generate_corpus,
+    pipeline_from_names,
+)
+
+
+def test_e12_corpus_statistics(benchmark):
+    registry = build_registry()
+    tasks = task_suite(seed=0, n_samples=200)
+    interaction_task = make_ml_task(
+        "blindspot-probe", interaction=True, missing_rate=0.1,
+        n_samples=240, seed=9,
+    )
+
+    def experiment():
+        corpus = generate_corpus(registry, tasks + [interaction_task],
+                                 pipelines_per_task=40, seed=0)
+        usage = corpus.operator_usage()
+        heavy = corpus.usage_skew()
+        blind = corpus.blind_spot_rate()
+        missing_aware = [
+            hp.operator_names[0] != "impute_zero" and hp.operator_names[0] != "none"
+            for hp in corpus.for_task("missing-heavy")
+        ]
+        # Cost of the blind spot: the canonical human pipeline shape
+        # (impute + scale, no feature engineering — by far the most common
+        # genome in the corpus) vs the same pipeline with the never-used
+        # PolynomialFeatures operator added, on an interaction-driven task.
+        evaluator = PipelineEvaluator(seed=0)
+        typical = pipeline_from_names(
+            registry, ("impute_mean", "none", "standard_scale", "none", "none")
+        )
+        grafted = pipeline_from_names(
+            registry,
+            ("impute_mean", "none", "standard_scale", "polynomial", "none"),
+        )
+        typical_score = evaluator.score(typical, interaction_task)
+        grafted_score = evaluator.score(grafted, interaction_task)
+        return {
+            "usage": usage.most_common(6),
+            "heavy": heavy,
+            "blind": blind,
+            "missing_aware": float(np.mean(missing_aware)),
+            "best_human": typical_score,
+            "grafted": grafted_score,
+        }
+
+    results = run_once(benchmark, experiment)
+
+    table = ResultTable("E12: human pipeline corpus, operator usage",
+                        ["operator", "count"])
+    for op, count in results["usage"]:
+        table.add(op, count)
+    table.show()
+    print(f"top-3 usage share: {results['heavy']:.0%}")
+    print(f"blind-spot usage rate: {results['blind']:.1%}")
+    print(f"imputer on visibly-missing tasks: {results['missing_aware']:.0%}")
+    print(f"typical human pipeline on interaction task: "
+          f"{results['best_human']:.3f} | same + PolynomialFeatures: "
+          f"{results['grafted']:.3f}")
+
+    # Shapes.
+    assert results["heavy"] > 0.5            # heavy tail
+    assert results["blind"] < 0.1            # blind spots are rare
+    assert results["missing_aware"] > 0.7    # domain awareness
+    # The blind-spot operator the corpus never uses would have helped.
+    assert results["grafted"] > results["best_human"] + 0.03
+    top_names = {op for op, _c in results["usage"][:3]}
+    assert not (top_names & {f"engineer:{n}" for n in BLIND_SPOT_OPERATORS})

@@ -1,0 +1,109 @@
+"""E13 (§3.3(2)): automatic pipeline generation across search families.
+
+Claims to reproduce, under a fixed evaluation budget:
+
+- every learning-based searcher (Bayesian optimization, genetic
+  programming, Q-learning) at least matches random search, and on average
+  beats it;
+- meta-learning warm starts (Auto-Sklearn/TensorOBOE-style) dominate the
+  *early* part of the anytime curve — experience from similar datasets
+  makes the first evaluations count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.datasets.mltasks import make_ml_task, task_suite
+from repro.evaluation import ResultTable
+from repro.pipelines import (
+    ALL_STRATEGIES,
+    MetaLearningSearch,
+    MetaStore,
+    PipelineEvaluator,
+    RandomSearch,
+    build_registry,
+)
+
+BUDGET = 24
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def search_setup():
+    registry = build_registry()
+    test_tasks = [
+        make_ml_task("t-missing", missing_rate=0.25, n_samples=220, seed=11),
+        make_ml_task("t-interaction", interaction=True, missing_rate=0.1,
+                     n_samples=220, seed=12),
+        make_ml_task("t-noisy", n_noise=14, missing_rate=0.15,
+                     n_samples=220, seed=13),
+    ]
+    # Meta-store experience from a *different* suite of tasks.
+    store = MetaStore()
+    for prior in task_suite(seed=5, n_samples=200):
+        evaluator = PipelineEvaluator(seed=0)
+        best = RandomSearch(registry, seed=3).search(prior, evaluator, budget=20)
+        store.add(prior, best.best_pipeline, best.best_score)
+    return registry, test_tasks, store
+
+
+def test_e13_search_strategies(benchmark, search_setup):
+    registry, test_tasks, store = search_setup
+
+    def experiment():
+        curves: dict[str, np.ndarray] = {}
+        for name, strategy_cls in sorted(ALL_STRATEGIES.items()):
+            per_run = []
+            for task in test_tasks:
+                for seed in SEEDS:
+                    evaluator = PipelineEvaluator(seed=0)
+                    result = strategy_cls(registry, seed=seed).search(
+                        task, evaluator, BUDGET
+                    )
+                    trajectory = result.trajectory[:BUDGET]
+                    trajectory += [trajectory[-1]] * (BUDGET - len(trajectory))
+                    per_run.append(trajectory)
+            curves[name] = np.mean(per_run, axis=0)
+        per_run = []
+        for task in test_tasks:
+            for seed in SEEDS:
+                evaluator = PipelineEvaluator(seed=0)
+                result = MetaLearningSearch(registry, store, seed=seed).search(
+                    task, evaluator, BUDGET
+                )
+                trajectory = result.trajectory[:BUDGET]
+                trajectory += [trajectory[-1]] * (BUDGET - len(trajectory))
+                per_run.append(trajectory)
+        curves["meta-learning"] = np.mean(per_run, axis=0)
+        return curves
+
+    curves = run_once(benchmark, experiment)
+
+    checkpoints = [1, 3, 6, 12, BUDGET]
+    table = ResultTable(
+        f"E13: anytime best accuracy (mean over {len(SEEDS)} seeds x 3 tasks)",
+        ["strategy"] + [f"@{c}" for c in checkpoints],
+    )
+    for name, curve in sorted(curves.items()):
+        table.add(name, *[float(curve[c - 1]) for c in checkpoints])
+    table.show()
+
+    random_curve = curves["random"]
+    # Shape 1: every learning-based searcher ends >= random (small slack).
+    for name in ("bayesian", "genetic", "q-learning", "meta-learning"):
+        assert curves[name][-1] >= random_curve[-1] - 0.02, name
+    # Shape 2: at least one learned searcher clearly beats random early-mid.
+    mid = BUDGET // 2
+    assert any(
+        curves[name][mid] > random_curve[mid] + 0.01
+        for name in ("bayesian", "genetic", "q-learning", "meta-learning")
+    )
+    # Shape 3: meta-learning warm starts dominate the early curve — after
+    # its handful of transferred pipelines (3 evaluations) it is ahead of
+    # random and of every cold-start searcher.
+    assert curves["meta-learning"][2] > random_curve[2] + 0.02
+    for name in ("bayesian", "genetic", "q-learning"):
+        assert curves["meta-learning"][2] >= curves[name][2] - 0.01, name

@@ -1,0 +1,92 @@
+"""E3 (§3.1(3)): MRKL-style routing fixes foundation-model failure modes.
+
+Claim to reproduce: on queries that need *precise* computation (arithmetic,
+currency/unit conversion, database lookups) the bare foundation model is
+unreliable, while the MRKL router — which sends each query to the module
+that can best respond — answers them exactly, without losing the FM's
+strength on knowledge questions.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.datasets.world import COUNTRY_CAPITALS, CURRENCY_TO_USD
+from repro.evaluation import ResultTable
+from repro.foundation import MRKLRouter, qa_prompt
+from repro.sql import Database
+from repro.table import Table
+
+
+def _query_set(world):
+    """(category, query, expected answer) triples."""
+    queries = []
+    for a, b in [(12345, 6789), (98765, 4321), (5021, 7739), (31415, 2718)]:
+        queries.append(("arithmetic", f"what is {a} * {b}", str(a * b)))
+    for a, b in [(123456, 654321), (88888, 11112)]:
+        queries.append(("arithmetic", f"what is {a} + {b}", str(a + b)))
+    rate = CURRENCY_TO_USD["euro"] / CURRENCY_TO_USD["krona"]
+    queries.append(("conversion", "convert 100 euro to krona", f"{100 * rate:g}"))
+    rate = CURRENCY_TO_USD["yen"] / CURRENCY_TO_USD["dollar"]
+    queries.append(("conversion", "convert 1000 yen to dollar", f"{1000 * rate:g}"))
+    queries.append(("conversion", "convert 10 km to miles", "6.2137"))
+    queries.append(("database", "select count(*) from products", None))  # filled below
+    queries.append(("database", "select max(price) from products", None))
+    for country in ("japan", "sweden", "germany", "canada"):
+        queries.append(("knowledge", f"what is the capital of {country}",
+                        COUNTRY_CAPITALS[country]))
+    return queries
+
+
+def test_e3_mrkl_routing(benchmark, world, foundation_model):
+    table = Table.from_rows(
+        [(p.uid, p.name, p.price) for p in world.products],
+        names=["uid", "name", "price"],
+    )
+    db = Database({"products": table})
+    queries = _query_set(world)
+    # Ground truth for the database queries comes from the engine itself
+    # (it is exact); the point is that the *bare FM* cannot run SQL at all.
+    truths = {
+        "select count(*) from products": str(len(world.products)),
+        "select max(price) from products": str(max(p.price for p in world.products)),
+    }
+    queries = [
+        (cat, q, truths.get(q, expected)) for cat, q, expected in queries
+    ]
+    router = MRKLRouter.standard(foundation_model, db=db)
+
+    def experiment():
+        per_category: dict[str, list[tuple[bool, bool]]] = {}
+        for category, query, expected in queries:
+            bare = foundation_model.complete(qa_prompt(query)).text
+            routed = router.answer(query)
+            per_category.setdefault(category, []).append(
+                (_same(bare, expected), _same(routed, expected))
+            )
+        return per_category
+
+    per_category = run_once(benchmark, experiment)
+
+    table_out = ResultTable("E3: bare FM vs MRKL router, accuracy by category",
+                            ["category", "bare fm", "mrkl"])
+    scores = {}
+    for category, outcomes in per_category.items():
+        bare = sum(b for b, _r in outcomes) / len(outcomes)
+        mrkl = sum(r for _b, r in outcomes) / len(outcomes)
+        scores[category] = (bare, mrkl)
+        table_out.add(category, bare, mrkl)
+    table_out.show()
+
+    # Shape: the router is perfect on precise categories where the FM fails…
+    assert scores["arithmetic"][0] < 0.5 and scores["arithmetic"][1] == 1.0
+    assert scores["conversion"][1] == 1.0
+    assert scores["database"][0] == 0.0 and scores["database"][1] == 1.0
+    # …and does not lose the FM's knowledge answers (they route to the FM).
+    assert scores["knowledge"][1] == scores["knowledge"][0] == 1.0
+
+
+def _same(answer: str, expected: str) -> bool:
+    try:
+        return abs(float(answer) - float(expected)) < 1e-2
+    except ValueError:
+        return answer.strip().lower() == expected.strip().lower()

@@ -1,0 +1,83 @@
+"""E4 (§3.1(3)): Retro-style retrieval fixes the knowledge cutoff.
+
+Claim to reproduce: a foundation model cannot answer about facts newer than
+its training data ("lack of access to current information"), while the same
+model conditioned on retrieved document chunks answers them — without losing
+accuracy on facts it already knows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.datasets.world import COUNTRY_CAPITALS
+from repro.evaluation import ResultTable
+from repro.foundation import RetroModel
+
+#: Facts invented after the model's "training": not in any world fact store.
+FRESH_FACTS = [
+    ("the capital of atlantis is poseidonia",
+     "what is the capital of atlantis", "poseidonia"),
+    ("the capital of elbonia is mudville",
+     "what is the capital of elbonia", "mudville"),
+    ("the ceo of apex is jane doe", "who is the ceo of apex", "jane doe"),
+    ("the ceo of lumina is kenji sato", "who is the ceo of lumina", "kenji sato"),
+    ("the currency of atlantis is the shell",
+     "what is the currency of atlantis", "shell"),
+]
+
+#: Distractor chunks so retrieval has to actually discriminate.
+DISTRACTORS = [
+    "the annual conference attracted thousands of attendees this year",
+    "quarterly revenue rose in the consumer electronics segment",
+    "a new restaurant opened downtown serving seasonal dishes",
+    "researchers published a survey of data preparation techniques",
+    "the city council approved the new transit plan yesterday",
+] * 3
+
+
+def test_e4_retro_retrieval(benchmark, foundation_model):
+    documents = [doc for doc, _q, _a in FRESH_FACTS] + DISTRACTORS
+    retro = RetroModel(foundation_model, documents, top_k=3)
+    known = [
+        (f"what is the capital of {country}", capital)
+        for country, capital in sorted(COUNTRY_CAPITALS.items())[:6]
+    ]
+
+    def experiment():
+        fresh_closed = sum(
+            retro.closed_book(q).text == answer for _d, q, answer in FRESH_FACTS
+        ) / len(FRESH_FACTS)
+        fresh_open = sum(
+            retro.answer(q).text == answer for _d, q, answer in FRESH_FACTS
+        ) / len(FRESH_FACTS)
+        known_closed = sum(
+            retro.closed_book(q).text == answer for q, answer in known
+        ) / len(known)
+        known_open = sum(
+            retro.answer(q).text == answer for q, answer in known
+        ) / len(known)
+        retrieval_used = sum(
+            retro.answer(q).used_retrieval for _d, q, _a in FRESH_FACTS
+        )
+        return {
+            "fresh": (fresh_closed, fresh_open),
+            "known": (known_closed, known_open),
+            "retrieval_used": retrieval_used,
+        }
+
+    results = run_once(benchmark, experiment)
+
+    table = ResultTable("E4: closed-book FM vs Retro retrieval",
+                        ["fact recency", "closed-book", "retro"])
+    table.add("post-cutoff (fresh)", *results["fresh"])
+    table.add("pre-cutoff (known)", *results["known"])
+    table.show()
+    print(f"retrieval used on {results['retrieval_used']}/{len(FRESH_FACTS)} "
+          "fresh questions")
+
+    # Shape: closed-book fails on fresh facts, Retro answers them, and
+    # parametric knowledge is preserved.
+    assert results["fresh"][0] == 0.0
+    assert results["fresh"][1] == 1.0
+    assert results["known"][1] >= results["known"][0] == 1.0
+    assert results["retrieval_used"] == len(FRESH_FACTS)

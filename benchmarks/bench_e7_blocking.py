@@ -1,0 +1,54 @@
+"""E7 (§3.2(2)(3)): blocking — recall vs reduction across method families.
+
+Claim to reproduce: embedding-based blocking (DeepBlocker, char-n-gram
+embeddings) dominates key blocking on recall at comparable reduction ratios,
+with MinHash-LSH in between; and the embedding blocker's candidate budget
+``k`` sweeps out a recall/reduction trade-off curve (the ablation DESIGN.md
+calls out).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.evaluation import ResultTable
+from repro.matching import EmbeddingBlocker, KeyBlocker, LSHBlocker
+
+
+def test_e7_blocking(benchmark, em_by_domain, fasttext):
+    dataset = em_by_domain["products"]
+
+    def experiment():
+        rows = {}
+        rows["key"] = KeyBlocker().evaluate(dataset)
+        rows["lsh"] = LSHBlocker(num_perm=64, bands=32).evaluate(dataset)
+        for k in (2, 5, 10, 20):
+            rows[f"embedding k={k}"] = EmbeddingBlocker(
+                token_embed=fasttext.token_vector, attribute="name", k=k
+            ).evaluate(dataset)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = ResultTable("E7: blocking recall vs reduction (products)",
+                        ["blocker", "recall", "reduction", "candidates"])
+    for name, result in rows.items():
+        table.add(name, result.recall, result.reduction, result.num_candidates)
+    table.show()
+
+    key = rows["key"]
+    lsh = rows["lsh"]
+    # Shape 1: at a comparable (or better) reduction ratio, the embedding
+    # blocker's recall beats the key blocker's.
+    embedding_similar = [
+        r for name, r in rows.items()
+        if name.startswith("embedding") and r.reduction >= key.reduction - 0.1
+    ]
+    assert any(r.recall > key.recall for r in embedding_similar)
+    # Shape 2: LSH recalls at least as much as key blocking.
+    assert lsh.recall >= key.recall
+    # Shape 3: the k sweep is a monotone trade-off — recall up, reduction down.
+    ks = (2, 5, 10, 20)
+    recalls = [rows[f"embedding k={k}"].recall for k in ks]
+    reductions = [rows[f"embedding k={k}"].reduction for k in ks]
+    assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(reductions, reductions[1:]))

@@ -1,0 +1,126 @@
+"""Extension benches for the intro-cited preparation systems.
+
+- **EXT-D (intro: "enriching a data set with other data sets", ARDA)**:
+  guarded join enrichment from the lake improves downstream accuracy while
+  rejecting useless and hazardous joins.
+- **EXT-E (intro: string transformation, CLX/FlashFill)**: programs
+  synthesized from 1–2 examples generalize to the rest of the column.
+- **EXT-F (intro: exploration/visualization, DeepEye + §3.3(2) ATENA)**:
+  chart ranking puts the planted signal first; the RL EDA agent's greedy
+  sessions at least match random exploration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.cleaning import transform_column
+from repro.datasets.dirty import restaurants_table
+from repro.evaluation import ResultTable
+from repro.explore import ATENAAgent, ChartSpec, random_session, recommend_charts
+from repro.lake import DataLake, Enricher
+from repro.table import Table
+
+
+def test_ext_d_enrichment(benchmark):
+    rng = np.random.default_rng(0)
+    n = 150
+    uids = [f"u{i:03d}" for i in range(n)]
+    strong = rng.normal(size=n)
+    label = (strong + 0.3 * rng.normal(size=n) > 0).astype(int)
+    base = Table.from_rows(
+        list(zip(uids, rng.normal(size=n).tolist(), label.tolist())),
+        names=["uid", "weak", "label"],
+    )
+    lake = DataLake()
+    lake.add_table("profiles", Table.from_rows(
+        list(zip(uids, strong.tolist())), names=["uid", "signal"]), "profiles")
+    lake.add_table("noise_features", Table.from_rows(
+        [(u, float(rng.normal())) for u in uids], names=["uid", "noise"]),
+        "random noise keyed by uid")
+    lake.add_table("unrelated", Table.from_rows(
+        [(f"x{i}", float(i)) for i in range(60)], names=["key", "junk"]),
+        "no key overlap")
+
+    def experiment():
+        _enriched, report = Enricher(lake, seed=0, min_gain=0.01).enrich(
+            base, "uid", "label"
+        )
+        return report
+
+    report = run_once(benchmark, experiment)
+    table = ResultTable("EXT-D: ARDA-style enrichment", ["metric", "value"])
+    table.add("base accuracy", report.base_score)
+    table.add("enriched accuracy", report.final_score)
+    table.add("accepted joins", ", ".join(a.table_name for a in report.accepted))
+    table.add("rejected joins", ", ".join(a.table_name for a in report.rejected))
+    table.show()
+
+    assert report.gain > 0.15
+    assert [a.table_name for a in report.accepted] == ["profiles"]
+    assert "noise_features" in [a.table_name for a in report.rejected]
+
+
+def test_ext_e_transform_by_example(benchmark, world):
+    names = [r.name for r in world.restaurants[:40]]
+    # Hidden transformation: title-case every word, the FlashFill classic.
+    def hidden(name: str) -> str:
+        return " ".join(w.capitalize() for w in name.split())
+
+    examples = [(names[0], hidden(names[0])), (names[1], hidden(names[1]))]
+    targets = [hidden(n) for n in names]
+
+    phone_examples = [("365-943-6490", "(365) 943 6490")]
+    phones = [r.phone for r in world.restaurants[:40]]
+    phone_targets = [f"({p[:3]}) {p[4:7]} {p[8:]}" for p in phones]
+
+    def experiment():
+        out_names = transform_column(names, examples)
+        out_phones = transform_column(phones, phone_examples)
+        return (
+            float(np.mean([a == b for a, b in zip(out_names, targets)])),
+            float(np.mean([a == b for a, b in zip(out_phones, phone_targets)])),
+        )
+
+    name_acc, phone_acc = run_once(benchmark, experiment)
+    table = ResultTable("EXT-E: transformation by example", ["column", "accuracy"])
+    table.add("restaurant names (2 examples)", name_acc)
+    table.add("phone formats (1 example)", phone_acc)
+    table.show()
+
+    assert phone_acc == 1.0
+    assert name_acc > 0.9
+
+
+def test_ext_f_exploration(benchmark, world):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=80)
+    signal_table = Table.from_dict({
+        "x": x.tolist(),
+        "y": (3 * x + rng.normal(scale=0.1, size=80)).tolist(),
+        "noise": rng.normal(size=80).tolist(),
+        "group": (["a"] * 40 + ["b"] * 40),
+    })
+    eda_table = restaurants_table(world).limit(60)
+
+    def experiment():
+        charts = recommend_charts(signal_table, k=3)
+        greedy, rand = [], []
+        for seed in range(5):
+            agent = ATENAAgent(seed=seed)
+            agent.train(eda_table, episodes=60, steps_per_episode=5)
+            greedy.append(agent.generate_session(eda_table, steps=5).total_reward)
+            rand.append(random_session(eda_table, steps=5, seed=seed).total_reward)
+        return charts, float(np.mean(greedy)), float(np.mean(rand))
+
+    charts, greedy, rand = run_once(benchmark, experiment)
+    table = ResultTable("EXT-F: top recommended charts", ["chart", "score"])
+    for ranked in charts:
+        table.add(ranked.spec.describe(), ranked.score)
+    table.show()
+    print(f"EDA sessions: trained {greedy:.2f} vs random {rand:.2f}")
+
+    # The planted x~y correlation must rank first among scatter choices.
+    assert charts[0].spec == ChartSpec("scatter", x="x", y="y")
+    assert greedy >= rand - 0.1

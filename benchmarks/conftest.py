@@ -1,0 +1,131 @@
+"""Shared benchmark fixtures.
+
+Benchmarks measure *experiments*, not micro-ops, so each experiment body
+runs exactly once per bench (``benchmark.pedantic(..., rounds=1)``) and the
+expensive shared artifacts — the world, corpora, trained embedders and the
+pre-trained encoder — are built once per session here.
+
+Every bench prints the table/series the corresponding DESIGN.md experiment
+defines and asserts the qualitative *shape* the tutorial claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.em import papers_em, products_em, restaurants_em
+from repro.datasets.world import make_world, world_corpus
+from repro.embeddings import FastTextModel, SkipGramModel, Vocab
+from repro.foundation import FactStore, FoundationModel
+from repro.matching.ditto import serialize_record
+from repro.plm import MiniBert, MLMPretrainer
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def world():
+    return make_world(seed=0, num_products=100, num_restaurants=80, num_papers=80)
+
+
+@pytest.fixture(scope="session")
+def corpus(world):
+    return world_corpus(world, sentences_per_fact=1, seed=1)
+
+
+@pytest.fixture(scope="session")
+def fact_store(world):
+    return FactStore(world.facts())
+
+
+@pytest.fixture(scope="session")
+def foundation_model(fact_store):
+    return FoundationModel(fact_store)
+
+
+@pytest.fixture(scope="session")
+def em_by_domain(world):
+    return {
+        "products": products_em(world, seed=1),
+        "restaurants": restaurants_em(world, seed=1),
+        "papers": papers_em(world, seed=1),
+    }
+
+
+@pytest.fixture(scope="session")
+def record_texts(em_by_domain):
+    out = []
+    for dataset in em_by_domain.values():
+        out.extend(serialize_record(r) for r in dataset.source_a + dataset.source_b)
+    return out
+
+
+@pytest.fixture(scope="session")
+def vocab(corpus, record_texts, world, em_by_domain):
+    # Cover the unified-matching task texts too (schema synonyms like
+    # "manufacturer" never occur in the world corpus).
+    from repro.matching import unified_task_mixture
+
+    mixture = unified_task_mixture(world, em_by_domain["products"],
+                                   per_task=60, seed=0)
+    task_texts = [f"{inst.task} {inst.left} {inst.right}" for inst in mixture]
+    return Vocab(corpus + record_texts + task_texts)
+
+
+@pytest.fixture(scope="session")
+def fasttext(vocab, corpus, em_by_domain):
+    value_texts = [
+        r.value_text()
+        for dataset in em_by_domain.values()
+        for r in dataset.source_a + dataset.source_b
+    ]
+    model = FastTextModel(vocab, dim=24, seed=0)
+    model.train(corpus[:300] + value_texts[:200], epochs=1)
+    return model
+
+
+@pytest.fixture(scope="session")
+def skipgram(vocab, corpus, em_by_domain):
+    value_texts = [
+        r.value_text()
+        for dataset in em_by_domain.values()
+        for r in dataset.source_a + dataset.source_b
+    ]
+    model = SkipGramModel(vocab, dim=24, seed=0)
+    model.train(corpus[:400] + value_texts[:200], epochs=2)
+    return model
+
+
+@pytest.fixture(scope="session")
+def encoder_state(vocab, corpus, record_texts):
+    """Pre-trained encoder weights, cloned per bench via fresh_encoder."""
+    encoder = MiniBert(vocab, dim=32, num_layers=2, num_heads=2,
+                       ff_dim=64, max_len=32, seed=0)
+    MLMPretrainer(encoder, seed=0).train(
+        corpus[:250] + record_texts[:250], steps=120, batch_size=16
+    )
+    return encoder.state_dict()
+
+
+@pytest.fixture
+def fresh_encoder(vocab, encoder_state):
+    def make() -> MiniBert:
+        encoder = MiniBert(vocab, dim=32, num_layers=2, num_heads=2,
+                           ff_dim=64, max_len=32, seed=0)
+        encoder.load_state_dict(encoder_state)
+        return encoder
+    return make
+
+
+def split_labeled(labeled, n_train):
+    train, test = labeled[:n_train], labeled[n_train:]
+    return (
+        [(a, b) for a, b, _l in train],
+        np.array([l for *_x, l in train]),
+        [(a, b) for a, b, _l in test],
+        np.array([l for *_x, l in test]),
+    )

@@ -1,0 +1,89 @@
+"""Pipeline orchestration (§3.3): manual vs automatic vs human-in-the-loop.
+
+Builds a corpus of "human" pipelines, analyses it (operator skew, blind
+spots), runs the five automatic search strategies, and finishes with the
+HAIPipe combination — all on the same dirty ML task.
+
+Run:  python examples/auto_prep_pipeline.py
+"""
+
+from repro.datasets import make_ml_task, task_suite
+from repro.evaluation import ResultTable
+from repro.pipelines import (
+    ALL_STRATEGIES,
+    HAIPipe,
+    MetaLearningSearch,
+    MetaStore,
+    NextOperatorRecommender,
+    PipelineEvaluator,
+    RandomSearch,
+    build_registry,
+    generate_corpus,
+    registry_size,
+)
+
+
+def main() -> None:
+    registry = build_registry()
+    print(f"Search space: {registry_size(registry)} distinct pipelines")
+
+    task = make_ml_task(
+        "demo", missing_rate=0.15, interaction=True, n_samples=260, seed=7
+    )
+    print(f"Task pathologies: {task.pathologies}")
+
+    # -- manual orchestration: the human corpus -----------------------------
+    suite = task_suite(seed=0, n_samples=200) + [task]
+    corpus = generate_corpus(registry, suite, pipelines_per_task=30, seed=0)
+    print("\n-- Human pipeline corpus (§3.3(1)) --")
+    usage = corpus.operator_usage()
+    print("top operators:", usage.most_common(4))
+    print(f"usage share of top-3 operators: {corpus.usage_skew():.0%} (heavy tail)")
+    print(f"pipelines using a blind-spot operator: {corpus.blind_spot_rate():.1%}")
+
+    recommender = NextOperatorRecommender().fit(corpus)
+    print("recommended after impute_mean:",
+          recommender.recommend(1, "impute_mean", k=3))
+
+    # -- automatic generation (§3.3(2)) -------------------------------------
+    print("\n-- Automatic search, budget = 20 evaluations --")
+    table = ResultTable("search", ["strategy", "best accuracy"])
+    budget = 20
+    for name, strategy_cls in sorted(ALL_STRATEGIES.items()):
+        evaluator = PipelineEvaluator(seed=0)
+        result = strategy_cls(registry, seed=0).search(task, evaluator, budget)
+        table.add(name, result.best_score)
+
+    # Meta-learning warm start: give it experience from the task suite.
+    store = MetaStore()
+    for prior in suite[:-1]:
+        evaluator = PipelineEvaluator(seed=0)
+        best = RandomSearch(registry, seed=1).search(prior, evaluator, budget=15)
+        store.add(prior, best.best_pipeline, best.best_score)
+    evaluator = PipelineEvaluator(seed=0)
+    meta = MetaLearningSearch(registry, store, seed=0).search(task, evaluator, budget)
+    table.add("meta-learning", meta.best_score)
+    table.show()
+
+    # -- human-in-the-loop (§3.3(3)) -----------------------------------------
+    print("\n-- HAIPipe: combine human + machine --")
+    evaluator = PipelineEvaluator(seed=0)
+    hai = HAIPipe(registry, corpus, seed=0).run(task, evaluator, budget=20)
+    print(f"best human pipeline:   {hai.human_pipeline.describe()}")
+    print(f"  accuracy {hai.human_score:.3f}")
+    print(f"machine-only search:   {hai.machine_pipeline.describe()}")
+    print(f"  accuracy {hai.machine_score:.3f}")
+    print(f"HAIPipe combination:   {hai.combined_pipeline.describe()}")
+    print(f"  accuracy {hai.combined_score:.3f}  (>= max of both, by construction)")
+
+    # -- open problem: smooth AutoML integration ------------------------------
+    print("\n-- Joint (pipeline x model) search, §3.3 open problems --")
+    from repro.pipelines import JointAutoMLSearch
+
+    joint = JointAutoMLSearch(registry, seed=0).search(task, budget=20)
+    print(f"joint best: {joint.best.describe()}")
+    print(f"  accuracy {joint.best_score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

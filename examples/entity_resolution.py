@@ -1,0 +1,113 @@
+"""End-to-end entity resolution: block, then match, across method families.
+
+Reproduces the §3.2 storyline on one dataset: classic key blocking vs. LSH
+vs. DeepBlocker-style embedding blocking, then rule-based vs.
+word-embedding vs. fine-tuned-PLM (Ditto) vs. foundation-model matching.
+
+Run:  python examples/entity_resolution.py
+"""
+
+import numpy as np
+
+from repro.datasets import make_world, products_em, world_corpus
+from repro.embeddings import FastTextModel, SkipGramModel, Vocab
+from repro.evaluation import ResultTable
+from repro.foundation import FactStore, FoundationModel
+from repro.matching import (
+    DittoMatcher,
+    EmbeddingBlocker,
+    EmbeddingMatcher,
+    FoundationModelMatcher,
+    KeyBlocker,
+    LSHBlocker,
+    RuleBasedMatcher,
+)
+from repro.matching.ditto import serialize_record
+from repro.plm import MiniBert, MLMPretrainer
+
+
+def main() -> None:
+    world = make_world(seed=0, num_products=100)
+    dataset = products_em(world, seed=1)
+    corpus = world_corpus(world, sentences_per_fact=1, seed=1)
+    record_texts = [
+        serialize_record(r) for r in dataset.source_a + dataset.source_b
+    ]
+    vocab = Vocab(corpus + record_texts)
+
+    print("Training embeddings & pre-training the PLM (one-time cost)…")
+    fasttext = FastTextModel(vocab, dim=24, seed=0)
+    fasttext.train(corpus[:300] + [r.value_text() for r in dataset.source_a][:100],
+                   epochs=1)
+    skipgram = SkipGramModel(vocab, dim=24, seed=0)
+    skipgram.train(corpus[:400], epochs=2)
+    encoder = MiniBert(vocab, dim=32, num_layers=2, num_heads=2, ff_dim=64,
+                       max_len=32, seed=0)
+    MLMPretrainer(encoder, seed=0).train(corpus[:200] + record_texts[:150],
+                                         steps=100, batch_size=16)
+
+    # -- stage 1: blocking -------------------------------------------------
+    print("\n-- Blocking --")
+    blocking = ResultTable("blocking", ["blocker", "recall", "reduction", "pairs"])
+    for name, blocker in [
+        ("key (first token)", KeyBlocker()),
+        ("minhash LSH", LSHBlocker(num_perm=64, bands=32)),
+        ("embedding (DeepBlocker)", EmbeddingBlocker(fasttext.embed_text, k=8)),
+    ]:
+        result = blocker.evaluate(dataset)
+        blocking.add(name, result.recall, result.reduction, result.num_candidates)
+    blocking.show()
+
+    # -- stage 2: matching -------------------------------------------------
+    labeled = dataset.labeled_pairs(260, seed=2, match_fraction=0.5)
+    train, test = labeled[:160], labeled[160:]
+    tr_pairs = [(a, b) for a, b, _l in train]
+    tr_y = np.array([l for *_x, l in train])
+    te_pairs = [(a, b) for a, b, _l in test]
+    te_y = np.array([l for *_x, l in test])
+
+    print("\n-- Matching (trained on 160 labeled pairs) --")
+    matching = ResultTable("matching", ["matcher", "precision", "recall", "f1"])
+
+    rule = RuleBasedMatcher()
+    prf = rule.evaluate(te_pairs, te_y)
+    matching.add("rule-based (no training)", prf.precision, prf.recall, prf.f1)
+
+    fm_model = FoundationModel(FactStore(world.facts()))
+    prf = FoundationModelMatcher(fm_model).evaluate(te_pairs, te_y)
+    matching.add("foundation model (zero-shot)", prf.precision, prf.recall, prf.f1)
+
+    prf = FoundationModelMatcher(fm_model, demonstrations=train[:10]).evaluate(
+        te_pairs, te_y
+    )
+    matching.add("foundation model (10-shot)", prf.precision, prf.recall, prf.f1)
+
+    embedding = EmbeddingMatcher(skipgram.embed_text).fit(tr_pairs, tr_y)
+    prf = embedding.evaluate(te_pairs, te_y)
+    matching.add("word-embedding + LR", prf.precision, prf.recall, prf.f1)
+
+    ditto = DittoMatcher(encoder, seed=0).fit(tr_pairs, tr_y, epochs=8)
+    prf = ditto.evaluate(te_pairs, te_y)
+    matching.add("fine-tuned PLM (Ditto)", prf.precision, prf.recall, prf.f1)
+
+    matching.show()
+    print("\nNote the tutorial's shape: learning-based matchers beat the rule "
+          "baseline, and the fine-tuned PLM is the strongest with this many labels.")
+
+    # -- stage 3: resolve into entities --------------------------------------
+    from repro.matching import cluster_f1, resolve_entities
+
+    predictions = ditto.predict(te_pairs)
+    resolution = resolve_entities(te_pairs, predictions, min_cohesion=0.5)
+    truth = {(a.rid, b.rid) for (a, b), label in zip(te_pairs, te_y) if label}
+    print("\n-- Resolution --")
+    print(f"clusters: {len(resolution.clusters)} | "
+          f"cluster F1 vs truth: {cluster_f1(resolution, truth):.3f}")
+    merged = next((c for c in resolution.clusters if len(c.members) > 1), None)
+    if merged:
+        print(f"example golden record ({merged.golden.rid}):")
+        print(f"  {merged.golden.text()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Exploration, enrichment and transformation-by-example in one session.
+
+A data scientist's warm-up loop on a new table:
+
+1. ask for chart recommendations (DeepEye-style) to see what's in the data;
+2. let the RL agent (ATENA-style) propose an EDA session;
+3. enrich the table from the lake (ARDA-style guarded joins);
+4. normalize a messy column from two examples (FlashFill-style).
+
+Run:  python examples/explore_and_enrich.py
+"""
+
+import numpy as np
+
+from repro.cleaning import transform_column
+from repro.datasets import make_world
+from repro.datasets.dirty import restaurants_table
+from repro.explore import ATENAAgent, recommend_charts
+from repro.lake import DataLake, Enricher
+from repro.table import Table
+
+
+def main() -> None:
+    world = make_world(seed=0)
+    restaurants = restaurants_table(world)
+
+    print("== 1. Chart recommendations ==")
+    for ranked in recommend_charts(restaurants, k=4):
+        print(f"  {ranked.score:.2f}  {ranked.spec.describe()}")
+
+    print("\n== 2. RL-generated EDA session ==")
+    agent = ATENAAgent(seed=0)
+    agent.train(restaurants.limit(60), episodes=60, steps_per_episode=5)
+    session = agent.generate_session(restaurants.limit(60), steps=5)
+    for line in session.describe():
+        print(f"  {line}")
+    print(f"  total session reward: {session.total_reward:.2f}")
+
+    print("\n== 3. Enrichment from the lake ==")
+    rng = np.random.default_rng(0)
+    n = 150
+    uids = [f"u{i:03d}" for i in range(n)]
+    signal = rng.normal(size=n)
+    label = (signal + 0.3 * rng.normal(size=n) > 0).astype(int)
+    base = Table.from_rows(
+        list(zip(uids, rng.normal(size=n).tolist(), label.tolist())),
+        names=["uid", "weak_feature", "label"],
+    )
+    lake = DataLake()
+    lake.add_table("profiles", Table.from_rows(
+        list(zip(uids, signal.tolist())), names=["uid", "engagement"]),
+        "user engagement profiles")
+    lake.add_table("noise", Table.from_rows(
+        [(u, float(rng.normal())) for u in uids], names=["uid", "noise"]),
+        "random noise keyed by uid")
+    enriched, report = Enricher(lake, seed=0, min_gain=0.01).enrich(
+        base, "uid", "label"
+    )
+    print(f"  base accuracy {report.base_score:.3f} -> "
+          f"enriched {report.final_score:.3f}")
+    print(f"  accepted: {[a.table_name for a in report.accepted]}, "
+          f"rejected: {[a.table_name for a in report.rejected]}")
+    print(f"  new columns: {enriched.schema.names}")
+
+    print("\n== 4. Transformation by example ==")
+    phones = [r.phone for r in world.restaurants[:6]]
+    examples = [("365-943-6490", "(365) 943 6490")]
+    normalized = transform_column(phones, examples)
+    for before, after in zip(phones, normalized):
+        print(f"  {before}  ->  {after}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro: AI for Data Preparation (AI4DP).
+
+A complete reproduction of the systems taught in the SIGMOD 2023 tutorial
+"Demystifying Artificial Intelligence for Data Preparation" (Chai, Tang,
+Fan, Luo): simulated foundation models with prompting, MRKL routing and
+Retro retrieval; first- and second-generation pre-trained language models
+for matching, blocking and column typing; domain adaptation; and the full
+taxonomy of pipeline orchestration (manual, automatic, human-in-the-loop) —
+all built from scratch on numpy, including the relational table engine,
+mini SQL engine, data lake, autograd engine and classical ML substrate they
+stand on.
+
+Quickstart::
+
+    from repro.datasets import make_world, products_em
+    from repro.matching import RuleBasedMatcher
+
+    world = make_world(seed=0)
+    dataset = products_em(world)
+    pairs = dataset.labeled_pairs(100)
+    matcher = RuleBasedMatcher()
+    print(matcher.evaluate([(a, b) for a, b, _ in pairs],
+                           [label for _, _, label in pairs]))
+"""
+
+from repro.errors import (
+    ConvergenceError,
+    KnowledgeError,
+    NotFittedError,
+    ParseError,
+    PipelineError,
+    ReproError,
+    SchemaError,
+    TypeMismatchError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvergenceError",
+    "KnowledgeError",
+    "NotFittedError",
+    "ParseError",
+    "PipelineError",
+    "ReproError",
+    "SchemaError",
+    "TypeMismatchError",
+    "__version__",
+]

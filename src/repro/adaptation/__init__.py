@@ -1,0 +1,27 @@
+"""Domain adaptation for entity resolution (discrepancy / adversarial /
+reconstruction families)."""
+
+from repro.adaptation.augmentation import corrupt_record, synthesize_training_pairs
+from repro.adaptation.features import FEATURE_DIM, featurize_pairs, pair_features
+from repro.adaptation.methods import (
+    ADAPTERS,
+    AdversarialAdapter,
+    CORALAdapter,
+    MMDAdapter,
+    ReconstructionAdapter,
+    SourceOnlyAdapter,
+)
+
+__all__ = [
+    "ADAPTERS",
+    "AdversarialAdapter",
+    "CORALAdapter",
+    "FEATURE_DIM",
+    "MMDAdapter",
+    "ReconstructionAdapter",
+    "SourceOnlyAdapter",
+    "corrupt_record",
+    "synthesize_training_pairs",
+    "featurize_pairs",
+    "pair_features",
+]

@@ -1,0 +1,110 @@
+"""Domain-adaptive data augmentation (§3.2 open problems).
+
+"Can we synthesize labeled data by considering the domain adaptation
+problem?"  This module answers with the standard self-supervised ER recipe
+(the idea behind hands-off systems like DADER's generators and Sudowoodo):
+
+- **synthetic positives**: corrupt a target-domain record with the noise
+  operations real duplicate sources exhibit (typos, token drops, case and
+  whitespace noise) and pair it with the original;
+- **synthetic negatives**: pair records of *different* entities that share
+  tokens (hard negatives), plus random pairs (easy negatives).
+
+No target labels are consumed — the synthesizer reads only the target
+records — yet the resulting training set lets a matcher fit the target
+distribution directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.em import Record, drop_token, typo
+
+
+def corrupt_record(record: Record, rng: np.random.Generator,
+                   strength: float = 0.8) -> Record:
+    """A plausibly-dirty duplicate of ``record``.
+
+    Each string attribute is independently hit (with probability
+    ``strength``) by one sampled noise op; numeric attributes drift a little;
+    a random attribute may go missing — the same noise classes the EM
+    generators inject, so synthetic positives look like real ones.
+    """
+    attributes: dict[str, object] = {}
+    for key, value in record.attributes.items():
+        if value is None:
+            attributes[key] = None
+            continue
+        if isinstance(value, (int, float)):
+            if rng.random() < strength * 0.5:
+                attributes[key] = round(float(value) * float(rng.uniform(0.97, 1.03)), 2)
+            else:
+                attributes[key] = value
+            continue
+        text = str(value)
+        if rng.random() < strength:
+            roll = rng.random()
+            if roll < 0.35:
+                text = typo(text, rng)
+            elif roll < 0.6:
+                text = drop_token(text, rng)
+            elif roll < 0.8:
+                text = text.upper()
+            else:
+                text = "  " + text + " "
+        attributes[key] = text
+    # Occasionally lose an attribute entirely.
+    keys = [k for k, v in attributes.items() if v is not None]
+    if keys and rng.random() < strength * 0.3:
+        attributes[keys[int(rng.integers(len(keys)))]] = None
+    return Record(rid=f"{record.rid}-aug", attributes=attributes)
+
+
+def synthesize_training_pairs(
+    records: list[Record],
+    num_pairs: int,
+    seed: int = 0,
+    positive_fraction: float = 0.4,
+    hard_negative_fraction: float = 0.7,
+) -> list[tuple[Record, Record, int]]:
+    """Build a labeled pair set from unlabeled target records.
+
+    ``hard_negative_fraction`` of the negatives share at least one token
+    (sampled via a token index), the rest are random — mirroring how real
+    training sets mix blocked candidates with random pairs.
+    """
+    if not records:
+        raise ValueError("need at least one record to synthesize from")
+    rng = np.random.default_rng(seed)
+    out: list[tuple[Record, Record, int]] = []
+
+    num_pos = int(num_pairs * positive_fraction)
+    for _ in range(num_pos):
+        record = records[int(rng.integers(len(records)))]
+        out.append((record, corrupt_record(record, rng), 1))
+
+    token_index: dict[str, list[Record]] = {}
+    for record in records:
+        for token in sorted(set(record.value_text().lower().split())):
+            token_index.setdefault(token, []).append(record)
+
+    attempts = 0
+    while len(out) < num_pairs and attempts < num_pairs * 30:
+        attempts += 1
+        a = records[int(rng.integers(len(records)))]
+        if rng.random() < hard_negative_fraction:
+            tokens = sorted(set(a.value_text().lower().split()))
+            if not tokens:
+                continue
+            bucket = token_index.get(tokens[int(rng.integers(len(tokens)))], [])
+            if not bucket:
+                continue
+            b = bucket[int(rng.integers(len(bucket)))]
+        else:
+            b = records[int(rng.integers(len(records)))]
+        if b.rid == a.rid:
+            continue
+        out.append((a, corrupt_record(b, rng) if rng.random() < 0.5 else b, 0))
+    rng.shuffle(out)
+    return out

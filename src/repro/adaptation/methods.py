@@ -1,0 +1,247 @@
+"""Domain adaptation for entity resolution (tutorial §3.2(4); DADER).
+
+Given a labelled *source* EM dataset and an unlabelled *target* one, train a
+matcher that transfers.  All three families the tutorial lists:
+
+- **discrepancy-based** (:class:`MMDAdapter`) — minimize the maximum mean
+  discrepancy between source and target feature distributions;
+- **adversarial-based** (:class:`AdversarialAdapter`) — a domain classifier
+  trained through a gradient-reversal layer (DANN);
+- **reconstruction-based** (:class:`ReconstructionAdapter`) — an auxiliary
+  decoder reconstructs inputs of both domains from the shared representation.
+
+The no-adaptation floor and in-domain ceiling live here too, so experiments
+compare against exactly the same architecture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.nn.functional import cross_entropy, gradient_reversal, mse_loss
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+class _AdapterBase:
+    """Shared encoder/classifier plumbing for all adaptation methods."""
+
+    def __init__(self, input_dim: int, hidden: int = 16,
+                 lam: float = 0.5, lr: float = 5e-3,
+                 epochs: int = 60, batch_size: int = 32, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.encoder = Sequential(Linear(input_dim, hidden, rng), ReLU(),
+                                  Linear(hidden, hidden, rng), ReLU())
+        self.classifier = Linear(hidden, 2, rng)
+        self.hidden = hidden
+        self.lam = lam
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed + 1)
+        self._np_rng = rng
+        self.fitted = False
+        self._extra_modules: list = []
+
+    def _parameters(self) -> list[Tensor]:
+        params = self.encoder.parameters() + self.classifier.parameters()
+        for module in self._extra_modules:
+            params = params + module.parameters()
+        return params
+
+    def _alignment_loss(self, source_repr: Tensor, target_repr: Tensor,
+                        source_X: np.ndarray, target_X: np.ndarray):
+        """Method-specific loss; subclasses override.  None = no alignment."""
+        return None
+
+    def fit(self, source_X: np.ndarray, source_y: np.ndarray,
+            target_X: np.ndarray) -> "_AdapterBase":
+        source_X = np.asarray(source_X, dtype=float)
+        target_X = np.asarray(target_X, dtype=float)
+        source_y = np.asarray(source_y)
+        optimizer = Adam(self._parameters(), lr=self.lr)
+        n_source, n_target = len(source_X), len(target_X)
+        positives = np.flatnonzero(source_y == 1)
+        negatives = np.flatnonzero(source_y == 0)
+        for _ in range(self.epochs):
+            for _ in range(max(1, n_source // self.batch_size)):
+                if len(positives) and len(negatives):
+                    half = self.batch_size // 2
+                    idx_s = np.concatenate([
+                        self._rng.choice(positives, half),
+                        self._rng.choice(negatives, self.batch_size - half),
+                    ])
+                else:
+                    idx_s = self._rng.choice(n_source, self.batch_size)
+                idx_t = self._rng.choice(n_target, self.batch_size)
+                xs, xt = source_X[idx_s], target_X[idx_t]
+                hs = self.encoder(Tensor(xs))
+                ht = self.encoder(Tensor(xt))
+                loss = cross_entropy(self.classifier(hs), source_y[idx_s])
+                alignment = self._alignment_loss(hs, ht, xs, xt)
+                if alignment is not None:
+                    loss = loss + alignment * self.lam
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(optimizer.parameters, 5.0)
+                optimizer.step()
+        self.fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.fitted:
+            raise NotFittedError(f"{type(self).__name__} not fitted")
+        logits = self.classifier(self.encoder(Tensor(np.asarray(X, dtype=float))))
+        return logits.numpy().argmax(axis=1)
+
+
+class SourceOnlyAdapter(_AdapterBase):
+    """The no-adaptation floor: train on source, apply to target."""
+
+
+class MMDAdapter(_AdapterBase):
+    """Discrepancy-based: Gaussian-kernel MMD between the representations."""
+
+    def __init__(self, input_dim: int, bandwidths: tuple[float, ...] = (0.5, 1.0, 2.0),
+                 **kwargs):
+        super().__init__(input_dim, **kwargs)
+        self.bandwidths = bandwidths
+
+    def _alignment_loss(self, source_repr: Tensor, target_repr: Tensor,
+                        source_X: np.ndarray, target_X: np.ndarray):
+        return _mmd(source_repr, target_repr, self.bandwidths)
+
+
+class CORALAdapter(_AdapterBase):
+    """Discrepancy-based: classic CORAL (Sun, Feng & Saenko 2016).
+
+    Closed-form second-order alignment in *input* space: target features are
+    whitened with their own covariance and re-colored with the source
+    covariance (plus a mean shift), after which the source-trained classifier
+    applies directly.  This measures-and-removes distribution discrepancy
+    exactly as the tutorial's discrepancy family describes, and — unlike
+    gradient-based deep variants — cannot fight the classification loss.
+    """
+
+    def __init__(self, input_dim: int, ridge: float = 1e-3, **kwargs):
+        super().__init__(input_dim, **kwargs)
+        self.ridge = ridge
+        self._transform: np.ndarray | None = None
+        self._mu_source: np.ndarray | None = None
+        self._mu_target: np.ndarray | None = None
+
+    def fit(self, source_X: np.ndarray, source_y: np.ndarray,
+            target_X: np.ndarray) -> "CORALAdapter":
+        source_X = np.asarray(source_X, dtype=float)
+        target_X = np.asarray(target_X, dtype=float)
+        self._mu_source = source_X.mean(axis=0)
+        self._mu_target = target_X.mean(axis=0)
+        cov_s = np.cov(source_X, rowvar=False) + self.ridge * np.eye(source_X.shape[1])
+        cov_t = np.cov(target_X, rowvar=False) + self.ridge * np.eye(target_X.shape[1])
+        self._transform = _inv_sqrt(cov_t) @ _sqrt(cov_s)
+        super().fit(source_X, source_y, target_X)
+        return self
+
+    def _alignment_loss(self, source_repr, target_repr, source_X, target_X):
+        return None  # alignment happens in closed form at predict time
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._transform is None:
+            raise NotFittedError("CORALAdapter not fitted")
+        X = np.asarray(X, dtype=float)
+        aligned = (X - self._mu_target) @ self._transform + self._mu_source
+        return super().predict(aligned)
+
+
+def _sqrt(matrix: np.ndarray) -> np.ndarray:
+    values, vectors = np.linalg.eigh(matrix)
+    values = np.clip(values, 1e-12, None)
+    return vectors @ np.diag(np.sqrt(values)) @ vectors.T
+
+
+def _inv_sqrt(matrix: np.ndarray) -> np.ndarray:
+    values, vectors = np.linalg.eigh(matrix)
+    values = np.clip(values, 1e-12, None)
+    return vectors @ np.diag(1.0 / np.sqrt(values)) @ vectors.T
+
+
+class AdversarialAdapter(_AdapterBase):
+    """Adversarial (DANN): domain classifier behind gradient reversal."""
+
+    def __init__(self, input_dim: int, **kwargs):
+        super().__init__(input_dim, **kwargs)
+        rng = self._np_rng
+        self.domain_classifier = Sequential(
+            Linear(self.hidden, self.hidden, rng), ReLU(),
+            Linear(self.hidden, 2, rng),
+        )
+        self._extra_modules.append(self.domain_classifier)
+
+    def _alignment_loss(self, source_repr: Tensor, target_repr: Tensor,
+                        source_X: np.ndarray, target_X: np.ndarray):
+        both = source_repr.concat([target_repr], axis=0)
+        reversed_repr = gradient_reversal(both, lam=1.0)
+        domain_labels = np.concatenate([
+            np.zeros(source_repr.shape[0], dtype=int),
+            np.ones(target_repr.shape[0], dtype=int),
+        ])
+        return cross_entropy(self.domain_classifier(reversed_repr), domain_labels)
+
+
+class ReconstructionAdapter(_AdapterBase):
+    """Reconstruction-based: decode both domains from the representation."""
+
+    def __init__(self, input_dim: int, **kwargs):
+        super().__init__(input_dim, **kwargs)
+        rng = self._np_rng
+        self.decoder = Sequential(
+            Linear(self.hidden, self.hidden, rng), ReLU(),
+            Linear(self.hidden, input_dim, rng),
+        )
+        self._extra_modules.append(self.decoder)
+
+    def _alignment_loss(self, source_repr: Tensor, target_repr: Tensor,
+                        source_X: np.ndarray, target_X: np.ndarray):
+        recon_s = mse_loss(self.decoder(source_repr), source_X)
+        recon_t = mse_loss(self.decoder(target_repr), target_X)
+        return recon_s + recon_t
+
+
+def _mmd(a: Tensor, b: Tensor, bandwidth_scales: tuple[float, ...]) -> Tensor:
+    """Multi-kernel Gaussian MMD² between two representation batches.
+
+    Kernel bandwidths follow the median heuristic: the base bandwidth is the
+    mean pairwise squared distance of the joint batch (detached), scaled by
+    ``bandwidth_scales``.  Fixed bandwidths fail silently when the
+    representation scale drifts during training.
+    """
+    def sq_dists(x: Tensor, y: Tensor) -> Tensor:
+        x2 = (x * x).sum(axis=1, keepdims=True)          # (n, 1)
+        y2 = (y * y).sum(axis=1, keepdims=True)          # (m, 1)
+        return x2 + y2.transpose(1, 0) - (x @ y.transpose(1, 0)) * 2.0
+
+    d_aa, d_bb, d_ab = sq_dists(a, a), sq_dists(b, b), sq_dists(a, b)
+    base = float(
+        np.mean([d_aa.numpy().mean(), d_bb.numpy().mean(), d_ab.numpy().mean()])
+    )
+    base = max(base, 1e-6)
+
+    def kernel_mean(d2: Tensor) -> Tensor:
+        total = None
+        for scale in bandwidth_scales:
+            k = (d2 * (-1.0 / (2.0 * base * scale))).exp()
+            total = k if total is None else total + k
+        return total.mean()
+
+    return kernel_mean(d_aa) + kernel_mean(d_bb) - kernel_mean(d_ab) * 2.0
+
+
+ADAPTERS = {
+    "source-only": SourceOnlyAdapter,
+    "coral": CORALAdapter,
+    "mmd": MMDAdapter,
+    "adversarial": AdversarialAdapter,
+    "reconstruction": ReconstructionAdapter,
+}

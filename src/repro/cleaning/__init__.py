@@ -1,0 +1,75 @@
+"""Data cleaning: detection, repair, imputation, assisted review."""
+
+from repro.cleaning.assisted import (
+    AssistedCleaningReport,
+    AssistedCleaningSession,
+    RepairSuggestion,
+    TopKRepairSuggester,
+)
+from repro.cleaning.detection import (
+    Detector,
+    DictionaryDetector,
+    FDDetector,
+    Flag,
+    NullDetector,
+    OutlierDetector,
+    PatternDetector,
+    detect_all,
+    detection_quality,
+)
+from repro.cleaning.imputation import (
+    EmbeddingImputer,
+    FoundationModelImputer,
+    HotDeckImputer,
+    Imputer,
+    StatisticImputer,
+    imputation_accuracy,
+)
+from repro.cleaning.transform import (
+    StringProgram,
+    synthesize_program,
+    transform_column,
+)
+from repro.cleaning.repair import (
+    DataCleaner,
+    DictionaryRepairer,
+    FDRepairer,
+    FormatRepairer,
+    FoundationModelRepairer,
+    Repair,
+    Repairer,
+    repair_quality,
+)
+
+__all__ = [
+    "AssistedCleaningReport",
+    "AssistedCleaningSession",
+    "DataCleaner",
+    "Detector",
+    "DictionaryDetector",
+    "DictionaryRepairer",
+    "EmbeddingImputer",
+    "FDDetector",
+    "FDRepairer",
+    "Flag",
+    "FormatRepairer",
+    "FoundationModelImputer",
+    "FoundationModelRepairer",
+    "HotDeckImputer",
+    "Imputer",
+    "NullDetector",
+    "OutlierDetector",
+    "PatternDetector",
+    "Repair",
+    "RepairSuggestion",
+    "TopKRepairSuggester",
+    "Repairer",
+    "StatisticImputer",
+    "StringProgram",
+    "synthesize_program",
+    "transform_column",
+    "detect_all",
+    "detection_quality",
+    "imputation_accuracy",
+    "repair_quality",
+]

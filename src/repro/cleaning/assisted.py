@@ -1,0 +1,161 @@
+"""Human-centered AI cleaning (§3.1 open problems).
+
+"Because foundation models cannot fully replace humans for data preparation
+tasks, an interesting problem is how to build AI-assistants … that can
+significantly reduce human cost, e.g. by providing top-k possible repairs."
+
+:class:`TopKRepairSuggester` produces a *ranked list* of candidate repairs
+per flagged cell (instead of committing to one), and
+:class:`AssistedCleaningSession` measures the human-effort economics: when
+the reviewer picks from suggestions instead of typing the fix, how many
+keystrokes-equivalents are saved, at what residual error rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cleaning.detection import Flag
+from repro.foundation.knowledge import FactStore
+from repro.table import Table
+from repro.text.similarity import jaro_winkler_similarity
+
+
+@dataclass(frozen=True)
+class RepairSuggestion:
+    """One candidate repair with the model's score for it."""
+
+    value: str
+    score: float
+    source: str
+
+
+class TopKRepairSuggester:
+    """Rank candidate repairs for a flagged cell.
+
+    Candidates come from three generators, mirroring the model's repair
+    vocabulary: dictionary neighbours (typo fixes), alias canonicalization,
+    and format normalization.  Scores are the generator's confidence, so
+    reviewers see the most plausible fix first.
+    """
+
+    def __init__(self, store: FactStore, k: int = 3,
+                 dictionaries: dict[str, set[str]] | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.store = store
+        self.k = k
+        self.dictionaries = {
+            column: sorted({v.lower() for v in values})
+            for column, values in (dictionaries or {}).items()
+        }
+
+    def suggest(self, table: Table, flag: Flag) -> list[RepairSuggestion]:
+        """Top-k distinct repair suggestions for one flagged cell."""
+        old = table.cell(flag.row, flag.column)
+        if old is None:
+            return []
+        value = str(old)
+        candidates: list[RepairSuggestion] = []
+
+        # Format normalization: cheap, always on the list if it changes.
+        normalized = " ".join(value.split()).lower()
+        if normalized != value:
+            candidates.append(RepairSuggestion(normalized, 0.55, "format"))
+
+        # Alias canonicalization.
+        canonical = self.store.canonical(normalized)
+        if canonical != normalized:
+            candidates.append(RepairSuggestion(canonical, 0.8, "alias"))
+
+        # Dictionary neighbours, scored by string similarity.
+        known = self.dictionaries.get(flag.column)
+        if known is None:
+            known = self.store.subjects()
+        scored = sorted(
+            ((jaro_winkler_similarity(normalized, entry), entry) for entry in known),
+            key=lambda pair: -pair[0],
+        )
+        for similarity, entry in scored[: self.k]:
+            if similarity < 0.75 or entry == value:
+                continue
+            candidates.append(RepairSuggestion(entry, similarity, "dictionary"))
+
+        # Deduplicate by value, keep the best score, rank, truncate.
+        best: dict[str, RepairSuggestion] = {}
+        for suggestion in candidates:
+            current = best.get(suggestion.value)
+            if current is None or suggestion.score > current.score:
+                best[suggestion.value] = suggestion
+        ranked = sorted(best.values(), key=lambda s: -s.score)
+        return ranked[: self.k]
+
+
+@dataclass
+class AssistedCleaningReport:
+    """Outcome of an assisted-cleaning pass over flagged cells."""
+
+    cells_reviewed: int = 0
+    picked_from_suggestions: int = 0
+    typed_manually: int = 0
+    wrong_after_review: int = 0
+    suggestion_hits_at_k: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def suggestion_acceptance_rate(self) -> float:
+        if not self.cells_reviewed:
+            return 0.0
+        return self.picked_from_suggestions / self.cells_reviewed
+
+    def hit_rate(self, k: int) -> float:
+        if not self.cells_reviewed:
+            return 0.0
+        return self.suggestion_hits_at_k.get(k, 0) / self.cells_reviewed
+
+    @property
+    def effort_saved(self) -> float:
+        """Fraction of reviews resolved by a pick rather than typing.
+
+        Picking from a short list is the cheap action; typing the fix is the
+        expensive one.  This is the assistant's headline number.
+        """
+        return self.suggestion_acceptance_rate
+
+
+class AssistedCleaningSession:
+    """Simulate a reviewer fixing flagged cells with top-k suggestions.
+
+    The simulated reviewer accepts the first suggestion equal to the true
+    clean value (a pick), otherwise types the truth (manual).  A purely
+    manual session types everything, so ``effort_saved`` compares directly.
+    """
+
+    def __init__(self, suggester: TopKRepairSuggester):
+        self.suggester = suggester
+
+    def run(self, table: Table, flags: list[Flag],
+            truth: dict[tuple[int, str], Any]) -> tuple[Table, AssistedCleaningReport]:
+        report = AssistedCleaningReport()
+        out = table
+        for flag in flags:
+            key = (flag.row, flag.column)
+            if key not in truth:
+                continue
+            clean = str(truth[key]).strip().lower() if truth[key] is not None else None
+            if clean is None:
+                continue
+            report.cells_reviewed += 1
+            suggestions = self.suggester.suggest(table, flag)
+            values = [s.value for s in suggestions]
+            for k in range(1, self.suggester.k + 1):
+                if clean in values[:k]:
+                    report.suggestion_hits_at_k[k] = (
+                        report.suggestion_hits_at_k.get(k, 0) + 1
+                    )
+            if clean in values:
+                report.picked_from_suggestions += 1
+            else:
+                report.typed_manually += 1
+            out = out.with_cell(flag.row, flag.column, truth[key])
+        return out, report

@@ -1,0 +1,220 @@
+"""Error detection: find the cells that are likely wrong (tutorial §3.1(2),
+and the classical substrate the FM-based cleaner is compared against).
+
+Detectors are independent and composable; each returns the set of
+``(row, column)`` cells it flags plus a reason.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.table import Table
+
+
+@dataclass(frozen=True)
+class Flag:
+    """One flagged cell."""
+
+    row: int
+    column: str
+    reason: str
+
+
+class Detector:
+    """Produces flags for suspicious cells of a table."""
+
+    def detect(self, table: Table) -> list[Flag]:
+        raise NotImplementedError
+
+
+class NullDetector(Detector):
+    """Flags missing values in the given (or all) columns."""
+
+    def __init__(self, columns: list[str] | None = None):
+        self.columns = columns
+
+    def detect(self, table: Table) -> list[Flag]:
+        columns = self.columns or table.schema.names
+        out = []
+        for column in columns:
+            for i, value in enumerate(table.column(column)):
+                if value is None:
+                    out.append(Flag(i, column, "missing value"))
+        return out
+
+
+class OutlierDetector(Detector):
+    """Tukey-fence outliers on numeric columns (k * IQR beyond quartiles)."""
+
+    def __init__(self, columns: list[str] | None = None, k: float = 3.0):
+        self.columns = columns
+        self.k = k
+
+    def detect(self, table: Table) -> list[Flag]:
+        columns = self.columns or [
+            c for c in table.schema.names
+            if table.schema.dtype_of(c) in ("int", "float")
+        ]
+        out = []
+        for column in columns:
+            values = [
+                (i, float(v)) for i, v in enumerate(table.column(column))
+                if v is not None
+            ]
+            if len(values) < 8:
+                continue
+            data = np.array([v for _i, v in values])
+            q1, q3 = np.percentile(data, [25, 75])
+            iqr = q3 - q1
+            lo, hi = q1 - self.k * iqr, q3 + self.k * iqr
+            for i, v in values:
+                if v < lo or v > hi:
+                    out.append(Flag(i, column, f"outlier outside [{lo:.2f}, {hi:.2f}]"))
+        return out
+
+
+class FDDetector(Detector):
+    """Functional-dependency violations for ``determinant → dependent``.
+
+    Within each determinant group the majority dependent value is assumed
+    correct; minority values are flagged.
+    """
+
+    def __init__(self, determinant: str, dependent: str):
+        self.determinant = determinant
+        self.dependent = dependent
+
+    def detect(self, table: Table) -> list[Flag]:
+        groups: dict[object, Counter] = defaultdict(Counter)
+        rows: dict[object, list[tuple[int, object]]] = defaultdict(list)
+        det_col = table.column(self.determinant)
+        dep_col = table.column(self.dependent)
+        for i, (det, dep) in enumerate(zip(det_col, dep_col)):
+            if det is None or dep is None:
+                continue
+            groups[det][dep] += 1
+            rows[det].append((i, dep))
+        out = []
+        for det, counts in groups.items():
+            if len(counts) < 2:
+                continue
+            majority, _n = counts.most_common(1)[0]
+            for i, dep in rows[det]:
+                if dep != majority:
+                    out.append(
+                        Flag(i, self.dependent,
+                             f"violates {self.determinant}->{self.dependent} "
+                             f"(majority: {majority})")
+                    )
+        return out
+
+
+class PatternDetector(Detector):
+    """Flags values that deviate from a column's dominant character pattern.
+
+    Values are abstracted to shape strings (letters→``a``, digits→``9``,
+    spaces→``_``, other kept); if one shape covers ≥ ``dominance`` of the
+    column, everything else is flagged.  Catches case errors, stray
+    whitespace and format drift without any configuration.
+    """
+
+    def __init__(self, columns: list[str] | None = None, dominance: float = 0.7):
+        self.columns = columns
+        self.dominance = dominance
+
+    @staticmethod
+    def shape(value: str) -> str:
+        out = []
+        for ch in value:
+            if ch.islower():
+                out.append("a")
+            elif ch.isupper():
+                out.append("A")
+            elif ch.isdigit():
+                out.append("9")
+            elif ch == " ":
+                out.append("_")
+            else:
+                out.append(ch)
+        # Collapse runs so all-lowercase words of any length share a shape.
+        collapsed = []
+        for ch in out:
+            if not collapsed or collapsed[-1] != ch:
+                collapsed.append(ch)
+        return "".join(collapsed)
+
+    def detect(self, table: Table) -> list[Flag]:
+        columns = self.columns or [
+            c for c in table.schema.names if table.schema.dtype_of(c) == "str"
+        ]
+        out = []
+        for column in columns:
+            values = [
+                (i, str(v)) for i, v in enumerate(table.column(column))
+                if v is not None
+            ]
+            if len(values) < 5:
+                continue
+            shapes = Counter(self.shape(v) for _i, v in values)
+            top_shape, top_count = shapes.most_common(1)[0]
+            if top_count / len(values) < self.dominance:
+                continue
+            for i, v in values:
+                if self.shape(v) != top_shape:
+                    out.append(Flag(i, column, f"pattern deviates from {top_shape!r}"))
+        return out
+
+
+class DictionaryDetector(Detector):
+    """Flags values not recognized by (and not close to exactly matching) a
+    per-column dictionary of known values."""
+
+    def __init__(self, dictionaries: dict[str, set[str]]):
+        self.dictionaries = {
+            column: {v.lower() for v in values}
+            for column, values in dictionaries.items()
+        }
+
+    def detect(self, table: Table) -> list[Flag]:
+        out = []
+        for column, known in self.dictionaries.items():
+            if column not in table.schema:
+                continue
+            for i, value in enumerate(table.column(column)):
+                if value is None:
+                    continue
+                if str(value).lower().strip() not in known:
+                    out.append(Flag(i, column, "value not in dictionary"))
+        return out
+
+
+def detect_all(table: Table, detectors: list[Detector]) -> list[Flag]:
+    """Union of all detectors' flags, deduplicated by cell (first reason wins)."""
+    seen: set[tuple[int, str]] = set()
+    out: list[Flag] = []
+    for detector in detectors:
+        for flag in detector.detect(table):
+            key = (flag.row, flag.column)
+            if key not in seen:
+                seen.add(key)
+                out.append(flag)
+    return out
+
+
+def detection_quality(flags: list[Flag],
+                      truth: set[tuple[int, str]]) -> tuple[float, float, float]:
+    """(precision, recall, f1) of flagged cells against ground-truth cells."""
+    flagged = {(f.row, f.column) for f in flags}
+    tp = len(flagged & truth)
+    precision = tp / len(flagged) if flagged else 0.0
+    recall = tp / len(truth) if truth else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1
+
+
+_ = re  # re is part of the public detector-pattern toolkit via PatternDetector

@@ -1,0 +1,165 @@
+"""Missing-value imputation (tutorial §3.1(2) demo task and §3.2 open problem).
+
+From statistical fills through neighbour- and embedding-based methods to the
+foundation-model imputer that looks the answer up in world knowledge.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.foundation.model import FoundationModel
+from repro.foundation.prompts import imputation_prompt
+from repro.table import Table
+
+
+class Imputer:
+    """Fills missing values of one column; returns a new table."""
+
+    name = "imputer"
+
+    def impute(self, table: Table, column: str) -> Table:
+        raise NotImplementedError
+
+    def _fill(self, table: Table, column: str,
+              value_for_row: Callable[[int], Any]) -> Table:
+        out = table
+        for i, value in enumerate(table.column(column)):
+            if value is None:
+                fill = value_for_row(i)
+                if fill is not None:
+                    out = out.with_cell(i, column, fill)
+        return out
+
+
+class StatisticImputer(Imputer):
+    """Mean for numeric columns, mode for everything else."""
+
+    name = "statistic"
+
+    def impute(self, table: Table, column: str) -> Table:
+        values = [v for v in table.column(column) if v is not None]
+        if not values:
+            return table
+        if table.schema.dtype_of(column) in ("int", "float"):
+            fill: Any = float(np.mean([float(v) for v in values]))
+            if table.schema.dtype_of(column) == "int":
+                fill = int(round(fill))
+        else:
+            fill = Counter(values).most_common(1)[0][0]
+        return self._fill(table, column, lambda _i: fill)
+
+
+class HotDeckImputer(Imputer):
+    """Copy the value from the most similar complete row (kNN with k=1 over
+    the other columns; string equality + numeric closeness similarity)."""
+
+    name = "hot-deck"
+
+    def impute(self, table: Table, column: str) -> Table:
+        others = [c for c in table.schema.names if c != column]
+        rows = list(table.row_dicts())
+        donors = [i for i, r in enumerate(rows) if r[column] is not None]
+
+        def similarity(i: int, j: int) -> float:
+            score = 0.0
+            for c in others:
+                a, b = rows[i][c], rows[j][c]
+                if a is None or b is None:
+                    continue
+                if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                    denom = max(abs(float(a)), abs(float(b)), 1e-9)
+                    score += max(0.0, 1.0 - abs(float(a) - float(b)) / denom)
+                elif a == b:
+                    score += 1.0
+            return score
+
+        def best(i: int) -> Any:
+            if not donors:
+                return None
+            j = max(donors, key=lambda d: similarity(i, d))
+            return rows[j][column]
+
+        return self._fill(table, column, best)
+
+
+class EmbeddingImputer(Imputer):
+    """Fill from the row whose *text rendering* embeds closest — the
+    "contextual embeddings for imputation" idea from the open problems."""
+
+    name = "embedding"
+
+    def __init__(self, embed: Callable[[str], np.ndarray]):
+        self.embed = embed
+
+    def impute(self, table: Table, column: str) -> Table:
+        others = [c for c in table.schema.names if c != column]
+        rows = list(table.row_dicts())
+        texts = [
+            " ".join(str(r[c]) for c in others if r[c] is not None) for r in rows
+        ]
+        vectors = np.stack([self.embed(t) for t in texts])
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        normalized = np.divide(
+            vectors, norms, out=np.zeros_like(vectors), where=norms > 0
+        )
+        donors = [i for i, r in enumerate(rows) if r[column] is not None]
+        if not donors:
+            return table
+        donor_matrix = normalized[donors]
+
+        def best(i: int) -> Any:
+            sims = donor_matrix @ normalized[i]
+            return rows[donors[int(np.argmax(sims))]][column]
+
+        return self._fill(table, column, best)
+
+
+class FoundationModelImputer(Imputer):
+    """Ask the foundation model to fill each hole from world knowledge."""
+
+    name = "foundation-model"
+
+    def __init__(self, model: FoundationModel):
+        self.model = model
+
+    def impute(self, table: Table, column: str) -> Table:
+        others = [c for c in table.schema.names if c != column]
+        rows = list(table.row_dicts())
+
+        def ask(i: int) -> Any:
+            record = " | ".join(
+                f"{c}: {rows[i][c]}" for c in others if rows[i][c] is not None
+            )
+            record += f" | {column}: ?"
+            completion = self.model.complete(imputation_prompt(column, record))
+            if completion.text == "unknown" or completion.confidence < 0.5:
+                return None
+            if table.schema.dtype_of(column) in ("int", "float"):
+                try:
+                    return float(completion.text)
+                except ValueError:
+                    return None
+            return completion.text
+
+        return self._fill(table, column, ask)
+
+
+def imputation_accuracy(imputed: Table, clean: Table, column: str,
+                        holes: list[int]) -> float:
+    """Fraction of the given rows whose imputed value equals the clean one."""
+    if not holes:
+        return 1.0
+    hits = 0
+    for i in holes:
+        a, b = imputed.cell(i, column), clean.cell(i, column)
+        if isinstance(a, str) and isinstance(b, str):
+            hits += a.strip().lower() == b.strip().lower()
+        elif isinstance(a, float) and isinstance(b, float):
+            hits += abs(a - b) < 1e-6 or (b != 0 and abs(a - b) / abs(b) < 0.01)
+        else:
+            hits += a == b
+    return hits / len(holes)

@@ -1,0 +1,195 @@
+"""Cell repair: propose corrected values for flagged cells.
+
+Classical repairers (FD majority vote, dictionary canonicalization, format
+normalization) plus the foundation-model cleaner the tutorial demonstrates
+(§3.1(2)) — prompt-driven, zero- or few-shot.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cleaning.detection import Detector, Flag, detect_all
+from repro.foundation.model import FoundationModel
+from repro.foundation.prompts import cleaning_prompt
+from repro.table import Table
+from repro.text.similarity import jaro_winkler_similarity
+
+
+@dataclass(frozen=True)
+class Repair:
+    """A proposed fix for one cell."""
+
+    row: int
+    column: str
+    old_value: Any
+    new_value: Any
+    source: str  # which repairer produced it
+
+
+class Repairer:
+    """Proposes repairs for flagged cells; cells it cannot fix are skipped."""
+
+    name = "repairer"
+
+    def repair(self, table: Table, flags: list[Flag]) -> list[Repair]:
+        raise NotImplementedError
+
+
+class FDRepairer(Repairer):
+    """Replace FD-violating dependents with the group's majority value."""
+
+    name = "fd-majority"
+
+    def __init__(self, determinant: str, dependent: str):
+        self.determinant = determinant
+        self.dependent = dependent
+
+    def repair(self, table: Table, flags: list[Flag]) -> list[Repair]:
+        majorities: dict[object, object] = {}
+        groups: dict[object, Counter] = defaultdict(Counter)
+        for det, dep in zip(table.column(self.determinant), table.column(self.dependent)):
+            if det is not None and dep is not None:
+                groups[det][dep] += 1
+        for det, counts in groups.items():
+            majorities[det] = counts.most_common(1)[0][0]
+        out = []
+        det_col = table.column(self.determinant)
+        for flag in flags:
+            if flag.column != self.dependent:
+                continue
+            det = det_col[flag.row]
+            majority = majorities.get(det)
+            old = table.cell(flag.row, flag.column)
+            if majority is not None and majority != old:
+                out.append(Repair(flag.row, flag.column, old, majority, self.name))
+        return out
+
+
+class DictionaryRepairer(Repairer):
+    """Snap flagged values to the closest dictionary entry (typos)."""
+
+    name = "dictionary"
+
+    def __init__(self, dictionaries: dict[str, set[str]],
+                 min_similarity: float = 0.82):
+        self.dictionaries = {
+            column: sorted({v.lower() for v in values})
+            for column, values in dictionaries.items()
+        }
+        self.min_similarity = min_similarity
+
+    def repair(self, table: Table, flags: list[Flag]) -> list[Repair]:
+        out = []
+        for flag in flags:
+            known = self.dictionaries.get(flag.column)
+            if not known:
+                continue
+            old = table.cell(flag.row, flag.column)
+            if old is None:
+                continue
+            value = str(old).lower().strip()
+            if value in known:
+                if value != old:
+                    out.append(Repair(flag.row, flag.column, old, value, self.name))
+                continue
+            best_score, best = self.min_similarity, None
+            for candidate in known:
+                score = jaro_winkler_similarity(value, candidate)
+                if score > best_score:
+                    best_score, best = score, candidate
+            if best is not None:
+                out.append(Repair(flag.row, flag.column, old, best, self.name))
+        return out
+
+
+class FormatRepairer(Repairer):
+    """Normalize case and whitespace to the column's dominant style."""
+
+    name = "format"
+
+    def repair(self, table: Table, flags: list[Flag]) -> list[Repair]:
+        out = []
+        for flag in flags:
+            if table.schema.dtype_of(flag.column) != "str":
+                continue
+            old = table.cell(flag.row, flag.column)
+            if old is None:
+                continue
+            normalized = " ".join(str(old).split()).lower()
+            if normalized != old:
+                out.append(Repair(flag.row, flag.column, old, normalized, self.name))
+        return out
+
+
+class FoundationModelRepairer(Repairer):
+    """Prompt the foundation model per flagged cell (§3.1(2)).
+
+    ``demonstrations`` are (dirty, clean) examples — zero-shot when empty.
+    """
+
+    name = "foundation-model"
+
+    def __init__(self, model: FoundationModel,
+                 demonstrations: dict[str, list[tuple[str, str]]] | None = None):
+        self.model = model
+        self.demonstrations = demonstrations or {}
+
+    def repair(self, table: Table, flags: list[Flag]) -> list[Repair]:
+        out = []
+        for flag in flags:
+            old = table.cell(flag.row, flag.column)
+            if old is None or table.schema.dtype_of(flag.column) != "str":
+                continue
+            demos = self.demonstrations.get(flag.column, [])
+            prompt = cleaning_prompt(flag.column, demos, str(old))
+            fixed = self.model.complete(prompt).text
+            if fixed != str(old):
+                out.append(Repair(flag.row, flag.column, old, fixed, self.name))
+        return out
+
+
+class DataCleaner:
+    """detect → repair → apply, as one pipeline."""
+
+    def __init__(self, detectors: list[Detector], repairers: list[Repairer]):
+        self.detectors = detectors
+        self.repairers = repairers
+
+    def clean(self, table: Table) -> tuple[Table, list[Repair]]:
+        """Apply the first repair proposed per cell (repairer order wins)."""
+        flags = detect_all(table, self.detectors)
+        chosen: dict[tuple[int, str], Repair] = {}
+        for repairer in self.repairers:
+            for repair in repairer.repair(table, flags):
+                key = (repair.row, repair.column)
+                if key not in chosen:
+                    chosen[key] = repair
+        out = table
+        for repair in chosen.values():
+            out = out.with_cell(repair.row, repair.column, repair.new_value)
+        return out, list(chosen.values())
+
+
+def repair_quality(repairs: list[Repair],
+                   truth: dict[tuple[int, str], Any]) -> tuple[float, float, float]:
+    """(precision, recall, f1) of repairs that restore the exact clean value."""
+    if not repairs:
+        return 0.0, (1.0 if not truth else 0.0), 0.0
+    correct = 0
+    for repair in repairs:
+        clean = truth.get((repair.row, repair.column))
+        if clean is not None and _same(repair.new_value, clean):
+            correct += 1
+    precision = correct / len(repairs)
+    recall = correct / len(truth) if truth else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1
+
+
+def _same(a: Any, b: Any) -> bool:
+    if isinstance(a, str) and isinstance(b, str):
+        return a.strip().lower() == b.strip().lower()
+    return a == b

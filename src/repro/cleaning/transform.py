@@ -1,0 +1,180 @@
+"""String transformation by example (tutorial intro: CLX, unsupervised string
+transformation for entity consolidation; the FlashFill family).
+
+Given a handful of (input, output) string pairs, synthesize a *program* —
+a concatenation of substring/constant/case components — that maps every
+example input to its output, then apply it to the rest of the column.
+
+The program space follows the classic programming-by-example construction:
+
+- components produce pieces of the output;
+- a substring component is located either by absolute token index or by a
+  delimiter-relative position, so programs generalize across rows;
+- synthesis intersects the component candidates across examples.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConvergenceError
+
+_TOKEN_RE = re.compile(r"[A-Za-z]+|\d+|[^A-Za-z\d]")
+
+
+def _tokens(text: str) -> list[str]:
+    """Tokens preserving delimiters ('jane-doe' -> ['jane', '-', 'doe'])."""
+    return _TOKEN_RE.findall(text)
+
+
+@dataclass(frozen=True)
+class Component:
+    """One output piece: a named extraction applied to the input string."""
+
+    kind: str            # "const" | "token" | "case_token"
+    value: str = ""      # the constant, or the case mode
+    index: int = 0       # token index (negative = from the end)
+
+    def apply(self, text: str) -> str | None:
+        if self.kind == "const":
+            return self.value
+        tokens = [t for t in _tokens(text) if t.strip()]
+        words = [t for t in tokens if t[0].isalnum()]
+        if not words:
+            return None
+        try:
+            token = words[self.index]
+        except IndexError:
+            return None
+        if self.kind == "token":
+            return token
+        if self.kind == "case_token":
+            if self.value == "upper":
+                return token.upper()
+            if self.value == "lower":
+                return token.lower()
+            if self.value == "title":
+                return token.capitalize()
+            if self.value == "initial":
+                return token[0].lower()
+            if self.value == "initial_upper":
+                return token[0].upper()
+        return None
+
+
+@dataclass(frozen=True)
+class StringProgram:
+    """A concatenation of components."""
+
+    components: tuple[Component, ...]
+
+    def apply(self, text: str) -> str | None:
+        pieces = []
+        for component in self.components:
+            piece = component.apply(text)
+            if piece is None:
+                return None
+            pieces.append(piece)
+        return "".join(pieces)
+
+    def describe(self) -> str:
+        out = []
+        for c in self.components:
+            if c.kind == "const":
+                out.append(repr(c.value))
+            elif c.kind == "token":
+                out.append(f"token[{c.index}]")
+            else:
+                out.append(f"{c.value}(token[{c.index}])")
+        return " + ".join(out)
+
+
+def _candidate_components(text: str, target_piece: str) -> list[Component]:
+    """All components that produce ``target_piece`` from ``text``."""
+    out: list[Component] = [Component("const", value=target_piece)]
+    words = [t for t in _tokens(text) if t.strip() and t[0].isalnum()]
+    for i, token in enumerate(words):
+        for index in (i, i - len(words)):  # absolute and end-relative
+            if token == target_piece:
+                out.append(Component("token", index=index))
+            if token.upper() == target_piece:
+                out.append(Component("case_token", value="upper", index=index))
+            if token.lower() == target_piece:
+                out.append(Component("case_token", value="lower", index=index))
+            if token.capitalize() == target_piece:
+                out.append(Component("case_token", value="title", index=index))
+            if target_piece == token[0].lower():
+                out.append(Component("case_token", value="initial", index=index))
+            if target_piece == token[0].upper():
+                out.append(Component("case_token", value="initial_upper", index=index))
+    return out
+
+
+def _split_output(output: str) -> list[str]:
+    """Output pieces: tokens with their delimiters kept as const pieces."""
+    return [p for p in _TOKEN_RE.findall(output) if p != ""]
+
+
+def synthesize_program(examples: list[tuple[str, str]],
+                       max_pieces: int = 8) -> StringProgram:
+    """Synthesize a program consistent with every example.
+
+    Raises :class:`ConvergenceError` when no program in the space explains
+    all the examples.
+    """
+    if not examples:
+        raise ValueError("need at least one example")
+    first_in, first_out = examples[0]
+    pieces = _split_output(first_out)
+    if len(pieces) > max_pieces:
+        raise ConvergenceError(
+            f"output needs {len(pieces)} pieces; max is {max_pieces}"
+        )
+    # Candidates per piece from the first example, filtered by the rest.
+    chosen: list[Component] = []
+    for piece_index, piece in enumerate(pieces):
+        candidates = _candidate_components(first_in, piece)
+        survivors = []
+        for candidate in candidates:
+            ok = True
+            for text, output in examples[1:]:
+                expected = _split_output(output)
+                if len(expected) != len(pieces):
+                    raise ConvergenceError(
+                        "examples have different output shapes"
+                    )
+                if candidate.apply(text) != expected[piece_index]:
+                    ok = False
+                    break
+            if ok:
+                survivors.append(candidate)
+        if not survivors:
+            raise ConvergenceError(
+                f"no component explains output piece {piece!r} in all examples"
+            )
+        # Prefer generalizing components over constants.
+        survivors.sort(key=lambda c: (c.kind == "const", abs(c.index)))
+        chosen.append(survivors[0])
+    return StringProgram(tuple(chosen))
+
+
+def transform_column(values: list[str | None],
+                     examples: list[tuple[str, str]]) -> list[str | None]:
+    """Synthesize from ``examples`` and apply to every non-null value.
+
+    Values the program cannot process pass through unchanged.
+    """
+    program = synthesize_program(examples)
+    out: list[str | None] = []
+    for value in values:
+        if value is None:
+            out.append(None)
+            continue
+        transformed = program.apply(value)
+        out.append(transformed if transformed is not None else value)
+    return out
+
+
+TransformFn = Callable[[str], str | None]

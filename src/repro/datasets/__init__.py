@@ -1,0 +1,46 @@
+"""Seeded synthetic datasets: the world, EM benchmarks, dirty tables,
+column corpora, ML tasks."""
+
+from repro.datasets.columns import COLUMN_TYPES, ColumnSample, make_column_corpus
+from repro.datasets.dirty import (
+    ERROR_KINDS,
+    DirtyTable,
+    InjectedError,
+    make_dirty,
+    products_table,
+    restaurants_table,
+)
+from repro.datasets.em import (
+    EMDataset,
+    Record,
+    make_em_dataset,
+    papers_em,
+    products_em,
+    restaurants_em,
+)
+from repro.datasets.mltasks import MLTask, make_ml_task, task_suite
+from repro.datasets.world import World, make_world, world_corpus
+
+__all__ = [
+    "COLUMN_TYPES",
+    "ColumnSample",
+    "DirtyTable",
+    "EMDataset",
+    "ERROR_KINDS",
+    "InjectedError",
+    "MLTask",
+    "Record",
+    "World",
+    "make_column_corpus",
+    "make_dirty",
+    "make_em_dataset",
+    "make_ml_task",
+    "make_world",
+    "papers_em",
+    "products_em",
+    "products_table",
+    "restaurants_em",
+    "restaurants_table",
+    "task_suite",
+    "world_corpus",
+]

@@ -1,0 +1,138 @@
+"""Labeled-column corpus for column type annotation (Sherlock/Doduo-style).
+
+Columns are drawn from the world's three domains; each sample carries the
+values, an (often unhelpful or missing) header, the surrounding table's other
+columns as context, and the ground-truth semantic type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.world import World
+
+#: The semantic type label set.
+COLUMN_TYPES = [
+    "product_name", "brand", "category", "price", "storage", "release_year",
+    "restaurant_name", "cuisine", "city", "address", "phone",
+    "paper_title", "authors", "venue", "year",
+]
+
+#: Types whose value distributions are indistinguishable from another type's
+#: (release_year vs year) — only table context can tell them apart, which is
+#: what the Doduo-style annotator exploits.
+AMBIGUOUS_TYPES = {"release_year", "year"}
+
+#: Deliberately uninformative headers some tables use (the hard case that
+#: forces models to read the values).
+GENERIC_HEADERS = ["col1", "field", "value", "data", "attr", "x"]
+
+_DOMAIN_OF_TYPE = {
+    "product_name": "products", "brand": "products", "category": "products",
+    "price": "products", "storage": "products", "release_year": "products",
+    "restaurant_name": "restaurants", "cuisine": "restaurants",
+    "city": "restaurants", "address": "restaurants", "phone": "restaurants",
+    "paper_title": "papers", "authors": "papers", "venue": "papers",
+    "year": "papers",
+}
+
+
+@dataclass
+class ColumnSample:
+    """One labeled column with its table context."""
+
+    values: list[str]
+    header: str | None
+    context_values: list[str] = field(default_factory=list)
+    label: str = ""
+    domain: str = ""
+
+    def serialized(self, include_context: bool = False, max_values: int = 8) -> str:
+        """Flat text for PLM annotators; Doduo sets ``include_context``."""
+        parts = []
+        if self.header:
+            parts.append(f"header {self.header}")
+        parts.append("values " + " ".join(self.values[:max_values]))
+        if include_context and self.context_values:
+            parts.append("context " + " ".join(self.context_values[:max_values]))
+        return " ".join(parts)
+
+
+def _column_pools(world: World) -> dict[str, list[str]]:
+    return {
+        "product_name": [p.name for p in world.products],
+        "brand": [p.brand for p in world.products],
+        "category": [p.category for p in world.products],
+        "price": [f"{p.price:.2f}" for p in world.products],
+        "storage": [f"{p.storage_gb} gb" for p in world.products],
+        # Same distribution as papers' publication years on purpose.
+        "release_year": [str(2005 + (i * 7) % 18) for i in range(len(world.products))],
+        "restaurant_name": [r.name for r in world.restaurants],
+        "cuisine": [r.cuisine for r in world.restaurants],
+        "city": [r.city for r in world.restaurants],
+        "address": [r.address for r in world.restaurants],
+        "phone": [r.phone for r in world.restaurants],
+        "paper_title": [p.title for p in world.papers],
+        "authors": [", ".join(p.authors) for p in world.papers],
+        "venue": [p.venue for p in world.papers],
+        "year": [str(p.year) for p in world.papers],
+    }
+
+_HEADER_CHOICES = {
+    "product_name": ["name", "product", "item"],
+    "brand": ["brand", "maker", "mfr"],
+    "category": ["category", "type", "kind"],
+    "price": ["price", "cost", "amount"],
+    "storage": ["storage", "capacity"],
+    "release_year": ["year", "yr", "released"],
+    "restaurant_name": ["name", "restaurant", "place"],
+    "cuisine": ["cuisine", "food", "style"],
+    "city": ["city", "town", "location"],
+    "address": ["address", "street", "addr"],
+    "phone": ["phone", "tel", "contact"],
+    "paper_title": ["title", "paper"],
+    "authors": ["authors", "writers", "by"],
+    "venue": ["venue", "conference", "where"],
+    "year": ["year", "yr", "date"],
+}
+
+
+def make_column_corpus(world: World, num_columns: int = 200,
+                       values_per_column: int = 8, seed: int = 0,
+                       generic_header_prob: float = 0.4,
+                       missing_header_prob: float = 0.2) -> list[ColumnSample]:
+    """Sample ``num_columns`` labeled columns with realistic header noise."""
+    rng = np.random.default_rng(seed)
+    pools = _column_pools(world)
+    samples: list[ColumnSample] = []
+    types = list(COLUMN_TYPES)
+    for i in range(num_columns):
+        label = types[i % len(types)]
+        pool = pools[label]
+        idx = rng.choice(len(pool), size=min(values_per_column, len(pool)), replace=False)
+        values = [pool[int(j)] for j in idx]
+        roll = rng.random()
+        if roll < missing_header_prob:
+            header = None
+        elif roll < missing_header_prob + generic_header_prob:
+            header = GENERIC_HEADERS[int(rng.integers(len(GENERIC_HEADERS)))]
+        else:
+            choices = _HEADER_CHOICES[label]
+            header = choices[int(rng.integers(len(choices)))]
+        domain = _DOMAIN_OF_TYPE[label]
+        # Context: values from sibling columns of the same domain table.
+        siblings = [t for t in types if t != label and _DOMAIN_OF_TYPE[t] == domain]
+        context: list[str] = []
+        for sibling in siblings:
+            sibling_pool = pools[sibling]
+            context.append(sibling_pool[int(rng.integers(len(sibling_pool)))])
+        samples.append(
+            ColumnSample(
+                values=values, header=header, context_values=context,
+                label=label, domain=domain,
+            )
+        )
+    rng.shuffle(samples)
+    return samples

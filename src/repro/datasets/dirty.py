@@ -1,0 +1,144 @@
+"""Dirty-table generator with cell-level ground truth.
+
+Takes clean tables derived from the world and injects the error classes the
+cleaning literature catalogues — typos, case/format noise, FD violations,
+missing values, numeric outliers — while recording every injected error, so
+detection and repair can be scored exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.datasets.em import typo
+from repro.datasets.world import CITIES, World
+from repro.table import Table
+
+#: The error classes this generator can inject.
+ERROR_KINDS = ("typo", "case", "whitespace", "fd_violation", "missing", "outlier")
+
+
+@dataclass(frozen=True)
+class InjectedError:
+    """Ground truth for one corrupted cell."""
+
+    row: int
+    column: str
+    kind: str
+    clean_value: Any
+    dirty_value: Any
+
+
+@dataclass
+class DirtyTable:
+    """A corrupted table plus its clean original and the error log."""
+
+    clean: Table
+    dirty: Table
+    errors: list[InjectedError] = field(default_factory=list)
+
+    @property
+    def error_cells(self) -> set[tuple[int, str]]:
+        return {(e.row, e.column) for e in self.errors}
+
+    def errors_of_kind(self, kind: str) -> list[InjectedError]:
+        return [e for e in self.errors if e.kind == kind]
+
+
+def restaurants_table(world: World) -> Table:
+    """The clean restaurants table (with the city→state FD baked in)."""
+    return Table.from_rows(
+        [
+            (r.uid, r.name, r.cuisine, r.city, r.state, r.address, r.phone,
+             float(np.round(20 + 60 * (hash(r.uid) % 100) / 100.0, 2)))
+            for r in world.restaurants
+        ],
+        names=["uid", "name", "cuisine", "city", "state", "address", "phone",
+               "avg_price"],
+    )
+
+
+def products_table(world: World) -> Table:
+    return Table.from_rows(
+        [
+            (p.uid, p.name, p.brand, p.category, p.price, p.storage_gb)
+            for p in world.products
+        ],
+        names=["uid", "name", "brand", "category", "price", "storage_gb"],
+    )
+
+
+def make_dirty(table: Table, error_rate: float = 0.2, seed: int = 0,
+               kinds: tuple[str, ...] = ERROR_KINDS,
+               text_columns: tuple[str, ...] | None = None,
+               fd: tuple[str, str] | None = ("city", "state"),
+               numeric_columns: tuple[str, ...] = ("avg_price", "price")) -> DirtyTable:
+    """Corrupt ``error_rate`` of the rows of ``table``.
+
+    Each selected row gets exactly one error of a kind sampled from
+    ``kinds`` (kinds inapplicable to the table are skipped).  ``fd`` names a
+    (determinant, dependent) pair used for FD violations.
+    """
+    unknown = [k for k in kinds if k not in ERROR_KINDS]
+    if unknown:
+        raise ValueError(f"unknown error kinds: {unknown}")
+    rng = np.random.default_rng(seed)
+    dirty = table
+    errors: list[InjectedError] = []
+    if text_columns is None:
+        text_columns = tuple(
+            c for c in table.schema.names
+            if table.schema.dtype_of(c) == "str" and c != "uid"
+        )
+    usable_numeric = [
+        c for c in numeric_columns if c in table.schema
+    ]
+    state_pool = sorted({state for _city, state in CITIES})
+    num_errors = int(round(table.num_rows * error_rate))
+    rows = rng.choice(table.num_rows, size=min(num_errors, table.num_rows),
+                      replace=False)
+    for row in sorted(int(r) for r in rows):
+        applicable = [
+            k for k in kinds
+            if not (k == "fd_violation" and (fd is None or fd[1] not in table.schema))
+            and not (k == "outlier" and not usable_numeric)
+        ]
+        kind = applicable[int(rng.integers(len(applicable)))]
+        if kind == "fd_violation":
+            column = fd[1]
+            clean_value = dirty.cell(row, column)
+            choices = [s for s in state_pool if s != clean_value]
+            dirty_value = choices[int(rng.integers(len(choices)))]
+        elif kind == "outlier":
+            column = usable_numeric[int(rng.integers(len(usable_numeric)))]
+            clean_value = dirty.cell(row, column)
+            if clean_value is None:
+                continue
+            dirty_value = round(float(clean_value) * float(rng.uniform(15, 40)), 2)
+        elif kind == "missing":
+            column = text_columns[int(rng.integers(len(text_columns)))]
+            clean_value = dirty.cell(row, column)
+            dirty_value = None
+        else:
+            column = text_columns[int(rng.integers(len(text_columns)))]
+            clean_value = dirty.cell(row, column)
+            if clean_value is None:
+                continue
+            text = str(clean_value)
+            if kind == "typo":
+                dirty_value = typo(text, rng)
+                if dirty_value == text:
+                    continue
+            elif kind == "case":
+                dirty_value = text.upper()
+            else:  # whitespace
+                dirty_value = "  " + text.replace(" ", "  ") + " "
+        dirty = dirty.with_cell(row, column, dirty_value)
+        errors.append(
+            InjectedError(row=row, column=column, kind=kind,
+                          clean_value=clean_value, dirty_value=dirty_value)
+        )
+    return DirtyTable(clean=table, dirty=dirty, errors=errors)

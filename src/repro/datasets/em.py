@@ -1,0 +1,389 @@
+"""Entity-matching benchmark generators (the Abt-Buy / DBLP-Scholar /
+restaurants stand-ins).
+
+Each generator takes clean entities from the :mod:`~repro.datasets.world`
+catalogs and emits two *sources* that describe overlapping entities with
+source-specific noise: typos, brand aliases, dropped tokens, missing fields,
+numeric drift, format changes.  Ground truth (which record pairs co-refer) is
+returned alongside, so every matcher and blocker can be scored exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.world import BRAND_ALIASES, PRODUCT_CATEGORIES, World
+
+
+@dataclass(frozen=True)
+class Record:
+    """A (possibly dirty) record in one source."""
+
+    rid: str
+    attributes: dict[str, str | float | None]
+
+    def text(self) -> str:
+        """Flat text rendering used by text-based matchers and blockers."""
+        parts = []
+        for key, value in self.attributes.items():
+            if value is None:
+                continue
+            parts.append(f"{key}: {value}")
+        return " | ".join(parts)
+
+    def value_text(self) -> str:
+        """Values only (no attribute labels)."""
+        return " ".join(
+            str(v) for v in self.attributes.values() if v is not None
+        )
+
+
+@dataclass
+class EMDataset:
+    """Two sources plus ground-truth matches and labeled pairs."""
+
+    domain: str
+    source_a: list[Record]
+    source_b: list[Record]
+    matches: set[tuple[str, str]]  # (rid in A, rid in B)
+    attribute_names: list[str] = field(default_factory=list)
+
+    def record(self, rid: str) -> Record:
+        side = self.source_a if rid.endswith("a") else self.source_b
+        for record in side:
+            if record.rid == rid:
+                return record
+        raise KeyError(rid)
+
+    def all_pairs(self) -> list[tuple[Record, Record]]:
+        return [(a, b) for a in self.source_a for b in self.source_b]
+
+    def labeled_pairs(self, num_pairs: int, seed: int = 0,
+                      match_fraction: float = 0.35) -> list[tuple[Record, Record, int]]:
+        """A labeled sample of pairs for training matchers.
+
+        Negatives are *hard*: sampled from pairs sharing at least one token,
+        mirroring how real EM training sets are built from blocked candidates.
+        """
+        rng = np.random.default_rng(seed)
+        by_rid_a = {r.rid: r for r in self.source_a}
+        by_rid_b = {r.rid: r for r in self.source_b}
+        positives = [
+            (by_rid_a[a], by_rid_b[b], 1)
+            for a, b in sorted(self.matches)
+            if a in by_rid_a and b in by_rid_b
+        ]
+        rng.shuffle(positives)
+        num_pos = min(int(num_pairs * match_fraction), len(positives))
+        sample = positives[:num_pos]
+
+        negatives: list[tuple[Record, Record, int]] = []
+        token_index: dict[str, list[Record]] = {}
+        for record in self.source_b:
+            for token in sorted(set(record.value_text().lower().split())):
+                token_index.setdefault(token, []).append(record)
+        attempts = 0
+        seen: set[tuple[str, str]] = set()
+        order = rng.permutation(len(self.source_a))
+        while len(negatives) < num_pairs - num_pos and attempts < num_pairs * 30:
+            attempts += 1
+            a = self.source_a[int(order[attempts % len(order)])]
+            tokens = sorted(set(a.value_text().lower().split()))
+            if not tokens:
+                continue
+            token = tokens[int(rng.integers(len(tokens)))]
+            bucket = token_index.get(token, [])
+            if not bucket:
+                continue
+            b = bucket[int(rng.integers(len(bucket)))]
+            key = (a.rid, b.rid)
+            if key in seen or key in self.matches:
+                continue
+            seen.add(key)
+            negatives.append((a, b, 0))
+        combined = sample + negatives
+        rng.shuffle(combined)
+        return combined
+
+
+# -- noise functions --------------------------------------------------------------
+
+
+def typo(text: str, rng: np.random.Generator) -> str:
+    """One character-level error: swap, drop, or duplicate."""
+    if len(text) < 3:
+        return text
+    i = int(rng.integers(1, len(text) - 1))
+    kind = int(rng.integers(3))
+    if kind == 0:  # swap
+        chars = list(text)
+        chars[i], chars[i - 1] = chars[i - 1], chars[i]
+        return "".join(chars)
+    if kind == 1:  # drop
+        return text[:i] + text[i + 1 :]
+    return text[:i] + text[i] + text[i:]  # duplicate
+
+
+def drop_token(text: str, rng: np.random.Generator) -> str:
+    tokens = text.split()
+    if len(tokens) < 2:
+        return text
+    i = int(rng.integers(len(tokens)))
+    return " ".join(t for j, t in enumerate(tokens) if j != i)
+
+
+def alias_brand(brand: str, rng: np.random.Generator) -> str:
+    aliases = BRAND_ALIASES.get(brand)
+    if not aliases:
+        return brand
+    return aliases[int(rng.integers(len(aliases)))]
+
+
+def synonym_category(category: str, rng: np.random.Generator) -> str:
+    synonyms = PRODUCT_CATEGORIES.get(category)
+    if not synonyms:
+        return category
+    return synonyms[int(rng.integers(len(synonyms)))]
+
+
+# -- generators -----------------------------------------------------------------------
+
+#: Filler tokens catalog feeds attach to listings ("official", "free
+#: shipping"…).  With ``boilerplate > 0`` each record gains a few of these,
+#: which compresses the similarity gap between matches and non-matches — the
+#: covariate shift the domain-adaptation experiments (E10) bridge.
+BOILERPLATE_TOKENS = [
+    "new", "sale", "official", "item", "free", "shipping", "deal", "listing",
+]
+
+
+def _add_boilerplate(text: str, intensity: float, rng: np.random.Generator) -> str:
+    if intensity <= 0 or rng.random() > intensity:
+        return text
+    count = int(rng.integers(2, 4))
+    extras = [
+        BOILERPLATE_TOKENS[int(rng.integers(len(BOILERPLATE_TOKENS)))]
+        for _ in range(count)
+    ]
+    return f"{text} {' '.join(extras)}"
+
+
+def products_em(world: World, overlap: float = 0.6, seed: int = 0,
+                noise: float = 0.8, boilerplate: float = 0.0) -> EMDataset:
+    """Product catalogs from two retailers (the Abt-Buy shape).
+
+    Source A is near-clean; source B aliases brands, shortens names, drifts
+    prices a little and drops fields, with probability ``noise`` per record.
+    """
+    rng = np.random.default_rng(seed)
+    matches: set[tuple[str, str]] = set()
+    source_a: list[Record] = []
+    source_b: list[Record] = []
+    for i, product in enumerate(world.products):
+        rid_a = f"{product.uid}-a"
+        source_a.append(
+            Record(
+                rid=rid_a,
+                attributes={
+                    "name": _add_boilerplate(product.name, boilerplate, rng),
+                    "brand": product.brand,
+                    "category": product.category,
+                    "price": round(product.price, 2),
+                    "storage": f"{product.storage_gb} gb",
+                },
+            )
+        )
+        if rng.random() > overlap:
+            continue
+        rid_b = f"{product.uid}-b"
+        name = product.name
+        brand = product.brand
+        category = product.category
+        price = product.price
+        storage: str | None = f"{product.storage_gb}gb"
+        if rng.random() < noise:
+            roll = rng.random()
+            if roll < 0.3:
+                brand = alias_brand(product.brand, rng)
+                name = f"{brand} {product.line} {product.model_number}"
+            elif roll < 0.5:
+                name = typo(name, rng)
+            elif roll < 0.7:
+                name = drop_token(name, rng)
+            if rng.random() < 0.5:
+                category = synonym_category(product.category, rng)
+            if rng.random() < 0.4:
+                price = round(price * float(rng.uniform(0.97, 1.03)), 2)
+            if rng.random() < 0.25:
+                storage = None
+        source_b.append(
+            Record(
+                rid=rid_b,
+                attributes={
+                    "name": _add_boilerplate(name, boilerplate, rng),
+                    "brand": brand,
+                    "category": category,
+                    "price": round(price, 2),
+                    "storage": storage,
+                },
+            )
+        )
+        matches.add((rid_a, rid_b))
+    # Unmatched extras in B: perturbed variants of other products.
+    extras = max(3, len(world.products) // 10)
+    for j in range(extras):
+        product = world.products[int(rng.integers(len(world.products)))]
+        source_b.append(
+            Record(
+                rid=f"x{j:03d}-b",
+                attributes={
+                    "name": _add_boilerplate(
+                        f"{product.brand} {product.line} "
+                        f"{chr(65 + int(rng.integers(6)))}{int(rng.integers(100, 999))}",
+                        boilerplate, rng,
+                    ),
+                    "brand": product.brand,
+                    "category": product.category,
+                    "price": round(float(rng.uniform(79, 2999)), 2),
+                    "storage": f"{int(rng.choice([64, 128, 256, 512]))} gb",
+                },
+            )
+        )
+    return EMDataset(
+        domain="products", source_a=source_a, source_b=source_b,
+        matches=matches,
+        attribute_names=["name", "brand", "category", "price", "storage"],
+    )
+
+
+def restaurants_em(world: World, overlap: float = 0.6, seed: int = 0,
+                   noise: float = 0.8, boilerplate: float = 0.0) -> EMDataset:
+    """Restaurant listings from two directories (the Fodors-Zagat shape)."""
+    rng = np.random.default_rng(seed)
+    matches: set[tuple[str, str]] = set()
+    source_a: list[Record] = []
+    source_b: list[Record] = []
+    for restaurant in world.restaurants:
+        rid_a = f"{restaurant.uid}-a"
+        source_a.append(
+            Record(
+                rid=rid_a,
+                attributes={
+                    "name": _add_boilerplate(restaurant.name, boilerplate, rng),
+                    "cuisine": restaurant.cuisine,
+                    "city": restaurant.city,
+                    "address": restaurant.address,
+                    "phone": restaurant.phone,
+                },
+            )
+        )
+        if rng.random() > overlap:
+            continue
+        rid_b = f"{restaurant.uid}-b"
+        name = restaurant.name
+        phone: str | None = restaurant.phone.replace("-", " ")
+        address = restaurant.address
+        if rng.random() < noise:
+            roll = rng.random()
+            if roll < 0.35:
+                name = typo(name, rng)
+            elif roll < 0.55:
+                name = name.replace("the ", "")
+            if rng.random() < 0.4:
+                address = address.replace(" street", " st")
+            if rng.random() < 0.3:
+                phone = None
+        source_b.append(
+            Record(
+                rid=rid_b,
+                attributes={
+                    "name": _add_boilerplate(name, boilerplate, rng),
+                    "cuisine": restaurant.cuisine,
+                    "city": restaurant.city,
+                    "address": address,
+                    "phone": phone,
+                },
+            )
+        )
+        matches.add((rid_a, rid_b))
+    return EMDataset(
+        domain="restaurants", source_a=source_a, source_b=source_b,
+        matches=matches,
+        attribute_names=["name", "cuisine", "city", "address", "phone"],
+    )
+
+
+def papers_em(world: World, overlap: float = 0.6, seed: int = 0,
+              noise: float = 0.8, boilerplate: float = 0.0) -> EMDataset:
+    """Bibliographic records from two indexes (the DBLP-Scholar shape)."""
+    rng = np.random.default_rng(seed)
+    matches: set[tuple[str, str]] = set()
+    source_a: list[Record] = []
+    source_b: list[Record] = []
+    for paper in world.papers:
+        rid_a = f"{paper.uid}-a"
+        source_a.append(
+            Record(
+                rid=rid_a,
+                attributes={
+                    "title": _add_boilerplate(paper.title, boilerplate, rng),
+                    "authors": ", ".join(paper.authors),
+                    "venue": paper.venue,
+                    "year": float(paper.year),
+                },
+            )
+        )
+        if rng.random() > overlap:
+            continue
+        rid_b = f"{paper.uid}-b"
+        title = paper.title
+        authors = paper.authors
+        venue: str | None = paper.venue
+        if rng.random() < noise:
+            roll = rng.random()
+            if roll < 0.35:
+                title = typo(title, rng)
+            elif roll < 0.55:
+                title = drop_token(title, rng)
+            if rng.random() < 0.5:
+                # Abbreviate author first names: "wei chen" -> "w chen".
+                authors = tuple(
+                    f"{a.split()[0][0]} {a.split()[-1]}" if " " in a else a
+                    for a in authors
+                )
+            if rng.random() < 0.3:
+                venue = None
+        source_b.append(
+            Record(
+                rid=rid_b,
+                attributes={
+                    "title": _add_boilerplate(title, boilerplate, rng),
+                    "authors": ", ".join(authors),
+                    "venue": venue,
+                    "year": float(paper.year),
+                },
+            )
+        )
+        matches.add((rid_a, rid_b))
+    return EMDataset(
+        domain="papers", source_a=source_a, source_b=source_b,
+        matches=matches,
+        attribute_names=["title", "authors", "venue", "year"],
+    )
+
+
+GENERATORS: dict[str, Callable[..., EMDataset]] = {
+    "products": products_em,
+    "restaurants": restaurants_em,
+    "papers": papers_em,
+}
+
+
+def make_em_dataset(domain: str, world: World, **kwargs) -> EMDataset:
+    """Dispatch to the domain generator; raises KeyError for unknown domains."""
+    if domain not in GENERATORS:
+        raise KeyError(f"unknown EM domain {domain!r}; options: {sorted(GENERATORS)}")
+    return GENERATORS[domain](world, **kwargs)

@@ -1,0 +1,130 @@
+"""Supervised ML tasks whose accuracy depends on data preparation.
+
+Each task is a classification problem with injected preparation problems —
+missing values, wild scales, outliers, irrelevant features, and (optionally)
+label-relevant feature *interactions* — so that different preparation
+pipelines genuinely change downstream accuracy, which is what the §3.3
+search experiments optimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class MLTask:
+    """A dirty supervised dataset plus metadata describing its pathologies."""
+
+    name: str
+    X: np.ndarray  # may contain NaN
+    y: np.ndarray
+    pathologies: list[str] = field(default_factory=list)
+
+    @property
+    def num_features(self) -> int:
+        return self.X.shape[1]
+
+    def meta_features(self) -> np.ndarray:
+        """Dataset statistics used by meta-learning search (E13).
+
+        [n rows (log), n features, missing fraction, mean |skew| proxy,
+        scale spread (log max/min std), class balance, distinct-label count]
+        """
+        X, y = self.X, self.y
+        missing = float(np.isnan(X).mean())
+        filled = np.nan_to_num(X)
+        stds = filled.std(axis=0)
+        stds = stds[stds > 0]
+        scale_spread = float(np.log10(stds.max() / stds.min())) if len(stds) else 0.0
+        centered = filled - filled.mean(axis=0)
+        denom = filled.std(axis=0) ** 3
+        skew = np.where(denom > 0, np.abs((centered**3).mean(axis=0)) / np.maximum(denom, 1e-9), 0.0)
+        # Median + log1p: per-feature skewness explodes under outliers, and
+        # an unbounded statistic would dominate meta-feature distances.
+        skew_stat = float(np.log1p(np.median(skew)))
+        counts = np.bincount(y.astype(int))
+        balance = counts.min() / counts.max() if counts.max() else 0.0
+        return np.array([
+            np.log10(len(X)), X.shape[1], missing, skew_stat,
+            scale_spread, balance, len(np.unique(y)),
+        ])
+
+
+def make_ml_task(
+    name: str = "task",
+    n_samples: int = 300,
+    n_informative: int = 4,
+    n_noise: int = 6,
+    interaction: bool = False,
+    missing_rate: float = 0.1,
+    outlier_rate: float = 0.02,
+    scale_spread: float = 3.0,
+    n_classes: int = 2,
+    seed: int = 0,
+) -> MLTask:
+    """Generate one dirty classification task.
+
+    ``interaction=True`` makes the label depend on a *product* of two
+    informative features — invisible to linear models unless the pipeline
+    adds polynomial features (the "blind spot" operator of §3.3(1)).
+    """
+    rng = np.random.default_rng(seed)
+    pathologies: list[str] = []
+    informative = rng.normal(size=(n_samples, n_informative))
+    weights = rng.normal(size=n_informative)
+    logits = informative @ weights
+    if interaction:
+        logits = logits * 0.4 + 2.5 * informative[:, 0] * informative[:, 1]
+        pathologies.append("interaction")
+    if n_classes == 2:
+        y = (logits + 0.35 * rng.normal(size=n_samples) > np.median(logits)).astype(int)
+    else:
+        quantiles = np.quantile(logits, np.linspace(0, 1, n_classes + 1)[1:-1])
+        y = np.digitize(logits, quantiles)
+
+    noise = rng.normal(size=(n_samples, n_noise))
+    X = np.hstack([informative, noise])
+    if n_noise:
+        pathologies.append("irrelevant-features")
+
+    # Wild per-feature scales (hurts kNN and unregularized linear models).
+    scales = 10.0 ** rng.uniform(-scale_spread / 2, scale_spread / 2, size=X.shape[1])
+    X = X * scales
+    if scale_spread > 0:
+        pathologies.append("scale-spread")
+
+    # Outliers: a few cells get multiplied far out of range.
+    if outlier_rate > 0:
+        mask = rng.random(X.shape) < outlier_rate
+        X = np.where(mask, X * rng.uniform(20, 60, size=X.shape), X)
+        pathologies.append("outliers")
+
+    # Missing completely at random.
+    if missing_rate > 0:
+        holes = rng.random(X.shape) < missing_rate
+        X = np.where(holes, np.nan, X)
+        pathologies.append("missing")
+
+    order = rng.permutation(X.shape[1])
+    return MLTask(name=name, X=X[:, order], y=y, pathologies=pathologies)
+
+
+def task_suite(seed: int = 0, n_samples: int = 240) -> list[MLTask]:
+    """A small heterogeneous benchmark suite for the search experiments."""
+    return [
+        make_ml_task("clean-linear", n_samples=n_samples, missing_rate=0.0,
+                     outlier_rate=0.0, scale_spread=0.5, seed=seed),
+        make_ml_task("missing-heavy", n_samples=n_samples, missing_rate=0.25,
+                     outlier_rate=0.0, seed=seed + 1),
+        make_ml_task("outlier-heavy", n_samples=n_samples, missing_rate=0.05,
+                     outlier_rate=0.08, seed=seed + 2),
+        make_ml_task("interaction", n_samples=n_samples, interaction=True,
+                     missing_rate=0.05, outlier_rate=0.0, seed=seed + 3),
+        make_ml_task("noisy-wide", n_samples=n_samples, n_noise=16,
+                     missing_rate=0.1, seed=seed + 4),
+        make_ml_task("multiclass", n_samples=n_samples, n_classes=3,
+                     missing_rate=0.1, seed=seed + 5),
+    ]

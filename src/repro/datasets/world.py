@@ -1,0 +1,405 @@
+"""A seeded synthetic world shared by every layer of the library.
+
+The tutorial's premise is that foundation models and PLMs help data
+preparation because they absorbed *real-world knowledge* from a large corpus.
+To reproduce that offline we synthesize the world explicitly:
+
+- entity catalogs (products, restaurants, academic papers) with attributes;
+- encyclopedic facts (capitals, currencies, brand→country, unit ratios);
+- a text corpus generator that verbalizes the world into sentences.
+
+The embedding trainers and the PLM pre-train on the corpus; the simulated
+foundation model's fact store is loaded from the same facts; the entity
+matching datasets are dirty views of the same catalogs.  Because they share
+one world, "the model knows that *IBM* and *International Business Machines*
+co-refer" holds here for the same reason it holds for GPT-3: both strings
+co-occur in its training corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+# -- vocabulary of the world ---------------------------------------------------
+
+BRANDS = [
+    ("apex", "united states"), ("lumina", "japan"), ("nordfell", "sweden"),
+    ("vertex", "germany"), ("solara", "south korea"), ("quanta", "taiwan"),
+    ("zephyr", "united states"), ("orbita", "france"), ("kitsune", "japan"),
+    ("polaris", "finland"), ("meridian", "canada"), ("tundra", "norway"),
+]
+
+#: Brand aliases: the "world knowledge" that abbreviations co-refer.
+BRAND_ALIASES = {
+    "apex": ["apex technologies", "apex tech"],
+    "lumina": ["lumina electronics", "lumina corp"],
+    "nordfell": ["nordfell ab"],
+    "vertex": ["vertex gmbh", "vertex systems"],
+    "solara": ["solara digital"],
+    "quanta": ["quanta devices"],
+    "zephyr": ["zephyr labs"],
+    "orbita": ["orbita sa"],
+    "kitsune": ["kitsune works"],
+    "polaris": ["polaris oy"],
+    "meridian": ["meridian inc"],
+    "tundra": ["tundra as"],
+}
+
+PRODUCT_CATEGORIES = {
+    "laptop": ["ultrabook", "notebook"],
+    "phone": ["smartphone", "handset"],
+    "camera": ["dslr", "mirrorless"],
+    "monitor": ["display", "screen"],
+    "tablet": ["slate"],
+    "printer": ["inkjet", "laser printer"],
+    "router": ["wireless router"],
+    "keyboard": ["mechanical keyboard"],
+}
+
+PRODUCT_LINES = [
+    "pro", "air", "max", "ultra", "mini", "plus", "neo", "prime", "edge", "core",
+]
+
+CUISINES = [
+    "italian", "japanese", "mexican", "thai", "french", "indian",
+    "greek", "korean", "vietnamese", "spanish",
+]
+
+CITIES = [
+    ("seattle", "washington"), ("portland", "oregon"), ("austin", "texas"),
+    ("boston", "massachusetts"), ("denver", "colorado"), ("chicago", "illinois"),
+    ("atlanta", "georgia"), ("madison", "wisconsin"), ("tucson", "arizona"),
+    ("raleigh", "north carolina"),
+]
+
+STREET_NAMES = [
+    "main", "oak", "pine", "maple", "cedar", "elm", "lake", "hill", "park", "river",
+]
+
+RESTAURANT_WORDS = [
+    "kitchen", "bistro", "house", "table", "garden", "corner", "grill", "cafe",
+    "tavern", "room",
+]
+
+VENUES = ["sigmod", "vldb", "icde", "kdd", "neurips", "icml", "acl", "www"]
+
+RESEARCH_TOPICS = [
+    "entity matching", "data cleaning", "schema mapping", "query optimization",
+    "data discovery", "missing value imputation", "data integration",
+    "representation learning", "pipeline orchestration", "data augmentation",
+]
+
+FIRST_NAMES = [
+    "wei", "maria", "james", "yuki", "ahmed", "elena", "carlos", "nina",
+    "david", "mei", "tomas", "laila", "ivan", "sara", "omar", "claire",
+]
+
+LAST_NAMES = [
+    "chen", "garcia", "smith", "tanaka", "hassan", "petrov", "rossi", "kim",
+    "mueller", "liu", "novak", "silva", "kowalski", "berg", "okafor", "dubois",
+]
+
+#: Encyclopedic facts the foundation model "knows" (subject, relation, object).
+COUNTRY_CAPITALS = {
+    "united states": "washington dc", "japan": "tokyo", "sweden": "stockholm",
+    "germany": "berlin", "south korea": "seoul", "taiwan": "taipei",
+    "france": "paris", "finland": "helsinki", "canada": "ottawa",
+    "norway": "oslo", "italy": "rome", "spain": "madrid",
+}
+
+COUNTRY_CURRENCIES = {
+    "united states": "dollar", "japan": "yen", "sweden": "krona",
+    "germany": "euro", "south korea": "won", "taiwan": "taiwan dollar",
+    "france": "euro", "finland": "euro", "canada": "canadian dollar",
+    "norway": "krone", "italy": "euro", "spain": "euro",
+}
+
+#: Exchange rates into USD (fictional but fixed — the MRKL converter's table).
+CURRENCY_TO_USD = {
+    "dollar": 1.0, "yen": 0.008, "krona": 0.1, "euro": 1.1, "won": 0.00075,
+    "taiwan dollar": 0.032, "canadian dollar": 0.75, "krone": 0.095,
+}
+
+#: Unit conversion ratios (value in base unit).
+UNIT_RATIOS = {
+    ("km", "miles"): 0.621371,
+    ("kg", "pounds"): 2.20462,
+    ("celsius", "fahrenheit"): None,  # affine, handled specially
+    ("gb", "mb"): 1024.0,
+    ("hours", "minutes"): 60.0,
+}
+
+
+@dataclass(frozen=True)
+class Product:
+    """A ground-truth product entity (before any dirtying)."""
+
+    uid: str
+    brand: str
+    category: str
+    line: str
+    model_number: str
+    price: float
+    screen_inches: float
+    storage_gb: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.brand} {self.line} {self.model_number}"
+
+    def describe(self) -> str:
+        return (
+            f"{self.brand} {self.line} {self.model_number} {self.category} "
+            f"{self.screen_inches} inch {self.storage_gb} gb"
+        )
+
+
+@dataclass(frozen=True)
+class Restaurant:
+    """A ground-truth restaurant entity."""
+
+    uid: str
+    name: str
+    cuisine: str
+    city: str
+    state: str
+    street_number: int
+    street: str
+    phone: str
+
+    @property
+    def address(self) -> str:
+        return f"{self.street_number} {self.street} street"
+
+
+@dataclass(frozen=True)
+class Paper:
+    """A ground-truth academic-paper entity."""
+
+    uid: str
+    title: str
+    authors: tuple[str, ...]
+    venue: str
+    year: int
+
+
+@dataclass
+class World:
+    """The full synthetic world: catalogs + facts."""
+
+    seed: int
+    products: list[Product] = field(default_factory=list)
+    restaurants: list[Restaurant] = field(default_factory=list)
+    papers: list[Paper] = field(default_factory=list)
+
+    def facts(self) -> list[tuple[str, str, str]]:
+        """All (subject, relation, object) facts as of 'training time'."""
+        out: list[tuple[str, str, str]] = []
+        for brand, country in BRANDS:
+            out.append((brand, "headquartered_in", country))
+            for alias in BRAND_ALIASES[brand]:
+                out.append((alias, "alias_of", brand))
+        for city, state in CITIES:
+            out.append((city, "city_in_state", state))
+        for country, capital in COUNTRY_CAPITALS.items():
+            out.append((country, "capital", capital))
+        for country, currency in COUNTRY_CURRENCIES.items():
+            out.append((country, "currency", currency))
+        for category, synonyms in PRODUCT_CATEGORIES.items():
+            for syn in synonyms:
+                out.append((syn, "synonym_of", category))
+        for product in self.products:
+            out.append((product.name, "is_a", product.category))
+            out.append((product.name, "made_by", product.brand))
+        for restaurant in self.restaurants:
+            out.append((restaurant.name, "located_in", restaurant.city))
+            out.append((restaurant.name, "serves", restaurant.cuisine))
+        for paper in self.papers:
+            out.append((paper.title, "published_at", paper.venue))
+            out.append((paper.title, "published_in", str(paper.year)))
+        return out
+
+
+def make_world(seed: int = 0, num_products: int = 150,
+               num_restaurants: int = 120, num_papers: int = 120) -> World:
+    """Deterministically build a :class:`World` from ``seed``."""
+    rng = np.random.default_rng(seed)
+    world = World(seed=seed)
+
+    categories = list(PRODUCT_CATEGORIES)
+    seen_models: set[str] = set()
+    for i in range(num_products):
+        brand, _country = BRANDS[int(rng.integers(len(BRANDS)))]
+        category = categories[int(rng.integers(len(categories)))]
+        line = PRODUCT_LINES[int(rng.integers(len(PRODUCT_LINES)))]
+        while True:
+            model_number = f"{chr(65 + int(rng.integers(6)))}{int(rng.integers(100, 999))}"
+            key = f"{brand}-{line}-{model_number}"
+            if key not in seen_models:
+                seen_models.add(key)
+                break
+        world.products.append(
+            Product(
+                uid=f"p{i:04d}",
+                brand=brand,
+                category=category,
+                line=line,
+                model_number=model_number,
+                price=float(np.round(rng.uniform(79, 2999), 2)),
+                screen_inches=float(np.round(rng.uniform(5, 32), 1)),
+                storage_gb=int(rng.choice([64, 128, 256, 512, 1024])),
+            )
+        )
+
+    seen_restaurants: set[str] = set()
+    for i in range(num_restaurants):
+        city, state = CITIES[int(rng.integers(len(CITIES)))]
+        cuisine = CUISINES[int(rng.integers(len(CUISINES)))]
+        while True:
+            word = RESTAURANT_WORDS[int(rng.integers(len(RESTAURANT_WORDS)))]
+            adjective = STREET_NAMES[int(rng.integers(len(STREET_NAMES)))]
+            name = f"the {adjective} {word}"
+            if name not in seen_restaurants:
+                seen_restaurants.add(name)
+                break
+            name = f"{cuisine} {word} {int(rng.integers(2, 99))}"
+            if name not in seen_restaurants:
+                seen_restaurants.add(name)
+                break
+        world.restaurants.append(
+            Restaurant(
+                uid=f"r{i:04d}",
+                name=name,
+                cuisine=cuisine,
+                city=city,
+                state=state,
+                street_number=int(rng.integers(1, 999)),
+                street=STREET_NAMES[int(rng.integers(len(STREET_NAMES)))],
+                phone=f"{rng.integers(200, 999)}-{rng.integers(200, 999)}-{rng.integers(1000, 9999)}",
+            )
+        )
+
+    seen_titles: set[str] = set()
+    for i in range(num_papers):
+        topic = RESEARCH_TOPICS[int(rng.integers(len(RESEARCH_TOPICS)))]
+        style = int(rng.integers(3))
+        qualifier = ["scalable", "robust", "adaptive", "neural", "efficient"][
+            int(rng.integers(5))
+        ]
+        if style == 0:
+            title = f"{qualifier} {topic}"
+        elif style == 1:
+            title = f"{topic} with deep learning"
+        else:
+            title = f"towards {qualifier} {topic}"
+        if title in seen_titles:
+            title = f"{title} revisited {int(rng.integers(2, 9))}"
+        seen_titles.add(title)
+        num_authors = int(rng.integers(1, 4))
+        authors = tuple(
+            f"{FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))]} "
+            f"{LAST_NAMES[int(rng.integers(len(LAST_NAMES)))]}"
+            for _ in range(num_authors)
+        )
+        world.papers.append(
+            Paper(
+                uid=f"a{i:04d}",
+                title=title,
+                authors=authors,
+                venue=VENUES[int(rng.integers(len(VENUES)))],
+                year=int(rng.integers(2005, 2023)),
+            )
+        )
+    return world
+
+
+def world_corpus(world: World, sentences_per_fact: int = 2,
+                 seed: int = 1) -> list[str]:
+    """Verbalize the world into a training corpus.
+
+    Multiple templates per relation give embedding models varied contexts, so
+    related words (brand + alias, category + synonym) land near each other.
+    """
+    rng = np.random.default_rng(seed)
+    corpus: list[str] = []
+
+    def emit(templates: list[str], **kwargs: str) -> None:
+        for _ in range(sentences_per_fact):
+            template = templates[int(rng.integers(len(templates)))]
+            corpus.append(template.format(**kwargs))
+
+    for brand, country in BRANDS:
+        emit(
+            [
+                "{brand} is a company headquartered in {country}",
+                "the firm {brand} operates from {country}",
+                "{brand} products ship worldwide from {country}",
+            ],
+            brand=brand, country=country,
+        )
+        for alias in BRAND_ALIASES[brand]:
+            emit(
+                [
+                    "{alias} is also known as {brand}",
+                    "{brand} trades under the name {alias}",
+                    "customers call {alias} simply {brand}",
+                ],
+                alias=alias, brand=brand,
+            )
+    for category, synonyms in PRODUCT_CATEGORIES.items():
+        for syn in synonyms:
+            emit(
+                [
+                    "a {syn} is a kind of {category}",
+                    "shoppers searching for a {category} often type {syn}",
+                    "the {syn} category overlaps with {category}",
+                ],
+                syn=syn, category=category,
+            )
+    for country, capital in COUNTRY_CAPITALS.items():
+        emit(
+            [
+                "the capital of {country} is {capital}",
+                "{capital} is the capital city of {country}",
+            ],
+            country=country, capital=capital,
+        )
+    for country, currency in COUNTRY_CURRENCIES.items():
+        emit(
+            [
+                "the currency of {country} is the {currency}",
+                "people in {country} pay with the {currency}",
+            ],
+            country=country, currency=currency,
+        )
+    for product in world.products:
+        emit(
+            [
+                "the {name} is a {category} made by {brand}",
+                "{brand} sells the {name} which is a popular {category}",
+                "reviewers praised the {name} {category} for its {storage} gb storage",
+            ],
+            name=product.name, category=product.category,
+            brand=product.brand, storage=str(product.storage_gb),
+        )
+    for restaurant in world.restaurants:
+        emit(
+            [
+                "{name} is a {cuisine} restaurant in {city}",
+                "locals in {city} recommend {name} for {cuisine} food",
+            ],
+            name=restaurant.name, cuisine=restaurant.cuisine,
+            city=restaurant.city,
+        )
+    for paper in world.papers:
+        emit(
+            [
+                "the paper {title} appeared at {venue} in {year}",
+                "{venue} {year} included the paper {title}",
+            ],
+            title=paper.title, venue=paper.venue, year=str(paper.year),
+        )
+    rng.shuffle(corpus)
+    return corpus

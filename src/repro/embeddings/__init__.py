@@ -1,0 +1,8 @@
+"""First-generation PLMs: static word embeddings (skip-gram, GloVe, fastText)."""
+
+from repro.embeddings.fasttext import FastTextModel
+from repro.embeddings.glove import GloVeModel
+from repro.embeddings.skipgram import SkipGramModel
+from repro.embeddings.vocab import Vocab
+
+__all__ = ["FastTextModel", "GloVeModel", "SkipGramModel", "Vocab"]

@@ -1,0 +1,117 @@
+"""fastText-style subword embeddings (Bojanowski et al., 2017).
+
+A token's vector is the mean of its character-n-gram vectors, so *unseen*
+tokens — typo'd product names, new model numbers — still embed near their
+clean forms.  This is why DeepBlocker uses fastText for blocking, and the
+property our E7 bench relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.vocab import Vocab
+from repro.text.tokenize import char_ngrams, words
+
+_BUCKETS_DEFAULT = 4096
+
+
+def _bucket(gram: str, num_buckets: int) -> int:
+    """FNV-1a hash of a gram into a bucket (stable across processes)."""
+    h = 2166136261
+    for ch in gram.encode("utf-8"):
+        h ^= ch
+        h = (h * 16777619) & 0xFFFFFFFF
+    return h % num_buckets
+
+
+class FastTextModel:
+    """Subword skip-gram with negative sampling over hashed n-gram buckets."""
+
+    def __init__(self, vocab: Vocab, dim: int = 32, window: int = 3,
+                 negatives: int = 5, lr: float = 0.05,
+                 num_buckets: int = _BUCKETS_DEFAULT,
+                 n_min: int = 3, n_max: int = 5, seed: int = 0):
+        self.vocab = vocab
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.lr = lr
+        self.num_buckets = num_buckets
+        self.n_min = n_min
+        self.n_max = n_max
+        rng = np.random.default_rng(seed)
+        self.grams = rng.normal(0.0, 0.5 / dim, size=(num_buckets, dim))
+        self.out_vectors = np.zeros((len(vocab), dim))
+        self._rng = rng
+        counts = np.array(
+            [vocab.counts[t] for t in vocab.tokens()], dtype=float
+        )
+        counts[: len(Vocab.SPECIALS)] = 0.0
+        powered = counts**0.75
+        total = powered.sum()
+        self._noise = powered / total if total > 0 else np.ones_like(powered) / len(powered)
+        self._gram_cache: dict[str, np.ndarray] = {}
+
+    def _gram_ids(self, token: str) -> np.ndarray:
+        cached = self._gram_cache.get(token)
+        if cached is None:
+            grams = char_ngrams(token, self.n_min, self.n_max)
+            cached = np.array(
+                [_bucket(g, self.num_buckets) for g in grams], dtype=int
+            )
+            self._gram_cache[token] = cached
+        return cached
+
+    def token_vector(self, token: str) -> np.ndarray:
+        """Mean of the token's n-gram bucket vectors (works out-of-vocab)."""
+        ids = self._gram_ids(token.lower())
+        return self.grams[ids].mean(axis=0)
+
+    def embed_text(self, text: str) -> np.ndarray:
+        tokens = words(text)
+        if not tokens:
+            return np.zeros(self.dim)
+        return np.mean([self.token_vector(t) for t in tokens], axis=0)
+
+    def train(self, corpus: list[str], epochs: int = 3) -> float:
+        """SGNS where the center word is composed of its n-gram buckets."""
+        tokenized = [words(s) for s in corpus]
+        last_loss = 0.0
+        for _ in range(epochs):
+            losses = []
+            order = self._rng.permutation(len(tokenized))
+            for idx in order:
+                sentence = tokenized[idx]
+                ids = [self.vocab.id_of(t) for t in sentence]
+                for pos, token in enumerate(sentence):
+                    lo = max(0, pos - self.window)
+                    hi = min(len(sentence), pos + self.window + 1)
+                    for ctx_pos in range(lo, hi):
+                        if ctx_pos == pos:
+                            continue
+                        context = ids[ctx_pos]
+                        if context == self.vocab.unk_id:
+                            continue
+                        losses.append(self._step(token, context))
+            last_loss = float(np.mean(losses)) if losses else 0.0
+        return last_loss
+
+    def _step(self, center_token: str, context: int) -> float:
+        gram_ids = self._gram_ids(center_token)
+        v_in = self.grams[gram_ids].mean(axis=0)
+        negs = self._rng.choice(len(self._noise), size=self.negatives, p=self._noise)
+        negs = negs[negs != context]  # collisions cancel the positive signal
+        targets = np.concatenate([[context], negs]).astype(int)
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        v_out = self.out_vectors[targets]
+        scores = v_out @ v_in
+        probs = 1.0 / (1.0 + np.exp(-scores))
+        grad_scale = probs - labels
+        grad_in = grad_scale @ v_out / len(gram_ids)
+        self.out_vectors[targets] -= self.lr * np.outer(grad_scale, v_in)
+        np.add.at(self.grams, gram_ids, -self.lr * grad_in)
+        eps = 1e-10
+        loss = -np.log(probs[0] + eps) - np.log(1.0 - probs[1:] + eps).sum()
+        return float(loss)

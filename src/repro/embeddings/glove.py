@@ -1,0 +1,105 @@
+"""GloVe-style embeddings: weighted factorization of the log co-occurrence
+matrix (Pennington et al., 2014), trained by AdaGrad as in the original."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.embeddings.vocab import Vocab
+from repro.text.tokenize import words
+
+
+class GloVeModel:
+    """First-generation PLM #2: global co-occurrence embeddings."""
+
+    def __init__(self, vocab: Vocab, dim: int = 32, window: int = 3,
+                 x_max: float = 50.0, alpha: float = 0.75,
+                 lr: float = 0.05, seed: int = 0):
+        self.vocab = vocab
+        self.dim = dim
+        self.window = window
+        self.x_max = x_max
+        self.alpha = alpha
+        self.lr = lr
+        rng = np.random.default_rng(seed)
+        v = len(vocab)
+        self.w_main = rng.uniform(-0.5, 0.5, size=(v, dim)) / dim
+        self.w_ctx = rng.uniform(-0.5, 0.5, size=(v, dim)) / dim
+        self.b_main = np.zeros(v)
+        self.b_ctx = np.zeros(v)
+        self._rng = rng
+
+    def cooccurrences(self, corpus: list[str]) -> dict[tuple[int, int], float]:
+        """Distance-weighted co-occurrence counts within the window."""
+        counts: Counter[tuple[int, int]] = Counter()
+        for sentence in corpus:
+            ids = [self.vocab.id_of(t) for t in words(sentence)]
+            for i, center in enumerate(ids):
+                if center == self.vocab.unk_id:
+                    continue
+                hi = min(len(ids), i + self.window + 1)
+                for j in range(i + 1, hi):
+                    context = ids[j]
+                    if context == self.vocab.unk_id:
+                        continue
+                    weight = 1.0 / (j - i)
+                    counts[(center, context)] += weight
+                    counts[(context, center)] += weight
+        return dict(counts)
+
+    def train(self, corpus: list[str], epochs: int = 15) -> float:
+        """AdaGrad on the GloVe objective; returns final epoch mean loss."""
+        cooc = self.cooccurrences(corpus)
+        if not cooc:
+            return 0.0
+        pairs = np.array(list(cooc.keys()), dtype=int)
+        values = np.array(list(cooc.values()))
+        weights = np.minimum((values / self.x_max) ** self.alpha, 1.0)
+        logs = np.log(values)
+
+        grad_sq_main = np.ones_like(self.w_main)
+        grad_sq_ctx = np.ones_like(self.w_ctx)
+        grad_sq_bm = np.ones_like(self.b_main)
+        grad_sq_bc = np.ones_like(self.b_ctx)
+
+        last = 0.0
+        for _ in range(epochs):
+            order = self._rng.permutation(len(pairs))
+            total = 0.0
+            for idx in order:
+                i, j = pairs[idx]
+                diff = (
+                    self.w_main[i] @ self.w_ctx[j]
+                    + self.b_main[i] + self.b_ctx[j] - logs[idx]
+                )
+                loss_weight = weights[idx]
+                total += 0.5 * loss_weight * diff * diff
+                grad = loss_weight * diff
+                g_main = grad * self.w_ctx[j]
+                g_ctx = grad * self.w_main[i]
+                self.w_main[i] -= self.lr * g_main / np.sqrt(grad_sq_main[i])
+                self.w_ctx[j] -= self.lr * g_ctx / np.sqrt(grad_sq_ctx[j])
+                self.b_main[i] -= self.lr * grad / np.sqrt(grad_sq_bm[i])
+                self.b_ctx[j] -= self.lr * grad / np.sqrt(grad_sq_bc[j])
+                grad_sq_main[i] += g_main**2
+                grad_sq_ctx[j] += g_ctx**2
+                grad_sq_bm[i] += grad**2
+                grad_sq_bc[j] += grad**2
+            last = total / len(pairs)
+        return float(last)
+
+    def vector(self, token: str) -> np.ndarray:
+        """GloVe uses main + context vectors summed as the final embedding."""
+        i = self.vocab.id_of(token)
+        return self.w_main[i] + self.w_ctx[i]
+
+    def embed_text(self, text: str) -> np.ndarray:
+        ids = [
+            self.vocab.id_of(t) for t in words(text)
+            if self.vocab.id_of(t) != self.vocab.unk_id
+        ]
+        if not ids:
+            return np.zeros(self.dim)
+        return (self.w_main[ids] + self.w_ctx[ids]).mean(axis=0)

@@ -1,0 +1,123 @@
+"""Skip-gram with negative sampling (word2vec), trained with direct numpy
+updates (the closed-form SGNS gradient) rather than the autograd engine —
+embedding training is the hot loop of the first-generation-PLM experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.vocab import Vocab
+from repro.text.tokenize import words
+
+
+class SkipGramModel:
+    """First-generation PLM #1: static word embeddings from local context."""
+
+    def __init__(self, vocab: Vocab, dim: int = 32, window: int = 3,
+                 negatives: int = 5, lr: float = 0.05, seed: int = 0):
+        self.vocab = vocab
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.lr = lr
+        rng = np.random.default_rng(seed)
+        v = len(vocab)
+        self.in_vectors = rng.normal(0.0, 0.5 / dim, size=(v, dim))
+        self.out_vectors = np.zeros((v, dim))
+        self._rng = rng
+        self._noise = self._noise_distribution()
+
+    def _noise_distribution(self) -> np.ndarray:
+        """Unigram^0.75 noise distribution over the vocabulary."""
+        counts = np.array(
+            [self.vocab.counts[t] for t in self.vocab.tokens()], dtype=float
+        )
+        counts[: len(Vocab.SPECIALS)] = 0.0
+        powered = counts**0.75
+        total = powered.sum()
+        if total == 0:
+            powered = np.ones_like(powered)
+            total = powered.sum()
+        return powered / total
+
+    def train(self, corpus: list[str], epochs: int = 3) -> float:
+        """Train over the corpus; returns the mean loss of the final epoch."""
+        encoded = [
+            [self.vocab.id_of(t) for t in words(s)] for s in corpus
+        ]
+        last_loss = 0.0
+        for _ in range(epochs):
+            losses = []
+            order = self._rng.permutation(len(encoded))
+            for idx in order:
+                sentence = encoded[idx]
+                for pos, center in enumerate(sentence):
+                    if center == self.vocab.unk_id:
+                        continue
+                    lo = max(0, pos - self.window)
+                    hi = min(len(sentence), pos + self.window + 1)
+                    for ctx_pos in range(lo, hi):
+                        if ctx_pos == pos:
+                            continue
+                        context = sentence[ctx_pos]
+                        if context == self.vocab.unk_id:
+                            continue
+                        losses.append(self._step(center, context))
+            last_loss = float(np.mean(losses)) if losses else 0.0
+        return last_loss
+
+    def _step(self, center: int, context: int) -> float:
+        """One SGNS update: positive pair + ``negatives`` noise words.
+
+        Draws that collide with the true context are dropped — with the
+        small vocabularies this library trains on, the collision rate is
+        high enough to cancel the positive signal otherwise.
+        """
+        negs = self._rng.choice(
+            len(self._noise), size=self.negatives, p=self._noise
+        )
+        negs = negs[negs != context]
+        v_in = self.in_vectors[center]
+        targets = np.concatenate([[context], negs]).astype(int)
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        v_out = self.out_vectors[targets]
+        scores = v_out @ v_in
+        probs = 1.0 / (1.0 + np.exp(-scores))
+        grad_scale = probs - labels  # d(loss)/d(score)
+        grad_in = grad_scale @ v_out
+        self.out_vectors[targets] -= self.lr * np.outer(grad_scale, v_in)
+        self.in_vectors[center] -= self.lr * grad_in
+        eps = 1e-10
+        loss = -np.log(probs[0] + eps) - np.log(1.0 - probs[1:] + eps).sum()
+        return float(loss)
+
+    # -- lookup -----------------------------------------------------------
+
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding of a token (the ``[unk]`` vector when out-of-vocab)."""
+        return self.in_vectors[self.vocab.id_of(token)]
+
+    def embed_text(self, text: str) -> np.ndarray:
+        """Mean of in-vocabulary token embeddings (zeros when none)."""
+        ids = [
+            self.vocab.id_of(t) for t in words(text)
+            if self.vocab.id_of(t) != self.vocab.unk_id
+        ]
+        if not ids:
+            return np.zeros(self.dim)
+        return self.in_vectors[ids].mean(axis=0)
+
+    def most_similar(self, token: str, k: int = 5) -> list[tuple[str, float]]:
+        """Nearest vocabulary tokens by cosine similarity."""
+        query = self.vector(token)
+        norms = np.linalg.norm(self.in_vectors, axis=1) * (
+            np.linalg.norm(query) + 1e-12
+        )
+        sims = self.in_vectors @ query / np.maximum(norms, 1e-12)
+        own = self.vocab.id_of(token)
+        sims[own] = -np.inf
+        sims[: len(Vocab.SPECIALS)] = -np.inf
+        top = np.argsort(-sims)[:k]
+        return [(self.vocab.token_of(int(i)), float(sims[i])) for i in top]

@@ -1,0 +1,77 @@
+"""Vocabulary construction shared by the embedding trainers and the PLM."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.text.tokenize import words
+
+
+class Vocab:
+    """Token ↔ id mapping with reserved special tokens.
+
+    Ids are assigned by descending frequency (ties broken alphabetically) so
+    vocabularies are deterministic for a given corpus.
+    """
+
+    PAD = "[pad]"
+    UNK = "[unk]"
+    CLS = "[cls]"
+    SEP = "[sep]"
+    MASK = "[mask]"
+    SPECIALS = (PAD, UNK, CLS, SEP, MASK)
+
+    def __init__(self, corpus: list[str], min_count: int = 1,
+                 max_size: int | None = None):
+        counts: Counter[str] = Counter()
+        for sentence in corpus:
+            counts.update(words(sentence))
+        items = [(t, c) for t, c in counts.items() if c >= min_count]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        if max_size is not None:
+            items = items[: max(max_size - len(self.SPECIALS), 0)]
+        self._tokens = list(self.SPECIALS) + [t for t, _c in items]
+        self._ids = {t: i for i, t in enumerate(self._tokens)}
+        self.counts = {t: counts.get(t, 0) for t in self._tokens}
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    @property
+    def pad_id(self) -> int:
+        return self._ids[self.PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._ids[self.UNK]
+
+    @property
+    def cls_id(self) -> int:
+        return self._ids[self.CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._ids[self.SEP]
+
+    @property
+    def mask_id(self) -> int:
+        return self._ids[self.MASK]
+
+    def id_of(self, token: str) -> int:
+        return self._ids.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        return self._tokens[token_id]
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids of ``text`` (unknowns map to ``[unk]``)."""
+        return [self.id_of(t) for t in words(text)]
+
+    def decode(self, ids: list[int]) -> str:
+        return " ".join(self._tokens[i] for i in ids)
+
+    def tokens(self) -> list[str]:
+        return list(self._tokens)

@@ -1,0 +1,40 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+Keeping one hierarchy lets callers catch :class:`ReproError` to handle any
+library failure, or a narrower subclass when they can act on the specific
+condition.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A table operation referenced a column or type that does not exist."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value is incompatible with the declared type of its column."""
+
+
+class ParseError(ReproError):
+    """Raised when parsing SQL text, prompts, or serialized models fails."""
+
+
+class NotFittedError(ReproError):
+    """A model method that requires training was called before ``fit``."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative optimizer failed to make progress within its budget."""
+
+
+class PipelineError(ReproError):
+    """A data-preparation pipeline is structurally invalid or failed to run."""
+
+
+class KnowledgeError(ReproError):
+    """The simulated foundation model was asked about facts it cannot know."""

@@ -1,0 +1,5 @@
+"""Experiment harness shared by the benchmark suite."""
+
+from repro.evaluation.results import ResultTable
+
+__all__ = ["ResultTable"]

@@ -1,0 +1,66 @@
+"""Result tables for experiments: collect rows, print aligned, compare.
+
+Every benchmark in ``benchmarks/`` builds one of these and prints it, so
+EXPERIMENTS.md entries and bench output share a format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ResultTable:
+    """A named table of experiment results."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values; table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        i = self.columns.index(name)
+        return [row[i] for row in self.rows]
+
+    def row_dict(self, i: int) -> dict[str, Any]:
+        return dict(zip(self.columns, self.rows[i]))
+
+    def render(self) -> str:
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        shown = [[fmt(v) for v in row] for row in self.rows]
+        widths = [len(c) for c in self.columns]
+        for row in shown:
+            widths = [max(w, len(v)) for w, v in zip(widths, row)]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = "\n".join(
+            " | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in shown
+        )
+        return f"== {self.title} ==\n{header}\n{sep}\n{body}"
+
+    def markdown(self) -> str:
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        header = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = "\n".join(
+            "| " + " | ".join(fmt(v) for v in row) + " |" for row in self.rows
+        )
+        return f"{header}\n{sep}\n{body}"
+
+    def show(self) -> None:
+        print(self.render())

@@ -1,0 +1,36 @@
+"""Data exploration: chart recommendation (DeepEye-style) and RL-generated
+EDA sessions (ATENA-style)."""
+
+from repro.explore.charts import (
+    CHART_TYPES,
+    ChartSpec,
+    RankedChart,
+    enumerate_charts,
+    recommend_charts,
+    score_chart,
+)
+from repro.explore.eda import (
+    ATENAAgent,
+    EDAAction,
+    EDADisplay,
+    EDAEnvironment,
+    EDASession,
+    display_interestingness,
+    random_session,
+)
+
+__all__ = [
+    "ATENAAgent",
+    "CHART_TYPES",
+    "ChartSpec",
+    "EDAAction",
+    "EDADisplay",
+    "EDAEnvironment",
+    "EDASession",
+    "RankedChart",
+    "display_interestingness",
+    "enumerate_charts",
+    "random_session",
+    "recommend_charts",
+    "score_chart",
+]

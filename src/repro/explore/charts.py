@@ -1,0 +1,155 @@
+"""Automatic visualization recommendation (DeepEye-style; tutorial intro,
+"understanding the data set through exploration and visualization").
+
+Enumerate candidate chart specifications over a table's columns, score each
+by interestingness heuristics (the DeepEye ranking features: column-type
+compatibility with the mark, cardinality fit, dispersion/correlation of the
+encoded data), and return the top-k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.table import Table
+
+CHART_TYPES = ("bar", "line", "scatter", "histogram", "pie")
+
+#: Cardinality sweet spots per categorical mark.
+_MAX_BAR_CATEGORIES = 12
+_MAX_PIE_CATEGORIES = 6
+
+
+@dataclass(frozen=True)
+class ChartSpec:
+    """One candidate visualization."""
+
+    chart: str
+    x: str
+    y: str | None = None       # None for histogram
+    aggregate: str | None = None  # "count" | "avg" | None (raw)
+
+    def describe(self) -> str:
+        if self.chart == "histogram":
+            return f"histogram of {self.x}"
+        measure = self.y if self.aggregate is None else f"{self.aggregate}({self.y})"
+        return f"{self.chart} of {measure} by {self.x}"
+
+
+@dataclass(frozen=True)
+class RankedChart:
+    """A spec with its interestingness score."""
+
+    spec: ChartSpec
+    score: float
+
+
+def _numeric_columns(table: Table) -> list[str]:
+    return [c for c in table.schema.names
+            if table.schema.dtype_of(c) in ("int", "float")]
+
+
+def _categorical_columns(table: Table) -> list[str]:
+    out = []
+    for column in table.schema.names:
+        if table.schema.dtype_of(column) != "str":
+            continue
+        values = [v for v in table.column(column) if v is not None]
+        if not values:
+            continue
+        if len(set(values)) <= max(2, len(values) // 2):
+            out.append(column)
+    return out
+
+
+def _clean_numeric(table: Table, column: str) -> np.ndarray:
+    return np.array([
+        float(v) for v in table.column(column) if v is not None
+    ])
+
+
+def enumerate_charts(table: Table) -> list[ChartSpec]:
+    """All candidate specs the ranker will consider."""
+    numeric = _numeric_columns(table)
+    categorical = _categorical_columns(table)
+    specs: list[ChartSpec] = []
+    for x in numeric:
+        specs.append(ChartSpec("histogram", x=x))
+    for x in categorical:
+        specs.append(ChartSpec("bar", x=x, y=x, aggregate="count"))
+        specs.append(ChartSpec("pie", x=x, y=x, aggregate="count"))
+        for y in numeric:
+            specs.append(ChartSpec("bar", x=x, y=y, aggregate="avg"))
+    for i, x in enumerate(numeric):
+        for y in numeric[i + 1:]:
+            specs.append(ChartSpec("scatter", x=x, y=y))
+    return specs
+
+
+def score_chart(table: Table, spec: ChartSpec) -> float:
+    """Interestingness in [0, 1]: type fit × cardinality fit × signal."""
+    if spec.chart == "histogram":
+        data = _clean_numeric(table, spec.x)
+        if len(data) < 8:
+            return 0.0
+        # Spread without being constant; reward non-degenerate dispersion.
+        std = data.std()
+        if std == 0:
+            return 0.0
+        return float(min(1.0, 0.4 + 0.1 * np.log1p(len(data))))
+
+    if spec.chart in ("bar", "pie") and spec.aggregate == "count":
+        values = [v for v in table.column(spec.x) if v is not None]
+        distinct = len(set(values))
+        limit = _MAX_PIE_CATEGORIES if spec.chart == "pie" else _MAX_BAR_CATEGORIES
+        if distinct < 2 or distinct > limit:
+            return 0.0
+        counts = np.array([values.count(v) for v in set(values)], dtype=float)
+        balance = counts.min() / counts.max()
+        skew = 1.0 - balance  # skewed distributions are the interesting ones
+        return float(0.3 + 0.5 * skew + 0.1 * (distinct / limit))
+
+    if spec.chart == "bar" and spec.aggregate == "avg":
+        groups: dict[str, list[float]] = {}
+        for category, value in zip(table.column(spec.x), table.column(spec.y)):
+            if category is None or value is None:
+                continue
+            groups.setdefault(str(category), []).append(float(value))
+        if len(groups) < 2 or len(groups) > _MAX_BAR_CATEGORIES:
+            return 0.0
+        means = np.array([np.mean(vs) for vs in groups.values()])
+        overall = np.concatenate([np.array(vs) for vs in groups.values()])
+        if overall.std() == 0:
+            return 0.0
+        # Between-group separation relative to overall spread: the DeepEye
+        # "is there a story here" signal.
+        separation = means.std() / overall.std()
+        return float(min(1.0, 0.25 + separation))
+
+    if spec.chart == "scatter":
+        x = table.column(spec.x)
+        y = table.column(spec.y)
+        pairs = [(float(a), float(b)) for a, b in zip(x, y)
+                 if a is not None and b is not None]
+        if len(pairs) < 8:
+            return 0.0
+        xs, ys = np.array([p[0] for p in pairs]), np.array([p[1] for p in pairs])
+        if xs.std() == 0 or ys.std() == 0:
+            return 0.0
+        correlation = abs(float(np.corrcoef(xs, ys)[0, 1]))
+        return float(0.15 + 0.85 * correlation)
+
+    return 0.0
+
+
+def recommend_charts(table: Table, k: int = 5) -> list[RankedChart]:
+    """Top-k charts by interestingness, ties broken deterministically."""
+    ranked = [
+        RankedChart(spec=spec, score=score_chart(table, spec))
+        for spec in enumerate_charts(table)
+    ]
+    ranked = [r for r in ranked if r.score > 0]
+    ranked.sort(key=lambda r: (-r.score, r.spec.describe()))
+    return ranked[:k]

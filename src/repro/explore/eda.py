@@ -1,0 +1,240 @@
+"""Automatic EDA session generation with reinforcement learning
+(ATENA-style; tutorial §3.3(2)).
+
+An agent explores a table through FILTER / GROUP / BACK actions; every
+display (the table state after an action) earns an interestingness reward,
+and tabular Q-learning over (state-signature, action) learns to produce
+sessions that surface the informative views — "automatically generating data
+exploration sessions using deep reinforcement learning", at this library's
+tabular scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.table import Table
+
+
+@dataclass(frozen=True)
+class EDAAction:
+    """One exploration step."""
+
+    kind: str                  # "filter" | "group" | "back"
+    column: str | None = None
+    value: object | None = None
+
+    def describe(self) -> str:
+        if self.kind == "filter":
+            return f"filter {self.column} = {self.value!r}"
+        if self.kind == "group":
+            return f"group by {self.column}"
+        return "back"
+
+
+@dataclass
+class EDADisplay:
+    """A step of a session: action taken, resulting view, reward."""
+
+    action: EDAAction
+    view: Table
+    reward: float
+
+
+@dataclass
+class EDASession:
+    """A complete exploration session."""
+
+    displays: list[EDADisplay] = field(default_factory=list)
+
+    @property
+    def total_reward(self) -> float:
+        return sum(d.reward for d in self.displays)
+
+    def describe(self) -> list[str]:
+        return [f"{d.action.describe()}  (reward {d.reward:.2f})"
+                for d in self.displays]
+
+
+def display_interestingness(view: Table, previous: Table) -> float:
+    """Reward for showing ``view`` after ``previous``.
+
+    Follows ATENA's reward intuition: informative displays are neither
+    trivial (a couple of rows) nor overwhelming (the unfiltered table), and
+    should *change* what's on screen.  Grouped summaries with a readable
+    number of groups score well.
+    """
+    if view.num_rows == 0:
+        return -0.5
+    size_ratio = view.num_rows / max(previous.num_rows, 1)
+    if size_ratio >= 0.98:
+        novelty = 0.0                 # nothing changed
+    else:
+        novelty = 1.0 - abs(size_ratio - 0.3)  # peak near a focused subset
+    readability = 1.0 if 2 <= view.num_rows <= 15 else 0.3
+    return float(max(0.0, 0.6 * novelty + 0.4 * readability))
+
+
+class EDAEnvironment:
+    """Exploration over one table: stack of views, candidate actions."""
+
+    def __init__(self, table: Table, max_filter_values: int = 5,
+                 repeat_discount: float = 0.2):
+        self.base = table
+        self.max_filter_values = max_filter_values
+        self.repeat_discount = repeat_discount
+        self._stack: list[Table] = [table]
+        self._seen: set[tuple] = set()
+
+    @property
+    def current(self) -> Table:
+        return self._stack[-1]
+
+    def reset(self) -> Table:
+        self._stack = [self.base]
+        self._seen = set()
+        return self.current
+
+    def actions(self) -> list[EDAAction]:
+        view = self.current
+        out: list[EDAAction] = []
+        for column in view.schema.names:
+            if view.schema.dtype_of(column) != "str":
+                continue
+            values = sorted({str(v) for v in view.column(column) if v is not None})
+            if 2 <= len(values) <= 30:
+                out.append(EDAAction("group", column=column))
+                for value in values[: self.max_filter_values]:
+                    out.append(EDAAction("filter", column=column, value=value))
+        if len(self._stack) > 1:
+            out.append(EDAAction("back"))
+        return out
+
+    def step(self, action: EDAAction) -> tuple[Table, float]:
+        previous = self.current
+        if action.kind == "back":
+            self._stack.pop()
+            return self.current, 0.05  # small reward for not getting stuck
+        if action.kind == "filter":
+            view = previous.select(
+                lambda row: str(row[action.column]) == str(action.value)
+            )
+        elif action.kind == "group":
+            first = previous.schema.names[0]
+            view = previous.group_by(
+                [action.column], [("count", first, "n")]
+            )
+        else:
+            raise ValueError(f"unknown action {action.kind!r}")
+        reward = display_interestingness(view, previous)
+        # Re-showing a view the session already visited is barely informative
+        # (ATENA's diversity term) — discount it hard.
+        fingerprint = (action.kind, action.column, action.value,
+                       view.num_rows, view.num_columns)
+        if fingerprint in self._seen:
+            reward *= self.repeat_discount
+        self._seen.add(fingerprint)
+        self._stack.append(view)
+        return view, reward
+
+    def signature(self) -> tuple:
+        """A coarse state key for tabular Q-learning."""
+        view = self.current
+        return (len(self._stack), view.num_columns,
+                min(view.num_rows // 5, 10))
+
+
+class ATENAAgent:
+    """Q-learning over (state signature, action description)."""
+
+    def __init__(self, epsilon: float = 0.3, learning_rate: float = 0.4,
+                 discount: float = 0.8, seed: int = 0):
+        self.epsilon = epsilon
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self._rng = np.random.default_rng(seed)
+        self.q: dict[tuple, float] = {}
+
+    def _key(self, signature: tuple, action: EDAAction) -> tuple:
+        return (signature, action.kind, action.column)
+
+    def _choose(self, env: EDAEnvironment, greedy: bool,
+                used: set[tuple] | None = None) -> EDAAction | None:
+        actions = env.actions()
+        if used:
+            # The session should not re-issue an identical action — repeated
+            # displays are worthless (and the environment discounts them).
+            fresh = [a for a in actions
+                     if (a.kind, a.column, a.value) not in used]
+            actions = fresh or actions
+        if not actions:
+            return None
+        if not greedy and self._rng.random() < self.epsilon:
+            return actions[int(self._rng.integers(len(actions)))]
+        signature = env.signature()
+        return max(actions,
+                   key=lambda a: self.q.get(self._key(signature, a), 0.2))
+
+    def train(self, table: Table, episodes: int = 30,
+              steps_per_episode: int = 6) -> list[float]:
+        """Run episodes; returns per-episode total reward."""
+        totals = []
+        for _ in range(episodes):
+            env = EDAEnvironment(table)
+            total = 0.0
+            for _ in range(steps_per_episode):
+                signature = env.signature()
+                action = self._choose(env, greedy=False)
+                if action is None:
+                    break
+                _view, reward = env.step(action)
+                total += reward
+                key = self._key(signature, action)
+                next_actions = env.actions()
+                future = max(
+                    (self.q.get(self._key(env.signature(), a), 0.2)
+                     for a in next_actions),
+                    default=0.0,
+                )
+                old = self.q.get(key, 0.2)
+                self.q[key] = old + self.learning_rate * (
+                    reward + self.discount * future - old
+                )
+            totals.append(total)
+        return totals
+
+    def generate_session(self, table: Table,
+                         steps: int = 6) -> EDASession:
+        """Greedy rollout with the learned Q-values."""
+        env = EDAEnvironment(table)
+        session = EDASession()
+        used: set[tuple] = set()
+        for _ in range(steps):
+            action = self._choose(env, greedy=True, used=used)
+            if action is None:
+                break
+            used.add((action.kind, action.column, action.value))
+            view, reward = env.step(action)
+            session.displays.append(
+                EDADisplay(action=action, view=view, reward=reward)
+            )
+        return session
+
+
+def random_session(table: Table, steps: int = 6, seed: int = 0) -> EDASession:
+    """The untrained baseline: uniformly random actions."""
+    rng = np.random.default_rng(seed)
+    env = EDAEnvironment(table)
+    session = EDASession()
+    for _ in range(steps):
+        actions = env.actions()
+        if not actions:
+            break
+        action = actions[int(rng.integers(len(actions)))]
+        view, reward = env.step(action)
+        session.displays.append(
+            EDADisplay(action=action, view=view, reward=reward)
+        )
+    return session

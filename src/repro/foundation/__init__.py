@@ -1,0 +1,49 @@
+"""Simulated foundation models: prompting, knowledge, MRKL routing, Retro."""
+
+from repro.foundation.knowledge import Fact, FactStore
+from repro.foundation.model import Completion, FoundationModel, REPAIRS
+from repro.foundation.mrkl import (
+    CalculatorModule,
+    CurrencyModule,
+    DatabaseModule,
+    FoundationModule,
+    Module,
+    MRKLRouter,
+    Routed,
+    UnitModule,
+)
+from repro.foundation.prompts import (
+    Prompt,
+    cleaning_prompt,
+    imputation_prompt,
+    matching_demo,
+    matching_prompt,
+    parse_prompt,
+    qa_prompt,
+)
+from repro.foundation.retro import RetroAnswer, RetroModel
+
+__all__ = [
+    "CalculatorModule",
+    "Completion",
+    "CurrencyModule",
+    "DatabaseModule",
+    "Fact",
+    "FactStore",
+    "FoundationModel",
+    "FoundationModule",
+    "MRKLRouter",
+    "Module",
+    "Prompt",
+    "REPAIRS",
+    "RetroAnswer",
+    "RetroModel",
+    "Routed",
+    "UnitModule",
+    "cleaning_prompt",
+    "imputation_prompt",
+    "matching_demo",
+    "matching_prompt",
+    "parse_prompt",
+    "qa_prompt",
+]

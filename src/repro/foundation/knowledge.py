@@ -1,0 +1,102 @@
+"""The foundation model's internal knowledge: a fact store with a cutoff.
+
+Real foundation models embed world knowledge learned at training time and
+cannot see anything newer (tutorial §3.1: "lack of access to current
+information").  We reproduce both properties explicitly: facts carry an
+``as_of`` stamp and the store refuses to surface facts newer than its
+``cutoff``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.text.similarity import jaro_winkler_similarity
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A (subject, relation, object) triple with a recency stamp."""
+
+    subject: str
+    relation: str
+    obj: str
+    as_of: int = 0  # 0 = timeless / part of the original training corpus
+
+
+class FactStore:
+    """Indexed triple store with alias resolution and fuzzy subject lookup."""
+
+    def __init__(self, facts: list[tuple[str, str, str]] | None = None,
+                 cutoff: int | None = None):
+        self.cutoff = cutoff
+        self._by_subject: dict[str, list[Fact]] = defaultdict(list)
+        self._facts: list[Fact] = []
+        if facts:
+            for subject, relation, obj in facts:
+                self.add(subject, relation, obj)
+
+    def add(self, subject: str, relation: str, obj: str, as_of: int = 0) -> None:
+        fact = Fact(subject.lower(), relation, obj.lower(), as_of)
+        self._facts.append(fact)
+        self._by_subject[fact.subject].append(fact)
+
+    def __len__(self) -> int:
+        return sum(1 for f in self._facts if self._visible(f))
+
+    def _visible(self, fact: Fact) -> bool:
+        return self.cutoff is None or fact.as_of <= self.cutoff
+
+    def lookup(self, subject: str, relation: str | None = None) -> list[Fact]:
+        """Facts about ``subject`` (exact match), newest-first if stamped."""
+        found = [
+            f for f in self._by_subject.get(subject.lower(), [])
+            if self._visible(f) and (relation is None or f.relation == relation)
+        ]
+        return sorted(found, key=lambda f: -f.as_of)
+
+    def object_of(self, subject: str, relation: str) -> str | None:
+        """The object of the newest visible fact, or None."""
+        found = self.lookup(subject, relation)
+        return found[0].obj if found else None
+
+    def canonical(self, name: str) -> str:
+        """Resolve aliases: 'apex tech' -> 'apex'.  Unknown names pass through."""
+        target = self.object_of(name, "alias_of") or self.object_of(name, "synonym_of")
+        return target if target is not None else name.lower()
+
+    def subjects(self, relation: str | None = None) -> list[str]:
+        """All subjects having at least one visible fact (of ``relation``)."""
+        out = []
+        for subject, facts in self._by_subject.items():
+            if any(
+                self._visible(f) and (relation is None or f.relation == relation)
+                for f in facts
+            ):
+                out.append(subject)
+        return sorted(out)
+
+    def fuzzy_subject(self, name: str, min_similarity: float = 0.87) -> str | None:
+        """Best known subject within Jaro-Winkler ``min_similarity`` of ``name``.
+
+        This is the mechanism behind the foundation model "recognizing" a
+        typo'd entity: ``seattl`` resolves to ``seattle`` because the clean
+        form was in the training corpus.
+        """
+        name = name.lower()
+        if name in self._by_subject and any(
+            self._visible(f) for f in self._by_subject[name]
+        ):
+            return name
+        best_score, best = min_similarity, None
+        for subject in self._by_subject:
+            if not any(self._visible(f) for f in self._by_subject[subject]):
+                continue
+            score = jaro_winkler_similarity(name, subject)
+            if score > best_score:
+                best_score, best = score, subject
+        return best
+
+    def knows(self, subject: str) -> bool:
+        return bool(self.lookup(subject))

@@ -1,0 +1,228 @@
+"""A MRKL-style modular neuro-symbolic router (Jurassic-X, tutorial §3.1(3)).
+
+"A modular architecture ... and a router that routes every incoming query to
+a module that can best respond to the input, where a module could be a
+language model, a math calculator, a currency converter, or an API call to a
+database."  Each module here declares how confident it is that it can handle
+a query; the router dispatches to the most confident one, with the foundation
+model as the universal fallback.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.datasets.world import CURRENCY_TO_USD, UNIT_RATIOS
+from repro.errors import ParseError
+from repro.foundation.model import Completion, FoundationModel, _format_number
+from repro.foundation.prompts import qa_prompt
+from repro.sql import Database
+
+
+@dataclass
+class Routed:
+    """A completion plus which module produced it."""
+
+    module: str
+    completion: Completion
+
+
+class Module:
+    """A MRKL module: reports a confidence it can handle a query, then runs."""
+
+    name = "module"
+
+    def can_handle(self, query: str) -> float:
+        raise NotImplementedError
+
+    def run(self, query: str) -> Completion:
+        raise NotImplementedError
+
+
+_EXPR_RE = re.compile(r"(-?\d+(?:\.\d+)?(?:\s*[+\-*/]\s*-?\d+(?:\.\d+)?)+)")
+
+
+class CalculatorModule(Module):
+    """Exact arithmetic over + - * / chains (left-to-right with precedence)."""
+
+    name = "calculator"
+
+    def can_handle(self, query: str) -> float:
+        return 0.95 if _EXPR_RE.search(query) else 0.0
+
+    def run(self, query: str) -> Completion:
+        match = _EXPR_RE.search(query)
+        if not match:
+            raise ParseError(f"calculator cannot parse: {query!r}")
+        value = _eval_arithmetic(match.group(1))
+        return Completion(_format_number(value), confidence=1.0)
+
+
+def _eval_arithmetic(expr: str) -> float:
+    """Evaluate an arithmetic chain with * / binding tighter than + -.
+
+    ``-`` always tokenizes as an operator except at the very start of the
+    expression, where it negates the first operand.
+    """
+    compact = expr.replace(" ", "")
+    negate_first = compact.startswith("-")
+    if negate_first:
+        compact = compact[1:]
+    tokens = re.findall(r"\d+(?:\.\d+)?|[+\-*/]", compact)
+    if negate_first and tokens:
+        tokens[0] = "-" + tokens[0]
+    # Pass 1: fold * and /.
+    folded: list[str | float] = []
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if token in ("*", "/"):
+            left = float(folded.pop())
+            right = float(tokens[i + 1])
+            if token == "/" and right == 0:
+                raise ZeroDivisionError("division by zero")
+            folded.append(left * right if token == "*" else left / right)
+            i += 2
+        else:
+            folded.append(token)
+            i += 1
+    # Pass 2: fold + and -.
+    result = float(folded[0])
+    i = 1
+    while i < len(folded):
+        op = folded[i]
+        value = float(folded[i + 1])
+        result = result + value if op == "+" else result - value
+        i += 2
+    return result
+
+
+class CurrencyModule(Module):
+    """Converts between the world's currencies through USD."""
+
+    name = "currency"
+
+    _RE = re.compile(
+        r"convert\s+(-?\d+(?:\.\d+)?)\s+([a-z ]+?)\s+to\s+([a-z ]+)"
+    )
+
+    def can_handle(self, query: str) -> float:
+        match = self._RE.search(query.lower())
+        if not match:
+            return 0.0
+        _amount, src, dst = match.groups()
+        known = src.strip() in CURRENCY_TO_USD and dst.strip() in CURRENCY_TO_USD
+        return 0.9 if known else 0.0
+
+    def run(self, query: str) -> Completion:
+        match = self._RE.search(query.lower())
+        if not match:
+            raise ParseError(f"currency module cannot parse: {query!r}")
+        amount, src, dst = match.groups()
+        usd = float(amount) * CURRENCY_TO_USD[src.strip()]
+        converted = usd / CURRENCY_TO_USD[dst.strip()]
+        return Completion(_format_number(round(converted, 4)), confidence=1.0)
+
+
+class UnitModule(Module):
+    """Converts between physical units with fixed ratios."""
+
+    name = "units"
+
+    _RE = re.compile(r"(-?\d+(?:\.\d+)?)\s*([a-z]+)\s+(?:to|in)\s+([a-z]+)")
+
+    def can_handle(self, query: str) -> float:
+        match = self._RE.search(query.lower())
+        if not match:
+            return 0.0
+        _value, src, dst = match.groups()
+        return 0.85 if self._ratio(src, dst) is not None or (src, dst) == ("celsius", "fahrenheit") else 0.0
+
+    @staticmethod
+    def _ratio(src: str, dst: str) -> float | None:
+        if (src, dst) in UNIT_RATIOS and UNIT_RATIOS[(src, dst)] is not None:
+            return UNIT_RATIOS[(src, dst)]
+        if (dst, src) in UNIT_RATIOS and UNIT_RATIOS[(dst, src)] is not None:
+            return 1.0 / UNIT_RATIOS[(dst, src)]
+        return None
+
+    def run(self, query: str) -> Completion:
+        match = self._RE.search(query.lower())
+        if not match:
+            raise ParseError(f"unit module cannot parse: {query!r}")
+        value, src, dst = match.groups()
+        if (src, dst) == ("celsius", "fahrenheit"):
+            return Completion(
+                _format_number(float(value) * 9 / 5 + 32), confidence=1.0
+            )
+        if (dst, src) == ("celsius", "fahrenheit"):
+            return Completion(
+                _format_number((float(value) - 32) * 5 / 9), confidence=1.0
+            )
+        ratio = self._ratio(src, dst)
+        if ratio is None:
+            raise ParseError(f"no conversion {src} -> {dst}")
+        return Completion(_format_number(round(float(value) * ratio, 4)), confidence=1.0)
+
+
+class DatabaseModule(Module):
+    """Executes SQL against an attached :class:`~repro.sql.Database`."""
+
+    name = "database"
+
+    def __init__(self, db: Database):
+        self.db = db
+
+    def can_handle(self, query: str) -> float:
+        return 0.99 if query.strip().lower().startswith("select ") else 0.0
+
+    def run(self, query: str) -> Completion:
+        result = self.db.query(query)
+        if result.num_rows == 1 and result.num_columns == 1:
+            value = result.row(0)[0]
+            return Completion("null" if value is None else str(value), confidence=1.0)
+        return Completion(result.to_csv().strip(), confidence=1.0)
+
+
+class FoundationModule(Module):
+    """The fallback: send the query to the foundation model as a QA prompt."""
+
+    name = "foundation"
+
+    def __init__(self, model: FoundationModel):
+        self.model = model
+
+    def can_handle(self, query: str) -> float:
+        return 0.1  # always willing, never preferred
+
+    def run(self, query: str) -> Completion:
+        return self.model.complete(qa_prompt(query))
+
+
+class MRKLRouter:
+    """Routes each query to the most confident module."""
+
+    def __init__(self, modules: list[Module]):
+        if not modules:
+            raise ValueError("router needs at least one module")
+        self.modules = list(modules)
+
+    @classmethod
+    def standard(cls, model: FoundationModel, db: Database | None = None) -> "MRKLRouter":
+        """The tutorial's module set: calculator, currency, units, database, FM."""
+        modules: list[Module] = [
+            CalculatorModule(), CurrencyModule(), UnitModule()
+        ]
+        if db is not None:
+            modules.append(DatabaseModule(db))
+        modules.append(FoundationModule(model))
+        return cls(modules)
+
+    def route(self, query: str) -> Routed:
+        """Pick the module with the highest ``can_handle`` score and run it."""
+        best = max(self.modules, key=lambda m: m.can_handle(query))
+        return Routed(module=best.name, completion=best.run(query))
+
+    def answer(self, query: str) -> str:
+        return self.route(query).completion.text

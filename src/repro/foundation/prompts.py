@@ -1,0 +1,134 @@
+"""The textual prompt protocol of the simulated foundation model.
+
+Prompts follow the GPT-3-era convention the tutorial demonstrates:
+
+.. code-block:: text
+
+    Task: fix the misspelled city in each record
+    Input: city: seattl
+    Output: seattle
+    Input: city: bostn
+    Output:
+
+A :func:`parse_prompt` call recovers the task description, the few-shot
+demonstrations (complete Input/Output pairs) and the final query (the Input
+with no Output).  Builders below construct well-formed prompts for the data
+preparation tasks covered in §3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+
+
+@dataclass
+class Prompt:
+    """A parsed prompt: instructions + k demonstrations + one query."""
+
+    task: str
+    demonstrations: list[tuple[str, str]] = field(default_factory=list)
+    query: str = ""
+
+    @property
+    def num_shots(self) -> int:
+        return len(self.demonstrations)
+
+    def render(self) -> str:
+        """Serialize back to prompt text."""
+        lines = [f"Task: {self.task}"]
+        for given, expected in self.demonstrations:
+            lines.append(f"Input: {given}")
+            lines.append(f"Output: {expected}")
+        lines.append(f"Input: {self.query}")
+        lines.append("Output:")
+        return "\n".join(lines)
+
+
+def parse_prompt(text: str) -> Prompt:
+    """Parse prompt text into a :class:`Prompt`.
+
+    Raises :class:`ParseError` when the text has no Task line or no trailing
+    open query.
+    """
+    task = None
+    demonstrations: list[tuple[str, str]] = []
+    pending_input: str | None = None
+    query: str | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.lower().startswith("task:"):
+            task = line[5:].strip()
+        elif line.lower().startswith("input:"):
+            if pending_input is not None:
+                raise ParseError("two Input lines without an Output between them")
+            pending_input = line[6:].strip()
+        elif line.lower().startswith("output:"):
+            answer = line[7:].strip()
+            if pending_input is None:
+                raise ParseError("Output line with no preceding Input")
+            if answer:
+                demonstrations.append((pending_input, answer))
+            else:
+                query = pending_input
+            pending_input = None
+        else:
+            raise ParseError(f"unrecognized prompt line: {line!r}")
+    if task is None:
+        raise ParseError("prompt has no Task line")
+    if query is None:
+        if pending_input is not None:
+            query = pending_input
+        else:
+            raise ParseError("prompt has no open query (Input with empty Output)")
+    return Prompt(task=task, demonstrations=demonstrations, query=query)
+
+
+# -- builders ------------------------------------------------------------------
+
+
+def cleaning_prompt(attribute: str,
+                    demonstrations: list[tuple[str, str]] | None = None,
+                    value: str = "") -> str:
+    """Prompt asking the model to correct an attribute value."""
+    prompt = Prompt(
+        task=f"fix the erroneous {attribute} value in each record",
+        demonstrations=list(demonstrations or []),
+        query=value,
+    )
+    return prompt.render()
+
+
+def imputation_prompt(attribute: str, record: str,
+                      demonstrations: list[tuple[str, str]] | None = None) -> str:
+    """Prompt asking the model to fill in a missing attribute value."""
+    prompt = Prompt(
+        task=f"impute the missing {attribute} for each record",
+        demonstrations=list(demonstrations or []),
+        query=record,
+    )
+    return prompt.render()
+
+
+def matching_prompt(left: str, right: str,
+                    demonstrations: list[tuple[str, str]] | None = None) -> str:
+    """Prompt asking whether two records refer to the same entity."""
+    prompt = Prompt(
+        task="do the two records refer to the same entity? answer yes or no",
+        demonstrations=list(demonstrations or []),
+        query=f"record a: {left} ||| record b: {right}",
+    )
+    return prompt.render()
+
+
+def matching_demo(left: str, right: str, is_match: bool) -> tuple[str, str]:
+    """A demonstration pair for :func:`matching_prompt`."""
+    return (f"record a: {left} ||| record b: {right}", "yes" if is_match else "no")
+
+
+def qa_prompt(question: str) -> str:
+    """Open-domain question prompt (zero-shot)."""
+    return Prompt(task="answer the question", query=question).render()

@@ -1,0 +1,85 @@
+"""Retro-style retrieval augmentation (tutorial §3.1(3)).
+
+"Retro ... enhances foundation models by conditioning on data chunks
+retrieved from a large corpus."  The chunks are explicit documents, not
+knowledge baked into weights — so a Retro-augmented model answers correctly
+about facts newer than the base model's knowledge cutoff, which is the E4
+experiment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.foundation.model import Completion, FoundationModel
+from repro.text.tfidf import TfidfIndex
+
+#: Relation phrasings recognized inside retrieved chunks.  Each maps a
+#: question pattern to a statement pattern whose group(1) is the answer.
+_EXTRACTORS: list[tuple[re.Pattern, str]] = [
+    (re.compile(r"capital of ([a-z ]+)"), "the capital of {subject} is ([a-z ]+)"),
+    (re.compile(r"currency of ([a-z ]+)"), "the currency of {subject} is (?:the )?([a-z ]+)"),
+    (re.compile(r"who makes (?:the )?([a-z0-9 ]+)"), "{subject} is (?:a|an) [a-z ]+ made by ([a-z0-9 ]+)"),
+    (re.compile(r"ceo of ([a-z0-9 ]+)"), "the ceo of {subject} is ([a-z ]+)"),
+    (re.compile(r"where is ([a-z0-9 ]+) headquartered"), "{subject} is (?:a company )?headquartered in ([a-z ]+)"),
+]
+
+
+@dataclass
+class RetroAnswer:
+    """Answer plus provenance: the chunks that supported it."""
+
+    text: str
+    supporting_chunks: list[int]
+    used_retrieval: bool
+
+
+class RetroModel:
+    """A foundation model conditioned on retrieved document chunks."""
+
+    def __init__(self, base: FoundationModel, documents: list[str], top_k: int = 3):
+        self.base = base
+        self.documents = [d.lower() for d in documents]
+        self.top_k = top_k
+        self._index = TfidfIndex(self.documents) if documents else None
+
+    def retrieve(self, question: str) -> list[tuple[int, float]]:
+        """Top-k chunks for the question by TF-IDF cosine."""
+        if self._index is None:
+            return []
+        return self._index.search(question.lower(), k=self.top_k)
+
+    def answer(self, question: str) -> RetroAnswer:
+        """Try to extract the answer from retrieved chunks; fall back to the
+        base model's parametric knowledge when no chunk supports one."""
+        question = question.lower().strip().rstrip("?")
+        hits = self.retrieve(question)
+        for question_re, statement_template in _EXTRACTORS:
+            q_match = question_re.search(question)
+            if not q_match:
+                continue
+            subject = q_match.group(1).strip()
+            statement_re = re.compile(
+                statement_template.format(subject=re.escape(subject))
+            )
+            for chunk_id, _score in hits:
+                s_match = statement_re.search(self.documents[chunk_id])
+                if s_match:
+                    return RetroAnswer(
+                        text=s_match.group(1).strip(),
+                        supporting_chunks=[chunk_id],
+                        used_retrieval=True,
+                    )
+        fallback = self.base.complete(
+            f"Task: answer the question\nInput: {question}\nOutput:"
+        )
+        return RetroAnswer(
+            text=fallback.text, supporting_chunks=[], used_retrieval=False
+        )
+
+    def closed_book(self, question: str) -> Completion:
+        """The unaugmented baseline: parametric knowledge only."""
+        return self.base.complete(
+            f"Task: answer the question\nInput: {question}\nOutput:"
+        )

@@ -1,0 +1,32 @@
+"""Weak supervision and crowd labeling (tutorial intro: labeling raw data
+into a form suitable for machine learning; crowdsourced labeling).
+
+Programmatic labeling in the Snorkel style: heuristics (*labeling
+functions*) vote on each item, abstaining when unsure; a label model
+aggregates the noisy votes into training labels.  A crowd simulator
+exercises the same aggregation path with worker-accuracy noise, covering
+the crowdsourcing systems (CDB-style) the tutorial's introduction cites.
+"""
+
+from repro.labeling.crowd import CrowdSimulator, Worker
+from repro.labeling.model import (
+    ABSTAIN,
+    LabelingFunction,
+    MajorityLabelModel,
+    WeightedLabelModel,
+    apply_labeling_functions,
+    coverage,
+    lf_conflicts,
+)
+
+__all__ = [
+    "ABSTAIN",
+    "CrowdSimulator",
+    "LabelingFunction",
+    "MajorityLabelModel",
+    "WeightedLabelModel",
+    "Worker",
+    "apply_labeling_functions",
+    "coverage",
+    "lf_conflicts",
+]

@@ -1,0 +1,64 @@
+"""Crowdsourced labeling simulation (tutorial intro: CDB, crowdsourcing).
+
+Workers answer labeling tasks with per-worker accuracy; answers aggregate
+through the same label models as programmatic labeling functions, so the
+weighted model's accuracy estimation doubles as worker-quality estimation —
+the core of crowd systems like CDB and the Dawid–Skene tradition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.labeling.model import ABSTAIN
+
+
+@dataclass(frozen=True)
+class Worker:
+    """A simulated crowd worker."""
+
+    name: str
+    accuracy: float          # P(correct answer | answers)
+    response_rate: float = 1.0  # P(answers at all)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+        if not 0.0 < self.response_rate <= 1.0:
+            raise ValueError("response_rate must be in (0, 1]")
+
+
+class CrowdSimulator:
+    """Generate a worker-vote matrix for binary tasks with known truth."""
+
+    def __init__(self, workers: list[Worker], seed: int = 0):
+        if not workers:
+            raise ValueError("need at least one worker")
+        self.workers = list(workers)
+        self._rng = np.random.default_rng(seed)
+
+    def collect(self, truth: np.ndarray,
+                num_classes: int = 2) -> np.ndarray:
+        """Votes ``(n items, n workers)``: correct with worker accuracy,
+        a uniformly-wrong class otherwise, ABSTAIN when not responding."""
+        truth = np.asarray(truth, dtype=int)
+        n = len(truth)
+        votes = np.full((n, len(self.workers)), ABSTAIN, dtype=int)
+        for j, worker in enumerate(self.workers):
+            responds = self._rng.random(n) < worker.response_rate
+            correct = self._rng.random(n) < worker.accuracy
+            for i in range(n):
+                if not responds[i]:
+                    continue
+                if correct[i]:
+                    votes[i, j] = truth[i]
+                else:
+                    wrong = [c for c in range(num_classes) if c != truth[i]]
+                    votes[i, j] = wrong[int(self._rng.integers(len(wrong)))]
+        return votes
+
+    def cost(self, votes: np.ndarray, per_answer: float = 0.01) -> float:
+        """Total crowd cost: answers (non-abstains) times unit price."""
+        return float((votes != ABSTAIN).sum() * per_answer)

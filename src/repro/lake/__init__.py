@@ -1,0 +1,28 @@
+"""Data lake substrate + Symphony NL query answering."""
+
+from repro.lake.enrichment import Augmentation, Enricher, EnrichmentReport
+from repro.lake.discovery import DiscoveryHit, JoinDiscovery, LakeIndex, unionable_tables
+from repro.lake.lake import DataLake, LakeDocument, LakeTable
+from repro.lake.symphony import SubQueryResult, Symphony, SymphonyResult
+from repro.lake.tableqa import TableAnswer, TableQA
+from repro.lake.text2sql import GroundedQuery, TextToSQL
+
+__all__ = [
+    "Augmentation",
+    "DataLake",
+    "Enricher",
+    "EnrichmentReport",
+    "DiscoveryHit",
+    "GroundedQuery",
+    "JoinDiscovery",
+    "LakeDocument",
+    "LakeIndex",
+    "LakeTable",
+    "SubQueryResult",
+    "Symphony",
+    "SymphonyResult",
+    "TableAnswer",
+    "TableQA",
+    "TextToSQL",
+    "unionable_tables",
+]

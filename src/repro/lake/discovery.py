@@ -1,0 +1,100 @@
+"""Dataset discovery over the lake: keyword search, joinable and unionable
+table search (the Aurum-style primitives the tutorial's intro cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lake.lake import DataLake
+from repro.table import Table
+from repro.text.minhash import MinHasher
+from repro.text.tfidf import TfidfIndex
+
+
+@dataclass
+class DiscoveryHit:
+    """One search result."""
+
+    kind: str  # "table" | "document"
+    name: str
+    score: float
+
+
+class LakeIndex:
+    """Keyword search over every dataset's serialized representation."""
+
+    def __init__(self, lake: DataLake):
+        self.lake = lake
+        rows = lake.datasets()
+        self._kinds = [r[0] for r in rows]
+        self._names = [r[1] for r in rows]
+        self._index = (
+            TfidfIndex([r[2] for r in rows], drop_stopwords=True, stem_tokens=True)
+            if rows else None
+        )
+
+    def search(self, query: str, k: int = 5) -> list[DiscoveryHit]:
+        if self._index is None:
+            return []
+        hits = self._index.search(query, k=k)
+        return [
+            DiscoveryHit(kind=self._kinds[i], name=self._names[i], score=score)
+            for i, score in hits
+        ]
+
+
+class JoinDiscovery:
+    """Find joinable columns across lake tables via MinHash containment.
+
+    Two columns are join candidates when the estimated Jaccard of their value
+    sets exceeds ``threshold``.
+    """
+
+    def __init__(self, lake: DataLake, num_perm: int = 64, threshold: float = 0.5):
+        self.lake = lake
+        self.threshold = threshold
+        self._hasher = MinHasher(num_perm=num_perm)
+        self._signatures: dict[tuple[str, str], object] = {}
+        for lt in lake.tables.values():
+            for column in lt.table.schema.names:
+                values = {
+                    str(v) for v in lt.table.column(column) if v is not None
+                }
+                if values:
+                    self._signatures[(lt.name, column)] = self._hasher.signature(values)
+
+    def joinable_with(self, table_name: str, column: str) -> list[tuple[str, str, float]]:
+        """Columns in *other* tables joinable with ``table.column``,
+        as ``(table, column, estimated jaccard)`` sorted by score."""
+        key = (table_name, column)
+        if key not in self._signatures:
+            return []
+        own = self._signatures[key]
+        out = []
+        for (other_table, other_column), sig in self._signatures.items():
+            if other_table == table_name:
+                continue
+            score = MinHasher.estimate_jaccard(own, sig)
+            if score >= self.threshold:
+                out.append((other_table, other_column, score))
+        out.sort(key=lambda x: -x[2])
+        return out
+
+
+def unionable_tables(lake: DataLake, table: Table,
+                     min_overlap: float = 0.6) -> list[tuple[str, float]]:
+    """Tables whose schemas overlap ``table``'s by at least ``min_overlap``
+    (name-level Jaccard over column names) — candidates for unioning."""
+    own = set(table.schema.names)
+    out = []
+    for lt in lake.tables.values():
+        other = set(lt.table.schema.names)
+        union = own | other
+        if not union:
+            continue
+        score = len(own & other) / len(union)
+        if score >= min_overlap:
+            out.append((lt.name, score))
+    out.sort(key=lambda x: -x[1])
+    return out

@@ -1,0 +1,154 @@
+"""Data enrichment from the lake (ARDA-style; tutorial intro, "enriching a
+data set with other data sets").
+
+Given a base table with a prediction label, find joinable tables in the
+lake, join their columns in as candidate features, and keep only the
+augmentations that actually improve cross-validated downstream accuracy —
+the guarded forward-selection loop at the core of ARDA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lake.discovery import JoinDiscovery
+from repro.lake.lake import DataLake
+from repro.ml.models import Classifier, LogisticRegression
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler
+from repro.ml.selection import cross_val_score
+from repro.table import Table
+
+
+@dataclass
+class Augmentation:
+    """One candidate enrichment: join ``table.column`` onto the base key."""
+
+    table_name: str
+    join_column: str
+    feature_columns: list[str]
+    containment: float
+
+
+@dataclass
+class EnrichmentReport:
+    """What was tried and what was kept."""
+
+    base_score: float
+    final_score: float
+    accepted: list[Augmentation] = field(default_factory=list)
+    rejected: list[Augmentation] = field(default_factory=list)
+
+    @property
+    def gain(self) -> float:
+        return self.final_score - self.base_score
+
+
+def _featurize(table: Table, label_column: str) -> tuple[np.ndarray, np.ndarray]:
+    """Numeric matrix from a table: numerics standardized, strings one-hot."""
+    numeric_cols = [
+        c for c in table.schema.names
+        if c != label_column and table.schema.dtype_of(c) in ("int", "float")
+    ]
+    string_cols = [
+        c for c in table.schema.names
+        if c != label_column and table.schema.dtype_of(c) == "str"
+    ]
+    blocks: list[np.ndarray] = []
+    if numeric_cols:
+        numeric = np.array([
+            [0.0 if v is None else float(v) for v in table.column(c)]
+            for c in numeric_cols
+        ]).T
+        blocks.append(StandardScaler().fit_transform(numeric))
+    if string_cols:
+        strings = np.array(
+            [table.column(c) for c in string_cols], dtype=object
+        ).T
+        blocks.append(OneHotEncoder().fit_transform(strings))
+    X = np.hstack(blocks) if blocks else np.zeros((table.num_rows, 0))
+    y = np.asarray(table.column(label_column))
+    return X, y
+
+
+class Enricher:
+    """Forward-selects lake joins that improve downstream accuracy."""
+
+    def __init__(self, lake: DataLake, make_model=None, folds: int = 3,
+                 min_containment: float = 0.5, min_gain: float = 0.005,
+                 seed: int = 0):
+        self.lake = lake
+        self.make_model = make_model or (lambda: LogisticRegression(epochs=120))
+        self.folds = folds
+        self.min_containment = min_containment
+        self.min_gain = min_gain
+        self.seed = seed
+        self._discovery = JoinDiscovery(lake, threshold=min_containment)
+
+    def candidates(self, base: Table, key_column: str) -> list[Augmentation]:
+        """Joinable (table, column) pairs whose key overlaps the base key."""
+        # Register the base temporarily? JoinDiscovery indexes the lake only,
+        # so compare signatures directly.
+        from repro.text.minhash import MinHasher
+
+        hasher = self._discovery._hasher
+        base_values = {str(v) for v in base.column(key_column) if v is not None}
+        if not base_values:
+            return []
+        base_sig = hasher.signature(base_values)
+        out: list[Augmentation] = []
+        for (table_name, column), signature in self._discovery._signatures.items():
+            score = MinHasher.estimate_jaccard(base_sig, signature)
+            if score < self.min_containment:
+                continue
+            other = self.lake.tables[table_name].table
+            features = [c for c in other.schema.names if c != column]
+            if features:
+                out.append(Augmentation(
+                    table_name=table_name, join_column=column,
+                    feature_columns=features, containment=float(score),
+                ))
+        out.sort(key=lambda a: -a.containment)
+        return out
+
+    def _score(self, table: Table, label_column: str) -> float:
+        X, y = _featurize(table, label_column)
+        if X.shape[1] == 0:
+            return 0.0
+        return cross_val_score(self.make_model, X, y, folds=self.folds,
+                               seed=self.seed)
+
+    def enrich(self, base: Table, key_column: str,
+               label_column: str) -> tuple[Table, EnrichmentReport]:
+        """Greedy forward selection over candidate joins.
+
+        Each candidate is joined (left join, so base rows survive) and kept
+        only when CV accuracy improves by at least ``min_gain``.
+        """
+        report = EnrichmentReport(
+            base_score=self._score(base, label_column), final_score=0.0
+        )
+        current = base
+        current_score = report.base_score
+        for candidate in self.candidates(base, key_column):
+            other = self.lake.tables[candidate.table_name].table
+            keep = [candidate.join_column] + candidate.feature_columns
+            joined = current.join(
+                other.project(keep),
+                on=[(key_column, candidate.join_column)],
+                how="left",
+                suffix=f"_{candidate.table_name}",
+            )
+            if joined.num_rows != current.num_rows:
+                # A one-to-many join would duplicate label rows; skip it.
+                report.rejected.append(candidate)
+                continue
+            score = self._score(joined, label_column)
+            if score >= current_score + self.min_gain:
+                current, current_score = joined, score
+                report.accepted.append(candidate)
+            else:
+                report.rejected.append(candidate)
+        report.final_score = current_score
+        return current, report

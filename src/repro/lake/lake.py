@@ -1,0 +1,86 @@
+"""A multi-modal data lake: named tables plus free-text documents.
+
+This is the substrate Symphony (tutorial §3.1(4)) queries and the discovery
+algorithms search.  Tables carry light metadata (name, description) of the
+kind real lakes keep in their catalogs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.table import Table
+
+
+@dataclass
+class LakeTable:
+    """A table registered in the lake with catalog metadata."""
+
+    name: str
+    table: Table
+    description: str = ""
+
+    def serialize(self, max_values_per_column: int = 50) -> str:
+        """A flat-text rendering (schema + distinct values) for indexing.
+
+        This mirrors Symphony's "cross-modal representation": every dataset,
+        table or text, becomes a token sequence the same index can search.
+        Distinct values (rather than sample rows) make low-cardinality filter
+        columns like *cuisine* fully searchable without bloating the index
+        with every row of high-cardinality columns.
+        """
+        parts = [self.name, self.description]
+        parts.extend(self.table.schema.names)
+        for column in self.table.schema.names:
+            distinct: set[str] = set()
+            for value in self.table.column(column):
+                if value is None:
+                    continue
+                distinct.add(str(value))
+                if len(distinct) >= max_values_per_column:
+                    break
+            parts.extend(sorted(distinct))
+        return " ".join(parts)
+
+
+@dataclass
+class LakeDocument:
+    """A text document registered in the lake."""
+
+    name: str
+    text: str
+
+    def serialize(self) -> str:
+        return f"{self.name} {self.text}"
+
+
+@dataclass
+class DataLake:
+    """The lake itself: a catalog of tables and documents."""
+
+    tables: dict[str, LakeTable] = field(default_factory=dict)
+    documents: dict[str, LakeDocument] = field(default_factory=dict)
+
+    def add_table(self, name: str, table: Table, description: str = "") -> None:
+        if name in self.tables:
+            raise SchemaError(f"table {name!r} already registered")
+        self.tables[name] = LakeTable(name=name, table=table, description=description)
+
+    def add_document(self, name: str, text: str) -> None:
+        if name in self.documents:
+            raise SchemaError(f"document {name!r} already registered")
+        self.documents[name] = LakeDocument(name=name, text=text)
+
+    def datasets(self) -> list[tuple[str, str, str]]:
+        """All datasets as ``(kind, name, serialized text)`` rows."""
+        out = [
+            ("table", t.name, t.serialize()) for t in self.tables.values()
+        ]
+        out.extend(
+            ("document", d.name, d.serialize()) for d in self.documents.values()
+        )
+        return out
+
+    def __len__(self) -> int:
+        return len(self.tables) + len(self.documents)

@@ -1,0 +1,169 @@
+"""Symphony: natural-language query answering over a multi-modal data lake
+(tutorial §3.1(4); Chen et al., CIDR 2023).
+
+The four stages the tutorial lists, each an explicit component here:
+
+1. **Indexing** — every dataset (table or document) is serialized to text and
+   indexed once (:class:`~repro.lake.discovery.LakeIndex`).
+2. **Query decomposition** — compound questions split into sub-queries.
+3. **Retrieval** — each sub-query retrieves its best-matching dataset.
+4. **Routing** — table + aggregate-shaped sub-query → Text-to-SQL + the SQL
+   engine; table + lookup-shaped → TableQA; document → extractive QA.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError, ReproError
+from repro.lake.discovery import LakeIndex
+from repro.lake.lake import DataLake
+from repro.lake.tableqa import TableQA
+from repro.lake.text2sql import TextToSQL
+from repro.sql import Database
+
+_AGG_HINTS = (
+    "how many", "number of", "average", "mean", "total", "sum of",
+    "most expensive", "cheapest", "highest", "maximum", "lowest", "minimum",
+)
+
+_SPLIT_RE = re.compile(r"\s*(?:;|\?\s+and\b|\band then\b|\balso\b|\?)\s*", re.IGNORECASE)
+
+
+@dataclass
+class SubQueryResult:
+    """Trace of one sub-query through retrieve → route → answer."""
+
+    sub_query: str
+    dataset: str | None
+    kind: str | None
+    module: str | None
+    answer: str
+    sql: str | None = None
+
+
+@dataclass
+class SymphonyResult:
+    """The full trace: per-sub-query results plus the final answer list."""
+
+    question: str
+    steps: list[SubQueryResult] = field(default_factory=list)
+
+    @property
+    def answers(self) -> list[str]:
+        return [s.answer for s in self.steps]
+
+
+class Symphony:
+    """NL querying over a :class:`~repro.lake.lake.DataLake`."""
+
+    def __init__(self, lake: DataLake):
+        self.lake = lake
+        self.index = LakeIndex(lake)
+        self._db = Database({name: lt.table for name, lt in lake.tables.items()})
+        self._text2sql = {
+            name: TextToSQL(name, lt.table) for name, lt in lake.tables.items()
+        }
+        self._tableqa = {
+            name: TableQA(name, lt.table) for name, lt in lake.tables.items()
+        }
+
+    # -- stage 2: decomposition ------------------------------------------------
+
+    @staticmethod
+    def decompose(question: str) -> list[str]:
+        """Split a compound question into sub-queries."""
+        parts = [p.strip() for p in _SPLIT_RE.split(question) if p.strip()]
+        return parts if parts else [question.strip()]
+
+    # -- stage 3: retrieval -------------------------------------------------------
+
+    def retrieve(self, sub_query: str,
+                 prefer_kind: str | None = None) -> tuple[str, str] | None:
+        """Best (kind, dataset name) for a sub-query, or None when the lake
+        has nothing relevant.
+
+        ``prefer_kind`` biases retrieval: aggregate-shaped sub-queries need a
+        table, so the router asks for one and only falls back to documents
+        when no table scores above zero.
+        """
+        hits = self.index.search(sub_query, k=5)
+        hits = [h for h in hits if h.score > 0.0]
+        if not hits:
+            return None
+        if prefer_kind is not None:
+            preferred = [h for h in hits if h.kind == prefer_kind]
+            if preferred:
+                return preferred[0].kind, preferred[0].name
+        return hits[0].kind, hits[0].name
+
+    # -- stage 4: routing ----------------------------------------------------------
+
+    def answer(self, question: str) -> SymphonyResult:
+        """Decompose, retrieve, route, and answer."""
+        result = SymphonyResult(question=question)
+        for sub_query in self.decompose(question):
+            result.steps.append(self._answer_one(sub_query))
+        return result
+
+    def _answer_one(self, sub_query: str) -> SubQueryResult:
+        wants_aggregate = any(h in sub_query.lower() for h in _AGG_HINTS)
+        located = self.retrieve(
+            sub_query, prefer_kind="table" if wants_aggregate else None
+        )
+        if located is None:
+            return SubQueryResult(
+                sub_query=sub_query, dataset=None, kind=None,
+                module=None, answer="unknown",
+            )
+        kind, name = located
+        if kind == "document":
+            return SubQueryResult(
+                sub_query=sub_query, dataset=name, kind=kind, module="doc-qa",
+                answer=self._doc_answer(name, sub_query),
+            )
+        if wants_aggregate:
+            try:
+                grounded = self._text2sql[name].translate(sub_query)
+                table = self._db.query(grounded.sql)
+                answer = self._scalarize(table)
+                return SubQueryResult(
+                    sub_query=sub_query, dataset=name, kind=kind,
+                    module="text-to-sql", answer=answer, sql=grounded.sql,
+                )
+            except (ParseError, ReproError):
+                pass  # fall through to TableQA
+        try:
+            qa = self._tableqa[name].answer(sub_query)
+            return SubQueryResult(
+                sub_query=sub_query, dataset=name, kind=kind,
+                module="table-qa", answer=qa.text,
+            )
+        except ParseError:
+            return SubQueryResult(
+                sub_query=sub_query, dataset=name, kind=kind,
+                module=None, answer="unknown",
+            )
+
+    def _doc_answer(self, name: str, sub_query: str) -> str:
+        """Extractive QA: the document sentence sharing the most query tokens."""
+        from repro.text.tokenize import sentences, words
+
+        text = self.lake.documents[name].text
+        query_tokens = set(words(sub_query))
+        best_score, best = 0, "unknown"
+        for sentence in sentences(text):
+            overlap = len(query_tokens & set(words(sentence)))
+            if overlap > best_score:
+                best_score, best = overlap, sentence.strip()
+        return best
+
+    @staticmethod
+    def _scalarize(table) -> str:
+        if table.num_rows == 1 and table.num_columns == 1:
+            value = table.row(0)[0]
+            return "unknown" if value is None else str(value)
+        if table.num_rows >= 1 and table.num_columns >= 1:
+            return str(table.row(0)[0])
+        return "unknown"

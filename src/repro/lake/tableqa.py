@@ -1,0 +1,83 @@
+"""Table question answering (the PASTA stand-in, §3.1(4)).
+
+Answers lookup questions against one table: find the row whose entity column
+best matches the question's entity mention, then return the requested
+attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.table import Table
+from repro.text.similarity import jaccard_similarity, jaro_winkler_similarity
+from repro.text.tokenize import words
+
+
+@dataclass
+class TableAnswer:
+    """An answer with the supporting row index."""
+
+    text: str
+    row: int
+    column: str
+
+
+class TableQA:
+    """Row-lookup QA over a single table."""
+
+    def __init__(self, table_name: str, table: Table):
+        self.table_name = table_name
+        self.table = table
+        self._entity_column = self._pick_entity_column(table)
+
+    @staticmethod
+    def _pick_entity_column(table: Table) -> str:
+        for column in table.schema.names:
+            if column.lower() in ("name", "title"):
+                return column
+        # Fall back to the first string column.
+        for column in table.schema.names:
+            if table.schema.dtype_of(column) == "str":
+                return column
+        return table.schema.names[0]
+
+    def answer(self, question: str) -> TableAnswer:
+        """Answer "what is the <attribute> of <entity>" style questions."""
+        q = question.lower().strip().rstrip("?")
+        column = self._requested_column(q)
+        if column is None:
+            raise ParseError(f"no attribute of {self.table_name} mentioned in: {q!r}")
+        row = self._best_row(q)
+        if row is None:
+            raise ParseError(f"no row of {self.table_name} matches: {q!r}")
+        value = self.table.cell(row, column)
+        return TableAnswer(
+            text="unknown" if value is None else str(value), row=row, column=column
+        )
+
+    def _requested_column(self, q: str) -> str | None:
+        tokens = set(words(q))
+        best = None
+        for column in self.table.schema.names:
+            if column == self._entity_column:
+                continue
+            if set(words(column)) <= tokens:
+                if best is None or len(column) > len(best):
+                    best = column
+        return best
+
+    def _best_row(self, q: str) -> int | None:
+        """Row whose entity value overlaps the question most."""
+        best_score, best_row = 0.35, None
+        for i, value in enumerate(self.table.column(self._entity_column)):
+            if value is None:
+                continue
+            text = str(value).lower()
+            score = 0.7 * jaccard_similarity(text, q) + 0.3 * (
+                1.0 if text in q else jaro_winkler_similarity(text, q) * 0.5
+            )
+            if score > best_score:
+                best_score, best_row = score, i
+        return best_row

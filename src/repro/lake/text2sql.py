@@ -1,0 +1,152 @@
+"""Natural-language → SQL translation (the SCPrompt stand-in, §3.1(4)).
+
+A schema-aware semantic parser: aggregate keywords pick the SELECT shape,
+and query tokens are grounded against a column-value index to build WHERE
+equality predicates.  It covers the aggregate/filter/count queries the
+Symphony experiment issues; anything it cannot ground raises
+:class:`~repro.errors.ParseError` so the router can fall back.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.table import Table
+from repro.text.tokenize import words
+
+_AGG_KEYWORDS = [
+    ("how many", "count"),
+    ("number of", "count"),
+    ("count of", "count"),
+    ("average", "avg"),
+    ("mean", "avg"),
+    ("total", "sum"),
+    ("sum of", "sum"),
+    ("highest", "max"),
+    ("maximum", "max"),
+    ("most expensive", "max"),
+    ("lowest", "min"),
+    ("minimum", "min"),
+    ("cheapest", "min"),
+]
+
+
+@dataclass
+class GroundedQuery:
+    """The parse result: SQL plus which tokens grounded where."""
+
+    sql: str
+    aggregate: str | None
+    target_column: str | None
+    filters: list[tuple[str, str]]
+
+
+class TextToSQL:
+    """Translate NL questions into SQL for one table."""
+
+    def __init__(self, table_name: str, table: Table):
+        self.table_name = table_name
+        self.table = table
+        # Value index: token -> (column, full value) for categorical grounding.
+        self._value_index: dict[str, list[tuple[str, str]]] = {}
+        for column in table.schema.names:
+            if table.schema.dtype_of(column) != "str":
+                continue
+            for value in sorted({v for v in table.column(column) if v is not None}):
+                for token in words(str(value)):
+                    self._value_index.setdefault(token, []).append((column, str(value)))
+
+    def translate(self, question: str) -> GroundedQuery:
+        """Produce SQL for the question; raise ParseError if ungroundable."""
+        q = question.lower().strip().rstrip("?")
+        aggregate = None
+        for phrase, fn in _AGG_KEYWORDS:
+            if phrase in q:
+                aggregate = fn
+                break
+        target_column = self._target_column(q, aggregate)
+        filters = self._ground_filters(q)
+        select = self._select_clause(aggregate, target_column, q)
+        where = ""
+        if filters:
+            predicates = " and ".join(
+                f"{column} = '{value}'" for column, value in filters
+            )
+            where = f" where {predicates}"
+        sql = f"select {select} from {self.table_name}{where}"
+        if aggregate in ("max", "min") and target_column:
+            # "most expensive product" wants the row, not the number: order it.
+            name_col = self._entity_column()
+            direction = "desc" if aggregate == "max" else "asc"
+            sql = (
+                f"select {name_col} from {self.table_name}{where} "
+                f"order by {target_column} {direction} limit 1"
+            )
+        return GroundedQuery(
+            sql=sql, aggregate=aggregate,
+            target_column=target_column, filters=filters,
+        )
+
+    def _select_clause(self, aggregate: str | None,
+                       target_column: str | None, q: str) -> str:
+        if aggregate == "count":
+            return "count(*) as n"
+        if aggregate in ("avg", "sum", "max", "min") and target_column:
+            # max/min get rewritten into ORDER BY … LIMIT 1 by the caller.
+            return f"{aggregate}({target_column}) as value"
+        if aggregate is None:
+            requested = self._requested_column(q)
+            if requested:
+                return requested
+        raise ParseError(f"cannot build a SELECT for: {q!r}")
+
+    def _target_column(self, q: str, aggregate: str | None) -> str | None:
+        if aggregate in (None, "count"):
+            return None
+        numeric = [
+            c for c in self.table.schema.names
+            if self.table.schema.dtype_of(c) in ("int", "float")
+        ]
+        for column in numeric:
+            if column.lower() in q:
+                return column
+        # Default numeric target: price-like first, else the first numeric.
+        for column in numeric:
+            if "price" in column.lower():
+                return column
+        return numeric[0] if numeric else None
+
+    def _requested_column(self, q: str) -> str | None:
+        for column in self.table.schema.names:
+            if re.search(rf"\b{re.escape(column.lower())}\b", q):
+                return column
+        return None
+
+    def _entity_column(self) -> str:
+        for column in self.table.schema.names:
+            if column.lower() in ("name", "title"):
+                return column
+        return self.table.schema.names[0]
+
+    def _ground_filters(self, q: str) -> list[tuple[str, str]]:
+        """Match query tokens against the column-value index.
+
+        A value is grounded when all of its tokens appear in the question;
+        per column we keep the longest grounded value.
+        """
+        tokens = set(words(q))
+        candidates: dict[str, str] = {}
+        seen: set[tuple[str, str]] = set()
+        for token in sorted(tokens):  # sorted: ties must not depend on hash order
+            for column, value in self._value_index.get(token, ()):
+                if (column, value) in seen:
+                    continue
+                seen.add((column, value))
+                value_tokens = set(words(value))
+                if value_tokens <= tokens:
+                    current = candidates.get(column)
+                    if current is None or len(value) > len(current):
+                        candidates[column] = value
+        return sorted(candidates.items())

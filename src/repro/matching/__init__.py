@@ -1,0 +1,76 @@
+"""Data matching: blocking, entity/schema matching, column typing, Unicorn."""
+
+from repro.matching.annotation import (
+    ColumnAnnotator,
+    DoduoAnnotator,
+    FeatureAnnotator,
+    PLMAnnotator,
+    column_features,
+)
+from repro.matching.blocking import (
+    Blocker,
+    BlockingResult,
+    EmbeddingBlocker,
+    KeyBlocker,
+    LSHBlocker,
+)
+from repro.matching.ditto import DittoMatcher, serialize_record
+from repro.matching.matchers import (
+    EmbeddingMatcher,
+    EntityMatcher,
+    FoundationModelMatcher,
+    RuleBasedMatcher,
+    attribute_similarities,
+)
+from repro.matching.resolution import (
+    EntityCluster,
+    ResolutionResult,
+    cluster_f1,
+    consolidate,
+    resolve_entities,
+)
+from repro.matching.tasks import (
+    column_type_instances,
+    entity_instances,
+    schema_instances,
+    string_instances,
+    unified_task_mixture,
+)
+from repro.matching.schema import Correspondence, SchemaMatcher, schema_matching_accuracy
+from repro.matching.unified import MatchingInstance, MixtureOfExperts, UnicornMatcher
+
+__all__ = [
+    "Blocker",
+    "BlockingResult",
+    "ColumnAnnotator",
+    "Correspondence",
+    "DittoMatcher",
+    "DoduoAnnotator",
+    "EmbeddingBlocker",
+    "EmbeddingMatcher",
+    "EntityCluster",
+    "EntityMatcher",
+    "FeatureAnnotator",
+    "FoundationModelMatcher",
+    "KeyBlocker",
+    "LSHBlocker",
+    "MatchingInstance",
+    "MixtureOfExperts",
+    "PLMAnnotator",
+    "ResolutionResult",
+    "RuleBasedMatcher",
+    "SchemaMatcher",
+    "UnicornMatcher",
+    "attribute_similarities",
+    "column_type_instances",
+    "entity_instances",
+    "schema_instances",
+    "string_instances",
+    "unified_task_mixture",
+    "cluster_f1",
+    "column_features",
+    "consolidate",
+    "resolve_entities",
+    "schema_matching_accuracy",
+    "serialize_record",
+]

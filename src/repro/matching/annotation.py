@@ -1,0 +1,222 @@
+"""Column type annotation (tutorial §3.2(2)(3)).
+
+Three annotators along the tutorial's progression:
+
+- :class:`FeatureAnnotator` — hand-crafted character/shape statistics into a
+  random forest (the pre-PLM baseline, Sherlock-style);
+- :class:`PLMAnnotator` — fine-tuned transformer over the serialized column
+  (values + header), single task;
+- :class:`DoduoAnnotator` — the Doduo recipe: the same encoder reads the
+  column *with its table context* and is trained multi-task (type label +
+  auxiliary table-domain label) through a shared encoder.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.datasets.columns import COLUMN_TYPES, ColumnSample
+from repro.errors import NotFittedError
+from repro.ml.models import RandomForestClassifier
+from repro.nn.functional import cross_entropy
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.plm.finetune import SequenceClassifier
+from repro.plm.model import ClassifierHead, MiniBert
+
+_PHONE_RE = re.compile(r"^\d{3}[- ]\d{3}[- ]\d{4}$")
+_YEAR_RE = re.compile(r"^(19|20)\d\d$")
+_PRICE_RE = re.compile(r"^\d+\.\d{2}$")
+
+
+class ColumnAnnotator:
+    """Predicts a semantic type per column sample."""
+
+    labels = list(COLUMN_TYPES)
+
+    def fit(self, samples: list[ColumnSample]) -> "ColumnAnnotator":
+        raise NotImplementedError
+
+    def predict(self, samples: list[ColumnSample]) -> list[str]:
+        raise NotImplementedError
+
+    def accuracy(self, samples: list[ColumnSample]) -> float:
+        predictions = self.predict(samples)
+        hits = sum(1 for p, s in zip(predictions, samples) if p == s.label)
+        return hits / len(samples) if samples else 0.0
+
+
+def column_features(sample: ColumnSample) -> np.ndarray:
+    """Shape statistics of the value strings (no semantics)."""
+    values = sample.values
+    lengths = np.array([len(v) for v in values], dtype=float)
+    digit_fracs = np.array(
+        [sum(c.isdigit() for c in v) / max(len(v), 1) for v in values]
+    )
+    alpha_fracs = np.array(
+        [sum(c.isalpha() for c in v) / max(len(v), 1) for v in values]
+    )
+    space_counts = np.array([v.count(" ") for v in values], dtype=float)
+    distinct_ratio = len(set(values)) / max(len(values), 1)
+    phone_frac = np.mean([bool(_PHONE_RE.match(v)) for v in values])
+    year_frac = np.mean([bool(_YEAR_RE.match(v)) for v in values])
+    price_frac = np.mean([bool(_PRICE_RE.match(v)) for v in values])
+    comma_frac = np.mean(["," in v for v in values])
+    return np.array([
+        lengths.mean(), lengths.std(),
+        digit_fracs.mean(), alpha_fracs.mean(),
+        space_counts.mean(), distinct_ratio,
+        phone_frac, year_frac, price_frac, comma_frac,
+    ])
+
+
+class FeatureAnnotator(ColumnAnnotator):
+    """Random forest over :func:`column_features`."""
+
+    def __init__(self, n_trees: int = 30, max_depth: int = 8, seed: int = 0):
+        self._clf = RandomForestClassifier(
+            n_trees=n_trees, max_depth=max_depth, seed=seed
+        )
+        self.fitted = False
+
+    def fit(self, samples: list[ColumnSample]) -> "FeatureAnnotator":
+        X = np.stack([column_features(s) for s in samples])
+        y = np.array([self.labels.index(s.label) for s in samples])
+        self._clf.fit(X, y)
+        self.fitted = True
+        return self
+
+    def predict(self, samples: list[ColumnSample]) -> list[str]:
+        if not self.fitted:
+            raise NotFittedError("FeatureAnnotator not fitted")
+        X = np.stack([column_features(s) for s in samples])
+        return [self.labels[int(i)] for i in self._clf.predict(X)]
+
+
+class PLMAnnotator(ColumnAnnotator):
+    """Single-task fine-tuned transformer over serialized columns."""
+
+    def __init__(self, encoder: MiniBert, lr: float = 2e-3, seed: int = 0,
+                 include_context: bool = False):
+        self.encoder = encoder
+        self.include_context = include_context
+        self._clf = SequenceClassifier(
+            encoder, num_classes=len(self.labels), lr=lr, seed=seed
+        )
+
+    def _texts(self, samples: list[ColumnSample]) -> list[str]:
+        return [s.serialized(include_context=self.include_context) for s in samples]
+
+    def fit(self, samples: list[ColumnSample], epochs: int = 6,
+            batch_size: int = 16) -> "PLMAnnotator":
+        y = np.array([self.labels.index(s.label) for s in samples])
+        self._clf.fit(self._texts(samples), y, epochs=epochs, batch_size=batch_size)
+        return self
+
+    def predict(self, samples: list[ColumnSample]) -> list[str]:
+        predictions = self._clf.predict(self._texts(samples))
+        return [self.labels[int(i)] for i in predictions]
+
+
+class DoduoAnnotator(ColumnAnnotator):
+    """Multi-task PLM annotator with table context (the Doduo recipe).
+
+    One shared encoder serves two heads trained jointly:
+
+    - a **type head** reading the column itself (header + values);
+    - a **domain head** reading the column *with its table context* — which
+      table family the column sits in.
+
+    At prediction time the heads compose: type logits are shifted by the log
+    probability of each type's home domain, so columns whose values alone
+    are ambiguous (a year column could be a paper year or a product release
+    year) get disambiguated by their table — the effect Doduo obtains from
+    encoding all of a table's columns jointly.
+    """
+
+    domains = ["products", "restaurants", "papers"]
+    _DOMAIN_OF_LABEL = {
+        "product_name": 0, "brand": 0, "category": 0, "price": 0,
+        "storage": 0, "release_year": 0,
+        "restaurant_name": 1, "cuisine": 1, "city": 1, "address": 1, "phone": 1,
+        "paper_title": 2, "authors": 2, "venue": 2, "year": 2,
+    }
+
+    def __init__(self, encoder: MiniBert, lr: float = 2e-3, seed: int = 0,
+                 aux_weight: float = 0.5, context_weight: float = 2.0):
+        self.encoder = encoder
+        self.aux_weight = aux_weight
+        self.context_weight = context_weight
+        self.type_head = ClassifierHead(encoder.dim, len(self.labels), seed=seed)
+        self.domain_head = ClassifierHead(encoder.dim, len(self.domains), seed=seed + 1)
+        self._optimizer = Adam(
+            encoder.parameters()
+            + self.type_head.parameters()
+            + self.domain_head.parameters(),
+            lr=lr,
+        )
+        self._rng = np.random.default_rng(seed)
+        self.fitted = False
+
+    def _encode(self, samples: list[ColumnSample],
+                include_context: bool) -> tuple[np.ndarray, np.ndarray]:
+        texts = [s.serialized(include_context=include_context) for s in samples]
+        return self.encoder.batch_encode(texts)
+
+    def fit(self, samples: list[ColumnSample], epochs: int = 6,
+            batch_size: int = 16) -> "DoduoAnnotator":
+        type_ids, type_masks = self._encode(samples, include_context=False)
+        ctx_ids, ctx_masks = self._encode(samples, include_context=True)
+        type_labels = np.array([self.labels.index(s.label) for s in samples])
+        domain_labels = np.array([self.domains.index(s.domain) for s in samples])
+        n = len(samples)
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            for lo in range(0, n, batch_size):
+                batch = order[lo : lo + batch_size]
+                cls_type = self.encoder.cls_embedding(
+                    type_ids[batch], mask=type_masks[batch]
+                )
+                cls_ctx = self.encoder.cls_embedding(
+                    ctx_ids[batch], mask=ctx_masks[batch]
+                )
+                loss = cross_entropy(self.type_head(cls_type), type_labels[batch])
+                aux = cross_entropy(self.domain_head(cls_ctx), domain_labels[batch])
+                total = loss + aux * self.aux_weight
+                self._optimizer.zero_grad()
+                total.backward()
+                clip_grad_norm(self._optimizer.parameters, 5.0)
+                self._optimizer.step()
+        self.fitted = True
+        return self
+
+    def predict(self, samples: list[ColumnSample]) -> list[str]:
+        if not self.fitted:
+            raise NotFittedError("DoduoAnnotator not fitted")
+        type_ids, type_masks = self._encode(samples, include_context=False)
+        ctx_ids, ctx_masks = self._encode(samples, include_context=True)
+        domain_of_label = np.array([
+            self._DOMAIN_OF_LABEL.get(label, 0) for label in self.labels
+        ])
+        out: list[str] = []
+        for lo in range(0, len(samples), 64):
+            cls_type = self.encoder.cls_embedding(
+                type_ids[lo : lo + 64], mask=type_masks[lo : lo + 64]
+            )
+            cls_ctx = self.encoder.cls_embedding(
+                ctx_ids[lo : lo + 64], mask=ctx_masks[lo : lo + 64]
+            )
+            type_logits = self.type_head(cls_type).numpy()
+            domain_logits = self.domain_head(cls_ctx).numpy()
+            domain_logp = domain_logits - _logsumexp(domain_logits)
+            combined = type_logits + self.context_weight * domain_logp[:, domain_of_label]
+            out.extend(self.labels[int(i)] for i in combined.argmax(axis=1))
+        return out
+
+
+def _logsumexp(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return logits.max(axis=1, keepdims=True) + np.log(
+        np.exp(shifted).sum(axis=1, keepdims=True)
+    )

@@ -1,0 +1,186 @@
+"""Blocking: prune the quadratic pair space before matching (§3.2).
+
+Three families, matching the tutorial's storyline:
+
+- :class:`KeyBlocker` — classic blocking on an attribute-derived key; cheap,
+  brittle to noise in the key attribute;
+- :class:`LSHBlocker` — MinHash LSH over record tokens; robust to token
+  reordering but still token-exact;
+- :class:`EmbeddingBlocker` — the DeepBlocker recipe: embed each record
+  (fastText-style subword embeddings survive typos) and take top-k nearest
+  neighbours, so misspelled records still land near their duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.em import EMDataset, Record
+from repro.ml.metrics import pair_completeness, reduction_ratio
+from repro.text.minhash import LSHIndex
+from repro.text.tokenize import words
+
+
+@dataclass
+class BlockingResult:
+    """Candidate set plus its quality metrics against ground truth."""
+
+    candidates: set[tuple[str, str]]
+    recall: float          # pair completeness
+    reduction: float       # reduction ratio
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+
+class Blocker:
+    """Produces candidate (rid_a, rid_b) pairs for a two-source dataset."""
+
+    def candidates(self, dataset: EMDataset) -> set[tuple[str, str]]:
+        raise NotImplementedError
+
+    def evaluate(self, dataset: EMDataset) -> BlockingResult:
+        candidates = self.candidates(dataset)
+        total = len(dataset.source_a) * len(dataset.source_b)
+        return BlockingResult(
+            candidates=candidates,
+            recall=pair_completeness(candidates, dataset.matches),
+            reduction=reduction_ratio(len(candidates), total),
+        )
+
+
+class KeyBlocker(Blocker):
+    """Group records by an exact blocking key and pair within groups.
+
+    The default key is the first token of the first attribute — the classic
+    "first word of the name" heuristic.
+    """
+
+    def __init__(self, key_fn: Callable[[Record], str] | None = None):
+        self.key_fn = key_fn or _default_key
+
+    def candidates(self, dataset: EMDataset) -> set[tuple[str, str]]:
+        buckets: dict[str, list[str]] = {}
+        for record in dataset.source_b:
+            buckets.setdefault(self.key_fn(record), []).append(record.rid)
+        out: set[tuple[str, str]] = set()
+        for record in dataset.source_a:
+            for rid_b in buckets.get(self.key_fn(record), ()):
+                out.add((record.rid, rid_b))
+        return out
+
+
+def _default_key(record: Record) -> str:
+    tokens = words(record.value_text())
+    return tokens[0] if tokens else ""
+
+
+class LSHBlocker(Blocker):
+    """MinHash-LSH over record word tokens."""
+
+    def __init__(self, num_perm: int = 64, bands: int = 16, seed: int = 7):
+        self.num_perm = num_perm
+        self.bands = bands
+        self.seed = seed
+
+    def candidates(self, dataset: EMDataset) -> set[tuple[str, str]]:
+        index = LSHIndex(num_perm=self.num_perm, bands=self.bands, seed=self.seed)
+        for record in dataset.source_b:
+            index.add(record.rid, words(record.value_text()))
+        out: set[tuple[str, str]] = set()
+        for record in dataset.source_a:
+            for rid_b in index.query(words(record.value_text())):
+                out.add((record.rid, rid_b))
+        return out
+
+
+class EmbeddingBlocker(Blocker):
+    """DeepBlocker-style: embed records, keep top-k nearest per record.
+
+    Two embedding modes:
+
+    - ``embed`` — any text→vector function (e.g. a model's ``embed_text``);
+    - ``token_embed`` — a token→vector function (fastText's
+      ``token_vector``); record vectors are then the *IDF-weighted* mean of
+      token vectors, computed against the dataset being blocked.  Weighting
+      matters: unweighted means are dominated by tokens every record shares
+      (brands, categories), while the discriminative name tokens are rare.
+
+    ``attribute`` restricts blocking to one field (the usual practice —
+    block on the name, not the whole record, so per-record noise fields like
+    prices don't pollute the key).
+    """
+
+    def __init__(self, embed: Callable[[str], np.ndarray] | None = None,
+                 k: int = 5,
+                 token_embed: Callable[[str], np.ndarray] | None = None,
+                 attribute: str | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if (embed is None) == (token_embed is None):
+            raise ValueError("provide exactly one of embed / token_embed")
+        self.embed = embed
+        self.token_embed = token_embed
+        self.k = k
+        self.attribute = attribute
+
+    def _text(self, record: Record) -> str:
+        if self.attribute is not None:
+            value = record.attributes.get(self.attribute)
+            return "" if value is None else str(value)
+        return record.value_text()
+
+    def _vectors(self, dataset: EMDataset) -> tuple[np.ndarray, np.ndarray]:
+        texts_a = [self._text(r) for r in dataset.source_a]
+        texts_b = [self._text(r) for r in dataset.source_b]
+        if self.embed is not None:
+            return (
+                np.stack([self.embed(t) for t in texts_a]),
+                np.stack([self.embed(t) for t in texts_b]),
+            )
+        from collections import Counter
+
+        document_freq: Counter[str] = Counter()
+        for text in texts_a + texts_b:
+            document_freq.update(set(words(text)))
+        n = len(texts_a) + len(texts_b)
+
+        def weighted(text: str) -> np.ndarray:
+            tokens = words(text)
+            if not tokens:
+                probe = self.token_embed("empty")
+                return np.zeros_like(probe)
+            weights = np.array([
+                np.log(n / (1 + document_freq.get(t, 0))) + 1.0 for t in tokens
+            ])
+            vectors = np.stack([self.token_embed(t) for t in tokens])
+            return (vectors * weights[:, None]).sum(axis=0) / weights.sum()
+
+        return (
+            np.stack([weighted(t) for t in texts_a]),
+            np.stack([weighted(t) for t in texts_b]),
+        )
+
+    def candidates(self, dataset: EMDataset) -> set[tuple[str, str]]:
+        a_vecs, b_vecs = self._vectors(dataset)
+        a_norm = _normalize(a_vecs)
+        b_norm = _normalize(b_vecs)
+        sims = a_norm @ b_norm.T
+        k = min(self.k, len(dataset.source_b))
+        out: set[tuple[str, str]] = set()
+        top = np.argpartition(-sims, k - 1, axis=1)[:, :k]
+        for i, record in enumerate(dataset.source_a):
+            for j in top[i]:
+                out.add((record.rid, dataset.source_b[int(j)].rid))
+        return out
+
+
+def _normalize(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return np.divide(
+        matrix, norms, out=np.zeros_like(matrix, dtype=float), where=norms > 0
+    )

@@ -1,0 +1,166 @@
+"""Entity matchers along the tutorial's progression (§3.1–§3.2):
+
+rule-based similarity (the traditional baseline) → static-word-embedding
+matcher (first-generation PLMs) → foundation-model prompting (zero/few-shot).
+The fine-tuned-transformer matcher (Ditto) lives in
+:mod:`repro.matching.ditto`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.em import Record
+from repro.foundation.model import FoundationModel
+from repro.foundation.prompts import matching_demo, matching_prompt
+from repro.ml.metrics import PRF, precision_recall_f1
+from repro.ml.models import LogisticRegression
+from repro.text.similarity import (
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    numeric_similarity,
+)
+
+Pair = tuple[Record, Record]
+
+
+class EntityMatcher:
+    """Predicts match (1) / non-match (0) for record pairs."""
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        raise NotImplementedError
+
+    def evaluate(self, pairs: list[Pair], labels: np.ndarray) -> PRF:
+        return precision_recall_f1(np.asarray(labels), self.predict(pairs))
+
+
+def attribute_similarities(a: Record, b: Record) -> np.ndarray:
+    """Per-attribute similarity features over the union of attributes.
+
+    String attributes contribute Jaccard + Jaro-Winkler + Monge-Elkan;
+    numeric attributes contribute relative closeness; missing values
+    contribute a neutral 0.5 (absence is not evidence either way).
+    """
+    keys = sorted(set(a.attributes) | set(b.attributes))
+    features: list[float] = []
+    for key in keys:
+        va = a.attributes.get(key)
+        vb = b.attributes.get(key)
+        if va is None or vb is None:
+            features.extend([0.5, 0.5, 0.5])
+            continue
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            sim = numeric_similarity(float(va), float(vb))
+            features.extend([sim, sim, sim])
+            continue
+        sa, sb = str(va), str(vb)
+        features.append(jaccard_similarity(sa, sb))
+        features.append(jaro_winkler_similarity(sa, sb))
+        features.append(monge_elkan_similarity(sa, sb))
+    # Whole-record similarities round out the vector.
+    features.append(jaccard_similarity(a.value_text(), b.value_text()))
+    features.append(levenshtein_similarity(a.value_text()[:60], b.value_text()[:60]))
+    return np.array(features)
+
+
+class RuleBasedMatcher(EntityMatcher):
+    """Threshold on mean attribute similarity — the no-learning baseline."""
+
+    def __init__(self, threshold: float = 0.62):
+        self.threshold = threshold
+
+    def score(self, a: Record, b: Record) -> float:
+        return float(attribute_similarities(a, b).mean())
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        return np.array(
+            [1 if self.score(a, b) >= self.threshold else 0 for a, b in pairs]
+        )
+
+
+class EmbeddingMatcher(EntityMatcher):
+    """First-generation-PLM matcher (DeepER-style): word-embedding features
+    plus string features, classified by logistic regression.
+
+    ``embed`` maps text to a static embedding (skip-gram / GloVe / fastText).
+    """
+
+    def __init__(self, embed: Callable[[str], np.ndarray],
+                 use_string_features: bool = True, epochs: int = 300):
+        self.embed = embed
+        self.use_string_features = use_string_features
+        self._clf = LogisticRegression(lr=0.5, epochs=epochs)
+        self.fitted = False
+
+    def features(self, a: Record, b: Record) -> np.ndarray:
+        keys = sorted(set(a.attributes) | set(b.attributes))
+        feats: list[float] = []
+        for key in keys:
+            va, vb = a.attributes.get(key), b.attributes.get(key)
+            if va is None or vb is None:
+                feats.append(0.5)
+                continue
+            ea, eb = self.embed(str(va)), self.embed(str(vb))
+            feats.append(_cosine(ea, eb))
+        feats.append(_cosine(self.embed(a.value_text()), self.embed(b.value_text())))
+        if self.use_string_features:
+            feats.extend(attribute_similarities(a, b))
+        return np.array(feats)
+
+    def fit(self, pairs: list[Pair], labels: np.ndarray) -> "EmbeddingMatcher":
+        X = np.stack([self.features(a, b) for a, b in pairs])
+        y = np.asarray(labels)
+        # EM training sets are match-poor; oversample the minority class so
+        # the classifier cannot win by predicting all-negative.
+        positives = np.flatnonzero(y == 1)
+        negatives = np.flatnonzero(y == 0)
+        if len(positives) and len(negatives):
+            minority, majority = sorted((positives, negatives), key=len)
+            repeat = len(majority) // max(len(minority), 1)
+            if repeat > 1:
+                X = np.vstack([X, np.repeat(X[minority], repeat - 1, axis=0)])
+                y = np.concatenate([y, np.repeat(y[minority], repeat - 1)])
+        self._clf.fit(X, y)
+        self.fitted = True
+        return self
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        X = np.stack([self.features(a, b) for a, b in pairs])
+        return self._clf.predict(X)
+
+
+class FoundationModelMatcher(EntityMatcher):
+    """Prompt a foundation model per pair (§3.1(2)): zero-shot with no
+    demonstrations, few-shot when ``demonstrations`` are provided."""
+
+    def __init__(self, model: FoundationModel,
+                 demonstrations: list[tuple[Record, Record, int]] | None = None):
+        self.model = model
+        self.demo_pairs = [
+            matching_demo(a.text(), b.text(), bool(label))
+            for a, b, label in (demonstrations or [])
+        ]
+
+    @property
+    def num_shots(self) -> int:
+        return len(self.demo_pairs)
+
+    def predict_one(self, a: Record, b: Record) -> int:
+        prompt = matching_prompt(a.text(), b.text(), self.demo_pairs)
+        answer = self.model.complete(prompt).text.strip().lower()
+        return 1 if answer == "yes" else 0
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        return np.array([self.predict_one(a, b) for a, b in pairs])
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 0.0
+    return float(a @ b / denom)

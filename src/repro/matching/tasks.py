@@ -1,0 +1,129 @@
+"""Builders for unified-matching task mixtures (§3.2(5)).
+
+Unicorn's promise is "common data matching tasks" under one model: entity
+matching, column-type matching, string (alias) matching, schema matching.
+These builders turn the world and the EM benchmarks into task-tagged
+:class:`~repro.matching.unified.MatchingInstance` mixtures so benches,
+tests and user code share one construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.em import EMDataset
+from repro.datasets.world import World
+from repro.matching.ditto import serialize_record
+from repro.matching.unified import MatchingInstance
+
+
+def entity_instances(dataset: EMDataset, n: int, seed: int = 0,
+                     text_cap: int = 80) -> list[MatchingInstance]:
+    """Entity-matching instances from a labeled pair sample."""
+    labeled = dataset.labeled_pairs(n, seed=seed, match_fraction=0.5)
+    return [
+        MatchingInstance(
+            "entity",
+            serialize_record(a)[:text_cap],
+            serialize_record(b)[:text_cap],
+            label,
+        )
+        for a, b, label in labeled
+    ]
+
+
+def column_type_instances(world: World, n: int,
+                          seed: int = 0) -> list[MatchingInstance]:
+    """Does this value belong to this semantic type?"""
+    rng = np.random.default_rng(seed)
+    out: list[MatchingInstance] = []
+    for _ in range(n):
+        restaurant = world.restaurants[int(rng.integers(len(world.restaurants)))]
+        if rng.random() < 0.5:
+            out.append(MatchingInstance(
+                "columntype", restaurant.cuisine, "cuisine", 1))
+        else:
+            out.append(MatchingInstance(
+                "columntype", restaurant.city, "cuisine", 0))
+    return out
+
+
+def string_instances(world: World, n: int, seed: int = 0) -> list[MatchingInstance]:
+    """String matching: is the right side a noisy variant of the left?
+
+    Positives are typo/case/spacing variants of the same name; negatives are
+    different names — a *generalizable* string-similarity pattern (unlike
+    alias lookup, which is pure memorization and belongs to the knowledge
+    stack, not the matcher).
+    """
+    from repro.datasets.em import typo
+
+    rng = np.random.default_rng(seed)
+    names = [r.name for r in world.restaurants] + [p.name for p in world.products]
+    out: list[MatchingInstance] = []
+    while len(out) < n:
+        name = names[int(rng.integers(len(names)))]
+        if rng.random() < 0.5:
+            roll = rng.random()
+            if roll < 0.4:
+                variant = typo(name, rng)
+            elif roll < 0.7:
+                variant = name.upper()
+            else:
+                variant = "  " + name.replace(" ", "  ")
+            out.append(MatchingInstance("string", name, variant, 1))
+        else:
+            other = names[int(rng.integers(len(names)))]
+            if other == name:
+                continue
+            out.append(MatchingInstance("string", name, other, 0))
+    return out
+
+
+#: Column-name synonym table for schema-matching instances.
+_SCHEMA_SYNONYMS = {
+    "name": ["restaurant", "title", "label"],
+    "cuisine": ["food style", "food type"],
+    "city": ["town", "location"],
+    "phone": ["telephone", "contact number"],
+    "price": ["cost", "amount"],
+    "brand": ["maker", "manufacturer"],
+    "address": ["street address"],
+    "year": ["publication year"],
+}
+
+
+def schema_instances(n: int, seed: int = 0) -> list[MatchingInstance]:
+    """Schema matching: do these two column names mean the same attribute?"""
+    rng = np.random.default_rng(seed)
+    names = sorted(_SCHEMA_SYNONYMS)
+    out: list[MatchingInstance] = []
+    while len(out) < n:
+        name = names[int(rng.integers(len(names)))]
+        if rng.random() < 0.5:
+            synonyms = _SCHEMA_SYNONYMS[name]
+            out.append(MatchingInstance(
+                "schema", name, synonyms[int(rng.integers(len(synonyms)))], 1))
+        else:
+            other = names[int(rng.integers(len(names)))]
+            if other == name:
+                continue
+            synonyms = _SCHEMA_SYNONYMS[other]
+            out.append(MatchingInstance(
+                "schema", name, synonyms[int(rng.integers(len(synonyms)))], 0))
+    return out
+
+
+def unified_task_mixture(world: World, dataset: EMDataset,
+                         per_task: int = 60,
+                         seed: int = 0) -> list[MatchingInstance]:
+    """The full four-task mixture, shuffled."""
+    rng = np.random.default_rng(seed)
+    instances = (
+        entity_instances(dataset, per_task, seed=seed)
+        + column_type_instances(world, per_task, seed=seed + 1)
+        + string_instances(world, per_task, seed=seed + 2)
+        + schema_instances(per_task, seed=seed + 3)
+    )
+    rng.shuffle(instances)
+    return instances

@@ -1,0 +1,95 @@
+"""Evaluation metrics used across matching, cleaning and AutoML layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def precision_recall_f1(y_true, y_pred, positive=1) -> PRF:
+    """Binary precision/recall/F1 for the given positive label."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = int(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = int(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = int(np.sum((y_pred != positive) & (y_true == positive)))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return PRF(precision, recall, f1)
+
+
+def macro_f1(y_true, y_pred) -> float:
+    """Mean of per-class F1 over the classes present in ``y_true``."""
+    y_true = np.asarray(y_true)
+    classes = np.unique(y_true)
+    if classes.size == 0:
+        return 0.0
+    scores = [precision_recall_f1(y_true, y_pred, positive=c).f1 for c in classes]
+    return float(np.mean(scores))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Counts matrix with rows = true label, columns = predicted label."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    out = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        out[index[t], index[p]] += 1
+    return out
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def recall_at_k(relevant: set, ranked: list, k: int) -> float:
+    """Fraction of relevant items appearing in the top-``k`` of ``ranked``."""
+    if not relevant:
+        return 1.0
+    hits = sum(1 for item in ranked[:k] if item in relevant)
+    return hits / len(relevant)
+
+
+def reduction_ratio(num_candidates: int, num_total_pairs: int) -> float:
+    """Blocking reduction ratio: 1 - kept pairs / all pairs."""
+    if num_total_pairs == 0:
+        return 0.0
+    return 1.0 - num_candidates / num_total_pairs
+
+
+def pair_completeness(candidates: set, true_matches: set) -> float:
+    """Blocking recall: fraction of true matches surviving blocking."""
+    if not true_matches:
+        return 1.0
+    return len(candidates & true_matches) / len(true_matches)

@@ -1,0 +1,380 @@
+"""Classical supervised learners (numpy, fit/predict protocol).
+
+These are the downstream estimators the pipeline-orchestration experiments
+optimize data preparation *for*, and the building blocks of several matchers
+(the magellan-style feature EM, the column-type feature baseline).
+"""
+
+from __future__ import annotations
+
+
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class Classifier:
+    """fit/predict protocol; ``predict_proba`` returns ``(n, classes)``."""
+
+    classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        raise NotImplementedError
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError(f"{type(self).__name__} not fitted")
+        probs = self.predict_proba(X)
+        return self.classes_[np.argmax(probs, axis=1)]
+
+
+def _gini(counts: np.ndarray) -> float:
+    """Gini impurity of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions * proportions))
+
+
+def _encode_labels(y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    classes = np.unique(y)
+    index = {c: i for i, c in enumerate(classes)}
+    encoded = np.array([index[v] for v in y], dtype=np.int64)
+    return classes, encoded
+
+
+class MajorityClassifier(Classifier):
+    """Predicts the most frequent training label — the floor baseline."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MajorityClassifier":
+        self.classes_, encoded = _encode_labels(np.asarray(y))
+        counts = np.bincount(encoded, minlength=len(self.classes_))
+        self._probs = counts / counts.sum()
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("MajorityClassifier not fitted")
+        return np.tile(self._probs, (len(np.asarray(X)), 1))
+
+
+class LogisticRegression(Classifier):
+    """Multinomial logistic regression trained by full-batch gradient descent
+    with L2 regularization."""
+
+    def __init__(self, lr: float = 0.5, epochs: int = 200, l2: float = 1e-4):
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.weights_: np.ndarray | None = None
+        self.bias_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = np.asarray(X, dtype=float)
+        self.classes_, encoded = _encode_labels(np.asarray(y))
+        n, d = X.shape
+        k = len(self.classes_)
+        one_hot = np.zeros((n, k))
+        one_hot[np.arange(n), encoded] = 1.0
+        W = np.zeros((d, k))
+        b = np.zeros(k)
+        for _ in range(self.epochs):
+            logits = X @ W + b
+            logits -= logits.max(axis=1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=1, keepdims=True)
+            grad = probs - one_hot
+            W -= self.lr * (X.T @ grad / n + self.l2 * W)
+            b -= self.lr * grad.mean(axis=0)
+        self.weights_, self.bias_ = W, b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise NotFittedError("LogisticRegression not fitted")
+        logits = np.asarray(X, dtype=float) @ self.weights_ + self.bias_
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+
+class GaussianNB(Classifier):
+    """Gaussian naive Bayes with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        X = np.asarray(X, dtype=float)
+        self.classes_, encoded = _encode_labels(np.asarray(y))
+        k = len(self.classes_)
+        self._theta = np.zeros((k, X.shape[1]))
+        self._var = np.zeros((k, X.shape[1]))
+        self._prior = np.zeros(k)
+        eps = self.var_smoothing * max(X.var(), 1e-12)
+        for c in range(k):
+            group = X[encoded == c]
+            self._theta[c] = group.mean(axis=0)
+            self._var[c] = group.var(axis=0) + eps
+            self._prior[c] = len(group) / len(X)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("GaussianNB not fitted")
+        X = np.asarray(X, dtype=float)
+        log_probs = np.zeros((len(X), len(self.classes_)))
+        for c in range(len(self.classes_)):
+            ll = -0.5 * np.sum(
+                np.log(2 * np.pi * self._var[c])
+                + (X - self._theta[c]) ** 2 / self._var[c],
+                axis=1,
+            )
+            log_probs[:, c] = np.log(self._prior[c] + 1e-300) + ll
+        log_probs -= log_probs.max(axis=1, keepdims=True)
+        probs = np.exp(log_probs)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+
+class KNeighborsClassifier(Classifier):
+    """k-nearest-neighbours with inverse-distance-weighted voting."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        self._X = np.asarray(X, dtype=float)
+        self.classes_, self._encoded = _encode_labels(np.asarray(y))
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("KNeighborsClassifier not fitted")
+        X = np.asarray(X, dtype=float)
+        k = min(self.k, len(self._X))
+        out = np.zeros((len(X), len(self.classes_)))
+        # Chunk queries to bound the distance-matrix memory.
+        for lo in range(0, len(X), 256):
+            chunk = X[lo : lo + 256]
+            d2 = ((chunk[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+            nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            for i in range(len(chunk)):
+                weights = 1.0 / (np.sqrt(d2[i, nearest[i]]) + 1e-9)
+                for j, w in zip(nearest[i], weights):
+                    out[lo + i, self._encoded[j]] += w
+        out_sum = out.sum(axis=1, keepdims=True)
+        out_sum[out_sum == 0] = 1.0
+        return out / out_sum
+
+
+class DecisionTreeClassifier(Classifier):
+    """CART with Gini impurity; splits on midpoints of sorted unique values."""
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 2,
+                 max_features: int | None = None, rng: np.random.Generator | None = None):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = rng
+        self._tree: dict | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=float)
+        self.classes_, encoded = _encode_labels(np.asarray(y))
+        self._n_classes = len(self.classes_)
+        self._tree = self._build(X, encoded, depth=0)
+        return self
+
+    def _leaf(self, y: np.ndarray) -> dict:
+        counts = np.bincount(y, minlength=self._n_classes).astype(float)
+        return {"leaf": counts / counts.sum()}
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> dict:
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or len(np.unique(y)) == 1
+        ):
+            return self._leaf(y)
+        best = self._best_split(X, y)
+        if best is None:
+            return self._leaf(y)
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return self._leaf(y)
+        return {
+            "feature": feature,
+            "threshold": threshold,
+            "left": self._build(X[mask], y[mask], depth + 1),
+            "right": self._build(X[~mask], y[~mask], depth + 1),
+        }
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float] | None:
+        n, d = X.shape
+        features = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            rng = self._rng or np.random.default_rng(0)
+            features = rng.choice(d, size=self.max_features, replace=False)
+        parent_counts = np.bincount(y, minlength=self._n_classes)
+        best_gain, best = 0.0, None
+        parent_gini = _gini(parent_counts)
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs, ys = X[order, f], y[order]
+            left_counts = np.zeros(self._n_classes)
+            right_counts = parent_counts.astype(float).copy()
+            for i in range(n - 1):
+                left_counts[ys[i]] += 1
+                right_counts[ys[i]] -= 1
+                if xs[i] == xs[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                gain = parent_gini - (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best = (int(f), float((xs[i] + xs[i + 1]) / 2.0))
+        return best
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._tree is None:
+            raise NotFittedError("DecisionTreeClassifier not fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.zeros((len(X), self._n_classes))
+        for i, row in enumerate(X):
+            node = self._tree
+            while "leaf" not in node:
+                branch = "left" if row[node["feature"]] <= node["threshold"] else "right"
+                node = node[branch]
+            out[i] = node["leaf"]
+        return out
+
+
+class RandomForestClassifier(Classifier):
+    """Bagged CART ensemble with per-tree feature subsampling."""
+
+    def __init__(self, n_trees: int = 20, max_depth: int = 8, seed: int = 0):
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.seed = seed
+        self._trees: list[DecisionTreeClassifier] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        max_features = max(1, int(np.sqrt(d)))
+        self._trees = []
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth, max_features=max_features, rng=rng
+            )
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise NotFittedError("RandomForestClassifier not fitted")
+        # Trees may see different label subsets under bootstrap; align by class.
+        index = {c: i for i, c in enumerate(self.classes_)}
+        total = np.zeros((len(np.asarray(X)), len(self.classes_)))
+        for tree in self._trees:
+            probs = tree.predict_proba(X)
+            for j, c in enumerate(tree.classes_):
+                total[:, index[c]] += probs[:, j]
+        return total / len(self._trees)
+
+
+class RandomForestRegressor:
+    """Forest regressor (mean of per-tree means); the Bayesian-optimization
+    surrogate model in the pipeline search layer."""
+
+    def __init__(self, n_trees: int = 20, max_depth: int = 6, seed: int = 0):
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.seed = seed
+        self._trees: list[dict] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        rng = np.random.default_rng(self.seed)
+        n = len(X)
+        self._trees = []
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            self._trees.append(
+                self._build(X[idx], y[idx], depth=0, rng=rng)
+            )
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int,
+               rng: np.random.Generator) -> dict:
+        if depth >= self.max_depth or len(y) < 4 or np.all(y == y[0]):
+            return {"leaf": float(y.mean()) if len(y) else 0.0}
+        d = X.shape[1]
+        best_var, best = np.inf, None
+        features = rng.choice(d, size=max(1, int(np.sqrt(d))), replace=False)
+        for f in features:
+            values = np.unique(X[:, f])
+            if len(values) < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            if len(thresholds) > 8:
+                thresholds = rng.choice(thresholds, size=8, replace=False)
+            for t in thresholds:
+                mask = X[:, f] <= t
+                if not mask.any() or mask.all():
+                    continue
+                var = (
+                    mask.sum() * y[mask].var() + (~mask).sum() * y[~mask].var()
+                )
+                if var < best_var:
+                    best_var, best = var, (int(f), float(t))
+        if best is None:
+            return {"leaf": float(y.mean())}
+        f, t = best
+        mask = X[:, f] <= t
+        return {
+            "feature": f,
+            "threshold": t,
+            "left": self._build(X[mask], y[mask], depth + 1, rng),
+            "right": self._build(X[~mask], y[~mask], depth + 1, rng),
+        }
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise NotFittedError("RandomForestRegressor not fitted")
+        return self._per_tree(X).mean(axis=0)
+
+    def predict_std(self, X: np.ndarray) -> np.ndarray:
+        """Across-tree standard deviation — the BO uncertainty estimate."""
+        if not self._trees:
+            raise NotFittedError("RandomForestRegressor not fitted")
+        return self._per_tree(X).std(axis=0)
+
+    def _per_tree(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        out = np.zeros((len(self._trees), len(X)))
+        for k, tree in enumerate(self._trees):
+            for i, row in enumerate(X):
+                node = tree
+                while "leaf" not in node:
+                    branch = "left" if row[node["feature"]] <= node["threshold"] else "right"
+                    node = node[branch]
+                out[k, i] = node["leaf"]
+        return out

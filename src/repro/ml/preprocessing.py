@@ -1,0 +1,286 @@
+"""Feature preprocessing: scalers, encoders, PCA, polynomial features,
+feature selection.  These are the "operators" the pipeline-orchestration
+layer composes and searches over (tutorial §3.3).
+
+All transformers follow the fit/transform protocol on dense float arrays,
+except the encoders, which accept object arrays of categorical values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class Transformer:
+    """fit/transform protocol base class."""
+
+    def fit(self, X: np.ndarray) -> "Transformer":
+        raise NotImplementedError
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class StandardScaler(Transformer):
+    """Zero-mean unit-variance scaling; constant columns pass through."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler not fitted")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.scale_
+
+
+class MinMaxScaler(Transformer):
+    """Scale features into [0, 1]; constant columns map to 0."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=float)
+        self.min_ = X.min(axis=0)
+        rng = X.max(axis=0) - self.min_
+        rng[rng == 0] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise NotFittedError("MinMaxScaler not fitted")
+        return (np.asarray(X, dtype=float) - self.min_) / self.range_
+
+
+class RobustScaler(Transformer):
+    """Median/IQR scaling — resistant to the outliers dirty data carries."""
+
+    def __init__(self) -> None:
+        self.center_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "RobustScaler":
+        X = np.asarray(X, dtype=float)
+        self.center_ = np.median(X, axis=0)
+        q75 = np.percentile(X, 75, axis=0)
+        q25 = np.percentile(X, 25, axis=0)
+        iqr = q75 - q25
+        iqr[iqr == 0] = 1.0
+        self.scale_ = iqr
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.center_ is None:
+            raise NotFittedError("RobustScaler not fitted")
+        return (np.asarray(X, dtype=float) - self.center_) / self.scale_
+
+
+class OneHotEncoder(Transformer):
+    """Dense one-hot encoding of categorical columns.
+
+    Unknown categories at transform time map to the all-zeros vector.
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list[list] | None = None
+
+    def fit(self, X: np.ndarray) -> "OneHotEncoder":
+        X = np.asarray(X, dtype=object)
+        if X.ndim != 2:
+            raise ValueError("OneHotEncoder expects a 2-D array")
+        self.categories_ = [
+            sorted({v for v in X[:, j] if v is not None}, key=repr)
+            for j in range(X.shape[1])
+        ]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.categories_ is None:
+            raise NotFittedError("OneHotEncoder not fitted")
+        X = np.asarray(X, dtype=object)
+        blocks = []
+        for j, cats in enumerate(self.categories_):
+            index = {c: i for i, c in enumerate(cats)}
+            block = np.zeros((X.shape[0], len(cats)))
+            for i, value in enumerate(X[:, j]):
+                k = index.get(value)
+                if k is not None:
+                    block[i, k] = 1.0
+            blocks.append(block)
+        if not blocks:
+            return np.zeros((X.shape[0], 0))
+        return np.hstack(blocks)
+
+
+class OrdinalEncoder(Transformer):
+    """Map each category to its sorted rank; unknowns map to -1."""
+
+    def __init__(self) -> None:
+        self.categories_: list[list] | None = None
+
+    def fit(self, X: np.ndarray) -> "OrdinalEncoder":
+        X = np.asarray(X, dtype=object)
+        self.categories_ = [
+            sorted({v for v in X[:, j] if v is not None}, key=repr)
+            for j in range(X.shape[1])
+        ]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.categories_ is None:
+            raise NotFittedError("OrdinalEncoder not fitted")
+        X = np.asarray(X, dtype=object)
+        out = np.full(X.shape, -1.0)
+        for j, cats in enumerate(self.categories_):
+            index = {c: float(i) for i, c in enumerate(cats)}
+            for i, value in enumerate(X[:, j]):
+                out[i, j] = index.get(value, -1.0)
+        return out
+
+
+class PCA(Transformer):
+    """Principal component analysis via SVD of the centered data matrix."""
+
+    def __init__(self, n_components: int):
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.asarray(X, dtype=float)
+        k = min(self.n_components, X.shape[1], max(X.shape[0] - 1, 1))
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[:k]
+        var = s**2
+        total = var.sum()
+        self.explained_variance_ratio_ = (
+            var[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise NotFittedError("PCA not fitted")
+        return (np.asarray(X, dtype=float) - self.mean_) @ self.components_.T
+
+
+class PolynomialFeatures(Transformer):
+    """Degree-2 feature expansion: originals + pairwise products + squares.
+
+    The tutorial calls this out as a classic "blind spot" operator that
+    manual pipelines rarely use.
+    """
+
+    def __init__(self, include_squares: bool = True):
+        self.include_squares = include_squares
+        self.n_input_: int | None = None
+
+    def fit(self, X: np.ndarray) -> "PolynomialFeatures":
+        self.n_input_ = np.asarray(X).shape[1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.n_input_ is None:
+            raise NotFittedError("PolynomialFeatures not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.shape[1] != self.n_input_:
+            raise ValueError(
+                f"expected {self.n_input_} features, got {X.shape[1]}"
+            )
+        blocks = [X]
+        n = X.shape[1]
+        cross = [X[:, i] * X[:, j] for i in range(n) for j in range(i + 1, n)]
+        if cross:
+            blocks.append(np.stack(cross, axis=1))
+        if self.include_squares:
+            blocks.append(X**2)
+        return np.hstack(blocks)
+
+
+class VarianceThreshold(Transformer):
+    """Drop features whose variance is at or below ``threshold``."""
+
+    def __init__(self, threshold: float = 0.0):
+        self.threshold = threshold
+        self.keep_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "VarianceThreshold":
+        X = np.asarray(X, dtype=float)
+        variances = X.var(axis=0)
+        keep = variances > self.threshold
+        if not keep.any():
+            # Keep the single highest-variance feature rather than emit an
+            # empty matrix that downstream models cannot fit.
+            keep[int(np.argmax(variances))] = True
+        self.keep_ = keep
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.keep_ is None:
+            raise NotFittedError("VarianceThreshold not fitted")
+        return np.asarray(X, dtype=float)[:, self.keep_]
+
+
+class SelectKBest(Transformer):
+    """Keep the ``k`` features with the highest ANOVA-style F score against a
+    class label.  Requires ``y`` at fit time (pass via :meth:`fit_supervised`)."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.keep_: np.ndarray | None = None
+        self.scores_: np.ndarray | None = None
+
+    def fit_supervised(self, X: np.ndarray, y: np.ndarray) -> "SelectKBest":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        classes = np.unique(y)
+        overall = X.mean(axis=0)
+        between = np.zeros(X.shape[1])
+        within = np.zeros(X.shape[1])
+        for c in classes:
+            group = X[y == c]
+            if len(group) == 0:
+                continue
+            between += len(group) * (group.mean(axis=0) - overall) ** 2
+            within += ((group - group.mean(axis=0)) ** 2).sum(axis=0)
+        df_between = max(len(classes) - 1, 1)
+        df_within = max(len(y) - len(classes), 1)
+        within[within == 0] = 1e-12
+        self.scores_ = (between / df_between) / (within / df_within)
+        k = min(self.k, X.shape[1])
+        top = np.argsort(-self.scores_, kind="stable")[:k]
+        keep = np.zeros(X.shape[1], dtype=bool)
+        keep[top] = True
+        self.keep_ = keep
+        return self
+
+    def fit(self, X: np.ndarray) -> "SelectKBest":
+        raise TypeError("SelectKBest is supervised; call fit_supervised(X, y)")
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.keep_ is None:
+            raise NotFittedError("SelectKBest not fitted")
+        return np.asarray(X, dtype=float)[:, self.keep_]

@@ -1,0 +1,76 @@
+"""Train/test splitting and cross-validation."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.metrics import accuracy
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.25,
+    seed: int = 0,
+    stratify: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split; with ``stratify`` each class keeps its proportion."""
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    rng = np.random.default_rng(seed)
+    n = len(X)
+    if stratify:
+        test_idx: list[int] = []
+        for c in np.unique(y):
+            members = np.flatnonzero(y == c)
+            rng.shuffle(members)
+            k = max(1, int(round(len(members) * test_size)))
+            test_idx.extend(members[:k].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        order = rng.permutation(n)
+        k = max(1, int(round(n * test_size)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:k]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+def kfold_indices(n: int, folds: int, seed: int = 0) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold ``(train_idx, test_idx)`` pairs."""
+    if folds < 2:
+        raise ValueError("folds must be >= 2")
+    if n < folds:
+        raise ValueError(f"cannot make {folds} folds from {n} samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    chunks = np.array_split(order, folds)
+    out = []
+    for i in range(folds):
+        test = chunks[i]
+        train = np.concatenate([chunks[j] for j in range(folds) if j != i])
+        out.append((train, test))
+    return out
+
+
+def cross_val_score(
+    make_model: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    folds: int = 3,
+    seed: int = 0,
+    metric: Callable[[np.ndarray, np.ndarray], float] = accuracy,
+) -> float:
+    """Mean metric over k folds; ``make_model`` builds a fresh classifier."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in kfold_indices(len(X), folds, seed):
+        model = make_model()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(metric(y[test_idx], model.predict(X[test_idx])))
+    return float(np.mean(scores))

@@ -1,0 +1,51 @@
+"""Numpy autograd engine + neural layers (the PLM/adaptation substrate)."""
+
+from repro.nn.functional import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    gradient_reversal,
+    log_softmax,
+    mse_loss,
+    softmax,
+)
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadSelfAttention,
+    ReLU,
+    Sequential,
+    Tanh,
+    TransformerBlock,
+)
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.recurrent import GRU, GRUCell
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Adam",
+    "Dropout",
+    "GRU",
+    "GRUCell",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "Tensor",
+    "TransformerBlock",
+    "binary_cross_entropy_with_logits",
+    "clip_grad_norm",
+    "cross_entropy",
+    "gradient_reversal",
+    "log_softmax",
+    "mse_loss",
+    "softmax",
+]

@@ -1,0 +1,89 @@
+"""Functional ops built on :class:`~repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` ``(n, classes)`` and int labels.
+
+    Implemented via log-softmax + one-hot gather so the whole thing is one
+    differentiable graph.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    n, num_classes = logits.shape
+    log_probs = log_softmax(logits, axis=-1)
+    one_hot = np.zeros((n, num_classes))
+    one_hot[np.arange(n), targets] = 1.0
+    picked = (log_probs * Tensor(one_hot)).sum()
+    return -picked * (1.0 / max(n, 1))
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean BCE on raw logits using the stable log-sum-exp form
+    ``max(z,0) - z*y + log(1 + exp(-|z|))``."""
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    zeros = Tensor(np.zeros(logits.shape))
+    max_part = _elementwise_max(logits, zeros)
+    abs_z = _elementwise_abs(logits)
+    loss = max_part - logits * targets_t + ((-abs_z).exp() + 1.0).log()
+    return loss.mean()
+
+
+def mse_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    diff = pred - Tensor(np.asarray(targets, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def gradient_reversal(x: Tensor, lam: float = 1.0) -> Tensor:
+    """Identity forward, ``-lam``-scaled gradient backward.
+
+    The primitive behind adversarial domain adaptation (DANN): the feature
+    extractor receives the *negated* domain-classifier gradient, pushing it
+    toward domain-invariant features.
+    """
+    out = Tensor(x.data.copy(), requires_grad=x.requires_grad)
+    if x.requires_grad:
+        out._prev = (x,)
+
+        def run() -> None:
+            x._accumulate(-lam * out.grad)
+
+        out._backward = run
+    return out
+
+
+def dropout_mask(shape: tuple[int, ...], rate: float, rng: np.random.Generator) -> np.ndarray:
+    """An inverted-dropout mask: zeros with prob ``rate``, else ``1/(1-rate)``."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    if rate == 0.0:
+        return np.ones(shape)
+    keep = rng.random(shape) >= rate
+    return keep / (1.0 - rate)
+
+
+def _elementwise_max(a: Tensor, b: Tensor) -> Tensor:
+    mask = (a.data >= b.data).astype(np.float64)
+    return a * Tensor(mask) + b * Tensor(1.0 - mask)
+
+
+def _elementwise_abs(x: Tensor) -> Tensor:
+    sign = np.sign(x.data)
+    sign[sign == 0] = 1.0
+    return x * Tensor(sign)

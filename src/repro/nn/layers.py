@@ -1,0 +1,243 @@
+"""Neural layers: Linear, Embedding, LayerNorm, attention, transformer blocks.
+
+Every layer is a :class:`Module` exposing ``parameters()`` so optimizers can
+walk the tree, and ``state_dict()/load_state_dict()`` so the PLM can be saved
+and restored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import dropout_mask, softmax
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Base class: tracks sub-modules and parameters by attribute assignment."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Tensor] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> list[Tensor]:
+        params = list(self._parameters.values())
+        for module in self._modules.values():
+            params.extend(module.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Tensor]]:
+        out = [(prefix + name, p) for name, p in self._parameters.items()]
+        for mod_name, module in self._modules.items():
+            out.extend(module.named_parameters(prefix + mod_name + "."))
+        return out
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, extra={sorted(extra)}")
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"parameter {name}: shape {p.data.shape} != saved {state[name].shape}"
+                )
+            p.data = state[name].copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(_glorot(rng, in_features, out_features), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping int ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Tensor(
+            rng.normal(0.0, 0.02, size=(num_embeddings, dim)), requires_grad=True
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings})"
+            )
+        return self.weight.take_rows(ids)
+
+
+class LayerNorm(Module):
+    """Per-feature normalization with learned scale and shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * (var + self.eps).pow(-0.5)
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        return x * Tensor(dropout_mask(x.shape, self.rate, self._rng))
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._items = list(modules)
+        for i, module in enumerate(modules):
+            setattr(self, f"layer{i}", module)
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention over ``(batch, seq, dim)`` inputs.
+
+    ``mask`` (optional) is ``(batch, seq)`` with 1 for real tokens and 0 for
+    padding; padded keys are excluded from every query's attention.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim={dim} not divisible by num_heads={num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, dim, rng)
+        self.v_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        batch, seq, _dim = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            # (batch, 1, 1, seq): masked keys get a large negative bias.
+            bias = (1.0 - np.asarray(mask, dtype=np.float64))[:, None, None, :] * -1e9
+            scores = scores + Tensor(bias)
+        weights = softmax(scores, axis=-1)
+        context = weights @ v  # (batch, heads, seq, head_dim)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out_proj(merged)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block: attention + feed-forward, both
+    with residual connections."""
+
+    def __init__(self, dim: int, num_heads: int, ff_dim: int,
+                 rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        self.attn = MultiHeadSelfAttention(dim, num_heads, rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ff = Sequential(
+            Linear(dim, ff_dim, rng), ReLU(), Linear(ff_dim, dim, rng)
+        )
+        self.drop = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.drop(self.attn(self.norm1(x), mask=mask))
+        x = x + self.drop(self.ff(self.norm2(x)))
+        return x

@@ -1,0 +1,64 @@
+"""Recurrent layers (the tutorial's "recurrent models" encoder family).
+
+A GRU cell and a sequence-level GRU, built on the autograd engine.  Used by
+the RNN-based next-operator recommender (Auto-Suggest's architecture) and
+available as the recurrent encoder option §3.2(1) lists alongside
+convolutional and transformer encoders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+
+class GRUCell(Module):
+    """One GRU step: (input, hidden) -> hidden."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.reset_gate = Linear(input_dim + hidden_dim, hidden_dim, rng)
+        self.update_gate = Linear(input_dim + hidden_dim, hidden_dim, rng)
+        self.candidate = Linear(input_dim + hidden_dim, hidden_dim, rng)
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        combined = x.concat([hidden], axis=-1)
+        reset = self.reset_gate(combined).sigmoid()
+        update = self.update_gate(combined).sigmoid()
+        candidate_in = x.concat([hidden * reset], axis=-1)
+        candidate = self.candidate(candidate_in).tanh()
+        return hidden * update + candidate * (1.0 - update)
+
+
+class GRU(Module):
+    """Unrolled GRU over ``(batch, seq, input_dim)``; returns the final
+    hidden state ``(batch, hidden_dim)`` (and optionally all states)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, return_sequence: bool = False):
+        batch, seq, _dim = x.shape
+        hidden = Tensor(np.zeros((batch, self.hidden_dim)))
+        states = []
+        for t in range(seq):
+            hidden = self.cell(x[:, t, :], hidden)
+            if return_sequence:
+                states.append(hidden)
+        if return_sequence:
+            stacked = states[0].reshape(batch, 1, self.hidden_dim)
+            if len(states) > 1:
+                stacked = stacked.concat(
+                    [s.reshape(batch, 1, self.hidden_dim) for s in states[1:]],
+                    axis=1,
+                )
+            return stacked
+        return hidden

@@ -1,0 +1,363 @@
+"""A small reverse-mode automatic differentiation engine over numpy.
+
+Every model in the library — the skip-gram embedder, the mini-BERT PLM, the
+domain-adaptation networks, the unified matcher — trains through this engine,
+so it implements exactly the op set those models need: broadcasting
+arithmetic, matmul, row gather (for embeddings), reductions, and the standard
+nonlinearities.
+
+Gradients flow through a topologically-sorted tape, as in micrograd/PyTorch:
+each :class:`Tensor` produced by an op stores a closure that scatters its
+output gradient back into its parents.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with an optional gradient and a backward closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev")
+    __array_priority__ = 100  # so ndarray + Tensor defers to Tensor.__radd__
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = requires_grad
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple["Tensor", ...] = ()
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad})"
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (detached view)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    @staticmethod
+    def _lift(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _make(self, data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create an op output; ``backward`` receives the output grad."""
+        out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
+        if out.requires_grad:
+            out._prev = tuple(parents)
+
+            def run() -> None:
+                backward(out.grad)
+
+            out._backward = run
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        self.grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g, other.data.shape))
+
+        return self._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g * self.data, other.data.shape))
+
+        return self._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        return self * self._lift(other).pow(-1.0)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._lift(other) * self.pow(-1.0)
+
+    def pow(self, exponent: float) -> "Tensor":
+        data = np.power(self.data, exponent)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * exponent * np.power(self.data, exponent - 1))
+
+        return self._make(data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return self.pow(exponent)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(g, other.data) if g.ndim else g * other.data)
+                else:
+                    grad_self = g @ np.swapaxes(other.data, -1, -2)
+                    self._accumulate(_unbroadcast(grad_self, self.data.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, g))
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ g
+                    other._accumulate(_unbroadcast(grad_other, other.data.shape))
+
+        return self._make(data, (self, other), backward)
+
+    # -- elementwise nonlinearities -------------------------------------------
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * data)
+
+        return self._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g / self.data)
+
+        return self._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * (1.0 - data * data))
+
+        return self._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * (self.data > 0))
+
+        return self._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * data * (1.0 - data))
+
+        return self._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self.pow(0.5)
+
+    # -- reductions ------------------------------------------------------------
+
+    def sum(self, axis: int | tuple[int, ...] | None = None,
+            keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(g)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    grad = np.expand_dims(grad, ax)
+            self._accumulate(np.broadcast_to(grad, self.data.shape).copy())
+
+        return self._make(data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None,
+             keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = 1
+            for ax in axes:
+                count *= self.data.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            expanded = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            grad = np.asarray(g)
+            if not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(mask * grad)
+
+        return self._make(data, (self,), backward)
+
+    # -- shape ops ----------------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        data = self.data.reshape(*shape)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g.reshape(self.data.shape))
+
+        return self._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        order = axes if axes else tuple(reversed(range(self.data.ndim)))
+        data = self.data.transpose(order)
+        inverse = np.argsort(order)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g.transpose(inverse))
+
+        return self._make(data, (self,), backward)
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (axis 0) — the embedding-lookup primitive.
+
+        ``indices`` may have any shape; the output has shape
+        ``indices.shape + self.shape[1:]``.
+        """
+        indices = np.asarray(indices)
+        data = self.data[indices]
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, indices.reshape(-1), g.reshape(-1, *self.data.shape[1:]))
+                self._accumulate(grad)
+
+        return self._make(data, (self,), backward)
+
+    def concat(self, others: Iterable["Tensor"], axis: int = -1) -> "Tensor":
+        """Concatenate this tensor with ``others`` along ``axis``."""
+        parts = [self, *others]
+        data = np.concatenate([p.data for p in parts], axis=axis)
+        sizes = [p.data.shape[axis] for p in parts]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(g: np.ndarray) -> None:
+            for part, lo, hi in zip(parts, offsets[:-1], offsets[1:]):
+                if part.requires_grad:
+                    slicer = [slice(None)] * g.ndim
+                    slicer[axis] = slice(lo, hi)
+                    part._accumulate(g[tuple(slicer)])
+
+        return self._make(data, tuple(parts), backward)
+
+    def slice(self, key) -> "Tensor":
+        """Differentiable basic slicing (no fancy indexing)."""
+        data = self.data[key]
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                grad[key] = g
+                self._accumulate(grad)
+
+        return self._make(data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        return self.slice(key)

@@ -1,0 +1,84 @@
+"""Data preparation pipeline orchestration: operators, search, corpus, HITL."""
+
+from repro.pipelines.automl import (
+    AutoMLConfiguration,
+    AutoMLResult,
+    JointAutoMLSearch,
+    MODEL_FACTORIES,
+)
+from repro.pipelines.corpus import (
+    BLIND_SPOT_OPERATORS,
+    HumanPipeline,
+    PipelineCorpus,
+    best_human_pipeline,
+    generate_corpus,
+    pipeline_from_names,
+)
+from repro.pipelines.hitl import (
+    HAIPipe,
+    HAIPipeResult,
+    NextOperatorRecommender,
+    SynthesisResult,
+    TableOp,
+    standard_table_ops,
+    synthesize_by_target,
+    table_agreement,
+)
+from repro.pipelines.operators import (
+    STAGES,
+    Operator,
+    build_registry,
+    operator_by_name,
+    registry_size,
+)
+from repro.pipelines.pipeline import PipelineEvaluator, PrepPipeline
+from repro.pipelines.rnn_recommender import RNNOperatorRecommender
+from repro.pipelines.search import (
+    ALL_STRATEGIES,
+    BayesianOptSearch,
+    GeneticSearch,
+    MetaLearningSearch,
+    MetaStore,
+    QLearningSearch,
+    RandomSearch,
+    SearchResult,
+    SearchStrategy,
+)
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "AutoMLConfiguration",
+    "AutoMLResult",
+    "JointAutoMLSearch",
+    "MODEL_FACTORIES",
+    "BLIND_SPOT_OPERATORS",
+    "BayesianOptSearch",
+    "GeneticSearch",
+    "HAIPipe",
+    "HAIPipeResult",
+    "HumanPipeline",
+    "MetaLearningSearch",
+    "MetaStore",
+    "NextOperatorRecommender",
+    "Operator",
+    "PipelineCorpus",
+    "PipelineEvaluator",
+    "PrepPipeline",
+    "QLearningSearch",
+    "RNNOperatorRecommender",
+    "RandomSearch",
+    "STAGES",
+    "SearchResult",
+    "SearchStrategy",
+    "SynthesisResult",
+    "TableOp",
+    "best_human_pipeline",
+    "build_registry",
+    "generate_corpus",
+    "operator_by_name",
+    "pipeline_from_names",
+    "registry_size",
+    "standard_table_ops",
+    "synthesize_by_target",
+    "table_agreement",
+]

@@ -1,0 +1,210 @@
+"""Smooth integration with AutoML (§3.3 open problems).
+
+"An open problem is how to smoothly integrate pipeline generation with other
+AutoML tasks, such as hyper-parameter tuning and model selection."
+
+This module searches the *joint* space of (preparation pipeline × downstream
+model), Auto-WEKA style: the model choice is one more categorical dimension
+of the same surrogate-guided search, so preparation and model selection
+co-adapt (a kNN wants scaling; a tree does not care; polynomial features
+only pay off for linear models on interaction tasks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.mltasks import MLTask
+from repro.ml.models import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LogisticRegression,
+)
+from repro.pipelines.operators import Operator, STAGES
+from repro.pipelines.pipeline import PipelineEvaluator, PrepPipeline
+
+#: The downstream model vocabulary of the joint search.
+MODEL_FACTORIES: dict[str, Callable[[], object]] = {
+    "logreg": lambda: LogisticRegression(epochs=100),
+    "tree": lambda: DecisionTreeClassifier(max_depth=6),
+    "knn": lambda: KNeighborsClassifier(k=5),
+    "gnb": lambda: GaussianNB(),
+}
+
+#: Per-model hyper-parameter grids — the "hyper-parameter tuning" half of
+#: the open problem.  Each value is a factory; the search treats the
+#: hyper-parameter choice as one more categorical dimension.
+HYPERPARAMETER_GRIDS: dict[str, dict[str, Callable[[], object]]] = {
+    "logreg": {
+        "l2=1e-4": lambda: LogisticRegression(epochs=100, l2=1e-4),
+        "l2=1e-2": lambda: LogisticRegression(epochs=100, l2=1e-2),
+        "l2=1e-1": lambda: LogisticRegression(epochs=100, l2=1e-1),
+    },
+    "tree": {
+        "depth=3": lambda: DecisionTreeClassifier(max_depth=3),
+        "depth=6": lambda: DecisionTreeClassifier(max_depth=6),
+        "depth=10": lambda: DecisionTreeClassifier(max_depth=10),
+    },
+    "knn": {
+        "k=3": lambda: KNeighborsClassifier(k=3),
+        "k=5": lambda: KNeighborsClassifier(k=5),
+        "k=11": lambda: KNeighborsClassifier(k=11),
+    },
+    "gnb": {
+        "default": lambda: GaussianNB(),
+    },
+}
+
+
+@dataclass(frozen=True)
+class AutoMLConfiguration:
+    """One point of the joint space."""
+
+    pipeline: PrepPipeline
+    model_name: str
+    hyperparameters: str = "default"
+
+    def describe(self) -> str:
+        return (f"{self.pipeline.describe()} => "
+                f"{self.model_name}({self.hyperparameters})")
+
+
+@dataclass
+class AutoMLResult:
+    """Best joint configuration plus the anytime trajectory."""
+
+    best: AutoMLConfiguration
+    best_score: float
+    trajectory: list[float] = field(default_factory=list)
+
+
+class JointAutoMLSearch:
+    """Surrogate-guided search over (pipeline, model) with UCB acquisition.
+
+    ``model_names=None`` searches all registered models; passing a single
+    name degrades gracefully to fixed-model pipeline search — the ablation
+    baseline the E13-extension bench compares against.
+    """
+
+    def __init__(self, registry: dict[str, list[Operator]],
+                 model_names: list[str] | None = None,
+                 seed: int = 0, init_random: int = 6,
+                 kappa: float = 1.0, pool_size: int = 64,
+                 tune_hyperparameters: bool = False):
+        self.registry = registry
+        self.model_names = list(model_names or MODEL_FACTORIES)
+        unknown = [m for m in self.model_names if m not in MODEL_FACTORIES]
+        if unknown:
+            raise KeyError(f"unknown models {unknown}; options {sorted(MODEL_FACTORIES)}")
+        self.seed = seed
+        self.init_random = init_random
+        self.kappa = kappa
+        self.pool_size = pool_size
+        self.tune_hyperparameters = tune_hyperparameters
+        # The flattened (model, hyperparameters) arm list — one categorical.
+        self._arms: list[tuple[str, str]] = []
+        for model in self.model_names:
+            if tune_hyperparameters:
+                self._arms.extend(
+                    (model, hp) for hp in HYPERPARAMETER_GRIDS[model]
+                )
+            else:
+                self._arms.append((model, "default"))
+
+    @staticmethod
+    def _factory(model_name: str, hyperparameters: str) -> Callable[[], object]:
+        grid = HYPERPARAMETER_GRIDS.get(model_name, {})
+        if hyperparameters in grid:
+            return grid[hyperparameters]
+        return MODEL_FACTORIES[model_name]
+
+    # -- encoding --------------------------------------------------------------
+
+    def _random_configuration(self, rng: np.random.Generator) -> AutoMLConfiguration:
+        ops = tuple(
+            self.registry[stage][int(rng.integers(len(self.registry[stage])))]
+            for stage in STAGES
+        )
+        model, hyper = self._arms[int(rng.integers(len(self._arms)))]
+        return AutoMLConfiguration(PrepPipeline(ops), model, hyper)
+
+    def _encode(self, config: AutoMLConfiguration) -> np.ndarray:
+        parts = []
+        for stage, op in zip(STAGES, config.pipeline.operators):
+            names = [o.name for o in self.registry[stage]]
+            onehot = np.zeros(len(names))
+            onehot[names.index(op.name)] = 1.0
+            parts.append(onehot)
+        arm_onehot = np.zeros(len(self._arms))
+        arm_onehot[self._arms.index((config.model_name, config.hyperparameters))] = 1.0
+        parts.append(arm_onehot)
+        return np.concatenate(parts)
+
+    # -- search -----------------------------------------------------------------
+
+    def search(self, task: MLTask, budget: int,
+               evaluator_seed: int = 0) -> AutoMLResult:
+        from repro.ml.models import RandomForestRegressor
+
+        rng = np.random.default_rng(self.seed)
+        evaluators = {
+            arm: PipelineEvaluator(
+                make_model=self._factory(*arm), seed=evaluator_seed
+            )
+            for arm in self._arms
+        }
+        seen: set[tuple] = set()
+        X_hist: list[np.ndarray] = []
+        y_hist: list[float] = []
+        trajectory: list[float] = []
+        best: AutoMLConfiguration | None = None
+        best_score = -np.inf
+
+        def key(config: AutoMLConfiguration) -> tuple:
+            return (config.pipeline.names, config.model_name,
+                    config.hyperparameters)
+
+        def evaluate(config: AutoMLConfiguration) -> None:
+            nonlocal best, best_score
+            arm = (config.model_name, config.hyperparameters)
+            score = evaluators[arm].score(config.pipeline, task)
+            seen.add(key(config))
+            X_hist.append(self._encode(config))
+            y_hist.append(score)
+            if score > best_score:
+                best_score, best = score, config
+            trajectory.append(best_score)
+
+        attempts = 0
+        while len(trajectory) < min(self.init_random, budget) and attempts < budget * 20:
+            attempts += 1
+            config = self._random_configuration(rng)
+            if key(config) in seen:
+                continue
+            evaluate(config)
+
+        while len(trajectory) < budget:
+            surrogate = RandomForestRegressor(
+                n_trees=16, max_depth=6, seed=int(rng.integers(1 << 30))
+            )
+            surrogate.fit(np.stack(X_hist), np.array(y_hist))
+            pool: list[AutoMLConfiguration] = []
+            guard = 0
+            while len(pool) < self.pool_size and guard < self.pool_size * 20:
+                guard += 1
+                candidate = self._random_configuration(rng)
+                if key(candidate) not in seen:
+                    pool.append(candidate)
+            if not pool:
+                break
+            encoded = np.stack([self._encode(c) for c in pool])
+            acquisition = surrogate.predict(encoded) + self.kappa * surrogate.predict_std(encoded)
+            evaluate(pool[int(np.argmax(acquisition))])
+
+        return AutoMLResult(best=best, best_score=float(best_score),
+                            trajectory=trajectory)
+

@@ -1,0 +1,179 @@
+"""Manual pipeline orchestration: a corpus of human-authored pipelines and
+the statistics the tutorial's §3.3(1) analyses compute over such corpora.
+
+The generator encodes the empirical findings of the notebook-mining studies
+(Psallidas et al. 2022; Lee et al. 2020) the tutorial cites:
+
+- **heavy-tailed operator usage** — a few operators (mean imputation,
+  standard scaling) dominate; most appear rarely;
+- **domain awareness** — humans usually apply the *right stage* for the
+  pathology they can see (missing data → imputation);
+- **blind spots** — powerful but less-known operators
+  (``PolynomialFeatures``, robust scaling) are almost never used;
+- **little systematic exploration** — each author tries one or two
+  variants, not the combinatorial space.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.mltasks import MLTask
+from repro.pipelines.operators import STAGES, Operator, operator_by_name
+from repro.pipelines.pipeline import PrepPipeline
+
+#: Operators data scientists rarely reach for (§3.3(1)'s "blind spots").
+BLIND_SPOT_OPERATORS = ("polynomial", "robust_scale", "clip_iqr1.5")
+
+#: Human popularity weights per stage (heavier = more used).  Weights for
+#: operators missing from a stage default to 0.05 (the long tail).
+_POPULARITY = {
+    "impute": {"impute_mean": 6.0, "impute_zero": 2.0, "impute_median": 1.0},
+    "outlier": {"none": 6.0, "clip_iqr3": 1.0},
+    "scale": {"standard_scale": 5.0, "minmax_scale": 2.5, "none": 2.0},
+    "engineer": {"none": 8.0, "pca_4": 1.0},
+    "select": {"none": 6.0, "select_k8": 1.5, "variance_threshold": 0.5},
+}
+
+
+@dataclass
+class HumanPipeline:
+    """One human-authored pipeline with its author's context."""
+
+    pipeline: PrepPipeline
+    task_name: str
+    author_skill: float  # in [0, 1]; higher = more deliberate choices
+
+    @property
+    def operator_names(self) -> tuple[str, ...]:
+        return self.pipeline.names
+
+
+@dataclass
+class PipelineCorpus:
+    """A corpus of human pipelines plus the analyses of §3.3(1)."""
+
+    pipelines: list[HumanPipeline] = field(default_factory=list)
+
+    def operator_usage(self) -> Counter:
+        """How often each operator appears across the corpus."""
+        counts: Counter = Counter()
+        for hp in self.pipelines:
+            for stage, name in zip(STAGES, hp.operator_names):
+                if name != "none":
+                    counts[f"{stage}:{name}"] += 1
+        return counts
+
+    def stage_usage(self) -> Counter:
+        """How often each *stage* is actually exercised (non-none)."""
+        counts: Counter = Counter()
+        for hp in self.pipelines:
+            for stage, name in zip(STAGES, hp.operator_names):
+                if name != "none":
+                    counts[stage] += 1
+        return counts
+
+    def blind_spot_rate(self) -> float:
+        """Fraction of pipelines using at least one blind-spot operator."""
+        if not self.pipelines:
+            return 0.0
+        hits = sum(
+            1 for hp in self.pipelines
+            if any(name in BLIND_SPOT_OPERATORS for name in hp.operator_names)
+        )
+        return hits / len(self.pipelines)
+
+    def distinct_pipelines(self) -> int:
+        return len({hp.operator_names for hp in self.pipelines})
+
+    def usage_skew(self) -> float:
+        """Heavy-tail statistic: usage share of the top-3 operators."""
+        counts = self.operator_usage()
+        total = sum(counts.values())
+        if not total:
+            return 0.0
+        top = sum(c for _op, c in counts.most_common(3))
+        return top / total
+
+    def for_task(self, task_name: str) -> list[HumanPipeline]:
+        return [hp for hp in self.pipelines if hp.task_name == task_name]
+
+
+def _stage_weights(registry: dict[str, list[Operator]], stage: str,
+                   task: MLTask, skill: float) -> np.ndarray:
+    """Popularity weights adjusted for visible pathologies and skill."""
+    weights = []
+    popularity = _POPULARITY.get(stage, {})
+    for op in registry[stage]:
+        w = popularity.get(op.name, 0.05)
+        if op.name in BLIND_SPOT_OPERATORS:
+            w = 0.02  # the blind spot: nearly never chosen
+        weights.append(w)
+    weights = np.array(weights)
+    names = [op.name for op in registry[stage]]
+    # Domain awareness: visible pathologies pull the right stages in.
+    if stage == "impute" and "missing" in task.pathologies:
+        weights[[i for i, n in enumerate(names) if n != "none"]] *= 2.0
+    if stage == "outlier" and "outliers" in task.pathologies and skill > 0.5:
+        for i, n in enumerate(names):
+            if n.startswith("clip"):
+                weights[i] *= 1.0 + 4.0 * skill
+    if stage == "scale" and "scale-spread" in task.pathologies and skill > 0.3:
+        for i, n in enumerate(names):
+            if n.endswith("scale"):
+                weights[i] *= 1.0 + 2.0 * skill
+    return weights / weights.sum()
+
+
+def generate_corpus(registry: dict[str, list[Operator]], tasks: list[MLTask],
+                    pipelines_per_task: int = 30, seed: int = 0) -> PipelineCorpus:
+    """Sample a human-pipeline corpus over the given tasks."""
+    rng = np.random.default_rng(seed)
+    corpus = PipelineCorpus()
+    for task in tasks:
+        for _ in range(pipelines_per_task):
+            skill = float(rng.beta(2, 2))
+            ops = []
+            for stage in STAGES:
+                weights = _stage_weights(registry, stage, task, skill)
+                idx = int(rng.choice(len(registry[stage]), p=weights))
+                ops.append(registry[stage][idx])
+            corpus.pipelines.append(
+                HumanPipeline(
+                    pipeline=PrepPipeline(tuple(ops)),
+                    task_name=task.name,
+                    author_skill=skill,
+                )
+            )
+    return corpus
+
+
+def best_human_pipeline(corpus: PipelineCorpus, task: MLTask,
+                        evaluator, sample: int = 10,
+                        seed: int = 0) -> tuple[PrepPipeline, float]:
+    """The human-only baseline: evaluate a sample of the task's human
+    pipelines and keep the best (humans iterate a little, not a lot)."""
+    rng = np.random.default_rng(seed)
+    candidates = corpus.for_task(task.name)
+    if not candidates:
+        raise ValueError(f"corpus has no pipelines for task {task.name!r}")
+    picked = rng.choice(len(candidates), size=min(sample, len(candidates)),
+                        replace=False)
+    best_pipeline, best_score = None, -1.0
+    for i in picked:
+        pipeline = candidates[int(i)].pipeline
+        score = evaluator.score(pipeline, task)
+        if score > best_score:
+            best_pipeline, best_score = pipeline, score
+    return best_pipeline, best_score
+
+
+def pipeline_from_names(registry: dict[str, list[Operator]],
+                        names: tuple[str, ...]) -> PrepPipeline:
+    return PrepPipeline(tuple(
+        operator_by_name(registry, stage, name)
+        for stage, name in zip(STAGES, names)
+    ))

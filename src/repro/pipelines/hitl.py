@@ -1,0 +1,250 @@
+"""Human-in-the-loop pipeline generation (§3.3(3)).
+
+- :class:`NextOperatorRecommender` — Auto-Suggest-style: learn operator
+  transition statistics from the human corpus and recommend the next
+  operator given a partial pipeline;
+- :class:`HAIPipe` — combine the best human pipeline with machine search
+  seeded around it, keeping whichever wins (Chen et al., SIGMOD 2023);
+- :func:`synthesize_by_target` — Auto-Pipeline-style program synthesis:
+  search a space of table transformations until the input table matches a
+  user-provided target table.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.mltasks import MLTask
+from repro.pipelines.corpus import PipelineCorpus, best_human_pipeline
+from repro.pipelines.operators import STAGES, Operator
+from repro.pipelines.pipeline import PipelineEvaluator, PrepPipeline
+from repro.pipelines.search import _Tracker
+from repro.table import Table
+
+
+class NextOperatorRecommender:
+    """Recommend the next stage's operator from corpus transition counts.
+
+    The model is a first-order Markov chain over operator choices: given the
+    previous stage's pick, rank the next stage's operators by how often
+    human pipelines followed that pick with each of them.
+    """
+
+    def __init__(self):
+        self._transitions: dict[tuple[str, str], Counter] = defaultdict(Counter)
+        self._priors: dict[str, Counter] = defaultdict(Counter)
+        self.fitted = False
+
+    def fit(self, corpus: PipelineCorpus) -> "NextOperatorRecommender":
+        for hp in corpus.pipelines:
+            names = hp.operator_names
+            for i, stage in enumerate(STAGES):
+                self._priors[stage][names[i]] += 1
+                if i > 0:
+                    self._transitions[(STAGES[i - 1], names[i - 1])][names[i]] += 1
+        self.fitted = True
+        return self
+
+    def recommend(self, stage_index: int, previous_op: str | None,
+                  k: int = 3) -> list[str]:
+        """Top-k operator names for stage ``STAGES[stage_index]``."""
+        stage = STAGES[stage_index]
+        if stage_index > 0 and previous_op is not None:
+            counts = self._transitions.get((STAGES[stage_index - 1], previous_op))
+            if counts:
+                return [name for name, _c in counts.most_common(k)]
+        return [name for name, _c in self._priors[stage].most_common(k)]
+
+    def popularity_baseline(self, stage_index: int, k: int = 3) -> list[str]:
+        """Context-free baseline: the stage's most popular operators."""
+        return [name for name, _c in self._priors[STAGES[stage_index]].most_common(k)]
+
+
+@dataclass
+class HAIPipeResult:
+    """Outcome of the human+AI combination."""
+
+    human_pipeline: PrepPipeline
+    human_score: float
+    machine_pipeline: PrepPipeline
+    machine_score: float
+    combined_pipeline: PrepPipeline
+    combined_score: float
+
+
+class HAIPipe:
+    """Combine human-orchestrated and machine-generated pipelines.
+
+    1. take the best of a small sample of the task's human pipelines
+       (domain knowledge, e.g. the right imputer for visibly missing data);
+    2. run a machine search *seeded at the human pipeline*: enumerate
+       single-stage substitutions (the machine explores the neighborhood
+       humans never try, including blind-spot operators);
+    3. return whichever of human / machine / hybrid wins.
+    """
+
+    def __init__(self, registry: dict[str, list[Operator]],
+                 corpus: PipelineCorpus, seed: int = 0):
+        self.registry = registry
+        self.corpus = corpus
+        self.seed = seed
+
+    def run(self, task: MLTask, evaluator: PipelineEvaluator,
+            budget: int = 20) -> HAIPipeResult:
+        human_pipeline, human_score = best_human_pipeline(
+            self.corpus, task, evaluator, sample=min(8, budget // 2),
+            seed=self.seed,
+        )
+        tracker = _Tracker()
+        tracker.record(human_pipeline, human_score)
+        rng = np.random.default_rng(self.seed)
+
+        # Machine-only reference: random search with the same extra budget.
+        from repro.pipelines.search import RandomSearch
+
+        machine = RandomSearch(self.registry, seed=self.seed).search(
+            task, evaluator, budget=max(budget // 2, 1)
+        )
+
+        # Hybrid: hill-climb around the human pipeline, one stage at a time.
+        frontier = human_pipeline
+        frontier_score = human_score
+        spent = 0
+        stage_order = list(range(len(STAGES)))
+        rng.shuffle(stage_order)
+        for stage_idx in stage_order:
+            stage = STAGES[stage_idx]
+            for op in self.registry[stage]:
+                if spent >= budget:
+                    break
+                if op.name == frontier.operators[stage_idx].name:
+                    continue
+                ops = list(frontier.operators)
+                ops[stage_idx] = op
+                candidate = PrepPipeline(tuple(ops))
+                score = evaluator.score(candidate, task)
+                spent += 1
+                if score > frontier_score:
+                    frontier, frontier_score = candidate, score
+        combined, combined_score = frontier, frontier_score
+        if machine.best_score > combined_score:
+            combined, combined_score = machine.best_pipeline, machine.best_score
+        return HAIPipeResult(
+            human_pipeline=human_pipeline, human_score=human_score,
+            machine_pipeline=machine.best_pipeline, machine_score=machine.best_score,
+            combined_pipeline=combined, combined_score=combined_score,
+        )
+
+
+# -- by-target synthesis (Auto-Pipeline) ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableOp:
+    """A named table transformation used by the synthesizer."""
+
+    name: str
+    apply: Callable[[Table], Table]
+
+
+def standard_table_ops(table: Table) -> list[TableOp]:
+    """Candidate operations derived from the input table's schema."""
+    ops: list[TableOp] = []
+    for column in table.schema.names:
+        if table.schema.dtype_of(column) == "str":
+            ops.append(TableOp(
+                f"lowercase({column})",
+                lambda t, c=column: t.map_column(
+                    c, lambda v: v.lower() if isinstance(v, str) else v
+                ),
+            ))
+            ops.append(TableOp(
+                f"trim({column})",
+                lambda t, c=column: t.map_column(
+                    c, lambda v: " ".join(v.split()) if isinstance(v, str) else v
+                ),
+            ))
+            ops.append(TableOp(
+                f"fill_mode({column})",
+                lambda t, c=column: _fill_mode(t, c),
+            ))
+        ops.append(TableOp(
+            f"drop({column})",
+            lambda t, c=column: t.drop([c]) if t.num_columns > 1 else t,
+        ))
+    return ops
+
+
+def _fill_mode(table: Table, column: str) -> Table:
+    values = [v for v in table.column(column) if v is not None]
+    if not values:
+        return table
+    mode = Counter(values).most_common(1)[0][0]
+    return table.map_column(column, lambda v: mode if v is None else v)
+
+
+def table_agreement(candidate: Table, target: Table) -> float:
+    """Fraction of target cells reproduced (0 when schemas are disjoint)."""
+    shared = [c for c in target.schema.names if c in candidate.schema]
+    if not shared or candidate.num_rows != target.num_rows:
+        return 0.0
+    total = target.num_rows * len(target.schema.names)
+    hits = 0
+    for column in shared:
+        a = candidate.column(column)
+        b = target.column(column)
+        hits += sum(1 for x, y in zip(a, b) if x == y)
+    # Penalize extra columns the target does not have.
+    extra = len([c for c in candidate.schema.names if c not in target.schema])
+    return hits / total - 0.01 * extra
+
+
+@dataclass
+class SynthesisResult:
+    """Program found by by-target synthesis."""
+
+    steps: list[str]
+    output: Table
+    agreement: float
+    expanded: int
+
+
+def synthesize_by_target(source: Table, target: Table,
+                         max_depth: int = 4,
+                         beam_width: int = 8) -> SynthesisResult:
+    """Beam search over table ops until the output matches the target.
+
+    Greedy beam search: at each depth, extend every beam candidate with
+    every applicable op, keep the ``beam_width`` best by
+    :func:`table_agreement`.  Stops early on exact agreement.
+    """
+    start = table_agreement(source, target)
+    beam: list[tuple[float, list[str], Table]] = [(start, [], source)]
+    best = beam[0]
+    expanded = 0
+    for _ in range(max_depth):
+        extensions: list[tuple[float, list[str], Table]] = []
+        for score, steps, table in beam:
+            for op in standard_table_ops(table):
+                try:
+                    out = op.apply(table)
+                except Exception:  # noqa: BLE001 - invalid op on this table
+                    continue
+                expanded += 1
+                new_score = table_agreement(out, target)
+                extensions.append((new_score, steps + [op.name], out))
+        if not extensions:
+            break
+        extensions.sort(key=lambda entry: (-entry[0], len(entry[1])))
+        beam = extensions[:beam_width]
+        if beam[0][0] > best[0]:
+            best = beam[0]
+        if best[0] >= 0.999:
+            break
+    return SynthesisResult(
+        steps=best[1], output=best[2], agreement=best[0], expanded=expanded
+    )

@@ -1,0 +1,149 @@
+"""The operator vocabulary of data preparation pipelines (§3.3).
+
+Operators are grouped into *stages* (imputation → outlier handling → scaling
+→ feature engineering → feature selection), mirroring the categorization the
+tutorial's manual-pipeline analyses use.  A pipeline picks one operator per
+stage; ``none`` is a valid choice everywhere, so the search space includes
+pipelines that skip stages.
+
+Every operator is a pure function from (train X, train y, test X) to
+transformed (train X, test X): fit on train only, never peeking at test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.preprocessing import (
+    MinMaxScaler,
+    PCA,
+    PolynomialFeatures,
+    RobustScaler,
+    SelectKBest,
+    StandardScaler,
+    VarianceThreshold,
+)
+
+ApplyFn = Callable[[np.ndarray, np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]
+
+#: Stage order — pipelines apply their operators in this sequence.
+STAGES = ("impute", "outlier", "scale", "engineer", "select")
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A named, staged preparation operator."""
+
+    name: str
+    stage: str
+    apply: ApplyFn
+
+    def __repr__(self) -> str:
+        return f"Operator({self.stage}:{self.name})"
+
+
+def _identity(X_train, y_train, X_test):
+    return X_train, X_test
+
+
+def _impute_with(statistic: Callable[[np.ndarray], np.ndarray]) -> ApplyFn:
+    def apply(X_train, y_train, X_test):
+        fill = statistic(X_train)
+        fill = np.where(np.isnan(fill), 0.0, fill)
+        out_train = np.where(np.isnan(X_train), fill, X_train)
+        out_test = np.where(np.isnan(X_test), fill, X_test)
+        return out_train, out_test
+    return apply
+
+
+def _impute_zero(X_train, y_train, X_test):
+    return np.nan_to_num(X_train), np.nan_to_num(X_test)
+
+
+def _clip_outliers(k: float) -> ApplyFn:
+    def apply(X_train, y_train, X_test):
+        q1 = np.nanpercentile(X_train, 25, axis=0)
+        q3 = np.nanpercentile(X_train, 75, axis=0)
+        iqr = q3 - q1
+        lo, hi = q1 - k * iqr, q3 + k * iqr
+        return np.clip(X_train, lo, hi), np.clip(X_test, lo, hi)
+    return apply
+
+
+def _with_transformer(factory: Callable[[], object]) -> ApplyFn:
+    def apply(X_train, y_train, X_test):
+        transformer = factory()
+        out_train = transformer.fit_transform(X_train)
+        return out_train, transformer.transform(X_test)
+    return apply
+
+
+def _select_k_best(k: int) -> ApplyFn:
+    def apply(X_train, y_train, X_test):
+        selector = SelectKBest(k=min(k, X_train.shape[1]))
+        selector.fit_supervised(X_train, y_train)
+        return selector.transform(X_train), selector.transform(X_test)
+    return apply
+
+
+def _pca(k: int) -> ApplyFn:
+    def apply(X_train, y_train, X_test):
+        pca = PCA(n_components=min(k, X_train.shape[1]))
+        pca.fit(X_train)
+        return pca.transform(X_train), pca.transform(X_test)
+    return apply
+
+
+def build_registry() -> dict[str, list[Operator]]:
+    """The default operator registry, keyed by stage."""
+    return {
+        "impute": [
+            Operator("impute_mean", "impute",
+                     _impute_with(lambda X: np.nanmean(X, axis=0))),
+            Operator("impute_median", "impute",
+                     _impute_with(lambda X: np.nanmedian(X, axis=0))),
+            Operator("impute_zero", "impute", _impute_zero),
+        ],
+        "outlier": [
+            Operator("clip_iqr3", "outlier", _clip_outliers(3.0)),
+            Operator("clip_iqr1.5", "outlier", _clip_outliers(1.5)),
+            Operator("none", "outlier", _identity),
+        ],
+        "scale": [
+            Operator("standard_scale", "scale", _with_transformer(StandardScaler)),
+            Operator("minmax_scale", "scale", _with_transformer(MinMaxScaler)),
+            Operator("robust_scale", "scale", _with_transformer(RobustScaler)),
+            Operator("none", "scale", _identity),
+        ],
+        "engineer": [
+            Operator("polynomial", "engineer", _with_transformer(PolynomialFeatures)),
+            Operator("pca_4", "engineer", _pca(4)),
+            Operator("none", "engineer", _identity),
+        ],
+        "select": [
+            Operator("select_k8", "select", _select_k_best(8)),
+            Operator("select_k4", "select", _select_k_best(4)),
+            Operator("variance_threshold", "select",
+                     _with_transformer(lambda: VarianceThreshold(1e-4))),
+            Operator("none", "select", _identity),
+        ],
+    }
+
+
+def registry_size(registry: dict[str, list[Operator]]) -> int:
+    """Number of distinct pipelines the registry spans."""
+    size = 1
+    for stage in STAGES:
+        size *= len(registry[stage])
+    return size
+
+
+def operator_by_name(registry: dict[str, list[Operator]],
+                     stage: str, name: str) -> Operator:
+    for op in registry[stage]:
+        if op.name == name:
+            return op
+    raise KeyError(f"no operator {name!r} in stage {stage!r}")

@@ -1,0 +1,95 @@
+"""Pipelines: ordered operator choices, evaluated by downstream accuracy.
+
+A :class:`PrepPipeline` is one operator per stage.  Its score on a task is
+the cross-validated accuracy of a downstream classifier trained on the
+prepared features — the objective all §3.3 search strategies optimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.mltasks import MLTask
+from repro.errors import PipelineError
+from repro.ml.metrics import accuracy
+from repro.ml.models import Classifier, LogisticRegression
+from repro.ml.selection import kfold_indices
+from repro.pipelines.operators import STAGES, Operator
+
+
+@dataclass(frozen=True)
+class PrepPipeline:
+    """One operator per stage, applied in stage order."""
+
+    operators: tuple[Operator, ...]
+
+    def __post_init__(self):
+        stages = tuple(op.stage for op in self.operators)
+        if stages != tuple(STAGES[: len(stages)]):
+            raise PipelineError(
+                f"operators must follow stage order {STAGES}, got {stages}"
+            )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(op.name for op in self.operators)
+
+    def describe(self) -> str:
+        return " -> ".join(f"{op.stage}:{op.name}" for op in self.operators)
+
+    def apply(self, X_train: np.ndarray, y_train: np.ndarray,
+              X_test: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Run every operator; raises PipelineError when a step fails."""
+        for op in self.operators:
+            try:
+                X_train, X_test = op.apply(X_train, y_train, X_test)
+            except Exception as exc:  # noqa: BLE001 - surface as PipelineError
+                raise PipelineError(f"operator {op.name} failed: {exc}") from exc
+            if X_train.shape[1] == 0:
+                raise PipelineError(f"operator {op.name} removed every feature")
+        return X_train, X_test
+
+
+class PipelineEvaluator:
+    """Cross-validated downstream accuracy of a pipeline on a task.
+
+    Results are memoized per (pipeline names, task name) because search
+    strategies frequently re-propose pipelines; the evaluation count —
+    the budget currency of E13 — counts only *distinct* evaluations.
+    """
+
+    def __init__(self, make_model: Callable[[], Classifier] | None = None,
+                 folds: int = 3, seed: int = 0):
+        self.make_model = make_model or (lambda: LogisticRegression(epochs=100))
+        self.folds = folds
+        self.seed = seed
+        self.evaluations = 0
+        self._cache: dict[tuple, float] = {}
+
+    def score(self, pipeline: PrepPipeline, task: MLTask) -> float:
+        """Mean CV accuracy; failed pipelines score 0."""
+        key = (pipeline.names, task.name)
+        if key in self._cache:
+            return self._cache[key]
+        self.evaluations += 1
+        scores = []
+        try:
+            for train_idx, test_idx in kfold_indices(len(task.X), self.folds, self.seed):
+                X_train, X_test = task.X[train_idx], task.X[test_idx]
+                y_train, y_test = task.y[train_idx], task.y[test_idx]
+                X_train_p, X_test_p = pipeline.apply(X_train, y_train, X_test)
+                if np.isnan(X_train_p).any() or np.isnan(X_test_p).any():
+                    # Classifiers cannot digest NaN; pipelines that skip
+                    # imputation on a missing-data task fail here.
+                    raise PipelineError("NaN survived the pipeline")
+                model = self.make_model()
+                model.fit(X_train_p, y_train)
+                scores.append(accuracy(y_test, model.predict(X_test_p)))
+            result = float(np.mean(scores))
+        except PipelineError:
+            result = 0.0
+        self._cache[key] = result
+        return result

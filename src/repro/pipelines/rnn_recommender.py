@@ -1,0 +1,116 @@
+"""RNN-based next-operator recommendation (Auto-Suggest's architecture).
+
+"Auto-Suggest employs deep learning models (e.g., RNN) to recommend the next
+data preparation operators" (§3.3(3)).  The Markov recommender in
+:mod:`repro.pipelines.hitl` is the counting baseline; this model embeds the
+operator-prefix sequence, runs a GRU over it, and classifies the next
+operator — so it can, unlike the first-order Markov model, condition on the
+*whole* prefix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.nn.functional import cross_entropy
+from repro.nn.layers import Embedding, Linear
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.recurrent import GRU
+from repro.pipelines.corpus import PipelineCorpus
+from repro.pipelines.operators import STAGES
+
+
+class RNNOperatorRecommender:
+    """GRU over operator-prefix sequences → next-operator distribution."""
+
+    def __init__(self, embed_dim: int = 12, hidden_dim: int = 24,
+                 lr: float = 1e-2, seed: int = 0):
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.lr = lr
+        self.seed = seed
+        self.vocab_: dict[str, int] | None = None
+        self._inverse: list[str] = []
+        self._rng = np.random.default_rng(seed)
+
+    # -- data ------------------------------------------------------------------
+
+    def _build_vocab(self, corpus: PipelineCorpus) -> None:
+        names = {"<start>"}
+        for hp in corpus.pipelines:
+            for stage, name in zip(STAGES, hp.operator_names):
+                names.add(f"{stage}:{name}")
+        self._inverse = sorted(names)
+        self.vocab_ = {name: i for i, name in enumerate(self._inverse)}
+
+    def _sequences(self, corpus: PipelineCorpus) -> tuple[np.ndarray, np.ndarray]:
+        """(prefix ids padded to len(STAGES), next-op id) training pairs."""
+        xs, ys = [], []
+        start = self.vocab_["<start>"]
+        for hp in corpus.pipelines:
+            tokens = [start] + [
+                self.vocab_[f"{stage}:{name}"]
+                for stage, name in zip(STAGES, hp.operator_names)
+            ]
+            for i in range(1, len(tokens)):
+                prefix = tokens[:i]
+                padded = [start] * (len(STAGES) - len(prefix)) + prefix
+                xs.append(padded)
+                ys.append(tokens[i])
+        return np.array(xs), np.array(ys)
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(self, corpus: PipelineCorpus, epochs: int = 12,
+            batch_size: int = 32) -> "RNNOperatorRecommender":
+        self._build_vocab(corpus)
+        rng = np.random.default_rng(self.seed)
+        vocab_size = len(self.vocab_)
+        self.embedding = Embedding(vocab_size, self.embed_dim, rng)
+        self.gru = GRU(self.embed_dim, self.hidden_dim, rng)
+        self.head = Linear(self.hidden_dim, vocab_size, rng)
+        optimizer = Adam(
+            self.embedding.parameters() + self.gru.parameters()
+            + self.head.parameters(),
+            lr=self.lr,
+        )
+        X, y = self._sequences(corpus)
+        n = len(X)
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            for lo in range(0, n, batch_size):
+                batch = order[lo : lo + batch_size]
+                logits = self.head(self.gru(self.embedding(X[batch])))
+                loss = cross_entropy(logits, y[batch])
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(optimizer.parameters, 5.0)
+                optimizer.step()
+        return self
+
+    # -- inference -------------------------------------------------------------------
+
+    def recommend(self, prefix: list[tuple[str, str]], k: int = 3) -> list[str]:
+        """Top-k next operator *names* given ``[(stage, op name), …]``.
+
+        Only operators of the next stage are ranked, since the pipeline
+        grammar fixes stage order.
+        """
+        if self.vocab_ is None:
+            raise NotFittedError("RNNOperatorRecommender not fitted")
+        next_stage = STAGES[len(prefix)]
+        start = self.vocab_["<start>"]
+        tokens = [start] + [
+            self.vocab_.get(f"{stage}:{name}", start) for stage, name in prefix
+        ]
+        padded = [start] * (len(STAGES) - len(tokens) + 1) + tokens
+        ids = np.array([padded[-len(STAGES):]])
+        logits = self.head(self.gru(self.embedding(ids))).numpy()[0]
+        candidates = [
+            (logits[i], name.split(":", 1)[1])
+            for name, i in self.vocab_.items()
+            if name.startswith(f"{next_stage}:")
+        ]
+        candidates.sort(key=lambda pair: -pair[0])
+        return [name for _score, name in candidates[:k]]

@@ -1,0 +1,369 @@
+"""Automatic pipeline generation (§3.3(2)).
+
+Five search strategies over the operator space, one per family the tutorial
+covers:
+
+- :class:`RandomSearch` — the budget-matched baseline;
+- :class:`BayesianOptSearch` — Auto-WEKA-style: a random-forest surrogate
+  with a UCB acquisition proposes the next pipeline;
+- :class:`MetaLearningSearch` — Auto-Sklearn/TensorOBOE-style: warm-start
+  from pipelines that won on meta-feature-similar datasets, then continue
+  with Bayesian optimization;
+- :class:`GeneticSearch` — TPOT-style genetic programming over pipeline
+  genomes (tournament selection, crossover, mutation, elitism);
+- :class:`QLearningSearch` — Learn2Clean/Deepline-style reinforcement
+  learning: an agent assembles the pipeline stage by stage and learns
+  operator Q-values from downstream reward.
+
+All strategies consume the same budget currency: *distinct pipeline
+evaluations* (the expensive operation), so their anytime curves compare
+fairly in E13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.mltasks import MLTask
+from repro.pipelines.operators import STAGES, Operator
+from repro.pipelines.pipeline import PipelineEvaluator, PrepPipeline
+
+
+@dataclass
+class SearchResult:
+    """Best pipeline found plus the anytime best-so-far trajectory."""
+
+    best_pipeline: PrepPipeline
+    best_score: float
+    trajectory: list[float] = field(default_factory=list)  # best-so-far per eval
+    evaluated: int = 0
+
+
+class SearchStrategy:
+    """Base class: tracks best-so-far while spending the evaluation budget."""
+
+    name = "search"
+
+    def __init__(self, registry: dict[str, list[Operator]], seed: int = 0):
+        self.registry = registry
+        self.seed = seed
+
+    def search(self, task: MLTask, evaluator: PipelineEvaluator,
+               budget: int) -> SearchResult:
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _random_pipeline(self, rng: np.random.Generator) -> PrepPipeline:
+        ops = tuple(
+            self.registry[stage][int(rng.integers(len(self.registry[stage])))]
+            for stage in STAGES
+        )
+        return PrepPipeline(ops)
+
+    def _encode(self, pipeline: PrepPipeline) -> np.ndarray:
+        """One-hot encoding of the stage choices (the surrogate's input)."""
+        parts = []
+        for stage, op in zip(STAGES, pipeline.operators):
+            names = [o.name for o in self.registry[stage]]
+            onehot = np.zeros(len(names))
+            onehot[names.index(op.name)] = 1.0
+            parts.append(onehot)
+        return np.concatenate(parts)
+
+
+class _Tracker:
+    """Best-so-far bookkeeping shared by every strategy."""
+
+    def __init__(self):
+        self.best_pipeline: PrepPipeline | None = None
+        self.best_score = -np.inf
+        self.trajectory: list[float] = []
+        self.seen: set[tuple[str, ...]] = set()
+
+    def record(self, pipeline: PrepPipeline, score: float) -> None:
+        if score > self.best_score:
+            self.best_score = score
+            self.best_pipeline = pipeline
+        self.trajectory.append(self.best_score)
+        self.seen.add(pipeline.names)
+
+    def result(self) -> SearchResult:
+        return SearchResult(
+            best_pipeline=self.best_pipeline,
+            best_score=float(self.best_score),
+            trajectory=self.trajectory,
+            evaluated=len(self.trajectory),
+        )
+
+
+class RandomSearch(SearchStrategy):
+    """Uniformly random pipelines (without replacement)."""
+
+    name = "random"
+
+    def search(self, task: MLTask, evaluator: PipelineEvaluator,
+               budget: int) -> SearchResult:
+        rng = np.random.default_rng(self.seed)
+        tracker = _Tracker()
+        attempts = 0
+        while len(tracker.trajectory) < budget and attempts < budget * 20:
+            attempts += 1
+            pipeline = self._random_pipeline(rng)
+            if pipeline.names in tracker.seen:
+                continue
+            tracker.record(pipeline, evaluator.score(pipeline, task))
+        return tracker.result()
+
+
+class BayesianOptSearch(SearchStrategy):
+    """RF-surrogate Bayesian optimization with a UCB acquisition."""
+
+    name = "bayesian"
+
+    def __init__(self, registry, seed: int = 0, init_random: int = 5,
+                 kappa: float = 1.0, pool_size: int = 64):
+        super().__init__(registry, seed)
+        self.init_random = init_random
+        self.kappa = kappa
+        self.pool_size = pool_size
+
+    def search(self, task: MLTask, evaluator: PipelineEvaluator,
+               budget: int) -> SearchResult:
+        from repro.ml.models import RandomForestRegressor
+
+        rng = np.random.default_rng(self.seed)
+        tracker = _Tracker()
+        X_hist: list[np.ndarray] = []
+        y_hist: list[float] = []
+
+        def evaluate(pipeline: PrepPipeline) -> None:
+            score = evaluator.score(pipeline, task)
+            tracker.record(pipeline, score)
+            X_hist.append(self._encode(pipeline))
+            y_hist.append(score)
+
+        while len(tracker.trajectory) < min(self.init_random, budget):
+            pipeline = self._random_pipeline(rng)
+            if pipeline.names in tracker.seen:
+                continue
+            evaluate(pipeline)
+
+        while len(tracker.trajectory) < budget:
+            surrogate = RandomForestRegressor(n_trees=16, max_depth=6,
+                                              seed=int(rng.integers(1 << 30)))
+            surrogate.fit(np.stack(X_hist), np.array(y_hist))
+            pool = []
+            while len(pool) < self.pool_size:
+                candidate = self._random_pipeline(rng)
+                if candidate.names not in tracker.seen:
+                    pool.append(candidate)
+            encoded = np.stack([self._encode(p) for p in pool])
+            mean = surrogate.predict(encoded)
+            std = surrogate.predict_std(encoded)
+            acquisition = mean + self.kappa * std
+            evaluate(pool[int(np.argmax(acquisition))])
+        return tracker.result()
+
+
+@dataclass
+class MetaRecord:
+    """One meta-store entry: a dataset summary and its winning pipeline."""
+
+    meta_features: np.ndarray
+    pipeline_names: tuple[str, ...]
+    score: float
+
+
+class MetaStore:
+    """Experience store for meta-learning: (meta-features → good pipelines)."""
+
+    def __init__(self):
+        self.records: list[MetaRecord] = []
+
+    def add(self, task: MLTask, pipeline: PrepPipeline, score: float) -> None:
+        self.records.append(
+            MetaRecord(task.meta_features(), pipeline.names, score)
+        )
+
+    def nearest(self, task: MLTask, k: int = 5) -> list[MetaRecord]:
+        """The k records whose datasets look most like ``task``.
+
+        Distances use standardized meta-features so no single statistic
+        dominates.
+        """
+        if not self.records:
+            return []
+        matrix = np.stack([r.meta_features for r in self.records])
+        mu, sigma = matrix.mean(axis=0), matrix.std(axis=0)
+        # Floor sigma at a fraction of the feature's scale: with few stored
+        # records a coincidentally tight spread would otherwise blow up one
+        # feature's z-scores and dominate the distance.
+        sigma = np.maximum(sigma, 0.25 * (np.abs(mu) + 1.0))
+        query = (task.meta_features() - mu) / sigma
+        normalized = (matrix - mu) / sigma
+        distances = np.linalg.norm(normalized - query, axis=1)
+        order = np.argsort(distances, kind="stable")
+        return [self.records[int(i)] for i in order[:k]]
+
+
+class MetaLearningSearch(SearchStrategy):
+    """Warm-start from the meta-store, then continue with BO."""
+
+    name = "meta-learning"
+
+    def __init__(self, registry, store: MetaStore, seed: int = 0,
+                 warm_starts: int = 5):
+        super().__init__(registry, seed)
+        self.store = store
+        self.warm_starts = warm_starts
+
+    def search(self, task: MLTask, evaluator: PipelineEvaluator,
+               budget: int) -> SearchResult:
+        from repro.pipelines.operators import operator_by_name
+
+        tracker = _Tracker()
+        for record in self.store.nearest(task, k=self.warm_starts):
+            if len(tracker.trajectory) >= budget:
+                break
+            if record.pipeline_names in tracker.seen:
+                continue
+            ops = tuple(
+                operator_by_name(self.registry, stage, name)
+                for stage, name in zip(STAGES, record.pipeline_names)
+            )
+            pipeline = PrepPipeline(ops)
+            tracker.record(pipeline, evaluator.score(pipeline, task))
+        remaining = budget - len(tracker.trajectory)
+        if remaining > 0:
+            bo = BayesianOptSearch(self.registry, seed=self.seed,
+                                   init_random=2)
+            inner = bo.search(task, evaluator, remaining)
+            for score in inner.trajectory:
+                tracker.trajectory.append(max(tracker.best_score, score))
+            if inner.best_score > tracker.best_score:
+                tracker.best_score = inner.best_score
+                tracker.best_pipeline = inner.best_pipeline
+        return tracker.result()
+
+
+class GeneticSearch(SearchStrategy):
+    """TPOT-style genetic programming over pipeline genomes."""
+
+    name = "genetic"
+
+    def __init__(self, registry, seed: int = 0, population: int = 8,
+                 mutation_rate: float = 0.3, elite: int = 2):
+        super().__init__(registry, seed)
+        self.population_size = population
+        self.mutation_rate = mutation_rate
+        self.elite = elite
+
+    def _mutate(self, pipeline: PrepPipeline, rng) -> PrepPipeline:
+        ops = list(pipeline.operators)
+        stage_idx = int(rng.integers(len(STAGES)))
+        stage = STAGES[stage_idx]
+        ops[stage_idx] = self.registry[stage][int(rng.integers(len(self.registry[stage])))]
+        return PrepPipeline(tuple(ops))
+
+    def _crossover(self, a: PrepPipeline, b: PrepPipeline, rng) -> PrepPipeline:
+        cut = int(rng.integers(1, len(STAGES)))
+        return PrepPipeline(tuple(a.operators[:cut]) + tuple(b.operators[cut:]))
+
+    def search(self, task: MLTask, evaluator: PipelineEvaluator,
+               budget: int) -> SearchResult:
+        rng = np.random.default_rng(self.seed)
+        tracker = _Tracker()
+        population: list[tuple[PrepPipeline, float]] = []
+        while len(population) < self.population_size and len(tracker.trajectory) < budget:
+            pipeline = self._random_pipeline(rng)
+            if pipeline.names in tracker.seen:
+                continue
+            score = evaluator.score(pipeline, task)
+            tracker.record(pipeline, score)
+            population.append((pipeline, score))
+        while len(tracker.trajectory) < budget:
+            population.sort(key=lambda ps: -ps[1])
+            parents = population[: max(2, self.population_size // 2)]
+            next_gen = population[: self.elite]
+            while (len(next_gen) < self.population_size
+                   and len(tracker.trajectory) + len(next_gen) - self.elite < budget):
+                pa = parents[int(rng.integers(len(parents)))][0]
+                pb = parents[int(rng.integers(len(parents)))][0]
+                child = self._crossover(pa, pb, rng)
+                if rng.random() < self.mutation_rate:
+                    child = self._mutate(child, rng)
+                if child.names in tracker.seen:
+                    child = self._mutate(child, rng)
+                if child.names in tracker.seen:
+                    continue
+                score = evaluator.score(child, task)
+                tracker.record(child, score)
+                next_gen.append((child, score))
+                if len(tracker.trajectory) >= budget:
+                    break
+            population = next_gen
+        return tracker.result()
+
+
+class QLearningSearch(SearchStrategy):
+    """Stage-by-stage pipeline assembly with tabular Q-learning.
+
+    State: the stage being decided; action: operator choice.  Each episode
+    builds one pipeline, gets the downstream score as terminal reward and
+    updates all (stage, action) pairs along the trajectory — the
+    Learn2Clean formulation at this registry's scale.
+    """
+
+    name = "q-learning"
+
+    def __init__(self, registry, seed: int = 0, epsilon: float = 0.35,
+                 learning_rate: float = 0.4):
+        super().__init__(registry, seed)
+        self.epsilon = epsilon
+        self.learning_rate = learning_rate
+
+    def search(self, task: MLTask, evaluator: PipelineEvaluator,
+               budget: int) -> SearchResult:
+        rng = np.random.default_rng(self.seed)
+        tracker = _Tracker()
+        q_values: dict[tuple[str, str], float] = {
+            (stage, op.name): 0.5
+            for stage in STAGES for op in self.registry[stage]
+        }
+        attempts = 0
+        while len(tracker.trajectory) < budget and attempts < budget * 20:
+            attempts += 1
+            chosen: list[Operator] = []
+            for stage in STAGES:
+                ops = self.registry[stage]
+                if rng.random() < self.epsilon:
+                    chosen.append(ops[int(rng.integers(len(ops)))])
+                else:
+                    chosen.append(max(ops, key=lambda o: q_values[(stage, o.name)]))
+            pipeline = PrepPipeline(tuple(chosen))
+            if pipeline.names in tracker.seen:
+                # Force exploration when the greedy pipeline was already tried.
+                stage_idx = int(rng.integers(len(STAGES)))
+                stage = STAGES[stage_idx]
+                ops = list(pipeline.operators)
+                ops[stage_idx] = self.registry[stage][int(rng.integers(len(self.registry[stage])))]
+                pipeline = PrepPipeline(tuple(ops))
+                if pipeline.names in tracker.seen:
+                    continue
+            reward = evaluator.score(pipeline, task)
+            tracker.record(pipeline, reward)
+            for stage, op in zip(STAGES, pipeline.operators):
+                key = (stage, op.name)
+                q_values[key] += self.learning_rate * (reward - q_values[key])
+        return tracker.result()
+
+
+ALL_STRATEGIES = {
+    "random": RandomSearch,
+    "bayesian": BayesianOptSearch,
+    "genetic": GeneticSearch,
+    "q-learning": QLearningSearch,
+}

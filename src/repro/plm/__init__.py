@@ -1,0 +1,19 @@
+"""Second-generation PLM: mini-BERT with MLM pretraining and fine-tuning."""
+
+from repro.plm.finetune import FinetuneReport, PairClassifier, SequenceClassifier
+from repro.plm.model import ClassifierHead, MiniBert, MLMHead
+from repro.plm.pretrain import MLMPretrainer, PretrainReport
+from repro.plm.serialize import load_encoder, save_encoder
+
+__all__ = [
+    "ClassifierHead",
+    "FinetuneReport",
+    "MLMHead",
+    "MLMPretrainer",
+    "MiniBert",
+    "PairClassifier",
+    "PretrainReport",
+    "SequenceClassifier",
+    "load_encoder",
+    "save_encoder",
+]

@@ -1,0 +1,103 @@
+"""Fine-tuning pre-trained encoders on downstream tasks (tutorial §3.2(3)).
+
+Two task shapes cover the tutorial's applications:
+
+- :class:`SequenceClassifier` — one text in, one label out (column type
+  annotation, string categorization);
+- :class:`PairClassifier` — two texts in, match/no-match out (Ditto-style
+  entity matching, schema matching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.nn.functional import cross_entropy
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.plm.model import ClassifierHead, MiniBert
+
+
+@dataclass
+class FinetuneReport:
+    """Loss trajectory of a fine-tuning run."""
+
+    losses: list[float]
+
+
+class _BertClassifierBase:
+    """Shared training loop for CLS-pooled classification heads."""
+
+    def __init__(self, encoder: MiniBert, num_classes: int,
+                 lr: float = 2e-3, freeze_encoder: bool = False, seed: int = 0):
+        self.encoder = encoder
+        self.head = ClassifierHead(encoder.dim, num_classes, seed=seed)
+        self.num_classes = num_classes
+        self.freeze_encoder = freeze_encoder
+        params = self.head.parameters()
+        if not freeze_encoder:
+            params = params + encoder.parameters()
+        self._optimizer = Adam(params, lr=lr)
+        self._rng = np.random.default_rng(seed)
+        self.fitted = False
+
+    def _train_on(self, ids: np.ndarray, masks: np.ndarray, labels: np.ndarray,
+                  epochs: int, batch_size: int) -> FinetuneReport:
+        n = len(labels)
+        losses = []
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            for lo in range(0, n, batch_size):
+                batch = order[lo : lo + batch_size]
+                cls = self.encoder.cls_embedding(ids[batch], mask=masks[batch])
+                if self.freeze_encoder:
+                    cls = cls.detach()
+                logits = self.head(cls)
+                loss = cross_entropy(logits, labels[batch])
+                self._optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self._optimizer.parameters, 5.0)
+                self._optimizer.step()
+                losses.append(loss.item())
+        self.fitted = True
+        return FinetuneReport(losses=losses)
+
+    def _predict_on(self, ids: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        if not self.fitted:
+            raise NotFittedError(f"{type(self).__name__} not fitted")
+        out = []
+        for lo in range(0, len(ids), 64):
+            cls = self.encoder.cls_embedding(
+                ids[lo : lo + 64], mask=masks[lo : lo + 64]
+            )
+            out.append(self.head(cls).numpy())
+        logits = np.vstack(out)
+        return logits.argmax(axis=1)
+
+
+class SequenceClassifier(_BertClassifierBase):
+    """Fine-tuned single-sequence classifier."""
+
+    def fit(self, texts: list[str], labels: np.ndarray,
+            epochs: int = 5, batch_size: int = 16) -> FinetuneReport:
+        ids, masks = self.encoder.batch_encode(texts)
+        return self._train_on(ids, masks, np.asarray(labels), epochs, batch_size)
+
+    def predict(self, texts: list[str]) -> np.ndarray:
+        ids, masks = self.encoder.batch_encode(texts)
+        return self._predict_on(ids, masks)
+
+
+class PairClassifier(_BertClassifierBase):
+    """Ditto-style sequence-pair classifier ([cls] a [sep] b [sep])."""
+
+    def fit(self, pairs: list[tuple[str, str]], labels: np.ndarray,
+            epochs: int = 5, batch_size: int = 16) -> FinetuneReport:
+        ids, masks = self.encoder.batch_encode_pairs(pairs)
+        return self._train_on(ids, masks, np.asarray(labels), epochs, batch_size)
+
+    def predict(self, pairs: list[tuple[str, str]]) -> np.ndarray:
+        ids, masks = self.encoder.batch_encode_pairs(pairs)
+        return self._predict_on(ids, masks)

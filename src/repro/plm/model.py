@@ -1,0 +1,121 @@
+"""A miniature BERT: transformer encoder with learned positions.
+
+Second-generation PLM (tutorial §3.2): contextual embeddings.  The same
+encoder is (a) pre-trained with masked-LM on the world corpus, (b) fine-tuned
+for sequence and sequence-pair classification (the Ditto recipe), and (c)
+shared across tasks by the unified matcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.vocab import Vocab
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module, TransformerBlock
+from repro.nn.tensor import Tensor
+
+
+class MiniBert(Module):
+    """Token + position embeddings into a stack of transformer blocks."""
+
+    def __init__(self, vocab: Vocab, dim: int = 32, num_layers: int = 2,
+                 num_heads: int = 2, ff_dim: int = 64, max_len: int = 32,
+                 dropout: float = 0.0, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab = vocab
+        self.dim = dim
+        self.max_len = max_len
+        self.tok_embed = Embedding(len(vocab), dim, rng)
+        self.pos_embed = Embedding(max_len, dim, rng)
+        self.blocks = [
+            TransformerBlock(dim, num_heads, ff_dim, rng, dropout=dropout)
+            for _ in range(num_layers)
+        ]
+        for i, block in enumerate(self.blocks):
+            setattr(self, f"block{i}", block)
+        self.final_norm = LayerNorm(dim)
+
+    def forward(self, ids: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+        """``ids``: int ``(batch, seq)``; returns hidden ``(batch, seq, dim)``."""
+        ids = np.asarray(ids)
+        if ids.ndim != 2:
+            raise ValueError("MiniBert expects (batch, seq) id arrays")
+        batch, seq = ids.shape
+        if seq > self.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len {self.max_len}")
+        positions = np.tile(np.arange(seq), (batch, 1))
+        x = self.tok_embed(ids) + self.pos_embed(positions)
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return self.final_norm(x)
+
+    def cls_embedding(self, ids: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+        """The ``[cls]`` position's hidden state — the sequence summary."""
+        hidden = self.forward(ids, mask=mask)
+        return hidden[:, 0, :]
+
+    # -- text encoding helpers ------------------------------------------------
+
+    def encode_text(self, text: str) -> tuple[np.ndarray, np.ndarray]:
+        """``[cls] tokens [sep]`` padded to ``max_len``; returns (ids, mask)."""
+        body = self.vocab.encode(text)[: self.max_len - 2]
+        ids = [self.vocab.cls_id] + body + [self.vocab.sep_id]
+        return self._pad(ids)
+
+    def encode_pair(self, left: str, right: str) -> tuple[np.ndarray, np.ndarray]:
+        """``[cls] left [sep] right [sep]`` — the Ditto serialization."""
+        budget = self.max_len - 3
+        left_ids = self.vocab.encode(left)
+        right_ids = self.vocab.encode(right)
+        # Truncate the longer side first, preserving both when possible.
+        while len(left_ids) + len(right_ids) > budget:
+            if len(left_ids) >= len(right_ids):
+                left_ids.pop()
+            else:
+                right_ids.pop()
+        ids = (
+            [self.vocab.cls_id] + left_ids + [self.vocab.sep_id]
+            + right_ids + [self.vocab.sep_id]
+        )
+        return self._pad(ids)
+
+    def _pad(self, ids: list[int]) -> tuple[np.ndarray, np.ndarray]:
+        mask = [1] * len(ids) + [0] * (self.max_len - len(ids))
+        padded = ids + [self.vocab.pad_id] * (self.max_len - len(ids))
+        return np.array(padded), np.array(mask)
+
+    def batch_encode(self, texts: list[str]) -> tuple[np.ndarray, np.ndarray]:
+        pairs = [self.encode_text(t) for t in texts]
+        return np.stack([p[0] for p in pairs]), np.stack([p[1] for p in pairs])
+
+    def batch_encode_pairs(
+        self, pairs: list[tuple[str, str]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        encoded = [self.encode_pair(a, b) for a, b in pairs]
+        return np.stack([e[0] for e in encoded]), np.stack([e[1] for e in encoded])
+
+
+class MLMHead(Module):
+    """Masked-LM output head: hidden states to vocabulary logits."""
+
+    def __init__(self, dim: int, vocab_size: int, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.proj = Linear(dim, vocab_size, rng)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        return self.proj(hidden)
+
+
+class ClassifierHead(Module):
+    """Fine-tuning head: a small MLP over the ``[cls]`` embedding."""
+
+    def __init__(self, dim: int, num_classes: int, hidden: int = 32, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(dim, hidden, rng)
+        self.fc2 = Linear(hidden, num_classes, rng)
+
+    def forward(self, cls_embedding: Tensor) -> Tensor:
+        return self.fc2(self.fc1(cls_embedding).tanh())

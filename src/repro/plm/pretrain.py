@@ -1,0 +1,103 @@
+"""Masked-language-model pre-training (the BERT recipe, tutorial §3.2(1)).
+
+15% of non-special tokens are selected; of those 80% become ``[mask]``, 10%
+a random token, 10% stay.  The loss is cross-entropy at selected positions
+only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.vocab import Vocab
+from repro.nn.functional import log_softmax
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.plm.model import MiniBert, MLMHead
+
+
+@dataclass
+class PretrainReport:
+    """Loss trajectory of a pre-training run."""
+
+    losses: list[float]
+
+    @property
+    def initial_loss(self) -> float:
+        return self.losses[0]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+
+class MLMPretrainer:
+    """Runs masked-LM pre-training for a :class:`MiniBert`."""
+
+    def __init__(self, model: MiniBert, mask_prob: float = 0.15,
+                 lr: float = 3e-3, seed: int = 0):
+        self.model = model
+        self.head = MLMHead(model.dim, len(model.vocab), seed=seed)
+        self.mask_prob = mask_prob
+        self._rng = np.random.default_rng(seed)
+        self._optimizer = Adam(
+            self.model.parameters() + self.head.parameters(), lr=lr
+        )
+
+    def corruption(self, ids: np.ndarray, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (corrupted ids, labels) where labels are -1 at unselected
+        positions."""
+        vocab = self.model.vocab
+        corrupted = ids.copy()
+        labels = np.full(ids.shape, -1, dtype=np.int64)
+        special = {vocab.pad_id, vocab.cls_id, vocab.sep_id, vocab.mask_id}
+        candidates = (mask == 1) & ~np.isin(ids, list(special))
+        selected = candidates & (self._rng.random(ids.shape) < self.mask_prob)
+        labels[selected] = ids[selected]
+        action = self._rng.random(ids.shape)
+        to_mask = selected & (action < 0.8)
+        to_random = selected & (action >= 0.8) & (action < 0.9)
+        corrupted[to_mask] = vocab.mask_id
+        num_random = int(to_random.sum())
+        if num_random:
+            corrupted[to_random] = self._rng.integers(
+                len(Vocab.SPECIALS), len(vocab), size=num_random
+            )
+        return corrupted, labels
+
+    def loss_on(self, ids: np.ndarray, mask: np.ndarray,
+                labels: np.ndarray) -> Tensor | None:
+        """Cross-entropy at labelled positions; None when nothing was masked."""
+        rows, cols = np.nonzero(labels >= 0)
+        if rows.size == 0:
+            return None
+        hidden = self.model(ids, mask=mask)
+        logits = self.head(hidden)
+        log_probs = log_softmax(logits, axis=-1)
+        batch, seq, vocab_size = logits.shape
+        one_hot = np.zeros((batch, seq, vocab_size))
+        one_hot[rows, cols, labels[rows, cols]] = 1.0
+        picked = (log_probs * Tensor(one_hot)).sum()
+        return -picked * (1.0 / rows.size)
+
+    def train(self, corpus: list[str], steps: int = 200,
+              batch_size: int = 16) -> PretrainReport:
+        """Pre-train for ``steps`` minibatches sampled from ``corpus``."""
+        encoded = self.model.batch_encode(corpus)
+        all_ids, all_masks = encoded
+        losses = []
+        for _ in range(steps):
+            idx = self._rng.integers(0, len(corpus), size=batch_size)
+            ids, mask = all_ids[idx], all_masks[idx]
+            corrupted, labels = self.corruption(ids, mask)
+            loss = self.loss_on(corrupted, mask, labels)
+            if loss is None:
+                continue
+            self._optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(self._optimizer.parameters, 5.0)
+            self._optimizer.step()
+            losses.append(loss.item())
+        return PretrainReport(losses=losses)

@@ -1,0 +1,49 @@
+"""Save and restore pre-trained encoders (so benches can share one pretrain)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.embeddings.vocab import Vocab
+from repro.plm.model import MiniBert
+
+
+def save_encoder(model: MiniBert, path: str | Path) -> None:
+    """Persist weights + config + vocabulary to ``<path>.npz``/``<path>.json``."""
+    path = Path(path)
+    state = model.state_dict()
+    np.savez(path.with_suffix(".npz"), **state)
+    config = {
+        "dim": model.dim,
+        "num_layers": len(model.blocks),
+        "num_heads": model.blocks[0].attn.num_heads,
+        "ff_dim": model.blocks[0].ff._items[0].out_features,
+        "max_len": model.max_len,
+        "vocab_tokens": model.vocab.tokens(),
+        "vocab_counts": [model.vocab.counts[t] for t in model.vocab.tokens()],
+    }
+    path.with_suffix(".json").write_text(json.dumps(config))
+
+
+def load_encoder(path: str | Path) -> MiniBert:
+    """Restore a :class:`MiniBert` saved by :func:`save_encoder`."""
+    path = Path(path)
+    config = json.loads(path.with_suffix(".json").read_text())
+    vocab = Vocab.__new__(Vocab)
+    vocab._tokens = list(config["vocab_tokens"])
+    vocab._ids = {t: i for i, t in enumerate(vocab._tokens)}
+    vocab.counts = dict(zip(config["vocab_tokens"], config["vocab_counts"]))
+    model = MiniBert(
+        vocab,
+        dim=config["dim"],
+        num_layers=config["num_layers"],
+        num_heads=config["num_heads"],
+        ff_dim=config["ff_dim"],
+        max_len=config["max_len"],
+    )
+    with np.load(path.with_suffix(".npz")) as data:
+        model.load_state_dict({k: data[k] for k in data.files})
+    return model

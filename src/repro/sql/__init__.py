@@ -1,0 +1,7 @@
+"""Mini SQL engine over repro tables (the MRKL/Symphony database module)."""
+
+from repro.sql.ast import Query
+from repro.sql.engine import Database, execute
+from repro.sql.parser import parse_sql, tokenize
+
+__all__ = ["Database", "Query", "execute", "parse_sql", "tokenize"]

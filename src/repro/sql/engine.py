@@ -1,0 +1,217 @@
+"""Execution of parsed SQL queries against :class:`~repro.table.Table`s.
+
+Semantics follow SQL where it matters for the library: three-valued NULL
+comparisons (any comparison with NULL is false), aggregates skip NULLs,
+COUNT(*) counts rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ParseError, SchemaError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Literal,
+    Query,
+    SelectItem,
+    UnaryOp,
+)
+from repro.sql.parser import parse_sql
+from repro.table import Table
+
+
+class Database:
+    """A named collection of tables with a ``query`` entry point."""
+
+    def __init__(self, tables: dict[str, Table] | None = None):
+        self._tables: dict[str, Table] = dict(tables or {})
+
+    def register(self, name: str, table: Table) -> None:
+        self._tables[name] = table
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise SchemaError(
+                f"no table {name!r}; available: {sorted(self._tables)}"
+            )
+        return self._tables[name]
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def query(self, sql: str) -> Table:
+        """Parse and execute a SELECT statement."""
+        return execute(parse_sql(sql), self)
+
+
+def execute(query: Query, db: Database) -> Table:
+    table = db.table(query.table)
+    for join in query.joins:
+        table = table.join(
+            db.table(join.table), on=[(join.left_col, join.right_col)]
+        )
+    if query.where is not None:
+        table = table.select(lambda row: bool(_eval(query.where, row)))
+    if query.group_by or _has_aggregate(query):
+        table = _aggregate(query, table)
+        if query.order_by is not None:
+            column, descending = query.order_by
+            table = table.order_by(column, descending=descending)
+    else:
+        # ORDER BY may reference source columns the projection drops, so
+        # sort before projecting (standard SQL allows both).
+        if query.order_by is not None:
+            column, descending = query.order_by
+            table = table.order_by(column, descending=descending)
+        if not query.select_star:
+            table = _project(query.select, table)
+    if query.limit is not None:
+        table = table.limit(query.limit)
+    return table
+
+
+def _has_aggregate(query: Query) -> bool:
+    return any(isinstance(item.expr, FuncCall) for item in query.select)
+
+
+def _project(items: list[SelectItem], table: Table) -> Table:
+    names = []
+    rows = []
+    for item in items:
+        names.append(item.alias or _default_name(item.expr))
+    for row in table.row_dicts():
+        rows.append(tuple(_eval(item.expr, row) for item in items))
+    if not rows:
+        # Infer dtypes from source schema where possible.
+        fields = []
+        for item, name in zip(items, names):
+            dtype = (
+                table.schema.dtype_of(item.expr.name)
+                if isinstance(item.expr, ColumnRef) and item.expr.name in table.schema
+                else "str"
+            )
+            fields.append((name, dtype))
+        return Table.empty(fields)
+    return Table.from_rows(rows, names=names)
+
+
+def _aggregate(query: Query, table: Table) -> Table:
+    groups: dict[tuple, list[dict[str, Any]]] = {}
+    order: list[tuple] = []
+    for row in table.row_dicts():
+        key = tuple(row[k] for k in query.group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    if not query.group_by and not groups:
+        groups[()] = []
+        order.append(())
+    names = []
+    for item in query.select:
+        names.append(item.alias or _default_name(item.expr))
+    out_rows = []
+    for key in order:
+        rows = groups[key]
+        values = []
+        for item in query.select:
+            values.append(_eval_aggregate(item.expr, rows, dict(zip(query.group_by, key))))
+        out_rows.append(tuple(values))
+    return Table.from_rows(out_rows, names=names)
+
+
+def _eval_aggregate(expr: Expr, rows: list[dict[str, Any]],
+                    key_values: dict[str, Any]) -> Any:
+    if isinstance(expr, FuncCall):
+        if expr.argument == "*":
+            if expr.name != "count":
+                raise ParseError(f"{expr.name}(*) is not valid SQL")
+            return len(rows)
+        args = [_eval(expr.argument, row) for row in rows]
+        args = [a for a in args if a is not None]
+        if expr.name == "count":
+            return len(args)
+        if not args:
+            return None
+        if expr.name == "sum":
+            return sum(args)
+        if expr.name == "min":
+            return min(args)
+        if expr.name == "max":
+            return max(args)
+        if expr.name == "avg":
+            return sum(args) / len(args)
+        raise ParseError(f"unknown aggregate {expr.name}")
+    if isinstance(expr, ColumnRef):
+        if expr.name in key_values:
+            return key_values[expr.name]
+        raise ParseError(
+            f"column {expr.name!r} must appear in GROUP BY or an aggregate"
+        )
+    if isinstance(expr, Literal):
+        return expr.value
+    raise ParseError("unsupported expression in aggregate SELECT list")
+
+
+def _default_name(expr: Expr) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, FuncCall):
+        arg = expr.argument if isinstance(expr.argument, str) else _default_name(expr.argument)
+        return f"{expr.name}_{arg}".replace("*", "all")
+    return "expr"
+
+
+def _eval(expr: Expr, row: dict[str, Any]) -> Any:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        if expr.name not in row:
+            raise SchemaError(f"no column {expr.name!r} in row")
+        return row[expr.name]
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return not bool(_eval(expr.operand, row))
+        if expr.op == "neg":
+            value = _eval(expr.operand, row)
+            return -value if value is not None else None
+        if expr.op == "isnull":
+            return _eval(expr.operand, row) is None
+        raise ParseError(f"unknown unary op {expr.op}")
+    if isinstance(expr, BinaryOp):
+        if expr.op == "and":
+            return bool(_eval(expr.left, row)) and bool(_eval(expr.right, row))
+        if expr.op == "or":
+            return bool(_eval(expr.left, row)) or bool(_eval(expr.right, row))
+        left = _eval(expr.left, row)
+        right = _eval(expr.right, row)
+        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            if left is None or right is None:
+                return False
+            if expr.op == "=":
+                return left == right
+            if expr.op == "<>":
+                return left != right
+            if expr.op == "<":
+                return left < right
+            if expr.op == "<=":
+                return left <= right
+            if expr.op == ">":
+                return left > right
+            return left >= right
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right if right != 0 else None
+        raise ParseError(f"unknown binary op {expr.op}")
+    raise ParseError(f"cannot evaluate {expr!r}")

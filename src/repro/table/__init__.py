@@ -1,0 +1,14 @@
+"""Relational table substrate (no pandas): typed columns, nulls, joins."""
+
+from repro.table.schema import DTYPES, Field, Schema, coerce, infer_dtype, validate
+from repro.table.table import Table
+
+__all__ = [
+    "DTYPES",
+    "Field",
+    "Schema",
+    "Table",
+    "coerce",
+    "infer_dtype",
+    "validate",
+]

@@ -1,0 +1,448 @@
+"""An immutable, in-memory relational table.
+
+This is the storage substrate for the whole library: the SQL engine, the data
+lake, the cleaning stack and the pipeline operators all move :class:`Table`
+objects around.  Design points:
+
+- columnar storage (one Python list per column) with ``None`` as null;
+- every operation returns a *new* table, so pipeline stages cannot trample
+  each other's inputs;
+- the API is intentionally the relational core (select / project / join /
+  group by / order by) plus the handful of cell-level mutators the cleaning
+  stack needs (``with_cell``, ``map_column``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.table.schema import Field, Schema, coerce, infer_dtype, validate
+
+Row = tuple[Any, ...]
+
+_AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
+    "count": lambda xs: len(xs),
+    "sum": lambda xs: sum(xs) if xs else None,
+    "min": lambda xs: min(xs) if xs else None,
+    "max": lambda xs: max(xs) if xs else None,
+    "avg": lambda xs: (sum(xs) / len(xs)) if xs else None,
+}
+
+
+class Table:
+    """An immutable relational table with a fixed :class:`Schema`."""
+
+    def __init__(self, schema: Schema, columns: Sequence[Sequence[Any]]):
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"schema has {len(schema)} columns but {len(columns)} were given"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        for field, column in zip(schema, columns):
+            for value in column:
+                if not validate(value, field.dtype):
+                    raise SchemaError(
+                        f"column {field.name!r}: value {value!r} is not {field.dtype}"
+                    )
+        self._schema = schema
+        self._columns = tuple(list(c) for c in columns)
+        self._num_rows = len(columns[0]) if columns else 0
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Sequence[Any]],
+        schema: Schema | Sequence[tuple[str, str]] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> "Table":
+        """Build a table from row tuples.
+
+        Either ``schema`` is given, or ``names`` is given and dtypes are
+        inferred per column.
+        """
+        materialized = [tuple(r) for r in rows]
+        if schema is not None and not isinstance(schema, Schema):
+            schema = Schema(schema)
+        if schema is None:
+            if names is None:
+                raise SchemaError("from_rows needs either a schema or column names")
+            for row in materialized:
+                if len(row) != len(names):
+                    raise SchemaError(
+                        f"row {row!r} has {len(row)} values but {len(names)} names given"
+                    )
+            cols = [[r[i] for r in materialized] for i in range(len(names))]
+            schema = Schema(Field(n, infer_dtype(c)) for n, c in zip(names, cols))
+            cols = [
+                [coerce(v, f.dtype) for v in c] for f, c in zip(schema, cols)
+            ]
+            return cls(schema, cols)
+        for row in materialized:
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"row {row!r} has {len(row)} values; schema expects {len(schema)}"
+                )
+        cols = [
+            [coerce(row[i], field.dtype) for row in materialized]
+            for i, field in enumerate(schema)
+        ]
+        return cls(schema, cols)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Sequence[Any]]) -> "Table":
+        """Build a table from ``{column name: values}`` with inferred dtypes."""
+        schema = Schema(Field(n, infer_dtype(v)) for n, v in data.items())
+        cols = [
+            [coerce(v, f.dtype) for v in values]
+            for f, values in zip(schema, data.values())
+        ]
+        return cls(schema, cols)
+
+    @classmethod
+    def empty(cls, schema: Schema | Sequence[tuple[str, str]]) -> "Table":
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        return cls(schema, [[] for _ in range(len(schema))])
+
+    @classmethod
+    def from_csv(cls, text: str, delimiter: str = ",") -> "Table":
+        """Parse CSV text (header row required); dtypes are inferred.
+
+        Empty strings become nulls, matching the usual CSV convention.
+        """
+        reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise SchemaError("CSV input is empty") from exc
+        raw_rows = [row for row in reader if row]
+        parsed = [
+            tuple(None if cell == "" else cell for cell in row) for row in raw_rows
+        ]
+        cols: list[list[Any]] = [[r[i] for r in parsed] for i in range(len(header))]
+        typed_cols = []
+        fields = []
+        for name, col in zip(header, cols):
+            dtype = _csv_dtype(col)
+            typed_cols.append([coerce(v, dtype) for v in col])
+            fields.append(Field(name, dtype))
+        return cls(Schema(fields), typed_cols)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._schema)
+
+    def column(self, name: str) -> list[Any]:
+        """Return a copy of the named column's values."""
+        return list(self._columns[self._schema.index_of(name)])
+
+    def row(self, i: int) -> Row:
+        if not -self._num_rows <= i < self._num_rows:
+            raise IndexError(f"row {i} out of range for table of {self._num_rows}")
+        return tuple(col[i] for col in self._columns)
+
+    def rows(self) -> Iterator[Row]:
+        for i in range(self._num_rows):
+            yield tuple(col[i] for col in self._columns)
+
+    def row_dicts(self) -> Iterator[dict[str, Any]]:
+        names = self._schema.names
+        for row in self.rows():
+            yield dict(zip(names, row))
+
+    def cell(self, i: int, name: str) -> Any:
+        return self._columns[self._schema.index_of(name)][i]
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self._schema == other._schema and self._columns == other._columns
+
+    def __hash__(self) -> int:  # tables are mutable-free; hash by identity basics
+        return hash((self._schema, tuple(tuple(c) for c in self._columns)))
+
+    def __repr__(self) -> str:
+        return f"Table({self._schema!r}, rows={self._num_rows})"
+
+    def to_csv(self, delimiter: str = ",") -> str:
+        out = io.StringIO()
+        writer = csv.writer(out, delimiter=delimiter, lineterminator="\n")
+        writer.writerow(self._schema.names)
+        for row in self.rows():
+            writer.writerow(["" if v is None else v for v in row])
+        return out.getvalue()
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """Fixed-width textual rendering, for examples and benches."""
+        names = self._schema.names
+        shown = [tuple("∅" if v is None else str(v) for v in r) for r in self.rows()]
+        shown = shown[:max_rows]
+        widths = [len(n) for n in names]
+        for row in shown:
+            widths = [max(w, len(v)) for w, v in zip(widths, row)]
+        line = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = "\n".join(
+            " | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in shown
+        )
+        tail = "" if self._num_rows <= max_rows else f"\n… {self._num_rows - max_rows} more rows"
+        return f"{line}\n{sep}\n{body}{tail}" if body else f"{line}\n{sep}{tail}"
+
+    # -- relational operators ---------------------------------------------
+
+    def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Keep rows for which ``predicate(row_dict)`` is truthy."""
+        keep = [i for i, rd in enumerate(self.row_dicts()) if predicate(rd)]
+        return self._take(keep)
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Keep only the named columns, in the given order."""
+        names = list(names)
+        sub = self._schema.project(names)
+        cols = [list(self._columns[self._schema.index_of(n)]) for n in names]
+        return Table(sub, cols)
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        keep = [n for n in self._schema.names if n not in set(names)]
+        self._schema.drop(list(names))  # validates
+        return self.project(keep)
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        return Table(self._schema.rename(mapping), self._columns)
+
+    def with_column(self, name: str, dtype: str, values: Sequence[Any]) -> "Table":
+        """Append a column; values are coerced to ``dtype``."""
+        if name in self._schema:
+            raise SchemaError(f"column {name!r} already exists")
+        if len(values) != self._num_rows:
+            raise SchemaError(
+                f"column has {len(values)} values; table has {self._num_rows} rows"
+            )
+        schema = Schema(list(self._schema.fields) + [Field(name, dtype)])
+        cols = list(self._columns) + [[coerce(v, dtype) for v in values]]
+        return Table(schema, cols)
+
+    def with_cell(self, i: int, name: str, value: Any) -> "Table":
+        """Return a copy with one cell replaced (the repair primitive)."""
+        j = self._schema.index_of(name)
+        value = coerce(value, self._schema.dtypes[j])
+        cols = [list(c) for c in self._columns]
+        cols[j][i] = value
+        return Table(self._schema, cols)
+
+    def map_column(self, name: str, fn: Callable[[Any], Any], dtype: str | None = None) -> "Table":
+        """Apply ``fn`` to every value of a column (nulls included)."""
+        j = self._schema.index_of(name)
+        new_dtype = dtype or self._schema.dtypes[j]
+        cols = [list(c) for c in self._columns]
+        cols[j] = [coerce(fn(v), new_dtype) for v in cols[j]]
+        fields = [
+            Field(f.name, new_dtype if f.name == name else f.dtype)
+            for f in self._schema
+        ]
+        return Table(Schema(fields), cols)
+
+    def order_by(self, name: str, descending: bool = False) -> "Table":
+        """Sort rows by a column; nulls sort last regardless of direction."""
+        col = self._columns[self._schema.index_of(name)]
+        idx = list(range(self._num_rows))
+        present = [i for i in idx if col[i] is not None]
+        absent = [i for i in idx if col[i] is None]
+        present.sort(key=lambda i: col[i], reverse=descending)
+        return self._take(present + absent)
+
+    def limit(self, n: int) -> "Table":
+        return self._take(list(range(min(n, self._num_rows))))
+
+    def distinct(self) -> "Table":
+        seen: set[Row] = set()
+        keep = []
+        for i, row in enumerate(self.rows()):
+            if row not in seen:
+                seen.add(row)
+                keep.append(i)
+        return self._take(keep)
+
+    def union(self, other: "Table") -> "Table":
+        """Concatenate rows of two tables with identical schemas."""
+        if self._schema != other._schema:
+            raise SchemaError(
+                f"union requires identical schemas: {self._schema} vs {other._schema}"
+            )
+        cols = [a + b for a, b in zip(self._columns, other._columns)]
+        return Table(self._schema, cols)
+
+    def join(
+        self,
+        other: "Table",
+        on: Sequence[tuple[str, str]] | str,
+        how: str = "inner",
+        suffix: str = "_r",
+    ) -> "Table":
+        """Hash join.  ``on`` is a column name shared by both sides, or a list
+        of ``(left, right)`` name pairs.  ``how`` is ``inner`` or ``left``.
+
+        Join keys compare by equality; null keys never match (SQL semantics).
+        Right-side columns that clash with a left-side name get ``suffix``.
+        """
+        if how not in ("inner", "left"):
+            raise SchemaError(f"unsupported join type {how!r}")
+        if isinstance(on, str):
+            pairs = [(on, on)]
+        else:
+            pairs = [(l, r) for l, r in on]
+        left_keys = [self._schema.index_of(l) for l, _ in pairs]
+        right_keys = [other._schema.index_of(r) for _, r in pairs]
+
+        right_drop = {other._schema.index_of(r) for l, r in pairs if l == r}
+        right_fields = []
+        left_names = set(self._schema.names)
+        kept_right_idx = []
+        for j, field in enumerate(other._schema):
+            if j in right_drop:
+                continue
+            kept_right_idx.append(j)
+            name = field.name
+            if name in left_names:
+                name = name + suffix
+            right_fields.append(Field(name, field.dtype))
+        out_schema = Schema(list(self._schema.fields) + right_fields)
+
+        index: dict[Row, list[int]] = {}
+        for i in range(other._num_rows):
+            key = tuple(other._columns[k][i] for k in right_keys)
+            if any(v is None for v in key):
+                continue
+            index.setdefault(key, []).append(i)
+
+        out_rows: list[Row] = []
+        null_right = (None,) * len(kept_right_idx)
+        for i in range(self._num_rows):
+            key = tuple(self._columns[k][i] for k in left_keys)
+            left_row = tuple(col[i] for col in self._columns)
+            matches = [] if any(v is None for v in key) else index.get(key, [])
+            if matches:
+                for j in matches:
+                    right_row = tuple(other._columns[k][j] for k in kept_right_idx)
+                    out_rows.append(left_row + right_row)
+            elif how == "left":
+                out_rows.append(left_row + null_right)
+        return Table.from_rows(out_rows, schema=out_schema)
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregates: Sequence[tuple[str, str, str]],
+    ) -> "Table":
+        """Group rows and compute aggregates.
+
+        ``aggregates`` is a list of ``(function, column, output name)`` where
+        function is one of count/sum/min/max/avg.  ``count`` counts non-null
+        values of its column (use any column for row counts on null-free keys).
+        Aggregates skip nulls, per SQL semantics.
+        """
+        keys = list(keys)
+        key_idx = [self._schema.index_of(k) for k in keys]
+        for fn, col, _out in aggregates:
+            if fn not in _AGGREGATES:
+                raise SchemaError(
+                    f"unknown aggregate {fn!r}; options: {sorted(_AGGREGATES)}"
+                )
+            self._schema.index_of(col)
+
+        groups: dict[Row, list[int]] = {}
+        order: list[Row] = []
+        for i in range(self._num_rows):
+            key = tuple(self._columns[k][i] for k in key_idx)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(i)
+
+        out_fields = [self._schema.field(k) for k in keys]
+        for fn, col, out in aggregates:
+            if fn == "count":
+                dtype = "int"
+            elif fn in ("sum", "min", "max"):
+                dtype = self._schema.dtype_of(col)
+            else:
+                dtype = "float"
+            out_fields.append(Field(out, dtype))
+
+        out_rows = []
+        for key in order:
+            row: list[Any] = list(key)
+            for fn, col, _out in aggregates:
+                j = self._schema.index_of(col)
+                values = [
+                    self._columns[j][i] for i in groups[key]
+                    if self._columns[j][i] is not None
+                ]
+                result = _AGGREGATES[fn](values)
+                if fn == "sum" and result is not None and self._schema.dtype_of(col) == "int":
+                    result = int(result)
+                row.append(result)
+            out_rows.append(tuple(row))
+        return Table.from_rows(out_rows, schema=Schema(out_fields))
+
+    def sample(self, n: int, rng) -> "Table":
+        """Take ``n`` rows uniformly without replacement using ``rng``
+        (a :class:`numpy.random.Generator`)."""
+        n = min(n, self._num_rows)
+        idx = sorted(rng.choice(self._num_rows, size=n, replace=False).tolist())
+        return self._take(idx)
+
+    # -- internals ----------------------------------------------------------
+
+    def _take(self, indices: list[int]) -> "Table":
+        cols = [[c[i] for i in indices] for c in self._columns]
+        return Table(self._schema, cols)
+
+
+def _csv_dtype(values: list[Any]) -> str:
+    """Infer a dtype for CSV cells, which all arrive as str/None."""
+    def looks_int(s: str) -> bool:
+        try:
+            int(s)
+            return True
+        except ValueError:
+            return False
+
+    def looks_float(s: str) -> bool:
+        try:
+            float(s)
+            return True
+        except ValueError:
+            return False
+
+    non_null = [v for v in values if v is not None]
+    if not non_null:
+        return "str"
+    if all(looks_int(v) for v in non_null):
+        return "int"
+    if all(looks_float(v) for v in non_null):
+        return "float"
+    lowered = {v.strip().lower() for v in non_null}
+    if lowered <= {"true", "false"}:
+        return "bool"
+    return "str"

@@ -1,0 +1,37 @@
+"""Text processing substrate: tokenization, similarity, TF-IDF, MinHash."""
+
+from repro.text.minhash import LSHIndex, MinHasher
+from repro.text.similarity import (
+    cosine_token_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+)
+from repro.text.tfidf import TfidfIndex, TfidfVectorizer, cosine_matrix
+from repro.text.tokenize import char_ngrams, qgrams, sentences, words
+
+__all__ = [
+    "LSHIndex",
+    "MinHasher",
+    "TfidfIndex",
+    "TfidfVectorizer",
+    "char_ngrams",
+    "cosine_matrix",
+    "cosine_token_similarity",
+    "jaccard_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "monge_elkan_similarity",
+    "numeric_similarity",
+    "overlap_coefficient",
+    "qgrams",
+    "sentences",
+    "words",
+]

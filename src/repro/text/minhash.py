@@ -1,0 +1,110 @@
+"""MinHash signatures and LSH banding.
+
+Used by the blocking layer (LSH blocker) and by the data lake's
+joinable-table discovery.  The implementation follows the classic
+Broder construction with universal hashing over a Mersenne prime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import Hashable, Iterable
+
+import numpy as np
+
+_PRIME = (1 << 61) - 1
+
+
+def _stable_hash(item: Hashable) -> int:
+    """A hash that is stable across processes (unlike built-in ``hash``)."""
+    digest = hashlib.blake2b(repr(item).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class MinHasher:
+    """Generates fixed-length MinHash signatures for token sets."""
+
+    def __init__(self, num_perm: int = 64, seed: int = 7):
+        if num_perm < 1:
+            raise ValueError("num_perm must be positive")
+        rng = np.random.default_rng(seed)
+        self.num_perm = num_perm
+        self._a = rng.integers(1, _PRIME, size=num_perm, dtype=np.uint64)
+        self._b = rng.integers(0, _PRIME, size=num_perm, dtype=np.uint64)
+
+    def signature(self, tokens: Iterable[Hashable]) -> np.ndarray:
+        """MinHash signature of a token set; empty sets map to the max value."""
+        hashes = np.array(
+            [_stable_hash(t) % _PRIME for t in set(tokens)], dtype=np.uint64
+        )
+        if hashes.size == 0:
+            return np.full(self.num_perm, _PRIME, dtype=np.uint64)
+        # (a * h + b) mod p for every permutation x token, then min per perm.
+        products = (
+            self._a[:, None] * hashes[None, :] + self._b[:, None]
+        ) % _PRIME
+        return products.min(axis=1)
+
+    @staticmethod
+    def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Estimate Jaccard similarity from two signatures."""
+        if sig_a.shape != sig_b.shape:
+            raise ValueError("signatures have different lengths")
+        return float(np.mean(sig_a == sig_b))
+
+
+class LSHIndex:
+    """Banded LSH over MinHash signatures.
+
+    Items whose signatures agree on all rows of at least one band become
+    candidates for each other.  ``num_perm`` must be divisible by ``bands``.
+    """
+
+    def __init__(self, num_perm: int = 64, bands: int = 16, seed: int = 7):
+        if num_perm % bands != 0:
+            raise ValueError(f"num_perm={num_perm} not divisible by bands={bands}")
+        self.hasher = MinHasher(num_perm=num_perm, seed=seed)
+        self.bands = bands
+        self.rows_per_band = num_perm // bands
+        self._buckets: list[dict[bytes, list[Hashable]]] = [
+            defaultdict(list) for _ in range(bands)
+        ]
+        self._signatures: dict[Hashable, np.ndarray] = {}
+
+    def add(self, key: Hashable, tokens: Iterable[Hashable]) -> None:
+        """Insert an item under ``key`` with the given token set."""
+        sig = self.hasher.signature(tokens)
+        self._signatures[key] = sig
+        for band, bucket in enumerate(self._buckets):
+            lo = band * self.rows_per_band
+            chunk = sig[lo : lo + self.rows_per_band].tobytes()
+            bucket[chunk].append(key)
+
+    def query(self, tokens: Iterable[Hashable]) -> set[Hashable]:
+        """Return keys of all items sharing at least one band with the query."""
+        sig = self.hasher.signature(tokens)
+        found: set[Hashable] = set()
+        for band, bucket in enumerate(self._buckets):
+            lo = band * self.rows_per_band
+            chunk = sig[lo : lo + self.rows_per_band].tobytes()
+            found.update(bucket.get(chunk, ()))
+        return found
+
+    def candidate_pairs(self) -> set[tuple[Hashable, Hashable]]:
+        """All unordered pairs co-located in at least one bucket."""
+        pairs: set[tuple[Hashable, Hashable]] = set()
+        for bucket in self._buckets:
+            for keys in bucket.values():
+                if len(keys) < 2:
+                    continue
+                for i, a in enumerate(keys):
+                    for b in keys[i + 1 :]:
+                        pairs.add((a, b) if repr(a) <= repr(b) else (b, a))
+        return pairs
+
+    def jaccard(self, key_a: Hashable, key_b: Hashable) -> float:
+        """Estimated Jaccard between two previously added items."""
+        return MinHasher.estimate_jaccard(
+            self._signatures[key_a], self._signatures[key_b]
+        )

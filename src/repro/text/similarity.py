@@ -1,0 +1,137 @@
+"""String similarity measures.
+
+These are the classical functions the tutorial's "traditional methods"
+baselines use (rule-based entity matching, schema matching, blocking keys).
+All return a similarity in ``[0, 1]`` where 1 means identical.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.text.tokenize import qgrams, words
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance with unit costs (two-row dynamic program)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalized by the longer string's length."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / max(len(a), len(b))
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity (transposition-aware matching-window measure)."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not b_flags[j] and b[j] == ca:
+                a_flags[i] = b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    a_matched = [ca for ca, f in zip(a, a_flags) if f]
+    b_matched = [cb for cb, f in zip(b, b_flags) if f]
+    transpositions = sum(x != y for x, y in zip(a_matched, b_matched)) // 2
+    m = matches
+    return (m / len(a) + m / len(b) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by shared prefixes (up to 4 chars)."""
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for ca, cb in zip(a[:4], b[:4]):
+        if ca != cb:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def jaccard_similarity(a: str, b: str, q: int | None = None) -> float:
+    """Jaccard over word tokens, or over q-grams when ``q`` is given."""
+    sa = set(qgrams(a, q) if q else words(a))
+    sb = set(qgrams(b, q) if q else words(b))
+    if not sa and not sb:
+        return 1.0
+    union = sa | sb
+    if not union:
+        return 1.0
+    return len(sa & sb) / len(union)
+
+
+def overlap_coefficient(a: str, b: str) -> float:
+    """Token overlap normalized by the smaller token set."""
+    sa, sb = set(words(a)), set(words(b))
+    if not sa or not sb:
+        return 1.0 if sa == sb else 0.0
+    return len(sa & sb) / min(len(sa), len(sb))
+
+
+def cosine_token_similarity(a: str, b: str) -> float:
+    """Cosine between bag-of-words count vectors."""
+    ca, cb = Counter(words(a)), Counter(words(b))
+    if not ca and not cb:
+        return 1.0
+    if not ca or not cb:
+        return 0.0
+    dot = sum(ca[t] * cb[t] for t in ca.keys() & cb.keys())
+    norm = math.sqrt(sum(v * v for v in ca.values())) * math.sqrt(
+        sum(v * v for v in cb.values())
+    )
+    return dot / norm if norm else 0.0
+
+
+def monge_elkan_similarity(a: str, b: str) -> float:
+    """Monge-Elkan: mean over tokens of ``a`` of the best Jaro-Winkler match
+    in ``b``.  Asymmetric; good for multi-word names with typos."""
+    ta, tb = words(a), words(b)
+    if not ta:
+        return 1.0 if not tb else 0.0
+    if not tb:
+        return 0.0
+    return sum(max(jaro_winkler_similarity(x, y) for y in tb) for x in ta) / len(ta)
+
+
+def numeric_similarity(a: float, b: float) -> float:
+    """Relative closeness of two numbers: 1 when equal, 0 when one is far
+    larger than the other."""
+    if a == b:
+        return 1.0
+    denom = max(abs(a), abs(b))
+    if denom == 0:
+        return 1.0
+    return max(0.0, 1.0 - abs(a - b) / denom)

@@ -1,0 +1,107 @@
+"""TF-IDF vectorizer over word tokens, plus cosine retrieval.
+
+This backs the Retro-style retrieval module, the Symphony data-lake index,
+and the cheap document features used by several matchers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.text.tokenize import STOPWORDS, stem, words
+
+
+class TfidfVectorizer:
+    """Fit a vocabulary + IDF table on a corpus; transform texts to dense
+    L2-normalized vectors.  ``drop_stopwords`` removes common function words
+    — essential when the corpus is small and IDF alone cannot discount them."""
+
+    def __init__(self, min_df: int = 1, max_features: int | None = None,
+                 drop_stopwords: bool = False, stem_tokens: bool = False):
+        self.min_df = min_df
+        self.max_features = max_features
+        self.drop_stopwords = drop_stopwords
+        self.stem_tokens = stem_tokens
+        self.vocabulary_: dict[str, int] | None = None
+        self.idf_: np.ndarray | None = None
+
+    def _tokens(self, text: str) -> list[str]:
+        tokens = words(text)
+        if self.drop_stopwords:
+            tokens = [t for t in tokens if t not in STOPWORDS]
+        if self.stem_tokens:
+            tokens = [stem(t) for t in tokens]
+        return tokens
+
+    def fit(self, texts: list[str]) -> "TfidfVectorizer":
+        doc_freq: Counter[str] = Counter()
+        for text in texts:
+            doc_freq.update(set(self._tokens(text)))
+        items = [(t, df) for t, df in doc_freq.items() if df >= self.min_df]
+        # Sort by (-df, token) for a deterministic vocabulary.
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        if self.max_features is not None:
+            items = items[: self.max_features]
+        self.vocabulary_ = {t: i for i, (t, _df) in enumerate(items)}
+        n_docs = max(len(texts), 1)
+        idf = np.zeros(len(items))
+        for token, df in items:
+            idf[self.vocabulary_[token]] = math.log((1 + n_docs) / (1 + df)) + 1.0
+        self.idf_ = idf
+        return self
+
+    def transform(self, texts: list[str]) -> np.ndarray:
+        if self.vocabulary_ is None or self.idf_ is None:
+            raise NotFittedError("TfidfVectorizer.transform called before fit")
+        out = np.zeros((len(texts), len(self.vocabulary_)))
+        for i, text in enumerate(texts):
+            counts = Counter(self._tokens(text))
+            for token, count in counts.items():
+                j = self.vocabulary_.get(token)
+                if j is not None:
+                    out[i, j] = count * self.idf_[j]
+            norm = np.linalg.norm(out[i])
+            if norm > 0:
+                out[i] /= norm
+        return out
+
+    def fit_transform(self, texts: list[str]) -> np.ndarray:
+        return self.fit(texts).transform(texts)
+
+
+def cosine_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity between rows of ``a`` and rows of ``b``.
+
+    Inputs need not be normalized; zero rows yield zero similarity.
+    """
+    a_norm = np.linalg.norm(a, axis=1, keepdims=True)
+    b_norm = np.linalg.norm(b, axis=1, keepdims=True)
+    a_safe = np.divide(a, a_norm, out=np.zeros_like(a, dtype=float), where=a_norm > 0)
+    b_safe = np.divide(b, b_norm, out=np.zeros_like(b, dtype=float), where=b_norm > 0)
+    return a_safe @ b_safe.T
+
+
+class TfidfIndex:
+    """A tiny dense retrieval index: fit on documents, query by cosine."""
+
+    def __init__(self, documents: list[str], max_features: int | None = None,
+                 drop_stopwords: bool = False, stem_tokens: bool = False):
+        self.documents = list(documents)
+        self._vectorizer = TfidfVectorizer(
+            max_features=max_features, drop_stopwords=drop_stopwords,
+            stem_tokens=stem_tokens,
+        )
+        self._matrix = self._vectorizer.fit_transform(self.documents)
+
+    def search(self, query: str, k: int = 5) -> list[tuple[int, float]]:
+        """Return the top-``k`` ``(document index, score)`` pairs for ``query``."""
+        if not self.documents:
+            return []
+        scores = cosine_matrix(self._vectorizer.transform([query]), self._matrix)[0]
+        k = min(k, len(self.documents))
+        top = np.argsort(-scores, kind="stable")[:k]
+        return [(int(i), float(scores[i])) for i in top]

@@ -1,0 +1,72 @@
+"""Tokenization primitives shared by the embedding, PLM and matching stacks."""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[0-9]+(?:\.[0-9]+)?|[a-z]+")
+
+#: Common function words that carry no retrieval signal.  Small by design:
+#: only words that appear in virtually every English sentence.
+STOPWORDS = frozenset(
+    (
+        "a an and are as at be by for from has have in is it of on or the "
+        "this that to was were what which who with how do does did"
+    ).split()
+)
+
+
+def words(text: str) -> list[str]:
+    """Lowercased word tokens.
+
+    Punctuation splits tokens, decimal numbers like ``3.5`` stay whole, and
+    letter/digit boundaries split (``512gb`` → ``512``, ``gb``) so format
+    variants of the same value share tokens — the convention entity-matching
+    tokenizers use.
+    """
+    return _WORD_RE.findall(text.lower())
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> list[str]:
+    """Character q-grams of ``text``; padded with ``#`` so short strings and
+    string boundaries still produce grams."""
+    if q < 1:
+        raise ValueError("q must be >= 1")
+    s = text.lower()
+    if pad:
+        s = "#" * (q - 1) + s + "#" * (q - 1)
+    if len(s) < q:
+        return [s] if s else []
+    return [s[i : i + q] for i in range(len(s) - q + 1)]
+
+
+def char_ngrams(token: str, n_min: int = 3, n_max: int = 5) -> list[str]:
+    """fastText-style subword units: boundary-marked char n-grams plus the
+    whole token."""
+    marked = f"<{token.lower()}>"
+    grams = []
+    for n in range(n_min, n_max + 1):
+        if len(marked) < n:
+            continue
+        grams.extend(marked[i : i + n] for i in range(len(marked) - n + 1))
+    grams.append(marked)
+    return grams
+
+
+def stem(token: str) -> str:
+    """Naive plural stemmer: 'cameras' → 'camera', 'boxes' → 'box'.
+
+    Deliberately minimal — just enough that singular/plural query terms meet
+    catalog values in retrieval.  Words ending in 'ss' (glass) are left alone.
+    """
+    if token.endswith("es") and len(token) > 4 and token[-3] in "sxz":
+        return token[:-2]
+    if token.endswith("s") and not token.endswith("ss") and len(token) > 3:
+        return token[:-1]
+    return token
+
+
+def sentences(text: str) -> list[str]:
+    """Split text into sentences on ``.!?`` boundaries (simple heuristic)."""
+    parts = re.split(r"(?<=[.!?])\s+", text.strip())
+    return [p for p in parts if p]

@@ -1,0 +1,85 @@
+"""Shared fixtures.  Expensive artifacts (world, corpus, trained encoders)
+are session-scoped so the suite trains each of them once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.em import products_em
+from repro.datasets.world import make_world, world_corpus
+from repro.embeddings import SkipGramModel, Vocab
+from repro.foundation import FactStore, FoundationModel
+from repro.matching.ditto import serialize_record
+from repro.plm import MiniBert, MLMPretrainer
+
+
+@pytest.fixture(scope="session")
+def world():
+    return make_world(seed=0, num_products=60, num_restaurants=50, num_papers=50)
+
+
+@pytest.fixture(scope="session")
+def corpus(world):
+    return world_corpus(world, sentences_per_fact=1, seed=1)
+
+
+@pytest.fixture(scope="session")
+def em_products(world):
+    return products_em(world, seed=1)
+
+
+@pytest.fixture(scope="session")
+def vocab(corpus, em_products):
+    record_texts = [
+        serialize_record(r)
+        for r in em_products.source_a + em_products.source_b
+    ]
+    return Vocab(corpus + record_texts)
+
+
+@pytest.fixture(scope="session")
+def skipgram(vocab, corpus):
+    model = SkipGramModel(vocab, dim=16, seed=0)
+    model.train(corpus[:250], epochs=2)
+    return model
+
+
+@pytest.fixture(scope="session")
+def fasttext(vocab, corpus, em_products):
+    from repro.embeddings import FastTextModel
+
+    record_texts = [
+        r.value_text() for r in em_products.source_a + em_products.source_b
+    ]
+    model = FastTextModel(vocab, dim=16, seed=0)
+    model.train(corpus[:150] + record_texts[:100], epochs=1)
+    return model
+
+
+@pytest.fixture(scope="session")
+def pretrained_encoder(vocab, corpus, em_products):
+    record_texts = [
+        serialize_record(r)
+        for r in em_products.source_a + em_products.source_b
+    ]
+    encoder = MiniBert(vocab, dim=32, num_layers=2, num_heads=2,
+                       ff_dim=64, max_len=32, seed=0)
+    MLMPretrainer(encoder, seed=0).train(corpus[:200] + record_texts[:100],
+                                         steps=60, batch_size=16)
+    return encoder
+
+
+@pytest.fixture(scope="session")
+def fact_store(world):
+    return FactStore(world.facts())
+
+
+@pytest.fixture(scope="session")
+def foundation_model(fact_store):
+    return FoundationModel(fact_store)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

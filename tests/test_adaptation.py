@@ -1,0 +1,142 @@
+"""Domain adaptation: features, covariate shift, the four adapter families."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation import (
+    AdversarialAdapter,
+    CORALAdapter,
+    FEATURE_DIM,
+    MMDAdapter,
+    ReconstructionAdapter,
+    SourceOnlyAdapter,
+    featurize_pairs,
+    pair_features,
+)
+from repro.adaptation.features import covariate_shift
+from repro.adaptation.methods import _mmd
+from repro.datasets.em import Record, papers_em
+from repro.errors import NotFittedError
+from repro.ml import precision_recall_f1
+from repro.nn import Tensor
+
+
+class TestPairFeatures:
+    def test_fixed_dimension(self):
+        a = Record("1", {"name": "apex pro laptop"})
+        b = Record("2", {"title": "apex pro laptop"})
+        assert pair_features(a, b).shape == (FEATURE_DIM,)
+
+    def test_identical_records_score_high(self):
+        a = Record("1", {"name": "apex pro laptop 512 gb"})
+        features = pair_features(a, a)
+        assert features[:6].min() > 0.99
+
+    def test_disjoint_records_score_low(self):
+        a = Record("1", {"name": "apex pro laptop"})
+        b = Record("2", {"name": "zzz qqq vvv"})
+        assert pair_features(a, b)[:6].max() < 0.5
+
+    def test_embed_slot_zero_without_embedder(self):
+        a = Record("1", {"name": "x"})
+        assert pair_features(a, a)[-1] == 0.0
+
+    def test_featurize_stacks(self):
+        a = Record("1", {"name": "x"})
+        out = featurize_pairs([(a, a), (a, a)])
+        assert out.shape == (2, FEATURE_DIM)
+
+
+class TestCovariateShift:
+    def test_deterministic(self):
+        X = np.random.default_rng(0).normal(size=(10, 4))
+        assert np.allclose(covariate_shift(X, seed=3), covariate_shift(X, seed=3))
+
+    def test_zero_strength_near_identity(self):
+        X = np.random.default_rng(0).normal(size=(10, 4))
+        assert np.allclose(covariate_shift(X, strength=0.0), X)
+
+    def test_invalid_strength(self):
+        with pytest.raises(ValueError):
+            covariate_shift(np.zeros((2, 2)), strength=1.5)
+
+
+class TestMMDLoss:
+    def test_same_distribution_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(40, 6)))
+        b = Tensor(rng.normal(size=(40, 6)))
+        assert abs(_mmd(a, b, (0.5, 1.0, 2.0)).item()) < 0.05
+
+    def test_shifted_distribution_positive(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(40, 6)))
+        b = Tensor(rng.normal(size=(40, 6)) + 2.0)
+        assert _mmd(a, b, (0.5, 1.0, 2.0)).item() > 0.1
+
+
+@pytest.fixture(scope="module")
+def shift_setup(world, em_products):
+    source = papers_em(world, seed=1, noise=0.5)
+    src_labeled = source.labeled_pairs(200, seed=3, match_fraction=0.5)
+    tgt_labeled = em_products.labeled_pairs(200, seed=4, match_fraction=0.5)
+    Xs = featurize_pairs([(a, b) for a, b, _l in src_labeled])
+    ys = np.array([l for *_x, l in src_labeled])
+    Xt = covariate_shift(
+        featurize_pairs([(a, b) for a, b, _l in tgt_labeled]),
+        strength=0.6, seed=7,
+    )
+    yt = np.array([l for *_x, l in tgt_labeled])
+    return Xs, ys, Xt[:100], Xt[100:], yt[100:]
+
+
+class TestAdapters:
+    def test_source_only_fits_and_predicts(self, shift_setup):
+        Xs, ys, Xt_tr, Xt_te, yt_te = shift_setup
+        adapter = SourceOnlyAdapter(input_dim=Xs.shape[1], epochs=30, seed=0)
+        adapter.fit(Xs, ys, Xt_tr)
+        predictions = adapter.predict(Xt_te)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SourceOnlyAdapter(input_dim=4).predict(np.zeros((2, 4)))
+        with pytest.raises(NotFittedError):
+            CORALAdapter(input_dim=4).predict(np.zeros((2, 4)))
+
+    @pytest.mark.parametrize("adapter_cls,kwargs", [
+        (CORALAdapter, {}),
+        (AdversarialAdapter, {}),
+        (MMDAdapter, {"lam": 0.05}),
+    ])
+    def test_adaptation_not_worse_than_floor(self, shift_setup, adapter_cls, kwargs):
+        Xs, ys, Xt_tr, Xt_te, yt_te = shift_setup
+        floor_scores, adapted_scores = [], []
+        for seed in range(2):
+            floor = SourceOnlyAdapter(input_dim=Xs.shape[1], epochs=40, seed=seed)
+            floor.fit(Xs, ys, Xt_tr)
+            floor_scores.append(
+                precision_recall_f1(yt_te, floor.predict(Xt_te)).f1
+            )
+            adapter = adapter_cls(input_dim=Xs.shape[1], epochs=40, seed=seed, **kwargs)
+            adapter.fit(Xs, ys, Xt_tr)
+            adapted_scores.append(
+                precision_recall_f1(yt_te, adapter.predict(Xt_te)).f1
+            )
+        assert np.mean(adapted_scores) >= np.mean(floor_scores) - 0.03
+
+    def test_coral_closes_most_of_the_gap(self, shift_setup):
+        Xs, ys, Xt_tr, Xt_te, yt_te = shift_setup
+        floor = SourceOnlyAdapter(input_dim=Xs.shape[1], epochs=40, seed=0)
+        floor.fit(Xs, ys, Xt_tr)
+        floor_f1 = precision_recall_f1(yt_te, floor.predict(Xt_te)).f1
+        coral = CORALAdapter(input_dim=Xs.shape[1], epochs=40, seed=0)
+        coral.fit(Xs, ys, Xt_tr)
+        coral_f1 = precision_recall_f1(yt_te, coral.predict(Xt_te)).f1
+        assert coral_f1 > floor_f1
+
+    def test_reconstruction_adapter_runs(self, shift_setup):
+        Xs, ys, Xt_tr, Xt_te, _yt_te = shift_setup
+        adapter = ReconstructionAdapter(input_dim=Xs.shape[1], epochs=10, seed=0)
+        adapter.fit(Xs, ys, Xt_tr)
+        assert len(adapter.predict(Xt_te)) == len(Xt_te)

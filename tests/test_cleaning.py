@@ -1,0 +1,234 @@
+"""Cleaning stack: detection, repair, imputation."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    DataCleaner,
+    DictionaryDetector,
+    DictionaryRepairer,
+    EmbeddingImputer,
+    FDDetector,
+    FDRepairer,
+    FormatRepairer,
+    FoundationModelImputer,
+    FoundationModelRepairer,
+    HotDeckImputer,
+    NullDetector,
+    OutlierDetector,
+    PatternDetector,
+    StatisticImputer,
+    detect_all,
+    detection_quality,
+    imputation_accuracy,
+    repair_quality,
+)
+from repro.cleaning.detection import Flag
+from repro.datasets.dirty import make_dirty, restaurants_table
+from repro.datasets.world import CITIES, CUISINES
+from repro.table import Table
+
+
+@pytest.fixture(scope="module")
+def dirty(world):
+    table = restaurants_table(world)
+    return make_dirty(table, error_rate=0.3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def detectors():
+    return [
+        NullDetector(columns=["name", "cuisine", "city"]),
+        OutlierDetector(),
+        FDDetector("city", "state"),
+        PatternDetector(),
+        DictionaryDetector({
+            "city": {c for c, _s in CITIES},
+            "cuisine": set(CUISINES),
+        }),
+    ]
+
+
+class TestDetectors:
+    def test_null_detector(self):
+        t = Table.from_dict({"a": ["x", None, "y"]})
+        flags = NullDetector().detect(t)
+        assert [(f.row, f.column) for f in flags] == [(1, "a")]
+
+    def test_outlier_detector_finds_planted(self):
+        values = [10.0] * 20 + [10000.0]
+        t = Table.from_dict({"v": values})
+        flags = OutlierDetector().detect(t)
+        assert (20, "v") in {(f.row, f.column) for f in flags}
+
+    def test_outlier_detector_skips_small_columns(self):
+        t = Table.from_dict({"v": [1.0, 2.0, 1000.0]})
+        assert OutlierDetector().detect(t) == []
+
+    def test_fd_detector_flags_minority(self):
+        t = Table.from_dict({
+            "city": ["austin"] * 4,
+            "state": ["texas", "texas", "texas", "ohio"],
+        })
+        flags = FDDetector("city", "state").detect(t)
+        assert [(f.row, f.column) for f in flags] == [(3, "state")]
+
+    def test_fd_detector_ignores_consistent(self):
+        t = Table.from_dict({"city": ["a", "b"], "state": ["x", "y"]})
+        assert FDDetector("city", "state").detect(t) == []
+
+    def test_pattern_detector_case_deviation(self):
+        values = ["austin"] * 8 + ["BOSTON"]
+        t = Table.from_dict({"city": values})
+        flags = PatternDetector().detect(t)
+        assert (8, "city") in {(f.row, f.column) for f in flags}
+
+    def test_pattern_shape_collapses_runs(self):
+        assert PatternDetector.shape("austin") == PatternDetector.shape("ok")
+        assert PatternDetector.shape("A1") != PatternDetector.shape("a1")
+
+    def test_dictionary_detector(self):
+        t = Table.from_dict({"city": ["austin", "zzz"]})
+        flags = DictionaryDetector({"city": {"austin"}}).detect(t)
+        assert [(f.row, f.column) for f in flags] == [(1, "city")]
+
+    def test_detect_all_deduplicates(self):
+        t = Table.from_dict({"city": ["austin", None]})
+        flags = detect_all(t, [NullDetector(), NullDetector()])
+        assert len(flags) == 1
+
+    def test_detection_quality_on_dirty_table(self, dirty, detectors):
+        flags = detect_all(dirty.dirty, detectors)
+        precision, recall, f1 = detection_quality(flags, dirty.error_cells)
+        assert recall > 0.5
+        assert f1 > 0.4
+
+    def test_detection_quality_empty(self):
+        assert detection_quality([], set()) == (0.0, 1.0, 0.0)
+
+
+class TestRepairers:
+    def test_fd_repairer_restores_majority(self):
+        t = Table.from_dict({
+            "city": ["austin"] * 4,
+            "state": ["texas", "texas", "texas", "ohio"],
+        })
+        flags = FDDetector("city", "state").detect(t)
+        repairs = FDRepairer("city", "state").repair(t, flags)
+        assert repairs[0].new_value == "texas"
+
+    def test_dictionary_repairer_fixes_typo(self):
+        t = Table.from_dict({"city": ["seattl"]})
+        flags = [Flag(0, "city", "test")]
+        repairs = DictionaryRepairer({"city": {"seattle", "boston"}}).repair(t, flags)
+        assert repairs[0].new_value == "seattle"
+
+    def test_dictionary_repairer_respects_threshold(self):
+        t = Table.from_dict({"city": ["zzzzz"]})
+        flags = [Flag(0, "city", "test")]
+        assert DictionaryRepairer({"city": {"seattle"}}).repair(t, flags) == []
+
+    def test_format_repairer(self):
+        t = Table.from_dict({"name": ["  The  OAK  kitchen "]})
+        repairs = FormatRepairer().repair(t, [Flag(0, "name", "test")])
+        assert repairs[0].new_value == "the oak kitchen"
+
+    def test_fm_repairer_zero_shot(self, foundation_model):
+        t = Table.from_dict({"city": ["seattl"]})
+        repairer = FoundationModelRepairer(foundation_model)
+        repairs = repairer.repair(t, [Flag(0, "city", "test")])
+        assert repairs[0].new_value == "seattle"
+
+    def test_fm_repairer_few_shot_case(self, foundation_model):
+        t = Table.from_dict({"city": ["AUSTIN"]})
+        repairer = FoundationModelRepairer(
+            foundation_model,
+            demonstrations={"city": [("BOSTON", "boston"), ("DENVER", "denver")]},
+        )
+        repairs = repairer.repair(t, [Flag(0, "city", "test")])
+        assert repairs[0].new_value == "austin"
+
+    def test_cleaner_end_to_end_improves(self, dirty, detectors, foundation_model):
+        cleaner = DataCleaner(detectors, [
+            FDRepairer("city", "state"),
+            DictionaryRepairer({"city": {c for c, _s in CITIES}}),
+            FormatRepairer(),
+        ])
+        _cleaned, repairs = cleaner.clean(dirty.dirty)
+        truth = {(e.row, e.column): e.clean_value for e in dirty.errors}
+        precision, recall, _f1 = repair_quality(repairs, truth)
+        assert precision > 0.7
+        assert recall > 0.25
+
+    def test_repair_quality_empty(self):
+        assert repair_quality([], {}) == (0.0, 1.0, 0.0)
+
+
+class TestImputers:
+    @pytest.fixture
+    def holey(self):
+        return Table.from_dict({
+            "group": ["a", "a", "a", "b", "b", "b"],
+            "value": [1.0, 1.0, None, 9.0, 9.0, None],
+            "label": ["x", "x", None, "y", "y", None],
+        })
+
+    def test_statistic_imputer_mean(self, holey):
+        out = StatisticImputer().impute(holey, "value")
+        assert out.cell(2, "value") == pytest.approx(5.0)
+
+    def test_statistic_imputer_mode(self, holey):
+        out = StatisticImputer().impute(holey, "label")
+        assert out.cell(2, "label") == "x"
+
+    def test_statistic_imputer_all_null_noop(self):
+        t = Table.from_dict({"v": [None, None]})
+        assert StatisticImputer().impute(t, "v") == t
+
+    def test_hot_deck_uses_similar_rows(self, holey):
+        out = HotDeckImputer().impute(holey, "label")
+        assert out.cell(2, "label") == "x"
+        assert out.cell(5, "label") == "y"
+
+    def test_embedding_imputer(self, holey, fasttext):
+        out = EmbeddingImputer(fasttext.embed_text).impute(holey, "label")
+        assert out.cell(2, "label") in ("x", "y")
+
+    def test_fm_imputer_uses_knowledge(self, world, foundation_model):
+        rows = [(r.name, r.cuisine if i % 3 else None) for i, r in
+                enumerate(world.restaurants[:12])]
+        t = Table.from_rows(rows, names=["name", "cuisine"])
+        out = FoundationModelImputer(foundation_model).impute(t, "cuisine")
+        holes = [i for i in range(12) if i % 3 == 0]
+        accuracy = imputation_accuracy(
+            out,
+            Table.from_rows(
+                [(r.name, r.cuisine) for r in world.restaurants[:12]],
+                names=["name", "cuisine"],
+            ),
+            "cuisine", holes,
+        )
+        assert accuracy > 0.8
+
+    def test_imputation_accuracy_no_holes(self, holey):
+        assert imputation_accuracy(holey, holey, "label", []) == 1.0
+
+
+class TestDirtyGeneration:
+    def test_error_log_matches_diffs(self, dirty):
+        for error in dirty.errors:
+            assert dirty.dirty.cell(error.row, error.column) == error.dirty_value
+            assert dirty.clean.cell(error.row, error.column) == error.clean_value
+
+    def test_error_rate_respected(self, world):
+        table = restaurants_table(world)
+        dt = make_dirty(table, error_rate=0.2, seed=0)
+        assert len(dt.errors) <= int(table.num_rows * 0.2) + 1
+
+    def test_unknown_kind_rejected(self, world):
+        with pytest.raises(ValueError):
+            make_dirty(restaurants_table(world), kinds=("typo", "gremlins"))
+
+    def test_errors_of_kind(self, dirty):
+        for e in dirty.errors_of_kind("missing"):
+            assert e.dirty_value is None

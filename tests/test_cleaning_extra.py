@@ -1,0 +1,102 @@
+"""Additional cleaning coverage: imputer comparisons, detector thresholds,
+repair-quality accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    EmbeddingImputer,
+    FDDetector,
+    HotDeckImputer,
+    OutlierDetector,
+    PatternDetector,
+    Repair,
+    StatisticImputer,
+    imputation_accuracy,
+    repair_quality,
+)
+from repro.table import Table
+
+
+class TestImputerComparisons:
+    @pytest.fixture
+    def correlated(self):
+        """cuisine determines city in this toy table — hot-deck can exploit
+        the correlation, the column statistic cannot."""
+        rows = []
+        for i in range(20):
+            cuisine = "thai" if i % 2 == 0 else "french"
+            city = "austin" if cuisine == "thai" else "boston"
+            rows.append((cuisine, city if i >= 4 else None))
+        return Table.from_rows(rows, names=["cuisine", "city"]), list(range(4))
+
+    def test_hot_deck_exploits_correlation(self, correlated):
+        table, holes = correlated
+        clean = table
+        for i in holes:
+            truth = "austin" if table.cell(i, "cuisine") == "thai" else "boston"
+            clean = clean.with_cell(i, "city", truth)
+        hot_deck = HotDeckImputer().impute(table, "city")
+        statistic = StatisticImputer().impute(table, "city")
+        acc_hot = imputation_accuracy(hot_deck, clean, "city", holes)
+        acc_stat = imputation_accuracy(statistic, clean, "city", holes)
+        assert acc_hot == 1.0
+        assert acc_hot > acc_stat
+
+    def test_embedding_imputer_fills_all_holes(self, correlated, fasttext):
+        table, holes = correlated
+        out = EmbeddingImputer(fasttext.embed_text).impute(table, "city")
+        assert all(out.cell(i, "city") is not None for i in holes)
+
+    def test_int_column_mean_rounds(self):
+        table = Table.from_dict({"v": [1, 2, None, 3]})
+        out = StatisticImputer().impute(table, "v")
+        assert out.cell(2, "v") == 2
+
+
+class TestDetectorThresholds:
+    def test_outlier_k_controls_sensitivity(self):
+        values = list(np.linspace(0, 10, 30)) + [30.0]
+        table = Table.from_dict({"v": values})
+        loose = OutlierDetector(k=3.0).detect(table)
+        tight = OutlierDetector(k=1.0).detect(table)
+        assert len(tight) >= len(loose)
+
+    def test_pattern_dominance_gate(self):
+        # 50/50 shape split: no dominant pattern, nothing flagged.
+        values = ["abc"] * 10 + ["A1"] * 10
+        table = Table.from_dict({"v": values})
+        assert PatternDetector(dominance=0.7).detect(table) == []
+
+    def test_fd_detector_majority_direction(self):
+        table = Table.from_dict({
+            "k": ["a"] * 5,
+            "v": ["x", "x", "x", "x", "y"],
+        })
+        flags = FDDetector("k", "v").detect(table)
+        assert len(flags) == 1
+        assert table.cell(flags[0].row, "v") == "y"
+
+
+class TestRepairQualityAccounting:
+    def test_counts_exact_restorations_only(self):
+        repairs = [
+            Repair(0, "c", "dirty", "clean", "test"),
+            Repair(1, "c", "dirty", "wrong", "test"),
+        ]
+        truth = {(0, "c"): "clean", (1, "c"): "right"}
+        precision, recall, f1 = repair_quality(repairs, truth)
+        assert precision == 0.5
+        assert recall == 0.5
+
+    def test_case_insensitive_string_compare(self):
+        repairs = [Repair(0, "c", "X", "Austin", "test")]
+        truth = {(0, "c"): "austin"}
+        precision, _r, _f = repair_quality(repairs, truth)
+        assert precision == 1.0
+
+    def test_repair_outside_truth_counts_against_precision(self):
+        repairs = [Repair(5, "c", "a", "b", "test")]
+        truth = {(0, "c"): "z"}
+        precision, recall, _f1 = repair_quality(repairs, truth)
+        assert precision == 0.0 and recall == 0.0

@@ -1,0 +1,159 @@
+"""Dataset generators: the world, corpora, EM sets, dirty tables, ML tasks."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    COLUMN_TYPES,
+    make_column_corpus,
+    make_em_dataset,
+    make_ml_task,
+    make_world,
+    task_suite,
+    world_corpus,
+)
+from repro.datasets.em import drop_token, typo
+from repro.datasets.world import BRAND_ALIASES, BRANDS
+
+
+class TestWorld:
+    def test_deterministic_for_seed(self):
+        w1 = make_world(seed=7, num_products=20, num_restaurants=10, num_papers=10)
+        w2 = make_world(seed=7, num_products=20, num_restaurants=10, num_papers=10)
+        assert [p.name for p in w1.products] == [p.name for p in w2.products]
+
+    def test_different_seeds_differ(self):
+        w1 = make_world(seed=1, num_products=20)
+        w2 = make_world(seed=2, num_products=20)
+        assert [p.name for p in w1.products] != [p.name for p in w2.products]
+
+    def test_counts(self, world):
+        assert len(world.products) == 60
+        assert len(world.restaurants) == 50
+        assert len(world.papers) == 50
+
+    def test_product_names_unique(self, world):
+        names = [p.name for p in world.products]
+        assert len(names) == len(set(names))
+
+    def test_facts_include_aliases_and_capitals(self, world):
+        facts = world.facts()
+        relations = {r for _s, r, _o in facts}
+        assert {"alias_of", "capital", "is_a", "located_in"} <= relations
+
+    def test_every_brand_has_alias(self):
+        for brand, _country in BRANDS:
+            assert BRAND_ALIASES[brand]
+
+    def test_corpus_mentions_entities(self, world, corpus):
+        text = " ".join(corpus)
+        assert world.products[0].brand in text
+        assert "capital" in text
+
+    def test_corpus_deterministic(self, world):
+        c1 = world_corpus(world, sentences_per_fact=1, seed=5)
+        c2 = world_corpus(world, sentences_per_fact=1, seed=5)
+        assert c1 == c2
+
+
+class TestNoiseFunctions:
+    def test_typo_changes_one_char_level_edit(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            out = typo("hello world", rng)
+            assert out != "" and abs(len(out) - len("hello world")) <= 1
+
+    def test_typo_short_string_unchanged(self):
+        rng = np.random.default_rng(0)
+        assert typo("ab", rng) == "ab"
+
+    def test_drop_token(self):
+        rng = np.random.default_rng(0)
+        out = drop_token("a b c", rng)
+        assert len(out.split()) == 2
+
+    def test_drop_token_single_unchanged(self):
+        rng = np.random.default_rng(0)
+        assert drop_token("single", rng) == "single"
+
+
+class TestEMDatasetGenerators:
+    def test_dispatch(self, world):
+        ds = make_em_dataset("products", world, seed=0)
+        assert ds.domain == "products"
+        with pytest.raises(KeyError):
+            make_em_dataset("galaxies", world)
+
+    def test_overlap_controls_matches(self, world):
+        low = make_em_dataset("products", world, overlap=0.2, seed=0)
+        high = make_em_dataset("products", world, overlap=0.9, seed=0)
+        assert len(high.matches) > len(low.matches)
+
+    def test_noise_zero_keeps_names_clean(self, world):
+        ds = make_em_dataset("restaurants", world, noise=0.0, seed=0)
+        by_uid = {r.rid.rsplit("-", 1)[0]: r for r in ds.source_a}
+        for b in ds.source_b:
+            uid = b.rid.rsplit("-", 1)[0]
+            if uid in by_uid:
+                assert b.attributes["name"] == by_uid[uid].attributes["name"]
+
+    def test_boilerplate_adds_tokens(self, world):
+        clean = make_em_dataset("products", world, seed=0, boilerplate=0.0)
+        noisy = make_em_dataset("products", world, seed=0, boilerplate=1.0)
+        clean_len = np.mean([len(str(r.attributes["name"]).split())
+                             for r in clean.source_a])
+        noisy_len = np.mean([len(str(r.attributes["name"]).split())
+                             for r in noisy.source_a])
+        assert noisy_len > clean_len + 1
+
+    def test_labeled_pairs_deterministic(self, em_products):
+        p1 = em_products.labeled_pairs(50, seed=3)
+        p2 = em_products.labeled_pairs(50, seed=3)
+        assert [(a.rid, b.rid, l) for a, b, l in p1] == \
+               [(a.rid, b.rid, l) for a, b, l in p2]
+
+
+class TestColumnCorpus:
+    def test_labels_cover_types(self, world):
+        samples = make_column_corpus(world, num_columns=len(COLUMN_TYPES) * 2, seed=0)
+        assert {s.label for s in samples} == set(COLUMN_TYPES)
+
+    def test_headers_sometimes_missing_or_generic(self, world):
+        samples = make_column_corpus(world, num_columns=100, seed=0)
+        missing = sum(1 for s in samples if s.header is None)
+        assert missing > 0
+
+    def test_context_from_same_domain(self, world):
+        samples = make_column_corpus(world, num_columns=28, seed=0)
+        for s in samples:
+            assert s.domain in ("products", "restaurants", "papers")
+
+
+class TestMLTasks:
+    def test_missing_rate_achieved(self):
+        task = make_ml_task(missing_rate=0.2, seed=0)
+        assert abs(np.isnan(task.X).mean() - 0.2) < 0.05
+
+    def test_no_missing_when_zero(self):
+        task = make_ml_task(missing_rate=0.0, outlier_rate=0.0, seed=0)
+        assert not np.isnan(task.X).any()
+
+    def test_pathologies_recorded(self):
+        task = make_ml_task(interaction=True, seed=0)
+        assert "interaction" in task.pathologies
+        assert "missing" in task.pathologies
+
+    def test_meta_features_finite(self):
+        task = make_ml_task(seed=0)
+        meta = task.meta_features()
+        assert meta.shape == (7,)
+        assert np.isfinite(meta).all()
+
+    def test_multiclass(self):
+        task = make_ml_task(n_classes=3, seed=0)
+        assert len(np.unique(task.y)) == 3
+
+    def test_suite_names_unique(self):
+        suite = task_suite(seed=0)
+        names = [t.name for t in suite]
+        assert len(names) == len(set(names))

@@ -1,0 +1,99 @@
+"""Additional dataset coverage: dirty-table kind selection, EM dataset
+record lookup, ML-task knobs."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dirty import make_dirty, products_table, restaurants_table
+from repro.datasets.em import EMDataset, Record
+from repro.datasets.mltasks import make_ml_task
+
+
+class TestDirtyKinds:
+    def test_only_requested_kinds_injected(self, world):
+        table = restaurants_table(world)
+        dirty = make_dirty(table, error_rate=0.3, seed=1,
+                           kinds=("missing", "case"))
+        kinds = {e.kind for e in dirty.errors}
+        assert kinds <= {"missing", "case"}
+
+    def test_fd_violation_needs_fd_columns(self, world):
+        table = products_table(world)  # has no city/state
+        dirty = make_dirty(table, error_rate=0.3, seed=2,
+                           kinds=("fd_violation", "typo"))
+        kinds = {e.kind for e in dirty.errors}
+        assert "fd_violation" not in kinds
+
+    def test_outlier_needs_numeric_columns(self, world):
+        table = restaurants_table(world).project(
+            ["uid", "name", "cuisine", "city"]
+        )
+        dirty = make_dirty(table, error_rate=0.3, seed=3,
+                           kinds=("outlier", "case"), fd=None)
+        assert {e.kind for e in dirty.errors} <= {"case"}
+
+    def test_zero_error_rate(self, world):
+        dirty = make_dirty(restaurants_table(world), error_rate=0.0, seed=0)
+        assert dirty.errors == []
+        assert dirty.dirty == dirty.clean
+
+    def test_each_row_at_most_one_error(self, world):
+        dirty = make_dirty(restaurants_table(world), error_rate=0.5, seed=4)
+        rows = [e.row for e in dirty.errors]
+        assert len(rows) == len(set(rows))
+
+
+class TestEMDatasetAccess:
+    def test_record_lookup_by_rid(self, em_products):
+        record = em_products.source_a[0]
+        assert em_products.record(record.rid) is record
+        with pytest.raises(KeyError):
+            em_products.record("nope-a")
+
+    def test_all_pairs_size(self):
+        a = [Record("1-a", {"x": "p"}), Record("2-a", {"x": "q"})]
+        b = [Record("1-b", {"x": "p"})]
+        dataset = EMDataset(domain="t", source_a=a, source_b=b, matches=set())
+        assert len(dataset.all_pairs()) == 2
+
+    def test_match_fraction_capped_by_available(self, em_products):
+        pairs = em_products.labeled_pairs(500, seed=0, match_fraction=0.9)
+        positives = sum(l for *_x, l in pairs)
+        assert positives <= len(em_products.matches)
+
+
+class TestMLTaskKnobs:
+    def test_scale_spread_zero_uniform_scales(self):
+        task = make_ml_task(scale_spread=0.0, missing_rate=0.0,
+                            outlier_rate=0.0, seed=0)
+        stds = task.X.std(axis=0)
+        assert stds.max() / stds.min() < 10
+
+    def test_outliers_widen_range(self):
+        clean = make_ml_task(outlier_rate=0.0, missing_rate=0.0, seed=1)
+        dirty = make_ml_task(outlier_rate=0.1, missing_rate=0.0, seed=1)
+        assert np.abs(dirty.X).max() > np.abs(clean.X).max()
+
+    def test_n_informative_and_noise_sum_to_width(self):
+        task = make_ml_task(n_informative=3, n_noise=5, seed=2)
+        assert task.num_features == 8
+
+    def test_interaction_label_depends_on_product(self):
+        task = make_ml_task(interaction=True, missing_rate=0.0,
+                            outlier_rate=0.0, scale_spread=0.0,
+                            n_noise=0, n_informative=4, n_samples=400, seed=3)
+        # A linear model on raw features cannot reach high accuracy…
+        from repro.ml import LogisticRegression, accuracy
+
+        linear = LogisticRegression(epochs=200)
+        linear.fit(task.X[:300], task.y[:300])
+        linear_acc = accuracy(task.y[300:], linear.predict(task.X[300:]))
+        # …but adding all pairwise products makes it separable.
+        def poly(X):
+            crosses = [X[:, i] * X[:, j] for i in range(4) for j in range(i, 4)]
+            return np.hstack([X, np.stack(crosses, axis=1)])
+
+        enriched = LogisticRegression(epochs=200)
+        enriched.fit(poly(task.X[:300]), task.y[:300])
+        poly_acc = accuracy(task.y[300:], enriched.predict(poly(task.X[300:])))
+        assert poly_acc > linear_acc + 0.1

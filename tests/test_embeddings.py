@@ -1,0 +1,151 @@
+"""Vocabulary and the three first-generation embedding models."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import FastTextModel, GloVeModel, SkipGramModel, Vocab
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return [
+        "apex makes laptops",
+        "apex sells laptops and phones",
+        "lumina makes cameras",
+        "lumina sells cameras and phones",
+        "the capital of japan is tokyo",
+        "tokyo is the capital city of japan",
+    ] * 3
+
+
+@pytest.fixture(scope="module")
+def tiny_vocab(tiny_corpus):
+    return Vocab(tiny_corpus)
+
+
+class TestVocab:
+    def test_specials_reserved_first(self, tiny_vocab):
+        assert tiny_vocab.token_of(0) == Vocab.PAD
+        assert tiny_vocab.pad_id == 0
+        assert tiny_vocab.mask_id < 5
+
+    def test_unknown_maps_to_unk(self, tiny_vocab):
+        assert tiny_vocab.id_of("zzzzz") == tiny_vocab.unk_id
+
+    def test_encode_decode(self, tiny_vocab):
+        ids = tiny_vocab.encode("apex makes laptops")
+        assert tiny_vocab.decode(ids) == "apex makes laptops"
+
+    def test_frequency_ordering(self, tiny_corpus):
+        vocab = Vocab(tiny_corpus)
+        # "and" occurs more often than "city"
+        assert vocab.id_of("and") < vocab.id_of("city")
+
+    def test_min_count_filters(self, tiny_corpus):
+        vocab = Vocab(tiny_corpus, min_count=100)
+        assert len(vocab) == len(Vocab.SPECIALS)
+
+    def test_max_size_caps(self, tiny_corpus):
+        vocab = Vocab(tiny_corpus, max_size=8)
+        assert len(vocab) == 8
+
+    def test_contains(self, tiny_vocab):
+        assert "apex" in tiny_vocab
+        assert "zzzzz" not in tiny_vocab
+
+    def test_deterministic(self, tiny_corpus):
+        assert Vocab(tiny_corpus).tokens() == Vocab(tiny_corpus).tokens()
+
+
+class TestSkipGram:
+    def test_training_reduces_loss(self, tiny_vocab, tiny_corpus):
+        model = SkipGramModel(tiny_vocab, dim=12, seed=0)
+        first = model.train(tiny_corpus, epochs=1)
+        last = model.train(tiny_corpus, epochs=3)
+        assert last < first
+
+    def test_cooccurring_words_score_higher(self, tiny_vocab, tiny_corpus):
+        model = SkipGramModel(tiny_vocab, dim=12, seed=0, lr=0.1)
+        model.train(tiny_corpus, epochs=10)
+        # The SGNS objective scores in-vector · out-vector; a trained model
+        # must rank the true context (laptops) above a never-seen one
+        # (cameras) for the same center word.
+        center = model.in_vectors[tiny_vocab.id_of("apex")]
+        true_ctx = model.out_vectors[tiny_vocab.id_of("laptops")]
+        false_ctx = model.out_vectors[tiny_vocab.id_of("cameras")]
+        assert center @ true_ctx > center @ false_ctx
+
+    def test_embed_text_mean(self, tiny_vocab):
+        model = SkipGramModel(tiny_vocab, dim=12, seed=0)
+        v = model.embed_text("apex laptops")
+        manual = (model.vector("apex") + model.vector("laptops")) / 2
+        assert np.allclose(v, manual)
+
+    def test_embed_text_all_oov_is_zero(self, tiny_vocab):
+        model = SkipGramModel(tiny_vocab, dim=12, seed=0)
+        assert np.allclose(model.embed_text("qqq zzz"), 0.0)
+
+    def test_most_similar_excludes_self_and_specials(self, tiny_vocab, tiny_corpus):
+        model = SkipGramModel(tiny_vocab, dim=12, seed=0)
+        model.train(tiny_corpus, epochs=2)
+        names = [t for t, _s in model.most_similar("apex", k=5)]
+        assert "apex" not in names
+        assert not any(n.startswith("[") for n in names)
+
+
+class TestGloVe:
+    def test_cooccurrence_counts_symmetric(self, tiny_vocab, tiny_corpus):
+        model = GloVeModel(tiny_vocab, dim=8, seed=0)
+        cooc = model.cooccurrences(tiny_corpus)
+        i, j = tiny_vocab.id_of("apex"), tiny_vocab.id_of("makes")
+        assert cooc[(i, j)] == pytest.approx(cooc[(j, i)])
+
+    def test_training_reduces_loss(self, tiny_vocab, tiny_corpus):
+        model = GloVeModel(tiny_vocab, dim=8, seed=0)
+        first = model.train(tiny_corpus, epochs=1)
+        model2 = GloVeModel(tiny_vocab, dim=8, seed=0)
+        last = model2.train(tiny_corpus, epochs=20)
+        assert last < first
+
+    def test_vector_is_sum_of_main_and_context(self, tiny_vocab):
+        model = GloVeModel(tiny_vocab, dim=8, seed=0)
+        i = tiny_vocab.id_of("apex")
+        assert np.allclose(model.vector("apex"), model.w_main[i] + model.w_ctx[i])
+
+    def test_empty_corpus(self, tiny_vocab):
+        model = GloVeModel(tiny_vocab, dim=8, seed=0)
+        assert model.train([], epochs=1) == 0.0
+
+
+class TestFastText:
+    def test_oov_token_still_embeds(self, tiny_vocab):
+        model = FastTextModel(tiny_vocab, dim=12, seed=0)
+        v = model.token_vector("totallyunseen")
+        assert v.shape == (12,)
+        assert not np.allclose(v, 0.0)
+
+    def test_typo_vector_close_to_clean(self, tiny_vocab, tiny_corpus):
+        model = FastTextModel(tiny_vocab, dim=12, seed=0)
+        model.train(tiny_corpus, epochs=2)
+        clean = model.token_vector("laptops")
+        typod = model.token_vector("laptopz")
+        unrelated = model.token_vector("xylophone")
+        def cos(a, b):
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+        assert cos(clean, typod) > cos(clean, unrelated)
+
+    def test_training_reduces_loss(self, tiny_vocab, tiny_corpus):
+        model = FastTextModel(tiny_vocab, dim=12, seed=0)
+        first = model.train(tiny_corpus, epochs=1)
+        last = model.train(tiny_corpus, epochs=3)
+        assert last < first
+
+    def test_embed_text_empty(self, tiny_vocab):
+        model = FastTextModel(tiny_vocab, dim=12, seed=0)
+        assert np.allclose(model.embed_text(""), 0.0)
+
+    def test_gram_cache_stable(self, tiny_vocab):
+        model = FastTextModel(tiny_vocab, dim=12, seed=0)
+        v1 = model.token_vector("apex")
+        v2 = model.token_vector("apex")
+        assert np.array_equal(v1, v2)

@@ -1,0 +1,83 @@
+"""Additional embedding coverage: noise distributions, GloVe weighting,
+fastText bucket hashing."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import FastTextModel, GloVeModel, SkipGramModel, Vocab
+from repro.embeddings.fasttext import _bucket
+
+
+@pytest.fixture(scope="module")
+def small_vocab():
+    return Vocab(["alpha beta gamma delta"] * 5 + ["alpha beta"] * 10)
+
+
+class TestNoiseDistribution:
+    def test_specials_never_sampled(self, small_vocab):
+        model = SkipGramModel(small_vocab, dim=8, seed=0)
+        assert np.allclose(model._noise[: len(Vocab.SPECIALS)], 0.0)
+        assert model._noise.sum() == pytest.approx(1.0)
+
+    def test_frequent_words_more_likely(self, small_vocab):
+        model = SkipGramModel(small_vocab, dim=8, seed=0)
+        p_alpha = model._noise[small_vocab.id_of("alpha")]
+        p_gamma = model._noise[small_vocab.id_of("gamma")]
+        assert p_alpha > p_gamma
+
+    def test_subsampled_power(self, small_vocab):
+        """Unigram^0.75 flattens the distribution vs raw counts."""
+        model = SkipGramModel(small_vocab, dim=8, seed=0)
+        counts = np.array(
+            [small_vocab.counts[t] for t in small_vocab.tokens()], dtype=float
+        )
+        counts[: len(Vocab.SPECIALS)] = 0
+        raw = counts / counts.sum()
+        ratio_raw = raw[small_vocab.id_of("alpha")] / raw[small_vocab.id_of("gamma")]
+        ratio_noise = (
+            model._noise[small_vocab.id_of("alpha")]
+            / model._noise[small_vocab.id_of("gamma")]
+        )
+        assert ratio_noise < ratio_raw
+
+
+class TestGloVeWeighting:
+    def test_xmax_caps_weight(self, small_vocab):
+        model = GloVeModel(small_vocab, dim=8, x_max=2.0, seed=0)
+        cooc = model.cooccurrences(["alpha beta"] * 50)
+        i, j = small_vocab.id_of("alpha"), small_vocab.id_of("beta")
+        assert cooc[(i, j)] > 2.0  # raw count exceeds x_max…
+        weight = min((cooc[(i, j)] / model.x_max) ** model.alpha, 1.0)
+        assert weight == 1.0        # …so the loss weight saturates
+
+    def test_window_limits_cooccurrence(self, small_vocab):
+        model = GloVeModel(small_vocab, dim=8, window=1, seed=0)
+        cooc = model.cooccurrences(["alpha beta gamma delta"])
+        i, l = small_vocab.id_of("alpha"), small_vocab.id_of("delta")
+        assert (i, l) not in cooc  # distance 3 > window 1
+
+
+class TestFastTextBuckets:
+    def test_bucket_stable(self):
+        assert _bucket("abc", 4096) == _bucket("abc", 4096)
+
+    def test_bucket_in_range(self):
+        for gram in ("a", "xyz", "<word>"):
+            assert 0 <= _bucket(gram, 128) < 128
+
+    def test_shared_grams_drive_similarity(self, small_vocab):
+        model = FastTextModel(small_vocab, dim=8, seed=0)
+        a = model.token_vector("alphabet")
+        b = model.token_vector("alphabets")
+        c = model.token_vector("zzzzzz")
+
+        def cos(x, y):
+            return x @ y / (np.linalg.norm(x) * np.linalg.norm(y))
+
+        assert cos(a, b) > cos(a, c)
+
+    def test_num_buckets_respected(self, small_vocab):
+        model = FastTextModel(small_vocab, dim=8, num_buckets=64, seed=0)
+        assert model.grams.shape == (64, 8)
+        ids = model._gram_ids("anything")
+        assert ids.max() < 64

@@ -1,0 +1,95 @@
+"""Coverage for the harness and the smaller utility surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.world import World, make_world, world_corpus
+from repro.evaluation import ResultTable
+from repro.lake import DataLake, unionable_tables
+from repro.table import Table
+from repro.text.tokenize import STOPWORDS, stem
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        table = ResultTable("t", ["name", "value"])
+        table.add("short", 1.0)
+        table.add("a much longer name", 2.0)
+        lines = [l for l in table.render().splitlines() if "|" in l]
+        assert len({line.index("|") for line in lines}) == 1
+
+    def test_column_extraction(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add(1, 2)
+        table.add(3, 4)
+        assert table.column("b") == [2, 4]
+        with pytest.raises(ValueError):
+            table.column("zzz")
+
+    def test_markdown_row_count(self):
+        table = ResultTable("t", ["a"])
+        table.add(1)
+        table.add(2)
+        assert table.markdown().count("\n") == 3  # header + sep + 2 rows - 1
+
+
+class TestStemmer:
+    @pytest.mark.parametrize("plural,singular", [
+        ("cameras", "camera"), ("laptops", "laptop"), ("boxes", "box"),
+        ("buses", "bus"),
+    ])
+    def test_plurals(self, plural, singular):
+        assert stem(plural) == singular
+
+    @pytest.mark.parametrize("word", ["glass", "gas", "is", "its"])
+    def test_non_plurals_untouched(self, word):
+        assert stem(word) == word
+
+    def test_stopwords_are_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)
+
+
+class TestWorldEdges:
+    def test_empty_world_facts(self):
+        world = World(seed=0)
+        facts = world.facts()
+        # Even an entity-less world knows brands, capitals, currencies...
+        assert any(r == "capital" for _s, r, _o in facts)
+        assert not any(r == "is_a" for _s, r, _o in facts)
+
+    def test_corpus_scales_with_sentences_per_fact(self):
+        world = make_world(seed=0, num_products=10, num_restaurants=5,
+                           num_papers=5)
+        one = world_corpus(world, sentences_per_fact=1, seed=0)
+        two = world_corpus(world, sentences_per_fact=2, seed=0)
+        assert len(two) == 2 * len(one)
+
+
+class TestLakeEdges:
+    def test_serialize_caps_distinct_values(self):
+        lake = DataLake()
+        lake.add_table(
+            "t", Table.from_dict({"v": [f"value{i}" for i in range(500)]})
+        )
+        text = lake.tables["t"].serialize(max_values_per_column=10)
+        assert text.count("value") <= 12  # cap + name/description slack
+
+    def test_unionable_excludes_low_overlap(self):
+        lake = DataLake()
+        lake.add_table("t", Table.from_dict({"a": [1], "b": [2], "c": [3]}))
+        probe = Table.from_dict({"a": [1], "x": [2], "y": [3]})
+        assert unionable_tables(lake, probe, min_overlap=0.9) == []
+        assert unionable_tables(lake, probe, min_overlap=0.1) == [("t", 0.2)]
+
+
+class TestTablePretty:
+    def test_truncation_notice(self):
+        table = Table.from_dict({"v": list(range(30))})
+        rendering = table.pretty(max_rows=5)
+        assert "more rows" in rendering
+
+    def test_sample_reproducible(self):
+        table = Table.from_dict({"v": list(range(50))})
+        a = table.sample(5, np.random.default_rng(3)).column("v")
+        b = table.sample(5, np.random.default_rng(3)).column("v")
+        assert a == b

@@ -1,0 +1,46 @@
+"""The shipped examples must at least import and expose main(); the cheap
+ones are executed end-to-end."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+ALL_EXAMPLES = [
+    "quickstart", "entity_resolution", "auto_prep_pipeline",
+    "datalake_qa", "clean_table", "explore_and_enrich", "weak_labels",
+]
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_importable_with_main(name):
+    module = importlib.import_module(name)
+    assert callable(module.main)
+
+
+def test_datalake_example_runs(capsys):
+    module = importlib.import_module("datalake_qa")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Symphony" in out
+    assert "Retro" in out
+    assert "unknown" not in out.split("Retro")[1].splitlines()[3]
+
+
+def test_clean_table_example_runs(capsys):
+    module = importlib.import_module("clean_table")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Detection" in out
+    assert "Assisted review" in out

@@ -1,0 +1,156 @@
+"""Exploration: chart recommendation and RL EDA sessions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dirty import restaurants_table
+from repro.explore import (
+    ATENAAgent,
+    ChartSpec,
+    EDAAction,
+    EDAEnvironment,
+    display_interestingness,
+    enumerate_charts,
+    random_session,
+    recommend_charts,
+    score_chart,
+)
+from repro.table import Table
+
+
+@pytest.fixture(scope="module")
+def restaurants(world):
+    return restaurants_table(world)
+
+
+class TestChartEnumeration:
+    def test_enumerates_expected_families(self, restaurants):
+        specs = enumerate_charts(restaurants)
+        kinds = {s.chart for s in specs}
+        assert {"histogram", "bar", "pie"} <= kinds
+
+    def test_scatter_needs_two_numerics(self):
+        table = Table.from_dict({"a": [1.0, 2.0], "b": ["x", "y"]})
+        assert not any(s.chart == "scatter" for s in enumerate_charts(table))
+
+    def test_high_cardinality_column_not_categorical(self, restaurants):
+        specs = enumerate_charts(restaurants)
+        # Every restaurant name is distinct — no count-bar over names.
+        assert not any(
+            s.chart == "bar" and s.x == "name" for s in specs
+        )
+
+
+class TestChartScoring:
+    def test_correlated_scatter_scores_high(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=60)
+        table = Table.from_dict({
+            "x": x.tolist(),
+            "y": (2 * x + rng.normal(scale=0.1, size=60)).tolist(),
+            "noise": rng.normal(size=60).tolist(),
+        })
+        strong = score_chart(table, ChartSpec("scatter", x="x", y="y"))
+        weak = score_chart(table, ChartSpec("scatter", x="x", y="noise"))
+        assert strong > weak + 0.3
+
+    def test_constant_column_scores_zero(self):
+        table = Table.from_dict({"c": [5.0] * 20})
+        assert score_chart(table, ChartSpec("histogram", x="c")) == 0.0
+
+    def test_too_many_pie_slices_scores_zero(self):
+        table = Table.from_dict({"c": [f"v{i}" for i in range(20)] * 2})
+        assert score_chart(
+            table, ChartSpec("pie", x="c", y="c", aggregate="count")
+        ) == 0.0
+
+    def test_group_separation_rewarded(self):
+        table = Table.from_dict({
+            "g": ["a"] * 20 + ["b"] * 20,
+            "v": [1.0] * 20 + [9.0] * 20,
+        })
+        separated = score_chart(table, ChartSpec("bar", x="g", y="v",
+                                                 aggregate="avg"))
+        flat = Table.from_dict({
+            "g": ["a"] * 20 + ["b"] * 20,
+            "v": list(np.random.default_rng(0).normal(size=40)),
+        })
+        unseparated = score_chart(flat, ChartSpec("bar", x="g", y="v",
+                                                  aggregate="avg"))
+        assert separated > unseparated
+
+    def test_recommend_ranked_and_capped(self, restaurants):
+        charts = recommend_charts(restaurants, k=4)
+        assert len(charts) <= 4
+        scores = [c.score for c in charts]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s > 0 for s in scores)
+
+    def test_recommend_deterministic(self, restaurants):
+        a = [c.spec for c in recommend_charts(restaurants, k=5)]
+        b = [c.spec for c in recommend_charts(restaurants, k=5)]
+        assert a == b
+
+
+class TestEDAEnvironment:
+    def test_actions_include_groups_and_filters(self, restaurants):
+        env = EDAEnvironment(restaurants.limit(40))
+        kinds = {a.kind for a in env.actions()}
+        assert "group" in kinds and "filter" in kinds
+        assert "back" not in kinds  # nothing to go back to yet
+
+    def test_filter_narrows_and_back_restores(self, restaurants):
+        env = EDAEnvironment(restaurants.limit(40))
+        cuisine = next(a for a in env.actions()
+                       if a.kind == "filter" and a.column == "cuisine")
+        view, _reward = env.step(cuisine)
+        assert view.num_rows < 40
+        assert any(a.kind == "back" for a in env.actions())
+        env.step(EDAAction("back"))
+        assert env.current.num_rows == 40
+
+    def test_group_returns_counts(self, restaurants):
+        env = EDAEnvironment(restaurants.limit(40))
+        view, reward = env.step(EDAAction("group", column="cuisine"))
+        assert "n" in view.schema
+        assert reward > 0
+
+    def test_repeat_discount(self, restaurants):
+        env = EDAEnvironment(restaurants.limit(40))
+        action = EDAAction("group", column="cuisine")
+        _v, first = env.step(action)
+        env.step(EDAAction("back"))
+        _v, second = env.step(action)
+        assert second < first
+
+    def test_empty_view_negative_reward(self):
+        table = Table.from_dict({"c": ["a"] * 10})
+        empty = table.select(lambda r: False)
+        assert display_interestingness(empty, table) < 0
+
+
+class TestATENAAgent:
+    def test_training_returns_rewards(self, restaurants):
+        agent = ATENAAgent(seed=0)
+        rewards = agent.train(restaurants.limit(40), episodes=8,
+                              steps_per_episode=4)
+        assert len(rewards) == 8
+        assert all(np.isfinite(r) for r in rewards)
+
+    def test_greedy_session_diverse(self, restaurants):
+        agent = ATENAAgent(seed=0)
+        agent.train(restaurants.limit(40), episodes=15, steps_per_episode=5)
+        session = agent.generate_session(restaurants.limit(40), steps=5)
+        described = [d.action.describe() for d in session.displays
+                     if d.action.kind != "back"]  # back may recur legally
+        assert len(described) == len(set(described))
+
+    def test_trained_at_least_matches_random(self, restaurants):
+        table = restaurants.limit(60)
+        greedy, rand = [], []
+        for seed in range(3):
+            agent = ATENAAgent(seed=seed)
+            agent.train(table, episodes=30, steps_per_episode=5)
+            greedy.append(agent.generate_session(table, steps=5).total_reward)
+            rand.append(random_session(table, steps=5, seed=seed).total_reward)
+        assert np.mean(greedy) >= np.mean(rand) - 0.1

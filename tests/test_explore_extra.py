@@ -1,0 +1,86 @@
+"""Additional exploration coverage: EDA environment state machine,
+session aggregation, chart enumeration on edge tables."""
+
+import numpy as np
+import pytest
+
+from repro.explore import (
+    ATENAAgent,
+    EDAAction,
+    EDAEnvironment,
+    EDASession,
+    enumerate_charts,
+    recommend_charts,
+)
+from repro.table import Table
+
+
+class TestEnvironmentStateMachine:
+    @pytest.fixture
+    def env(self):
+        table = Table.from_dict({
+            "category": ["a"] * 10 + ["b"] * 10,
+            "value": [float(i) for i in range(20)],
+        })
+        return EDAEnvironment(table)
+
+    def test_reset_clears_stack_and_memory(self, env):
+        env.step(EDAAction("group", column="category"))
+        assert len(env._stack) == 2
+        env.reset()
+        assert len(env._stack) == 1
+        assert env._seen == set()
+
+    def test_unknown_action_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.step(EDAAction("pivot", column="category"))
+
+    def test_signature_changes_with_depth(self, env):
+        before = env.signature()
+        env.step(EDAAction("group", column="category"))
+        assert env.signature() != before
+
+    def test_actions_shrink_after_filter(self, env):
+        env.step(EDAAction("filter", column="category", value="a"))
+        # Only one category remains — grouping on it is no longer offered.
+        kinds = [(a.kind, a.column) for a in env.actions()]
+        assert ("group", "category") not in kinds
+
+    def test_repeat_after_reset_is_fresh(self, env):
+        action = EDAAction("group", column="category")
+        _v, first = env.step(action)
+        env.reset()
+        _v, again = env.step(action)
+        assert again == first
+
+
+class TestSessionAggregation:
+    def test_empty_session_reward_zero(self):
+        assert EDASession().total_reward == 0.0
+
+    def test_describe_lines_match_displays(self):
+        table = Table.from_dict({"c": ["a"] * 5 + ["b"] * 5})
+        agent = ATENAAgent(seed=0)
+        agent.train(table, episodes=3, steps_per_episode=3)
+        session = agent.generate_session(table, steps=3)
+        assert len(session.describe()) == len(session.displays)
+
+
+class TestChartEnumerationEdges:
+    def test_all_null_string_column_ignored(self):
+        table = Table.from_dict({"s": [None, None, None], "v": [1.0, 2.0, 3.0]})
+        specs = enumerate_charts(table)
+        assert not any(s.x == "s" for s in specs)
+
+    def test_numeric_only_table(self):
+        table = Table.from_dict({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        kinds = {s.chart for s in enumerate_charts(table)}
+        assert kinds <= {"histogram", "scatter"}
+
+    def test_recommendation_on_tiny_table_is_safe(self):
+        table = Table.from_dict({"v": [1.0, 2.0]})
+        assert recommend_charts(table, k=3) == []
+
+    def test_k_zero(self):
+        table = Table.from_dict({"v": list(np.arange(20.0))})
+        assert recommend_charts(table, k=0) == []

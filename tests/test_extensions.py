@@ -1,0 +1,216 @@
+"""The tutorial's open-problem extensions: assisted cleaning (top-k repairs),
+domain-adaptive augmentation, and joint AutoML (pipeline × model) search."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation import (
+    AdversarialAdapter,
+    SourceOnlyAdapter,
+    corrupt_record,
+    featurize_pairs,
+    synthesize_training_pairs,
+)
+from repro.cleaning import (
+    AssistedCleaningSession,
+    Flag,
+    TopKRepairSuggester,
+)
+from repro.datasets.em import Record
+from repro.datasets.mltasks import make_ml_task
+from repro.ml import precision_recall_f1
+from repro.pipelines import JointAutoMLSearch, MODEL_FACTORIES, build_registry
+from repro.table import Table
+
+
+class TestTopKRepairSuggester:
+    def test_typo_fix_ranked_first(self, fact_store):
+        suggester = TopKRepairSuggester(
+            fact_store, k=3, dictionaries={"city": {"seattle", "boston", "austin"}}
+        )
+        table = Table.from_dict({"city": ["seattl"]})
+        suggestions = suggester.suggest(table, Flag(0, "city", "test"))
+        assert suggestions
+        assert suggestions[0].value == "seattle"
+
+    def test_alias_suggested(self, fact_store):
+        suggester = TopKRepairSuggester(fact_store, k=3)
+        table = Table.from_dict({"brand": ["apex technologies"]})
+        suggestions = suggester.suggest(table, Flag(0, "brand", "test"))
+        assert any(s.value == "apex" for s in suggestions)
+
+    def test_k_limits_output(self, fact_store):
+        suggester = TopKRepairSuggester(
+            fact_store, k=2, dictionaries={"city": {"seattle", "boston", "austin"}}
+        )
+        table = Table.from_dict({"city": ["sattle"]})
+        assert len(suggester.suggest(table, Flag(0, "city", "t"))) <= 2
+
+    def test_null_cell_gives_nothing(self, fact_store):
+        suggester = TopKRepairSuggester(fact_store, k=3)
+        table = Table.from_dict({"city": [None]})
+        assert suggester.suggest(table, Flag(0, "city", "t")) == []
+
+    def test_invalid_k(self, fact_store):
+        with pytest.raises(ValueError):
+            TopKRepairSuggester(fact_store, k=0)
+
+    def test_suggestions_deduplicated(self, fact_store):
+        suggester = TopKRepairSuggester(
+            fact_store, k=3, dictionaries={"city": {"austin"}}
+        )
+        table = Table.from_dict({"city": ["  AUSTIN "]})
+        suggestions = suggester.suggest(table, Flag(0, "city", "t"))
+        values = [s.value for s in suggestions]
+        assert len(values) == len(set(values))
+
+
+class TestAssistedCleaning:
+    def test_effort_saved_on_fixable_errors(self, fact_store):
+        suggester = TopKRepairSuggester(
+            fact_store, k=3,
+            dictionaries={"city": {"seattle", "boston", "austin", "denver"}},
+        )
+        table = Table.from_dict({"city": ["seattl", "bostn", "ZZZZZZZZ"]})
+        flags = [Flag(i, "city", "t") for i in range(3)]
+        truth = {(0, "city"): "seattle", (1, "city"): "boston",
+                 (2, "city"): "denver"}
+        session = AssistedCleaningSession(suggester)
+        cleaned, report = session.run(table, flags, truth)
+        assert report.cells_reviewed == 3
+        assert report.picked_from_suggestions == 2   # two typos suggested
+        assert report.typed_manually == 1            # the garbage cell
+        assert report.effort_saved == pytest.approx(2 / 3)
+        assert cleaned.column("city") == ["seattle", "boston", "denver"]
+
+    def test_hit_rate_monotone_in_k(self, fact_store):
+        suggester = TopKRepairSuggester(
+            fact_store, k=3, dictionaries={"city": {"seattle", "boston"}}
+        )
+        table = Table.from_dict({"city": ["seattl", "bostn"]})
+        flags = [Flag(i, "city", "t") for i in range(2)]
+        truth = {(0, "city"): "seattle", (1, "city"): "boston"}
+        _out, report = AssistedCleaningSession(suggester).run(table, flags, truth)
+        assert report.hit_rate(1) <= report.hit_rate(2) <= report.hit_rate(3)
+
+    def test_empty_session(self, fact_store):
+        suggester = TopKRepairSuggester(fact_store, k=3)
+        table = Table.from_dict({"city": ["austin"]})
+        _out, report = AssistedCleaningSession(suggester).run(table, [], {})
+        assert report.cells_reviewed == 0
+        assert report.effort_saved == 0.0
+
+
+class TestAugmentation:
+    def test_corrupt_record_keeps_rid_lineage(self, rng):
+        record = Record("r1", {"name": "apex pro a100", "price": 100.0})
+        dirty = corrupt_record(record, rng)
+        assert dirty.rid == "r1-aug"
+        assert set(dirty.attributes) == set(record.attributes)
+
+    def test_corrupt_strength_zero_is_identity_for_strings(self, rng):
+        record = Record("r1", {"name": "apex pro a100"})
+        dirty = corrupt_record(record, rng, strength=0.0)
+        assert dirty.attributes["name"] == "apex pro a100"
+
+    def test_synthesize_labels_and_balance(self, em_products):
+        pairs = synthesize_training_pairs(
+            em_products.source_b, num_pairs=100, seed=0, positive_fraction=0.4
+        )
+        labels = np.array([l for *_x, l in pairs])
+        assert len(pairs) == 100
+        assert 0.3 <= labels.mean() <= 0.5
+
+    def test_synthesize_requires_records(self):
+        with pytest.raises(ValueError):
+            synthesize_training_pairs([], num_pairs=10)
+
+    def test_synthetic_positives_are_same_entity(self, em_products):
+        pairs = synthesize_training_pairs(em_products.source_b, 60, seed=1)
+        for a, b, label in pairs:
+            if label == 1:
+                assert b.rid.startswith(a.rid)
+
+    def test_hands_off_matcher_beats_source_only(self, world, em_products):
+        """The open problem's payoff: synthesized target labels beat raw
+        source transfer under shift."""
+        from repro.adaptation.features import covariate_shift
+        from repro.datasets.em import papers_em
+
+        source = papers_em(world, seed=1, noise=0.5)
+        src = source.labeled_pairs(240, seed=3, match_fraction=0.5)
+        tgt = em_products.labeled_pairs(200, seed=4, match_fraction=0.5)
+        Xs = featurize_pairs([(a, b) for a, b, _l in src])
+        ys = np.array([l for *_x, l in src])
+        Xt = featurize_pairs([(a, b) for a, b, _l in tgt])
+        yt = np.array([l for *_x, l in tgt])
+
+        floor = SourceOnlyAdapter(input_dim=Xs.shape[1], epochs=40, seed=0)
+        floor.fit(Xs, ys, Xt[:100])
+        floor_f1 = precision_recall_f1(yt[100:], floor.predict(Xt[100:])).f1
+
+        synthetic = synthesize_training_pairs(em_products.source_b, 240, seed=0)
+        X_syn = featurize_pairs([(a, b) for a, b, _l in synthetic])
+        y_syn = np.array([l for *_x, l in synthetic])
+        hands_off = SourceOnlyAdapter(input_dim=X_syn.shape[1], epochs=40, seed=0)
+        hands_off.fit(X_syn, y_syn, Xt[:100])
+        hands_off_f1 = precision_recall_f1(
+            yt[100:], hands_off.predict(Xt[100:])
+        ).f1
+        # Synthesized in-domain labels should at least match raw transfer.
+        assert hands_off_f1 >= floor_f1 - 0.1
+
+
+class TestJointAutoML:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            JointAutoMLSearch(build_registry(), model_names=["svm"])
+
+    def test_budget_respected_and_trajectory_monotone(self):
+        registry = build_registry()
+        task = make_ml_task("t", missing_rate=0.15, n_samples=180, seed=2)
+        result = JointAutoMLSearch(registry, seed=0).search(task, budget=10)
+        assert len(result.trajectory) <= 10
+        assert all(b >= a for a, b in zip(result.trajectory,
+                                          result.trajectory[1:]))
+        assert result.best.model_name in MODEL_FACTORIES
+
+    def test_single_model_mode(self):
+        registry = build_registry()
+        task = make_ml_task("t", missing_rate=0.15, n_samples=180, seed=2)
+        result = JointAutoMLSearch(
+            registry, model_names=["gnb"], seed=0
+        ).search(task, budget=6)
+        assert result.best.model_name == "gnb"
+
+    def test_joint_at_least_matches_fixed_model(self):
+        registry = build_registry()
+        task = make_ml_task("t", interaction=True, missing_rate=0.1,
+                            n_samples=200, seed=3)
+        joint = JointAutoMLSearch(registry, seed=0).search(task, budget=16)
+        fixed = JointAutoMLSearch(registry, model_names=["gnb"], seed=0).search(
+            task, budget=16
+        )
+        assert joint.best_score >= fixed.best_score - 0.05
+
+
+class TestHyperparameterTuning:
+    def test_arm_list_expands_with_tuning(self):
+        registry = build_registry()
+        plain = JointAutoMLSearch(registry, seed=0)
+        tuned = JointAutoMLSearch(registry, seed=0, tune_hyperparameters=True)
+        assert len(tuned._arms) > len(plain._arms)
+
+    def test_tuned_search_valid_and_competitive(self):
+        registry = build_registry()
+        task = make_ml_task("t", missing_rate=0.15, n_samples=180, seed=5)
+        tuned = JointAutoMLSearch(
+            registry, seed=0, tune_hyperparameters=True
+        ).search(task, budget=12)
+        from repro.pipelines.automl import HYPERPARAMETER_GRIDS
+
+        assert tuned.best.hyperparameters in HYPERPARAMETER_GRIDS[
+            tuned.best.model_name
+        ]
+        plain = JointAutoMLSearch(registry, seed=0).search(task, budget=12)
+        assert tuned.best_score >= plain.best_score - 0.05

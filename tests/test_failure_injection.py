@@ -1,0 +1,183 @@
+"""Failure injection: empty inputs, degenerate data, failing components.
+
+The library is a pipeline of pipelines — these tests verify that failures
+surface as typed errors or safe no-ops instead of corrupting downstream
+stages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    DataCleaner,
+    FDDetector,
+    NullDetector,
+    OutlierDetector,
+    PatternDetector,
+    StatisticImputer,
+)
+from repro.datasets.em import EMDataset, Record
+from repro.datasets.mltasks import make_ml_task
+from repro.embeddings import SkipGramModel, Vocab
+from repro.errors import PipelineError
+from repro.evaluation import ResultTable
+from repro.foundation import FactStore, FoundationModel, qa_prompt
+from repro.lake import DataLake, LakeIndex, Symphony
+from repro.matching import KeyBlocker, LSHBlocker, RuleBasedMatcher
+from repro.pipelines import (
+    PipelineEvaluator,
+    PrepPipeline,
+    RandomSearch,
+    build_registry,
+)
+from repro.pipelines.operators import Operator
+from repro.sql import Database
+from repro.table import Table
+
+
+@pytest.fixture
+def empty_em():
+    return EMDataset(domain="empty", source_a=[], source_b=[], matches=set())
+
+
+class TestEmptyInputs:
+    def test_empty_vocab(self):
+        vocab = Vocab([])
+        assert len(vocab) == len(Vocab.SPECIALS)
+        assert vocab.encode("anything") == [vocab.unk_id] * 1
+
+    def test_skipgram_on_empty_corpus(self):
+        model = SkipGramModel(Vocab([]), dim=8, seed=0)
+        assert model.train([], epochs=1) == 0.0
+
+    def test_blockers_on_empty_dataset(self, empty_em):
+        assert KeyBlocker().candidates(empty_em) == set()
+        assert LSHBlocker().candidates(empty_em) == set()
+
+    def test_matcher_on_empty_pairs(self):
+        assert len(RuleBasedMatcher().predict([])) == 0
+
+    def test_detectors_on_empty_table(self):
+        table = Table.empty([("a", "str"), ("b", "float")])
+        for detector in (NullDetector(), OutlierDetector(),
+                         PatternDetector(), FDDetector("a", "b")):
+            assert detector.detect(table) == []
+
+    def test_imputer_on_empty_table(self):
+        table = Table.empty([("a", "str")])
+        assert StatisticImputer().impute(table, "a") == table
+
+    def test_empty_lake_search(self):
+        lake = DataLake()
+        assert LakeIndex(lake).search("anything") == []
+        result = Symphony(lake).answer("how many anything")
+        assert result.answers == ["unknown"]
+
+    def test_sql_on_empty_table(self):
+        db = Database({"t": Table.empty([("x", "int")])})
+        assert db.query("select count(*) as n from t").row(0)[0] == 0
+        assert db.query("select x from t where x > 0").num_rows == 0
+
+    def test_result_table_empty_render(self):
+        table = ResultTable("empty", ["a"])
+        assert "empty" in table.render()
+
+
+class TestDegenerateData:
+    def test_single_class_task(self):
+        registry = build_registry()
+        task = make_ml_task("t", n_samples=60, seed=0)
+        task.y[:] = 0  # degenerate labels
+        evaluator = PipelineEvaluator(seed=0)
+        pipeline = PrepPipeline(tuple(registry[s][0] for s in
+                                      ("impute", "outlier", "scale",
+                                       "engineer", "select")))
+        score = evaluator.score(pipeline, task)
+        assert 0.0 <= score <= 1.0
+
+    def test_all_null_column_detection(self):
+        table = Table.from_dict({"a": [None, None, None], "b": [1, 2, 3]})
+        flags = NullDetector(columns=["a"]).detect(table)
+        assert len(flags) == 3
+
+    def test_fd_detector_with_nulls(self):
+        table = Table.from_dict({
+            "city": ["a", "a", None], "state": ["x", "y", "z"],
+        })
+        flags = FDDetector("city", "state").detect(table)
+        assert all(f.row < 2 for f in flags)
+
+    def test_foundation_model_empty_store(self):
+        model = FoundationModel(FactStore())
+        answer = model.complete(qa_prompt("what is the capital of japan"))
+        assert answer.text == "unknown"
+
+    def test_record_with_no_attributes(self):
+        record = Record("r", {})
+        assert record.text() == ""
+        assert record.value_text() == ""
+
+
+class TestFailingComponents:
+    def test_operator_exception_becomes_pipeline_error(self):
+        def explode(X_train, y_train, X_test):
+            raise RuntimeError("boom")
+
+        registry = build_registry()
+        bad = Operator("explode", "impute", explode)
+        pipeline = PrepPipeline((
+            bad, registry["outlier"][2], registry["scale"][3],
+            registry["engineer"][2], registry["select"][3],
+        ))
+        task = make_ml_task("t", n_samples=60, seed=0)
+        with pytest.raises(PipelineError):
+            pipeline.apply(task.X[:40], task.y[:40], task.X[40:])
+
+    def test_evaluator_scores_failing_pipeline_zero(self):
+        def explode(X_train, y_train, X_test):
+            raise RuntimeError("boom")
+
+        registry = build_registry()
+        bad = Operator("explode", "impute", explode)
+        pipeline = PrepPipeline((
+            bad, registry["outlier"][2], registry["scale"][3],
+            registry["engineer"][2], registry["select"][3],
+        ))
+        task = make_ml_task("t", n_samples=60, seed=0)
+        assert PipelineEvaluator(seed=0).score(pipeline, task) == 0.0
+
+    def test_search_survives_poisoned_registry(self):
+        """A registry with one always-failing operator must not sink search."""
+        def explode(X_train, y_train, X_test):
+            raise RuntimeError("boom")
+
+        registry = build_registry()
+        registry["engineer"] = registry["engineer"] + [
+            Operator("explode", "engineer", explode)
+        ]
+        task = make_ml_task("t", missing_rate=0.1, n_samples=120, seed=0)
+        result = RandomSearch(registry, seed=0).search(
+            task, PipelineEvaluator(seed=0), budget=10
+        )
+        assert result.best_score > 0.0
+
+    def test_cleaner_with_no_repairers(self, world=None):
+        table = Table.from_dict({"a": ["x", None]})
+        cleaner = DataCleaner([NullDetector()], [])
+        cleaned, repairs = cleaner.clean(table)
+        assert repairs == []
+        assert cleaned == table
+
+    def test_operator_that_drops_all_features_fails_loudly(self):
+        def vanish(X_train, y_train, X_test):
+            return X_train[:, :0], X_test[:, :0]
+
+        registry = build_registry()
+        bad = Operator("vanish", "impute", vanish)
+        pipeline = PrepPipeline((
+            bad, registry["outlier"][2], registry["scale"][3],
+            registry["engineer"][2], registry["select"][3],
+        ))
+        task = make_ml_task("t", n_samples=60, seed=0)
+        with pytest.raises(PipelineError):
+            pipeline.apply(task.X[:40], task.y[:40], task.X[40:])

@@ -1,0 +1,230 @@
+"""Foundation-model stack: knowledge, prompts, the model, MRKL, Retro."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.foundation import (
+    CalculatorModule,
+    FactStore,
+    FoundationModel,
+    MRKLRouter,
+    RetroModel,
+    cleaning_prompt,
+    imputation_prompt,
+    matching_demo,
+    matching_prompt,
+    parse_prompt,
+    qa_prompt,
+)
+from repro.foundation.mrkl import CurrencyModule, UnitModule, _eval_arithmetic
+from repro.sql import Database
+from repro.table import Table
+
+
+class TestFactStore:
+    def test_lookup_and_object_of(self):
+        store = FactStore([("japan", "capital", "tokyo")])
+        assert store.object_of("japan", "capital") == "tokyo"
+        assert store.object_of("japan", "currency") is None
+
+    def test_case_insensitive(self):
+        store = FactStore([("Japan", "capital", "Tokyo")])
+        assert store.object_of("JAPAN", "capital") == "tokyo"
+
+    def test_cutoff_hides_new_facts(self):
+        store = FactStore(cutoff=2021)
+        store.add("acme", "ceo", "old ceo", as_of=2020)
+        store.add("acme", "ceo", "new ceo", as_of=2023)
+        assert store.object_of("acme", "ceo") == "old ceo"
+        store.cutoff = None
+        assert store.object_of("acme", "ceo") == "new ceo"
+
+    def test_canonical_resolves_alias(self):
+        store = FactStore([("apex tech", "alias_of", "apex")])
+        assert store.canonical("apex tech") == "apex"
+        assert store.canonical("unknown brand") == "unknown brand"
+
+    def test_fuzzy_subject(self):
+        store = FactStore([("seattle", "city_in_state", "washington")])
+        assert store.fuzzy_subject("seattl") == "seattle"
+        assert store.fuzzy_subject("zzzzzz") is None
+
+    def test_len_counts_visible_only(self):
+        store = FactStore(cutoff=2000)
+        store.add("a", "r", "x", as_of=1999)
+        store.add("a", "r", "y", as_of=2024)
+        assert len(store) == 1
+
+
+class TestPrompts:
+    def test_render_parse_round_trip(self):
+        text = cleaning_prompt("city", [("bostn", "boston")], "seattl")
+        prompt = parse_prompt(text)
+        assert prompt.num_shots == 1
+        assert prompt.query == "seattl"
+        assert "city" in prompt.task
+
+    def test_parse_rejects_taskless(self):
+        with pytest.raises(ParseError):
+            parse_prompt("Input: x\nOutput:")
+
+    def test_parse_rejects_no_query(self):
+        with pytest.raises(ParseError):
+            parse_prompt("Task: t\nInput: x\nOutput: y")
+
+    def test_parse_rejects_double_input(self):
+        with pytest.raises(ParseError):
+            parse_prompt("Task: t\nInput: a\nInput: b\nOutput:")
+
+    def test_parse_rejects_garbage_line(self):
+        with pytest.raises(ParseError):
+            parse_prompt("Task: t\nhello there\nInput: x\nOutput:")
+
+    def test_matching_demo_format(self):
+        given, expected = matching_demo("a", "b", True)
+        assert "|||" in given
+        assert expected == "yes"
+
+
+class TestFoundationModelQA:
+    def test_capital_lookup(self, foundation_model):
+        answer = foundation_model.complete(qa_prompt("what is the capital of japan"))
+        assert answer.text == "tokyo"
+
+    def test_unknown_entity_admits_ignorance(self, foundation_model):
+        answer = foundation_model.complete(qa_prompt("what is the capital of atlantis"))
+        assert answer.text == "unknown"
+        assert answer.confidence < 0.5
+
+    def test_small_arithmetic_exact(self, foundation_model):
+        assert foundation_model.complete(qa_prompt("what is 7 + 5")).text == "12"
+
+    def test_large_arithmetic_wrong_but_deterministic(self, foundation_model):
+        a1 = foundation_model.complete(qa_prompt("what is 12345 * 6789")).text
+        a2 = foundation_model.complete(qa_prompt("what is 12345 * 6789")).text
+        assert a1 == a2
+        assert a1 != str(12345 * 6789)
+
+    def test_division_by_zero(self, foundation_model):
+        assert foundation_model.complete(qa_prompt("what is 5 / 0")).text == "undefined"
+
+
+class TestFoundationModelCleaning:
+    def test_zero_shot_fixes_typo_via_dictionary(self, foundation_model):
+        out = foundation_model.complete(cleaning_prompt("city", value="seattl"))
+        assert out.text == "seattle"
+
+    def test_few_shot_learns_case_repair(self, foundation_model):
+        demos = [("SEATTLE", "seattle"), ("BOSTON", "boston"), ("DENVER", "denver")]
+        out = foundation_model.complete(cleaning_prompt("city", demos, "AUSTIN"))
+        assert out.text == "austin"
+
+    def test_few_shot_learns_whitespace_repair(self, foundation_model):
+        demos = [("  austin ", "austin"), (" denver  ", "denver")]
+        out = foundation_model.complete(cleaning_prompt("city", demos, "  boston "))
+        assert out.text == "boston"
+
+
+class TestFoundationModelMatchingAndImputation:
+    def test_identical_records_match(self, foundation_model):
+        prompt = matching_prompt("apex pro a100 laptop", "apex pro a100 laptop")
+        assert foundation_model.complete(prompt).text == "yes"
+
+    def test_disjoint_records_do_not_match(self, foundation_model):
+        prompt = matching_prompt("apex pro a100 laptop", "the oak kitchen austin")
+        assert foundation_model.complete(prompt).text == "no"
+
+    def test_alias_knowledge_helps_matching(self, foundation_model, world):
+        p = world.products[0]
+        from repro.datasets.world import BRAND_ALIASES
+        alias = BRAND_ALIASES[p.brand][0]
+        left = f"{p.name} {p.category}"
+        right = f"{alias} {p.line} {p.model_number} {p.category}"
+        score = foundation_model.match_score(left, right)
+        assert score > 0.8
+
+    def test_imputation_from_knowledge(self, foundation_model, world):
+        p = world.products[0]
+        prompt = imputation_prompt("category", f"name: {p.name} | category: ?")
+        assert foundation_model.complete(prompt).text == p.category
+
+    def test_imputation_unknown_entity(self, foundation_model):
+        prompt = imputation_prompt("category", "name: zzz qqq vvv | category: ?")
+        out = foundation_model.complete(prompt)
+        assert out.text == "unknown" or out.confidence < 0.5
+
+
+class TestMRKL:
+    def test_eval_arithmetic_precedence(self):
+        assert _eval_arithmetic("2 + 3 * 4") == 14
+        assert _eval_arithmetic("10 - 4 / 2") == 8.0
+
+    def test_eval_arithmetic_divzero(self):
+        with pytest.raises(ZeroDivisionError):
+            _eval_arithmetic("1 / 0")
+
+    def test_calculator_module(self):
+        calc = CalculatorModule()
+        assert calc.can_handle("what is 12345 * 6789") > 0.5
+        assert calc.run("what is 12345 * 6789").text == str(12345 * 6789)
+
+    def test_currency_module(self):
+        currency = CurrencyModule()
+        assert currency.can_handle("convert 100 euro to dollar") > 0.5
+        assert float(currency.run("convert 100 euro to dollar").text) == pytest.approx(110.0)
+
+    def test_currency_unknown_currency_declines(self):
+        assert CurrencyModule().can_handle("convert 5 doubloons to euro") == 0.0
+
+    def test_unit_module(self):
+        units = UnitModule()
+        assert float(units.run("convert 10 km to miles").text) == pytest.approx(6.2137, abs=1e-3)
+        assert units.run("what is 100 celsius to fahrenheit").text == "212"
+
+    def test_router_fixes_fm_arithmetic(self, foundation_model):
+        router = MRKLRouter.standard(foundation_model)
+        routed = router.route("what is 12345 * 6789")
+        assert routed.module == "calculator"
+        assert routed.completion.text == str(12345 * 6789)
+
+    def test_router_falls_back_to_fm(self, foundation_model):
+        router = MRKLRouter.standard(foundation_model)
+        routed = router.route("what is the capital of japan")
+        assert routed.module == "foundation"
+        assert routed.completion.text == "tokyo"
+
+    def test_router_database_module(self, foundation_model):
+        db = Database({"t": Table.from_dict({"x": [1, 2, 3]})})
+        router = MRKLRouter.standard(foundation_model, db=db)
+        routed = router.route("select sum(x) from t")
+        assert routed.module == "database"
+        assert routed.completion.text == "6"
+
+    def test_empty_router_rejected(self):
+        with pytest.raises(ValueError):
+            MRKLRouter([])
+
+
+class TestRetro:
+    def test_retrieval_answers_fresh_fact(self, foundation_model):
+        docs = ["the capital of atlantis is poseidonia"]
+        retro = RetroModel(foundation_model, docs)
+        answer = retro.answer("what is the capital of atlantis?")
+        assert answer.text == "poseidonia"
+        assert answer.used_retrieval
+        assert answer.supporting_chunks == [0]
+
+    def test_closed_book_fails_on_fresh_fact(self, foundation_model):
+        retro = RetroModel(foundation_model, ["the capital of atlantis is poseidonia"])
+        assert retro.closed_book("what is the capital of atlantis").text == "unknown"
+
+    def test_falls_back_to_parametric_knowledge(self, foundation_model):
+        retro = RetroModel(foundation_model, ["completely irrelevant text"])
+        answer = retro.answer("what is the capital of japan")
+        assert answer.text == "tokyo"
+        assert not answer.used_retrieval
+
+    def test_empty_document_store(self, foundation_model):
+        retro = RetroModel(foundation_model, [])
+        assert retro.retrieve("anything") == []

@@ -1,0 +1,141 @@
+"""Additional foundation-model coverage: prompt rendering, repair inference
+internals, matching calibration, module confidence ordering."""
+
+import numpy as np
+import pytest
+
+from repro.foundation import (
+    FactStore,
+    FoundationModel,
+    Prompt,
+    cleaning_prompt,
+    matching_demo,
+    matching_prompt,
+    parse_prompt,
+)
+from repro.foundation.model import REPAIRS
+from repro.foundation.mrkl import (
+    CalculatorModule,
+    CurrencyModule,
+    FoundationModule,
+    UnitModule,
+)
+
+
+class TestPromptRendering:
+    def test_render_includes_all_parts(self):
+        prompt = Prompt(task="do a thing", demonstrations=[("a", "b")],
+                        query="c")
+        text = prompt.render()
+        assert "Task: do a thing" in text
+        assert "Input: a" in text and "Output: b" in text
+        assert text.rstrip().endswith("Output:")
+
+    def test_num_shots(self):
+        prompt = Prompt(task="t", demonstrations=[("a", "b"), ("c", "d")],
+                        query="q")
+        assert prompt.num_shots == 2
+
+    def test_parse_accepts_trailing_input_without_output(self):
+        prompt = parse_prompt("Task: t\nInput: dangling")
+        assert prompt.query == "dangling"
+
+
+class TestRepairInference:
+    def test_zero_shot_unlocks_only_dictionary(self, foundation_model):
+        assert foundation_model._infer_repairs([]) == {"dictionary"}
+
+    def test_typo_demo_unlocks_dictionary(self, foundation_model):
+        unlocked = foundation_model._infer_repairs([("appex", "apex")])
+        assert "dictionary" in unlocked
+        assert "case" not in unlocked
+
+    def test_upper_alias_demo_unlocks_composition(self, foundation_model):
+        unlocked = foundation_model._infer_repairs([("APEX TECH", "apex")])
+        assert "alias" in unlocked
+        assert {"case", "whitespace", "dictionary"} & unlocked
+
+    def test_unexplainable_demo_unlocks_nothing(self, foundation_model):
+        unlocked = foundation_model._infer_repairs([("qqqq", "zzzz")])
+        assert unlocked == set()
+
+    def test_repairs_registry_names_unique(self):
+        names = [r.name for r in REPAIRS]
+        assert len(names) == len(set(names))
+
+    def test_cleaning_confidence_reflects_change(self, foundation_model):
+        changed = foundation_model.complete(
+            cleaning_prompt("city", value="seattl")
+        )
+        unchanged = foundation_model.complete(
+            cleaning_prompt("city", value="zzzzqqq")
+        )
+        assert changed.confidence > unchanged.confidence
+
+
+class TestMatchingCalibration:
+    def test_threshold_prior_without_demos(self, foundation_model):
+        prompt = parse_prompt(matching_prompt("a", "b"))
+        assert prompt.num_shots == 0
+
+    def test_calibration_separates_clear_demos(self, foundation_model):
+        # Demos: identical pairs are matches, disjoint pairs are not.
+        demos = [
+            matching_demo("apex pro a100 laptop", "apex pro a100 laptop", True),
+            matching_demo("the oak kitchen austin", "the oak kitchen austin", True),
+            matching_demo("apex pro a100 laptop", "the oak kitchen austin", False),
+            matching_demo("zephyr edge b200 phone", "lumina core c300 camera", False),
+        ]
+        threshold = foundation_model._calibrate_threshold(demos)
+        assert 0.0 < threshold < 1.0
+        # The calibrated threshold classifies the demos correctly.
+        for given, expected in demos:
+            left, right = FoundationModel._split_pair(given)
+            score = foundation_model.match_score(left, right)
+            assert (score >= threshold) == (expected == "yes")
+
+    def test_match_score_symmetry_of_knowledge(self, foundation_model, world):
+        product = world.products[0]
+        from repro.datasets.world import BRAND_ALIASES
+
+        alias = BRAND_ALIASES[product.brand][0]
+        direct = foundation_model.match_score(product.name, product.name)
+        via_alias = foundation_model.match_score(
+            product.name, product.name.replace(product.brand, alias)
+        )
+        assert direct >= via_alias > 0.7
+
+
+class TestModuleConfidences:
+    def test_fm_module_never_preferred_when_tool_applies(self, foundation_model):
+        query = "what is 123456 * 789"
+        assert CalculatorModule().can_handle(query) > \
+            FoundationModule(foundation_model).can_handle(query)
+
+    def test_unit_module_declines_unknown_units(self):
+        assert UnitModule().can_handle("convert 5 parsecs to cubits") == 0.0
+
+    def test_currency_round_trip(self):
+        currency = CurrencyModule()
+        forward = float(currency.run("convert 100 euro to yen").text)
+        back = float(currency.run(f"convert {forward} yen to euro").text)
+        assert back == pytest.approx(100.0, rel=1e-3)
+
+    def test_calculator_handles_chain(self):
+        assert CalculatorModule().run("compute 2 + 3 * 4 - 6 / 2").text == "11"
+
+
+class TestKnowledgeCutoffInteraction:
+    def test_cutoff_store_in_model(self, world):
+        store = FactStore(world.facts(), cutoff=2020)
+        store.add("newco", "headquartered_in", "mars", as_of=2024)
+        model = FoundationModel(store)
+        answer = model.complete(
+            "Task: answer the question\nInput: where is newco headquartered\nOutput:"
+        )
+        assert answer.text == "unknown"
+        store.cutoff = None
+        answer = model.complete(
+            "Task: answer the question\nInput: where is newco headquartered\nOutput:"
+        )
+        assert answer.text == "mars"

@@ -1,0 +1,159 @@
+"""End-to-end flows crossing subsystem boundaries — the paths the examples
+and benchmarks exercise."""
+
+import numpy as np
+
+from repro.cleaning import (
+    DataCleaner,
+    DictionaryDetector,
+    FDDetector,
+    FDRepairer,
+    FoundationModelRepairer,
+    NullDetector,
+    PatternDetector,
+    repair_quality,
+)
+from repro.datasets.dirty import make_dirty, restaurants_table
+from repro.datasets.world import CITIES, CUISINES
+from repro.evaluation import ResultTable
+from repro.lake import DataLake, Symphony
+from repro.matching import (
+    EmbeddingBlocker,
+    KeyBlocker,
+    RuleBasedMatcher,
+)
+from repro.pipelines import (
+    HAIPipe,
+    PipelineEvaluator,
+    RandomSearch,
+    build_registry,
+    generate_corpus,
+)
+from repro.datasets.mltasks import make_ml_task
+from repro.table import Table
+
+
+class TestBlockThenMatchPipeline:
+    """Blocking feeds matching: the classic two-stage ER pipeline."""
+
+    def test_end_to_end_er(self, em_products, fasttext):
+        blocker = EmbeddingBlocker(fasttext.embed_text, k=8)
+        candidates = blocker.candidates(em_products)
+        by_rid_a = {r.rid: r for r in em_products.source_a}
+        by_rid_b = {r.rid: r for r in em_products.source_b}
+        pairs = [(by_rid_a[a], by_rid_b[b]) for a, b in sorted(candidates)]
+        matcher = RuleBasedMatcher(threshold=0.68)
+        predictions = matcher.predict(pairs)
+        predicted_matches = {
+            (a.rid, b.rid)
+            for (a, b), keep in zip(pairs, predictions) if keep
+        }
+        true = em_products.matches
+        tp = len(predicted_matches & true)
+        precision = tp / max(len(predicted_matches), 1)
+        recall = tp / len(true)
+        assert precision > 0.5
+        assert recall > 0.5
+
+    def test_blocking_recall_bounds_pipeline_recall(self, em_products):
+        blocking = KeyBlocker().evaluate(em_products)
+        # No matcher downstream of this blocker can exceed its recall.
+        assert blocking.recall <= 1.0
+
+
+class TestCleanThenQuery:
+    """Cleaning feeds the lake: repair a dirty table, then query it."""
+
+    def test_fd_repair_then_sql_aggregation(self, world, foundation_model):
+        table = restaurants_table(world)
+        dirty = make_dirty(table, error_rate=0.3, seed=5)
+        cleaner = DataCleaner(
+            [
+                NullDetector(columns=["cuisine"]),
+                FDDetector("city", "state"),
+                PatternDetector(),
+                DictionaryDetector({
+                    "city": {c for c, _s in CITIES},
+                    "cuisine": set(CUISINES),
+                }),
+            ],
+            [
+                FDRepairer("city", "state"),
+                FoundationModelRepairer(foundation_model),
+            ],
+        )
+        cleaned, repairs = cleaner.clean(dirty.dirty)
+        truth = {(e.row, e.column): e.clean_value for e in dirty.errors}
+        precision, _recall, _f1 = repair_quality(repairs, truth)
+        assert precision > 0.6
+
+        lake = DataLake()
+        lake.add_table("restaurants", cleaned, "restaurant directory")
+        symphony = Symphony(lake)
+        cuisine = world.restaurants[0].cuisine
+        result = symphony.answer(f"how many {cuisine} restaurants are listed")
+        assert result.steps[0].module == "text-to-sql"
+        assert int(result.steps[0].answer) > 0
+
+
+class TestSearchVsHuman:
+    """Automatic search and HAIPipe on the same task and budget."""
+
+    def test_hai_beats_or_ties_both(self):
+        registry = build_registry()
+        task = make_ml_task("it", interaction=True, missing_rate=0.1,
+                            n_samples=200, seed=4)
+        corpus = generate_corpus(registry, [task], pipelines_per_task=20, seed=0)
+        evaluator = PipelineEvaluator(seed=0)
+        hai = HAIPipe(registry, corpus, seed=0).run(task, evaluator, budget=14)
+        assert hai.combined_score >= max(hai.human_score, hai.machine_score) - 1e-9
+
+    def test_search_and_result_table_integration(self):
+        registry = build_registry()
+        task = make_ml_task("t", missing_rate=0.2, n_samples=200, seed=1)
+        table = ResultTable("search", ["strategy", "best"])
+        result = RandomSearch(registry, seed=0).search(
+            task, PipelineEvaluator(seed=0), budget=8
+        )
+        table.add("random", result.best_score)
+        rendered = table.render()
+        assert "random" in rendered
+        assert table.column("best") == [result.best_score]
+
+
+class TestFoundationModelAcrossTasks:
+    """One FM instance serves cleaning, matching, imputation and QA."""
+
+    def test_shared_model_consistency(self, foundation_model, world):
+        product = world.products[0]
+        # QA about the maker agrees with imputation of the brand.
+        qa = foundation_model.complete(
+            f"Task: answer the question\nInput: who makes the {product.name}\nOutput:"
+        )
+        from repro.foundation import imputation_prompt
+
+        imputed = foundation_model.complete(
+            imputation_prompt("brand", f"name: {product.name} | brand: ?")
+        )
+        assert qa.text == imputed.text == product.brand
+
+
+class TestResultTable:
+    def test_add_validates_width(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add(1, 2)
+        try:
+            table.add(1)
+            raise AssertionError("expected ValueError")
+        except ValueError:
+            pass
+
+    def test_markdown_render(self):
+        table = ResultTable("t", ["a"])
+        table.add(0.12345)
+        assert "0.123" in table.markdown()
+
+    def test_row_dict(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add("x", 1)
+        assert table.row_dict(0) == {"a": "x", "b": 1}

@@ -1,0 +1,162 @@
+"""Weak supervision: labeling functions, label models, crowd simulation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.em import Record
+from repro.errors import NotFittedError
+from repro.labeling import (
+    ABSTAIN,
+    CrowdSimulator,
+    LabelingFunction,
+    MajorityLabelModel,
+    WeightedLabelModel,
+    Worker,
+    apply_labeling_functions,
+    coverage,
+    lf_conflicts,
+)
+from repro.ml import accuracy, precision_recall_f1
+from repro.text.similarity import jaccard_similarity
+
+
+class TestVoteMatrix:
+    def test_apply_shapes_and_abstains(self):
+        lfs = [
+            LabelingFunction("pos", lambda x: 1 if x > 0 else ABSTAIN),
+            LabelingFunction("neg", lambda x: 0 if x < 0 else ABSTAIN),
+        ]
+        votes = apply_labeling_functions([-2, 0, 3], lfs)
+        assert votes.shape == (3, 2)
+        assert votes[1].tolist() == [ABSTAIN, ABSTAIN]
+        assert votes[2].tolist() == [1, ABSTAIN]
+
+    def test_none_becomes_abstain(self):
+        lf = LabelingFunction("quiet", lambda x: None)
+        assert lf("anything") == ABSTAIN
+
+    def test_requires_functions(self):
+        with pytest.raises(ValueError):
+            apply_labeling_functions([1], [])
+
+    def test_coverage_and_conflicts(self):
+        votes = np.array([[1, 1], [1, 0], [ABSTAIN, ABSTAIN]])
+        assert coverage(votes).tolist() == [2 / 3, 2 / 3]
+        assert lf_conflicts(votes) == pytest.approx(1 / 3)
+
+
+class TestMajorityModel:
+    def test_simple_majority(self):
+        votes = np.array([[1, 1, 0], [0, 0, 1]])
+        assert MajorityLabelModel().predict(votes).tolist() == [1, 0]
+
+    def test_tie_abstains(self):
+        votes = np.array([[1, 0]])
+        assert MajorityLabelModel().predict(votes)[0] == ABSTAIN
+
+    def test_all_abstain_abstains(self):
+        votes = np.array([[ABSTAIN, ABSTAIN]])
+        assert MajorityLabelModel().predict(votes)[0] == ABSTAIN
+
+
+class TestWeightedModel:
+    def _noisy_votes(self, accuracies, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 2, size=n)
+        votes = np.zeros((n, len(accuracies)), dtype=int)
+        for j, acc in enumerate(accuracies):
+            correct = rng.random(n) < acc
+            votes[:, j] = np.where(correct, truth, 1 - truth)
+        return truth, votes
+
+    def test_recovers_accuracy_ordering(self):
+        truth, votes = self._noisy_votes([0.95, 0.70, 0.55])
+        model = WeightedLabelModel().fit(votes)
+        estimated = model.accuracies_
+        assert estimated[0] > estimated[1] > estimated[2]
+
+    def test_beats_majority_with_skewed_quality(self):
+        # Two weak-but-correlated-noise labelers vs one strong one: the
+        # weighted model should trust the strong one more.
+        truth, votes = self._noisy_votes([0.95, 0.6, 0.6], seed=3)
+        weighted = WeightedLabelModel().fit(votes).predict(votes)
+        majority = MajorityLabelModel().predict(votes)
+        acc_weighted = accuracy(truth, weighted)
+        acc_majority = accuracy(truth, majority)
+        assert acc_weighted >= acc_majority - 0.01
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            WeightedLabelModel().predict(np.array([[1]]))
+
+
+class TestCrowd:
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            Worker("bad", accuracy=1.5)
+        with pytest.raises(ValueError):
+            Worker("bad", accuracy=0.9, response_rate=0.0)
+        with pytest.raises(ValueError):
+            CrowdSimulator([])
+
+    def test_collect_shapes_and_abstains(self):
+        workers = [Worker("w1", 0.9), Worker("w2", 0.8, response_rate=0.5)]
+        sim = CrowdSimulator(workers, seed=0)
+        truth = np.array([0, 1] * 50)
+        votes = sim.collect(truth)
+        assert votes.shape == (100, 2)
+        assert (votes[:, 1] == ABSTAIN).mean() > 0.3  # low response rate
+
+    def test_good_workers_aggregate_to_truth(self):
+        workers = [Worker(f"w{i}", 0.85) for i in range(5)]
+        sim = CrowdSimulator(workers, seed=1)
+        truth = np.array([0, 1] * 100)
+        votes = sim.collect(truth)
+        predicted = WeightedLabelModel().fit(votes).predict(votes)
+        assert accuracy(truth, predicted) > 0.95
+
+    def test_cost_counts_answers(self):
+        workers = [Worker("w", 0.9)]
+        sim = CrowdSimulator(workers, seed=0)
+        votes = sim.collect(np.array([0, 1, 0]))
+        assert sim.cost(votes, per_answer=2.0) == 6.0
+
+
+class TestWeakSupervisionForEM:
+    """End-to-end: labeling functions produce EM training labels."""
+
+    def test_weak_labels_train_a_usable_matcher(self, em_products):
+        labeled = em_products.labeled_pairs(240, seed=7, match_fraction=0.5)
+        pairs = [(a, b) for a, b, _l in labeled]
+        gold = np.array([l for *_x, l in labeled])
+
+        def sim(pair) -> float:
+            a, b = pair
+            return jaccard_similarity(a.value_text(), b.value_text())
+
+        lfs = [
+            LabelingFunction("high-sim", lambda p: 1 if sim(p) > 0.6 else ABSTAIN),
+            LabelingFunction("low-sim", lambda p: 0 if sim(p) < 0.3 else ABSTAIN),
+            LabelingFunction(
+                "same-brand-name",
+                lambda p: 1 if p[0].attributes.get("name") == p[1].attributes.get("name")
+                else ABSTAIN,
+            ),
+        ]
+        votes = apply_labeling_functions(pairs, lfs)
+        weak = MajorityLabelModel().predict(votes)
+        confident = weak != ABSTAIN
+        assert confident.mean() > 0.5
+        # Weak labels agree with gold on most confidently-labeled pairs.
+        agreement = accuracy(gold[confident], weak[confident])
+        assert agreement > 0.8
+        # And a matcher trained on them works on gold labels.
+        from repro.matching import RuleBasedMatcher
+
+        matcher = RuleBasedMatcher()
+        prf = precision_recall_f1(gold, matcher.predict(pairs))
+        weak_prf = precision_recall_f1(weak[confident],
+                                       matcher.predict(
+                                           [p for p, keep in zip(pairs, confident) if keep]
+                                       ))
+        assert weak_prf.f1 >= prf.f1 - 0.25

@@ -1,0 +1,186 @@
+"""Data lake: catalog, discovery, TextToSQL, TableQA, Symphony."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.lake import (
+    DataLake,
+    JoinDiscovery,
+    LakeIndex,
+    Symphony,
+    TableQA,
+    TextToSQL,
+    unionable_tables,
+)
+from repro.table import Table
+
+
+@pytest.fixture(scope="module")
+def lake(world):
+    lake = DataLake()
+    restaurants = Table.from_rows(
+        [(r.uid, r.name, r.cuisine, r.city, r.phone) for r in world.restaurants],
+        names=["uid", "name", "cuisine", "city", "phone"],
+    )
+    products = Table.from_rows(
+        [(p.uid, p.name, p.brand, p.category, p.price) for p in world.products],
+        names=["uid", "name", "brand", "category", "price"],
+    )
+    reviews = Table.from_rows(
+        [(p.uid, float(i % 5 + 1)) for i, p in enumerate(world.products)],
+        names=["uid", "stars"],
+    )
+    lake.add_table("restaurants", restaurants,
+                   "restaurant listings with cuisine city and phone")
+    lake.add_table("products", products, "electronics catalog with price")
+    lake.add_table("reviews", reviews, "star ratings for products")
+    lake.add_document(
+        "apex_profile",
+        "Apex is a company headquartered in united states. "
+        "The ceo of apex is jane doe. Apex makes laptops.",
+    )
+    return lake
+
+
+class TestDataLake:
+    def test_duplicate_table_rejected(self, lake):
+        with pytest.raises(SchemaError):
+            lake.add_table("products", Table.from_dict({"a": [1]}))
+
+    def test_duplicate_document_rejected(self, lake):
+        with pytest.raises(SchemaError):
+            lake.add_document("apex_profile", "again")
+
+    def test_datasets_lists_everything(self, lake):
+        kinds = [k for k, _n, _t in lake.datasets()]
+        assert kinds.count("table") == 3
+        assert kinds.count("document") == 1
+
+    def test_serialize_contains_distinct_values(self, lake):
+        text = lake.tables["restaurants"].serialize()
+        assert "cuisine" in text  # schema
+        assert "italian" in text or "thai" in text  # values
+
+
+class TestDiscovery:
+    def test_keyword_search_finds_right_table(self, lake):
+        index = LakeIndex(lake)
+        hits = index.search("italian restaurants in seattle", k=1)
+        assert hits[0].name == "restaurants"
+
+    def test_document_findable(self, lake):
+        index = LakeIndex(lake)
+        hits = index.search("ceo of apex company", k=2)
+        assert any(h.name == "apex_profile" for h in hits)
+
+    def test_join_discovery_finds_shared_uid(self, lake):
+        discovery = JoinDiscovery(lake, threshold=0.4)
+        joinable = discovery.joinable_with("products", "uid")
+        assert ("reviews", "uid") in [(t, c) for t, c, _s in joinable]
+
+    def test_join_discovery_unknown_column(self, lake):
+        assert JoinDiscovery(lake).joinable_with("products", "nope") == []
+
+    def test_unionable_tables(self, lake):
+        probe = Table.from_dict({
+            "uid": ["x"], "name": ["y"], "brand": ["z"],
+            "category": ["c"], "price": [1.0],
+        })
+        names = [n for n, _s in unionable_tables(lake, probe, min_overlap=0.9)]
+        assert names == ["products"]
+
+
+class TestTextToSQL:
+    @pytest.fixture(scope="class")
+    def translator(self, lake):
+        return TextToSQL("restaurants", lake.tables["restaurants"].table)
+
+    def test_count_with_filters(self, translator, world):
+        cuisine = world.restaurants[0].cuisine
+        city = world.restaurants[0].city
+        grounded = translator.translate(
+            f"how many {cuisine} restaurants are in {city}?"
+        )
+        assert grounded.aggregate == "count"
+        assert ("cuisine", cuisine) in grounded.filters
+        assert ("city", city) in grounded.filters
+        assert grounded.sql.startswith("select count(*)")
+
+    def test_ungroundable_raises(self, translator):
+        with pytest.raises(ParseError):
+            translator.translate("tell me something nice")
+
+    def test_avg_targets_numeric_column(self, lake):
+        translator = TextToSQL("products", lake.tables["products"].table)
+        grounded = translator.translate("what is the average price of laptop products")
+        assert grounded.aggregate == "avg"
+        assert grounded.target_column == "price"
+
+    def test_max_returns_entity(self, lake):
+        translator = TextToSQL("products", lake.tables["products"].table)
+        grounded = translator.translate("what is the most expensive camera")
+        assert "order by price desc limit 1" in grounded.sql
+
+
+class TestTableQA:
+    def test_lookup_attribute_of_entity(self, lake, world):
+        qa = TableQA("restaurants", lake.tables["restaurants"].table)
+        restaurant = world.restaurants[3]
+        answer = qa.answer(f"what is the phone of {restaurant.name}")
+        assert answer.text == restaurant.phone
+
+    def test_unknown_attribute_raises(self, lake):
+        qa = TableQA("restaurants", lake.tables["restaurants"].table)
+        with pytest.raises(ParseError):
+            qa.answer("what is the altitude of the oak kitchen")
+
+    def test_no_matching_row_raises(self, lake):
+        qa = TableQA("restaurants", lake.tables["restaurants"].table)
+        with pytest.raises(ParseError):
+            qa.answer("what is the phone of zzz qqq vvv www")
+
+
+class TestSymphony:
+    @pytest.fixture(scope="class")
+    def symphony(self, lake):
+        return Symphony(lake)
+
+    def test_decompose_compound_question(self, symphony):
+        parts = symphony.decompose("how many cats? and what is the phone of x")
+        assert len(parts) == 2
+
+    def test_decompose_simple_question(self, symphony):
+        assert len(symphony.decompose("how many cats")) == 1
+
+    def test_aggregate_question_routes_to_sql(self, symphony, world):
+        cuisine = world.restaurants[0].cuisine
+        result = symphony.answer(f"how many {cuisine} restaurants are in the directory")
+        step = result.steps[0]
+        assert step.module == "text-to-sql"
+        truth = sum(1 for r in world.restaurants if r.cuisine == cuisine)
+        assert step.answer == str(truth)
+
+    def test_lookup_question_routes_to_tableqa(self, symphony, world):
+        restaurant = world.restaurants[5]
+        result = symphony.answer(f"what is the phone of {restaurant.name}")
+        assert result.steps[0].module == "table-qa"
+        assert result.steps[0].answer == restaurant.phone
+
+    def test_document_question_routes_to_docqa(self, symphony):
+        result = symphony.answer("who is the ceo of apex")
+        assert result.steps[0].module == "doc-qa"
+        assert "jane doe" in result.steps[0].answer.lower()
+
+    def test_compound_question_answers_both(self, symphony, world):
+        restaurant = world.restaurants[5]
+        cuisine = world.restaurants[0].cuisine
+        result = symphony.answer(
+            f"how many {cuisine} restaurants are listed? "
+            f"and what is the phone of {restaurant.name}"
+        )
+        assert len(result.steps) == 2
+        assert result.steps[1].answer == restaurant.phone
+
+    def test_unanswerable_is_unknown(self, symphony):
+        result = symphony.answer("qqq zzz vvv")
+        assert result.answers[-1] == "unknown"

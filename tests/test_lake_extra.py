@@ -1,0 +1,111 @@
+"""Additional lake/SQL coverage: Symphony internals, text2sql grounding,
+SQL expression corners."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lake import DataLake, Symphony, TextToSQL
+from repro.sql import Database, parse_sql
+from repro.table import Table
+
+
+@pytest.fixture(scope="module")
+def mini_lake(world):
+    lake = DataLake()
+    lake.add_table(
+        "restaurants",
+        Table.from_rows(
+            [(r.uid, r.name, r.cuisine, r.city, r.phone)
+             for r in world.restaurants[:40]],
+            names=["uid", "name", "cuisine", "city", "phone"],
+        ),
+        "restaurant listings",
+    )
+    lake.add_document("note", "The festival starts friday. Parking is free.")
+    return lake
+
+
+class TestSymphonyInternals:
+    def test_retrieve_prefers_requested_kind(self, mini_lake):
+        symphony = Symphony(mini_lake)
+        located = symphony.retrieve("how many restaurants", prefer_kind="table")
+        assert located is not None and located[0] == "table"
+
+    def test_retrieve_falls_back_across_kinds(self, mini_lake):
+        symphony = Symphony(mini_lake)
+        located = symphony.retrieve("parking at the festival",
+                                    prefer_kind="table")
+        # No table mentions parking; the document wins despite the preference.
+        assert located is not None
+        assert located[1] == "note"
+
+    def test_doc_answer_picks_best_sentence(self, mini_lake):
+        symphony = Symphony(mini_lake)
+        answer = symphony._doc_answer("note", "when does the festival start")
+        assert "friday" in answer.lower()
+
+    def test_decompose_strips_empty_parts(self, mini_lake):
+        parts = Symphony.decompose("  first thing?   and then   ")
+        assert parts == ["first thing", "and then"] or "first thing" in parts
+
+
+class TestTextToSQLGrounding:
+    @pytest.fixture(scope="class")
+    def translator(self, mini_lake):
+        return TextToSQL("restaurants", mini_lake.tables["restaurants"].table)
+
+    def test_multi_token_value_needs_all_tokens(self, translator, world):
+        name = world.restaurants[0].name  # e.g. "the oak kitchen"
+        grounded = translator.translate(f"how many listings match {name}")
+        assert ("name", name) in grounded.filters
+
+    def test_partial_value_not_grounded(self, translator, world):
+        name_token = world.restaurants[0].name.split()[-1]
+        grounded = translator.translate(f"how many {name_token}")
+        assert all(value.count(" ") == 0 for _c, value in grounded.filters)
+
+    def test_numeric_columns_never_become_filters(self, translator):
+        grounded = translator.translate("how many restaurants")
+        assert all(column != "uid" or " " not in value
+                   for column, value in grounded.filters)
+
+
+class TestSQLExpressionCorners:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return Database({"t": Table.from_dict({
+            "a": [1, 2, 3, None], "b": [2.0, 4.0, 6.0, 8.0],
+        })})
+
+    def test_arithmetic_precedence(self, db):
+        out = db.query("select a + b * 2 as v from t where a = 1")
+        assert out.row(0)[0] == 5.0
+
+    def test_parentheses(self, db):
+        query = parse_sql("select a from t where (a = 1 or a = 2) and b < 5")
+        assert query.where.op == "and"
+
+    def test_unary_minus_literal(self, db):
+        out = db.query("select a from t where a > -1")
+        assert out.num_rows == 3
+
+    def test_null_arithmetic_propagates(self, db):
+        out = db.query("select a + b as s from t")
+        assert out.column("s")[-1] is None
+
+    def test_string_literal_comparison(self):
+        db = Database({"s": Table.from_dict({"v": ["x", "y"]})})
+        out = db.query("select v from s where v <> 'x'")
+        assert out.column("v") == ["y"]
+
+    def test_multiple_group_keys(self):
+        db = Database({"g": Table.from_dict({
+            "a": ["p", "p", "q"], "b": ["x", "x", "y"], "n": [1, 2, 3],
+        })})
+        out = db.query("select a, b, sum(n) as total from g group by a, b")
+        assert out.num_rows == 2
+        rows = {(r["a"], r["b"]): r["total"] for r in out.row_dicts()}
+        assert rows[("p", "x")] == 3
+
+    def test_limit_zero(self, db):
+        assert db.query("select a from t limit 0").num_rows == 0

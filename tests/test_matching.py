@@ -1,0 +1,214 @@
+"""Matching stack: blocking, rule/embedding/FM matchers, schema matching."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.em import Record, papers_em, restaurants_em
+from repro.matching import (
+    EmbeddingBlocker,
+    EmbeddingMatcher,
+    FoundationModelMatcher,
+    KeyBlocker,
+    LSHBlocker,
+    RuleBasedMatcher,
+    SchemaMatcher,
+    attribute_similarities,
+    schema_matching_accuracy,
+)
+from repro.matching.schema import Correspondence
+from repro.table import Table
+
+
+@pytest.fixture(scope="module")
+def labeled(em_products):
+    pairs = em_products.labeled_pairs(160, seed=2, match_fraction=0.5)
+    return pairs
+
+
+class TestBlocking:
+    def test_key_blocker_reduction_and_recall(self, em_products):
+        result = KeyBlocker().evaluate(em_products)
+        assert result.reduction > 0.7
+        assert result.recall > 0.5
+
+    def test_lsh_blocker_beats_key_on_recall(self, em_products):
+        key = KeyBlocker().evaluate(em_products)
+        lsh = LSHBlocker(num_perm=64, bands=32).evaluate(em_products)
+        assert lsh.recall >= key.recall
+
+    def test_embedding_blocker_recall(self, em_products, fasttext):
+        # DeepBlocker's recipe: char-n-gram (fastText) embeddings, which
+        # survive the typos that break token-level blockers.
+        result = EmbeddingBlocker(fasttext.embed_text, k=10).evaluate(em_products)
+        assert result.recall > 0.8
+        assert result.reduction > 0.6
+
+    def test_embedding_blocker_k_bounds_candidates(self, em_products, skipgram):
+        blocker = EmbeddingBlocker(skipgram.embed_text, k=2)
+        candidates = blocker.candidates(em_products)
+        assert len(candidates) <= 2 * len(em_products.source_a)
+
+    def test_embedding_blocker_invalid_k(self, skipgram):
+        with pytest.raises(ValueError):
+            EmbeddingBlocker(skipgram.embed_text, k=0)
+
+    def test_custom_key_function(self, em_products):
+        blocker = KeyBlocker(key_fn=lambda r: str(r.attributes.get("brand", "")))
+        result = blocker.evaluate(em_products)
+        assert result.recall > 0.5
+
+
+class TestAttributeSimilarities:
+    def test_identical_records_high(self):
+        a = Record("1", {"name": "apex pro", "price": 10.0})
+        assert attribute_similarities(a, a).min() > 0.99
+
+    def test_missing_values_are_neutral(self):
+        a = Record("1", {"name": "apex", "price": None})
+        b = Record("2", {"name": "apex", "price": 10.0})
+        features = attribute_similarities(a, b)
+        assert 0.5 in features.tolist()
+
+    def test_numeric_closeness(self):
+        a = Record("1", {"price": 100.0})
+        b = Record("2", {"price": 101.0})
+        c = Record("3", {"price": 1000.0})
+        assert attribute_similarities(a, b).mean() > attribute_similarities(a, c).mean()
+
+
+class TestRuleBasedMatcher:
+    def test_reasonable_f1(self, labeled):
+        pairs = [(a, b) for a, b, _l in labeled]
+        labels = np.array([l for *_x, l in labeled])
+        prf = RuleBasedMatcher().evaluate(pairs, labels)
+        assert prf.f1 > 0.6
+
+    def test_threshold_extremes(self, labeled):
+        pairs = [(a, b) for a, b, _l in labeled[:20]]
+        assert RuleBasedMatcher(threshold=0.0).predict(pairs).all()
+        assert not RuleBasedMatcher(threshold=1.01).predict(pairs).any()
+
+
+class TestEmbeddingMatcher:
+    def test_learns_and_beats_chance(self, labeled, skipgram):
+        train, test = labeled[:100], labeled[100:]
+        matcher = EmbeddingMatcher(skipgram.embed_text)
+        matcher.fit([(a, b) for a, b, _l in train],
+                    np.array([l for *_x, l in train]))
+        prf = matcher.evaluate([(a, b) for a, b, _l in test],
+                               np.array([l for *_x, l in test]))
+        assert prf.f1 > 0.6
+
+    def test_embeddings_only_weaker_than_with_strings(self, labeled, skipgram):
+        train, test = labeled[:100], labeled[100:]
+        tr_pairs = [(a, b) for a, b, _l in train]
+        tr_y = np.array([l for *_x, l in train])
+        te_pairs = [(a, b) for a, b, _l in test]
+        te_y = np.array([l for *_x, l in test])
+        with_strings = EmbeddingMatcher(skipgram.embed_text, use_string_features=True)
+        embeddings_only = EmbeddingMatcher(skipgram.embed_text, use_string_features=False)
+        f1_full = with_strings.fit(tr_pairs, tr_y).evaluate(te_pairs, te_y).f1
+        f1_embed = embeddings_only.fit(tr_pairs, tr_y).evaluate(te_pairs, te_y).f1
+        assert f1_full >= f1_embed - 0.05  # strings never hurt much
+
+
+class TestFoundationModelMatcher:
+    def test_few_shot_not_worse_than_zero_shot(self, labeled, foundation_model):
+        test = labeled[60:120]
+        te_pairs = [(a, b) for a, b, _l in test]
+        te_y = np.array([l for *_x, l in test])
+        zero = FoundationModelMatcher(foundation_model)
+        few = FoundationModelMatcher(foundation_model, demonstrations=labeled[:20])
+        assert few.num_shots == 20
+        f1_zero = zero.evaluate(te_pairs, te_y).f1
+        f1_few = few.evaluate(te_pairs, te_y).f1
+        assert f1_few >= f1_zero - 0.05
+
+    def test_zero_shot_reasonable(self, labeled, foundation_model):
+        test = labeled[:60]
+        prf = FoundationModelMatcher(foundation_model).evaluate(
+            [(a, b) for a, b, _l in test], np.array([l for *_x, l in test])
+        )
+        assert prf.f1 > 0.5
+
+
+class TestSchemaMatcher:
+    @pytest.fixture(scope="class")
+    def tables(self, world):
+        left = Table.from_rows(
+            [(r.name, r.cuisine, r.city) for r in world.restaurants[:30]],
+            names=["name", "cuisine", "city"],
+        )
+        right = Table.from_rows(
+            [(r.name, r.cuisine, r.city) for r in world.restaurants[10:40]],
+            names=["restaurant", "food_style", "town"],
+        )
+        return left, right
+
+    def test_renamed_columns_align_by_values(self, tables):
+        left, right = tables
+        correspondences = SchemaMatcher().match(left, right)
+        mapping = {c.left: c.right for c in correspondences}
+        assert mapping.get("cuisine") == "food_style"
+        assert mapping.get("city") == "town"
+
+    def test_accuracy_metric(self, tables):
+        left, right = tables
+        truth = {"name": "restaurant", "cuisine": "food_style", "city": "town"}
+        correspondences = SchemaMatcher().match(left, right)
+        accuracy = schema_matching_accuracy(correspondences, truth)
+        assert accuracy >= 2 / 3
+
+    def test_one_to_one_assignment(self, tables):
+        left, right = tables
+        correspondences = SchemaMatcher(threshold=0.0).match(left, right)
+        lefts = [c.left for c in correspondences]
+        rights = [c.right for c in correspondences]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    def test_identical_schemas_match_perfectly(self, tables):
+        left, _right = tables
+        correspondences = SchemaMatcher().match(left, left)
+        assert schema_matching_accuracy(
+            correspondences, {n: n for n in left.schema.names}
+        ) == 1.0
+
+    def test_embedding_boost(self, tables, skipgram):
+        left, right = tables
+        matcher = SchemaMatcher(embed=skipgram.embed_text)
+        score = matcher.column_score(left, "cuisine", right, "food_style")
+        assert 0.0 <= score <= 1.0
+
+    def test_accuracy_empty_truth(self):
+        assert schema_matching_accuracy([], {}) == 1.0
+        assert schema_matching_accuracy(
+            [Correspondence("a", "b", 1.0)], {}
+        ) == 1.0
+
+
+class TestEMDatasets:
+    def test_sources_overlap_marked(self, em_products):
+        assert em_products.matches
+        for a, b in em_products.matches:
+            assert a.endswith("-a") and b.endswith("-b")
+
+    def test_labeled_pairs_no_duplicate_negatives(self, em_products):
+        pairs = em_products.labeled_pairs(100, seed=0)
+        keys = [(a.rid, b.rid) for a, b, _l in pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_labeled_pairs_labels_consistent_with_truth(self, em_products):
+        for a, b, label in em_products.labeled_pairs(100, seed=1):
+            assert ((a.rid, b.rid) in em_products.matches) == bool(label)
+
+    def test_generators_cover_three_domains(self, world):
+        papers = papers_em(world, seed=0)
+        restaurants = restaurants_em(world, seed=0)
+        assert papers.domain == "papers"
+        assert restaurants.domain == "restaurants"
+        assert papers.matches and restaurants.matches
+
+    def test_record_text_skips_nulls(self):
+        record = Record("1", {"a": "x", "b": None})
+        assert "b" not in record.text()

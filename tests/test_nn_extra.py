@@ -1,0 +1,105 @@
+"""Additional nn coverage: functional edge cases, optimizer trajectories,
+attention determinism."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    SGD,
+    Tensor,
+    TransformerBlock,
+    binary_cross_entropy_with_logits,
+    gradient_reversal,
+    log_softmax,
+    mse_loss,
+    softmax,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestFunctionalEdges:
+    def test_softmax_single_class(self):
+        out = softmax(Tensor(np.array([[3.0]])))
+        assert out.numpy()[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_gradient_sums_to_zero(self):
+        x = Tensor(RNG.normal(size=(2, 5)), requires_grad=True)
+        log_softmax(x)[ :, 0].sum().backward()
+        # d/dx of log p_0 sums to 0 across the class axis per row.
+        assert np.allclose(x.grad.sum(axis=1), 0.0, atol=1e-9)
+
+    def test_bce_extreme_logits_stable(self):
+        logits = Tensor(np.array([1000.0, -1000.0]))
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+    def test_mse_gradient(self):
+        pred = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        mse_loss(pred, np.array([0.0, 0.0])).backward()
+        assert np.allclose(pred.grad, np.array([2.0, 4.0]))
+
+    def test_gradient_reversal_identity_forward(self):
+        x = Tensor(RNG.normal(size=(3, 2)), requires_grad=True)
+        out = gradient_reversal(x, lam=0.5)
+        assert np.array_equal(out.numpy(), x.numpy())
+
+    def test_gradient_reversal_no_grad_input(self):
+        x = Tensor(np.ones((2, 2)))
+        out = gradient_reversal(x)
+        assert not out.requires_grad
+
+
+class TestOptimizerTrajectories:
+    def _quadratic(self, w: Tensor) -> Tensor:
+        return ((w - 3.0) ** 2.0).sum()
+
+    def test_sgd_converges_on_quadratic(self):
+        w = Tensor(np.zeros(4), requires_grad=True)
+        optimizer = SGD([w], lr=0.1)
+        for _ in range(100):
+            loss = self._quadratic(w)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(w.data, 3.0, atol=1e-2)
+
+    def test_adam_converges_on_quadratic(self):
+        w = Tensor(np.zeros(4), requires_grad=True)
+        optimizer = Adam([w], lr=0.2)
+        for _ in range(150):
+            loss = self._quadratic(w)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(w.data, 3.0, atol=1e-2)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            w = Tensor(np.zeros(1), requires_grad=True)
+            optimizer = SGD([w], lr=0.02, momentum=momentum)
+            for _ in range(40):
+                loss = self._quadratic(w)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            return abs(w.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+
+class TestTransformerDeterminism:
+    def test_same_seed_same_output(self):
+        x = RNG.normal(size=(2, 4, 8))
+        b1 = TransformerBlock(8, 2, 16, np.random.default_rng(5))
+        b2 = TransformerBlock(8, 2, 16, np.random.default_rng(5))
+        assert np.allclose(b1(Tensor(x)).numpy(), b2(Tensor(x)).numpy())
+
+    def test_mask_extremes(self):
+        block = TransformerBlock(8, 2, 16, np.random.default_rng(5))
+        x = Tensor(RNG.normal(size=(1, 4, 8)))
+        full = block(x, mask=np.ones((1, 4), dtype=int))
+        none_masked = block(x)
+        assert np.allclose(full.numpy(), none_masked.numpy())

@@ -1,0 +1,242 @@
+"""Layers, modules, losses, optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadSelfAttention,
+    ReLU,
+    SGD,
+    Sequential,
+    Tensor,
+    TransformerBlock,
+    binary_cross_entropy_with_logits,
+    clip_grad_norm,
+    cross_entropy,
+    gradient_reversal,
+    log_softmax,
+    mse_loss,
+    softmax,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestModule:
+    def test_parameters_collected_recursively(self):
+        net = Sequential(Linear(2, 3, RNG), ReLU(), Linear(3, 1, RNG))
+        assert len(net.parameters()) == 4  # two weights + two biases
+
+    def test_named_parameters_unique(self):
+        net = Sequential(Linear(2, 3, RNG), Linear(3, 1, RNG))
+        names = [n for n, _p in net.named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_state_dict_round_trip(self):
+        net1 = Sequential(Linear(2, 3, np.random.default_rng(1)))
+        net2 = Sequential(Linear(2, 3, np.random.default_rng(2)))
+        net2.load_state_dict(net1.state_dict())
+        x = Tensor(RNG.normal(size=(4, 2)))
+        assert np.allclose(net1(x).numpy(), net2(x).numpy())
+
+    def test_state_dict_mismatch_raises(self):
+        net1 = Sequential(Linear(2, 3, RNG))
+        net2 = Sequential(Linear(2, 4, RNG))
+        with pytest.raises((KeyError, ValueError)):
+            net2.load_state_dict(net1.state_dict())
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Dropout(0.5, RNG))
+        net.eval()
+        assert not net._items[0].training
+        net.train()
+        assert net._items[0].training
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(4, 7, RNG)
+        out = layer(Tensor(RNG.normal(size=(3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 2, RNG, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 5, RNG)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 5)
+
+    def test_embedding_out_of_range(self):
+        emb = Embedding(10, 5, RNG)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+
+    def test_embedding_gradient_scatters(self):
+        emb = Embedding(5, 3, RNG)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        grad = emb.weight.grad
+        assert np.allclose(grad[1], 2.0)  # row 1 used twice
+        assert np.allclose(grad[0], 0.0)
+
+    def test_layernorm_normalizes(self):
+        norm = LayerNorm(8)
+        x = Tensor(RNG.normal(size=(4, 8)) * 10 + 5)
+        out = norm(x).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_dropout_eval_is_identity(self):
+        drop = Dropout(0.9, np.random.default_rng(0))
+        drop.eval()
+        x = Tensor(np.ones((3, 3)))
+        assert np.allclose(drop(x).numpy(), 1.0)
+
+    def test_dropout_train_scales(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        x = Tensor(np.ones((1000,)))
+        out = drop(x).numpy()
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        assert abs(out.mean() - 1.0) < 0.15
+
+    def test_dropout_invalid_rate(self):
+        from repro.nn.functional import dropout_mask
+        with pytest.raises(ValueError):
+            dropout_mask((2,), 1.0, np.random.default_rng(0))
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(8, 2, RNG)
+        out = attn(Tensor(RNG.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2, RNG)
+
+    def test_padding_mask_blocks_information(self):
+        attn = MultiHeadSelfAttention(8, 2, np.random.default_rng(3))
+        x = RNG.normal(size=(1, 4, 8))
+        mask = np.array([[1, 1, 0, 0]])
+        out1 = attn(Tensor(x), mask=mask).numpy()
+        # Changing a masked position must not change unmasked outputs.
+        x2 = x.copy()
+        x2[0, 3] += 100.0
+        out2 = attn(Tensor(x2), mask=mask).numpy()
+        assert np.allclose(out1[0, :2], out2[0, :2], atol=1e-8)
+
+    def test_transformer_block_backward(self):
+        block = TransformerBlock(8, 2, 16, np.random.default_rng(1))
+        x = Tensor(RNG.normal(size=(2, 5, 8)), requires_grad=True)
+        (block(x) ** 2.0).sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+
+class TestLosses:
+    def test_softmax_rows_sum_to_one(self):
+        out = softmax(Tensor(RNG.normal(size=(4, 6)))).numpy()
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_softmax_stability_large_logits(self):
+        out = softmax(Tensor(np.array([[1000.0, 1000.0]]))).numpy()
+        assert np.allclose(out, 0.5)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(RNG.normal(size=(3, 4)))
+        assert np.allclose(
+            log_softmax(x).numpy(), np.log(softmax(x).numpy()), atol=1e-9
+        )
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(np.log(4), abs=1e-9)
+
+    def test_bce_matches_manual(self):
+        logits = Tensor(np.array([0.5, -1.0]))
+        targets = np.array([1.0, 0.0])
+        loss = binary_cross_entropy_with_logits(logits, targets)
+        p = 1 / (1 + np.exp(-np.array([0.5, -1.0])))
+        manual = -np.mean(targets * np.log(p) + (1 - targets) * np.log(1 - p))
+        assert loss.item() == pytest.approx(manual, abs=1e-9)
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_gradient_reversal_flips_sign(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = gradient_reversal(x, lam=2.0)
+        out.sum().backward()
+        assert np.allclose(x.grad, -2.0)
+        assert np.allclose(out.numpy(), x.numpy())
+
+
+class TestOptimizers:
+    def _loss(self, net, X, y):
+        return cross_entropy(net(Tensor(X)), y)
+
+    def test_sgd_decreases_loss(self):
+        rng = np.random.default_rng(2)
+        net = Sequential(Linear(3, 8, rng), ReLU(), Linear(8, 2, rng))
+        X = rng.normal(size=(32, 3))
+        y = (X[:, 0] > 0).astype(int)
+        opt = SGD(net.parameters(), lr=0.5, momentum=0.9)
+        first = self._loss(net, X, y).item()
+        for _ in range(60):
+            loss = self._loss(net, X, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert self._loss(net, X, y).item() < first * 0.5
+
+    def test_adam_learns_xor(self):
+        rng = np.random.default_rng(3)
+        net = Sequential(Linear(2, 16, rng), ReLU(), Linear(16, 2, rng))
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        opt = Adam(net.parameters(), lr=0.05)
+        for _ in range(300):
+            loss = self._loss(net, X, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert (net(Tensor(X)).numpy().argmax(1) == y).all()
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Tensor(np.array([10.0]), requires_grad=True)
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        w.grad = np.array([0.0])
+        opt.step()
+        assert w.data[0] < 10.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+
+    def test_clip_grad_norm(self):
+        t = Tensor(np.zeros(4), requires_grad=True)
+        t.grad = np.ones(4) * 10.0
+        pre = clip_grad_norm([t], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(t.grad) == pytest.approx(1.0)
+
+    def test_step_skips_params_without_grad(self):
+        w = Tensor(np.array([1.0]), requires_grad=True)
+        Adam([w], lr=0.1).step()  # no grad set; must not crash
+        assert w.data[0] == 1.0

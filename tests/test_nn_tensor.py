@@ -1,0 +1,191 @@
+"""Autograd engine: every op's gradient is checked numerically."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar fn wrt array x."""
+    grad = np.zeros_like(x, dtype=float)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        plus = fn()
+        flat[i] = old - eps
+        minus = fn()
+        flat[i] = old
+        out[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, params: list[np.ndarray], atol=1e-5):
+    """build(tensors) -> scalar Tensor; params are the raw arrays."""
+    tensors = [Tensor(p, requires_grad=True) for p in params]
+    loss = build(tensors)
+    loss.backward()
+    for t, p in zip(tensors, params):
+        def scalar():
+            fresh = [Tensor(q) for q in params]
+            return build(fresh).item()
+        num = numerical_grad(scalar, p)
+        assert t.grad is not None
+        assert np.allclose(t.grad, num, atol=atol), (
+            f"max err {np.abs(t.grad - num).max()}"
+        )
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4,))
+        check_gradient(lambda ts: (ts[0] + ts[1]).sum(), [a, b])
+
+    def test_mul_broadcast(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(1, 3))
+        check_gradient(lambda ts: (ts[0] * ts[1]).sum(), [a, b])
+
+    def test_sub_div(self):
+        a = RNG.normal(size=(3,)) + 3.0
+        b = RNG.normal(size=(3,)) + 3.0
+        check_gradient(lambda ts: (ts[0] / ts[1] - ts[1]).sum(), [a, b])
+
+    def test_pow(self):
+        a = np.abs(RNG.normal(size=(4,))) + 0.5
+        check_gradient(lambda ts: (ts[0] ** 3.0).sum(), [a])
+
+    def test_matmul_2d(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4, 2))
+        check_gradient(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_batched(self):
+        a = RNG.normal(size=(2, 3, 4))
+        b = RNG.normal(size=(2, 4, 5))
+        check_gradient(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_rsub_rdiv(self):
+        a = np.abs(RNG.normal(size=(3,))) + 1.0
+        check_gradient(lambda ts: (1.0 - ts[0]).sum() + (1.0 / ts[0]).sum(), [a])
+
+
+class TestNonlinearityGradients:
+    def test_exp_log(self):
+        a = np.abs(RNG.normal(size=(3,))) + 0.5
+        check_gradient(lambda ts: (ts[0].exp() + ts[0].log()).sum(), [a])
+
+    def test_tanh(self):
+        a = RNG.normal(size=(5,))
+        check_gradient(lambda ts: ts[0].tanh().sum(), [a])
+
+    def test_relu(self):
+        a = RNG.normal(size=(5,)) + 0.1  # avoid kink at exactly 0
+        check_gradient(lambda ts: (ts[0].relu() * ts[0]).sum(), [a])
+
+    def test_sigmoid(self):
+        a = RNG.normal(size=(5,))
+        check_gradient(lambda ts: ts[0].sigmoid().sum(), [a])
+
+    def test_sqrt(self):
+        a = np.abs(RNG.normal(size=(4,))) + 0.5
+        check_gradient(lambda ts: ts[0].sqrt().sum(), [a])
+
+
+class TestReductionGradients:
+    def test_sum_axis(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(lambda ts: (ts[0].sum(axis=0) ** 2.0).sum(), [a])
+
+    def test_sum_keepdims(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(
+            lambda ts: (ts[0] * ts[0].sum(axis=1, keepdims=True)).sum(), [a]
+        )
+
+    def test_mean(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(lambda ts: (ts[0].mean(axis=1) ** 2.0).sum(), [a])
+
+    def test_max(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(lambda ts: ts[0].max(axis=1).sum(), [a])
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        a = RNG.normal(size=(2, 6))
+        check_gradient(lambda ts: (ts[0].reshape(3, 4) ** 2.0).sum(), [a])
+
+    def test_transpose(self):
+        a = RNG.normal(size=(2, 3, 4))
+        check_gradient(
+            lambda ts: (ts[0].transpose(2, 0, 1) ** 2.0).sum(), [a]
+        )
+
+    def test_take_rows(self):
+        a = RNG.normal(size=(5, 3))
+        idx = np.array([0, 2, 2, 4])
+        check_gradient(lambda ts: (ts[0].take_rows(idx) ** 2.0).sum(), [a])
+
+    def test_concat(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(2, 2))
+        check_gradient(
+            lambda ts: (ts[0].concat([ts[1]], axis=1) ** 2.0).sum(), [a, b]
+        )
+
+    def test_slice(self):
+        a = RNG.normal(size=(4, 5))
+        check_gradient(lambda ts: (ts[0][1:3, :2] ** 2.0).sum(), [a])
+
+
+class TestEngineSemantics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_no_grad_tracking_when_not_required(self):
+        t = Tensor(np.ones(3))
+        out = (t * 2).sum()
+        assert not out.requires_grad
+
+    def test_grad_accumulates_across_uses(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        out = (t * t + t).sum()  # d/dt = 2t + 1 = 5
+        out.backward()
+        assert t.grad[0] == pytest.approx(5.0)
+
+    def test_detach_stops_gradient(self):
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        out = (t.detach() * t).sum()  # treated as const * t
+        out.backward()
+        assert t.grad[0] == pytest.approx(3.0)
+
+    def test_zero_grad(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph(self):
+        # y = (x*2) + (x*3); dy/dx = 5 — requires topological ordering.
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = (x * 2 + x * 3).sum()
+        y.backward()
+        assert x.grad[0] == pytest.approx(5.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        out = x
+        for _ in range(2000):
+            out = out * 1.0001
+        out.sum().backward()
+        assert x.grad is not None

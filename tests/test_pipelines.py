@@ -1,0 +1,294 @@
+"""Pipeline orchestration: operators, evaluation, search, corpus, HITL."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.mltasks import make_ml_task, task_suite
+from repro.errors import PipelineError
+from repro.pipelines import (
+    ALL_STRATEGIES,
+    BayesianOptSearch,
+    GeneticSearch,
+    HAIPipe,
+    MetaLearningSearch,
+    MetaStore,
+    NextOperatorRecommender,
+    PipelineEvaluator,
+    PrepPipeline,
+    QLearningSearch,
+    RandomSearch,
+    STAGES,
+    best_human_pipeline,
+    build_registry,
+    generate_corpus,
+    operator_by_name,
+    pipeline_from_names,
+    registry_size,
+    standard_table_ops,
+    synthesize_by_target,
+    table_agreement,
+)
+from repro.table import Table
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_registry()
+
+
+@pytest.fixture(scope="module")
+def missing_task():
+    return make_ml_task("missing-heavy", missing_rate=0.25, n_samples=200, seed=1)
+
+
+class TestRegistry:
+    def test_every_stage_present(self, registry):
+        assert set(registry) == set(STAGES)
+
+    def test_space_size(self, registry):
+        assert registry_size(registry) == np.prod(
+            [len(registry[s]) for s in STAGES]
+        )
+
+    def test_operator_by_name(self, registry):
+        op = operator_by_name(registry, "scale", "standard_scale")
+        assert op.name == "standard_scale"
+        with pytest.raises(KeyError):
+            operator_by_name(registry, "scale", "nope")
+
+
+class TestPrepPipeline:
+    def test_stage_order_enforced(self, registry):
+        bad = (registry["scale"][0], registry["impute"][0])
+        with pytest.raises(PipelineError):
+            PrepPipeline(bad)
+
+    def test_pipeline_from_names(self, registry):
+        names = ("impute_mean", "none", "standard_scale", "none", "none")
+        pipeline = pipeline_from_names(registry, names)
+        assert pipeline.names == names
+
+    def test_apply_removes_nans(self, registry, missing_task):
+        pipeline = pipeline_from_names(
+            registry, ("impute_mean", "none", "none", "none", "none")
+        )
+        X_train, X_test = pipeline.apply(
+            missing_task.X[:150], missing_task.y[:150], missing_task.X[150:]
+        )
+        assert not np.isnan(X_train).any()
+        assert not np.isnan(X_test).any()
+
+    def test_describe(self, registry):
+        pipeline = pipeline_from_names(
+            registry, ("impute_mean", "none", "none", "none", "none")
+        )
+        assert "impute:impute_mean" in pipeline.describe()
+
+
+class TestEvaluator:
+    def test_pipeline_without_imputer_scores_zero_on_missing(self, registry, missing_task):
+        evaluator = PipelineEvaluator(seed=0)
+        # "none" is not an impute option; use a pipeline whose scaler would
+        # propagate NaN: bypass by building operators manually.
+        from repro.pipelines.operators import Operator
+
+        passthrough = Operator("noop", "impute", lambda a, b, c: (a, c))
+        pipeline = PrepPipeline((
+            passthrough, registry["outlier"][2], registry["scale"][3],
+            registry["engineer"][2], registry["select"][3],
+        ))
+        assert evaluator.score(pipeline, missing_task) == 0.0
+
+    def test_good_pipeline_beats_zero_impute(self, registry, missing_task):
+        evaluator = PipelineEvaluator(seed=0)
+        good = pipeline_from_names(
+            registry, ("impute_mean", "none", "standard_scale", "none", "none")
+        )
+        bad = pipeline_from_names(
+            registry, ("impute_zero", "none", "none", "none", "none")
+        )
+        assert evaluator.score(good, missing_task) > evaluator.score(bad, missing_task)
+
+    def test_memoization_counts_distinct_only(self, registry, missing_task):
+        evaluator = PipelineEvaluator(seed=0)
+        pipeline = pipeline_from_names(
+            registry, ("impute_mean", "none", "none", "none", "none")
+        )
+        evaluator.score(pipeline, missing_task)
+        evaluator.score(pipeline, missing_task)
+        assert evaluator.evaluations == 1
+
+    def test_interaction_task_rewards_polynomial(self, registry):
+        task = make_ml_task("interaction", interaction=True, missing_rate=0.0,
+                            outlier_rate=0.0, n_samples=240, seed=2)
+        evaluator = PipelineEvaluator(seed=0)
+        with_poly = pipeline_from_names(
+            registry, ("impute_mean", "none", "standard_scale", "polynomial", "none")
+        )
+        without = pipeline_from_names(
+            registry, ("impute_mean", "none", "standard_scale", "none", "none")
+        )
+        assert (evaluator.score(with_poly, task)
+                > evaluator.score(without, task) + 0.05)
+
+
+class TestSearchStrategies:
+    @pytest.mark.parametrize("name", sorted(ALL_STRATEGIES))
+    def test_respects_budget_and_improves(self, name, registry, missing_task):
+        strategy = ALL_STRATEGIES[name](registry, seed=0)
+        evaluator = PipelineEvaluator(seed=0)
+        result = strategy.search(missing_task, evaluator, budget=12)
+        assert result.evaluated <= 12
+        assert result.best_score > 0.5
+        # Trajectory is monotone best-so-far.
+        assert all(b >= a for a, b in zip(result.trajectory, result.trajectory[1:]))
+
+    def test_all_beat_single_random_guess(self, registry, missing_task):
+        evaluator = PipelineEvaluator(seed=0)
+        single = RandomSearch(registry, seed=9).search(missing_task, evaluator, budget=1)
+        for name, cls in ALL_STRATEGIES.items():
+            result = cls(registry, seed=0).search(
+                missing_task, PipelineEvaluator(seed=0), budget=15
+            )
+            assert result.best_score >= single.best_score - 1e-9, name
+
+    def test_meta_learning_warm_start(self, registry):
+        store = MetaStore()
+        # Experience: on a similar missing-heavy task, impute_mean + scaling won.
+        prior_task = make_ml_task("prior", missing_rate=0.25, n_samples=200, seed=5)
+        winning = pipeline_from_names(
+            registry, ("impute_mean", "none", "standard_scale", "none", "none")
+        )
+        store.add(prior_task, winning, 0.8)
+        new_task = make_ml_task("new", missing_rate=0.25, n_samples=200, seed=6)
+        search = MetaLearningSearch(registry, store, seed=0, warm_starts=1)
+        result = search.search(new_task, PipelineEvaluator(seed=0), budget=3)
+        # The first evaluation is the transferred pipeline.
+        assert result.trajectory[0] > 0.5
+
+    def test_meta_store_nearest_orders_by_similarity(self, registry):
+        store = MetaStore()
+        near = make_ml_task("near", missing_rate=0.25, n_samples=200, seed=1)
+        far = make_ml_task("far", missing_rate=0.0, n_samples=200, seed=2,
+                           n_noise=20, scale_spread=0.0)
+        pipeline = pipeline_from_names(
+            registry, ("impute_mean", "none", "none", "none", "none")
+        )
+        store.add(near, pipeline, 0.7)
+        store.add(far, pipeline, 0.7)
+        query = make_ml_task("query", missing_rate=0.25, n_samples=200, seed=3)
+        records = store.nearest(query, k=2)
+        assert records[0].meta_features[2] > 0.1  # missing fraction of 'near'
+
+    def test_genetic_crossover_valid(self, registry):
+        search = GeneticSearch(registry, seed=0)
+        rng = np.random.default_rng(0)
+        a = search._random_pipeline(rng)
+        b = search._random_pipeline(rng)
+        child = search._crossover(a, b, rng)
+        assert tuple(op.stage for op in child.operators) == STAGES
+
+    def test_qlearning_exploration_param(self, registry, missing_task):
+        search = QLearningSearch(registry, seed=0, epsilon=1.0)
+        result = search.search(missing_task, PipelineEvaluator(seed=0), budget=5)
+        assert result.evaluated == 5
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def corpus_and_tasks(self, registry):
+        tasks = task_suite(seed=0, n_samples=160)
+        corpus = generate_corpus(registry, tasks, pipelines_per_task=25, seed=0)
+        return corpus, tasks
+
+    def test_corpus_size(self, corpus_and_tasks):
+        corpus, tasks = corpus_and_tasks
+        assert len(corpus.pipelines) == 25 * len(tasks)
+
+    def test_blind_spots_rare(self, corpus_and_tasks):
+        corpus, _tasks = corpus_and_tasks
+        assert corpus.blind_spot_rate() < 0.2
+
+    def test_heavy_tail_usage(self, corpus_and_tasks):
+        corpus, _tasks = corpus_and_tasks
+        assert corpus.usage_skew() > 0.5
+
+    def test_domain_awareness_missing_tasks_use_imputers(self, corpus_and_tasks):
+        corpus, _tasks = corpus_and_tasks
+        heavy = corpus.for_task("missing-heavy")
+        imputing = sum(1 for hp in heavy if hp.operator_names[0] != "none")
+        assert imputing / len(heavy) > 0.8
+
+    def test_best_human_pipeline(self, corpus_and_tasks, registry):
+        corpus, tasks = corpus_and_tasks
+        evaluator = PipelineEvaluator(seed=0)
+        pipeline, score = best_human_pipeline(corpus, tasks[1], evaluator, sample=5)
+        assert score > 0.0
+        assert pipeline.names in {hp.operator_names for hp in corpus.for_task(tasks[1].name)}
+
+    def test_best_human_pipeline_unknown_task(self, corpus_and_tasks, registry):
+        corpus, _tasks = corpus_and_tasks
+        ghost = make_ml_task("ghost", seed=9)
+        with pytest.raises(ValueError):
+            best_human_pipeline(corpus, ghost, PipelineEvaluator(seed=0))
+
+
+class TestHITL:
+    @pytest.fixture(scope="class")
+    def setup(self, registry):
+        tasks = task_suite(seed=0, n_samples=160)
+        corpus = generate_corpus(registry, tasks, pipelines_per_task=25, seed=0)
+        return registry, corpus, tasks
+
+    def test_recommender_beats_nothing(self, setup):
+        registry, corpus, _tasks = setup
+        recommender = NextOperatorRecommender().fit(corpus)
+        recs = recommender.recommend(1, "impute_mean", k=3)
+        assert 1 <= len(recs) <= 3
+
+    def test_recommender_prior_fallback(self, setup):
+        _registry, corpus, _tasks = setup
+        recommender = NextOperatorRecommender().fit(corpus)
+        assert recommender.recommend(0, None, k=2)
+
+    def test_haipipe_combined_at_least_max(self, setup):
+        registry, corpus, tasks = setup
+        evaluator = PipelineEvaluator(seed=0)
+        result = HAIPipe(registry, corpus, seed=0).run(tasks[3], evaluator, budget=16)
+        assert result.combined_score >= result.human_score - 1e-9
+        assert result.combined_score >= result.machine_score - 1e-9
+
+
+class TestSynthesis:
+    def test_recovers_hidden_program(self):
+        source = Table.from_dict({
+            "name": ["  Alice ", "BOB", "carol"],
+            "age": [30, 40, 50],
+            "junk": ["x", "y", "z"],
+        })
+        target = Table.from_dict({
+            "name": ["alice", "bob", "carol"],
+            "age": [30, 40, 50],
+        })
+        result = synthesize_by_target(source, target)
+        assert result.agreement >= 0.999
+        assert any("lowercase" in s for s in result.steps)
+        assert any("drop(junk)" in s for s in result.steps)
+
+    def test_identity_needs_no_steps(self):
+        t = Table.from_dict({"a": [1, 2]})
+        result = synthesize_by_target(t, t)
+        assert result.steps == []
+        assert result.agreement >= 0.999
+
+    def test_agreement_zero_for_disjoint_schemas(self):
+        a = Table.from_dict({"x": [1]})
+        b = Table.from_dict({"y": [1]})
+        assert table_agreement(a, b) == 0.0
+
+    def test_standard_ops_generated_per_column(self):
+        t = Table.from_dict({"s": ["a"], "n": [1]})
+        names = [op.name for op in standard_table_ops(t)]
+        assert "lowercase(s)" in names
+        assert "drop(n)" in names
+        assert "lowercase(n)" not in names

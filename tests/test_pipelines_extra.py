@@ -1,0 +1,155 @@
+"""Additional pipeline coverage: individual operators, evaluator/cache
+semantics, search internals, automl encoding."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.mltasks import make_ml_task
+from repro.pipelines import (
+    JointAutoMLSearch,
+    PipelineEvaluator,
+    PrepPipeline,
+    STAGES,
+    build_registry,
+    operator_by_name,
+    pipeline_from_names,
+)
+from repro.pipelines.operators import registry_size
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_registry()
+
+
+@pytest.fixture
+def dirty_matrix():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(50, 4)) * np.array([1, 10, 100, 1000])
+    X[rng.random(X.shape) < 0.1] = np.nan
+    y = (np.nan_to_num(X[:, 0]) > 0).astype(int)
+    return X, y
+
+
+class TestIndividualOperators:
+    def test_impute_mean_fills_with_train_means(self, registry, dirty_matrix):
+        X, y = dirty_matrix
+        op = operator_by_name(registry, "impute", "impute_mean")
+        out_train, out_test = op.apply(X[:40], y[:40], X[40:])
+        assert not np.isnan(out_train).any()
+        assert not np.isnan(out_test).any()
+        column = X[:40, 1]
+        expected = np.nanmean(column)
+        filled_positions = np.isnan(column)
+        if filled_positions.any():
+            assert np.allclose(out_train[filled_positions, 1], expected)
+
+    def test_impute_median_differs_from_mean_under_skew(self, registry):
+        X = np.array([[1.0], [1.0], [1.0], [100.0], [np.nan]])
+        y = np.zeros(5)
+        mean_op = operator_by_name(build_registry(), "impute", "impute_mean")
+        median_op = operator_by_name(build_registry(), "impute", "impute_median")
+        mean_out, _ = mean_op.apply(X, y, X)
+        median_out, _ = median_op.apply(X, y, X)
+        assert mean_out[4, 0] != median_out[4, 0]
+        assert median_out[4, 0] == 1.0
+
+    def test_clip_operator_bounds_outliers(self, registry):
+        X = np.vstack([np.ones((20, 1)), [[1000.0]]])
+        y = np.zeros(21)
+        op = operator_by_name(registry, "outlier", "clip_iqr1.5")
+        out, _ = op.apply(X, y, X)
+        assert out.max() < 1000.0
+
+    def test_none_operators_are_identity(self, registry, dirty_matrix):
+        X, y = dirty_matrix
+        filled = np.nan_to_num(X)
+        for stage in ("outlier", "scale", "engineer", "select"):
+            op = operator_by_name(registry, stage, "none")
+            out_train, out_test = op.apply(filled[:40], y[:40], filled[40:])
+            assert np.array_equal(out_train, filled[:40])
+
+    def test_select_k_caps_at_available_features(self, registry, dirty_matrix):
+        X, y = dirty_matrix
+        filled = np.nan_to_num(X)
+        op = operator_by_name(registry, "select", "select_k8")
+        out, _ = op.apply(filled[:40], y[:40], filled[40:])
+        assert out.shape[1] == 4  # fewer than k=8 features exist
+
+    def test_pca_operator_output_width(self, registry, dirty_matrix):
+        X, y = dirty_matrix
+        filled = np.nan_to_num(X)
+        op = operator_by_name(registry, "engineer", "pca_4")
+        out, _ = op.apply(filled[:40], y[:40], filled[40:])
+        assert out.shape[1] == 4
+
+    def test_registry_size_counts_product(self, registry):
+        expected = 1
+        for stage in STAGES:
+            expected *= len(registry[stage])
+        assert registry_size(registry) == expected
+
+
+class TestEvaluatorSemantics:
+    def test_cache_is_per_task(self, registry):
+        evaluator = PipelineEvaluator(seed=0)
+        pipeline = pipeline_from_names(
+            registry, ("impute_mean", "none", "none", "none", "none")
+        )
+        t1 = make_ml_task("t1", missing_rate=0.1, n_samples=100, seed=1)
+        t2 = make_ml_task("t2", missing_rate=0.1, n_samples=100, seed=2)
+        evaluator.score(pipeline, t1)
+        evaluator.score(pipeline, t2)
+        assert evaluator.evaluations == 2
+
+    def test_custom_model_factory(self, registry):
+        from repro.ml import GaussianNB
+
+        evaluator = PipelineEvaluator(make_model=lambda: GaussianNB(), seed=0)
+        pipeline = pipeline_from_names(
+            registry, ("impute_mean", "none", "standard_scale", "none", "none")
+        )
+        task = make_ml_task("t", missing_rate=0.1, n_samples=120, seed=3)
+        assert 0.0 <= evaluator.score(pipeline, task) <= 1.0
+
+    def test_score_deterministic(self, registry):
+        pipeline = pipeline_from_names(
+            registry, ("impute_mean", "none", "standard_scale", "none", "none")
+        )
+        task = make_ml_task("t", missing_rate=0.1, n_samples=120, seed=3)
+        a = PipelineEvaluator(seed=0).score(pipeline, task)
+        b = PipelineEvaluator(seed=0).score(pipeline, task)
+        assert a == b
+
+
+class TestAutoMLEncoding:
+    def test_encoding_width_matches_arms(self, registry):
+        search = JointAutoMLSearch(registry, seed=0)
+        config = search._random_configuration(np.random.default_rng(0))
+        encoded = search._encode(config)
+        op_width = sum(len(registry[s]) for s in STAGES)
+        assert encoded.shape == (op_width + len(search._arms),)
+        assert encoded.sum() == len(STAGES) + 1  # one-hot per stage + arm
+
+    def test_encoding_width_with_tuning(self, registry):
+        search = JointAutoMLSearch(registry, seed=0, tune_hyperparameters=True)
+        config = search._random_configuration(np.random.default_rng(0))
+        assert search._encode(config).sum() == len(STAGES) + 1
+
+    def test_factory_falls_back_to_default(self, registry):
+        factory = JointAutoMLSearch._factory("logreg", "not-a-grid-entry")
+        model = factory()
+        from repro.ml import LogisticRegression
+
+        assert isinstance(model, LogisticRegression)
+
+
+class TestPipelineDescribe:
+    def test_description_round_trips_names(self, registry):
+        names = ("impute_median", "clip_iqr3", "minmax_scale", "pca_4",
+                 "variance_threshold")
+        pipeline = pipeline_from_names(registry, names)
+        description = pipeline.describe()
+        for name in names:
+            assert name in description
+        assert pipeline.names == names

@@ -1,0 +1,160 @@
+"""Mini-BERT: encoding, MLM pretraining, fine-tuning, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import Vocab
+from repro.errors import NotFittedError
+from repro.plm import (
+    MiniBert,
+    MLMPretrainer,
+    PairClassifier,
+    SequenceClassifier,
+    load_encoder,
+    save_encoder,
+)
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return [
+        "apex pro laptop with fast storage",
+        "lumina max phone with long battery",
+        "nordfell mini camera for travel",
+        "vertex ultra monitor for gaming",
+    ] * 4
+
+
+@pytest.fixture(scope="module")
+def small_vocab(small_corpus):
+    return Vocab(small_corpus)
+
+
+@pytest.fixture(scope="module")
+def encoder(small_vocab):
+    return MiniBert(small_vocab, dim=16, num_layers=1, num_heads=2,
+                    ff_dim=32, max_len=16, seed=0)
+
+
+class TestEncoding:
+    def test_encode_text_has_cls_and_sep(self, encoder, small_vocab):
+        ids, mask = encoder.encode_text("apex pro laptop")
+        assert ids[0] == small_vocab.cls_id
+        assert ids[mask.sum() - 1] == small_vocab.sep_id
+        assert len(ids) == encoder.max_len
+
+    def test_encode_text_truncates(self, encoder):
+        long_text = " ".join(["word"] * 50)
+        ids, mask = encoder.encode_text(long_text)
+        assert mask.sum() == encoder.max_len
+
+    def test_encode_pair_keeps_both_sides(self, encoder, small_vocab):
+        ids, mask = encoder.encode_pair("apex pro", "lumina max")
+        seps = (ids == small_vocab.sep_id).sum()
+        assert seps == 2
+
+    def test_encode_pair_truncates_longer_side_first(self, encoder):
+        left = " ".join(["left"] * 30)
+        right = "right"
+        ids, _mask = encoder.encode_pair(left, right)
+        decoded = [encoder.vocab.token_of(i) for i in ids]
+        assert "right" in decoded or encoder.vocab.unk_id in ids
+
+    def test_forward_shape(self, encoder):
+        ids, mask = encoder.batch_encode(["apex pro", "lumina max"])
+        hidden = encoder(ids, mask=mask)
+        assert hidden.shape == (2, encoder.max_len, 16)
+
+    def test_forward_rejects_long_input(self, encoder):
+        with pytest.raises(ValueError):
+            encoder(np.zeros((1, encoder.max_len + 1), dtype=int))
+
+    def test_forward_rejects_1d(self, encoder):
+        with pytest.raises(ValueError):
+            encoder(np.zeros(4, dtype=int))
+
+    def test_cls_embedding_shape(self, encoder):
+        ids, mask = encoder.batch_encode(["apex"])
+        assert encoder.cls_embedding(ids, mask=mask).shape == (1, 16)
+
+
+class TestPretraining:
+    def test_corruption_marks_labels_only_at_selected(self, encoder):
+        trainer = MLMPretrainer(encoder, seed=0)
+        ids, mask = encoder.batch_encode(["apex pro laptop with fast storage"])
+        corrupted, labels = trainer.corruption(ids, mask)
+        changed = labels >= 0
+        # Labels hold the original token at selected positions.
+        assert (labels[changed] == ids[changed]).all()
+        # Specials are never selected.
+        assert labels[0, 0] == -1
+
+    def test_loss_none_when_nothing_masked(self, encoder):
+        trainer = MLMPretrainer(encoder, mask_prob=0.0, seed=0)
+        ids, mask = encoder.batch_encode(["apex"])
+        corrupted, labels = trainer.corruption(ids, mask)
+        assert trainer.loss_on(corrupted, mask, labels) is None
+
+    def test_training_reduces_loss(self, small_vocab, small_corpus):
+        model = MiniBert(small_vocab, dim=16, num_layers=1, num_heads=2,
+                         ff_dim=32, max_len=16, seed=0)
+        trainer = MLMPretrainer(model, seed=0, lr=5e-3)
+        report = trainer.train(small_corpus, steps=80, batch_size=8)
+        first10 = np.mean(report.losses[:10])
+        last10 = np.mean(report.losses[-10:])
+        assert last10 < first10
+
+
+class TestFinetuning:
+    def test_sequence_classifier_learns_separable_task(self, small_vocab):
+        model = MiniBert(small_vocab, dim=16, num_layers=1, num_heads=2,
+                         ff_dim=32, max_len=16, seed=0)
+        texts = ["apex pro laptop"] * 10 + ["lumina max phone"] * 10
+        labels = np.array([0] * 10 + [1] * 10)
+        clf = SequenceClassifier(model, num_classes=2, lr=5e-3, seed=0)
+        clf.fit(texts, labels, epochs=10, batch_size=8)
+        assert (clf.predict(texts) == labels).mean() > 0.9
+
+    def test_pair_classifier_learns_identity_matching(self, small_vocab):
+        model = MiniBert(small_vocab, dim=16, num_layers=1, num_heads=2,
+                         ff_dim=32, max_len=16, seed=0)
+        pairs = [("apex pro laptop", "apex pro laptop")] * 10 + \
+                [("apex pro laptop", "nordfell mini camera")] * 10
+        labels = np.array([1] * 10 + [0] * 10)
+        clf = PairClassifier(model, num_classes=2, lr=5e-3, seed=0)
+        clf.fit(pairs, labels, epochs=10, batch_size=8)
+        assert (clf.predict(pairs) == labels).mean() > 0.9
+
+    def test_predict_before_fit_raises(self, encoder):
+        clf = SequenceClassifier(encoder, num_classes=2)
+        with pytest.raises(NotFittedError):
+            clf.predict(["x"])
+
+    def test_frozen_encoder_leaves_weights(self, small_vocab):
+        model = MiniBert(small_vocab, dim=16, num_layers=1, num_heads=2,
+                         ff_dim=32, max_len=16, seed=0)
+        before = model.tok_embed.weight.data.copy()
+        clf = SequenceClassifier(model, num_classes=2, freeze_encoder=True, seed=0)
+        clf.fit(["apex", "lumina"], np.array([0, 1]), epochs=2)
+        assert np.array_equal(model.tok_embed.weight.data, before)
+
+
+class TestSerialization:
+    def test_round_trip(self, small_vocab, small_corpus, tmp_path):
+        model = MiniBert(small_vocab, dim=16, num_layers=1, num_heads=2,
+                         ff_dim=32, max_len=16, seed=0)
+        MLMPretrainer(model, seed=0).train(small_corpus, steps=5, batch_size=4)
+        save_encoder(model, tmp_path / "enc")
+        restored = load_encoder(tmp_path / "enc")
+        ids, mask = model.batch_encode(["apex pro laptop"])
+        original = model(ids, mask=mask).numpy()
+        loaded = restored(ids, mask=mask).numpy()
+        assert np.allclose(original, loaded)
+
+    def test_restored_vocab_matches(self, small_vocab, tmp_path):
+        model = MiniBert(small_vocab, dim=16, num_layers=1, num_heads=2,
+                         ff_dim=32, max_len=16, seed=0)
+        save_encoder(model, tmp_path / "enc")
+        restored = load_encoder(tmp_path / "enc")
+        assert restored.vocab.tokens() == small_vocab.tokens()
+        assert restored.vocab.id_of("apex") == small_vocab.id_of("apex")

@@ -1,0 +1,84 @@
+"""Additional PLM coverage: MLM corruption statistics, pair truncation
+symmetry, encoder state isolation."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import Vocab
+from repro.plm import MiniBert, MLMPretrainer
+
+
+@pytest.fixture(scope="module")
+def tiny_encoder():
+    vocab = Vocab(["alpha beta gamma delta epsilon zeta eta theta"] * 4)
+    return MiniBert(vocab, dim=16, num_layers=1, num_heads=2,
+                    ff_dim=32, max_len=12, seed=0)
+
+
+class TestCorruptionStatistics:
+    def test_mask_rate_close_to_nominal(self, tiny_encoder):
+        trainer = MLMPretrainer(tiny_encoder, mask_prob=0.15, seed=0)
+        ids, mask = tiny_encoder.batch_encode(
+            ["alpha beta gamma delta epsilon zeta eta theta"] * 200
+        )
+        _corrupted, labels = trainer.corruption(ids, mask)
+        eligible = ((mask == 1)
+                    & (ids != tiny_encoder.vocab.cls_id)
+                    & (ids != tiny_encoder.vocab.sep_id)).sum()
+        selected = (labels >= 0).sum()
+        assert abs(selected / eligible - 0.15) < 0.03
+
+    def test_eighty_ten_ten_split(self, tiny_encoder):
+        trainer = MLMPretrainer(tiny_encoder, mask_prob=0.5, seed=1)
+        ids, mask = tiny_encoder.batch_encode(
+            ["alpha beta gamma delta epsilon zeta eta theta"] * 400
+        )
+        corrupted, labels = trainer.corruption(ids, mask)
+        selected = labels >= 0
+        masked = (corrupted == tiny_encoder.vocab.mask_id) & selected
+        kept = (corrupted == ids) & selected
+        mask_fraction = masked.sum() / selected.sum()
+        keep_fraction = kept.sum() / selected.sum()
+        assert abs(mask_fraction - 0.8) < 0.05
+        assert abs(keep_fraction - 0.1) < 0.05
+
+    def test_pad_positions_never_selected(self, tiny_encoder):
+        trainer = MLMPretrainer(tiny_encoder, mask_prob=1.0, seed=2)
+        ids, mask = tiny_encoder.batch_encode(["alpha"])
+        _corrupted, labels = trainer.corruption(ids, mask)
+        assert (labels[mask == 0] == -1).all()
+
+
+class TestPairEncoding:
+    def test_equal_sides_truncate_evenly(self, tiny_encoder):
+        long = " ".join(["alpha"] * 20)
+        ids, _mask = tiny_encoder.encode_pair(long, long)
+        sep_positions = np.flatnonzero(ids == tiny_encoder.vocab.sep_id)
+        left_len = sep_positions[0] - 1
+        right_len = sep_positions[1] - sep_positions[0] - 1
+        assert abs(left_len - right_len) <= 1
+
+    def test_short_right_side_preserved(self, tiny_encoder):
+        long = " ".join(["alpha"] * 20)
+        ids, _mask = tiny_encoder.encode_pair(long, "beta")
+        beta_id = tiny_encoder.vocab.id_of("beta")
+        assert beta_id in ids
+
+
+class TestEncoderIsolation:
+    def test_state_dict_copy_not_view(self, tiny_encoder):
+        state = tiny_encoder.state_dict()
+        key = next(iter(state))
+        state[key][:] = 999.0
+        assert not np.allclose(
+            dict(tiny_encoder.named_parameters())[key].data, 999.0
+        )
+
+    def test_two_encoders_do_not_share_weights(self, tiny_encoder):
+        other = MiniBert(tiny_encoder.vocab, dim=16, num_layers=1,
+                         num_heads=2, ff_dim=32, max_len=12, seed=0)
+        other.load_state_dict(tiny_encoder.state_dict())
+        other.tok_embed.weight.data += 1.0
+        assert not np.allclose(
+            tiny_encoder.tok_embed.weight.data, other.tok_embed.weight.data
+        )

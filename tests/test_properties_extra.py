@@ -1,0 +1,134 @@
+"""Property-based tests for the newer subsystems: transformation programs,
+label models, pipeline application invariants, chart scoring bounds."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConvergenceError
+from repro.explore import ChartSpec, score_chart
+from repro.labeling import (
+    ABSTAIN,
+    MajorityLabelModel,
+    WeightedLabelModel,
+)
+from repro.cleaning.transform import synthesize_program
+from repro.pipelines import PipelineEvaluator, build_registry, pipeline_from_names
+from repro.datasets.mltasks import make_ml_task
+from repro.table import Table
+
+name_strategy = st.lists(
+    st.text(alphabet="abcdefghij", min_size=2, max_size=6),
+    min_size=2, max_size=4,
+).map(" ".join)
+
+
+class TestTransformProperties:
+    @given(name_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_program_reproduces_its_example(self, name):
+        """Any program synthesized from (x, f(x)) must map x to f(x)."""
+        target = " ".join(w.capitalize() for w in name.split())
+        try:
+            program = synthesize_program([(name, target)])
+        except ConvergenceError:
+            return  # acceptable: not all shapes are in the program space
+        assert program.apply(name) == target
+
+    @given(name_strategy, name_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_two_example_program_consistent_with_both(self, a, b):
+        fa = a.split()[-1]
+        fb = b.split()[-1]
+        try:
+            program = synthesize_program([(a, fa), (b, fb)])
+        except ConvergenceError:
+            return
+        assert program.apply(a) == fa
+        assert program.apply(b) == fb
+
+
+votes_strategy = st.lists(
+    st.lists(st.sampled_from([ABSTAIN, 0, 1]), min_size=3, max_size=3),
+    min_size=1, max_size=30,
+).map(np.array)
+
+
+class TestLabelModelProperties:
+    @given(votes_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_majority_output_in_label_space(self, votes):
+        out = MajorityLabelModel().predict(votes)
+        assert set(np.unique(out)).issubset({ABSTAIN, 0, 1})
+
+    @given(votes_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_model_fit_predict_shapes(self, votes):
+        model = WeightedLabelModel(iterations=3).fit(votes)
+        out = model.predict(votes)
+        assert out.shape == (len(votes),)
+        assert (model.accuracies_ >= 0.05).all()
+        assert (model.accuracies_ <= 0.95).all()
+
+    @given(st.integers(min_value=0, max_value=1),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_unanimous_votes_win(self, label, n):
+        votes = np.full((n, 3), label)
+        assert (MajorityLabelModel().predict(votes) == label).all()
+
+
+class TestPipelineApplicationProperties:
+    registry = build_registry()
+    evaluator = PipelineEvaluator(seed=0)
+    task = make_ml_task("prop", missing_rate=0.15, n_samples=120, seed=0)
+
+    @given(st.tuples(
+        st.sampled_from([o.name for o in registry["impute"]]),
+        st.sampled_from([o.name for o in registry["outlier"]]),
+        st.sampled_from([o.name for o in registry["scale"]]),
+        st.sampled_from([o.name for o in registry["engineer"]]),
+        st.sampled_from([o.name for o in registry["select"]]),
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_any_pipeline_scores_in_unit_interval(self, names):
+        pipeline = pipeline_from_names(self.registry, names)
+        score = self.evaluator.score(pipeline, self.task)
+        assert 0.0 <= score <= 1.0
+
+    @given(st.tuples(
+        st.sampled_from(["impute_mean", "impute_median", "impute_zero"]),
+        st.sampled_from([o.name for o in registry["outlier"]]),
+        st.sampled_from([o.name for o in registry["scale"]]),
+    ))
+    @settings(max_examples=20, deadline=None)
+    def test_row_counts_preserved(self, names):
+        pipeline = pipeline_from_names(
+            self.registry, names + ("none", "none")
+        )
+        X_train, X_test = pipeline.apply(
+            self.task.X[:80], self.task.y[:80], self.task.X[80:]
+        )
+        assert len(X_train) == 80
+        assert len(X_test) == len(self.task.X) - 80
+
+
+class TestChartScoreBounds:
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False),
+                    min_size=10, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_histogram_score_bounded(self, values):
+        table = Table.from_dict({"v": values})
+        score = score_chart(table, ChartSpec("histogram", x="v"))
+        assert 0.0 <= score <= 1.0
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]),
+                    min_size=6, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_count_bar_score_bounded(self, values):
+        table = Table.from_dict({"c": values})
+        score = score_chart(
+            table, ChartSpec("bar", x="c", y="c", aggregate="count")
+        )
+        assert 0.0 <= score <= 1.0

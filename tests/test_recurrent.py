@@ -1,0 +1,109 @@
+"""GRU layers and the RNN next-operator recommender."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.mltasks import task_suite
+from repro.errors import NotFittedError
+from repro.nn import Adam, GRU, GRUCell, Linear, Tensor, cross_entropy
+from repro.pipelines import (
+    RNNOperatorRecommender,
+    STAGES,
+    build_registry,
+    generate_corpus,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestGRUCell:
+    def test_output_shape(self):
+        cell = GRUCell(4, 8, RNG)
+        hidden = cell(Tensor(RNG.normal(size=(3, 4))),
+                      Tensor(np.zeros((3, 8))))
+        assert hidden.shape == (3, 8)
+
+    def test_hidden_bounded_by_tanh(self):
+        cell = GRUCell(4, 8, RNG)
+        hidden = Tensor(np.zeros((2, 8)))
+        for _ in range(5):
+            hidden = cell(Tensor(RNG.normal(size=(2, 4)) * 10), hidden)
+        assert np.abs(hidden.numpy()).max() <= 1.0 + 1e-9
+
+    def test_gradients_flow(self):
+        cell = GRUCell(3, 5, np.random.default_rng(1))
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        hidden = cell(x, Tensor(np.zeros((2, 5))))
+        (hidden * hidden).sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+
+class TestGRU:
+    def test_final_state_shape(self):
+        gru = GRU(4, 6, np.random.default_rng(2))
+        out = gru(Tensor(RNG.normal(size=(3, 7, 4))))
+        assert out.shape == (3, 6)
+
+    def test_return_sequence_shape(self):
+        gru = GRU(4, 6, np.random.default_rng(2))
+        out = gru(Tensor(RNG.normal(size=(3, 7, 4))), return_sequence=True)
+        assert out.shape == (3, 7, 6)
+
+    def test_learns_last_token_task(self):
+        """Classify sequences by their final element — memorizable by a GRU."""
+        rng = np.random.default_rng(3)
+        gru = GRU(2, 12, rng)
+        head = Linear(12, 2, rng)
+        optimizer = Adam(gru.parameters() + head.parameters(), lr=0.02)
+        n, seq = 60, 5
+        X = rng.normal(size=(n, seq, 2))
+        y = (X[:, -1, 0] > 0).astype(int)
+        for _ in range(60):
+            logits = head(gru(Tensor(X)))
+            loss = cross_entropy(logits, y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        predictions = head(gru(Tensor(X))).numpy().argmax(axis=1)
+        assert (predictions == y).mean() > 0.9
+
+
+class TestRNNRecommender:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        registry = build_registry()
+        tasks = task_suite(seed=0, n_samples=100)
+        return generate_corpus(registry, tasks, pipelines_per_task=25, seed=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RNNOperatorRecommender().recommend([("impute", "impute_mean")])
+
+    def test_recommends_valid_stage_operators(self, corpus):
+        model = RNNOperatorRecommender(seed=0).fit(corpus, epochs=4)
+        registry = build_registry()
+        recs = model.recommend([("impute", "impute_mean")], k=3)
+        valid = {op.name for op in registry["outlier"]}
+        assert recs and set(recs) <= valid
+
+    def test_competitive_with_markov_on_held_out(self, corpus):
+        from repro.pipelines import NextOperatorRecommender
+
+        pipelines = corpus.pipelines
+        cut = int(len(pipelines) * 0.7)
+        train = type(corpus)(pipelines=pipelines[:cut])
+        held = pipelines[cut:]
+        rnn = RNNOperatorRecommender(seed=0).fit(train, epochs=8)
+        markov = NextOperatorRecommender().fit(train)
+        hits_rnn = hits_markov = total = 0
+        for hp in held:
+            names = hp.operator_names
+            prefix = []
+            for i, stage in enumerate(STAGES):
+                if i > 0:
+                    total += 1
+                    hits_rnn += names[i] in rnn.recommend(prefix, k=2)
+                    hits_markov += names[i] in markov.recommend(i, names[i - 1], k=2)
+                prefix.append((stage, names[i]))
+        assert hits_rnn / total >= hits_markov / total - 0.05
+        assert hits_rnn / total > 0.6

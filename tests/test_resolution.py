@@ -1,0 +1,134 @@
+"""Entity resolution: clustering, conflict splitting, golden records."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.em import Record
+from repro.matching import (
+    RuleBasedMatcher,
+    cluster_f1,
+    consolidate,
+    resolve_entities,
+)
+
+
+def _records(n: int, prefix: str = "r") -> list[Record]:
+    return [
+        Record(f"{prefix}{i}", {"name": f"entity {i}", "price": float(i)})
+        for i in range(n)
+    ]
+
+
+class TestConsolidate:
+    def test_majority_vote_per_attribute(self):
+        members = [
+            Record("a", {"city": "austin", "phone": "111"}),
+            Record("b", {"city": "austin", "phone": "222"}),
+            Record("c", {"city": "boston", "phone": "222"}),
+        ]
+        golden = consolidate(members)
+        assert golden.attributes["city"] == "austin"
+        assert golden.attributes["phone"] == "222"
+
+    def test_nulls_do_not_vote(self):
+        members = [
+            Record("a", {"city": None}),
+            Record("b", {"city": "austin"}),
+        ]
+        assert consolidate(members).attributes["city"] == "austin"
+
+    def test_tie_prefers_longer_value(self):
+        members = [
+            Record("a", {"name": "apex"}),
+            Record("b", {"name": "apex technologies"}),
+        ]
+        assert consolidate(members).attributes["name"] == "apex technologies"
+
+    def test_rid_records_lineage(self):
+        members = [Record("b", {"x": "1"}), Record("a", {"x": "1"})]
+        assert consolidate(members).rid == "a+b"
+
+    def test_union_of_attributes(self):
+        members = [Record("a", {"x": "1"}), Record("b", {"y": "2"})]
+        golden = consolidate(members)
+        assert set(golden.attributes) == {"x", "y"}
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            consolidate([])
+
+
+class TestResolve:
+    def test_transitive_closure(self):
+        r = _records(3)
+        pairs = [(r[0], r[1]), (r[1], r[2])]
+        result = resolve_entities(pairs, [1, 1])
+        assert len(result.clusters) == 1
+        assert result.clusters[0].rids == frozenset({"r0", "r1", "r2"})
+
+    def test_non_matches_stay_singletons(self):
+        r = _records(3)
+        pairs = [(r[0], r[1]), (r[1], r[2])]
+        result = resolve_entities(pairs, [0, 0])
+        assert len(result.clusters) == 3
+
+    def test_cluster_of_lookup(self):
+        r = _records(2)
+        result = resolve_entities([(r[0], r[1])], [1])
+        assert result.cluster_of("r0") == result.cluster_of("r1")
+        assert result.cluster_of("missing") is None
+
+    def test_bridge_split_with_cohesion(self):
+        """Two cliques joined by one false edge split under min_cohesion."""
+        left = _records(3, prefix="l")
+        right = _records(3, prefix="x")
+        pairs, predictions = [], []
+        for group in (left, right):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    pairs.append((group[i], group[j]))
+                    predictions.append(1)
+        pairs.append((left[0], right[0]))  # the erroneous bridge
+        predictions.append(1)
+        merged = resolve_entities(pairs, predictions, min_cohesion=0.0)
+        assert len([c for c in merged.clusters if len(c.members) > 1]) == 1
+        split = resolve_entities(pairs, predictions, min_cohesion=0.8)
+        big = [c for c in split.clusters if len(c.members) > 1]
+        assert len(big) == 2
+        assert {c.rids for c in big} == {
+            frozenset({"l0", "l1", "l2"}), frozenset({"x0", "x1", "x2"}),
+        }
+
+    def test_pairs_enumeration(self):
+        r = _records(3)
+        result = resolve_entities([(r[0], r[1]), (r[1], r[2])], [1, 1])
+        assert result.pairs() == {("r0", "r1"), ("r0", "r2"), ("r1", "r2")}
+
+
+class TestClusterF1:
+    def test_perfect(self):
+        r = _records(2)
+        result = resolve_entities([(r[0], r[1])], [1])
+        assert cluster_f1(result, {("r0", "r1")}) == 1.0
+
+    def test_empty_both(self):
+        r = _records(2)
+        result = resolve_entities([(r[0], r[1])], [0])
+        assert cluster_f1(result, set()) == 1.0
+
+    def test_order_insensitive_truth(self):
+        r = _records(2)
+        result = resolve_entities([(r[0], r[1])], [1])
+        assert cluster_f1(result, {("r1", "r0")}) == 1.0
+
+    def test_end_to_end_on_benchmark(self, em_products):
+        labeled = em_products.labeled_pairs(200, seed=2, match_fraction=0.5)
+        pairs = [(a, b) for a, b, _l in labeled]
+        predictions = RuleBasedMatcher().predict(pairs)
+        result = resolve_entities(pairs, predictions, min_cohesion=0.5)
+        truth = {(a.rid, b.rid) for a, b, label in labeled if label == 1}
+        assert cluster_f1(result, truth) > 0.5
+        # Every multi-member cluster has a golden record with a name.
+        for cluster in result.clusters:
+            if len(cluster.members) > 1:
+                assert cluster.golden.attributes.get("name")

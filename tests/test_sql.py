@@ -1,0 +1,179 @@
+"""Mini SQL engine: tokenizer, parser, execution semantics."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.sql import Database, parse_sql, tokenize
+from repro.table import Table
+
+
+@pytest.fixture
+def db():
+    products = Table.from_dict({
+        "id": [1, 2, 3, 4],
+        "name": ["apex a1", "apex a2", "lumina l1", "lumina l2"],
+        "brand": ["apex", "apex", "lumina", "lumina"],
+        "price": [100.0, 200.0, 150.0, None],
+    })
+    brands = Table.from_dict({
+        "brand": ["apex", "lumina"],
+        "country": ["usa", "japan"],
+    })
+    return Database({"products": products, "brands": brands})
+
+
+class TestTokenizer:
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("select 'it''s'")
+        assert ("string", "it's") in tokens
+
+    def test_numbers(self):
+        tokens = tokenize("select 1 2.5 -3")
+        values = [v for kind, v in tokens if kind == "number"]
+        assert values == ["1", "2.5", "-3"]
+
+    def test_keywords_lowercased(self):
+        tokens = tokenize("SELECT x FROM t")
+        assert tokens[0] == ("keyword", "select")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("select @invalid")
+
+
+class TestParser:
+    def test_simple_select(self):
+        q = parse_sql("select a, b from t")
+        assert q.table == "t"
+        assert len(q.select) == 2
+
+    def test_star(self):
+        q = parse_sql("select * from t")
+        assert q.select_star
+
+    def test_where_precedence(self):
+        q = parse_sql("select a from t where a = 1 or b = 2 and c = 3")
+        # OR binds loosest: top node is OR.
+        assert q.where.op == "or"
+
+    def test_order_limit(self):
+        q = parse_sql("select a from t order by a desc limit 5")
+        assert q.order_by == ("a", True)
+        assert q.limit == 5
+
+    def test_aggregate_with_alias(self):
+        q = parse_sql("select count(*) as n from t")
+        assert q.select[0].alias == "n"
+
+    def test_join_clause(self):
+        q = parse_sql("select a from t join u on x = y")
+        assert q.joins[0].table == "u"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("select a from t extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("select a")
+
+    def test_is_null(self):
+        q = parse_sql("select a from t where a is null")
+        assert q.where.op == "isnull"
+
+    def test_is_not_null(self):
+        q = parse_sql("select a from t where a is not null")
+        assert q.where.op == "not"
+
+
+class TestExecution:
+    def test_project(self, db):
+        out = db.query("select name from products")
+        assert out.schema.names == ["name"]
+        assert out.num_rows == 4
+
+    def test_star_returns_all(self, db):
+        out = db.query("select * from products")
+        assert out.num_columns == 4
+
+    def test_where_filters(self, db):
+        out = db.query("select id from products where brand = 'apex'")
+        assert out.column("id") == [1, 2]
+
+    def test_null_comparison_is_false(self, db):
+        out = db.query("select id from products where price > 0")
+        assert 4 not in out.column("id")
+
+    def test_arithmetic_in_select(self, db):
+        out = db.query("select price * 2 as double_price from products where id = 1")
+        assert out.row(0)[0] == 200.0
+
+    def test_count_star_vs_count_column(self, db):
+        out = db.query("select count(*) as n, count(price) as p from products")
+        assert out.row(0) == (4, 3)  # one null price
+
+    def test_group_by(self, db):
+        out = db.query(
+            "select brand, avg(price) as mean_price from products group by brand"
+        )
+        rows = {r["brand"]: r["mean_price"] for r in out.row_dicts()}
+        assert rows["apex"] == 150.0
+        assert rows["lumina"] == 150.0  # null skipped
+
+    def test_global_aggregate_no_group(self, db):
+        out = db.query("select max(price) as hi from products")
+        assert out.row(0)[0] == 200.0
+
+    def test_aggregate_all_null_returns_null(self, db):
+        out = db.query("select sum(price) as s from products where id = 4")
+        assert out.row(0)[0] is None
+
+    def test_order_by_desc_limit(self, db):
+        out = db.query("select id from products order by price desc limit 2")
+        assert out.column("id") == [2, 3]
+
+    def test_join(self, db):
+        out = db.query(
+            "select name, country from products join brands on brand = brand"
+        )
+        assert out.num_rows == 4
+        assert set(out.column("country")) == {"usa", "japan"}
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(ParseError):
+            db.query("select name, count(*) from products group by brand")
+
+    def test_missing_table(self, db):
+        with pytest.raises(SchemaError):
+            db.query("select a from nope")
+
+    def test_missing_column(self, db):
+        with pytest.raises(SchemaError):
+            db.query("select nope from products")
+
+    def test_and_or_logic(self, db):
+        out = db.query(
+            "select id from products where brand = 'apex' and price > 150"
+        )
+        assert out.column("id") == [2]
+
+    def test_not(self, db):
+        out = db.query("select id from products where not brand = 'apex'")
+        assert out.column("id") == [3, 4]
+
+    def test_is_null_filter(self, db):
+        out = db.query("select id from products where price is null")
+        assert out.column("id") == [4]
+
+    def test_division_by_zero_yields_null(self, db):
+        out = db.query("select price / 0 as x from products where id = 1")
+        assert out.row(0)[0] is None
+
+    def test_register_and_table_names(self, db):
+        db.register("extra", Table.from_dict({"z": [1]}))
+        assert "extra" in db.table_names()
+
+    def test_empty_result_keeps_schema(self, db):
+        out = db.query("select name from products where id = 999")
+        assert out.num_rows == 0
+        assert out.schema.names == ["name"]

@@ -1,0 +1,157 @@
+"""Schema, Field, dtype inference and coercion."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.table import Field, Schema, coerce, infer_dtype, validate
+
+
+class TestField:
+    def test_valid_field(self):
+        f = Field("name", "str")
+        assert f.name == "name"
+        assert f.dtype == "str"
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("name", "varchar")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("", "str")
+
+
+class TestSchema:
+    def test_construct_from_tuples(self):
+        s = Schema([("a", "int"), ("b", "str")])
+        assert s.names == ["a", "b"]
+        assert s.dtypes == ["int", "str"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError) as err:
+            Schema([("a", "int"), ("a", "str")])
+        assert "duplicate" in str(err.value)
+
+    def test_field_lookup(self):
+        s = Schema([("a", "int")])
+        assert s.field("a").dtype == "int"
+        with pytest.raises(SchemaError):
+            s.field("missing")
+
+    def test_index_of(self):
+        s = Schema([("a", "int"), ("b", "str")])
+        assert s.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            s.index_of("zzz")
+
+    def test_contains(self):
+        s = Schema([("a", "int")])
+        assert "a" in s
+        assert "b" not in s
+
+    def test_equality_and_hash(self):
+        s1 = Schema([("a", "int")])
+        s2 = Schema([("a", "int")])
+        s3 = Schema([("a", "float")])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != s3
+
+    def test_rename(self):
+        s = Schema([("a", "int"), ("b", "str")])
+        renamed = s.rename({"a": "x"})
+        assert renamed.names == ["x", "b"]
+        with pytest.raises(SchemaError):
+            s.rename({"zzz": "y"})
+
+    def test_project_preserves_order(self):
+        s = Schema([("a", "int"), ("b", "str"), ("c", "float")])
+        assert s.project(["c", "a"]).names == ["c", "a"]
+
+    def test_drop(self):
+        s = Schema([("a", "int"), ("b", "str")])
+        assert s.drop(["a"]).names == ["b"]
+        with pytest.raises(SchemaError):
+            s.drop(["zzz"])
+
+    def test_iteration(self):
+        s = Schema([("a", "int"), ("b", "str")])
+        assert [f.name for f in s] == ["a", "b"]
+        assert len(s) == 2
+
+
+class TestInferDtype:
+    def test_all_ints(self):
+        assert infer_dtype([1, 2, 3]) == "int"
+
+    def test_mixed_int_float(self):
+        assert infer_dtype([1, 2.5]) == "float"
+
+    def test_bools_are_not_ints(self):
+        assert infer_dtype([True, False]) == "bool"
+
+    def test_strings(self):
+        assert infer_dtype(["a", "b"]) == "str"
+
+    def test_mixed_falls_back_to_str(self):
+        assert infer_dtype([1, "a"]) == "str"
+
+    def test_all_null_defaults_to_str(self):
+        assert infer_dtype([None, None]) == "str"
+
+    def test_nulls_ignored(self):
+        assert infer_dtype([None, 3, None]) == "int"
+
+
+class TestCoerce:
+    def test_none_passes_through(self):
+        assert coerce(None, "int") is None
+
+    def test_int_from_string(self):
+        assert coerce("42", "int") == 42
+
+    def test_int_from_whole_float(self):
+        assert coerce(3.0, "int") == 3
+
+    def test_int_from_fractional_float_fails(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(3.5, "int")
+
+    def test_float_from_int(self):
+        value = coerce(3, "float")
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_str_from_number(self):
+        assert coerce(42, "str") == "42"
+
+    def test_bool_from_strings(self):
+        assert coerce("true", "bool") is True
+        assert coerce("No", "bool") is False
+        with pytest.raises(TypeMismatchError):
+            coerce("maybe", "bool")
+
+    def test_bad_int_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("abc", "int")
+
+    def test_unknown_dtype(self):
+        with pytest.raises(SchemaError):
+            coerce(1, "varchar")
+
+
+class TestValidate:
+    def test_null_always_valid(self):
+        for dtype in ("int", "float", "str", "bool"):
+            assert validate(None, dtype)
+
+    def test_bool_not_valid_int(self):
+        assert not validate(True, "int")
+        assert not validate(True, "float")
+
+    def test_int_valid_float(self):
+        assert validate(3, "float")
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(SchemaError):
+            validate(1, "nope")

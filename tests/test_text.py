@@ -1,0 +1,219 @@
+"""Tokenization, similarity measures, TF-IDF, MinHash/LSH."""
+
+import numpy as np
+import pytest
+
+from repro.text import (
+    LSHIndex,
+    MinHasher,
+    TfidfIndex,
+    TfidfVectorizer,
+    char_ngrams,
+    cosine_matrix,
+    cosine_token_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+    qgrams,
+    sentences,
+    words,
+)
+from repro.errors import NotFittedError
+
+
+class TestTokenize:
+    def test_words_lowercase_and_split(self):
+        assert words("Hello, World!") == ["hello", "world"]
+
+    def test_words_split_letter_digit_boundary(self):
+        assert words("512gb") == ["512", "gb"]
+        assert words("a100") == ["a", "100"]
+
+    def test_words_keep_decimals(self):
+        assert words("price 3.5 usd") == ["price", "3.5", "usd"]
+
+    def test_qgrams_padding(self):
+        grams = qgrams("ab", q=3)
+        assert "##a" in grams and "b##" in grams
+
+    def test_qgrams_no_pad(self):
+        assert qgrams("abcd", q=3, pad=False) == ["abc", "bcd"]
+
+    def test_qgrams_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_char_ngrams_include_whole_token(self):
+        grams = char_ngrams("cat", 3, 5)
+        assert "<cat>" in grams
+        assert "<ca" in grams
+
+    def test_sentences(self):
+        out = sentences("One. Two! Three?")
+        assert len(out) == 3
+
+
+class TestLevenshtein:
+    def test_known_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_identity(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_empty(self):
+        assert levenshtein_distance("", "abc") == 3
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abc", "xy") == levenshtein_distance("xy", "abc")
+
+    def test_similarity_bounds(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert 0.0 <= levenshtein_similarity("abc", "xyz") <= 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.944, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_winkler_boosts_prefix(self):
+        base = jaro_similarity("prefixes", "prefixed")
+        boosted = jaro_winkler_similarity("prefixes", "prefixed")
+        assert boosted >= base
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+
+class TestSetSimilarities:
+    def test_jaccard_tokens(self):
+        assert jaccard_similarity("red apple", "apple pie") == pytest.approx(1 / 3)
+
+    def test_jaccard_qgrams(self):
+        assert jaccard_similarity("abc", "abc", q=2) == 1.0
+
+    def test_jaccard_both_empty(self):
+        assert jaccard_similarity("", "") == 1.0
+
+    def test_overlap_coefficient(self):
+        assert overlap_coefficient("a b", "a b c d") == 1.0
+
+    def test_cosine_token(self):
+        assert cosine_token_similarity("a a b", "a a b") == pytest.approx(1.0)
+        assert cosine_token_similarity("a", "b") == 0.0
+
+    def test_monge_elkan_typo_tolerant(self):
+        assert monge_elkan_similarity("jon smith", "john smith") > 0.9
+
+    def test_numeric_similarity(self):
+        assert numeric_similarity(100, 100) == 1.0
+        assert numeric_similarity(100, 99) > 0.98
+        assert numeric_similarity(1, 1000) < 0.01
+        assert numeric_similarity(0, 0) == 1.0
+
+
+class TestTfidf:
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            TfidfVectorizer().transform(["x"])
+
+    def test_vectors_are_normalized(self):
+        vec = TfidfVectorizer()
+        matrix = vec.fit_transform(["apple pie", "banana split", "apple cake"])
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_rare_terms_weigh_more(self):
+        vec = TfidfVectorizer()
+        vec.fit(["apple common", "banana common", "cherry common"])
+        idf = vec.idf_
+        common = idf[vec.vocabulary_["common"]]
+        rare = idf[vec.vocabulary_["apple"]]
+        assert rare > common
+
+    def test_stopwords_dropped(self):
+        vec = TfidfVectorizer(drop_stopwords=True)
+        vec.fit(["the apple is red"])
+        assert "the" not in vec.vocabulary_
+        assert "apple" in vec.vocabulary_
+
+    def test_max_features(self):
+        vec = TfidfVectorizer(max_features=2)
+        vec.fit(["a b c d e f g h"])
+        assert len(vec.vocabulary_) <= 2
+
+    def test_index_search_ranks_relevant_first(self):
+        index = TfidfIndex(["red apple pie", "green banana", "apple tart"])
+        hits = index.search("apple", k=2)
+        assert {i for i, _s in hits} == {0, 2}
+
+    def test_index_empty_corpus(self):
+        assert TfidfIndex([]).search("x") == []
+
+    def test_cosine_matrix_zero_rows(self):
+        a = np.zeros((1, 3))
+        b = np.ones((1, 3))
+        assert cosine_matrix(a, b)[0, 0] == 0.0
+
+
+class TestMinHash:
+    def test_signature_deterministic(self):
+        h = MinHasher(num_perm=32, seed=1)
+        s1 = h.signature(["a", "b", "c"])
+        s2 = h.signature(["c", "b", "a"])
+        assert np.array_equal(s1, s2)
+
+    def test_jaccard_estimate_close(self):
+        h = MinHasher(num_perm=256, seed=1)
+        a = set(range(100))
+        b = set(range(50, 150))
+        estimate = MinHasher.estimate_jaccard(h.signature(a), h.signature(b))
+        true = len(a & b) / len(a | b)
+        assert abs(estimate - true) < 0.12
+
+    def test_mismatched_signatures_rejected(self):
+        h1 = MinHasher(num_perm=16)
+        h2 = MinHasher(num_perm=32)
+        with pytest.raises(ValueError):
+            MinHasher.estimate_jaccard(h1.signature({1}), h2.signature({1}))
+
+    def test_invalid_num_perm(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_perm=0)
+
+
+class TestLSH:
+    def test_similar_items_collide(self):
+        index = LSHIndex(num_perm=64, bands=16)
+        index.add("a", ["x", "y", "z", "w"])
+        index.add("b", ["x", "y", "z", "v"])
+        index.add("c", ["p", "q", "r", "s"])
+        found = index.query(["x", "y", "z", "w"])
+        assert "a" in found and "b" in found
+        assert "c" not in found
+
+    def test_bands_must_divide(self):
+        with pytest.raises(ValueError):
+            LSHIndex(num_perm=10, bands=3)
+
+    def test_candidate_pairs(self):
+        index = LSHIndex(num_perm=64, bands=32)
+        index.add("a", ["x", "y", "z"])
+        index.add("b", ["x", "y", "z"])
+        assert ("a", "b") in index.candidate_pairs()
+
+    def test_jaccard_between_added(self):
+        index = LSHIndex(num_perm=128, bands=16)
+        index.add("a", list("abcdefgh"))
+        index.add("b", list("abcdefgh"))
+        assert index.jaccard("a", "b") == 1.0

@@ -1,0 +1,161 @@
+"""Transformation by example and lake enrichment (intro-cited subsystems)."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import StringProgram, synthesize_program, transform_column
+from repro.cleaning.transform import Component
+from repro.errors import ConvergenceError
+from repro.lake import DataLake, Enricher
+from repro.table import Table
+
+
+class TestComponents:
+    def test_const(self):
+        assert Component("const", value="-").apply("anything") == "-"
+
+    def test_token_by_index(self):
+        assert Component("token", index=1).apply("jane doe") == "doe"
+        assert Component("token", index=-1).apply("a b c") == "c"
+
+    def test_token_out_of_range(self):
+        assert Component("token", index=5).apply("one two") is None
+
+    def test_case_modes(self):
+        token = Component("case_token", value="upper", index=0)
+        assert token.apply("jane doe") == "JANE"
+        assert Component("case_token", value="title", index=0).apply("jane") == "Jane"
+        assert Component("case_token", value="initial", index=0).apply("Jane") == "j"
+        assert Component("case_token", value="initial_upper", index=0).apply("jane") == "J"
+
+    def test_empty_input(self):
+        assert Component("token", index=0).apply("") is None
+
+
+class TestSynthesis:
+    def test_initials_program(self):
+        program = synthesize_program(
+            [("jane doe", "J. Doe"), ("wei chen", "W. Chen")]
+        )
+        assert program.apply("maria garcia") == "M. Garcia"
+
+    def test_name_swap(self):
+        program = synthesize_program(
+            [("doe, jane", "jane doe"), ("chen, wei", "wei chen")]
+        )
+        assert program.apply("garcia, maria") == "maria garcia"
+
+    def test_phone_reformat_from_one_example(self):
+        program = synthesize_program([("365-943-6490", "(365) 943 6490")])
+        assert program.apply("123-456-7890") == "(123) 456 7890"
+
+    def test_generalizes_over_constants(self):
+        # Two examples rule out the constant interpretation of the surname.
+        program = synthesize_program(
+            [("jane doe", "doe"), ("wei chen", "chen")]
+        )
+        assert program.apply("ada lovelace") == "lovelace"
+
+    def test_single_example_prefers_token_over_constant(self):
+        program = synthesize_program([("jane doe", "doe")])
+        assert program.apply("ada lovelace") == "lovelace"
+
+    def test_unexplainable_raises(self):
+        with pytest.raises(ConvergenceError):
+            synthesize_program([("abc", "xyz"), ("def", "qrs")])
+
+    def test_inconsistent_shapes_raise(self):
+        with pytest.raises(ConvergenceError):
+            synthesize_program([("a b", "a-b"), ("c d", "c")])
+
+    def test_no_examples(self):
+        with pytest.raises(ValueError):
+            synthesize_program([])
+
+    def test_describe_is_readable(self):
+        program = synthesize_program([("jane doe", "J. Doe")])
+        description = program.describe()
+        assert "token" in description
+
+    def test_transform_column_passthrough_on_failure(self):
+        out = transform_column(
+            ["jane doe", None, ""],
+            [("ada byron", "A. Byron")],
+        )
+        assert out[0] == "J. Doe"
+        assert out[1] is None
+        assert out[2] == ""  # unprocessable value passes through
+
+
+@pytest.fixture
+def enrichment_lake():
+    rng = np.random.default_rng(0)
+    n = 120
+    uids = [f"u{i:03d}" for i in range(n)]
+    strong = rng.normal(size=n)
+    label = (strong + 0.3 * rng.normal(size=n) > 0).astype(int)
+    weak = rng.normal(size=n)
+    base = Table.from_rows(
+        list(zip(uids, weak.tolist(), label.tolist())),
+        names=["uid", "weak", "label"],
+    )
+    lake = DataLake()
+    lake.add_table(
+        "profiles",
+        Table.from_rows(list(zip(uids, strong.tolist())),
+                        names=["uid", "signal"]),
+        "profiles keyed by uid",
+    )
+    lake.add_table(
+        "noise",
+        Table.from_rows([(f"x{i}", float(i)) for i in range(40)],
+                        names=["key", "junk"]),
+        "unrelated table",
+    )
+    return lake, base
+
+
+class TestEnricher:
+    def test_candidates_found_by_key_overlap(self, enrichment_lake):
+        lake, base = enrichment_lake
+        candidates = Enricher(lake, seed=0).candidates(base, "uid")
+        assert [c.table_name for c in candidates] == ["profiles"]
+
+    def test_enrichment_improves_accuracy(self, enrichment_lake):
+        lake, base = enrichment_lake
+        enriched, report = Enricher(lake, seed=0).enrich(base, "uid", "label")
+        assert report.gain > 0.1
+        assert "signal" in enriched.schema
+        assert [a.table_name for a in report.accepted] == ["profiles"]
+
+    def test_useless_join_rejected(self, enrichment_lake):
+        lake, base = enrichment_lake
+        rng = np.random.default_rng(1)
+        lake.add_table(
+            "useless",
+            Table.from_rows(
+                [(f"u{i:03d}", float(rng.normal())) for i in range(120)],
+                names=["uid", "random_noise"],
+            ),
+            "noise keyed by uid",
+        )
+        _enriched, report = Enricher(lake, seed=0, min_gain=0.01).enrich(
+            base, "uid", "label"
+        )
+        rejected = [a.table_name for a in report.rejected]
+        assert "useless" in rejected
+
+    def test_one_to_many_join_skipped(self, enrichment_lake):
+        lake, base = enrichment_lake
+        duplicated = Table.from_rows(
+            [(f"u{i:03d}", float(j)) for i in range(120) for j in range(2)],
+            names=["uid", "dup"],
+        )
+        lake.add_table("dups", duplicated, "one-to-many join hazard")
+        _enriched, report = Enricher(lake, seed=0).enrich(base, "uid", "label")
+        assert "dups" in [a.table_name for a in report.rejected]
+
+    def test_empty_key_column(self, enrichment_lake):
+        lake, _base = enrichment_lake
+        empty = Table.from_dict({"uid": [None, None], "label": [0, 1]})
+        assert Enricher(lake, seed=0).candidates(empty, "uid") == []

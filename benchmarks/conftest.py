@@ -7,13 +7,24 @@ pre-trained encoder — are built once per session here.
 
 Every bench prints the table/series the corresponding DESIGN.md experiment
 defines and asserts the qualitative *shape* the tutorial claims.
+
+Each bench also emits a :class:`repro.obs.RunReport` JSON artifact — the
+span tree and metric counters explaining *why* the timing came out the way
+it did (prompt counts, cache behavior, per-operator latency).  Artifacts
+land in ``benchmarks/_reports/`` by default; set ``REPRO_OBS_DIR`` to
+redirect, or ``REPRO_OBS_DIR=0`` to disable.
 """
 
 from __future__ import annotations
 
+import os
+import re
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.datasets.em import papers_em, products_em, restaurants_em
 from repro.datasets.world import make_world, world_corpus
 from repro.embeddings import FastTextModel, SkipGramModel, Vocab
@@ -25,6 +36,35 @@ from repro.plm import MiniBert, MLMPretrainer
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def _report_dir() -> Path | None:
+    configured = os.environ.get("REPRO_OBS_DIR", "")
+    if configured in ("0", "off", "none"):
+        return None
+    if configured:
+        return Path(configured)
+    return Path(__file__).resolve().parent / "_reports"
+
+
+@pytest.fixture(autouse=True)
+def obs_run_report(request):
+    """Reset observability state per bench and emit a RunReport artifact.
+
+    The reset isolates each bench's counters from session-fixture setup and
+    from earlier benches; the artifact preserves the explanatory trace next
+    to the raw pytest-benchmark timing.
+    """
+    obs.reset()
+    yield
+    out_dir = _report_dir()
+    if out_dir is None:
+        return
+    report = obs.RunReport.collect(request.node.name)
+    if not report.spans and not report.metrics:
+        return  # nothing instrumented ran; don't litter empty artifacts
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    report.save(out_dir / f"{safe}.json")
 
 
 @pytest.fixture(scope="session")

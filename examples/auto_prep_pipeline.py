@@ -5,8 +5,13 @@ spots), runs the five automatic search strategies, and finishes with the
 HAIPipe combination — all on the same dirty ML task.
 
 Run:  python examples/auto_prep_pipeline.py
+
+Emits ``auto_prep_pipeline.report.json`` — a :class:`repro.obs.RunReport`
+with the span tree and metrics (evaluation counts, cache hits/misses,
+per-operator latency) explaining the run.
 """
 
+from repro import obs
 from repro.datasets import make_ml_task, task_suite
 from repro.evaluation import ResultTable
 from repro.pipelines import (
@@ -24,6 +29,7 @@ from repro.pipelines import (
 
 
 def main() -> None:
+    obs.reset()
     registry = build_registry()
     print(f"Search space: {registry_size(registry)} distinct pipelines")
 
@@ -83,6 +89,12 @@ def main() -> None:
     joint = JointAutoMLSearch(registry, seed=0).search(task, budget=20)
     print(f"joint best: {joint.best.describe()}")
     print(f"  accuracy {joint.best_score:.3f}")
+
+    # -- run report: the observability trace of everything above -------------
+    report = obs.RunReport.collect("auto_prep_pipeline")
+    path = report.save("auto_prep_pipeline.report.json")
+    print(f"\nrun report ({len(report.metrics)} metrics, "
+          f"{len(report.spans)} root spans) -> {path}")
 
 
 if __name__ == "__main__":

@@ -19,10 +19,22 @@ Quickstart::
     dataset = products_em(world)
     pairs = dataset.labeled_pairs(100)
     matcher = RuleBasedMatcher()
-    print(matcher.evaluate([(a, b) for a, b, _ in pairs],
-                           [label for _, _, label in pairs]))
+    prf = matcher.evaluate([(a, b) for a, b, _ in pairs],
+                           [label for _, _, label in pairs])
+
+Observability: the library is silent by default (a ``logging.NullHandler``
+on the ``repro`` logger).  ``repro.obs`` holds the tracing / metrics /
+logging / run-report layer::
+
+    from repro import obs
+
+    obs.configure(verbosity=1)         # opt in to INFO logging
+    with obs.span("my.run"):
+        ...
+    obs.RunReport.collect("my-run").save("report.json")
 """
 
+from repro import obs
 from repro.errors import (
     ConvergenceError,
     KnowledgeError,
@@ -46,4 +58,5 @@ __all__ = [
     "SchemaError",
     "TypeMismatchError",
     "__version__",
+    "obs",
 ]

@@ -1,11 +1,16 @@
 """Result tables for experiments: collect rows, print aligned, compare.
 
-Every benchmark in ``benchmarks/`` builds one of these and prints it, so
-EXPERIMENTS.md entries and bench output share a format.
+Every benchmark in ``benchmarks/`` builds one of these and shows it, so
+EXPERIMENTS.md entries and bench output share a format; ``to_dict`` /
+``to_json`` are the serialization path :class:`~repro.obs.report.RunReport`
+shares.  ``show()`` routes through the ``repro.results`` logger rather than
+bare ``print``, so applications can silence or redirect table output with
+ordinary logging configuration.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -62,5 +67,28 @@ class ResultTable:
         )
         return f"{header}\n{sep}\n{body}"
 
+    def to_dict(self) -> dict[str, Any]:
+        return {"title": self.title, "columns": list(self.columns),
+                "rows": [list(row) for row in self.rows]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResultTable":
+        return cls(
+            title=data["title"],
+            columns=list(data["columns"]),
+            rows=[list(row) for row in data.get("rows", [])],
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultTable":
+        return cls.from_dict(json.loads(text))
+
     def show(self) -> None:
-        print(self.render())
+        # Routed through the obs logging hierarchy (lazily, to keep this
+        # module importable before repro.obs finishes initializing).
+        from repro.obs.logging import results_logger
+
+        results_logger().info(self.render())

@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import hashlib
 import re
+import time
 from dataclasses import dataclass
 
 from repro.foundation.knowledge import FactStore
 from repro.foundation.prompts import Prompt, parse_prompt
+from repro.obs import metrics
 from repro.text.similarity import jaccard_similarity, jaro_winkler_similarity
 from repro.text.tokenize import words
 
@@ -129,19 +131,29 @@ class FoundationModel:
 
     def complete(self, prompt_text: str) -> Completion:
         """Answer a textual prompt (the GPT-3-style API)."""
+        start = time.perf_counter()
+        metrics.counter("fm.prompts").inc()
         prompt = parse_prompt(prompt_text)
+        if prompt.demonstrations:
+            metrics.counter("fm.prompts.few_shot").inc()
         task = prompt.task.lower()
         if "same entity" in task or "yes or no" in task:
-            return self._do_matching(prompt)
-        if task.startswith("fix"):
-            return self._do_cleaning(prompt)
-        if "impute" in task or "missing" in task:
-            return self._do_imputation(prompt)
-        if "answer" in task or "question" in task:
-            return self._do_qa(prompt)
-        # Unknown task: fall back to echoing, with low confidence — a
-        # foundation model always produces *something*.
-        return Completion(prompt.query, confidence=0.1)
+            kind, completion = "matching", self._do_matching(prompt)
+        elif task.startswith("fix"):
+            kind, completion = "cleaning", self._do_cleaning(prompt)
+        elif "impute" in task or "missing" in task:
+            kind, completion = "imputation", self._do_imputation(prompt)
+        elif "answer" in task or "question" in task:
+            kind, completion = "qa", self._do_qa(prompt)
+        else:
+            # Unknown task: fall back to echoing, with low confidence — a
+            # foundation model always produces *something*.
+            kind, completion = "unknown", Completion(prompt.query, confidence=0.1)
+        metrics.counter(f"fm.completions.{kind}").inc()
+        metrics.histogram("fm.complete.seconds").observe(
+            time.perf_counter() - start
+        )
+        return completion
 
     # -- entity matching ------------------------------------------------------
 
@@ -239,11 +251,17 @@ class FoundationModel:
         fixed = prompt.query
         for name in self._REPAIR_ORDER:
             if name in unlocked:
-                fixed = by_name[name](fixed, self.store)
+                repaired = by_name[name](fixed, self.store)
+                if repaired != fixed:
+                    # Hit: this repair function actually changed the value.
+                    metrics.counter(f"fm.repair.{name}.hits").inc()
+                fixed = repaired
         if fixed == prompt.query:
             # Nothing the demonstrations taught applied — fall back to the
             # zero-shot prior (dictionary canonicalization).
             fixed = by_name["dictionary"](prompt.query, self.store)
+            if fixed != prompt.query:
+                metrics.counter("fm.repair.dictionary.hits").inc()
         confidence = 0.9 if fixed != prompt.query else 0.4
         return Completion(fixed, confidence=confidence)
 

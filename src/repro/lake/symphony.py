@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ParseError, ReproError
 from repro.lake.discovery import LakeIndex
+from repro.obs import metrics, tracing
 from repro.lake.lake import DataLake
 from repro.lake.tableqa import TableQA
 from repro.lake.text2sql import TextToSQL
@@ -102,10 +103,19 @@ class Symphony:
 
     def answer(self, question: str) -> SymphonyResult:
         """Decompose, retrieve, route, and answer."""
-        result = SymphonyResult(question=question)
-        for sub_query in self.decompose(question):
-            result.steps.append(self._answer_one(sub_query))
-        return result
+        with tracing.span("symphony.answer", question=question) as span:
+            metrics.counter("symphony.questions").inc()
+            result = SymphonyResult(question=question)
+            for sub_query in self.decompose(question):
+                with tracing.span("symphony.subquery", sub_query=sub_query):
+                    step = self._answer_one(sub_query)
+                # Routing decisions are the E5 diagnostic: which module each
+                # sub-query landed on, and how often retrieval came up empty.
+                module = step.module or "unrouted"
+                metrics.counter(f"symphony.route.{module}").inc()
+                result.steps.append(step)
+            span.set(sub_queries=len(result.steps))
+            return result
 
     def _answer_one(self, sub_query: str) -> SubQueryResult:
         wants_aggregate = any(h in sub_query.lower() for h in _AGG_HINTS)

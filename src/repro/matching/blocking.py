@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.datasets.em import EMDataset, Record
 from repro.ml.metrics import pair_completeness, reduction_ratio
+from repro.obs import metrics, tracing
 from repro.text.minhash import LSHIndex
 from repro.text.tokenize import words
 
@@ -44,13 +45,19 @@ class Blocker:
         raise NotImplementedError
 
     def evaluate(self, dataset: EMDataset) -> BlockingResult:
-        candidates = self.candidates(dataset)
-        total = len(dataset.source_a) * len(dataset.source_b)
-        return BlockingResult(
-            candidates=candidates,
-            recall=pair_completeness(candidates, dataset.matches),
-            reduction=reduction_ratio(len(candidates), total),
-        )
+        with tracing.span("blocking.evaluate",
+                          blocker=type(self).__name__) as span:
+            candidates = self.candidates(dataset)
+            total = len(dataset.source_a) * len(dataset.source_b)
+            metrics.counter("blocking.evaluations").inc()
+            metrics.counter("blocking.candidates").inc(len(candidates))
+            metrics.counter("blocking.pairs_pruned").inc(total - len(candidates))
+            span.set(candidates=len(candidates), total_pairs=total)
+            return BlockingResult(
+                candidates=candidates,
+                recall=pair_completeness(candidates, dataset.matches),
+                reduction=reduction_ratio(len(candidates), total),
+            )
 
 
 class KeyBlocker(Blocker):

@@ -18,6 +18,8 @@ from repro.foundation.model import FoundationModel
 from repro.foundation.prompts import matching_demo, matching_prompt
 from repro.ml.metrics import PRF, precision_recall_f1
 from repro.ml.models import LogisticRegression
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
 from repro.text.similarity import (
     jaccard_similarity,
     jaro_winkler_similarity,
@@ -36,7 +38,11 @@ class EntityMatcher:
         raise NotImplementedError
 
     def evaluate(self, pairs: list[Pair], labels: np.ndarray) -> PRF:
-        return precision_recall_f1(np.asarray(labels), self.predict(pairs))
+        with tracing.span("matching.evaluate", matcher=type(self).__name__,
+                          pairs=len(pairs)):
+            obs_metrics.counter("matching.evaluations").inc()
+            obs_metrics.counter("matching.pairs_compared").inc(len(pairs))
+            return precision_recall_f1(np.asarray(labels), self.predict(pairs))
 
 
 def attribute_similarities(a: Record, b: Record) -> np.ndarray:

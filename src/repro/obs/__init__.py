@@ -1,0 +1,82 @@
+"""repro.obs: dependency-free observability for the AI4DP stack.
+
+Four pieces, each usable alone:
+
+- **tracing** — ``span("plm.pretrain", step=i)`` context managers building
+  nested, timed span trees on a thread-local stack;
+- **metrics** — a process-global registry of counters, gauges and
+  fixed-bucket histograms (p50/p95/max summaries), resettable for tests;
+- **logging** — the ``repro.*`` stdlib-logging hierarchy, silent by default
+  (NullHandler), opt-in via :func:`configure`;
+- **report** — :class:`RunReport` snapshots spans + metrics to JSON and
+  renders through :class:`~repro.evaluation.results.ResultTable`.
+
+Quickstart::
+
+    from repro import obs
+
+    obs.reset()                      # fresh run
+    with obs.span("my.experiment"):
+        ...                          # instrumented library calls nest here
+    report = obs.RunReport.collect("my-experiment")
+    report.save("report.json")
+
+See docs/observability.md for the metric-name schema and how benchmarks
+emit per-bench artifacts.
+"""
+
+from repro.obs.instrument import timed, timed_fn
+from repro.obs.logging import (
+    configure,
+    get_logger,
+    results_logger,
+    unconfigure,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.report import RunReport
+from repro.obs.tracing import Span, Tracer, current_span, get_tracer, span
+
+
+def reset() -> None:
+    """Zero the global metrics registry and drop collected spans.
+
+    The one call a test (or a fresh experiment) needs for isolation.
+    """
+    get_registry().reset()
+    get_tracer().reset()
+
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "configure",
+    "counter",
+    "current_span",
+    "gauge",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "reset",
+    "results_logger",
+    "span",
+    "timed",
+    "timed_fn",
+    "unconfigure",
+]

@@ -1,0 +1,61 @@
+"""Instrumentation helpers shared by the hot-path call sites.
+
+Two shapes cover every instrumented module:
+
+- :func:`timed` — context manager observing a block's wall-clock into a
+  latency histogram (optionally also a span);
+- :func:`timed_fn` — decorator form of the same for whole functions.
+
+Both lean on the process-global registry/tracer, so call sites stay one
+line and carry no handles.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.obs.metrics import histogram
+from repro.obs.tracing import span as _span
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+@contextmanager
+def timed(metric_name: str, span_name: str | None = None,
+          **attributes: Any) -> Iterator[None]:
+    """Time a block into ``histogram(metric_name)``.
+
+    When ``span_name`` is given, the block also opens a span (nesting under
+    any active parent), so the duration shows up both in aggregate
+    (histogram percentiles) and in context (the span tree).
+    """
+    if span_name is not None:
+        with _span(span_name, **attributes):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                histogram(metric_name).observe(time.perf_counter() - start)
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        histogram(metric_name).observe(time.perf_counter() - start)
+
+
+def timed_fn(metric_name: str, span_name: str | None = None) -> Callable[[F], F]:
+    """Decorator: record every call's wall-clock into a latency histogram."""
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with timed(metric_name, span_name=span_name):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

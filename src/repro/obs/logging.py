@@ -1,0 +1,114 @@
+"""Logging: the ``repro.*`` stdlib-logging hierarchy.
+
+The library never prints.  Every module logs through a child of the
+``repro`` logger, which carries a :class:`logging.NullHandler` by default —
+importing or using the library emits nothing until the *application* opts
+in, either through standard ``logging`` configuration or the
+:func:`configure` convenience helper::
+
+    from repro import obs
+
+    obs.configure(verbosity=1)   # INFO to stderr
+    obs.configure(verbosity=2)   # DEBUG to stderr
+
+One deliberate exception: :func:`results_logger` (the ``repro.results``
+logger behind ``ResultTable.show()``) writes records to *stdout* even
+unconfigured, because result tables are the explicit, user-requested output
+of examples and benchmarks — routing them through the hierarchy still lets
+applications silence or redirect them with ordinary logging calls.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_NAME = "repro"
+
+_root = logging.getLogger(ROOT_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return _root
+    if name.startswith(ROOT_NAME + ".") or name == ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+class _DynamicStreamHandler(logging.StreamHandler):
+    """StreamHandler that re-reads ``sys.stdout``/``sys.stderr`` per emit.
+
+    Test harnesses (pytest's capsys) and notebooks swap the sys streams at
+    runtime; binding the stream at handler-construction time would write to
+    a dead object.
+    """
+
+    def __init__(self, stream_name: str):
+        self._stream_name = stream_name
+        super().__init__()
+
+    @property
+    def stream(self):
+        return getattr(sys, self._stream_name)
+
+    @stream.setter
+    def stream(self, value):  # base-class __init__ assigns; ignore it
+        pass
+
+
+_VERBOSITY_LEVELS = {0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+_configured_handler: logging.Handler | None = None
+
+
+def configure(verbosity: int = 1, stream_name: str = "stderr",
+              fmt: str = "%(levelname)s %(name)s: %(message)s") -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root at the given level.
+
+    Idempotent: repeated calls adjust the level/format of the same handler
+    rather than stacking new ones.  ``verbosity`` 0 → WARNING, 1 → INFO,
+    2+ → DEBUG.
+    """
+    global _configured_handler
+    level = _VERBOSITY_LEVELS.get(min(int(verbosity), 2), logging.DEBUG)
+    if _configured_handler is None:
+        _configured_handler = _DynamicStreamHandler(stream_name)
+        _root.addHandler(_configured_handler)
+    _configured_handler._stream_name = stream_name  # type: ignore[attr-defined]
+    _configured_handler.setFormatter(logging.Formatter(fmt))
+    _configured_handler.setLevel(level)
+    _root.setLevel(level)
+    return _root
+
+
+def unconfigure() -> None:
+    """Remove the handler :func:`configure` installed (mainly for tests)."""
+    global _configured_handler
+    if _configured_handler is not None:
+        _root.removeHandler(_configured_handler)
+        _configured_handler = None
+    _root.setLevel(logging.NOTSET)
+
+
+_results_logger: logging.Logger | None = None
+
+
+def results_logger() -> logging.Logger:
+    """The ``repro.results`` logger: INFO to stdout, does not propagate.
+
+    Lazily attaches its stdout handler on first use so merely importing the
+    library configures nothing.
+    """
+    global _results_logger
+    if _results_logger is None:
+        logger = logging.getLogger(f"{ROOT_NAME}.results")
+        handler = _DynamicStreamHandler("stdout")
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+        _results_logger = logger
+    return _results_logger

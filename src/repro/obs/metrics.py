@@ -1,0 +1,229 @@
+"""Metrics: a process-global registry of counters, gauges and histograms.
+
+Instruments are created (or fetched) by name::
+
+    from repro.obs import metrics
+
+    metrics.counter("fm.prompts").inc()
+    metrics.gauge("corpus.size").set(432)
+    metrics.histogram("pipeline.op.seconds").observe(0.0031)
+
+Names are dotted, lowercase, and stable — they are the schema of every
+:class:`~repro.obs.report.RunReport`.  The registry is process-global so
+instrumented library code never threads a handle through call chains, and
+:meth:`MetricsRegistry.reset` zeroes every instrument *in place* (existing
+references stay valid), which is what keeps test runs order-independent.
+
+Histograms use fixed bucket boundaries, so percentile summaries (p50 / p95)
+are bucket-resolution estimates — exact enough to compare runs, cheap enough
+for hot paths (one bisect per observation).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any
+
+#: Default histogram boundaries, tuned for operation latencies in seconds:
+#: 10µs up to 10s on a roughly-logarithmic grid.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically-increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def summary(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (sizes, thresholds, last-seen)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def summary(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max and p50/p95 estimates."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS):
+        if list(buckets) != sorted(buckets) or len(buckets) < 1:
+            raise ValueError(f"histogram {name}: buckets must be sorted, non-empty")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self._reset()
+
+    def _reset(self) -> None:
+        # counts has one extra slot for observations above the last boundary.
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float | None:
+        """Bucket-upper-bound estimate of the q-quantile (0 < q <= 1)."""
+        if self.count == 0:
+            return None
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                # The overflow slot has no upper bound; report the true max.
+                return self.max if i == len(self.buckets) else self.buckets[i]
+        return self.max
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument map; one per process (see :func:`get_registry`).
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create, so instrumented
+    code needs no setup step and module-level caching of the returned
+    instrument is safe across :meth:`reset`.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = cls(name, **kwargs)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {instrument.kind}, not a {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = LATENCY_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, buckets=buckets)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._instruments.get(name)
+
+    def reset(self) -> None:
+        """Zero every instrument in place; existing references stay live."""
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument._reset()
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Name → summary dict for every instrument with activity.
+
+        Instruments still at their zero state (counter 0, empty histogram,
+        gauge 0.0) are skipped so snapshots only describe what a run
+        actually exercised.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        with self._lock:
+            items = sorted(self._instruments.items())
+        for name, instrument in items:
+            if isinstance(instrument, Histogram):
+                if instrument.count == 0:
+                    continue
+            elif instrument.value == 0:
+                continue
+            out[name] = instrument.summary()
+        return out
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry every instrumented module records into."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str,
+              buckets: tuple[float, ...] = LATENCY_BUCKETS) -> Histogram:
+    return _REGISTRY.histogram(name, buckets=buckets)

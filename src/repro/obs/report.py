@@ -1,0 +1,136 @@
+"""Run reports: one JSON artifact explaining a run.
+
+A :class:`RunReport` snapshots the global tracer (nested, timed spans) and
+metrics registry (counters / gauges / histogram summaries) at a moment in
+time.  Benchmarks emit one per bench (see ``benchmarks/conftest.py``) so
+every timing series in EXPERIMENTS.md gains an explanatory trace: how many
+prompts the foundation model answered, how the evaluator cache behaved,
+where the operator latency went.
+
+Tables render through :class:`~repro.evaluation.results.ResultTable`, and
+serialize through its ``to_dict`` — bench tables and run reports share one
+serialization path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Span, Tracer, get_tracer
+
+#: Schema version stamped into every report, bumped on breaking changes.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunReport:
+    """A named snapshot of spans + metrics, serializable to JSON."""
+
+    name: str
+    created_unix: float
+    spans: list[Span] = field(default_factory=list)
+    metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+    dropped_spans: int = 0
+
+    # -- collection ---------------------------------------------------------
+
+    @classmethod
+    def collect(cls, name: str, tracer: Tracer | None = None,
+                registry: MetricsRegistry | None = None) -> "RunReport":
+        """Snapshot the (global, unless given) tracer and registry."""
+        tracer = tracer or get_tracer()
+        registry = registry or get_registry()
+        return cls(
+            name=name,
+            created_unix=time.time(),
+            spans=tracer.roots(),
+            metrics=registry.snapshot(),
+            dropped_spans=tracer.dropped,
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "created_unix": self.created_unix,
+            "spans": [s.to_dict() for s in self.spans],
+            "metrics": self.metrics,
+            "dropped_spans": self.dropped_spans,
+            # The human-readable summary, via the shared table path.
+            "metrics_table": self.metrics_table().to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunReport":
+        return cls(
+            name=data["name"],
+            created_unix=data.get("created_unix", 0.0),
+            spans=[Span.from_dict(s) for s in data.get("spans", [])],
+            metrics=dict(data.get("metrics", {})),
+            dropped_spans=data.get("dropped_spans", 0),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunReport":
+        return cls.from_json(Path(path).read_text())
+
+    # -- rendering ----------------------------------------------------------
+
+    def metrics_table(self):
+        """Metric summaries as a :class:`ResultTable` (one row per metric)."""
+        from repro.evaluation.results import ResultTable
+
+        table = ResultTable(
+            f"metrics: {self.name}",
+            ["metric", "kind", "count", "value/mean", "p50", "p95", "max"],
+        )
+        for name, summary in sorted(self.metrics.items()):
+            kind = summary.get("kind", "?")
+            if kind == "histogram":
+                table.add(name, kind, summary.get("count", 0),
+                          _fmt(summary.get("mean")), _fmt(summary.get("p50")),
+                          _fmt(summary.get("p95")), _fmt(summary.get("max")))
+            else:
+                table.add(name, kind, "", _fmt(summary.get("value")),
+                          "", "", "")
+        return table
+
+    def spans_text(self) -> str:
+        return "\n".join(s.render() for s in self.spans)
+
+    def render(self) -> str:
+        parts = [f"== run report: {self.name} =="]
+        if self.spans:
+            parts.append(self.spans_text())
+        if self.dropped_spans:
+            parts.append(f"({self.dropped_spans} root spans dropped)")
+        parts.append(self.metrics_table().render())
+        return "\n".join(parts)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,192 @@
+"""Tracing: nested, timed span trees with a thread-local active-span stack.
+
+The API is a single context manager::
+
+    from repro.obs import span
+
+    with span("plm.pretrain", steps=120) as s:
+        ...                      # nested spans attach as children
+        s.set(final_loss=0.42)   # attributes may be added mid-flight
+
+Spans opened while another span is active on the *same thread* become
+children of that span; spans opened with no active parent become roots and
+are collected by the process-global :class:`Tracer`.  A
+:class:`~repro.obs.report.RunReport` snapshots the tracer's finished roots
+into JSON.
+
+Overhead is two ``perf_counter`` calls and a couple of list operations per
+span; instrumented hot paths stay within noise (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One timed operation, possibly with children."""
+
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    start: float = 0.0           # perf_counter seconds (monotonic)
+    duration: float | None = None  # None while still open
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to the span; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.duration is not None
+
+    def total_descendants(self) -> int:
+        return len(self.children) + sum(
+            c.total_descendants() for c in self.children
+        )
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first search for the first descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration,
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            name=data["name"],
+            attributes=dict(data.get("attributes", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+            duration=data.get("duration_s"),
+        )
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable tree, one span per line."""
+        dur = "open" if self.duration is None else f"{self.duration * 1e3:.2f}ms"
+        attrs = ""
+        if self.attributes:
+            attrs = " " + " ".join(
+                f"{k}={v}" for k, v in sorted(self.attributes.items())
+            )
+        lines = [f"{'  ' * indent}{self.name} [{dur}]{attrs}"]
+        lines.extend(c.render(indent + 1) for c in self.children)
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Collects finished root spans; one per process (see :func:`get_tracer`).
+
+    Roots are capped (FIFO) so a long-lived process cannot grow without
+    bound; the number of dropped roots is reported in snapshots.
+    """
+
+    def __init__(self, max_roots: int = 4096):
+        self.max_roots = max_roots
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+        self.dropped = 0
+        self._local = threading.local()
+
+    # -- thread-local active-span stack -------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        node = Span(name=name, attributes=attributes)
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        stack.append(node)
+        node.start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.duration = time.perf_counter() - node.start
+            stack.pop()
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                self._add_root(node)
+
+    def _add_root(self, node: Span) -> None:
+        with self._lock:
+            self._roots.append(node)
+            overflow = len(self._roots) - self.max_roots
+            if overflow > 0:
+                del self._roots[:overflow]
+                self.dropped += overflow
+
+    # -- inspection / lifecycle ---------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """Finished root spans, oldest first (a copy)."""
+        with self._lock:
+            return list(self._roots)
+
+    def find(self, name: str) -> Span | None:
+        for root in self.roots():
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def reset(self) -> None:
+        """Drop all collected roots (open spans on live stacks survive)."""
+        with self._lock:
+            self._roots.clear()
+            self.dropped = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "roots": [r.to_dict() for r in self._roots],
+                "dropped": self.dropped,
+            }
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer every instrumented module records into."""
+    return _TRACER
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the global tracer (the usual entry point)."""
+    return _TRACER.span(name, **attributes)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on the calling thread, or None."""
+    return _TRACER.current()

@@ -7,6 +7,7 @@ prepared features — the objective all §3.3 search strategies optimize.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -17,6 +18,7 @@ from repro.errors import PipelineError
 from repro.ml.metrics import accuracy
 from repro.ml.models import Classifier, LogisticRegression
 from repro.ml.selection import kfold_indices
+from repro.obs import metrics, tracing
 from repro.pipelines.operators import STAGES, Operator
 
 
@@ -43,11 +45,22 @@ class PrepPipeline:
     def apply(self, X_train: np.ndarray, y_train: np.ndarray,
               X_test: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Run every operator; raises PipelineError when a step fails."""
+        with tracing.span("pipeline.apply", pipeline=self.describe()):
+            return self._apply(X_train, y_train, X_test)
+
+    def _apply(self, X_train: np.ndarray, y_train: np.ndarray,
+               X_test: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         for op in self.operators:
+            start = time.perf_counter()
             try:
                 X_train, X_test = op.apply(X_train, y_train, X_test)
             except Exception as exc:  # noqa: BLE001 - surface as PipelineError
+                metrics.counter("pipeline.op.failures").inc()
                 raise PipelineError(f"operator {op.name} failed: {exc}") from exc
+            finally:
+                metrics.histogram(f"pipeline.op.{op.stage}.seconds").observe(
+                    time.perf_counter() - start
+                )
             if X_train.shape[1] == 0:
                 raise PipelineError(f"operator {op.name} removed every feature")
         return X_train, X_test
@@ -59,6 +72,13 @@ class PipelineEvaluator:
     Results are memoized per (pipeline names, task name) because search
     strategies frequently re-propose pipelines; the evaluation count —
     the budget currency of E13 — counts only *distinct* evaluations.
+
+    Failures are cached too (re-running a crashing pipeline is wasted
+    budget), but remembered separately, so reports can distinguish "this
+    pipeline crashed and we served the cached 0.0 again" from "this
+    pipeline genuinely scores poorly": cache hits on failed entries count
+    into ``pipeline.eval.cache.failure_hits`` instead of
+    ``pipeline.eval.cache.hits``.
     """
 
     def __init__(self, make_model: Callable[[], Classifier] | None = None,
@@ -68,28 +88,41 @@ class PipelineEvaluator:
         self.seed = seed
         self.evaluations = 0
         self._cache: dict[tuple, float] = {}
+        self._failed: set[tuple] = set()
 
     def score(self, pipeline: PrepPipeline, task: MLTask) -> float:
         """Mean CV accuracy; failed pipelines score 0."""
         key = (pipeline.names, task.name)
         if key in self._cache:
+            if key in self._failed:
+                metrics.counter("pipeline.eval.cache.failure_hits").inc()
+            else:
+                metrics.counter("pipeline.eval.cache.hits").inc()
             return self._cache[key]
+        metrics.counter("pipeline.eval.cache.misses").inc()
+        metrics.counter("pipeline.eval.evaluations").inc()
         self.evaluations += 1
-        scores = []
-        try:
-            for train_idx, test_idx in kfold_indices(len(task.X), self.folds, self.seed):
-                X_train, X_test = task.X[train_idx], task.X[test_idx]
-                y_train, y_test = task.y[train_idx], task.y[test_idx]
-                X_train_p, X_test_p = pipeline.apply(X_train, y_train, X_test)
-                if np.isnan(X_train_p).any() or np.isnan(X_test_p).any():
-                    # Classifiers cannot digest NaN; pipelines that skip
-                    # imputation on a missing-data task fail here.
-                    raise PipelineError("NaN survived the pipeline")
-                model = self.make_model()
-                model.fit(X_train_p, y_train)
-                scores.append(accuracy(y_test, model.predict(X_test_p)))
-            result = float(np.mean(scores))
-        except PipelineError:
-            result = 0.0
+        with tracing.span("pipeline.evaluate", pipeline=pipeline.describe(),
+                          task=task.name) as span:
+            scores = []
+            try:
+                for train_idx, test_idx in kfold_indices(len(task.X), self.folds,
+                                                         self.seed):
+                    X_train, X_test = task.X[train_idx], task.X[test_idx]
+                    y_train, y_test = task.y[train_idx], task.y[test_idx]
+                    X_train_p, X_test_p = pipeline.apply(X_train, y_train, X_test)
+                    if np.isnan(X_train_p).any() or np.isnan(X_test_p).any():
+                        # Classifiers cannot digest NaN; pipelines that skip
+                        # imputation on a missing-data task fail here.
+                        raise PipelineError("NaN survived the pipeline")
+                    model = self.make_model()
+                    model.fit(X_train_p, y_train)
+                    scores.append(accuracy(y_test, model.predict(X_test_p)))
+                result = float(np.mean(scores))
+            except PipelineError:
+                result = 0.0
+                self._failed.add(key)
+                metrics.counter("pipeline.eval.failures").inc()
+            span.set(score=result, failed=key in self._failed)
         self._cache[key] = result
         return result

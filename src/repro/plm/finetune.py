@@ -10,6 +10,7 @@ Two task shapes cover the tutorial's applications:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +18,7 @@ import numpy as np
 from repro.errors import NotFittedError
 from repro.nn.functional import cross_entropy
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.obs import metrics, tracing
 from repro.plm.model import ClassifierHead, MiniBert
 
 
@@ -47,20 +49,31 @@ class _BertClassifierBase:
                   epochs: int, batch_size: int) -> FinetuneReport:
         n = len(labels)
         losses = []
-        for _ in range(epochs):
-            order = self._rng.permutation(n)
-            for lo in range(0, n, batch_size):
-                batch = order[lo : lo + batch_size]
-                cls = self.encoder.cls_embedding(ids[batch], mask=masks[batch])
-                if self.freeze_encoder:
-                    cls = cls.detach()
-                logits = self.head(cls)
-                loss = cross_entropy(logits, labels[batch])
-                self._optimizer.zero_grad()
-                loss.backward()
-                clip_grad_norm(self._optimizer.parameters, 5.0)
-                self._optimizer.step()
-                losses.append(loss.item())
+        epoch_hist = metrics.histogram("plm.finetune.epoch_seconds")
+        with tracing.span("plm.finetune", classifier=type(self).__name__,
+                          examples=n, epochs=epochs) as span:
+            for epoch in range(epochs):
+                with tracing.span("plm.finetune.epoch", epoch=epoch):
+                    epoch_start = time.perf_counter()
+                    order = self._rng.permutation(n)
+                    for lo in range(0, n, batch_size):
+                        batch = order[lo : lo + batch_size]
+                        cls = self.encoder.cls_embedding(
+                            ids[batch], mask=masks[batch]
+                        )
+                        if self.freeze_encoder:
+                            cls = cls.detach()
+                        logits = self.head(cls)
+                        loss = cross_entropy(logits, labels[batch])
+                        self._optimizer.zero_grad()
+                        loss.backward()
+                        clip_grad_norm(self._optimizer.parameters, 5.0)
+                        self._optimizer.step()
+                        losses.append(loss.item())
+                    metrics.counter("plm.finetune.epochs").inc()
+                    epoch_hist.observe(time.perf_counter() - epoch_start)
+            if losses:
+                span.set(initial_loss=losses[0], final_loss=losses[-1])
         self.fitted = True
         return FinetuneReport(losses=losses)
 

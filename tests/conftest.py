@@ -1,11 +1,16 @@
 """Shared fixtures.  Expensive artifacts (world, corpus, trained encoders)
-are session-scoped so the suite trains each of them once."""
+are session-scoped so the suite trains each of them once.
+
+Observability state (the global metrics registry and tracer) is reset
+before every test, so counter assertions are order-independent no matter
+which tests — or session fixtures — ran first."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.datasets.em import products_em
 from repro.datasets.world import make_world, world_corpus
 from repro.embeddings import SkipGramModel, Vocab
@@ -78,6 +83,12 @@ def fact_store(world):
 @pytest.fixture(scope="session")
 def foundation_model(fact_store):
     return FoundationModel(fact_store)
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.reset()
+    yield
 
 
 @pytest.fixture

@@ -1,0 +1,370 @@
+"""Observability: spans, metrics, logging, run reports, instrumented paths."""
+
+import json
+import logging
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro import obs
+from repro.evaluation import ResultTable
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class TestSpans:
+    def test_nesting_and_timing(self):
+        with obs.span("outer", kind="test") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert outer.finished and inner.finished
+        assert outer.children == [inner]
+        assert inner.children == []
+        assert outer.duration >= inner.duration >= 0.0
+        assert outer.attributes == {"kind": "test"}
+
+    def test_roots_collected_globally(self):
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            with obs.span("b.child"):
+                pass
+        roots = obs.get_tracer().roots()
+        assert [r.name for r in roots] == ["a", "b"]
+        assert obs.get_tracer().find("b.child").name == "b.child"
+
+    def test_current_span(self):
+        assert obs.current_span() is None
+        with obs.span("live") as live:
+            assert obs.current_span() is live
+            live.set(extra=1)
+        assert obs.current_span() is None
+        assert live.attributes["extra"] == 1
+
+    def test_exception_still_closes_span(self):
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("x")
+        (root,) = obs.get_tracer().roots()
+        assert root.name == "boom" and root.finished
+
+    def test_thread_local_stacks_do_not_interleave(self):
+        def worker():
+            with obs.span("thread.root"):
+                with obs.span("thread.child"):
+                    pass
+
+        with obs.span("main.root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The thread's spans must not have attached under main.root.
+        names = sorted(r.name for r in obs.get_tracer().roots())
+        assert names == ["main.root", "thread.root"]
+        main = obs.get_tracer().find("main.root")
+        assert main.children == []
+
+    def test_root_cap_drops_oldest(self):
+        tracer = Tracer(max_roots=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.roots()] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_span_dict_round_trip(self):
+        with obs.span("parent", depth=0):
+            with obs.span("child", depth=1):
+                pass
+        (root,) = obs.get_tracer().roots()
+        clone = obs.Span.from_dict(root.to_dict())
+        assert clone.name == "parent"
+        assert clone.children[0].name == "child"
+        assert clone.children[0].attributes == {"depth": 1}
+        assert clone.duration == root.duration
+
+
+class TestMetrics:
+    def test_counter_math(self):
+        c = obs.counter("t.count")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = obs.gauge("t.gauge")
+        g.set(3.5)
+        g.add(-1.0)
+        assert g.value == 2.5
+
+    def test_histogram_summary(self):
+        h = Histogram("t.hist", buckets=(1.0, 2.0, 4.0))
+        for v in [0.5, 1.5, 1.6, 3.0, 10.0]:
+            h.observe(v)
+        assert h.count == 5
+        assert h.min == 0.5 and h.max == 10.0
+        assert h.mean == pytest.approx(3.32)
+        # p50 falls in the (1, 2] bucket; upper bound 2.0 is the estimate.
+        assert h.quantile(0.5) == 2.0
+        # p95+ lands in the overflow slot, which reports the true max.
+        assert h.quantile(0.95) == 10.0
+        assert h.quantile(1.0) == 10.0
+
+    def test_histogram_empty_and_bad_quantile(self):
+        h = Histogram("t.h2", buckets=(1.0,))
+        assert h.quantile(0.5) is None
+        h.observe(0.1)
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+
+    def test_same_name_same_instrument(self):
+        assert obs.counter("t.same") is obs.counter("t.same")
+        with pytest.raises(TypeError):
+            obs.gauge("t.same")
+
+    def test_reset_zeroes_in_place(self):
+        c = obs.counter("t.reset")
+        c.inc(7)
+        obs.get_registry().reset()
+        assert c.value == 0
+        c.inc()  # the pre-reset reference is still live
+        assert obs.counter("t.reset").value == 1
+
+    def test_snapshot_skips_idle_instruments(self):
+        obs.counter("t.idle")
+        obs.counter("t.busy").inc()
+        obs.histogram("t.idle_hist")
+        snap = obs.get_registry().snapshot()
+        assert "t.busy" in snap
+        assert "t.idle" not in snap
+        assert "t.idle_hist" not in snap
+
+    def test_fresh_registry_is_independent(self):
+        mine = MetricsRegistry()
+        mine.counter("x").inc()
+        assert obs.get_registry().get("x") is None
+
+
+class TestLogging:
+    def test_import_configures_null_handler_only(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_get_logger_prefixes(self):
+        assert obs.get_logger("plm").name == "repro.plm"
+        assert obs.get_logger("repro.plm").name == "repro.plm"
+        assert obs.get_logger().name == "repro"
+
+    def test_configure_idempotent_and_unconfigure(self):
+        before = len(logging.getLogger("repro").handlers)
+        obs.configure(verbosity=2)
+        obs.configure(verbosity=0)
+        try:
+            assert len(logging.getLogger("repro").handlers) == before + 1
+            assert logging.getLogger("repro").level == logging.WARNING
+        finally:
+            obs.unconfigure()
+        assert len(logging.getLogger("repro").handlers) == before
+
+    def test_result_table_show_routes_through_logger(self, capsys):
+        table = ResultTable("routed", ["a"])
+        table.add(1)
+        table.show()
+        out = capsys.readouterr().out
+        assert "== routed ==" in out
+
+    def test_result_table_show_can_be_silenced(self, capsys):
+        logger = obs.results_logger()
+        logger.disabled = True
+        try:
+            table = ResultTable("quiet", ["a"])
+            table.add(1)
+            table.show()
+        finally:
+            logger.disabled = False
+        assert capsys.readouterr().out == ""
+
+
+class TestResultTableSerialization:
+    def test_json_round_trip(self):
+        table = ResultTable("rt", ["name", "score"])
+        table.add("a", 0.5)
+        table.add("b", 1.0)
+        clone = ResultTable.from_json(table.to_json())
+        assert clone.title == "rt"
+        assert clone.columns == ["name", "score"]
+        assert clone.rows == [["a", 0.5], ["b", 1.0]]
+        assert clone.render() == table.render()
+
+
+class TestRunReport:
+    def test_schema_and_round_trip(self):
+        obs.counter("rr.count").inc(3)
+        obs.histogram("rr.lat").observe(0.01)
+        with obs.span("rr.root"):
+            with obs.span("rr.leaf"):
+                pass
+        report = obs.RunReport.collect("unit")
+        data = json.loads(report.to_json())
+        assert data["schema_version"] == 1
+        assert data["name"] == "unit"
+        assert data["metrics"]["rr.count"]["value"] == 3
+        assert data["metrics"]["rr.lat"]["count"] == 1
+        (root,) = data["spans"]
+        assert root["name"] == "rr.root"
+        assert root["children"][0]["name"] == "rr.leaf"
+        assert root["duration_s"] >= root["children"][0]["duration_s"]
+        # The embedded table uses the shared ResultTable serialization.
+        table = ResultTable.from_dict(data["metrics_table"])
+        assert "rr.count" in table.column("metric")
+
+        clone = obs.RunReport.from_json(report.to_json())
+        assert clone.metrics == report.metrics
+        assert [s.name for s in clone.spans] == ["rr.root"]
+
+    def test_save_and_load(self, tmp_path):
+        obs.counter("rr.save").inc()
+        report = obs.RunReport.collect("disk")
+        path = report.save(tmp_path / "sub" / "r.json")
+        loaded = obs.RunReport.load(path)
+        assert loaded.name == "disk"
+        assert loaded.metrics["rr.save"]["value"] == 1
+
+    def test_render_mentions_spans_and_metrics(self):
+        obs.counter("rr.render").inc()
+        with obs.span("rr.render_span"):
+            pass
+        text = obs.RunReport.collect("r").render()
+        assert "rr.render_span" in text
+        assert "rr.render" in text
+
+
+class TestInstrumentedPaths:
+    """One small end-to-end run exercises every instrumented subsystem and
+    must produce the report the acceptance criteria describe: nested spans
+    with durations plus ≥5 distinct metrics."""
+
+    def test_foundation_model_counters(self, foundation_model):
+        foundation_model.complete(
+            "Task: answer the question\nInput: what is 2 + 2\nOutput:"
+        )
+        foundation_model.complete("Task: fix the value\nInput: ApEx\nOutput:")
+        reg = obs.get_registry()
+        assert reg.get("fm.prompts").value == 2
+        assert reg.get("fm.completions.qa").value == 1
+        assert reg.get("fm.completions.cleaning").value == 1
+        assert reg.get("fm.complete.seconds").count == 2
+
+    def test_full_run_report(self, world, foundation_model, em_products,
+                             vocab, corpus, tmp_path):
+        from repro.matching.blocking import KeyBlocker
+        from repro.plm import MiniBert, MLMPretrainer
+
+        with obs.span("test.run"):
+            foundation_model.complete(
+                "Task: answer the question\nInput: capital of france\nOutput:"
+            )
+            task = _small_task()
+            evaluator = _score_twice(task)
+            KeyBlocker().evaluate(em_products)
+            encoder = MiniBert(vocab, dim=8, num_layers=1, num_heads=1,
+                               ff_dim=16, max_len=16, seed=0)
+            MLMPretrainer(encoder, seed=0).train(corpus[:20], steps=2,
+                                                 batch_size=4)
+
+        report = obs.RunReport.collect("full-run")
+        report.save(tmp_path / "full_run.json")
+        data = json.loads((tmp_path / "full_run.json").read_text())
+
+        # ≥5 distinct metrics across the instrumented subsystems.
+        for name in ["fm.prompts", "pipeline.eval.cache.hits",
+                     "pipeline.eval.cache.misses", "blocking.candidates",
+                     "plm.pretrain.step_seconds"]:
+            assert name in data["metrics"], name
+        assert any(k.startswith("pipeline.op.") for k in data["metrics"])
+        assert len(data["metrics"]) >= 5
+
+        # Nested spans with durations: run -> evaluate -> apply, plus the
+        # blocking and pretrain subtrees.
+        (root,) = data["spans"]
+        assert root["name"] == "test.run"
+        child_names = {c["name"] for c in root["children"]}
+        assert {"pipeline.evaluate", "blocking.evaluate",
+                "plm.pretrain"} <= child_names
+        evaluate = next(c for c in root["children"]
+                        if c["name"] == "pipeline.evaluate")
+        assert evaluate["children"][0]["name"] == "pipeline.apply"
+        assert evaluate["duration_s"] > 0.0
+        assert evaluator.evaluations == 1
+
+    def test_blocking_counters(self, em_products):
+        from repro.matching.blocking import KeyBlocker
+
+        result = KeyBlocker().evaluate(em_products)
+        reg = obs.get_registry()
+        assert reg.get("blocking.evaluations").value == 1
+        assert reg.get("blocking.candidates").value == result.num_candidates
+
+    def test_matcher_pair_counters(self, em_products):
+        from repro.matching import RuleBasedMatcher
+
+        pairs = em_products.labeled_pairs(20)
+        RuleBasedMatcher().evaluate(
+            [(a, b) for a, b, _ in pairs],
+            np.array([l for _, _, l in pairs]),
+        )
+        reg = obs.get_registry()
+        assert reg.get("matching.evaluations").value == 1
+        assert reg.get("matching.pairs_compared").value == 20
+
+    def test_cached_failure_hits_distinguished(self):
+        from repro.pipelines import PipelineEvaluator, PrepPipeline
+        from repro.pipelines.operators import Operator
+
+        task = _small_task(missing_rate=0.3)
+        # No imputation on a missing-heavy task -> NaN -> PipelineError.
+        broken = PrepPipeline((Operator("noop", "impute", lambda a, b, c: (a, c)),))
+        evaluator = PipelineEvaluator(seed=0)
+        assert evaluator.score(broken, task) == 0.0
+        assert evaluator.score(broken, task) == 0.0
+        reg = obs.get_registry()
+        assert reg.get("pipeline.eval.failures").value == 1
+        assert reg.get("pipeline.eval.cache.failure_hits").value == 1
+        # A crashed re-serve is *not* an ordinary cache hit.
+        assert (reg.get("pipeline.eval.cache.hits") is None
+                or reg.get("pipeline.eval.cache.hits").value == 0)
+
+    def test_reset_keeps_instrumentation_order_independent(self, foundation_model):
+        foundation_model.complete("Task: fix the value\nInput: x\nOutput:")
+        obs.reset()
+        assert obs.get_registry().snapshot() == {}
+        assert obs.get_tracer().roots() == []
+        foundation_model.complete("Task: fix the value\nInput: x\nOutput:")
+        assert obs.get_registry().get("fm.prompts").value == 1
+
+    def test_package_exports_obs(self):
+        assert repro.obs is obs
+
+
+def _small_task(missing_rate: float = 0.1):
+    from repro.datasets.mltasks import make_ml_task
+
+    return make_ml_task("obs-task", missing_rate=missing_rate,
+                        n_samples=60, seed=3)
+
+
+def _score_twice(task):
+    from repro.pipelines import PipelineEvaluator, build_registry, pipeline_from_names
+
+    registry = build_registry()
+    pipeline = pipeline_from_names(
+        registry, ("impute_mean", "none", "none", "none", "none")
+    )
+    evaluator = PipelineEvaluator(seed=0)
+    evaluator.score(pipeline, task)
+    evaluator.score(pipeline, task)  # second call is a cache hit
+    return evaluator

@@ -118,6 +118,26 @@ class TestEvaluator:
         evaluator.score(pipeline, missing_task)
         assert evaluator.evaluations == 1
 
+    def test_cache_counters_match_evaluations(self, registry, missing_task):
+        from repro import obs
+
+        evaluator = PipelineEvaluator(seed=0)
+        good = pipeline_from_names(
+            registry, ("impute_mean", "none", "none", "none", "none")
+        )
+        other = pipeline_from_names(
+            registry, ("impute_median", "none", "none", "none", "none")
+        )
+        for pipeline in (good, other, good, good, other):
+            evaluator.score(pipeline, missing_task)
+        reg = obs.get_registry()
+        # Misses are exactly the distinct evaluations; the rest are hits.
+        assert reg.get("pipeline.eval.cache.misses").value == evaluator.evaluations == 2
+        assert reg.get("pipeline.eval.cache.hits").value == 3
+        # Successful pipelines never count as failure re-serves.
+        failure_hits = reg.get("pipeline.eval.cache.failure_hits")
+        assert failure_hits is None or failure_hits.value == 0
+
     def test_interaction_task_rewards_polynomial(self, registry):
         task = make_ml_task("interaction", interaction=True, missing_rate=0.0,
                             outlier_rate=0.0, n_samples=240, seed=2)

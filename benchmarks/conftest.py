@@ -24,7 +24,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro import obs
+from repro import obs, resilience
 from repro.datasets.em import papers_em, products_em, restaurants_em
 from repro.datasets.world import make_world, world_corpus
 from repro.embeddings import FastTextModel, SkipGramModel, Vocab
@@ -56,6 +56,7 @@ def obs_run_report(request):
     to the raw pytest-benchmark timing.
     """
     obs.reset()
+    resilience.reset()
     yield
     out_dir = _report_dir()
     if out_dir is None:

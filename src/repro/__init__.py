@@ -34,29 +34,44 @@ logging / run-report layer::
     obs.RunReport.collect("my-run").save("report.json")
 """
 
-from repro import obs
+from repro import obs, resilience
 from repro.errors import (
+    CircuitOpenError,
     ConvergenceError,
+    DeadlineExceededError,
+    FallbackExhaustedError,
+    FaultInjectionError,
     KnowledgeError,
     NotFittedError,
     ParseError,
     PipelineError,
     ReproError,
+    ResilienceError,
+    RetryExhaustedError,
     SchemaError,
+    TransientError,
     TypeMismatchError,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CircuitOpenError",
     "ConvergenceError",
+    "DeadlineExceededError",
+    "FallbackExhaustedError",
+    "FaultInjectionError",
     "KnowledgeError",
     "NotFittedError",
     "ParseError",
     "PipelineError",
     "ReproError",
+    "ResilienceError",
+    "RetryExhaustedError",
     "SchemaError",
+    "TransientError",
     "TypeMismatchError",
     "__version__",
     "obs",
+    "resilience",
 ]

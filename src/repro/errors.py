@@ -38,3 +38,35 @@ class PipelineError(ReproError):
 
 class KnowledgeError(ReproError):
     """The simulated foundation model was asked about facts it cannot know."""
+
+
+class TransientError(ReproError):
+    """A failure expected to clear on retry (timeouts, flaky completions).
+
+    Retry policies treat :class:`TransientError` (anywhere in an exception's
+    ``__cause__`` chain) as retryable; every other error is permanent.
+    """
+
+
+class FaultInjectionError(TransientError):
+    """An artificial failure raised at a named chaos injection point."""
+
+
+class ResilienceError(ReproError):
+    """Base class for failures of the resilience machinery itself."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """Every attempt a :class:`~repro.resilience.RetryPolicy` allows failed."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """An operation outlived its :class:`~repro.resilience.Deadline`."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was rejected because its circuit breaker is open."""
+
+
+class FallbackExhaustedError(ResilienceError):
+    """Every tier of a :class:`~repro.resilience.FallbackChain` failed."""

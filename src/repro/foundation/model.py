@@ -23,10 +23,12 @@ import hashlib
 import re
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.foundation.knowledge import FactStore
 from repro.foundation.prompts import Prompt, parse_prompt
 from repro.obs import metrics
+from repro.resilience import FallbackChain, RetryPolicy, faults
 from repro.text.similarity import jaccard_similarity, jaro_winkler_similarity
 from repro.text.tokenize import words
 
@@ -53,13 +55,27 @@ _ARITH_RE = re.compile(
 
 @dataclass
 class Completion:
-    """A model completion with the model's self-estimated confidence."""
+    """A model completion with the model's self-estimated confidence.
+
+    ``tier`` records which fallback tier served it: ``"fm"`` for a real
+    completion, the tier's name (e.g. ``"plm"``, ``"degraded"``) when the
+    model itself failed and a lower tier answered instead.
+    """
 
     text: str
     confidence: float = 0.5
+    tier: str = "fm"
 
     def __str__(self) -> str:
         return self.text
+
+    @property
+    def degraded(self) -> bool:
+        return self.tier != "fm"
+
+
+#: A completion fallback tier: parsed prompt → (task kind, completion).
+CompletionTier = Callable[[Prompt], tuple[str, Completion]]
 
 
 class RepairFunction:
@@ -116,44 +132,89 @@ REPAIRS = [
 
 
 class FoundationModel:
-    """A prompt-in / text-out model with explicit knowledge and limitations."""
+    """A prompt-in / text-out model with explicit knowledge and limitations.
+
+    Completion is resilient by default: each ``complete`` call passes the
+    ``fm.complete`` chaos injection point, retries transient faults on
+    ``retry`` (deterministic backoff, injectable clock), then degrades down
+    a fallback chain — any caller-supplied ``fallback_tiers`` (e.g. a PLM
+    answerer) and finally a rule-free echo tier, so the model *always
+    produces something* unless ``strict=True`` asks for the raw failure.
+    """
+
+    #: Default retry for transient completion faults: fast, tightly bounded.
+    DEFAULT_RETRY = RetryPolicy(max_attempts=5, base_delay=0.001,
+                                max_delay=0.05)
 
     def __init__(self, store: FactStore, seed: int = 0,
-                 arithmetic_precision: int = 2):
+                 arithmetic_precision: int = 2,
+                 retry: RetryPolicy | None = None,
+                 fallback_tiers: list[tuple[str, "CompletionTier"]] | None = None):
         self.store = store
         self.seed = seed
         #: Operand digit count up to which arithmetic is exact.  Mirrors the
         #: empirical observation that LLMs do small-number math reliably but
         #: drift on long operands.
         self.arithmetic_precision = arithmetic_precision
+        self.retry = retry or self.DEFAULT_RETRY
+        self.fallback_tiers = list(fallback_tiers or [])
 
     # -- public API ---------------------------------------------------------
 
-    def complete(self, prompt_text: str) -> Completion:
-        """Answer a textual prompt (the GPT-3-style API)."""
+    def complete(self, prompt_text: str, strict: bool = False) -> Completion:
+        """Answer a textual prompt (the GPT-3-style API).
+
+        ``strict=True`` skips the fallback chain: transient faults are still
+        retried, but exhaustion raises instead of degrading — callers that
+        run their own fallback (e.g. :class:`FallbackMatcher`) use this.
+        """
         start = time.perf_counter()
         metrics.counter("fm.prompts").inc()
         prompt = parse_prompt(prompt_text)
         if prompt.demonstrations:
             metrics.counter("fm.prompts.few_shot").inc()
-        task = prompt.task.lower()
-        if "same entity" in task or "yes or no" in task:
-            kind, completion = "matching", self._do_matching(prompt)
-        elif task.startswith("fix"):
-            kind, completion = "cleaning", self._do_cleaning(prompt)
-        elif "impute" in task or "missing" in task:
-            kind, completion = "imputation", self._do_imputation(prompt)
-        elif "answer" in task or "question" in task:
-            kind, completion = "qa", self._do_qa(prompt)
+
+        def primary(p: Prompt) -> tuple[str, Completion]:
+            def attempt() -> tuple[str, Completion]:
+                faults.point("fm.complete")
+                kind, completion = self._dispatch(p)
+                completion.text = faults.corrupt("fm.complete", completion.text)
+                return kind, completion
+            return self.retry.call(attempt, name="fm.complete")
+
+        if strict:
+            kind, completion = primary(prompt)
         else:
-            # Unknown task: fall back to echoing, with low confidence — a
+            tiers: list[tuple[str, "CompletionTier"]] = [("fm", primary)]
+            tiers.extend(self.fallback_tiers)
+            # The floor: echo the query with rock-bottom confidence — a
             # foundation model always produces *something*.
-            kind, completion = "unknown", Completion(prompt.query, confidence=0.1)
+            tiers.append(("degraded", lambda p: (
+                "degraded", Completion(p.query, confidence=0.05)
+            )))
+            (kind, completion), tier = FallbackChain(
+                "fm.complete", tiers
+            ).serve(prompt)
+            completion.tier = tier
         metrics.counter(f"fm.completions.{kind}").inc()
         metrics.histogram("fm.complete.seconds").observe(
             time.perf_counter() - start
         )
         return completion
+
+    def _dispatch(self, prompt: Prompt) -> tuple[str, Completion]:
+        """Route a parsed prompt to its task mechanism → (kind, completion)."""
+        task = prompt.task.lower()
+        if "same entity" in task or "yes or no" in task:
+            return "matching", self._do_matching(prompt)
+        if task.startswith("fix"):
+            return "cleaning", self._do_cleaning(prompt)
+        if "impute" in task or "missing" in task:
+            return "imputation", self._do_imputation(prompt)
+        if "answer" in task or "question" in task:
+            return "qa", self._do_qa(prompt)
+        # Unknown task: echo with low confidence.
+        return "unknown", Completion(prompt.query, confidence=0.1)
 
     # -- entity matching ------------------------------------------------------
 

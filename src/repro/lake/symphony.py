@@ -22,6 +22,7 @@ from repro.obs import metrics, tracing
 from repro.lake.lake import DataLake
 from repro.lake.tableqa import TableQA
 from repro.lake.text2sql import TextToSQL
+from repro.resilience import FallbackChain, degradation, faults
 from repro.sql import Database
 
 _AGG_HINTS = (
@@ -34,7 +35,11 @@ _SPLIT_RE = re.compile(r"\s*(?:;|\?\s+and\b|\band then\b|\balso\b|\?)\s*", re.IG
 
 @dataclass
 class SubQueryResult:
-    """Trace of one sub-query through retrieve → route → answer."""
+    """Trace of one sub-query through retrieve → route → answer.
+
+    ``error`` is non-None when the sub-query crashed and was degraded to an
+    "unknown" answer instead of aborting the whole multi-part question.
+    """
 
     sub_query: str
     dataset: str | None
@@ -42,6 +47,11 @@ class SubQueryResult:
     module: str | None
     answer: str
     sql: str | None = None
+    error: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.error is not None
 
 
 @dataclass
@@ -102,22 +112,41 @@ class Symphony:
     # -- stage 4: routing ----------------------------------------------------------
 
     def answer(self, question: str) -> SymphonyResult:
-        """Decompose, retrieve, route, and answer."""
+        """Decompose, retrieve, route, and answer.
+
+        Sub-query failures are isolated: a crashing sub-query yields a
+        degraded :class:`SubQueryResult` (``answer="unknown"``, ``error``
+        set, a recorded ``DegradationEvent``) and the remaining sub-queries
+        still run — one bad part never aborts a multi-part answer.
+        """
         with tracing.span("symphony.answer", question=question) as span:
             metrics.counter("symphony.questions").inc()
             result = SymphonyResult(question=question)
             for sub_query in self.decompose(question):
                 with tracing.span("symphony.subquery", sub_query=sub_query):
-                    step = self._answer_one(sub_query)
+                    try:
+                        step = self._answer_one(sub_query)
+                    except Exception as exc:  # noqa: BLE001 - isolate subquery
+                        metrics.counter("symphony.subquery.degraded").inc()
+                        degradation.record(
+                            component="symphony", point=sub_query,
+                            action="degraded_subquery", error=str(exc),
+                        )
+                        step = SubQueryResult(
+                            sub_query=sub_query, dataset=None, kind=None,
+                            module=None, answer="unknown", error=str(exc),
+                        )
                 # Routing decisions are the E5 diagnostic: which module each
                 # sub-query landed on, and how often retrieval came up empty.
                 module = step.module or "unrouted"
                 metrics.counter(f"symphony.route.{module}").inc()
                 result.steps.append(step)
-            span.set(sub_queries=len(result.steps))
+            span.set(sub_queries=len(result.steps),
+                     degraded=sum(1 for s in result.steps if s.degraded))
             return result
 
     def _answer_one(self, sub_query: str) -> SubQueryResult:
+        faults.point("symphony.subquery")
         wants_aggregate = any(h in sub_query.lower() for h in _AGG_HINTS)
         located = self.retrieve(
             sub_query, prefer_kind="table" if wants_aggregate else None
@@ -133,28 +162,35 @@ class Symphony:
                 sub_query=sub_query, dataset=name, kind=kind, module="doc-qa",
                 answer=self._doc_answer(name, sub_query),
             )
+        # Table routing is a fallback chain: Text-to-SQL (aggregates only)
+        # degrades to TableQA degrades to an honest "unknown".
+        tiers: list[tuple[str, object]] = []
         if wants_aggregate:
-            try:
-                grounded = self._text2sql[name].translate(sub_query)
-                table = self._db.query(grounded.sql)
-                answer = self._scalarize(table)
-                return SubQueryResult(
-                    sub_query=sub_query, dataset=name, kind=kind,
-                    module="text-to-sql", answer=answer, sql=grounded.sql,
-                )
-            except (ParseError, ReproError):
-                pass  # fall through to TableQA
-        try:
-            qa = self._tableqa[name].answer(sub_query)
-            return SubQueryResult(
-                sub_query=sub_query, dataset=name, kind=kind,
-                module="table-qa", answer=qa.text,
-            )
-        except ParseError:
-            return SubQueryResult(
-                sub_query=sub_query, dataset=name, kind=kind,
-                module=None, answer="unknown",
-            )
+            tiers.append(("text-to-sql", self._sql_answer))
+        tiers.append(("table-qa", self._tableqa_answer))
+        tiers.append(("no-answer", lambda q, n, k: SubQueryResult(
+            sub_query=q, dataset=n, kind=k, module=None, answer="unknown",
+        )))
+        chain = FallbackChain("symphony.table", tiers,
+                              catch=(ParseError, ReproError))
+        result, _tier = chain.serve(sub_query, name, kind)
+        return result
+
+    def _sql_answer(self, sub_query: str, name: str, kind: str) -> SubQueryResult:
+        grounded = self._text2sql[name].translate(sub_query)
+        table = self._db.query(grounded.sql)
+        return SubQueryResult(
+            sub_query=sub_query, dataset=name, kind=kind,
+            module="text-to-sql", answer=self._scalarize(table),
+            sql=grounded.sql,
+        )
+
+    def _tableqa_answer(self, sub_query: str, name: str, kind: str) -> SubQueryResult:
+        qa = self._tableqa[name].answer(sub_query)
+        return SubQueryResult(
+            sub_query=sub_query, dataset=name, kind=kind,
+            module="table-qa", answer=qa.text,
+        )
 
     def _doc_answer(self, name: str, sub_query: str) -> str:
         """Extractive QA: the document sentence sharing the most query tokens."""

@@ -18,6 +18,7 @@ from repro.matching.ditto import DittoMatcher, serialize_record
 from repro.matching.matchers import (
     EmbeddingMatcher,
     EntityMatcher,
+    FallbackMatcher,
     FoundationModelMatcher,
     RuleBasedMatcher,
     attribute_similarities,
@@ -50,6 +51,7 @@ __all__ = [
     "EmbeddingMatcher",
     "EntityCluster",
     "EntityMatcher",
+    "FallbackMatcher",
     "FeatureAnnotator",
     "FoundationModelMatcher",
     "KeyBlocker",

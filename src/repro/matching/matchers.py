@@ -16,10 +16,12 @@ import numpy as np
 from repro.datasets.em import Record
 from repro.foundation.model import FoundationModel
 from repro.foundation.prompts import matching_demo, matching_prompt
+from repro.errors import NotFittedError, ReproError
 from repro.ml.metrics import PRF, precision_recall_f1
 from repro.ml.models import LogisticRegression
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
+from repro.resilience import FallbackChain
 from repro.text.similarity import (
     jaccard_similarity,
     jaro_winkler_similarity,
@@ -142,11 +144,18 @@ class EmbeddingMatcher(EntityMatcher):
 
 class FoundationModelMatcher(EntityMatcher):
     """Prompt a foundation model per pair (§3.1(2)): zero-shot with no
-    demonstrations, few-shot when ``demonstrations`` are provided."""
+    demonstrations, few-shot when ``demonstrations`` are provided.
+
+    ``strict=True`` makes a flaky completion raise (after the model's own
+    retries) instead of degrading to an echo answer — the mode
+    :class:`FallbackMatcher` needs so it can hand the pair to a lower tier.
+    """
 
     def __init__(self, model: FoundationModel,
-                 demonstrations: list[tuple[Record, Record, int]] | None = None):
+                 demonstrations: list[tuple[Record, Record, int]] | None = None,
+                 strict: bool = False):
         self.model = model
+        self.strict = strict
         self.demo_pairs = [
             matching_demo(a.text(), b.text(), bool(label))
             for a, b, label in (demonstrations or [])
@@ -158,11 +167,50 @@ class FoundationModelMatcher(EntityMatcher):
 
     def predict_one(self, a: Record, b: Record) -> int:
         prompt = matching_prompt(a.text(), b.text(), self.demo_pairs)
-        answer = self.model.complete(prompt).text.strip().lower()
-        return 1 if answer == "yes" else 0
+        answer = self.model.complete(prompt, strict=self.strict)
+        return 1 if answer.text.strip().lower() == "yes" else 0
 
     def predict(self, pairs: list[Pair]) -> np.ndarray:
         return np.array([self.predict_one(a, b) for a, b in pairs])
+
+
+class FallbackMatcher(EntityMatcher):
+    """Per-pair degradation across matcher tiers: FM → PLM → rules.
+
+    Each pair is predicted by the best tier that does not raise a
+    :class:`~repro.errors.ReproError` (unfitted PLM matchers and exhausted
+    foundation-model retries both count as tier failures).  Which tier
+    served each pair is counted in ``fallback.matcher.tier.<name>`` and in
+    :meth:`tier_counts` — the §3.1 "flaky completions" failure mode, made
+    survivable.
+    """
+
+    def __init__(self, tiers: list[tuple[str, EntityMatcher]]):
+        self.matchers = dict(tiers)
+        self.chain = FallbackChain(
+            "matcher",
+            [(name, self._tier_fn(matcher)) for name, matcher in tiers],
+            catch=(ReproError,),
+        )
+
+    @staticmethod
+    def _tier_fn(matcher: EntityMatcher):
+        def predict_pair(a: Record, b: Record) -> int:
+            if getattr(matcher, "fitted", True) is False:
+                raise NotFittedError(f"{type(matcher).__name__} is not fitted")
+            return int(matcher.predict([(a, b)])[0])
+        return predict_pair
+
+    def predict_one(self, a: Record, b: Record) -> tuple[int, str]:
+        """(prediction, serving tier name) for one pair."""
+        return self.chain.serve(a, b)
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        return np.array([self.predict_one(a, b)[0] for a, b in pairs])
+
+    def tier_counts(self) -> dict[str, int]:
+        """Pairs served per tier since construction."""
+        return self.chain.tier_counts()
 
 
 def _cosine(a: np.ndarray, b: np.ndarray) -> float:

@@ -29,20 +29,28 @@ SCHEMA_VERSION = 1
 
 @dataclass
 class RunReport:
-    """A named snapshot of spans + metrics, serializable to JSON."""
+    """A named snapshot of spans + metrics + degradations, JSON-serializable."""
 
     name: str
     created_unix: float
     spans: list[Span] = field(default_factory=list)
     metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
     dropped_spans: int = 0
+    #: Graceful-degradation audit trail (dicts; see repro.resilience).
+    degradations: list[dict[str, Any]] = field(default_factory=list)
 
     # -- collection ---------------------------------------------------------
 
     @classmethod
     def collect(cls, name: str, tracer: Tracer | None = None,
                 registry: MetricsRegistry | None = None) -> "RunReport":
-        """Snapshot the (global, unless given) tracer and registry."""
+        """Snapshot the (global, unless given) tracer, registry and the
+        global degradation log."""
+        # Lazy import: repro.obs sits below repro.resilience in the layering;
+        # only this snapshot point reads upward (mirrors the lazy ResultTable
+        # import in metrics_table).
+        from repro.resilience.degradation import get_log
+
         tracer = tracer or get_tracer()
         registry = registry or get_registry()
         return cls(
@@ -51,6 +59,7 @@ class RunReport:
             spans=tracer.roots(),
             metrics=registry.snapshot(),
             dropped_spans=tracer.dropped,
+            degradations=[e.to_dict() for e in get_log().events()],
         )
 
     # -- serialization ------------------------------------------------------
@@ -63,6 +72,7 @@ class RunReport:
             "spans": [s.to_dict() for s in self.spans],
             "metrics": self.metrics,
             "dropped_spans": self.dropped_spans,
+            "degradations": list(self.degradations),
             # The human-readable summary, via the shared table path.
             "metrics_table": self.metrics_table().to_dict(),
         }
@@ -75,6 +85,7 @@ class RunReport:
             spans=[Span.from_dict(s) for s in data.get("spans", [])],
             metrics=dict(data.get("metrics", {})),
             dropped_spans=data.get("dropped_spans", 0),
+            degradations=[dict(d) for d in data.get("degradations", [])],
         )
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -118,12 +129,25 @@ class RunReport:
     def spans_text(self) -> str:
         return "\n".join(s.render() for s in self.spans)
 
+    def degradations_text(self, limit: int = 50) -> str:
+        lines = [f"degradations: {len(self.degradations)}"]
+        for event in self.degradations[:limit]:
+            error = event.get("error", "")
+            line = (f"  {event.get('component', '?')}/{event.get('point', '?')}: "
+                    f"{event.get('action', '?')}")
+            lines.append(f"{line} ({error})" if error else line)
+        if len(self.degradations) > limit:
+            lines.append(f"  ... and {len(self.degradations) - limit} more")
+        return "\n".join(lines)
+
     def render(self) -> str:
         parts = [f"== run report: {self.name} =="]
         if self.spans:
             parts.append(self.spans_text())
         if self.dropped_spans:
             parts.append(f"({self.dropped_spans} root spans dropped)")
+        if self.degradations:
+            parts.append(self.degradations_text())
         parts.append(self.metrics_table().render())
         return "\n".join(parts)
 

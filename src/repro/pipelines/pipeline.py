@@ -20,6 +20,14 @@ from repro.ml.models import Classifier, LogisticRegression
 from repro.ml.selection import kfold_indices
 from repro.obs import metrics, tracing
 from repro.pipelines.operators import STAGES, Operator
+from repro.resilience import RetryPolicy, degradation, faults, is_transient
+
+#: How a failing operator is handled by :meth:`PrepPipeline.apply`.
+ON_ERROR_MODES = ("raise", "skip", "identity")
+
+#: Per-operator retry for *transient* (injected/flaky) faults only; real
+#: operator exceptions propagate on first failure.
+OPERATOR_RETRY = RetryPolicy(max_attempts=6, base_delay=0.001, max_delay=0.05)
 
 
 @dataclass(frozen=True)
@@ -43,26 +51,70 @@ class PrepPipeline:
         return " -> ".join(f"{op.stage}:{op.name}" for op in self.operators)
 
     def apply(self, X_train: np.ndarray, y_train: np.ndarray,
-              X_test: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Run every operator; raises PipelineError when a step fails."""
-        with tracing.span("pipeline.apply", pipeline=self.describe()):
-            return self._apply(X_train, y_train, X_test)
+              X_test: np.ndarray,
+              on_error: str = "raise") -> tuple[np.ndarray, np.ndarray]:
+        """Run every operator, degrading per ``on_error`` when a step fails:
+
+        - ``"raise"`` — surface the failure as a :class:`PipelineError`
+          (historic behavior, and what the evaluator needs);
+        - ``"skip"`` — drop the failing operator, record a
+          :class:`~repro.resilience.DegradationEvent`, continue with the
+          remaining stages;
+        - ``"identity"`` — stop at the failing operator and serve the
+          features prepared so far (degrade the tail of the pipeline to the
+          identity transform).
+
+        Transient faults (the ``pipeline.operator`` injection point, or any
+        operator raising :class:`~repro.errors.TransientError`) are retried
+        on :data:`OPERATOR_RETRY` before any of the above applies.
+        """
+        if on_error not in ON_ERROR_MODES:
+            raise PipelineError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        with tracing.span("pipeline.apply", pipeline=self.describe(),
+                          on_error=on_error):
+            return self._apply(X_train, y_train, X_test, on_error)
 
     def _apply(self, X_train: np.ndarray, y_train: np.ndarray,
-               X_test: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+               X_test: np.ndarray,
+               on_error: str = "raise") -> tuple[np.ndarray, np.ndarray]:
         for op in self.operators:
             start = time.perf_counter()
             try:
-                X_train, X_test = op.apply(X_train, y_train, X_test)
-            except Exception as exc:  # noqa: BLE001 - surface as PipelineError
+                def attempt() -> tuple[np.ndarray, np.ndarray]:
+                    faults.point("pipeline.operator")
+                    return op.apply(X_train, y_train, X_test)
+
+                new_train, new_test = OPERATOR_RETRY.call(
+                    attempt, name="pipeline.op"
+                )
+                if new_train.shape[1] == 0:
+                    raise PipelineError(
+                        f"operator {op.name} removed every feature"
+                    )
+            except Exception as exc:  # noqa: BLE001 - degrade or re-raise
                 metrics.counter("pipeline.op.failures").inc()
-                raise PipelineError(f"operator {op.name} failed: {exc}") from exc
+                if on_error == "raise":
+                    if isinstance(exc, PipelineError):
+                        raise
+                    raise PipelineError(
+                        f"operator {op.name} failed: {exc}"
+                    ) from exc
+                metrics.counter("pipeline.op.degraded").inc()
+                degradation.record(
+                    component="pipeline", point=f"{op.stage}:{op.name}",
+                    action="skipped" if on_error == "skip" else "identity",
+                    error=str(exc), transient=is_transient(exc),
+                )
+                if on_error == "identity":
+                    return X_train, X_test
+                continue  # skip: leave features unchanged, run later stages
             finally:
                 metrics.histogram(f"pipeline.op.{op.stage}.seconds").observe(
                     time.perf_counter() - start
                 )
-            if X_train.shape[1] == 0:
-                raise PipelineError(f"operator {op.name} removed every feature")
+            X_train, X_test = new_train, new_test
         return X_train, X_test
 
 
@@ -74,21 +126,27 @@ class PipelineEvaluator:
     the budget currency of E13 — counts only *distinct* evaluations.
 
     Failures are cached too (re-running a crashing pipeline is wasted
-    budget), but remembered separately, so reports can distinguish "this
-    pipeline crashed and we served the cached 0.0 again" from "this
-    pipeline genuinely scores poorly": cache hits on failed entries count
-    into ``pipeline.eval.cache.failure_hits`` instead of
+    budget), but remembered separately — *with the exception message*, so
+    reports can say both that "this pipeline crashed and we served the
+    cached 0.0 again" and *why* it crashed (``failure_reason``, plus a
+    ``DegradationEvent`` per newly-cached failure): cache hits on failed
+    entries count into ``pipeline.eval.cache.failure_hits`` instead of
     ``pipeline.eval.cache.hits``.
+
+    Transient faults (chaos injection, flaky operators) are retried
+    ``transient_retries`` times before a failure is cached, so one model
+    hiccup does not poison the memo for the rest of the search.
     """
 
     def __init__(self, make_model: Callable[[], Classifier] | None = None,
-                 folds: int = 3, seed: int = 0):
+                 folds: int = 3, seed: int = 0, transient_retries: int = 2):
         self.make_model = make_model or (lambda: LogisticRegression(epochs=100))
         self.folds = folds
         self.seed = seed
+        self.transient_retries = transient_retries
         self.evaluations = 0
         self._cache: dict[tuple, float] = {}
-        self._failed: set[tuple] = set()
+        self._failed: dict[tuple, str] = {}  # key -> failure reason
 
     def score(self, pipeline: PrepPipeline, task: MLTask) -> float:
         """Mean CV accuracy; failed pipelines score 0."""
@@ -104,25 +162,51 @@ class PipelineEvaluator:
         self.evaluations += 1
         with tracing.span("pipeline.evaluate", pipeline=pipeline.describe(),
                           task=task.name) as span:
-            scores = []
-            try:
-                for train_idx, test_idx in kfold_indices(len(task.X), self.folds,
-                                                         self.seed):
-                    X_train, X_test = task.X[train_idx], task.X[test_idx]
-                    y_train, y_test = task.y[train_idx], task.y[test_idx]
-                    X_train_p, X_test_p = pipeline.apply(X_train, y_train, X_test)
-                    if np.isnan(X_train_p).any() or np.isnan(X_test_p).any():
-                        # Classifiers cannot digest NaN; pipelines that skip
-                        # imputation on a missing-data task fail here.
-                        raise PipelineError("NaN survived the pipeline")
-                    model = self.make_model()
-                    model.fit(X_train_p, y_train)
-                    scores.append(accuracy(y_test, model.predict(X_test_p)))
-                result = float(np.mean(scores))
-            except PipelineError:
-                result = 0.0
-                self._failed.add(key)
-                metrics.counter("pipeline.eval.failures").inc()
+            result: float | None = None
+            for round_ in range(self.transient_retries + 1):
+                try:
+                    result = self._cross_validate(pipeline, task)
+                    break
+                except PipelineError as exc:
+                    if round_ < self.transient_retries and is_transient(exc):
+                        # An injected/flaky fault, not a real pipeline bug:
+                        # re-run before caching a failure forever.
+                        metrics.counter("pipeline.eval.transient_retries").inc()
+                        continue
+                    result = 0.0
+                    self._failed[key] = str(exc)
+                    metrics.counter("pipeline.eval.failures").inc()
+                    degradation.record(
+                        component="pipeline.evaluator",
+                        point=pipeline.describe(), action="cached_failure",
+                        error=str(exc), task=task.name,
+                    )
+                    break
             span.set(score=result, failed=key in self._failed)
         self._cache[key] = result
         return result
+
+    def _cross_validate(self, pipeline: PrepPipeline, task: MLTask) -> float:
+        scores = []
+        for train_idx, test_idx in kfold_indices(len(task.X), self.folds,
+                                                 self.seed):
+            X_train, X_test = task.X[train_idx], task.X[test_idx]
+            y_train, y_test = task.y[train_idx], task.y[test_idx]
+            X_train_p, X_test_p = pipeline.apply(X_train, y_train, X_test)
+            if np.isnan(X_train_p).any() or np.isnan(X_test_p).any():
+                # Classifiers cannot digest NaN; pipelines that skip
+                # imputation on a missing-data task fail here.
+                raise PipelineError("NaN survived the pipeline")
+            model = self.make_model()
+            model.fit(X_train_p, y_train)
+            scores.append(accuracy(y_test, model.predict(X_test_p)))
+        return float(np.mean(scores))
+
+    def failure_reason(self, pipeline: PrepPipeline,
+                       task: MLTask) -> str | None:
+        """Why a cached evaluation failed, or None if it succeeded/is unseen."""
+        return self._failed.get((pipeline.names, task.name))
+
+    def failure_reasons(self) -> dict[tuple, str]:
+        """Every cached failure: (pipeline names, task name) → reason."""
+        return dict(self._failed)

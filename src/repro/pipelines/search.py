@@ -39,6 +39,9 @@ class SearchResult:
     best_score: float
     trajectory: list[float] = field(default_factory=list)  # best-so-far per eval
     evaluated: int = 0
+    #: Distinct evaluated pipelines that crashed (scored 0 via the failure
+    #: cache) — the robustness diagnostic of a search run.
+    failures: int = 0
 
 
 class SearchStrategy:
@@ -55,6 +58,16 @@ class SearchStrategy:
         raise NotImplementedError
 
     # -- shared helpers --------------------------------------------------------
+
+    def _evaluate(self, evaluator: PipelineEvaluator, task: MLTask,
+                  pipeline: PrepPipeline, tracker: "_Tracker") -> float:
+        """Score + record, noting whether the pipeline crashed en route."""
+        score = evaluator.score(pipeline, task)
+        tracker.record(
+            pipeline, score,
+            failed=evaluator.failure_reason(pipeline, task) is not None,
+        )
+        return score
 
     def _random_pipeline(self, rng: np.random.Generator) -> PrepPipeline:
         ops = tuple(
@@ -82,13 +95,17 @@ class _Tracker:
         self.best_score = -np.inf
         self.trajectory: list[float] = []
         self.seen: set[tuple[str, ...]] = set()
+        self.failures = 0
 
-    def record(self, pipeline: PrepPipeline, score: float) -> None:
+    def record(self, pipeline: PrepPipeline, score: float,
+               failed: bool = False) -> None:
         if score > self.best_score:
             self.best_score = score
             self.best_pipeline = pipeline
         self.trajectory.append(self.best_score)
         self.seen.add(pipeline.names)
+        if failed:
+            self.failures += 1
 
     def result(self) -> SearchResult:
         return SearchResult(
@@ -96,6 +113,7 @@ class _Tracker:
             best_score=float(self.best_score),
             trajectory=self.trajectory,
             evaluated=len(self.trajectory),
+            failures=self.failures,
         )
 
 
@@ -114,7 +132,7 @@ class RandomSearch(SearchStrategy):
             pipeline = self._random_pipeline(rng)
             if pipeline.names in tracker.seen:
                 continue
-            tracker.record(pipeline, evaluator.score(pipeline, task))
+            self._evaluate(evaluator, task, pipeline, tracker)
         return tracker.result()
 
 
@@ -140,8 +158,7 @@ class BayesianOptSearch(SearchStrategy):
         y_hist: list[float] = []
 
         def evaluate(pipeline: PrepPipeline) -> None:
-            score = evaluator.score(pipeline, task)
-            tracker.record(pipeline, score)
+            score = self._evaluate(evaluator, task, pipeline, tracker)
             X_hist.append(self._encode(pipeline))
             y_hist.append(score)
 
@@ -235,12 +252,13 @@ class MetaLearningSearch(SearchStrategy):
                 for stage, name in zip(STAGES, record.pipeline_names)
             )
             pipeline = PrepPipeline(ops)
-            tracker.record(pipeline, evaluator.score(pipeline, task))
+            self._evaluate(evaluator, task, pipeline, tracker)
         remaining = budget - len(tracker.trajectory)
         if remaining > 0:
             bo = BayesianOptSearch(self.registry, seed=self.seed,
                                    init_random=2)
             inner = bo.search(task, evaluator, remaining)
+            tracker.failures += inner.failures
             for score in inner.trajectory:
                 tracker.trajectory.append(max(tracker.best_score, score))
             if inner.best_score > tracker.best_score:
@@ -281,8 +299,7 @@ class GeneticSearch(SearchStrategy):
             pipeline = self._random_pipeline(rng)
             if pipeline.names in tracker.seen:
                 continue
-            score = evaluator.score(pipeline, task)
-            tracker.record(pipeline, score)
+            score = self._evaluate(evaluator, task, pipeline, tracker)
             population.append((pipeline, score))
         while len(tracker.trajectory) < budget:
             population.sort(key=lambda ps: -ps[1])
@@ -299,8 +316,7 @@ class GeneticSearch(SearchStrategy):
                     child = self._mutate(child, rng)
                 if child.names in tracker.seen:
                     continue
-                score = evaluator.score(child, task)
-                tracker.record(child, score)
+                score = self._evaluate(evaluator, task, child, tracker)
                 next_gen.append((child, score))
                 if len(tracker.trajectory) >= budget:
                     break
@@ -353,8 +369,7 @@ class QLearningSearch(SearchStrategy):
                 pipeline = PrepPipeline(tuple(ops))
                 if pipeline.names in tracker.seen:
                     continue
-            reward = evaluator.score(pipeline, task)
-            tracker.record(pipeline, reward)
+            reward = self._evaluate(evaluator, task, pipeline, tracker)
             for stage, op in zip(STAGES, pipeline.operators):
                 key = (stage, op.name)
                 q_values[key] += self.learning_rate * (reward - q_values[key])

@@ -1,0 +1,88 @@
+"""repro.resilience: deterministic fault injection, retry/backoff policies,
+fallback chains and graceful degradation.
+
+PR 1 (``repro.obs``) gave the stack eyes; this package is its spine — the
+layer every error routes through so one flaky completion, crashing operator
+or bad sub-query degrades a result instead of killing a run.  Five pieces,
+each usable alone and all instrumented through :mod:`repro.obs`:
+
+- **clock** — injectable :class:`Clock` / :class:`FakeClock`; the only
+  sanctioned way to sleep under ``src/repro`` (CI-enforced);
+- **policies** — :class:`RetryPolicy` (exponential backoff, deterministic
+  jitter), :class:`Deadline`, :class:`CircuitBreaker` (closed/open/half-open,
+  state exported as a gauge);
+- **faults** — seeded :class:`FaultInjector` with named injection points
+  (``faults.point("fm.complete")``), armable process-wide via
+  ``REPRO_CHAOS_SEED`` / ``REPRO_CHAOS_RATE`` / ``REPRO_CHAOS_POINTS`` /
+  ``REPRO_CHAOS_MODE``;
+- **fallback** — :class:`FallbackChain` degradation tiers (FM → PLM → rules),
+  recording which tier served each request;
+- **degradation** — the process-global :class:`DegradationLog` of absorbed
+  failures, snapshotted into every :class:`~repro.obs.RunReport`.
+
+Quickstart::
+
+    from repro import resilience
+    from repro.resilience import FakeClock, RetryPolicy
+
+    clock = FakeClock()
+    policy = RetryPolicy(max_attempts=4, base_delay=0.1, seed=7)
+    policy.call(flaky_fn, name="my.op", clock=clock)   # no wall sleeps
+    assert clock.sleeps == list(policy.delays("my.op"))[:len(clock.sleeps)]
+
+See docs/resilience.md for injection-point names, chaos knobs and the
+degradation semantics of each integrated subsystem.
+"""
+
+from repro.resilience import degradation, faults
+from repro.resilience.clock import (
+    Clock,
+    FakeClock,
+    SystemClock,
+    get_clock,
+    set_clock,
+    use_clock,
+)
+from repro.resilience.degradation import DegradationEvent, DegradationLog, get_log
+from repro.resilience.fallback import FallbackChain
+from repro.resilience.faults import FaultInjector, FaultRule, get_injector, set_injector
+from repro.resilience.policies import (
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    is_transient,
+)
+
+
+def reset() -> None:
+    """Clear the global degradation log (per-test/run isolation).
+
+    The injector and clock are configuration, not run state, so they
+    survive — pair with :func:`repro.obs.reset` at run boundaries.
+    """
+    get_log().reset()
+
+
+__all__ = [
+    "CircuitBreaker",
+    "Clock",
+    "Deadline",
+    "DegradationEvent",
+    "DegradationLog",
+    "FakeClock",
+    "FallbackChain",
+    "FaultInjector",
+    "FaultRule",
+    "RetryPolicy",
+    "SystemClock",
+    "degradation",
+    "faults",
+    "get_clock",
+    "get_injector",
+    "get_log",
+    "is_transient",
+    "reset",
+    "set_clock",
+    "set_injector",
+    "use_clock",
+]

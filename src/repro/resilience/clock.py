@@ -1,0 +1,86 @@
+"""Injectable clocks: the one place ``repro`` is allowed to sleep.
+
+Every retry delay, deadline check, circuit-breaker cooldown and injected
+latency goes through a :class:`Clock`, so tests swap in a :class:`FakeClock`
+and assert exact backoff schedules without ever wall-sleeping.  CI enforces
+this: a lint rejects ``time.sleep(`` anywhere under ``src/repro`` except
+this module.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Clock:
+    """Monotonic time plus sleep — the full surface resilience code needs."""
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real wall clock (the process-wide default)."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A manually-advanced clock that records every requested sleep.
+
+    ``sleep`` advances virtual time instantly, so retry/backoff tests assert
+    the exact delay sequence (``clock.sleeps``) with zero wall time.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self.now += max(0.0, float(seconds))
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without registering a sleep."""
+        self.now += float(seconds)
+
+
+_LOCK = threading.Lock()
+_CLOCK: Clock = SystemClock()
+
+
+def get_clock() -> Clock:
+    """The process-global clock resilience primitives default to."""
+    return _CLOCK
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Replace the global clock; returns the previous one for restoration."""
+    global _CLOCK
+    with _LOCK:
+        previous, _CLOCK = _CLOCK, clock
+    return previous
+
+
+@contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Temporarily install ``clock`` as the global clock (test scoping)."""
+    previous = set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)

@@ -1,0 +1,107 @@
+"""Degradation events: the audit trail of every graceful failure.
+
+Whenever the library absorbs a failure instead of raising — a pipeline
+operator skipped, a fallback tier served a request, an evaluator cached a
+crash, a Symphony sub-query answered "unknown" — it records a
+:class:`DegradationEvent` into the process-global :class:`DegradationLog`.
+:meth:`repro.obs.RunReport.collect` snapshots the log, so a run report
+answers not just "how fast" but "what quietly went wrong".
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import metrics
+
+#: Cap on retained events; beyond it the log only counts drops.  A chaos run
+#: at high fault rates must not turn the report into the bottleneck.
+MAX_EVENTS = 10_000
+
+
+@dataclass
+class DegradationEvent:
+    """One absorbed failure: where, what failed, and what served instead."""
+
+    component: str            # "pipeline", "symphony", "fallback.fm.complete", ...
+    point: str                # operator / sub-query / injection-point name
+    action: str               # "skipped", "identity", "served:rule", "cached_failure"
+    error: str = ""           # stringified cause, "" when none
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "component": self.component,
+            "point": self.point,
+            "action": self.action,
+            "error": self.error,
+        }
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DegradationEvent":
+        return cls(
+            component=data["component"],
+            point=data.get("point", ""),
+            action=data.get("action", ""),
+            error=data.get("error", ""),
+            detail=dict(data.get("detail", {})),
+        )
+
+    def render(self) -> str:
+        text = f"{self.component}/{self.point}: {self.action}"
+        return f"{text} ({self.error})" if self.error else text
+
+
+class DegradationLog:
+    """Thread-safe, bounded event list (one per process; see :func:`get_log`)."""
+
+    def __init__(self, max_events: int = MAX_EVENTS):
+        self._lock = threading.Lock()
+        self._events: list[DegradationEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def record(self, event: DegradationEvent) -> DegradationEvent:
+        with self._lock:
+            if len(self._events) < self.max_events:
+                self._events.append(event)
+            else:
+                self.dropped += 1
+        metrics.counter("resilience.degradations").inc()
+        metrics.counter(f"resilience.degradations.{event.component}").inc()
+        return event
+
+    def events(self) -> list[DegradationEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+
+_LOG = DegradationLog()
+
+
+def get_log() -> DegradationLog:
+    """The process-global log every graceful-degradation site records into."""
+    return _LOG
+
+
+def record(component: str, point: str, action: str, error: str = "",
+           **detail: Any) -> DegradationEvent:
+    """Record one event into the global log (the instrumented-code helper)."""
+    return _LOG.record(
+        DegradationEvent(component=component, point=point, action=action,
+                         error=error, detail=detail)
+    )

@@ -1,0 +1,71 @@
+"""Fallback chains: ordered degradation tiers for one capability.
+
+A :class:`FallbackChain` holds ``(tier name, callable)`` pairs, best tier
+first — e.g. foundation model → PLM → rule-based for an answer-this-prompt
+capability.  ``serve(*args)`` walks the tiers, returns the first success
+together with the tier name that produced it, counts which tier served
+(``fallback.<chain>.tier.<tier>``), and records a
+:class:`~repro.resilience.degradation.DegradationEvent` whenever anything
+below tier 0 answers.  Exhausting every tier raises
+:class:`~repro.errors.FallbackExhaustedError` with the last failure as its
+cause.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import FallbackExhaustedError, ReproError
+from repro.obs import metrics
+from repro.resilience import degradation
+
+
+class FallbackChain:
+    """Ordered degradation tiers; first tier that succeeds serves."""
+
+    def __init__(self, name: str,
+                 tiers: Sequence[tuple[str, Callable[..., Any]]],
+                 catch: tuple[type[BaseException], ...] = (ReproError,)):
+        if not tiers:
+            raise ValueError(f"fallback chain {name!r} needs at least one tier")
+        self.name = name
+        self.tiers = list(tiers)
+        self.catch = catch
+        #: tier name → requests served (this chain instance's lifetime).
+        self.served: dict[str, int] = {t: 0 for t, _fn in self.tiers}
+
+    def tier_names(self) -> list[str]:
+        return [t for t, _fn in self.tiers]
+
+    def serve(self, *args: Any, **kwargs: Any) -> tuple[Any, str]:
+        """(result, serving tier name); degradations recorded en route."""
+        last: BaseException | None = None
+        for rank, (tier, fn) in enumerate(self.tiers):
+            try:
+                result = fn(*args, **kwargs)
+            except self.catch as exc:
+                last = exc
+                metrics.counter(f"fallback.{self.name}.tier.{tier}.failures").inc()
+                continue
+            self.served[tier] = self.served.get(tier, 0) + 1
+            metrics.counter(f"fallback.{self.name}.tier.{tier}").inc()
+            if rank:
+                degradation.record(
+                    component=f"fallback.{self.name}", point=tier,
+                    action=f"served:{tier}",
+                    error=str(last) if last else "",
+                )
+            return result, tier
+        raise FallbackExhaustedError(
+            f"fallback chain {self.name!r}: all {len(self.tiers)} tiers failed "
+            f"(last: {last})"
+        ) from last
+
+    def call(self, *args: Any, **kwargs: Any) -> Any:
+        """``serve`` without the tier name, for drop-in call sites."""
+        result, _tier = self.serve(*args, **kwargs)
+        return result
+
+    def tier_counts(self) -> dict[str, int]:
+        """Requests served per tier, zero-filled for never-used tiers."""
+        return dict(self.served)

@@ -1,0 +1,184 @@
+"""Deterministic fault injection: the chaos harness.
+
+Library hot paths declare *named injection points*::
+
+    from repro.resilience import faults
+
+    faults.point("fm.complete")         # may raise / delay, per config
+    text = faults.corrupt("fm.complete", text)   # may mangle, per config
+
+A disarmed injector (the default) makes both calls near-free no-ops.  Armed
+— programmatically via :meth:`FaultInjector.configure` or process-wide via
+environment knobs — each ``point()`` draws from one seeded RNG and, at the
+configured rate, raises :class:`~repro.errors.FaultInjectionError` (mode
+``raise``), sleeps through the injectable clock (mode ``delay``), or marks
+the point so :func:`corrupt` mangles the value (mode ``corrupt``).  The
+same seed and call sequence reproduce the same faults, so chaos runs are
+debuggable.
+
+Environment knobs (read once, on first :func:`get_injector`):
+
+- ``REPRO_CHAOS_SEED``  — arm process-wide with this RNG seed;
+- ``REPRO_CHAOS_RATE``  — per-point injection probability (default 0.05);
+- ``REPRO_CHAOS_POINTS``— comma list of points to target (default: all);
+- ``REPRO_CHAOS_MODE``  — ``raise`` (default) / ``delay`` / ``corrupt``;
+- ``REPRO_CHAOS_DELAY`` — injected latency seconds for mode ``delay``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import FaultInjectionError
+from repro.obs import metrics
+from repro.resilience.clock import Clock, get_clock
+
+MODES = ("raise", "delay", "corrupt")
+
+
+@dataclass
+class FaultRule:
+    """Per-point injection config: how often and what kind of fault."""
+
+    rate: float = 0.0
+    mode: str = "raise"
+    delay: float = 0.01
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.mode not in MODES:
+            raise ValueError(f"fault mode must be one of {MODES}, got {self.mode!r}")
+
+
+class FaultInjector:
+    """Seeded, process-wide fault source for named injection points."""
+
+    def __init__(self, seed: int = 0, clock: Clock | None = None):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._clock = clock or get_clock()
+        self._lock = threading.Lock()
+        self._rules: dict[str, FaultRule] = {}
+        self._default: FaultRule | None = None
+        self.armed = False
+        #: point → number of faults injected (all modes), for recovery math.
+        self.injected: dict[str, int] = {}
+        #: points whose *current* call drew a corrupt-mode fault.
+        self._corrupt_pending: set[str] = set()
+
+    # -- configuration ------------------------------------------------------
+
+    def configure(self, point: str | None = None, rate: float = 0.1,
+                  mode: str = "raise", delay: float = 0.01) -> "FaultInjector":
+        """Target one point (or, with ``point=None``, every point) and arm."""
+        rule = FaultRule(rate=rate, mode=mode, delay=delay)
+        with self._lock:
+            if point is None:
+                self._default = rule
+            else:
+                self._rules[point] = rule
+            self.armed = True
+        return self
+
+    def disarm(self) -> None:
+        with self._lock:
+            self.armed = False
+            self._rules.clear()
+            self._default = None
+            self._corrupt_pending.clear()
+
+    def _rule_for(self, point: str) -> FaultRule | None:
+        return self._rules.get(point, self._default)
+
+    # -- injection ----------------------------------------------------------
+
+    def point(self, name: str) -> None:
+        """Maybe inject at ``name``: raise, delay, or mark for corruption."""
+        if not self.armed:
+            return
+        rule = self._rule_for(name)
+        if rule is None or rule.rate <= 0.0:
+            return
+        metrics.counter(f"faults.{name}.checked").inc()
+        with self._lock:
+            fire = self._rng.random() < rule.rate
+        self._corrupt_pending.discard(name)
+        if not fire:
+            return
+        self.injected[name] = self.injected.get(name, 0) + 1
+        metrics.counter(f"faults.{name}.injected").inc()
+        if rule.mode == "raise":
+            raise FaultInjectionError(f"injected fault at {name}")
+        if rule.mode == "delay":
+            self._clock.sleep(rule.delay)
+        else:  # corrupt: the next corrupt(name, value) call mangles
+            self._corrupt_pending.add(name)
+
+    def corrupt(self, name: str, value: Any) -> Any:
+        """Mangle ``value`` iff ``point(name)`` drew a corrupt-mode fault."""
+        if not self.armed or name not in self._corrupt_pending:
+            return value
+        self._corrupt_pending.discard(name)
+        metrics.counter(f"faults.{name}.corrupted").inc()
+        if isinstance(value, str):
+            return value[::-1] if value else "☠"
+        if isinstance(value, (int, float)):
+            return -value if value else 1
+        return None
+
+
+_LOCK = threading.Lock()
+_INJECTOR: FaultInjector | None = None
+
+
+def _from_env() -> FaultInjector:
+    """Build the initial global injector, armed iff REPRO_CHAOS_SEED is set."""
+    seed_text = os.environ.get("REPRO_CHAOS_SEED", "")
+    injector = FaultInjector(seed=int(seed_text) if seed_text else 0)
+    if not seed_text:
+        return injector
+    rate = float(os.environ.get("REPRO_CHAOS_RATE", "0.05"))
+    mode = os.environ.get("REPRO_CHAOS_MODE", "raise")
+    delay = float(os.environ.get("REPRO_CHAOS_DELAY", "0.01"))
+    points = [p.strip() for p in
+              os.environ.get("REPRO_CHAOS_POINTS", "").split(",") if p.strip()]
+    if points:
+        for point_name in points:
+            injector.configure(point_name, rate=rate, mode=mode, delay=delay)
+    else:
+        injector.configure(None, rate=rate, mode=mode, delay=delay)
+    return injector
+
+
+def get_injector() -> FaultInjector:
+    """The process-global injector (built from the environment on first use)."""
+    global _INJECTOR
+    if _INJECTOR is None:
+        with _LOCK:
+            if _INJECTOR is None:
+                _INJECTOR = _from_env()
+    return _INJECTOR
+
+
+def set_injector(injector: FaultInjector) -> FaultInjector:
+    """Swap the global injector; returns the previous one for restoration."""
+    global _INJECTOR
+    with _LOCK:
+        previous = _INJECTOR if _INJECTOR is not None else FaultInjector()
+        _INJECTOR = injector
+    return previous
+
+
+def point(name: str) -> None:
+    """Module-level alias: ``faults.point("fm.complete")`` at call sites."""
+    get_injector().point(name)
+
+
+def corrupt(name: str, value: Any) -> Any:
+    """Module-level alias for :meth:`FaultInjector.corrupt`."""
+    return get_injector().corrupt(name, value)

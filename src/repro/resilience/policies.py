@@ -1,0 +1,265 @@
+"""Retry, deadline and circuit-breaker policies.
+
+All three are deterministic and clock-injected:
+
+- :class:`RetryPolicy` — exponential backoff whose jitter is a hash of
+  (seed, call name, attempt), so two runs retry on an identical schedule;
+- :class:`Deadline` — a monotonic time budget shared across attempts;
+- :class:`CircuitBreaker` — closed / open / half-open over a sliding
+  outcome window, state exposed as a gauge.
+
+Sleeps go through :mod:`repro.resilience.clock`, so tests drive them with a
+:class:`~repro.resilience.clock.FakeClock` and never wall-sleep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+    TransientError,
+)
+from repro.obs import metrics
+from repro.resilience.clock import Clock, get_clock
+
+T = TypeVar("T")
+
+
+def is_transient(exc: BaseException | None) -> bool:
+    """True when ``exc`` or anything in its ``__cause__``/``__context__``
+    chain is a :class:`TransientError` — the retryability test."""
+    seen: set[int] = set()
+    while exc is not None and id(exc) not in seen:
+        if isinstance(exc, TransientError):
+            return True
+        seen.add(id(exc))
+        exc = exc.__cause__ or exc.__context__
+    return False
+
+
+class Deadline:
+    """A monotonic time budget: ``Deadline(2.0)`` expires two seconds on."""
+
+    def __init__(self, seconds: float, clock: Clock | None = None):
+        self.seconds = float(seconds)
+        self._clock = clock or get_clock()
+        self._expires = self._clock.monotonic() + self.seconds
+
+    def remaining(self) -> float:
+        return max(0.0, self._expires - self._clock.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock.monotonic() >= self._expires
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is spent."""
+        if self.expired:
+            metrics.counter("resilience.deadline.exceeded").inc()
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self.seconds:g}s deadline"
+            )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(attempt, token)`` is a pure function: the jitter comes from a
+    blake2b hash of ``(seed, token, attempt)``, not a live RNG, so retry
+    schedules reproduce bit-for-bit across processes.  Only exceptions in
+    ``retry_on`` (or whose cause chain is transient, see
+    :func:`is_transient`) are retried; everything else propagates on first
+    failure.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5          # fraction of each delay that is randomized
+    seed: int = 0
+    retry_on: tuple[type[BaseException], ...] = (TransientError,)
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered."""
+        base = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if self.jitter <= 0.0:
+            return base
+        digest = hashlib.blake2b(
+            f"{self.seed}:{token}:{attempt}".encode(), digest_size=4
+        ).digest()
+        unit = int.from_bytes(digest, "big") / 2**32       # [0, 1)
+        return base * (1.0 - self.jitter * unit)           # (base*(1-j), base]
+
+    def delays(self, token: str = "") -> Iterator[float]:
+        """The full backoff schedule (``max_attempts - 1`` sleeps)."""
+        for attempt in range(self.max_attempts - 1):
+            yield self.delay(attempt, token)
+
+    def _retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on) or is_transient(exc)
+
+    def call(self, fn: Callable[[], T], name: str = "call",
+             clock: Clock | None = None,
+             deadline: Deadline | None = None) -> T:
+        """Run ``fn``, sleeping between retryable failures.
+
+        Raises :class:`RetryExhaustedError` (cause = the last failure) when
+        every attempt fails, and re-raises non-retryable failures as-is.
+        """
+        clock = clock or get_clock()
+        for attempt in range(self.max_attempts):
+            try:
+                result = fn()
+            except Exception as exc:  # noqa: BLE001 - classify then rethrow
+                if not self._retryable(exc):
+                    raise
+                if deadline is not None and deadline.expired:
+                    deadline.check(name)
+                if attempt + 1 >= self.max_attempts:
+                    metrics.counter(f"resilience.retry.{name}.exhausted").inc()
+                    raise RetryExhaustedError(
+                        f"{name}: all {self.max_attempts} attempts failed "
+                        f"(last: {exc})"
+                    ) from exc
+                metrics.counter(f"resilience.retry.{name}.retries").inc()
+                pause = self.delay(attempt, token=name)
+                if deadline is not None:
+                    pause = min(pause, deadline.remaining())
+                clock.sleep(pause)
+            else:
+                if attempt:
+                    metrics.counter(f"resilience.retry.{name}.recovered").inc()
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over a sliding outcome window.
+
+    Closed: calls flow; once the window holds ``min_calls`` outcomes and the
+    failure rate reaches ``failure_rate``, the breaker opens.  Open: calls
+    are rejected with :class:`CircuitOpenError` until ``recovery_time``
+    elapses on the injected clock.  Half-open: up to ``half_open_trials``
+    probe calls are admitted — all succeeding closes the breaker, any
+    failure re-opens it.
+
+    State is exported as the gauge ``resilience.breaker.<name>.state``
+    (0 closed, 1 open, 2 half-open); opens/closes/rejections as counters.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+    _STATE_VALUE = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+    def __init__(self, name: str, failure_rate: float = 0.5,
+                 window: int = 20, min_calls: int = 5,
+                 recovery_time: float = 30.0, half_open_trials: int = 2,
+                 clock: Clock | None = None):
+        self.name = name
+        self.failure_rate = failure_rate
+        self.window: deque[bool] = deque(maxlen=window)  # True = failure
+        self.min_calls = min_calls
+        self.recovery_time = recovery_time
+        self.half_open_trials = half_open_trials
+        self._clock = clock or get_clock()
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_failures = 0
+        self._set_state_gauge()
+
+    # -- state machine ------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _set_state_gauge(self) -> None:
+        metrics.gauge(f"resilience.breaker.{self.name}.state").set(
+            self._STATE_VALUE[self._state]
+        )
+
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        if state == self.OPEN:
+            self._opened_at = self._clock.monotonic()
+            metrics.counter(f"resilience.breaker.{self.name}.opened").inc()
+        elif state == self.CLOSED:
+            self.window.clear()
+            metrics.counter(f"resilience.breaker.{self.name}.closed").inc()
+        self._probes_in_flight = 0
+        self._probe_failures = 0
+        self._set_state_gauge()
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == self.OPEN
+                and self._clock.monotonic() - self._opened_at
+                >= self.recovery_time):
+            self._transition(self.HALF_OPEN)
+
+    def _current_failure_rate(self) -> float:
+        if not self.window:
+            return 0.0
+        return sum(self.window) / len(self.window)
+
+    # -- public API ---------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Admits half-open probes.)"""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN:
+                if self._probes_in_flight < self.half_open_trials:
+                    self._probes_in_flight += 1
+                    return True
+                return False
+            metrics.counter(f"resilience.breaker.{self.name}.rejected").inc()
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                if (self._probes_in_flight >= self.half_open_trials
+                        and self._probe_failures == 0):
+                    self._transition(self.CLOSED)
+                return
+            self.window.append(False)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._probe_failures += 1
+                self._transition(self.OPEN)
+                return
+            self.window.append(True)
+            if (self._state == self.CLOSED
+                    and len(self.window) >= self.min_calls
+                    and self._current_failure_rate() >= self.failure_rate):
+                self._transition(self.OPEN)
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` through the breaker, recording the outcome."""
+        if not self.allow():
+            raise CircuitOpenError(f"circuit {self.name!r} is {self._state}")
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -87,7 +87,10 @@ def foundation_model(fact_store):
 
 @pytest.fixture(autouse=True)
 def _reset_obs():
+    from repro import resilience
+
     obs.reset()
+    resilience.reset()
     yield
 
 

@@ -2,8 +2,12 @@
 
 The library is a pipeline of pipelines — these tests verify that failures
 surface as typed errors or safe no-ops instead of corrupting downstream
-stages.
+stages, and that the :mod:`repro.resilience` layer (retry/backoff, circuit
+breakers, chaos injection, fallback chains, graceful pipeline degradation)
+recovers from the failures it is pointed at.
 """
+
+from contextlib import contextmanager
 
 import numpy as np
 import pytest
@@ -33,6 +37,27 @@ from repro.pipelines import (
 from repro.pipelines.operators import Operator
 from repro.sql import Database
 from repro.table import Table
+
+from repro import obs
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    FallbackExhaustedError,
+    FaultInjectionError,
+    RetryExhaustedError,
+    TransientError,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FakeClock,
+    FallbackChain,
+    FaultInjector,
+    RetryPolicy,
+    get_log,
+    set_injector,
+    use_clock,
+)
 
 
 @pytest.fixture
@@ -181,3 +206,372 @@ class TestFailingComponents:
         task = make_ml_task("t", n_samples=60, seed=0)
         with pytest.raises(PipelineError):
             pipeline.apply(task.X[:40], task.y[:40], task.X[40:])
+
+
+@contextmanager
+def chaos(points: dict, seed: int = 7, mode: str = "raise"):
+    """Arm a scoped injector at {point: rate}; restore the previous one."""
+    injector = FaultInjector(seed=seed)
+    for name, rate in points.items():
+        injector.configure(name, rate=rate, mode=mode)
+    previous = set_injector(injector)
+    try:
+        yield injector
+    finally:
+        set_injector(previous)
+
+
+def _bad_pipeline(registry, fail=None):
+    """Five-stage pipeline whose impute operator is ``fail`` (or exploding)."""
+    def explode(X_train, y_train, X_test):
+        raise RuntimeError("boom")
+
+    bad = Operator("explode", "impute", fail or explode)
+    return PrepPipeline((
+        bad, registry["outlier"][2], registry["scale"][3],
+        registry["engineer"][2], registry["select"][3],
+    ))
+
+
+class TestResilience:
+    """Retry timing, breaker state machine, fallback tiers, degradation."""
+
+    def test_retry_schedule_is_deterministic_and_never_wall_sleeps(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0,
+                             jitter=0.5, seed=7)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 4:
+                raise TransientError("flaky")
+            return "ok"
+
+        assert policy.call(flaky, name="unit", clock=clock) == "ok"
+        # The exact backoff schedule, replayed from the policy: exponential
+        # base with deterministic (hash-based) jitter, recorded by the fake
+        # clock instead of slept.
+        assert clock.sleeps == list(policy.delays("unit"))
+        assert len(clock.sleeps) == 3
+        for i, (slept, cap) in enumerate(zip(clock.sleeps,
+                                             (0.1, 0.2, 0.4))):
+            assert cap * 0.5 < slept <= cap, (i, slept)
+        # Same policy, same token -> bit-identical schedule.
+        assert list(policy.delays("unit")) == list(
+            RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0,
+                        jitter=0.5, seed=7).delays("unit"))
+
+    def test_retry_does_not_touch_permanent_errors(self):
+        clock = FakeClock()
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=5).call(broken, name="perm", clock=clock)
+        assert len(calls) == 1 and clock.sleeps == []
+
+    def test_retry_exhaustion_preserves_cause(self):
+        clock = FakeClock()
+
+        def always():
+            raise TransientError("down")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01)
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.call(always, name="gone", clock=clock)
+        assert isinstance(info.value.__cause__, TransientError)
+        assert len(clock.sleeps) == 2  # max_attempts - 1
+
+    def test_deadline_on_fake_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        deadline.check()  # fine
+        clock.advance(1.5)
+        assert 0.4 < deadline.remaining() <= 0.5
+        clock.advance(1.0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError):
+            deadline.check("unit op")
+
+    def test_circuit_breaker_state_machine(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("t", failure_rate=0.5, window=4, min_calls=4,
+                                 recovery_time=10.0, half_open_trials=2,
+                                 clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        for _ in range(2):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        # 2/4 failures >= 50% -> open; calls now rejected.
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "nope")
+        # Cooldown elapses on the fake clock -> half-open probes admitted.
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.call(lambda: "probe-1") == "probe-1"
+        assert breaker.call(lambda: "probe-2") == "probe-2"
+        assert breaker.state == CircuitBreaker.CLOSED
+        # A half-open probe failure re-opens immediately.
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        with pytest.raises(RuntimeError):
+            breaker.call(self._boom)
+        assert breaker.state == CircuitBreaker.OPEN
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("probe failed")
+
+    def test_circuit_breaker_state_gauge(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("gauged", window=2, min_calls=2,
+                                 failure_rate=0.5, recovery_time=1.0,
+                                 clock=clock)
+        gauge = obs.get_registry().gauge("resilience.breaker.gauged.state")
+        assert gauge.value == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        assert gauge.value == 1
+        clock.advance(1.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert gauge.value == 2
+
+    def test_fault_injector_is_seed_deterministic(self):
+        decisions = []
+        for _run in range(2):
+            injector = FaultInjector(seed=13).configure("p", rate=0.3)
+            run = []
+            for _ in range(50):
+                try:
+                    injector.point("p")
+                    run.append(False)
+                except FaultInjectionError:
+                    run.append(True)
+            decisions.append(run)
+        assert decisions[0] == decisions[1]
+        assert any(decisions[0]) and not all(decisions[0])
+
+    def test_fault_injector_corrupt_and_delay_modes(self):
+        clock = FakeClock()
+        injector = FaultInjector(seed=1, clock=clock)
+        injector.configure("c", rate=1.0, mode="corrupt")
+        injector.point("c")
+        assert injector.corrupt("c", "abc") == "cba"
+        # One corruption per drawn fault; the flag does not stick.
+        assert injector.corrupt("c", "abc") == "abc"
+        injector.configure("d", rate=1.0, mode="delay", delay=0.25)
+        injector.point("d")
+        assert clock.sleeps == [0.25]
+
+    def test_fallback_chain_tier_selection(self):
+        def tier_a():
+            raise TransientError("a down")
+
+        chain = FallbackChain("unit", [("a", tier_a), ("b", lambda: "served")])
+        result, tier = chain.serve()
+        assert (result, tier) == ("served", "b")
+        assert chain.tier_counts() == {"a": 0, "b": 1}
+        # Falling past tier 0 leaves an audit trail.
+        events = [e for e in get_log().events()
+                  if e.component == "fallback.unit"]
+        assert events and events[0].action == "served:b"
+        assert "a down" in events[0].error
+
+    def test_fallback_chain_exhaustion(self):
+        def bad():
+            raise TransientError("no")
+
+        chain = FallbackChain("dead", [("only", bad)])
+        with pytest.raises(FallbackExhaustedError):
+            chain.call()
+
+    def test_fm_complete_recovers_via_retries(self, foundation_model):
+        from repro.foundation import qa_prompt
+
+        with use_clock(FakeClock()):
+            with chaos({"fm.complete": 0.4}):
+                for _ in range(20):
+                    completion = foundation_model.complete(
+                        qa_prompt("what is the capital of france")
+                    )
+                    assert completion.tier == "fm"
+        reg = obs.get_registry()
+        assert reg.get("faults.fm.complete.injected").value > 0
+        assert reg.get("resilience.retry.fm.complete.retries").value > 0
+
+    def test_fm_complete_degrades_at_total_outage(self, foundation_model):
+        from repro.foundation import qa_prompt
+
+        with use_clock(FakeClock()):
+            with chaos({"fm.complete": 1.0}):
+                completion = foundation_model.complete(
+                    qa_prompt("what is the capital of france")
+                )
+                assert completion.degraded and completion.tier == "degraded"
+                assert completion.confidence <= 0.1
+                with pytest.raises(RetryExhaustedError):
+                    foundation_model.complete(
+                        qa_prompt("what is 2 + 2"), strict=True
+                    )
+
+    def test_fallback_matcher_tier_selection(self, foundation_model,
+                                             em_products):
+        from repro.matching import FallbackMatcher, FoundationModelMatcher
+
+        pairs = [(a, b) for a, b, _l in
+                 em_products.labeled_pairs(8, seed=2)]
+        fm_tier = FoundationModelMatcher(foundation_model, strict=True)
+        matcher = FallbackMatcher([("fm", fm_tier),
+                                   ("rule", RuleBasedMatcher())])
+        with use_clock(FakeClock()):
+            preds_healthy = matcher.predict(pairs)
+            assert matcher.tier_counts()["fm"] == len(pairs)
+            with chaos({"fm.complete": 1.0}):
+                preds_outage = matcher.predict(pairs)
+        counts = matcher.tier_counts()
+        assert counts["rule"] == len(pairs)  # whole outage -> rule tier
+        assert set(preds_healthy) | set(preds_outage) <= {0, 1}
+
+    def test_pipeline_on_error_skip_degrades_gracefully(self):
+        registry = build_registry()
+        pipeline = _bad_pipeline(registry)
+        task = make_ml_task("t", n_samples=60, seed=0)
+        X_train, X_test = pipeline.apply(task.X[:40], task.y[:40],
+                                         task.X[40:], on_error="skip")
+        # The exploding impute stage was dropped; later stages still ran.
+        assert X_train.shape[0] == 40 and X_test.shape[0] == 20
+        events = [e for e in get_log().events() if e.component == "pipeline"]
+        assert len(events) == 1
+        assert events[0].point == "impute:explode"
+        assert events[0].action == "skipped" and "boom" in events[0].error
+        assert obs.get_registry().get("pipeline.op.degraded").value == 1
+
+    def test_pipeline_on_error_identity_stops_at_failure(self):
+        registry = build_registry()
+        task = make_ml_task("t", n_samples=60, seed=0)
+
+        def explode(X_train, y_train, X_test):
+            raise RuntimeError("boom")
+
+        bad_late = PrepPipeline((
+            registry["impute"][0], registry["outlier"][2],
+            registry["scale"][3], Operator("explode", "engineer", explode),
+            registry["select"][3],
+        ))
+        X_train, X_test = bad_late.apply(task.X[:40], task.y[:40],
+                                         task.X[40:], on_error="identity")
+        # Identity mode serves whatever the stages before the failure made.
+        assert X_train.shape == (40, task.X.shape[1])
+        (event,) = [e for e in get_log().events()
+                    if e.component == "pipeline"]
+        assert event.action == "identity"
+
+    def test_pipeline_rejects_unknown_on_error_mode(self):
+        registry = build_registry()
+        pipeline = PrepPipeline(tuple(registry[s][0] for s in
+                                      ("impute", "outlier", "scale",
+                                       "engineer", "select")))
+        task = make_ml_task("t", n_samples=30, seed=0)
+        with pytest.raises(PipelineError):
+            pipeline.apply(task.X[:20], task.y[:20], task.X[20:],
+                           on_error="explode")
+
+    def test_evaluator_caches_failure_reason(self):
+        registry = build_registry()
+        pipeline = _bad_pipeline(registry)
+        task = make_ml_task("t", n_samples=60, seed=0)
+        evaluator = PipelineEvaluator(seed=0)
+        assert evaluator.score(pipeline, task) == 0.0
+        reason = evaluator.failure_reason(pipeline, task)
+        assert reason is not None and "boom" in reason
+        assert evaluator.failure_reasons() == {
+            (pipeline.names, task.name): reason
+        }
+        # The cached failure is in the degradation log -> RunReport.
+        events = [e for e in get_log().events()
+                  if e.component == "pipeline.evaluator"]
+        assert events and events[0].action == "cached_failure"
+        # Served again from the failure cache, not re-evaluated.
+        assert evaluator.score(pipeline, task) == 0.0
+        assert evaluator.evaluations == 1
+        reg = obs.get_registry()
+        assert reg.get("pipeline.eval.cache.failure_hits").value == 1
+
+    def test_evaluator_retries_transient_faults_before_caching(self):
+        registry = build_registry()
+        state = {"calls": 0}
+
+        def flaky(X_train, y_train, X_test):
+            state["calls"] += 1
+            if state["calls"] <= 7:  # outlives the 6-attempt operator retry
+                raise TransientError("transient hiccup")
+            return X_train, X_test
+
+        pipeline = _bad_pipeline(registry, fail=flaky)
+        # No missing values: the flaky stand-in replaces the impute stage.
+        task = make_ml_task("t", n_samples=60, seed=0, missing_rate=0.0)
+        with use_clock(FakeClock()):
+            score = PipelineEvaluator(seed=0, transient_retries=2).score(
+                pipeline, task)
+        assert score > 0.0  # recovered, not cached as a failure
+        reg = obs.get_registry()
+        assert reg.get("pipeline.eval.transient_retries").value >= 1
+
+    def test_search_counts_failed_pipelines(self):
+        def explode(X_train, y_train, X_test):
+            raise RuntimeError("boom")
+
+        registry = build_registry()
+        registry["engineer"] = registry["engineer"] + [
+            Operator("explode", "engineer", explode)
+        ]
+        task = make_ml_task("t", missing_rate=0.1, n_samples=120, seed=0)
+        result = RandomSearch(registry, seed=0).search(
+            task, PipelineEvaluator(seed=0), budget=10
+        )
+        assert result.best_score > 0.0
+        assert result.failures >= 1  # the poisoned operator was drawn
+
+    def test_symphony_isolates_subquery_failures(self, world):
+        from repro.datasets.dirty import restaurants_table
+
+        lake = DataLake()
+        lake.add_table("restaurants", restaurants_table(world))
+        symphony = Symphony(lake)
+        question = ("how many restaurants are there; "
+                    "which city is apex pro a100 in")
+        healthy = symphony.answer(question)
+        assert len(healthy.steps) == 2
+        with chaos({"symphony.subquery": 1.0}):
+            degraded = symphony.answer(question)
+        # Every sub-query failed, yet the multi-part answer still has every
+        # part, each degraded instead of aborting the loop.
+        assert len(degraded.steps) == 2
+        assert all(s.degraded and s.answer == "unknown"
+                   for s in degraded.steps)
+        assert all("injected fault" in s.error for s in degraded.steps)
+        events = [e for e in get_log().events() if e.component == "symphony"]
+        assert len(events) == 2
+
+    def test_run_report_lists_degradations(self, tmp_path):
+        registry = build_registry()
+        pipeline = _bad_pipeline(registry)
+        task = make_ml_task("t", n_samples=60, seed=0)
+        pipeline.apply(task.X[:40], task.y[:40], task.X[40:],
+                       on_error="skip")
+        report = obs.RunReport.collect("degraded-run")
+        assert len(report.degradations) == 1
+        assert report.degradations[0]["component"] == "pipeline"
+        assert "pipeline/impute:explode" in report.render()
+        clone = obs.RunReport.from_json(report.to_json())
+        assert clone.degradations == report.degradations
+        loaded = obs.RunReport.load(report.save(tmp_path / "r.json"))
+        assert loaded.degradations == report.degradations

@@ -70,3 +70,12 @@ class CircuitOpenError(ResilienceError):
 
 class FallbackExhaustedError(ResilienceError):
     """Every tier of a :class:`~repro.resilience.FallbackChain` failed."""
+
+
+class ServingError(ReproError):
+    """The serving runtime was misused or a response never materialized."""
+
+
+class ServerClosedError(ServingError):
+    """A request was submitted to a :class:`~repro.serving.Server` after
+    ``close()``."""

@@ -22,8 +22,8 @@ from __future__ import annotations
 import hashlib
 import re
 import time
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
 
 from repro.foundation.knowledge import FactStore
 from repro.foundation.prompts import Prompt, parse_prompt
@@ -201,6 +201,35 @@ class FoundationModel:
             time.perf_counter() - start
         )
         return completion
+
+    def complete_batch(self, prompts: Sequence[str],
+                       strict: bool = False) -> list[Completion]:
+        """Answer several prompts at once, deduplicating identical prompts.
+
+        Identical prompt texts are completed exactly once and the result is
+        fanned back out in input order (each caller gets its own
+        :class:`Completion` copy), so a batch dominated by repeats costs
+        one model call per *distinct* prompt — the dispatch-side half of
+        the amortization :mod:`repro.serving` builds on.  Batch sizes land
+        in the ``fm.batch_size`` histogram; ``fm.batch.deduped`` counts the
+        prompts answered by fan-out rather than completion.
+        """
+        from repro.obs.metrics import SIZE_BUCKETS
+
+        prompts = list(prompts)
+        metrics.counter("fm.batches").inc()
+        metrics.histogram("fm.batch_size", buckets=SIZE_BUCKETS).observe(
+            len(prompts)
+        )
+        unique: dict[str, Completion] = {}
+        for text in prompts:
+            if text not in unique:
+                unique[text] = self.complete(text, strict=strict)
+        if len(unique) < len(prompts):
+            metrics.counter("fm.batch.deduped").inc(
+                len(prompts) - len(unique)
+            )
+        return [replace(unique[text]) for text in prompts]
 
     def _dispatch(self, prompt: Prompt) -> tuple[str, Completion]:
         """Route a parsed prompt to its task mechanism → (kind, completion)."""

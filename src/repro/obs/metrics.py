@@ -33,6 +33,12 @@ LATENCY_BUCKETS: tuple[float, ...] = (
     1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Bucket boundaries for count-valued histograms (batch sizes, fan-outs):
+#: powers of two up to 1024.
+SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
 
 class Counter:
     """A monotonically-increasing count."""

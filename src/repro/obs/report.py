@@ -24,7 +24,44 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import Span, Tracer, get_tracer
 
 #: Schema version stamped into every report, bumped on breaking changes.
-SCHEMA_VERSION = 1
+#: v2 added the ``serving`` section.
+SCHEMA_VERSION = 2
+
+
+def _serving_section(registry: MetricsRegistry) -> dict[str, Any]:
+    """Summarize the serving runtime's counters into one report section.
+
+    Computed purely from metric names (``serving.*``), so ``repro.obs``
+    needs no import of ``repro.serving`` — the section is all zeros/None
+    when no server ran.
+    """
+    def count(name: str) -> int:
+        instrument = registry.get(name)
+        return int(instrument.value) if instrument is not None else 0
+
+    hwm = 0
+    for name in registry.names():
+        if name.startswith("serving.") and name.endswith(".queue.depth.hwm"):
+            instrument = registry.get(name)
+            if instrument is not None:
+                hwm = max(hwm, int(instrument.value))
+    hits, misses = count("serving.cache.hits"), count("serving.cache.misses")
+    lookups = hits + misses
+    return {
+        "queue_depth_hwm": hwm,
+        "submitted": count("serving.submitted"),
+        "admitted": count("serving.admitted"),
+        "rejected": count("serving.rejected"),
+        "shed": count("serving.shed"),
+        "expired": count("serving.expired"),
+        "completed": count("serving.completed.ok"),
+        "errors": count("serving.errors"),
+        "degraded": count("serving.degraded"),
+        "coalesced": count("serving.flight.coalesced"),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_ratio": hits / lookups if lookups else None,
+    }
 
 
 @dataclass
@@ -38,6 +75,9 @@ class RunReport:
     dropped_spans: int = 0
     #: Graceful-degradation audit trail (dicts; see repro.resilience).
     degradations: list[dict[str, Any]] = field(default_factory=list)
+    #: Serving-runtime rollup (queue high-water mark, admission and cache
+    #: counts; see :func:`_serving_section` / docs/serving.md).
+    serving: dict[str, Any] = field(default_factory=dict)
 
     # -- collection ---------------------------------------------------------
 
@@ -60,6 +100,7 @@ class RunReport:
             metrics=registry.snapshot(),
             dropped_spans=tracer.dropped,
             degradations=[e.to_dict() for e in get_log().events()],
+            serving=_serving_section(registry),
         )
 
     # -- serialization ------------------------------------------------------
@@ -73,6 +114,7 @@ class RunReport:
             "metrics": self.metrics,
             "dropped_spans": self.dropped_spans,
             "degradations": list(self.degradations),
+            "serving": dict(self.serving),
             # The human-readable summary, via the shared table path.
             "metrics_table": self.metrics_table().to_dict(),
         }
@@ -86,6 +128,7 @@ class RunReport:
             metrics=dict(data.get("metrics", {})),
             dropped_spans=data.get("dropped_spans", 0),
             degradations=[dict(d) for d in data.get("degradations", [])],
+            serving=dict(data.get("serving", {})),
         )
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -148,6 +191,16 @@ class RunReport:
             parts.append(f"({self.dropped_spans} root spans dropped)")
         if self.degradations:
             parts.append(self.degradations_text())
+        if self.serving.get("submitted"):
+            s = self.serving
+            ratio = s.get("cache_hit_ratio")
+            parts.append(
+                f"serving: submitted={s['submitted']} "
+                f"admitted={s['admitted']} rejected={s['rejected']} "
+                f"shed={s['shed']} queue_hwm={s['queue_depth_hwm']} "
+                f"cache_hit_ratio="
+                f"{'n/a' if ratio is None else f'{ratio:.3f}'}"
+            )
         parts.append(self.metrics_table().render())
         return "\n".join(parts)
 

@@ -7,6 +7,7 @@ prepared features — the objective all §3.3 search strategies optimize.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -145,12 +146,34 @@ class PipelineEvaluator:
         self.seed = seed
         self.transient_retries = transient_retries
         self.evaluations = 0
-        self._cache: dict[tuple, float] = {}
-        self._failed: dict[tuple, str] = {}  # key -> failure reason
+        self._cache: dict[str, float] = {}
+        self._failed: dict[str, str] = {}  # key -> failure reason
+        #: key -> (pipeline names, task name), the human-readable identity
+        #: behind each cached failure (what :meth:`failure_reasons` reports).
+        self._failed_identity: dict[str, tuple[tuple[str, ...], str]] = {}
+
+    @staticmethod
+    def cache_key(pipeline: PrepPipeline, task: MLTask) -> str:
+        """Collision-safe memo key for one (pipeline, task) evaluation.
+
+        A blake2b digest over the *stage-qualified* operator names and the
+        task's full identity — name, dtypes/shapes, and data bytes — so two
+        distinct pipelines, or two tasks that merely share a name, can
+        never alias one another's cached score.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        for op in pipeline.operators:
+            h.update(f"{op.stage}:{op.name}\x1f".encode())
+        h.update(f"\x1e{task.name}".encode())
+        for array in (task.X, task.y):
+            arr = np.ascontiguousarray(array)
+            h.update(f"\x1f{arr.dtype}{arr.shape}\x1f".encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
 
     def score(self, pipeline: PrepPipeline, task: MLTask) -> float:
         """Mean CV accuracy; failed pipelines score 0."""
-        key = (pipeline.names, task.name)
+        key = self.cache_key(pipeline, task)
         if key in self._cache:
             if key in self._failed:
                 metrics.counter("pipeline.eval.cache.failure_hits").inc()
@@ -175,6 +198,7 @@ class PipelineEvaluator:
                         continue
                     result = 0.0
                     self._failed[key] = str(exc)
+                    self._failed_identity[key] = (pipeline.names, task.name)
                     metrics.counter("pipeline.eval.failures").inc()
                     degradation.record(
                         component="pipeline.evaluator",
@@ -205,8 +229,11 @@ class PipelineEvaluator:
     def failure_reason(self, pipeline: PrepPipeline,
                        task: MLTask) -> str | None:
         """Why a cached evaluation failed, or None if it succeeded/is unseen."""
-        return self._failed.get((pipeline.names, task.name))
+        return self._failed.get(self.cache_key(pipeline, task))
 
     def failure_reasons(self) -> dict[tuple, str]:
         """Every cached failure: (pipeline names, task name) → reason."""
-        return dict(self._failed)
+        return {
+            self._failed_identity[key]: reason
+            for key, reason in self._failed.items()
+        }

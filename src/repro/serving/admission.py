@@ -1,0 +1,72 @@
+"""Admission control: decide at the door, shed before queueing.
+
+An :class:`AdmissionController` inspects queue depth and the incoming
+:class:`~repro.serving.envelope.Request` and returns either ``None``
+(admit) or a rejection reason string.  Rejections surface to callers as
+429-style ``Rejected`` responses, never as exceptions, and every shed
+request is recorded into the process-global
+:class:`~repro.resilience.DegradationLog` so run reports account for load
+that was turned away.
+
+Three gates, in order:
+
+- **deadline** — a request whose deadline already expired is refused
+  outright (serving it would waste a batch slot on a dead answer);
+- **queue_full** — depth at ``max_depth`` refuses everything;
+- **shed** — depth at or beyond ``shed_threshold * max_depth`` (the
+  high-water mark) refuses the configured ``shed_priorities`` lanes, so
+  low-priority traffic degrades first while high-priority traffic still
+  lands.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics
+from repro.resilience import degradation
+from repro.serving.envelope import Request
+
+#: Rejection reasons admission can return.
+REASONS = ("deadline", "queue_full", "shed")
+
+
+class AdmissionController:
+    """Queue-depth backpressure with priority-aware load shedding."""
+
+    def __init__(self, max_depth: int = 256, shed_threshold: float = 0.75,
+                 shed_priorities: tuple[str, ...] = ("low",)):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if not 0.0 < shed_threshold <= 1.0:
+            raise ValueError("shed_threshold must be in (0, 1]")
+        self.max_depth = max_depth
+        self.shed_priorities = tuple(shed_priorities)
+        #: Queue depth at which shedding of low lanes begins.
+        self.high_water = max(1, int(max_depth * shed_threshold))
+
+    def admit(self, depth: int, request: Request) -> str | None:
+        """``None`` to admit, else the rejection reason.
+
+        Counts ``serving.admitted`` / ``serving.rejected`` (plus a
+        per-reason counter) and records shed load as degradation events.
+        """
+        reason: str | None = None
+        if request.deadline is not None and request.deadline.expired:
+            reason = "deadline"
+        elif depth >= self.max_depth:
+            reason = "queue_full"
+        elif (depth >= self.high_water
+                and request.priority in self.shed_priorities):
+            reason = "shed"
+        if reason is None:
+            metrics.counter("serving.admitted").inc()
+            return None
+        metrics.counter("serving.rejected").inc()
+        metrics.counter(f"serving.rejected.{reason}").inc()
+        if reason in ("queue_full", "shed"):
+            metrics.counter("serving.shed").inc()
+            degradation.record(
+                component="serving", point=request.backend,
+                action=f"shed:{reason}", priority=request.priority,
+                depth=depth,
+            )
+        return reason

@@ -1,0 +1,110 @@
+"""The three stock serving backends: FM completion, entity-pair scoring,
+and pipeline application.
+
+Each wraps an existing library capability behind the
+:class:`~repro.serving.server.Backend` protocol — a batch function, a
+stable cache key, and a degraded-tier fallback — so one
+:class:`~repro.serving.Server` fronts the whole data-prep stack:
+
+- :class:`FMBackend` — prompts into
+  :meth:`~repro.foundation.FoundationModel.complete_batch` (which dedups
+  identical prompts before dispatch); fallback echoes the query at
+  rock-bottom confidence, the same floor ``FoundationModel`` itself uses;
+- :class:`MatcherBackend` — record pairs into
+  :meth:`~repro.matching.EntityMatcher.predict`; fallback optionally
+  hands the pair to a cheaper matcher tier (e.g. rules);
+- :class:`PipelineBackend` — ``(X_train, y_train, X_test)`` triples through
+  :meth:`~repro.pipelines.PrepPipeline.apply`; fallback serves the features
+  untransformed (the identity tier).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from repro.foundation.model import Completion, FoundationModel
+from repro.foundation.prompts import parse_prompt
+from repro.matching.matchers import EntityMatcher
+from repro.pipelines.pipeline import PrepPipeline
+from repro.serving.cache import stable_key
+from repro.serving.server import Backend
+
+
+class FMBackend(Backend):
+    """Serve foundation-model completions; payload = prompt text."""
+
+    def __init__(self, model: FoundationModel, strict: bool = False,
+                 name: str = "fm"):
+        self.model = model
+        self.strict = strict
+        self.name = name
+
+    def run_batch(self, payloads: list[str]) -> list[Completion]:
+        return self.model.complete_batch(payloads, strict=self.strict)
+
+    def cache_key(self, payload: str) -> str:
+        return stable_key(payload)
+
+    def fallback(self, payload: str, error: BaseException) -> Completion:
+        return Completion(parse_prompt(payload).query, confidence=0.05,
+                          tier="degraded")
+
+
+class MatcherBackend(Backend):
+    """Serve entity-pair match decisions; payload = ``(Record, Record)``."""
+
+    def __init__(self, matcher: EntityMatcher,
+                 fallback_matcher: EntityMatcher | None = None,
+                 name: str = "matcher"):
+        self.matcher = matcher
+        self.fallback_matcher = fallback_matcher
+        self.name = name
+
+    def run_batch(self, payloads: list[tuple]) -> list[int]:
+        predictions = self.matcher.predict(list(payloads))
+        return [int(p) for p in predictions]
+
+    def cache_key(self, payload: tuple) -> str:
+        a, b = payload
+        return stable_key(a.text(), b.text())
+
+    def fallback(self, payload: tuple, error: BaseException) -> int:
+        if self.fallback_matcher is None:
+            raise error
+        return int(self.fallback_matcher.predict([payload])[0])
+
+
+class PipelineBackend(Backend):
+    """Serve pipeline applications; payload = ``(X_train, y_train, X_test)``."""
+
+    def __init__(self, pipeline: PrepPipeline, on_error: str = "skip",
+                 cache: bool = True, name: str = "pipeline"):
+        self.pipeline = pipeline
+        self.on_error = on_error
+        self.cache = cache
+        self.name = name
+
+    def run_batch(self, payloads: list[tuple]) -> list[tuple]:
+        return [
+            self.pipeline.apply(X_train, y_train, X_test,
+                                on_error=self.on_error)
+            for X_train, y_train, X_test in payloads
+        ]
+
+    def cache_key(self, payload: tuple) -> str | None:
+        if not self.cache:
+            return None
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.pipeline.describe().encode())
+        for array in payload:
+            arr = np.ascontiguousarray(array)
+            h.update(f"|{arr.dtype}{arr.shape}|".encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
+    def fallback(self, payload: tuple, error: BaseException) -> tuple:
+        X_train, _y_train, X_test = payload
+        return X_train, X_test

@@ -1,0 +1,132 @@
+"""The tiered result cache: sharded LRU + TTL, plus single-flight coalescing.
+
+:class:`ResultCache` is the *completed* tier — results that already exist.
+Keys hash onto independently-locked shards (blake2b, not Python's per-run
+``hash()``, so shard assignment is stable across processes), each shard an
+LRU of at most ``capacity // shards`` entries with an optional TTL read off
+the injected clock.  Hits, misses, evictions and expirations are counted
+under ``<name>.*``; the live entry count is the ``<name>.size`` gauge.
+
+:class:`SingleFlight` is the *in-flight* tier — results that are currently
+being computed.  The first requester of a key becomes the **leader** and
+actually runs; every identical request arriving before the leader resolves
+**joins** the flight and is answered from the leader's response.  Identical
+concurrent work is therefore done exactly once — the server-side analogue
+of request deduplication in continuous-batching inference servers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.obs import metrics
+from repro.resilience import Clock, get_clock
+
+
+def stable_key(*parts: str) -> str:
+    """A short, process-stable cache key over string parts."""
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+class _Shard:
+    """One LRU map with its own lock; values stored as (value, expires_at)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.lock = threading.Lock()
+        self.entries: OrderedDict[str, tuple[Any, float | None]] = OrderedDict()
+
+
+class ResultCache:
+    """A sharded LRU + TTL map from request key to completed result."""
+
+    def __init__(self, capacity: int = 1024, shards: int = 8,
+                 ttl: float | None = None, clock: Clock | None = None,
+                 name: str = "serving.cache"):
+        if capacity < 1 or shards < 1:
+            raise ValueError("cache capacity and shards must be >= 1")
+        self.name = name
+        self.ttl = ttl
+        self._clock = clock or get_clock()
+        per_shard = max(1, -(-capacity // shards))  # ceil division
+        self._shards = [_Shard(per_shard) for _ in range(shards)]
+
+    def _shard_for(self, key: str) -> _Shard:
+        digest = hashlib.blake2b(key.encode(), digest_size=4).digest()
+        return self._shards[int.from_bytes(digest, "big") % len(self._shards)]
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """(hit, value); a TTL-expired entry counts as a miss and is dropped."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is not None:
+                value, expires = entry
+                if expires is not None and self._clock.monotonic() >= expires:
+                    del shard.entries[key]
+                    metrics.counter(f"{self.name}.expirations").inc()
+                    metrics.gauge(f"{self.name}.size").add(-1)
+                else:
+                    shard.entries.move_to_end(key)
+                    metrics.counter(f"{self.name}.hits").inc()
+                    return True, value
+        metrics.counter(f"{self.name}.misses").inc()
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        shard = self._shard_for(key)
+        expires = (self._clock.monotonic() + self.ttl
+                   if self.ttl is not None else None)
+        with shard.lock:
+            fresh = key not in shard.entries
+            shard.entries[key] = (value, expires)
+            shard.entries.move_to_end(key)
+            if fresh:
+                metrics.gauge(f"{self.name}.size").add(1)
+            if len(shard.entries) > shard.capacity:
+                shard.entries.popitem(last=False)
+                metrics.counter(f"{self.name}.evictions").inc()
+                metrics.gauge(f"{self.name}.size").add(-1)
+
+    def __len__(self) -> int:
+        return sum(len(s.entries) for s in self._shards)
+
+
+class SingleFlight:
+    """In-flight request registry: one leader computes, identical joiners wait.
+
+    ``claim(key, waiter)`` returns True for the leader (a new flight was
+    opened holding ``waiter``) and False for a joiner (``waiter`` was added
+    to the existing flight).  ``resolve(key)`` closes the flight and returns
+    every registered waiter so the caller can fan the response out.
+    """
+
+    def __init__(self, name: str = "serving.flight"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._flights: dict[str, list[Any]] = {}
+
+    def claim(self, key: str, waiter: Any) -> bool:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                self._flights[key] = [waiter]
+                return True
+            flight.append(waiter)
+        metrics.counter(f"{self.name}.coalesced").inc()
+        return False
+
+    def resolve(self, key: str) -> list[Any]:
+        with self._lock:
+            return self._flights.pop(key, [])
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._flights)

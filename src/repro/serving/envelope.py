@@ -1,0 +1,115 @@
+"""Typed request/response envelopes for the serving runtime.
+
+Every submission becomes a :class:`Request` carrying its payload plus the
+scheduling metadata the runtime acts on — priority lane, optional
+:class:`~repro.resilience.Deadline`, cache key and trace attributes — and
+resolves to exactly one :class:`Response`.  Backpressure is a *value*, not
+an exception: an overloaded server answers with ``status="rejected"``
+(the in-process analogue of HTTP 429), so load shedding never unwinds a
+caller's stack.
+
+Callers hold a :class:`ResponseFuture` between submit and resolution; its
+``result()`` blocks on a :class:`threading.Event` (a wait, never a sleep),
+so serial-mode tests on a :class:`~repro.resilience.FakeClock` resolve it
+without any wall time passing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServingError
+from repro.resilience import Deadline
+
+#: Priority lanes, drained highest-first; FIFO within a lane.
+PRIORITIES = ("high", "normal", "low")
+
+#: Response statuses.  ``ok`` is the only success; ``rejected`` is admission
+#: backpressure, ``expired`` a deadline missed in queue, ``error`` a backend
+#: failure no degraded tier could absorb.
+OK, REJECTED, EXPIRED, ERROR = "ok", "rejected", "expired", "error"
+STATUSES = (OK, REJECTED, EXPIRED, ERROR)
+
+
+@dataclass
+class Request:
+    """One unit of work: the payload plus everything the scheduler needs."""
+
+    payload: Any
+    backend: str = ""
+    priority: str = "normal"
+    deadline: Deadline | None = None
+    #: Backend-scoped result-cache key; ``None`` marks the payload uncacheable
+    #: (it then also skips single-flight coalescing).
+    key: str | None = None
+    trace: dict[str, Any] = field(default_factory=dict)
+    id: int = 0
+    #: Clock time at admission; queue latency is measured from here.
+    enqueued_at: float = 0.0
+
+    def __post_init__(self):
+        if self.priority not in PRIORITIES:
+            raise ServingError(
+                f"priority must be one of {PRIORITIES}, got {self.priority!r}"
+            )
+
+
+@dataclass
+class Response:
+    """The resolution of one request — success, rejection, or failure."""
+
+    status: str
+    value: Any = None
+    error: str = ""
+    backend: str = ""
+    #: ``"served"`` for a real backend result, ``"degraded"`` when the
+    #: backend's fallback tier answered (breaker open / batch failure).
+    tier: str = "served"
+    cache_hit: bool = False
+    #: True when this response was copied from another identical in-flight
+    #: request (single-flight deduplication) rather than computed.
+    coalesced: bool = False
+    #: Size of the micro-batch that served this request (0 off the fast path).
+    batch_size: int = 0
+    queue_seconds: float = 0.0
+    service_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def rejected(self) -> bool:
+        return self.status == REJECTED
+
+    @property
+    def degraded(self) -> bool:
+        return self.tier == "degraded"
+
+
+class ResponseFuture:
+    """A write-once slot a caller can wait on for its :class:`Response`."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._response: Response | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, response: Response) -> None:
+        """Fulfil the future (idempotent; the first resolution wins)."""
+        if self._response is None:
+            self._response = response
+            self._event.set()
+
+    def result(self, timeout: float | None = None) -> Response:
+        """Block until resolved; raise :class:`ServingError` on timeout."""
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"response not ready within {timeout:g}s"
+            )
+        assert self._response is not None
+        return self._response

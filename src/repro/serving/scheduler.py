@@ -1,0 +1,143 @@
+"""The micro-batching scheduler: priority lanes + batch-window batching.
+
+A :class:`MicroBatchScheduler` is a bounded, priority-laned queue plus the
+policy for when a batch is ready: **either** the queue holds ``max_batch``
+requests (size trigger) **or** the oldest queued request has waited
+``batch_window`` seconds (time trigger, measured on the injected clock).
+The window is what turns a trickle of single requests into batches worth
+amortizing — the micro-batching idea behind continuous-batching servers —
+while bounding the latency any request pays for the privilege.
+
+The scheduler is a pure state machine over ``clock.monotonic()``: it never
+sleeps, spawns nothing, and every method is safe under concurrent callers.
+Threaded serving drives it from a worker pool using :meth:`wait_hint` as
+the condition-wait timeout; tests drive it synchronously on a
+:class:`~repro.resilience.FakeClock` with zero wall time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro.obs import metrics
+from repro.resilience import Clock, get_clock
+from repro.serving.admission import AdmissionController
+from repro.serving.envelope import PRIORITIES, Request
+
+#: An entry is the request plus whatever resolution handle rides with it.
+Entry = tuple[Request, Any]
+
+
+class MicroBatchScheduler:
+    """Bounded priority-lane queue with size- and window-triggered batches."""
+
+    def __init__(self, name: str = "default", batch_window: float = 0.002,
+                 max_batch: int = 16,
+                 admission: AdmissionController | None = None,
+                 clock: Clock | None = None):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.name = name
+        self.batch_window = float(batch_window)
+        self.max_batch = max_batch
+        self.admission = admission or AdmissionController()
+        self._clock = clock or get_clock()
+        self._lock = threading.Lock()
+        self._lanes: dict[str, deque[Entry]] = {p: deque() for p in PRIORITIES}
+        self._depth = 0
+        self._hwm = 0
+
+    # -- queue state --------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def high_water_mark(self) -> int:
+        """Deepest the queue has been since construction."""
+        with self._lock:
+            return self._hwm
+
+    def _set_depth_gauges(self) -> None:
+        metrics.gauge(f"serving.{self.name}.queue.depth").set(self._depth)
+        if self._depth > self._hwm:
+            self._hwm = self._depth
+        metrics.gauge(f"serving.{self.name}.queue.depth.hwm").set(self._hwm)
+
+    def _oldest_arrival(self) -> float | None:
+        oldest: float | None = None
+        for lane in self._lanes.values():
+            if lane:
+                arrival = lane[0][0].enqueued_at
+                if oldest is None or arrival < oldest:
+                    oldest = arrival
+        return oldest
+
+    # -- producer side ------------------------------------------------------
+
+    def offer(self, request: Request, handle: Any = None) -> str | None:
+        """Admit-and-enqueue; returns ``None`` or the rejection reason."""
+        with self._lock:
+            reason = self.admission.admit(self._depth, request)
+            if reason is not None:
+                return reason
+            request.enqueued_at = self._clock.monotonic()
+            self._lanes[request.priority].append((request, handle))
+            self._depth += 1
+            self._set_depth_gauges()
+        return None
+
+    # -- consumer side ------------------------------------------------------
+
+    def ready(self, now: float | None = None) -> bool:
+        """Is a batch ready right now (size or window trigger)?"""
+        with self._lock:
+            return self._ready_locked(
+                self._clock.monotonic() if now is None else now
+            )
+
+    def _ready_locked(self, now: float) -> bool:
+        if self._depth == 0:
+            return False
+        if self._depth >= self.max_batch:
+            return True
+        oldest = self._oldest_arrival()
+        return oldest is not None and now - oldest >= self.batch_window
+
+    def wait_hint(self, now: float | None = None) -> float | None:
+        """Seconds until the pending window trigger fires; ``None`` if empty
+        (then only a new offer can make a batch, so wait un-timed), ``0.0``
+        if a batch is ready already."""
+        with self._lock:
+            if self._depth == 0:
+                return None
+            now = self._clock.monotonic() if now is None else now
+            if self._ready_locked(now):
+                return 0.0
+            oldest = self._oldest_arrival()
+            assert oldest is not None
+            return max(0.0, self.batch_window - (now - oldest))
+
+    def next_batch(self, now: float | None = None,
+                   force: bool = False) -> list[Entry]:
+        """Pop up to ``max_batch`` entries, highest priority lanes first.
+
+        Returns ``[]`` unless a trigger fired (or ``force=True``, used to
+        drain on flush/shutdown).
+        """
+        with self._lock:
+            now = self._clock.monotonic() if now is None else now
+            if self._depth == 0 or not (force or self._ready_locked(now)):
+                return []
+            batch: list[Entry] = []
+            for priority in PRIORITIES:
+                lane = self._lanes[priority]
+                while lane and len(batch) < self.max_batch:
+                    batch.append(lane.popleft())
+            self._depth -= len(batch)
+            self._set_depth_gauges()
+            return batch

@@ -330,6 +330,84 @@ class TestResilience:
     def _boom():
         raise RuntimeError("probe failed")
 
+    def test_circuit_breaker_half_open_concurrent_probe_race(self):
+        """Concurrent callers racing a half-open breaker admit exactly
+        ``half_open_trials`` probes — the rest are turned away — and the
+        racing probe outcomes drive exactly one state transition."""
+        import threading
+
+        clock = FakeClock()
+        breaker = CircuitBreaker("race", failure_rate=0.5, window=4,
+                                 min_calls=4, recovery_time=5.0,
+                                 half_open_trials=2, clock=clock)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+        admitted: list[bool] = []
+        lock = threading.Lock()
+
+        def probe():
+            barrier.wait()          # all threads hit allow() together
+            allowed = breaker.allow()
+            with lock:
+                admitted.append(allowed)
+
+        threads = [threading.Thread(target=probe) for _ in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(admitted) == 2            # exactly half_open_trials
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+        # Concurrent successes from the admitted probes close the breaker
+        # exactly once (no double transition, no lost update).
+        closed_counter = obs.get_registry().counter(
+            "resilience.breaker.race.closed")
+        before = closed_counter.value
+        barrier2 = threading.Barrier(2)
+
+        def succeed():
+            barrier2.wait()
+            breaker.record_success()
+
+        threads = [threading.Thread(target=succeed) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert closed_counter.value == before + 1
+
+        # And in the other direction: concurrently failing probes re-open
+        # the breaker exactly once (the first failure transitions, the
+        # second lands in the already-open state without a second open).
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        assert breaker.allow() and breaker.allow()
+        opened_counter = obs.get_registry().counter(
+            "resilience.breaker.race.opened")
+        opens_before = opened_counter.value
+        barrier3 = threading.Barrier(2)
+
+        def fail_probe():
+            barrier3.wait()
+            breaker.record_failure()
+
+        threads = [threading.Thread(target=fail_probe) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert opened_counter.value == opens_before + 1
+
     def test_circuit_breaker_state_gauge(self):
         clock = FakeClock()
         breaker = CircuitBreaker("gauged", window=2, min_calls=2,

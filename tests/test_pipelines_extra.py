@@ -121,6 +121,31 @@ class TestEvaluatorSemantics:
         b = PipelineEvaluator(seed=0).score(pipeline, task)
         assert a == b
 
+    def test_distinct_pipelines_never_share_a_cache_entry(self, registry):
+        """Regression: the memo key is a stable hash over stage-qualified
+        operator names + full task identity, so two distinct pipelines (or
+        two tasks that merely share a name) cannot alias each other."""
+        evaluator = PipelineEvaluator(seed=0)
+        task = make_ml_task("t", missing_rate=0.1, n_samples=100, seed=1)
+        p1 = pipeline_from_names(
+            registry, ("impute_mean", "none", "none", "none", "none")
+        )
+        p2 = pipeline_from_names(
+            registry, ("impute_median", "none", "none", "none", "none")
+        )
+        evaluator.score(p1, task)
+        evaluator.score(p2, task)
+        assert evaluator.evaluations == 2
+        assert (PipelineEvaluator.cache_key(p1, task)
+                != PipelineEvaluator.cache_key(p2, task))
+        # Same name, different data: distinct entries too.
+        impostor = make_ml_task("t", missing_rate=0.1, n_samples=100, seed=9)
+        evaluator.score(p1, impostor)
+        assert evaluator.evaluations == 3
+        # Re-scoring an already-seen combination still hits the memo.
+        evaluator.score(p1, task)
+        assert evaluator.evaluations == 3
+
 
 class TestAutoMLEncoding:
     def test_encoding_width_matches_arms(self, registry):

@@ -1,0 +1,446 @@
+"""The serving runtime: scheduler, admission, cache, single-flight, server.
+
+Every scheduler/cache/admission behavior is driven on a
+:class:`~repro.resilience.FakeClock` — batching windows, TTLs and deadlines
+advance virtually, so the whole module runs with zero wall sleeps.  The
+threaded tests use real worker threads but synchronize on futures and
+events, never on time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import ServerClosedError, ServingError
+from repro.foundation.prompts import qa_prompt
+from repro.resilience import CircuitBreaker, FakeClock, get_log
+from repro.serving import (
+    AdmissionController,
+    Backend,
+    FMBackend,
+    MatcherBackend,
+    MicroBatchScheduler,
+    PipelineBackend,
+    Request,
+    ResultCache,
+    Server,
+    SingleFlight,
+    stable_key,
+)
+
+
+class EchoBackend(Backend):
+    """Deterministic test backend: uppercases strings, records batches."""
+
+    name = "echo"
+
+    def __init__(self, fail: bool = False, fallback_value: str | None = None):
+        self.fail = fail
+        self.fallback_value = fallback_value
+        self.calls: list[list[str]] = []
+
+    def run_batch(self, payloads):
+        self.calls.append(list(payloads))
+        if self.fail:
+            raise RuntimeError("echo backend down")
+        return [p.upper() for p in payloads]
+
+    def cache_key(self, payload):
+        return stable_key(payload)
+
+    def fallback(self, payload, error):
+        if self.fallback_value is None:
+            raise error
+        return self.fallback_value
+
+
+def _request(payload="x", priority="normal", **kwargs):
+    return Request(payload=payload, backend="echo", priority=priority,
+                   **kwargs)
+
+
+class TestMicroBatchScheduler:
+    def test_window_trigger(self):
+        clock = FakeClock()
+        sched = MicroBatchScheduler("t", batch_window=0.01, max_batch=8,
+                                    clock=clock)
+        for i in range(3):
+            assert sched.offer(_request(f"p{i}")) is None
+        assert sched.next_batch() == []          # window not elapsed
+        clock.advance(0.02)
+        batch = sched.next_batch()
+        assert [r.payload for r, _h in batch] == ["p0", "p1", "p2"]
+        assert sched.depth == 0
+
+    def test_size_trigger_fires_without_time_passing(self):
+        clock = FakeClock()
+        sched = MicroBatchScheduler("t", batch_window=10.0, max_batch=4,
+                                    clock=clock)
+        for i in range(5):
+            sched.offer(_request(f"p{i}"))
+        batch = sched.next_batch()
+        assert len(batch) == 4                   # capped at max_batch
+        assert sched.depth == 1                  # remainder waits its window
+
+    def test_priority_lanes_drain_highest_first(self):
+        clock = FakeClock()
+        sched = MicroBatchScheduler("t", batch_window=0.01, max_batch=8,
+                                    clock=clock)
+        sched.offer(_request("n1", priority="normal"))
+        sched.offer(_request("l1", priority="low"))
+        sched.offer(_request("h1", priority="high"))
+        sched.offer(_request("n2", priority="normal"))
+        clock.advance(0.02)
+        order = [r.payload for r, _h in sched.next_batch()]
+        assert order == ["h1", "n1", "n2", "l1"]
+
+    def test_wait_hint_counts_down_to_window(self):
+        clock = FakeClock()
+        sched = MicroBatchScheduler("t", batch_window=0.01, max_batch=8,
+                                    clock=clock)
+        assert sched.wait_hint() is None         # empty: wait for an offer
+        sched.offer(_request())
+        assert sched.wait_hint() == pytest.approx(0.01)
+        clock.advance(0.004)
+        assert sched.wait_hint() == pytest.approx(0.006)
+        clock.advance(0.01)
+        assert sched.wait_hint() == 0.0          # ready now
+
+    def test_force_drains_everything(self):
+        clock = FakeClock()
+        sched = MicroBatchScheduler("t", batch_window=10.0, max_batch=100,
+                                    clock=clock)
+        for i in range(3):
+            sched.offer(_request(f"p{i}"))
+        assert sched.next_batch() == []
+        assert len(sched.next_batch(force=True)) == 3
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_everything(self):
+        clock = FakeClock()
+        sched = MicroBatchScheduler(
+            "t", admission=AdmissionController(max_depth=2, shed_threshold=1.0),
+            clock=clock)
+        assert sched.offer(_request(priority="high")) is None
+        assert sched.offer(_request(priority="high")) is None
+        assert sched.offer(_request(priority="high")) == "queue_full"
+        assert obs.get_registry().counter("serving.rejected.queue_full").value == 1
+
+    def test_high_water_sheds_low_priority_only(self):
+        admission = AdmissionController(max_depth=10, shed_threshold=0.5)
+        assert admission.admit(5, _request(priority="low")) == "shed"
+        assert admission.admit(5, _request(priority="normal")) is None
+        assert admission.admit(4, _request(priority="low")) is None
+        events = [e for e in get_log().events() if e.component == "serving"]
+        assert len(events) == 1 and events[0].action == "shed:shed"
+
+    def test_expired_deadline_rejected_at_the_door(self):
+        clock = FakeClock()
+        from repro.resilience import Deadline
+
+        deadline = Deadline(0.01, clock=clock)
+        clock.advance(0.02)
+        admission = AdmissionController(max_depth=10)
+        assert admission.admit(0, _request(deadline=deadline)) == "deadline"
+
+    def test_depth_gauges_track_high_water_mark(self):
+        clock = FakeClock()
+        sched = MicroBatchScheduler("hwm", batch_window=10.0, max_batch=100,
+                                    clock=clock)
+        for i in range(4):
+            sched.offer(_request(f"p{i}"))
+        sched.next_batch(force=True)
+        assert sched.high_water_mark == 4
+        registry = obs.get_registry()
+        assert registry.gauge("serving.hwm.queue.depth").value == 0
+        assert registry.gauge("serving.hwm.queue.depth.hwm").value == 4
+
+
+class TestResultCache:
+    def test_hit_miss_and_counters(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=8, shards=2, clock=clock)
+        assert cache.get("k") == (False, None)
+        cache.put("k", 42)
+        assert cache.get("k") == (True, 42)
+        registry = obs.get_registry()
+        assert registry.counter("serving.cache.hits").value == 1
+        assert registry.counter("serving.cache.misses").value == 1
+
+    def test_lru_evicts_oldest_within_shard(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=2, shards=1, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")                 # refresh a; b is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("b") == (False, None)
+        assert obs.get_registry().counter("serving.cache.evictions").value == 1
+
+    def test_ttl_expires_on_the_injected_clock(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=8, ttl=1.0, clock=clock)
+        cache.put("k", "v")
+        clock.advance(0.5)
+        assert cache.get("k") == (True, "v")
+        clock.advance(0.6)
+        assert cache.get("k") == (False, None)
+        assert obs.get_registry().counter("serving.cache.expirations").value == 1
+        assert len(cache) == 0
+
+    def test_sharding_spreads_and_len_sums(self):
+        cache = ResultCache(capacity=64, shards=4, clock=FakeClock())
+        for i in range(20):
+            cache.put(f"key-{i}", i)
+        assert len(cache) == 20
+        populated = sum(1 for s in cache._shards if s.entries)
+        assert populated >= 2
+
+
+class TestSingleFlight:
+    def test_leader_then_joiners(self):
+        flight = SingleFlight()
+        assert flight.claim("k", "leader") is True
+        assert flight.claim("k", "j1") is False
+        assert flight.claim("k", "j2") is False
+        assert flight.resolve("k") == ["leader", "j1", "j2"]
+        assert len(flight) == 0
+        assert obs.get_registry().counter("serving.flight.coalesced").value == 2
+        assert flight.claim("k", "new-leader") is True   # key reusable after
+
+
+class TestServerSerial:
+    """End-to-end serving on a FakeClock: fully deterministic, no threads."""
+
+    def _server(self, backend, clock, **kwargs):
+        kwargs.setdefault("batch_window", 0.01)
+        kwargs.setdefault("max_batch", 4)
+        server = Server(workers=0, clock=clock, **kwargs)
+        server.register(backend, breaker=CircuitBreaker(
+            "serving.test", min_calls=1, failure_rate=1.0, window=4,
+            recovery_time=100.0, clock=clock))
+        return server
+
+    def test_window_batch_and_in_batch_dedup(self):
+        clock = FakeClock()
+        backend = EchoBackend()
+        server = self._server(backend, clock)
+        futures = [server.submit("echo", p) for p in ("a", "b", "a")]
+        assert not any(f.done() for f in futures)
+        clock.advance(0.02)
+        assert server.poll() == 1
+        responses = [f.result(0) for f in futures]
+        assert [r.value for r in responses] == ["A", "B", "A"]
+        # Identical payloads reached the backend once: the third submit
+        # coalesced onto the first's flight and never occupied a queue slot,
+        # so the executed batch held two requests.
+        assert backend.calls == [["a", "b"]]
+        assert responses[0].batch_size == 2
+        assert responses[2].coalesced and not responses[0].coalesced
+
+    def test_result_cache_serves_repeats(self):
+        clock = FakeClock()
+        backend = EchoBackend()
+        server = self._server(backend, clock)
+        first = server.submit("echo", "a")
+        server.flush()
+        assert first.result(0).value == "A"
+        again = server.submit("echo", "a")
+        assert again.done()                       # resolved on the fast path
+        response = again.result(0)
+        assert response.cache_hit and response.value == "A"
+        assert backend.calls == [["a"]]
+
+    def test_backpressure_resolves_rejected_not_raises(self):
+        clock = FakeClock()
+        backend = EchoBackend()
+        server = self._server(backend, clock, max_depth=2, batch_window=10.0,
+                              max_batch=100)
+        futures = [server.submit("echo", f"p{i}", priority="high")
+                   for i in range(4)]
+        statuses = []
+        server.flush()
+        for f in futures:
+            statuses.append(f.result(0).status)
+        assert statuses == ["ok", "ok", "rejected", "rejected"]
+        assert "rejected: queue_full" in futures[2].result(0).error
+
+    def test_deadline_expires_in_queue(self):
+        clock = FakeClock()
+        backend = EchoBackend()
+        server = self._server(backend, clock)
+        future = server.submit("echo", "a", timeout=0.05)
+        clock.advance(0.06)
+        server.poll()
+        response = future.result(0)
+        assert response.status == "expired"
+        assert backend.calls == []                # never reached the backend
+
+    def test_breaker_opens_and_degraded_tier_serves(self):
+        clock = FakeClock()
+        backend = EchoBackend(fail=True, fallback_value="stale")
+        server = self._server(backend, clock)
+        first = server.submit("echo", "a")
+        server.flush()
+        response = first.result(0)
+        assert response.ok and response.degraded and response.value == "stale"
+        # The failure opened the breaker; the next batch never hits the
+        # backend but still serves the degraded tier.
+        second = server.submit("echo", "b")
+        server.flush()
+        assert second.result(0).degraded
+        assert len(backend.calls) == 1
+        events = [e for e in get_log().events()
+                  if e.component == "serving" and e.action == "served:degraded"]
+        assert len(events) == 2
+
+    def test_error_status_when_no_fallback_tier(self):
+        clock = FakeClock()
+        backend = EchoBackend(fail=True, fallback_value=None)
+        server = self._server(backend, clock)
+        future = server.submit("echo", "a")
+        server.flush()
+        response = future.result(0)
+        assert response.status == "error" and "down" in response.error
+        assert obs.get_registry().counter("serving.errors").value == 1
+
+    def test_call_and_close(self):
+        clock = FakeClock()
+        backend = EchoBackend()
+        server = self._server(backend, clock)
+        assert server.call("echo", "a", wait=0).value == "A"
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.submit("echo", "b")
+
+    def test_unknown_backend_raises(self):
+        server = Server(workers=0, clock=FakeClock())
+        with pytest.raises(ServingError):
+            server.submit("nope", "x")
+
+
+class TestServerThreaded:
+    def test_worker_pool_serves_and_close_drains(self, fact_store,
+                                                 foundation_model):
+        with Server(workers=2, batch_window=0.002, max_batch=8) as server:
+            server.register(FMBackend(foundation_model))
+            prompts = [qa_prompt(f"what is {i} + {i}?") for i in range(12)]
+            futures = [server.submit("fm", p) for p in prompts]
+            responses = [f.result(10.0) for f in futures]
+        assert all(r.ok for r in responses)
+        assert responses[2].value.text == "4"
+        assert all(r.batch_size >= 1 for r in responses)
+
+    def test_concurrent_identical_submits_coalesce(self):
+        backend = EchoBackend()
+        barrier = threading.Barrier(4)
+        results = []
+        with Server(workers=1, batch_window=0.001, max_batch=8) as server:
+            server.register(backend)
+
+            def client():
+                barrier.wait()
+                results.append(server.call("echo", "same", wait=10.0))
+
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert [r.value for r in results] == ["SAME"] * 4
+        # All four clients were served by a single backend execution.
+        assert sum(len(batch) for batch in backend.calls) == 1
+
+
+class TestBackends:
+    def test_matcher_backend_scores_pairs(self, em_products):
+        from repro.matching import RuleBasedMatcher
+
+        labeled = em_products.labeled_pairs(12, seed=3)
+        backend = MatcherBackend(RuleBasedMatcher())
+        clock = FakeClock()
+        server = Server(workers=0, clock=clock, batch_window=0.001)
+        server.register(backend)
+        futures = [server.submit("matcher", (a, b)) for a, b, _l in labeled]
+        server.flush()
+        predictions = [f.result(0).value for f in futures]
+        assert all(p in (0, 1) for p in predictions)
+        expected = RuleBasedMatcher().predict(
+            [(a, b) for a, b, _l in labeled])
+        assert predictions == [int(p) for p in expected]
+
+    def test_pipeline_backend_applies_and_caches(self):
+        from repro.datasets.mltasks import make_ml_task
+        from repro.pipelines import build_registry
+        from repro.pipelines.pipeline import PrepPipeline
+
+        registry = build_registry()
+        pipeline = PrepPipeline((registry["impute"][0],))
+        task = make_ml_task("serve", n_samples=40, seed=1)
+        payload = (task.X[:30], task.y[:30], task.X[30:])
+        clock = FakeClock()
+        server = Server(workers=0, clock=clock)
+        server.register(PipelineBackend(pipeline))
+        first = server.submit("pipeline", payload)
+        server.flush()
+        X_train, X_test = first.result(0).value
+        assert not np.isnan(X_train).any() and not np.isnan(X_test).any()
+        again = server.submit("pipeline", payload)
+        assert again.result(0).cache_hit
+
+
+class TestCompleteBatch:
+    def test_identical_prompts_complete_once(self, foundation_model):
+        prompts = [qa_prompt("what is the capital of france?")] * 5 + [
+            qa_prompt("what is 2 + 2?")
+        ]
+        completions = foundation_model.complete_batch(prompts)
+        assert len(completions) == 6
+        assert completions[0].text == completions[4].text
+        assert completions[5].text == "4"
+        registry = obs.get_registry()
+        assert registry.counter("fm.prompts").value == 2     # deduped
+        assert registry.counter("fm.batch.deduped").value == 4
+        histogram = registry.histogram("fm.batch_size")
+        assert histogram.count == 1 and histogram.max == 6
+
+    def test_fanned_out_completions_are_copies(self, foundation_model):
+        prompts = [qa_prompt("what is 1 + 1?")] * 2
+        first, second = foundation_model.complete_batch(prompts)
+        assert first is not second
+        first.text = "mutated"
+        assert second.text == "2"
+
+    def test_empty_batch(self, foundation_model):
+        assert foundation_model.complete_batch([]) == []
+
+
+class TestRunReportServing:
+    def test_report_carries_serving_section(self):
+        clock = FakeClock()
+        backend = EchoBackend()
+        server = Server(workers=0, clock=clock, max_depth=2,
+                        batch_window=10.0, max_batch=100)
+        server.register(backend)
+        for i in range(4):
+            server.submit("echo", f"p{i}", priority="high")
+        server.flush()
+        server.submit("echo", "p0", priority="high")   # cache hit
+        report = obs.RunReport.collect("serving-report")
+        section = report.to_dict()["serving"]
+        assert section["submitted"] == 5
+        assert section["admitted"] == 2
+        assert section["rejected"] == 2
+        assert section["shed"] == 2
+        assert section["queue_depth_hwm"] == 2
+        assert section["completed"] == 2
+        assert section["cache_hits"] == 1
+        assert 0.0 < section["cache_hit_ratio"] <= 1.0
+        restored = obs.RunReport.from_json(report.to_json())
+        assert restored.serving == report.serving

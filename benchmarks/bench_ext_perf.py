@@ -1,0 +1,244 @@
+"""EXT-PERF: the perf-regression harness for the vectorized kernels.
+
+Times each rewritten kernel against the thin ``*_reference``
+implementation it replaced — same seeds, same data, same update
+semantics — and asserts two things:
+
+- **Equivalence**: the vectorized kernel produces the same numbers as the
+  reference (``np.allclose`` on weights/losses, set equality on candidate
+  sets, tuple equality on search results).  Always asserted.
+- **Speedup**: the three biggest kernels (skip-gram training, embedding
+  blocking, MLM pretraining) clear a >= 3x wall-clock floor at the default
+  bench sizes.  Skipped in ``REPRO_PERF_SMOKE=1`` mode, where the CI perf
+  job runs the same code on shrunken inputs purely for the equivalence
+  asserts and the JSON artifact.
+
+The run writes ``BENCH_perf.json`` at the repo root: per-kernel wall
+times, throughput, speedup, and the git revision — the artifact a perf
+dashboard (or the next PR) diffs against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.datasets.em import EMDataset, Record
+from repro.datasets.mltasks import task_suite
+from repro.embeddings import FastTextModel, SkipGramModel, Vocab
+from repro.par import ParallelMap
+from repro.pipelines.operators import build_registry
+from repro.pipelines.pipeline import PipelineEvaluator
+from repro.pipelines.search import RandomSearch
+from repro.plm import MiniBert, MLMPretrainer
+
+#: Wall-clock claim under test for the three biggest kernels.
+SPEEDUP_FLOOR = 3.0
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent, timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:  # noqa: BLE001 - the artifact degrades, the bench runs
+        return "unknown"
+
+
+def _word_corpus(rng: np.random.Generator, vocab_size: int, sentences: int,
+                 length: int) -> list[str]:
+    """Zipf-ish synthetic corpus over ``vocab_size`` distinct words."""
+    tokens = np.array([f"w{i}" for i in range(vocab_size)])
+    weights = 1.0 / np.arange(1, vocab_size + 1)
+    weights /= weights.sum()
+    return [
+        " ".join(rng.choice(tokens, size=length, p=weights))
+        for _ in range(sentences)
+    ]
+
+
+def _em_dataset(rng: np.random.Generator, per_source: int) -> EMDataset:
+    """Synthetic two-source EM dataset with heavy token reuse (the shape
+    the unique-token embedding cache exploits)."""
+    brands = [f"brand{i}" for i in range(24)]
+    items = ["laptop", "camera", "phone", "tablet", "monitor", "router",
+             "speaker", "drive", "printer", "keyboard"]
+
+    def records(prefix: str) -> list[Record]:
+        out = []
+        for i in range(per_source):
+            name = (f"{brands[i % len(brands)]} {items[i % len(items)]} "
+                    f"model {i % 61}")
+            out.append(Record(f"{prefix}{i}", {"name": name,
+                                               "price": str(10 + i % 97)}))
+        return out
+
+    return EMDataset("perf", records("a"), records("b"),
+                     matches={("a0", "b0")},
+                     attribute_names=["name", "price"])
+
+
+def test_ext_perf_kernels(benchmark):
+    smoke = os.environ.get("REPRO_PERF_SMOKE", "") not in ("", "0")
+    rng = np.random.default_rng(17)
+
+    # Default (asserted) sizes vs smoke sizes for the CI perf job.
+    sg_sentences, sg_dim, sg_epochs = (40, 16, 1) if smoke else (260, 32, 2)
+    em_per_source = 60 if smoke else 450
+    mlm_vocab, mlm_batch, mlm_steps = (60, 8, 1) if smoke else (1800, 32, 3)
+    search_budget = 4 if smoke else 10
+
+    def experiment():
+        results: dict[str, dict] = {}
+
+        # -- kernel 1: skip-gram training (fused batched SGNS) -------------
+        corpus = _word_corpus(rng, vocab_size=400, sentences=sg_sentences,
+                              length=9)
+        vocab = Vocab(corpus)
+        vec = SkipGramModel(vocab, dim=sg_dim, seed=3)
+        ref = SkipGramModel(vocab, dim=sg_dim, seed=3)
+        start = time.perf_counter()
+        vec_loss = vec.train(corpus, epochs=sg_epochs)
+        vec_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        ref_loss = ref.train_reference(corpus, epochs=sg_epochs)
+        ref_seconds = time.perf_counter() - start
+        assert np.allclose(vec_loss, ref_loss)
+        assert np.allclose(vec.in_vectors, ref.in_vectors)
+        assert np.allclose(vec.out_vectors, ref.out_vectors)
+        pairs = sum(p.shape[1] for p in vec._sentence_pairs(corpus))
+        results["skipgram_train"] = {
+            "reference_seconds": ref_seconds,
+            "vectorized_seconds": vec_seconds,
+            "speedup": ref_seconds / vec_seconds,
+            "throughput_pairs_per_second": pairs * sg_epochs / vec_seconds,
+            "pairs_per_epoch": pairs,
+        }
+
+        # -- kernel 2: embedding blocking (unique-token cache + blocked
+        # top-k, parallel row blocks) --------------------------------------
+        dataset = _em_dataset(rng, em_per_source)
+        ft_corpus = [r.text() for r in dataset.source_a + dataset.source_b]
+        fasttext = FastTextModel(Vocab(ft_corpus), dim=24, seed=1)
+        from repro.matching.blocking import EmbeddingBlocker
+
+        blocker = EmbeddingBlocker(token_embed=fasttext.token_vector, k=5,
+                                   attribute="name", row_block=128,
+                                   parallel=ParallelMap(workers=4))
+        start = time.perf_counter()
+        vec_candidates = blocker.candidates(dataset)
+        vec_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        ref_candidates = blocker.candidates_reference(dataset)
+        ref_seconds = time.perf_counter() - start
+        assert vec_candidates == ref_candidates
+        comparisons = len(dataset.source_a) * len(dataset.source_b)
+        results["embedding_blocking"] = {
+            "reference_seconds": ref_seconds,
+            "vectorized_seconds": vec_seconds,
+            "speedup": ref_seconds / vec_seconds,
+            "throughput_comparisons_per_second": comparisons / vec_seconds,
+            "candidates": len(vec_candidates),
+        }
+
+        # -- kernel 3: MLM pretraining loss (masked-position gather) -------
+        mlm_corpus = _word_corpus(rng, vocab_size=mlm_vocab,
+                                  sentences=240 if not smoke else 40,
+                                  length=24)
+        bert_vocab = Vocab(mlm_corpus)
+        model = MiniBert(bert_vocab, dim=32, num_layers=1, max_len=32, seed=0)
+        trainer = MLMPretrainer(model, seed=0)
+        ids, masks = model.batch_encode(mlm_corpus[:mlm_batch])
+        corrupted, labels = trainer.corruption(ids, masks)
+
+        def timed_steps(loss_fn) -> tuple[float, list[float]]:
+            losses = []
+            start = time.perf_counter()
+            for _ in range(mlm_steps):
+                trainer._optimizer.zero_grad()
+                loss = loss_fn(corrupted, masks, labels)
+                loss.backward()
+                losses.append(float(loss.data))
+            return time.perf_counter() - start, losses
+
+        vec_seconds, vec_losses = timed_steps(trainer.loss_on)
+        ref_seconds, ref_losses = timed_steps(trainer.loss_on_reference)
+        assert np.allclose(vec_losses, ref_losses)
+        masked = int((labels >= 0).sum())
+        results["mlm_pretraining"] = {
+            "reference_seconds": ref_seconds,
+            "vectorized_seconds": vec_seconds,
+            "speedup": ref_seconds / vec_seconds,
+            "throughput_masked_tokens_per_second":
+                masked * mlm_steps / vec_seconds,
+            "masked_positions": masked,
+            "vocab": len(bert_vocab),
+        }
+
+        # -- kernel 4: parallel pipeline search (no wall-clock floor — the
+        # claim here is byte-identical results, recorded for the dashboard)
+        task = task_suite(seed=0, n_samples=160)[0]
+        registry = build_registry()
+
+        def run_search(parallel):
+            searcher = RandomSearch(registry, seed=7, parallel=parallel)
+            start = time.perf_counter()
+            result = searcher.search(task, PipelineEvaluator(seed=1),
+                                     budget=search_budget)
+            return time.perf_counter() - start, result
+
+        serial_seconds, serial_result = run_search(None)
+        par_seconds, par_result = run_search(ParallelMap(workers=4,
+                                                         chunk_size=2))
+        assert par_result.best_pipeline.names == serial_result.best_pipeline.names
+        assert par_result.best_score == serial_result.best_score
+        assert par_result.trajectory == serial_result.trajectory
+        assert par_result.failures == serial_result.failures
+        results["pipeline_search"] = {
+            "reference_seconds": serial_seconds,
+            "vectorized_seconds": par_seconds,
+            "speedup": serial_seconds / par_seconds,
+            "throughput_evaluations_per_second":
+                par_result.evaluated / par_seconds,
+            "budget": search_budget,
+        }
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    from repro.evaluation import ResultTable
+
+    table = ResultTable(
+        f"EXT-PERF: vectorized vs reference kernels (smoke={smoke})",
+        ["kernel", "reference (s)", "vectorized (s)", "speedup"],
+    )
+    for kernel, row in results.items():
+        table.add(kernel, f"{row['reference_seconds']:.3f}",
+                  f"{row['vectorized_seconds']:.3f}",
+                  f"{row['speedup']:.1f}x")
+    table.show()
+
+    artifact = {
+        "bench": "ext-perf",
+        "git_rev": _git_rev(),
+        "smoke": smoke,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "kernels": results,
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    if not smoke:
+        for kernel in ("skipgram_train", "embedding_blocking",
+                       "mlm_pretraining"):
+            speedup = results[kernel]["speedup"]
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"{kernel}: {speedup:.2f}x < {SPEEDUP_FLOOR}x floor"
+            )

@@ -1,6 +1,15 @@
 """Skip-gram with negative sampling (word2vec), trained with direct numpy
 updates (the closed-form SGNS gradient) rather than the autograd engine —
 embedding training is the hot loop of the first-generation-PLM experiments.
+
+The training kernel is **minibatched**: every epoch materializes its
+(center, context) pairs, draws all negatives in one call, and then updates
+``batch_size`` pairs at a time with one fused batched matmul for the
+scores and scatter-adds (``np.add.at``) for the weight updates —
+duplicate rows within a batch accumulate, exactly like the pairwise
+reference.  :meth:`train_reference` keeps the thin per-pair loop over the
+*same* pair/negative streams, so equivalence tests can assert the two
+kernels agree to float tolerance and the perf bench can time old-vs-new.
 """
 
 from __future__ import annotations
@@ -8,7 +17,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.embeddings.vocab import Vocab
+from repro.obs import metrics, tracing
 from repro.text.tokenize import words
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """Overflow-safe sigmoid, shared by both kernels so the vectorized and
+    reference paths stay bit-identical."""
+    out = np.empty_like(x, dtype=float)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
 
 
 class SkipGramModel:
@@ -27,6 +48,7 @@ class SkipGramModel:
         self.out_vectors = np.zeros((v, dim))
         self._rng = rng
         self._noise = self._noise_distribution()
+        self._unit_cache: np.ndarray | None = None
 
     def _noise_distribution(self) -> np.ndarray:
         """Unigram^0.75 noise distribution over the vocabulary."""
@@ -41,56 +63,177 @@ class SkipGramModel:
             total = powered.sum()
         return powered / total
 
-    def train(self, corpus: list[str], epochs: int = 3) -> float:
-        """Train over the corpus; returns the mean loss of the final epoch."""
-        encoded = [
-            [self.vocab.id_of(t) for t in words(s)] for s in corpus
-        ]
-        last_loss = 0.0
-        for _ in range(epochs):
-            losses = []
-            order = self._rng.permutation(len(encoded))
-            for idx in order:
-                sentence = encoded[idx]
-                for pos, center in enumerate(sentence):
-                    if center == self.vocab.unk_id:
-                        continue
-                    lo = max(0, pos - self.window)
-                    hi = min(len(sentence), pos + self.window + 1)
-                    for ctx_pos in range(lo, hi):
-                        if ctx_pos == pos:
-                            continue
-                        context = sentence[ctx_pos]
-                        if context == self.vocab.unk_id:
-                            continue
-                        losses.append(self._step(center, context))
-            last_loss = float(np.mean(losses)) if losses else 0.0
+    # -- pair/negative streams (shared by both kernels) ---------------------
+
+    def _sentence_pairs(self, corpus: list[str]) -> list[np.ndarray]:
+        """Per-sentence ``(centers, contexts)`` pair arrays, window-expanded.
+
+        Computed once per ``train`` call; epochs only re-permute sentence
+        order, matching the historic traversal (center position ascending,
+        context position ascending, center skipped at its own position).
+        """
+        out = []
+        for sentence in corpus:
+            ids = np.array(
+                [self.vocab.id_of(t) for t in words(sentence)], dtype=np.int64
+            )
+            n = len(ids)
+            if n < 2:
+                out.append(np.empty((2, 0), dtype=np.int64))
+                continue
+            centers, contexts = [], []
+            for pos in range(n):
+                if ids[pos] == self.vocab.unk_id:
+                    continue
+                lo = max(0, pos - self.window)
+                hi = min(n, pos + self.window + 1)
+                ctx = np.concatenate([ids[lo:pos], ids[pos + 1 : hi]])
+                ctx = ctx[ctx != self.vocab.unk_id]
+                centers.append(np.full(len(ctx), ids[pos]))
+                contexts.append(ctx)
+            if centers:
+                out.append(np.stack([np.concatenate(centers),
+                                     np.concatenate(contexts)]))
+            else:
+                out.append(np.empty((2, 0), dtype=np.int64))
+        return out
+
+    def _epoch_pairs(self, sentence_pairs: list[np.ndarray]) -> np.ndarray:
+        """One epoch's (2, n_pairs) pair stream in permuted sentence order."""
+        order = self._rng.permutation(len(sentence_pairs))
+        chosen = [sentence_pairs[i] for i in order]
+        if not chosen:
+            return np.empty((2, 0), dtype=np.int64)
+        return np.concatenate(chosen, axis=1)
+
+    def _draw_negatives(self, n_pairs: int) -> np.ndarray:
+        """All of one epoch's negatives in a single draw: (n_pairs, K)."""
+        return self._rng.choice(
+            len(self._noise), size=(n_pairs, self.negatives), p=self._noise
+        )
+
+    # -- kernels ------------------------------------------------------------
+
+    def train(self, corpus: list[str], epochs: int = 3,
+              batch_size: int = 512) -> float:
+        """Train over the corpus; returns the mean loss of the final epoch.
+
+        The vectorized kernel: per batch of pairs, one fused batched matmul
+        scores the positive and all negatives together, and the SGNS
+        gradient is applied with scatter-adds so duplicate centers/targets
+        within a batch accumulate.
+        """
+        with tracing.span("skipgram.train", sentences=len(corpus),
+                          epochs=epochs, batch_size=batch_size) as span:
+            sentence_pairs = self._sentence_pairs(corpus)
+            last_loss = 0.0
+            for _ in range(epochs):
+                pairs = self._epoch_pairs(sentence_pairs)
+                n = pairs.shape[1]
+                if n == 0:
+                    last_loss = 0.0
+                    continue
+                negatives = self._draw_negatives(n)
+                total, count = 0.0, 0
+                for lo in range(0, n, batch_size):
+                    hi = min(lo + batch_size, n)
+                    batch_loss = self._step_batch(
+                        pairs[0, lo:hi], pairs[1, lo:hi], negatives[lo:hi]
+                    )
+                    total += batch_loss
+                    count += hi - lo
+                metrics.counter("skipgram.pairs").inc(n)
+                last_loss = total / count if count else 0.0
+            span.set(final_loss=last_loss)
+        self._unit_cache = None
         return last_loss
 
-    def _step(self, center: int, context: int) -> float:
-        """One SGNS update: positive pair + ``negatives`` noise words.
+    def _step_batch(self, centers: np.ndarray, contexts: np.ndarray,
+                    negatives: np.ndarray) -> float:
+        """One vectorized SGNS update on a (B,) pair batch; returns the
+        summed loss.
 
-        Draws that collide with the true context are dropped — with the
-        small vocabularies this library trains on, the collision rate is
-        high enough to cancel the positive signal otherwise.
+        Negative draws that collide with their pair's true context are
+        masked out — with the small vocabularies this library trains on,
+        the collision rate is high enough to cancel the positive signal
+        otherwise.
         """
-        negs = self._rng.choice(
-            len(self._noise), size=self.negatives, p=self._noise
-        )
-        negs = negs[negs != context]
-        v_in = self.in_vectors[center]
-        targets = np.concatenate([[context], negs]).astype(int)
+        targets = np.concatenate([contexts[:, None], negatives], axis=1)
+        valid = np.ones(targets.shape)
+        valid[:, 1:] = negatives != contexts[:, None]
+        labels = np.zeros(targets.shape)
+        labels[:, 0] = 1.0
+        v_in = self.in_vectors[centers]                    # (B, D)
+        v_out = self.out_vectors[targets]                  # (B, 1+K, D)
+        # The fused gemm: all (1+K) scores per pair in one batched matmul.
+        scores = (v_out @ v_in[:, :, None])[:, :, 0]       # (B, 1+K)
+        probs = _sigmoid(scores)
+        grad_scale = (probs - labels) * valid              # d(loss)/d(score)
+        grad_in = (grad_scale[:, :, None] * v_out).sum(axis=1)   # (B, D)
+        grad_out = grad_scale[:, :, None] * v_in[:, None, :]     # (B, 1+K, D)
+        np.add.at(self.out_vectors, targets.reshape(-1),
+                  -self.lr * grad_out.reshape(-1, self.dim))
+        np.add.at(self.in_vectors, centers, -self.lr * grad_in)
+        eps = 1e-10
+        pos_loss = -np.log(probs[:, 0] + eps)
+        neg_loss = -(valid[:, 1:] * np.log(1.0 - probs[:, 1:] + eps)).sum(axis=1)
+        return float((pos_loss + neg_loss).sum())
+
+    def train_reference(self, corpus: list[str], epochs: int = 3,
+                        batch_size: int = 512) -> float:
+        """The thin per-pair reference kernel (equivalence/bench baseline).
+
+        Consumes the identical pair and negative streams as :meth:`train`
+        and applies the same batch semantics — gradients computed against
+        batch-start weights, scatter-added in pair order — one python-level
+        pair at a time.
+        """
+        sentence_pairs = self._sentence_pairs(corpus)
+        last_loss = 0.0
+        for _ in range(epochs):
+            pairs = self._epoch_pairs(sentence_pairs)
+            n = pairs.shape[1]
+            if n == 0:
+                last_loss = 0.0
+                continue
+            negatives = self._draw_negatives(n)
+            total, count = 0.0, 0
+            for lo in range(0, n, batch_size):
+                hi = min(lo + batch_size, n)
+                in_snap = self.in_vectors.copy()
+                out_snap = self.out_vectors.copy()
+                for i in range(lo, hi):
+                    total += self._step_reference(
+                        int(pairs[0, i]), int(pairs[1, i]), negatives[i],
+                        in_snap, out_snap,
+                    )
+                    count += 1
+            last_loss = total / count if count else 0.0
+        self._unit_cache = None
+        return last_loss
+
+    def _step_reference(self, center: int, context: int,
+                        negatives: np.ndarray, in_snap: np.ndarray,
+                        out_snap: np.ndarray) -> float:
+        """One SGNS update: positive pair + masked noise words (reference)."""
+        targets = np.concatenate([[context], negatives]).astype(int)
+        valid = np.ones(len(targets))
+        valid[1:] = targets[1:] != context
         labels = np.zeros(len(targets))
         labels[0] = 1.0
-        v_out = self.out_vectors[targets]
+        v_in = in_snap[center]
+        v_out = out_snap[targets]
         scores = v_out @ v_in
-        probs = 1.0 / (1.0 + np.exp(-scores))
-        grad_scale = probs - labels  # d(loss)/d(score)
+        probs = _sigmoid(scores)
+        grad_scale = (probs - labels) * valid
         grad_in = grad_scale @ v_out
-        self.out_vectors[targets] -= self.lr * np.outer(grad_scale, v_in)
+        np.add.at(self.out_vectors, targets,
+                  -self.lr * np.outer(grad_scale, v_in))
         self.in_vectors[center] -= self.lr * grad_in
         eps = 1e-10
-        loss = -np.log(probs[0] + eps) - np.log(1.0 - probs[1:] + eps).sum()
+        loss = -np.log(probs[0] + eps) - (
+            valid[1:] * np.log(1.0 - probs[1:] + eps)
+        ).sum()
         return float(loss)
 
     # -- lookup -----------------------------------------------------------
@@ -101,22 +244,30 @@ class SkipGramModel:
 
     def embed_text(self, text: str) -> np.ndarray:
         """Mean of in-vocabulary token embeddings (zeros when none)."""
-        ids = [
-            self.vocab.id_of(t) for t in words(text)
-            if self.vocab.id_of(t) != self.vocab.unk_id
-        ]
-        if not ids:
+        ids = np.array([self.vocab.id_of(t) for t in words(text)])
+        ids = ids[ids != self.vocab.unk_id] if ids.size else ids
+        if ids.size == 0:
             return np.zeros(self.dim)
-        return self.in_vectors[ids].mean(axis=0)
+        return self.in_vectors[ids.astype(int)].mean(axis=0)
+
+    def _unit_vectors(self) -> np.ndarray:
+        """Row-normalized embedding matrix, cached until the next train."""
+        if self._unit_cache is None:
+            norms = np.linalg.norm(self.in_vectors, axis=1, keepdims=True)
+            self._unit_cache = self.in_vectors / np.maximum(norms, 1e-12)
+        return self._unit_cache
 
     def most_similar(self, token: str, k: int = 5) -> list[tuple[str, float]]:
-        """Nearest vocabulary tokens by cosine similarity."""
-        query = self.vector(token)
-        norms = np.linalg.norm(self.in_vectors, axis=1) * (
-            np.linalg.norm(query) + 1e-12
-        )
-        sims = self.in_vectors @ query / np.maximum(norms, 1e-12)
+        """Nearest vocabulary tokens by cosine similarity.
+
+        Works off the cached normalized matrix (:meth:`_unit_vectors`) so
+        repeated queries cost one matrix-vector product, not a fresh
+        normalization of the whole table.
+        """
+        unit = self._unit_vectors()
         own = self.vocab.id_of(token)
+        query = unit[own]
+        sims = unit @ query
         sims[own] = -np.inf
         sims[: len(Vocab.SPECIALS)] = -np.inf
         top = np.argsort(-sims)[:k]

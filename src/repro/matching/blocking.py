@@ -21,6 +21,7 @@ import numpy as np
 from repro.datasets.em import EMDataset, Record
 from repro.ml.metrics import pair_completeness, reduction_ratio
 from repro.obs import metrics, tracing
+from repro.par import ParallelMap
 from repro.text.minhash import LSHIndex
 from repro.text.tokenize import words
 
@@ -120,20 +121,35 @@ class EmbeddingBlocker(Blocker):
     ``attribute`` restricts blocking to one field (the usual practice —
     block on the name, not the whole record, so per-record noise fields like
     prices don't pollute the key).
+
+    The embedding and top-k stages are vectorized: every unique token (or
+    unique text) is embedded exactly once, record vectors are assembled
+    with one scatter-add over the flattened token stream, and nearest
+    neighbours are taken per *row block* so the similarity matrix never
+    materializes beyond ``row_block × |B|``.  Row blocks optionally fan
+    out over a :class:`repro.par.ParallelMap`.  The pre-vectorization
+    kernels survive as :meth:`_vectors_reference` /
+    :meth:`candidates_reference` for equivalence tests and the perf bench.
     """
 
     def __init__(self, embed: Callable[[str], np.ndarray] | None = None,
                  k: int = 5,
                  token_embed: Callable[[str], np.ndarray] | None = None,
-                 attribute: str | None = None):
+                 attribute: str | None = None,
+                 parallel: ParallelMap | None = None,
+                 row_block: int = 256):
         if k < 1:
             raise ValueError("k must be >= 1")
+        if row_block < 1:
+            raise ValueError("row_block must be >= 1")
         if (embed is None) == (token_embed is None):
             raise ValueError("provide exactly one of embed / token_embed")
         self.embed = embed
         self.token_embed = token_embed
         self.k = k
         self.attribute = attribute
+        self.parallel = parallel
+        self.row_block = row_block
 
     def _text(self, record: Record) -> str:
         if self.attribute is not None:
@@ -141,7 +157,67 @@ class EmbeddingBlocker(Blocker):
             return "" if value is None else str(value)
         return record.value_text()
 
+    # -- record vectors (vectorized kernel) --------------------------------
+
     def _vectors(self, dataset: EMDataset) -> tuple[np.ndarray, np.ndarray]:
+        """Record-vector matrices for both sources.
+
+        ``embed`` mode deduplicates texts before embedding; ``token_embed``
+        mode embeds each unique token once and pools per record with an
+        IDF-weighted scatter-add over the flattened token stream.
+        """
+        texts_a = [self._text(r) for r in dataset.source_a]
+        texts_b = [self._text(r) for r in dataset.source_b]
+        if self.embed is not None:
+            unique = sorted(set(texts_a + texts_b))
+            table = {t: self.embed(t) for t in unique}
+            return (
+                np.stack([table[t] for t in texts_a]),
+                np.stack([table[t] for t in texts_b]),
+            )
+        texts = texts_a + texts_b
+        token_lists = [words(t) for t in texts]
+        document_freq: dict[str, int] = {}
+        for tokens in token_lists:
+            for t in set(tokens):
+                document_freq[t] = document_freq.get(t, 0) + 1
+        n = len(texts)
+        vocab = sorted(document_freq)
+        index = {t: i for i, t in enumerate(vocab)}
+        if vocab:
+            token_matrix = np.stack([self.token_embed(t) for t in vocab])
+        else:
+            token_matrix = np.zeros((0, len(self.token_embed("empty"))))
+        idf = np.array(
+            [np.log(n / (1 + document_freq[t])) + 1.0 for t in vocab]
+        )
+        dim = token_matrix.shape[1]
+        # Flatten every (record, token-occurrence) into parallel arrays and
+        # pool with one scatter-add per matrix.
+        seg = np.concatenate([
+            np.full(len(tokens), i, dtype=np.int64)
+            for i, tokens in enumerate(token_lists)
+        ]) if token_lists else np.empty(0, dtype=np.int64)
+        flat = np.array(
+            [index[t] for tokens in token_lists for t in tokens],
+            dtype=np.int64,
+        )
+        weights = idf[flat] if flat.size else np.empty(0)
+        acc = np.zeros((n, dim))
+        denom = np.zeros(n)
+        if flat.size:
+            np.add.at(acc, seg, token_matrix[flat] * weights[:, None])
+            np.add.at(denom, seg, weights)
+        pooled = np.divide(
+            acc, denom[:, None], out=np.zeros_like(acc),
+            where=denom[:, None] > 0,
+        )
+        return pooled[: len(texts_a)], pooled[len(texts_a):]
+
+    def _vectors_reference(
+        self, dataset: EMDataset
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pre-vectorization per-text embedding loop (bench baseline)."""
         texts_a = [self._text(r) for r in dataset.source_a]
         texts_b = [self._text(r) for r in dataset.source_b]
         if self.embed is not None:
@@ -172,8 +248,37 @@ class EmbeddingBlocker(Blocker):
             np.stack([weighted(t) for t in texts_b]),
         )
 
+    # -- top-k neighbours (blocked kernel) ---------------------------------
+
     def candidates(self, dataset: EMDataset) -> set[tuple[str, str]]:
         a_vecs, b_vecs = self._vectors(dataset)
+        a_norm = _normalize(a_vecs)
+        b_norm = _normalize(b_vecs)
+        k = min(self.k, len(dataset.source_b))
+        blocks = [
+            (lo, min(lo + self.row_block, len(a_norm)))
+            for lo in range(0, len(a_norm), self.row_block)
+        ]
+
+        def top_rows(block: tuple[int, int]) -> np.ndarray:
+            lo, hi = block
+            sims = a_norm[lo:hi] @ b_norm.T
+            return np.argpartition(-sims, k - 1, axis=1)[:, :k]
+
+        pmap = self.parallel or ParallelMap(workers=0)
+        tops = pmap.map(top_rows, blocks, name="blocking.topk")
+        out: set[tuple[str, str]] = set()
+        for (lo, _hi), top in zip(blocks, tops):
+            for i, row in enumerate(top):
+                rid_a = dataset.source_a[lo + i].rid
+                for j in row:
+                    out.add((rid_a, dataset.source_b[int(j)].rid))
+        return out
+
+    def candidates_reference(self, dataset: EMDataset) -> set[tuple[str, str]]:
+        """Pre-vectorization kernel: per-text embedding + one dense
+        similarity matrix (equivalence/bench baseline)."""
+        a_vecs, b_vecs = self._vectors_reference(dataset)
         a_norm = _normalize(a_vecs)
         b_norm = _normalize(b_vecs)
         sims = a_norm @ b_norm.T

@@ -331,6 +331,55 @@ class Tensor:
 
         return self._make(data, (self,), backward)
 
+    def take_at(self, rows: np.ndarray, cols: np.ndarray) -> "Tensor":
+        """Positional 2-D gather: ``out[i] = self[rows[i], cols[i]]``.
+
+        The masked-position primitive: selects ``N`` (row, col) cells from a
+        ``(batch, seq, ...)`` tensor in one fancy-index, so downstream ops
+        (an MLM head, a loss) run on ``(N, ...)`` instead of the full grid.
+        Backward scatter-*adds*, so duplicate (row, col) pairs accumulate.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        data = self.data[rows, cols]
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, (rows, cols), g)
+                self._accumulate(grad)
+
+        return self._make(data, (self,), backward)
+
+    def take_along_last(self, indices: np.ndarray) -> "Tensor":
+        """Gather one entry per position along the last axis.
+
+        ``indices`` has shape ``self.shape[:-1]``; the output drops the last
+        axis: ``out[p] = self[p][indices[p]]`` for every leading index ``p``.
+        This is the label-pick primitive of cross-entropy — each leading
+        position selects exactly one class, so backward is a plain
+        (non-accumulating) scatter.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.shape != self.data.shape[:-1]:
+            raise ValueError(
+                f"indices shape {indices.shape} != leading shape "
+                f"{self.data.shape[:-1]}"
+            )
+        data = np.take_along_axis(
+            self.data, indices[..., None], axis=-1
+        )[..., 0]
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.put_along_axis(
+                    grad, indices[..., None], np.asarray(g)[..., None], axis=-1
+                )
+                self._accumulate(grad)
+
+        return self._make(data, (self,), backward)
+
     def concat(self, others: Iterable["Tensor"], axis: int = -1) -> "Tensor":
         """Concatenate this tensor with ``others`` along ``axis``."""
         parts = [self, *others]

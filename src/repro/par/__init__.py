@@ -1,0 +1,33 @@
+"""repro.par: the parallel execution layer.
+
+Two pieces, both deterministic by construction:
+
+- :class:`ParallelMap` — a picklable, chunked, ordered map with a
+  ``workers=0`` serial mode, per-chunk observability, and a
+  resilience-aware error policy (``RetryPolicy`` for transient faults,
+  ``DegradationLog`` + fallback values under ``on_error="degrade"``);
+- :class:`WorkerPool` — the single sanctioned ``threading.Thread`` site
+  under ``src/repro`` (CI-enforced), shared with the serving runtime via
+  :mod:`repro.serving.pool`.
+
+Quickstart::
+
+    from repro.par import ParallelMap
+
+    pmap = ParallelMap(workers=4, chunk_size=8)
+    squares = pmap.map(lambda x: x * x, range(100))   # input order, always
+    assert squares == ParallelMap(workers=0).map(lambda x: x * x, range(100))
+
+See docs/performance.md for the kernel inventory that fans out through
+this layer and the perf-regression bench that guards it.
+"""
+
+from repro.par.parallel import DEFAULT_CHUNK_SIZE, ON_ERROR_MODES, ParallelMap
+from repro.par.pool import WorkerPool
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ON_ERROR_MODES",
+    "ParallelMap",
+    "WorkerPool",
+]

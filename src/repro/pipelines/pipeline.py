@@ -8,6 +8,7 @@ prepared features — the objective all §3.3 search strategies optimize.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -151,6 +152,11 @@ class PipelineEvaluator:
         #: key -> (pipeline names, task name), the human-readable identity
         #: behind each cached failure (what :meth:`failure_reasons` reports).
         self._failed_identity: dict[str, tuple[tuple[str, ...], str]] = {}
+        #: Guards memo bookkeeping so a :class:`repro.par.ParallelMap` can
+        #: score candidate batches concurrently.  Search strategies dedupe
+        #: within a batch, so no key is ever evaluated twice; the lock only
+        #: keeps the cache dictionaries and counters coherent.
+        self._lock = threading.Lock()
 
     @staticmethod
     def cache_key(pipeline: PrepPipeline, task: MLTask) -> str:
@@ -174,18 +180,20 @@ class PipelineEvaluator:
     def score(self, pipeline: PrepPipeline, task: MLTask) -> float:
         """Mean CV accuracy; failed pipelines score 0."""
         key = self.cache_key(pipeline, task)
-        if key in self._cache:
-            if key in self._failed:
-                metrics.counter("pipeline.eval.cache.failure_hits").inc()
-            else:
-                metrics.counter("pipeline.eval.cache.hits").inc()
-            return self._cache[key]
-        metrics.counter("pipeline.eval.cache.misses").inc()
-        metrics.counter("pipeline.eval.evaluations").inc()
-        self.evaluations += 1
+        with self._lock:
+            if key in self._cache:
+                if key in self._failed:
+                    metrics.counter("pipeline.eval.cache.failure_hits").inc()
+                else:
+                    metrics.counter("pipeline.eval.cache.hits").inc()
+                return self._cache[key]
+            metrics.counter("pipeline.eval.cache.misses").inc()
+            metrics.counter("pipeline.eval.evaluations").inc()
+            self.evaluations += 1
         with tracing.span("pipeline.evaluate", pipeline=pipeline.describe(),
                           task=task.name) as span:
             result: float | None = None
+            failed_reason: str | None = None
             for round_ in range(self.transient_retries + 1):
                 try:
                     result = self._cross_validate(pipeline, task)
@@ -197,8 +205,7 @@ class PipelineEvaluator:
                         metrics.counter("pipeline.eval.transient_retries").inc()
                         continue
                     result = 0.0
-                    self._failed[key] = str(exc)
-                    self._failed_identity[key] = (pipeline.names, task.name)
+                    failed_reason = str(exc)
                     metrics.counter("pipeline.eval.failures").inc()
                     degradation.record(
                         component="pipeline.evaluator",
@@ -206,8 +213,12 @@ class PipelineEvaluator:
                         error=str(exc), task=task.name,
                     )
                     break
-            span.set(score=result, failed=key in self._failed)
-        self._cache[key] = result
+            span.set(score=result, failed=failed_reason is not None)
+        with self._lock:
+            if failed_reason is not None:
+                self._failed[key] = failed_reason
+                self._failed_identity[key] = (pipeline.names, task.name)
+            self._cache[key] = result
         return result
 
     def _cross_validate(self, pipeline: PrepPipeline, task: MLTask) -> float:

@@ -18,6 +18,14 @@ covers:
 All strategies consume the same budget currency: *distinct pipeline
 evaluations* (the expensive operation), so their anytime curves compare
 fairly in E13.
+
+Candidate **generation** (which consumes each strategy's rng) is kept
+strictly sequential and separated from candidate **evaluation**, which
+runs through a :class:`repro.par.ParallelMap` in deduplicated batches:
+pass ``parallel=ParallelMap(workers=N)`` to any strategy and the returned
+:class:`SearchResult` — scores, trajectory ordering, failure counts — is
+identical to the serial run, because the evaluator is deterministic and
+results are recorded in candidate order regardless of completion order.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.datasets.mltasks import MLTask
+from repro.par import ParallelMap
 from repro.pipelines.operators import STAGES, Operator
 from repro.pipelines.pipeline import PipelineEvaluator, PrepPipeline
 
@@ -45,13 +54,23 @@ class SearchResult:
 
 
 class SearchStrategy:
-    """Base class: tracks best-so-far while spending the evaluation budget."""
+    """Base class: tracks best-so-far while spending the evaluation budget.
+
+    ``parallel`` (a :class:`repro.par.ParallelMap`, default serial) is the
+    execution policy for candidate *evaluation*; candidate *generation*
+    stays sequential so the rng stream — and therefore the search result —
+    does not depend on worker count.
+    """
 
     name = "search"
 
-    def __init__(self, registry: dict[str, list[Operator]], seed: int = 0):
+    def __init__(self, registry: dict[str, list[Operator]], seed: int = 0,
+                 parallel: ParallelMap | None = None):
         self.registry = registry
         self.seed = seed
+        self.parallel = parallel
+        self._encode_layout: tuple[dict[str, dict[str, int]], np.ndarray,
+                                   int] | None = None
 
     def search(self, task: MLTask, evaluator: PipelineEvaluator,
                budget: int) -> SearchResult:
@@ -69,6 +88,29 @@ class SearchStrategy:
         )
         return score
 
+    def _evaluate_batch(self, evaluator: PipelineEvaluator, task: MLTask,
+                        pipelines: list[PrepPipeline],
+                        tracker: "_Tracker") -> list[float]:
+        """Score a deduplicated candidate batch, recording in input order.
+
+        The batch fans out over ``self.parallel`` when configured; results
+        land back in candidate order, so the tracker's trajectory (and the
+        failure count) is the same whether the batch ran on 0 or N workers.
+        """
+        if not pipelines:
+            return []
+        pmap = self.parallel or ParallelMap(workers=0)
+        scores = pmap.map(
+            lambda p: evaluator.score(p, task), pipelines,
+            name=f"search.{self.name}",
+        )
+        for pipeline, score in zip(pipelines, scores):
+            tracker.record(
+                pipeline, score,
+                failed=evaluator.failure_reason(pipeline, task) is not None,
+            )
+        return scores
+
     def _random_pipeline(self, rng: np.random.Generator) -> PrepPipeline:
         ops = tuple(
             self.registry[stage][int(rng.integers(len(self.registry[stage])))]
@@ -76,15 +118,39 @@ class SearchStrategy:
         )
         return PrepPipeline(ops)
 
+    def _layout(self) -> tuple[dict[str, dict[str, int]], np.ndarray, int]:
+        """Cached one-hot layout: per-stage name→slot maps, stage offsets,
+        and the total encoded width."""
+        if self._encode_layout is None:
+            index: dict[str, dict[str, int]] = {}
+            offsets = []
+            total = 0
+            for stage in STAGES:
+                names = [o.name for o in self.registry[stage]]
+                index[stage] = {name: i for i, name in enumerate(names)}
+                offsets.append(total)
+                total += len(names)
+            self._encode_layout = (index, np.array(offsets, dtype=np.int64),
+                                   total)
+        return self._encode_layout
+
     def _encode(self, pipeline: PrepPipeline) -> np.ndarray:
         """One-hot encoding of the stage choices (the surrogate's input)."""
-        parts = []
-        for stage, op in zip(STAGES, pipeline.operators):
-            names = [o.name for o in self.registry[stage]]
-            onehot = np.zeros(len(names))
-            onehot[names.index(op.name)] = 1.0
-            parts.append(onehot)
-        return np.concatenate(parts)
+        return self._encode_batch([pipeline])[0]
+
+    def _encode_batch(self, pipelines: list[PrepPipeline]) -> np.ndarray:
+        """Stacked one-hot encodings, one vectorized scatter for the batch."""
+        index, offsets, total = self._layout()
+        n = len(pipelines)
+        slots = np.array([
+            [index[stage][op.name]
+             for stage, op in zip(STAGES, p.operators)]
+            for p in pipelines
+        ], dtype=np.int64)
+        out = np.zeros((n, total))
+        if n:
+            out[np.arange(n)[:, None], slots + offsets] = 1.0
+        return out
 
 
 class _Tracker:
@@ -118,7 +184,12 @@ class _Tracker:
 
 
 class RandomSearch(SearchStrategy):
-    """Uniformly random pipelines (without replacement)."""
+    """Uniformly random pipelines (without replacement).
+
+    Candidates are drawn sequentially (one rng stream), deduplicated, and
+    scored as one batch — the parallel-friendly restructuring of the
+    historic draw-evaluate loop, with an identical trajectory.
+    """
 
     name = "random"
 
@@ -126,13 +197,17 @@ class RandomSearch(SearchStrategy):
                budget: int) -> SearchResult:
         rng = np.random.default_rng(self.seed)
         tracker = _Tracker()
+        pending: list[PrepPipeline] = []
+        pending_names: set[tuple[str, ...]] = set()
         attempts = 0
-        while len(tracker.trajectory) < budget and attempts < budget * 20:
+        while len(pending) < budget and attempts < budget * 20:
             attempts += 1
             pipeline = self._random_pipeline(rng)
-            if pipeline.names in tracker.seen:
+            if pipeline.names in pending_names:
                 continue
-            self._evaluate(evaluator, task, pipeline, tracker)
+            pending.append(pipeline)
+            pending_names.add(pipeline.names)
+        self._evaluate_batch(evaluator, task, pending, tracker)
         return tracker.result()
 
 
@@ -142,8 +217,9 @@ class BayesianOptSearch(SearchStrategy):
     name = "bayesian"
 
     def __init__(self, registry, seed: int = 0, init_random: int = 5,
-                 kappa: float = 1.0, pool_size: int = 64):
-        super().__init__(registry, seed)
+                 kappa: float = 1.0, pool_size: int = 64,
+                 parallel: ParallelMap | None = None):
+        super().__init__(registry, seed, parallel=parallel)
         self.init_random = init_random
         self.kappa = kappa
         self.pool_size = pool_size
@@ -157,17 +233,22 @@ class BayesianOptSearch(SearchStrategy):
         X_hist: list[np.ndarray] = []
         y_hist: list[float] = []
 
-        def evaluate(pipeline: PrepPipeline) -> None:
-            score = self._evaluate(evaluator, task, pipeline, tracker)
-            X_hist.append(self._encode(pipeline))
-            y_hist.append(score)
-
-        while len(tracker.trajectory) < min(self.init_random, budget):
+        # Phase 1: the random warm-up, drawn sequentially and scored as one
+        # (possibly parallel) batch.
+        pending: list[PrepPipeline] = []
+        pending_names: set[tuple[str, ...]] = set()
+        while len(pending) < min(self.init_random, budget):
             pipeline = self._random_pipeline(rng)
-            if pipeline.names in tracker.seen:
+            if pipeline.names in pending_names:
                 continue
-            evaluate(pipeline)
+            pending.append(pipeline)
+            pending_names.add(pipeline.names)
+        scores = self._evaluate_batch(evaluator, task, pending, tracker)
+        X_hist.extend(self._encode_batch(pending))
+        y_hist.extend(scores)
 
+        # Phase 2: sequential SMBO — each proposal depends on all previous
+        # scores, so only the pool encoding is batch-vectorized.
         while len(tracker.trajectory) < budget:
             surrogate = RandomForestRegressor(n_trees=16, max_depth=6,
                                               seed=int(rng.integers(1 << 30)))
@@ -177,11 +258,14 @@ class BayesianOptSearch(SearchStrategy):
                 candidate = self._random_pipeline(rng)
                 if candidate.names not in tracker.seen:
                     pool.append(candidate)
-            encoded = np.stack([self._encode(p) for p in pool])
+            encoded = self._encode_batch(pool)
             mean = surrogate.predict(encoded)
             std = surrogate.predict_std(encoded)
             acquisition = mean + self.kappa * std
-            evaluate(pool[int(np.argmax(acquisition))])
+            chosen = pool[int(np.argmax(acquisition))]
+            score = self._evaluate(evaluator, task, chosen, tracker)
+            X_hist.append(self._encode(chosen))
+            y_hist.append(score)
         return tracker.result()
 
 
@@ -195,15 +279,37 @@ class MetaRecord:
 
 
 class MetaStore:
-    """Experience store for meta-learning: (meta-features → good pipelines)."""
+    """Experience store for meta-learning: (meta-features → good pipelines).
+
+    The stacked meta-feature matrix and its standardization statistics are
+    cached between queries and invalidated on :meth:`add`, so ``nearest``
+    is one vectorized distance computation — no per-record python loop and
+    no re-stacking per query.
+    """
 
     def __init__(self):
         self.records: list[MetaRecord] = []
+        self._normalized: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
 
     def add(self, task: MLTask, pipeline: PrepPipeline, score: float) -> None:
         self.records.append(
             MetaRecord(task.meta_features(), pipeline.names, score)
         )
+        self._normalized = None
+
+    def _standardized(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._normalized is None:
+            matrix = np.stack([r.meta_features for r in self.records])
+            mu, sigma = matrix.mean(axis=0), matrix.std(axis=0)
+            # Floor sigma at a fraction of the feature's scale: with few
+            # stored records a coincidentally tight spread would otherwise
+            # blow up one feature's z-scores and dominate the distance.
+            sigma = np.maximum(sigma, 0.25 * (np.abs(mu) + 1.0))
+            self._mu, self._sigma = mu, sigma
+            self._normalized = (matrix - mu) / sigma
+        return self._normalized, self._mu, self._sigma
 
     def nearest(self, task: MLTask, k: int = 5) -> list[MetaRecord]:
         """The k records whose datasets look most like ``task``.
@@ -213,14 +319,8 @@ class MetaStore:
         """
         if not self.records:
             return []
-        matrix = np.stack([r.meta_features for r in self.records])
-        mu, sigma = matrix.mean(axis=0), matrix.std(axis=0)
-        # Floor sigma at a fraction of the feature's scale: with few stored
-        # records a coincidentally tight spread would otherwise blow up one
-        # feature's z-scores and dominate the distance.
-        sigma = np.maximum(sigma, 0.25 * (np.abs(mu) + 1.0))
+        normalized, mu, sigma = self._standardized()
         query = (task.meta_features() - mu) / sigma
-        normalized = (matrix - mu) / sigma
         distances = np.linalg.norm(normalized - query, axis=1)
         order = np.argsort(distances, kind="stable")
         return [self.records[int(i)] for i in order[:k]]
@@ -232,8 +332,8 @@ class MetaLearningSearch(SearchStrategy):
     name = "meta-learning"
 
     def __init__(self, registry, store: MetaStore, seed: int = 0,
-                 warm_starts: int = 5):
-        super().__init__(registry, seed)
+                 warm_starts: int = 5, parallel: ParallelMap | None = None):
+        super().__init__(registry, seed, parallel=parallel)
         self.store = store
         self.warm_starts = warm_starts
 
@@ -242,21 +342,24 @@ class MetaLearningSearch(SearchStrategy):
         from repro.pipelines.operators import operator_by_name
 
         tracker = _Tracker()
+        pending: list[PrepPipeline] = []
+        pending_names: set[tuple[str, ...]] = set()
         for record in self.store.nearest(task, k=self.warm_starts):
-            if len(tracker.trajectory) >= budget:
+            if len(pending) >= budget:
                 break
-            if record.pipeline_names in tracker.seen:
+            if record.pipeline_names in pending_names:
                 continue
             ops = tuple(
                 operator_by_name(self.registry, stage, name)
                 for stage, name in zip(STAGES, record.pipeline_names)
             )
-            pipeline = PrepPipeline(ops)
-            self._evaluate(evaluator, task, pipeline, tracker)
+            pending.append(PrepPipeline(ops))
+            pending_names.add(record.pipeline_names)
+        self._evaluate_batch(evaluator, task, pending, tracker)
         remaining = budget - len(tracker.trajectory)
         if remaining > 0:
             bo = BayesianOptSearch(self.registry, seed=self.seed,
-                                   init_random=2)
+                                   init_random=2, parallel=self.parallel)
             inner = bo.search(task, evaluator, remaining)
             tracker.failures += inner.failures
             for score in inner.trajectory:
@@ -273,8 +376,9 @@ class GeneticSearch(SearchStrategy):
     name = "genetic"
 
     def __init__(self, registry, seed: int = 0, population: int = 8,
-                 mutation_rate: float = 0.3, elite: int = 2):
-        super().__init__(registry, seed)
+                 mutation_rate: float = 0.3, elite: int = 2,
+                 parallel: ParallelMap | None = None):
+        super().__init__(registry, seed, parallel=parallel)
         self.population_size = population
         self.mutation_rate = mutation_rate
         self.elite = elite
@@ -294,33 +398,48 @@ class GeneticSearch(SearchStrategy):
                budget: int) -> SearchResult:
         rng = np.random.default_rng(self.seed)
         tracker = _Tracker()
-        population: list[tuple[PrepPipeline, float]] = []
-        while len(population) < self.population_size and len(tracker.trajectory) < budget:
+
+        # Initial population: drawn sequentially, scored as one batch.
+        pending: list[PrepPipeline] = []
+        pending_names: set[tuple[str, ...]] = set()
+        while (len(pending) < self.population_size
+               and len(pending) < budget):
             pipeline = self._random_pipeline(rng)
-            if pipeline.names in tracker.seen:
+            if pipeline.names in pending_names:
                 continue
-            score = self._evaluate(evaluator, task, pipeline, tracker)
-            population.append((pipeline, score))
+            pending.append(pipeline)
+            pending_names.add(pipeline.names)
+        scores = self._evaluate_batch(evaluator, task, pending, tracker)
+        population = list(zip(pending, scores))
+
+        # Each generation breeds its children sequentially (the rng stream
+        # sees only parents, never sibling scores) and scores them as one
+        # batch — the natural parallel grain of a genetic search.
         while len(tracker.trajectory) < budget:
             population.sort(key=lambda ps: -ps[1])
             parents = population[: max(2, self.population_size // 2)]
-            next_gen = population[: self.elite]
-            while (len(next_gen) < self.population_size
-                   and len(tracker.trajectory) + len(next_gen) - self.elite < budget):
+            elites = population[: self.elite]
+            traj0 = len(tracker.trajectory)
+            pending = []
+            pending_names = set()
+            while (len(elites) + len(pending) < self.population_size
+                   and (traj0 + len(pending)) + (len(elites) + len(pending))
+                   - self.elite < budget):
                 pa = parents[int(rng.integers(len(parents)))][0]
                 pb = parents[int(rng.integers(len(parents)))][0]
                 child = self._crossover(pa, pb, rng)
                 if rng.random() < self.mutation_rate:
                     child = self._mutate(child, rng)
-                if child.names in tracker.seen:
+                if child.names in tracker.seen or child.names in pending_names:
                     child = self._mutate(child, rng)
-                if child.names in tracker.seen:
+                if child.names in tracker.seen or child.names in pending_names:
                     continue
-                score = self._evaluate(evaluator, task, child, tracker)
-                next_gen.append((child, score))
-                if len(tracker.trajectory) >= budget:
+                pending.append(child)
+                pending_names.add(child.names)
+                if traj0 + len(pending) >= budget:
                     break
-            population = next_gen
+            scores = self._evaluate_batch(evaluator, task, pending, tracker)
+            population = elites + list(zip(pending, scores))
         return tracker.result()
 
 
@@ -336,8 +455,12 @@ class QLearningSearch(SearchStrategy):
     name = "q-learning"
 
     def __init__(self, registry, seed: int = 0, epsilon: float = 0.35,
-                 learning_rate: float = 0.4):
-        super().__init__(registry, seed)
+                 learning_rate: float = 0.4,
+                 parallel: ParallelMap | None = None):
+        # ``parallel`` is accepted for API uniformity but unused: every
+        # episode's policy depends on the previous episode's reward, so
+        # Q-learning has no batchable evaluation grain.
+        super().__init__(registry, seed, parallel=parallel)
         self.epsilon = epsilon
         self.learning_rate = learning_rate
 

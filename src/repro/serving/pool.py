@@ -1,75 +1,16 @@
-"""The worker pool: the only module under ``src/repro`` allowed to spawn
-threads (CI-enforced — the lint rejects ``threading.Thread(`` anywhere else
-in the library).
+"""Serving's view of the worker pool.
 
-A :class:`WorkerPool` runs ``num_workers`` daemon threads, each looping on a
-caller-supplied ``fetch`` callable.  ``fetch`` blocks until work is
-available and returns a zero-argument callable to execute, or ``None`` to
-tell the worker to exit — all waiting strategy (condition variables, batch
-windows) lives with the caller, so the pool itself contains no policy and
-no sleeps.
-
-A work item that raises is counted and logged, never propagated: a worker
-thread must not die to a bad batch.
+The thread-spawning implementation lives in :mod:`repro.par.pool` — the one
+module under ``src/repro`` allowed to construct threads (CI-enforced) — so
+the serving runtime and the offline :class:`repro.par.ParallelMap` share a
+single sanctioned threading site.
+This module re-exports :class:`WorkerPool` under its historic import path;
+the :class:`~repro.serving.server.Server` keeps constructing
+``WorkerPool("server", workers, fetch)`` exactly as before.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Callable, Optional
+from repro.par.pool import WorkerPool
 
-from repro.obs import get_logger, metrics
-
-log = get_logger("serving.pool")
-
-
-class WorkerPool:
-    """Fixed-size pool of daemon workers draining a blocking ``fetch``."""
-
-    def __init__(self, name: str, num_workers: int,
-                 fetch: Callable[[], Optional[Callable[[], None]]]):
-        if num_workers < 1:
-            raise ValueError("num_workers must be >= 1")
-        self.name = name
-        self.num_workers = num_workers
-        self._fetch = fetch
-        self._threads: list[threading.Thread] = []
-        self._started = False
-
-    @property
-    def running(self) -> int:
-        return sum(1 for t in self._threads if t.is_alive())
-
-    def start(self) -> "WorkerPool":
-        if self._started:
-            return self
-        self._started = True
-        for i in range(self.num_workers):
-            thread = threading.Thread(
-                target=self._run, name=f"repro-serving-{self.name}-{i}",
-                daemon=True,
-            )
-            self._threads.append(thread)
-            thread.start()
-        metrics.gauge(f"serving.pool.{self.name}.workers").set(self.running)
-        return self
-
-    def _run(self) -> None:
-        while True:
-            work = self._fetch()
-            if work is None:
-                break
-            try:
-                work()
-                metrics.counter(f"serving.pool.{self.name}.tasks").inc()
-            except Exception:  # noqa: BLE001 - workers must survive bad work
-                metrics.counter(f"serving.pool.{self.name}.task_errors").inc()
-                log.exception("worker task failed in pool %r", self.name)
-
-    def join(self, timeout: float | None = 5.0) -> None:
-        """Wait for workers to exit (after ``fetch`` has returned ``None``
-        to each of them — the caller signals that, typically via a closed
-        flag plus a condition broadcast)."""
-        for thread in self._threads:
-            thread.join(timeout)
-        metrics.gauge(f"serving.pool.{self.name}.workers").set(self.running)
+__all__ = ["WorkerPool"]

@@ -1,0 +1,277 @@
+"""Equivalence contracts for the vectorized kernels.
+
+Every rewritten hot loop keeps its thin ``*_reference`` twin; these tests
+pin the claim the perf bench relies on — same seeds in, same numbers out
+(``np.allclose`` for float paths, exact equality for candidate sets and
+search results) — and the determinism claim of the parallel layer
+(``workers=0`` == ``workers=N``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.em import EMDataset, Record
+from repro.datasets.mltasks import task_suite
+from repro.embeddings import FastTextModel, SkipGramModel, Vocab
+from repro.matching.blocking import EmbeddingBlocker
+from repro.nn.functional import cross_entropy, cross_entropy_reference
+from repro.nn.tensor import Tensor
+from repro.par import ParallelMap
+from repro.pipelines import (
+    GeneticSearch,
+    PipelineEvaluator,
+    RandomSearch,
+    build_registry,
+)
+from repro.pipelines.search import MetaStore
+from repro.plm import MiniBert, MLMPretrainer
+
+
+@pytest.fixture(scope="module")
+def word_corpus():
+    rng = np.random.default_rng(11)
+    tokens = np.array([f"w{i}" for i in range(120)])
+    return [" ".join(rng.choice(tokens, size=8)) for _ in range(60)]
+
+
+class TestSkipGramKernel:
+    def test_vectorized_matches_reference(self, word_corpus):
+        vocab = Vocab(word_corpus)
+        vec = SkipGramModel(vocab, dim=16, seed=3)
+        ref = SkipGramModel(vocab, dim=16, seed=3)
+        vec_loss = vec.train(word_corpus, epochs=2, batch_size=128)
+        ref_loss = ref.train_reference(word_corpus, epochs=2, batch_size=128)
+        assert np.allclose(vec_loss, ref_loss)
+        assert np.allclose(vec.in_vectors, ref.in_vectors)
+        assert np.allclose(vec.out_vectors, ref.out_vectors)
+
+    def test_unit_cache_invalidated_by_training(self, word_corpus):
+        vocab = Vocab(word_corpus)
+        model = SkipGramModel(vocab, dim=8, seed=0)
+        model.train(word_corpus[:20], epochs=1)
+        first = model._unit_vectors()
+        assert model._unit_vectors() is first  # cached between queries
+        model.train(word_corpus[20:40], epochs=1)
+        second = model._unit_vectors()
+        assert second is not first
+        norms = np.linalg.norm(second, axis=1)
+        assert np.allclose(norms[norms > 1e-9], 1.0)
+
+    def test_most_similar_uses_current_vectors(self, word_corpus):
+        vocab = Vocab(word_corpus)
+        model = SkipGramModel(vocab, dim=8, seed=0)
+        model.train(word_corpus, epochs=1)
+        token = "w1"
+        neighbours = model.most_similar(token, k=5)
+        assert len(neighbours) == 5
+        assert all(name != token for name, _score in neighbours)
+        unit = model._unit_vectors()
+        own = vocab.id_of(token)
+        expected = unit @ unit[own]
+        for name, score in neighbours:
+            assert np.isclose(score, expected[vocab.id_of(name)])
+
+
+def _toy_em(per_source: int = 40) -> EMDataset:
+    brands = ["apex", "lumina", "nova", "orbit"]
+    items = ["laptop", "camera", "phone", "tablet", "monitor"]
+    def records(prefix):
+        return [
+            Record(f"{prefix}{i}",
+                   {"name": f"{brands[i % 4]} {items[i % 5]} v{i % 7}",
+                    "price": str(i)})
+            for i in range(per_source)
+        ]
+    return EMDataset("toy", records("a"), records("b"),
+                     matches={("a0", "b0")},
+                     attribute_names=["name", "price"])
+
+
+class TestBlockingKernel:
+    @pytest.fixture(scope="class")
+    def token_embed(self):
+        dataset = _toy_em()
+        corpus = [r.text() for r in dataset.source_a + dataset.source_b]
+        return FastTextModel(Vocab(corpus), dim=16, seed=1).token_vector
+
+    def test_vectors_match_reference(self, token_embed):
+        dataset = _toy_em()
+        blocker = EmbeddingBlocker(token_embed=token_embed, k=3,
+                                   attribute="name")
+        fast_a, fast_b = blocker._vectors(dataset)
+        ref_a, ref_b = blocker._vectors_reference(dataset)
+        assert np.allclose(fast_a, ref_a)
+        assert np.allclose(fast_b, ref_b)
+
+    def test_candidates_match_reference(self, token_embed):
+        dataset = _toy_em()
+        blocker = EmbeddingBlocker(token_embed=token_embed, k=3,
+                                   attribute="name", row_block=16)
+        assert blocker.candidates(dataset) == \
+            blocker.candidates_reference(dataset)
+
+    def test_parallel_row_blocks_match_serial(self, token_embed):
+        dataset = _toy_em()
+        serial = EmbeddingBlocker(token_embed=token_embed, k=3,
+                                  attribute="name", row_block=8)
+        pooled = EmbeddingBlocker(token_embed=token_embed, k=3,
+                                  attribute="name", row_block=8,
+                                  parallel=ParallelMap(workers=4))
+        assert serial.candidates(dataset) == pooled.candidates(dataset)
+
+    def test_embed_mode_deduplicates_texts(self):
+        calls = []
+
+        def embed(text):
+            calls.append(text)
+            return np.full(4, float(len(text)))
+
+        dataset = _toy_em(per_source=30)  # names repeat every 28 records
+        blocker = EmbeddingBlocker(embed=embed, k=2, attribute="name")
+        blocker._vectors(dataset)
+        assert len(calls) == len(set(calls))  # each unique text embedded once
+
+
+class TestGatherOps:
+    def test_take_at_forward_and_backward(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(3, 4, 5))
+        rows = np.array([0, 2, 2, 1])
+        cols = np.array([1, 3, 3, 0])  # duplicate (2, 3) must accumulate
+        t = Tensor(base, requires_grad=True)
+        out = t.take_at(rows, cols)
+        assert np.array_equal(out.data, base[rows, cols])
+        upstream = rng.normal(size=out.shape)
+        out.backward(upstream)
+        expected = np.zeros_like(base)
+        np.add.at(expected, (rows, cols), upstream)
+        assert np.allclose(t.grad, expected)
+
+    def test_take_along_last_forward_and_backward(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(4, 6))
+        idx = np.array([0, 5, 2, 2])
+        t = Tensor(base, requires_grad=True)
+        out = t.take_along_last(idx)
+        assert np.array_equal(out.data, base[np.arange(4), idx])
+        out.backward(np.ones(4))
+        expected = np.zeros_like(base)
+        expected[np.arange(4), idx] = 1.0
+        assert np.allclose(t.grad, expected)
+
+    def test_take_along_last_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((3, 4))).take_along_last(np.zeros(2, dtype=int))
+
+    def test_cross_entropy_matches_reference(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(8, 5))
+        targets = rng.integers(0, 5, size=8)
+        fast = Tensor(logits, requires_grad=True)
+        ref = Tensor(logits, requires_grad=True)
+        loss_fast = cross_entropy(fast, targets)
+        loss_ref = cross_entropy_reference(ref, targets)
+        assert np.allclose(loss_fast.data, loss_ref.data)
+        loss_fast.backward()
+        loss_ref.backward()
+        assert np.allclose(fast.grad, ref.grad)
+
+
+class TestMLMKernel:
+    @pytest.fixture(scope="class")
+    def setup(self, word_corpus=None):
+        rng = np.random.default_rng(4)
+        tokens = np.array([f"w{i}" for i in range(80)])
+        corpus = [" ".join(rng.choice(tokens, size=10)) for _ in range(40)]
+        vocab = Vocab(corpus)
+        return corpus, vocab
+
+    def test_fused_loss_matches_reference(self, setup):
+        corpus, vocab = setup
+        model = MiniBert(vocab, dim=16, num_layers=1, max_len=16, seed=0)
+        trainer = MLMPretrainer(model, seed=0)
+        ids, masks = model.batch_encode(corpus[:8])
+        corrupted, labels = trainer.corruption(ids, masks)
+        assert (labels >= 0).any()
+        fused = trainer.loss_on(corrupted, masks, labels)
+        reference = trainer.loss_on_reference(corrupted, masks, labels)
+        assert np.allclose(fused.data, reference.data)
+        params = trainer._optimizer.parameters
+        trainer._optimizer.zero_grad()
+        fused.backward()
+        fused_grads = [None if p.grad is None else p.grad.copy()
+                       for p in params]
+        trainer._optimizer.zero_grad()
+        reference.backward()
+        for p, fast_grad in zip(params, fused_grads):
+            if p.grad is None or fast_grad is None:
+                assert p.grad is None and fast_grad is None
+            else:
+                assert np.allclose(p.grad, fast_grad)
+
+    def test_training_curves_identical_across_kernels(self, setup):
+        corpus, vocab = setup
+
+        def run(kernel):
+            model = MiniBert(vocab, dim=16, num_layers=1, max_len=16, seed=0)
+            trainer = MLMPretrainer(model, seed=0, kernel=kernel)
+            return trainer.train(corpus, steps=4, batch_size=8).losses
+
+        assert np.allclose(run("fused"), run("reference"))
+
+    def test_invalid_kernel_rejected(self, setup):
+        _corpus, vocab = setup
+        model = MiniBert(vocab, dim=16, num_layers=1, max_len=16, seed=0)
+        with pytest.raises(ValueError):
+            MLMPretrainer(model, kernel="warp-drive")
+
+
+class TestParallelSearch:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return task_suite(seed=0, n_samples=120)[0]
+
+    @pytest.fixture(scope="class")
+    def registry(self):
+        return build_registry()
+
+    @staticmethod
+    def _as_tuple(result):
+        return (result.best_pipeline.names, result.best_score,
+                tuple(result.trajectory), result.evaluated, result.failures)
+
+    @pytest.mark.parametrize("strategy_cls", [RandomSearch, GeneticSearch])
+    def test_parallel_search_matches_serial(self, task, registry,
+                                            strategy_cls):
+        serial = strategy_cls(registry, seed=5).search(
+            task, PipelineEvaluator(seed=1), budget=8
+        )
+        pooled = strategy_cls(
+            registry, seed=5, parallel=ParallelMap(workers=4, chunk_size=2)
+        ).search(task, PipelineEvaluator(seed=1), budget=8)
+        assert self._as_tuple(pooled) == self._as_tuple(serial)
+
+    def test_encode_batch_matches_single(self, registry):
+        searcher = RandomSearch(registry, seed=0)
+        rng = np.random.default_rng(0)
+        pipelines = [searcher._random_pipeline(rng) for _ in range(10)]
+        stacked = searcher._encode_batch(pipelines)
+        for row, pipeline in zip(stacked, pipelines):
+            assert np.array_equal(row, searcher._encode(pipeline))
+            assert row.sum() == len(pipeline.operators)
+
+    def test_meta_store_cache_invalidated_on_add(self, task, registry):
+        store = MetaStore()
+        tasks = task_suite(seed=0, n_samples=120)
+        searcher = RandomSearch(registry, seed=2)
+        evaluator = PipelineEvaluator(seed=1)
+        result = searcher.search(tasks[1], evaluator, budget=3)
+        store.add(tasks[1], result.best_pipeline, result.best_score)
+        first = [r.pipeline_names for r in store.nearest(task, k=2)]
+        result2 = searcher.search(tasks[2], evaluator, budget=3)
+        store.add(tasks[2], result2.best_pipeline, result2.best_score)
+        second = store.nearest(task, k=2)
+        assert len(second) == 2  # the new record is visible immediately
+        assert first  # and the pre-add query answered from one record

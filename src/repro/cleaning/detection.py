@@ -33,7 +33,10 @@ class Detector:
 
 
 class NullDetector(Detector):
-    """Flags missing values in the given (or all) columns."""
+    """Flags missing values in the given (or all) columns.
+
+    Reads the columnar null masks directly — no per-cell scan.
+    """
 
     def __init__(self, columns: list[str] | None = None):
         self.columns = columns
@@ -42,9 +45,8 @@ class NullDetector(Detector):
         columns = self.columns or table.schema.names
         out = []
         for column in columns:
-            for i, value in enumerate(table.column(column)):
-                if value is None:
-                    out.append(Flag(i, column, "missing value"))
+            for i in np.flatnonzero(table.null_mask(column)).tolist():
+                out.append(Flag(i, column, "missing value"))
         return out
 
 
@@ -62,19 +64,15 @@ class OutlierDetector(Detector):
         ]
         out = []
         for column in columns:
-            values = [
-                (i, float(v)) for i, v in enumerate(table.column(column))
-                if v is not None
-            ]
-            if len(values) < 8:
+            idx = np.flatnonzero(~table.null_mask(column))
+            if len(idx) < 8:
                 continue
-            data = np.array([v for _i, v in values])
+            data = table.column_array(column)[idx].astype(float)
             q1, q3 = np.percentile(data, [25, 75])
             iqr = q3 - q1
             lo, hi = q1 - self.k * iqr, q3 + self.k * iqr
-            for i, v in values:
-                if v < lo or v > hi:
-                    out.append(Flag(i, column, f"outlier outside [{lo:.2f}, {hi:.2f}]"))
+            for i in idx[(data < lo) | (data > hi)].tolist():
+                out.append(Flag(i, column, f"outlier outside [{lo:.2f}, {hi:.2f}]"))
         return out
 
 
@@ -154,10 +152,9 @@ class PatternDetector(Detector):
         ]
         out = []
         for column in columns:
-            values = [
-                (i, str(v)) for i, v in enumerate(table.column(column))
-                if v is not None
-            ]
+            idx = np.flatnonzero(~table.null_mask(column))
+            present = table.column_array(column)[idx].tolist()
+            values = [(i, str(v)) for i, v in zip(idx.tolist(), present)]
             if len(values) < 5:
                 continue
             shapes = Counter(self.shape(v) for _i, v in values)
@@ -185,9 +182,9 @@ class DictionaryDetector(Detector):
         for column, known in self.dictionaries.items():
             if column not in table.schema:
                 continue
-            for i, value in enumerate(table.column(column)):
-                if value is None:
-                    continue
+            idx = np.flatnonzero(~table.null_mask(column))
+            present = table.column_array(column)[idx].tolist()
+            for i, value in zip(idx.tolist(), present):
                 if str(value).lower().strip() not in known:
                     out.append(Flag(i, column, "value not in dictionary"))
         return out

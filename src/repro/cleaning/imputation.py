@@ -26,13 +26,14 @@ class Imputer:
 
     def _fill(self, table: Table, column: str,
               value_for_row: Callable[[int], Any]) -> Table:
-        out = table
-        for i, value in enumerate(table.column(column)):
-            if value is None:
-                fill = value_for_row(i)
-                if fill is not None:
-                    out = out.with_cell(i, column, fill)
-        return out
+        # The null mask pinpoints the holes; all fills land in one batched
+        # column rebuild instead of one full-table copy per cell.
+        updates = {}
+        for i in np.flatnonzero(table.null_mask(column)).tolist():
+            fill = value_for_row(i)
+            if fill is not None:
+                updates[i] = fill
+        return table.with_cells(column, updates)
 
 
 class StatisticImputer(Imputer):
@@ -41,14 +42,16 @@ class StatisticImputer(Imputer):
     name = "statistic"
 
     def impute(self, table: Table, column: str) -> Table:
-        values = [v for v in table.column(column) if v is not None]
-        if not values:
+        present = ~table.null_mask(column)
+        if not present.any():
             return table
         if table.schema.dtype_of(column) in ("int", "float"):
-            fill: Any = float(np.mean([float(v) for v in values]))
+            values = table.column_array(column)[present]
+            fill: Any = float(values.astype(float).mean())
             if table.schema.dtype_of(column) == "int":
                 fill = int(round(fill))
         else:
+            values = table.column_array(column)[present].tolist()
             fill = Counter(values).most_common(1)[0][0]
         return self._fill(table, column, lambda _i: fill)
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.datasets.em import typo
 from repro.datasets.world import CITIES, World
-from repro.table import Table
+from repro.table import Column, Field, Schema, Table
 
 #: The error classes this generator can inject.
 ERROR_KINDS = ("typo", "case", "whitespace", "fd_violation", "missing", "outlier")
@@ -49,26 +49,50 @@ class DirtyTable:
 
 
 def restaurants_table(world: World) -> Table:
-    """The clean restaurants table (with the city→state FD baked in)."""
-    return Table.from_rows(
-        [
-            (r.uid, r.name, r.cuisine, r.city, r.state, r.address, r.phone,
-             float(np.round(20 + 60 * (hash(r.uid) % 100) / 100.0, 2)))
-            for r in world.restaurants
-        ],
-        names=["uid", "name", "cuisine", "city", "state", "address", "phone",
-               "avg_price"],
-    )
+    """The clean restaurants table (with the city→state FD baked in).
+
+    Entity fields are statically typed, so the table is assembled through the
+    trusted columnar path — no per-cell revalidation of generator output.
+    """
+    schema = Schema([
+        Field("uid", "str"), Field("name", "str"), Field("cuisine", "str"),
+        Field("city", "str"), Field("state", "str"), Field("address", "str"),
+        Field("phone", "str"), Field("avg_price", "float"),
+    ])
+    rs = world.restaurants
+    columns = [
+        Column.build([r.uid for r in rs], "str"),
+        Column.build([r.name for r in rs], "str"),
+        Column.build([r.cuisine for r in rs], "str"),
+        Column.build([r.city for r in rs], "str"),
+        Column.build([r.state for r in rs], "str"),
+        Column.build([r.address for r in rs], "str"),
+        Column.build([r.phone for r in rs], "str"),
+        Column.build(
+            [float(np.round(20 + 60 * (hash(r.uid) % 100) / 100.0, 2))
+             for r in rs],
+            "float",
+        ),
+    ]
+    return Table.from_columns(schema, columns)
 
 
 def products_table(world: World) -> Table:
-    return Table.from_rows(
-        [
-            (p.uid, p.name, p.brand, p.category, p.price, p.storage_gb)
-            for p in world.products
-        ],
-        names=["uid", "name", "brand", "category", "price", "storage_gb"],
-    )
+    schema = Schema([
+        Field("uid", "str"), Field("name", "str"), Field("brand", "str"),
+        Field("category", "str"), Field("price", "float"),
+        Field("storage_gb", "int"),
+    ])
+    ps = world.products
+    columns = [
+        Column.build([p.uid for p in ps], "str"),
+        Column.build([p.name for p in ps], "str"),
+        Column.build([p.brand for p in ps], "str"),
+        Column.build([p.category for p in ps], "str"),
+        Column.build([float(p.price) for p in ps], "float"),
+        Column.build([int(p.storage_gb) for p in ps], "int"),
+    ]
+    return Table.from_columns(schema, columns)
 
 
 def make_dirty(table: Table, error_rate: float = 0.2, seed: int = 0,

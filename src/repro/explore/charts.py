@@ -56,18 +56,19 @@ def _categorical_columns(table: Table) -> list[str]:
     for column in table.schema.names:
         if table.schema.dtype_of(column) != "str":
             continue
-        values = [v for v in table.column(column) if v is not None]
-        if not values:
+        present = ~table.null_mask(column)
+        total = int(present.sum())
+        if not total:
             continue
-        if len(set(values)) <= max(2, len(values) // 2):
+        distinct = len(np.unique(table.column_array(column)[present].astype(str)))
+        if distinct <= max(2, total // 2):
             out.append(column)
     return out
 
 
 def _clean_numeric(table: Table, column: str) -> np.ndarray:
-    return np.array([
-        float(v) for v in table.column(column) if v is not None
-    ])
+    present = ~table.null_mask(column)
+    return table.column_array(column)[present].astype(float)
 
 
 def enumerate_charts(table: Table) -> list[ChartSpec]:
@@ -101,12 +102,14 @@ def score_chart(table: Table, spec: ChartSpec) -> float:
         return float(min(1.0, 0.4 + 0.1 * np.log1p(len(data))))
 
     if spec.chart in ("bar", "pie") and spec.aggregate == "count":
-        values = [v for v in table.column(spec.x) if v is not None]
-        distinct = len(set(values))
+        present = ~table.null_mask(spec.x)
+        values = table.column_array(spec.x)[present].astype(str)
+        _uniques, raw_counts = np.unique(values, return_counts=True)
+        distinct = len(_uniques)
         limit = _MAX_PIE_CATEGORIES if spec.chart == "pie" else _MAX_BAR_CATEGORIES
         if distinct < 2 or distinct > limit:
             return 0.0
-        counts = np.array([values.count(v) for v in set(values)], dtype=float)
+        counts = raw_counts.astype(float)
         balance = counts.min() / counts.max()
         skew = 1.0 - balance  # skewed distributions are the interesting ones
         return float(0.3 + 0.5 * skew + 0.1 * (distinct / limit))
@@ -129,13 +132,11 @@ def score_chart(table: Table, spec: ChartSpec) -> float:
         return float(min(1.0, 0.25 + separation))
 
     if spec.chart == "scatter":
-        x = table.column(spec.x)
-        y = table.column(spec.y)
-        pairs = [(float(a), float(b)) for a, b in zip(x, y)
-                 if a is not None and b is not None]
-        if len(pairs) < 8:
+        both = ~(table.null_mask(spec.x) | table.null_mask(spec.y))
+        if int(both.sum()) < 8:
             return 0.0
-        xs, ys = np.array([p[0] for p in pairs]), np.array([p[1] for p in pairs])
+        xs = table.column_array(spec.x)[both].astype(float)
+        ys = table.column_array(spec.y)[both].astype(float)
         if xs.std() == 0 or ys.std() == 0:
             return 0.0
         correlation = abs(float(np.corrcoef(xs, ys)[0, 1]))

@@ -103,7 +103,9 @@ class EDAEnvironment:
         for column in view.schema.names:
             if view.schema.dtype_of(column) != "str":
                 continue
-            values = sorted({str(v) for v in view.column(column) if v is not None})
+            present = ~view.null_mask(column)
+            values = [str(v) for v in
+                      np.unique(view.column_array(column)[present].astype(str))]
             if 2 <= len(values) <= 30:
                 out.append(EDAAction("group", column=column))
                 for value in values[: self.max_filter_values]:

@@ -3,11 +3,20 @@
 Semantics follow SQL where it matters for the library: three-valued NULL
 comparisons (any comparison with NULL is false), aggregates skip NULLs,
 COUNT(*) counts rows.
+
+Expression evaluation over WHERE clauses and SELECT projections is
+whole-column vectorized (:func:`_eval_vec`): every parser-produced AST node
+evaluates against the table's numpy column arrays and null masks in one
+shot, and the filtered/projected table is built through the trusted
+columnar path.  The row-at-a-time :func:`_eval` survives as the fallback
+for opaque expression nodes and as the aggregate-argument evaluator.
 """
 
 from __future__ import annotations
 
 from typing import Any
+
+import numpy as np
 
 from repro.errors import ParseError, SchemaError
 from repro.sql.ast import (
@@ -21,7 +30,8 @@ from repro.sql.ast import (
     UnaryOp,
 )
 from repro.sql.parser import parse_sql
-from repro.table import Table
+from repro.table import Column, Table
+from repro.table.schema import Schema, infer_dtype
 
 
 class Database:
@@ -55,7 +65,11 @@ def execute(query: Query, db: Database) -> Table:
             db.table(join.table), on=[(join.left_col, join.right_col)]
         )
     if query.where is not None:
-        table = table.select(lambda row: bool(_eval(query.where, row)))
+        keep = _where_mask(query.where, table)
+        if keep is None:                 # opaque expression — row fallback
+            table = table.select(lambda row: bool(_eval(query.where, row)))
+        else:
+            table = table.filter(keep)
     if query.group_by or _has_aggregate(query):
         table = _aggregate(query, table)
         if query.order_by is not None:
@@ -79,13 +93,8 @@ def _has_aggregate(query: Query) -> bool:
 
 
 def _project(items: list[SelectItem], table: Table) -> Table:
-    names = []
-    rows = []
-    for item in items:
-        names.append(item.alias or _default_name(item.expr))
-    for row in table.row_dicts():
-        rows.append(tuple(_eval(item.expr, row) for item in items))
-    if not rows:
+    names = [item.alias or _default_name(item.expr) for item in items]
+    if table.num_rows == 0:
         # Infer dtypes from source schema where possible.
         fields = []
         for item, name in zip(items, names):
@@ -96,6 +105,70 @@ def _project(items: list[SelectItem], table: Table) -> Table:
             )
             fields.append((name, dtype))
         return Table.empty(fields)
+    columns = []
+    for item in items:
+        col = _project_column(item.expr, table)
+        if col is None:                  # opaque expression — row fallback
+            return _project_rows(items, names, table)
+        columns.append(col)
+    schema = Schema(
+        (name, col.dtype) for name, col in zip(names, columns)
+    )
+    return Table.from_columns(schema, columns)
+
+
+def _project_column(expr: Expr, table: Table) -> Column | None:
+    """One SELECT item as a trusted :class:`Column`, or None if opaque.
+
+    Dtype rules mirror the historic row path, which re-inferred dtypes from
+    the materialized python values: an all-null result degrades to ``str``
+    (what :func:`infer_dtype` does with no evidence), a source column
+    otherwise keeps its dtype, and computed expressions take the numpy
+    result dtype.
+    """
+    out = _eval_vec(expr, table)
+    if out is None:
+        return None
+    values, mask = out
+    n = table.num_rows
+    if not isinstance(values, np.ndarray):     # scalar expression: broadcast
+        if values is None:
+            mask = np.ones(n, dtype=bool)
+            values = np.full(n, None, dtype=object)
+        else:
+            values = np.full(
+                n, values,
+                dtype=object if isinstance(values, str) else None,
+            )
+    if mask is None:
+        mask = np.zeros(n, dtype=bool)
+    if mask.all():
+        return Column("str", np.full(n, None, dtype=object),
+                      np.ones(n, dtype=bool))
+    if isinstance(expr, ColumnRef) and expr.name in table.schema:
+        return Column(table.schema.dtype_of(expr.name), values, mask)
+    if values.dtype == np.bool_:
+        dtype = "bool"
+    elif np.issubdtype(values.dtype, np.integer):
+        dtype = "int"
+    elif np.issubdtype(values.dtype, np.floating):
+        dtype = "float"
+    else:
+        pylist = values.tolist()
+        for i in np.flatnonzero(mask).tolist():
+            pylist[i] = None
+        dtype = infer_dtype(pylist)
+        return Column.build(pylist, dtype)
+    return Column(dtype, values, mask)
+
+
+def _project_rows(items: list[SelectItem], names: list[str],
+                  table: Table) -> Table:
+    """Row-at-a-time projection fallback for opaque expressions."""
+    rows = [
+        tuple(_eval(item.expr, row) for item in items)
+        for row in table.row_dicts()
+    ]
     return Table.from_rows(rows, names=names)
 
 
@@ -215,3 +288,144 @@ def _eval(expr: Expr, row: dict[str, Any]) -> Any:
             return left / right if right != 0 else None
         raise ParseError(f"unknown binary op {expr.op}")
     raise ParseError(f"cannot evaluate {expr!r}")
+
+
+# -- vectorized expression evaluation -----------------------------------------
+#
+# ``_eval_vec`` mirrors ``_eval`` over whole columns.  An expression
+# evaluates to ``(values, mask)`` where ``values`` is a numpy array of
+# length num_rows (or a python scalar for literal-only subtrees) and
+# ``mask`` marks NULL results (``None`` = no nulls).  Returning ``None``
+# from ``_eval_vec`` means "this node cannot be vectorized" and sends the
+# caller down the row-at-a-time path.
+
+_Vec = "tuple[Any, np.ndarray | None]"
+
+
+def _where_mask(expr: Expr, table: Table) -> np.ndarray | None:
+    """WHERE clause as a boolean keep-mask, or None for opaque expressions."""
+    out = _eval_vec(expr, table)
+    if out is None:
+        return None
+    values, mask = out
+    return _truthy(values, mask, table.num_rows)
+
+
+def _truthy(values: Any, mask: np.ndarray | None, n: int) -> np.ndarray:
+    """SQL condition truthiness: NULL is false, everything else is bool()."""
+    if not isinstance(values, np.ndarray):
+        arr = np.full(n, bool(values))
+    elif values.dtype == object:
+        arr = np.frompyfunc(bool, 1, 1)(values).astype(bool)
+    else:
+        arr = values.astype(bool)
+    if mask is not None:
+        arr = arr & ~mask
+    return arr
+
+
+def _filled(values: Any, mask: np.ndarray | None) -> Any:
+    """Replace masked object slots with '' so elementwise ops never touch
+    None (numeric sentinels are already computable)."""
+    if (isinstance(values, np.ndarray) and values.dtype == object
+            and mask is not None and mask.any()):
+        return np.where(mask, "", values)
+    return values
+
+
+def _combine_masks(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
+
+
+def _eval_vec(expr: Expr, table: Table):
+    n = table.num_rows
+    if isinstance(expr, Literal):
+        return expr.value, None
+    if isinstance(expr, ColumnRef):
+        if expr.name not in table.schema:
+            raise SchemaError(f"no column {expr.name!r} in row")
+        mask = table.null_mask(expr.name)
+        return table.column_array(expr.name), (mask if mask.any() else None)
+    if isinstance(expr, UnaryOp):
+        operand = _eval_vec(expr.operand, table)
+        if operand is None:
+            return None
+        values, mask = operand
+        if expr.op == "not":
+            return ~_truthy(values, mask, n), None
+        if expr.op == "neg":
+            if values is None:
+                return None, np.ones(n, dtype=bool)
+            return -values, mask
+        if expr.op == "isnull":
+            if values is None:
+                return np.ones(n, dtype=bool), None
+            if not isinstance(values, np.ndarray):
+                return np.zeros(n, dtype=bool), None
+            return (mask.copy() if mask is not None
+                    else np.zeros(n, dtype=bool)), None
+        raise ParseError(f"unknown unary op {expr.op}")
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("and", "or"):
+            left = _eval_vec(expr.left, table)
+            right = _eval_vec(expr.right, table)
+            if left is None or right is None:
+                return None
+            lb = _truthy(left[0], left[1], n)
+            rb = _truthy(right[0], right[1], n)
+            return (lb & rb) if expr.op == "and" else (lb | rb), None
+        left = _eval_vec(expr.left, table)
+        right = _eval_vec(expr.right, table)
+        if left is None or right is None:
+            return None
+        lv, lm = left
+        rv, rm = right
+        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            if lv is None or rv is None:   # NULL literal: comparison is false
+                return np.zeros(n, dtype=bool), None
+            a, b = _filled(lv, lm), _filled(rv, rm)
+            if expr.op == "=":
+                res = a == b
+            elif expr.op == "<>":
+                res = a != b
+            elif expr.op == "<":
+                res = a < b
+            elif expr.op == "<=":
+                res = a <= b
+            elif expr.op == ">":
+                res = a > b
+            else:
+                res = a >= b
+            res = np.broadcast_to(np.asarray(res, dtype=bool), (n,)).copy()
+            null = _combine_masks(lm, rm)
+            if null is not None:
+                res &= ~null
+            return res, None
+        # arithmetic: NULL operands propagate
+        if lv is None or rv is None:
+            return np.zeros(n), np.ones(n, dtype=bool)
+        a, b = _filled(lv, lm), _filled(rv, rm)
+        mask = _combine_masks(lm, rm)
+        if expr.op == "+":
+            return a + b, mask
+        if expr.op == "-":
+            return a - b, mask
+        if expr.op == "*":
+            return a * b, mask
+        if expr.op == "/":
+            b_arr = np.asarray(b)
+            zero = b_arr == 0
+            safe = np.where(zero, 1, b_arr) if np.any(zero) else b_arr
+            res = np.asarray(a) / safe
+            if np.any(zero):
+                zmask = np.broadcast_to(
+                    np.asarray(zero, dtype=bool), (n,)
+                ).copy()
+                mask = _combine_masks(mask, zmask)
+            return res, mask
+        raise ParseError(f"unknown binary op {expr.op}")
+    return None

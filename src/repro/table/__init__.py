@@ -1,11 +1,17 @@
-"""Relational table substrate (no pandas): typed columns, nulls, joins."""
+"""Relational table substrate (no pandas): numpy-backed typed columns with
+explicit null masks, vectorized joins/grouping, trusted fast-path
+construction (docs/table.md)."""
 
+from repro.table.column import NUMPY_DTYPES, SENTINELS, Column
 from repro.table.schema import DTYPES, Field, Schema, coerce, infer_dtype, validate
 from repro.table.table import Table
 
 __all__ = [
+    "Column",
     "DTYPES",
     "Field",
+    "NUMPY_DTYPES",
+    "SENTINELS",
     "Schema",
     "Table",
     "coerce",

@@ -1,25 +1,40 @@
-"""An immutable, in-memory relational table.
+"""An immutable, in-memory relational table on a numpy columnar core.
 
 This is the storage substrate for the whole library: the SQL engine, the data
 lake, the cleaning stack and the pipeline operators all move :class:`Table`
 objects around.  Design points:
 
-- columnar storage (one Python list per column) with ``None`` as null;
+- columnar storage (one :class:`~repro.table.column.Column` per column: a
+  numpy value array plus an explicit null mask, ``None`` as the logical null);
 - every operation returns a *new* table, so pipeline stages cannot trample
-  each other's inputs;
+  each other's inputs — tables freely share immutable column objects;
 - the API is intentionally the relational core (select / project / join /
   group by / order by) plus the handful of cell-level mutators the cleaning
-  stack needs (``with_cell``, ``map_column``).
+  stack needs (``with_cell``, ``with_cells``, ``map_column``);
+- cell-level validation runs exactly once, on entry: the public constructor
+  checks every value, while kernels and trusted builders
+  (:meth:`Table.from_columns`) construct from already-validated columns and
+  skip revalidation entirely (docs/table.md, "trusted construction");
+- the hot relational kernels (``filter`` / ``join`` / ``group_by`` /
+  ``order_by`` / ``distinct`` / ``union`` / ``_take``) are vectorized over
+  the numpy arrays; thin ``*_reference`` twins keep the row-at-a-time
+  implementations for equivalence and perf testing
+  (``benchmarks/bench_ext_table.py``).
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import time
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import SchemaError
-from repro.table.schema import Field, Schema, coerce, infer_dtype, validate
+from repro.obs import metrics
+from repro.table.column import Column, factorize_objects, row_codes
+from repro.table.schema import Field, Schema, coerce, infer_dtype
 
 Row = tuple[Any, ...]
 
@@ -30,6 +45,14 @@ _AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
     "max": lambda xs: max(xs) if xs else None,
     "avg": lambda xs: (sum(xs) / len(xs)) if xs else None,
 }
+
+
+def _observe(op: str, start: float, rows_scanned: int) -> None:
+    """Record one hot-op execution in the global metrics registry."""
+    metrics.histogram(f"table.{op}.seconds").observe(
+        time.perf_counter() - start
+    )
+    metrics.counter("table.rows_scanned").inc(rows_scanned)
 
 
 class Table:
@@ -43,17 +66,50 @@ class Table:
         lengths = {len(c) for c in columns}
         if len(lengths) > 1:
             raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        built: list[Column] = []
         for field, column in zip(schema, columns):
-            for value in column:
-                if not validate(value, field.dtype):
-                    raise SchemaError(
-                        f"column {field.name!r}: value {value!r} is not {field.dtype}"
-                    )
+            if isinstance(column, Column):
+                built.append(column)       # already validated — trusted
+            else:
+                built.append(Column.from_pylist(
+                    column, field.dtype, check=True, name=field.name
+                ))
         self._schema = schema
-        self._columns = tuple(list(c) for c in columns)
-        self._num_rows = len(columns[0]) if columns else 0
+        self._columns = tuple(built)
+        self._num_rows = len(built[0]) if built else 0
 
     # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, schema: Schema,
+                     columns: Sequence[Column]) -> "Table":
+        """Trusted fast-path constructor.
+
+        ``columns`` must already satisfy the schema (built by
+        :meth:`Column.build` from typed values, or produced by table
+        kernels).  Only O(columns) structural checks run here — no per-cell
+        validation.  See docs/table.md for the invariant.
+        """
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"schema has {len(schema)} columns but {len(columns)} were given"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        return cls._trusted(schema, tuple(columns))
+
+    @classmethod
+    def _trusted(cls, schema: Schema, columns: tuple[Column, ...],
+                 num_rows: int | None = None) -> "Table":
+        """Internal zero-check constructor for kernel outputs."""
+        table = cls.__new__(cls)
+        table._schema = schema
+        table._columns = columns
+        if num_rows is None:
+            num_rows = len(columns[0]) if columns else 0
+        table._num_rows = num_rows
+        return table
 
     @classmethod
     def from_rows(
@@ -80,36 +136,42 @@ class Table:
                     )
             cols = [[r[i] for r in materialized] for i in range(len(names))]
             schema = Schema(Field(n, infer_dtype(c)) for n, c in zip(names, cols))
-            cols = [
-                [coerce(v, f.dtype) for v in c] for f, c in zip(schema, cols)
+            built = [
+                Column.build([coerce(v, f.dtype) for v in c], f.dtype)
+                for f, c in zip(schema, cols)
             ]
-            return cls(schema, cols)
+            return cls._trusted(schema, tuple(built))
         for row in materialized:
             if len(row) != len(schema):
                 raise SchemaError(
                     f"row {row!r} has {len(row)} values; schema expects {len(schema)}"
                 )
-        cols = [
-            [coerce(row[i], field.dtype) for row in materialized]
+        built = [
+            Column.build(
+                [coerce(row[i], field.dtype) for row in materialized],
+                field.dtype,
+            )
             for i, field in enumerate(schema)
         ]
-        return cls(schema, cols)
+        return cls._trusted(schema, tuple(built), num_rows=len(materialized))
 
     @classmethod
     def from_dict(cls, data: dict[str, Sequence[Any]]) -> "Table":
         """Build a table from ``{column name: values}`` with inferred dtypes."""
         schema = Schema(Field(n, infer_dtype(v)) for n, v in data.items())
-        cols = [
-            [coerce(v, f.dtype) for v in values]
+        built = [
+            Column.build([coerce(v, f.dtype) for v in values], f.dtype)
             for f, values in zip(schema, data.values())
         ]
-        return cls(schema, cols)
+        return cls._trusted(schema, tuple(built))
 
     @classmethod
     def empty(cls, schema: Schema | Sequence[tuple[str, str]]) -> "Table":
         if not isinstance(schema, Schema):
             schema = Schema(schema)
-        return cls(schema, [[] for _ in range(len(schema))])
+        return cls._trusted(
+            schema, tuple(Column.empty(f.dtype) for f in schema), num_rows=0
+        )
 
     @classmethod
     def from_csv(cls, text: str, delimiter: str = ",") -> "Table":
@@ -127,13 +189,13 @@ class Table:
             tuple(None if cell == "" else cell for cell in row) for row in raw_rows
         ]
         cols: list[list[Any]] = [[r[i] for r in parsed] for i in range(len(header))]
-        typed_cols = []
         fields = []
+        built = []
         for name, col in zip(header, cols):
             dtype = _csv_dtype(col)
-            typed_cols.append([coerce(v, dtype) for v in col])
+            built.append(Column.build([coerce(v, dtype) for v in col], dtype))
             fields.append(Field(name, dtype))
-        return cls(Schema(fields), typed_cols)
+        return cls._trusted(Schema(fields), tuple(built), num_rows=len(parsed))
 
     # -- inspection --------------------------------------------------------
 
@@ -150,17 +212,34 @@ class Table:
         return len(self._schema)
 
     def column(self, name: str) -> list[Any]:
-        """Return a copy of the named column's values."""
-        return list(self._columns[self._schema.index_of(name)])
+        """Return a copy of the named column's values (``None`` = null)."""
+        return self._columns[self._schema.index_of(name)].to_pylist()
+
+    def column_array(self, name: str) -> np.ndarray:
+        """The raw numpy value array of a column (read-only view).
+
+        Masked (null) slots hold the dtype sentinel — pair with
+        :meth:`null_mask` before trusting any value.
+        """
+        arr = self._columns[self._schema.index_of(name)].values.view()
+        arr.flags.writeable = False
+        return arr
+
+    def null_mask(self, name: str) -> np.ndarray:
+        """Boolean null mask of a column (read-only view; True = null)."""
+        mask = self._columns[self._schema.index_of(name)].mask.view()
+        mask.flags.writeable = False
+        return mask
 
     def row(self, i: int) -> Row:
         if not -self._num_rows <= i < self._num_rows:
             raise IndexError(f"row {i} out of range for table of {self._num_rows}")
-        return tuple(col[i] for col in self._columns)
+        return tuple(col.value_at(i) for col in self._columns)
 
     def rows(self) -> Iterator[Row]:
+        cols = [c.to_pylist() for c in self._columns]
         for i in range(self._num_rows):
-            yield tuple(col[i] for col in self._columns)
+            yield tuple(col[i] for col in cols)
 
     def row_dicts(self) -> Iterator[dict[str, Any]]:
         names = self._schema.names
@@ -168,7 +247,7 @@ class Table:
             yield dict(zip(names, row))
 
     def cell(self, i: int, name: str) -> Any:
-        return self._columns[self._schema.index_of(name)][i]
+        return self._columns[self._schema.index_of(name)].value_at(i)
 
     def __len__(self) -> int:
         return self._num_rows
@@ -176,10 +255,15 @@ class Table:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Table):
             return NotImplemented
-        return self._schema == other._schema and self._columns == other._columns
+        if self._schema != other._schema:
+            return False
+        return all(a.equals(b) for a, b in zip(self._columns, other._columns))
 
-    def __hash__(self) -> int:  # tables are mutable-free; hash by identity basics
-        return hash((self._schema, tuple(tuple(c) for c in self._columns)))
+    def __hash__(self) -> int:  # tables are mutable-free; hash by content
+        return hash((
+            self._schema,
+            tuple(tuple(c.to_pylist()) for c in self._columns),
+        ))
 
     def __repr__(self) -> str:
         return f"Table({self._schema!r}, rows={self._num_rows})"
@@ -211,16 +295,57 @@ class Table:
     # -- relational operators ---------------------------------------------
 
     def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
-        """Keep rows for which ``predicate(row_dict)`` is truthy."""
-        keep = [i for i, rd in enumerate(self.row_dicts()) if predicate(rd)]
+        """Keep rows for which ``predicate(row_dict)`` is truthy.
+
+        The predicate is an opaque callable, so this is inherently
+        row-at-a-time; callers that can phrase the condition as a boolean
+        mask should use :meth:`filter` instead.
+        """
+        names = self._schema.names
+        cols = [c.to_pylist() for c in self._columns]
+        keep = [
+            i for i in range(self._num_rows)
+            if predicate(dict(zip(names, (col[i] for col in cols))))
+        ]
         return self._take(keep)
+
+    def filter(self, keep: Sequence[bool] | np.ndarray) -> "Table":
+        """Vectorized row filter by boolean mask (True = keep)."""
+        start = time.perf_counter()
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != (self._num_rows,):
+            raise SchemaError(
+                f"filter mask has shape {keep.shape}; table has "
+                f"{self._num_rows} rows"
+            )
+        cols = tuple(c.compress(keep) for c in self._columns)
+        out = Table._trusted(self._schema, cols, num_rows=int(keep.sum()))
+        _observe("filter", start, self._num_rows)
+        return out
+
+    def filter_reference(self, keep: Sequence[bool] | np.ndarray) -> "Table":
+        """Row-at-a-time twin of :meth:`filter` (equivalence/perf baseline)."""
+        keep = list(keep)
+        if len(keep) != self._num_rows:
+            raise SchemaError(
+                f"filter mask has {len(keep)} entries; table has "
+                f"{self._num_rows} rows"
+            )
+        indices = [i for i, flag in enumerate(keep) if flag]
+        cols = [c.to_pylist() for c in self._columns]
+        picked = [
+            Column.build([col[i] for i in indices], c.dtype)
+            for col, c in zip(cols, self._columns)
+        ]
+        return Table._trusted(self._schema, tuple(picked),
+                              num_rows=len(indices))
 
     def project(self, names: Sequence[str]) -> "Table":
         """Keep only the named columns, in the given order."""
         names = list(names)
         sub = self._schema.project(names)
-        cols = [list(self._columns[self._schema.index_of(n)]) for n in names]
-        return Table(sub, cols)
+        cols = tuple(self._columns[self._schema.index_of(n)] for n in names)
+        return Table._trusted(sub, cols, num_rows=self._num_rows)
 
     def drop(self, names: Sequence[str]) -> "Table":
         keep = [n for n in self._schema.names if n not in set(names)]
@@ -228,7 +353,8 @@ class Table:
         return self.project(keep)
 
     def rename(self, mapping: dict[str, str]) -> "Table":
-        return Table(self._schema.rename(mapping), self._columns)
+        return Table._trusted(self._schema.rename(mapping), self._columns,
+                              num_rows=self._num_rows)
 
     def with_column(self, name: str, dtype: str, values: Sequence[Any]) -> "Table":
         """Append a column; values are coerced to ``dtype``."""
@@ -239,49 +365,103 @@ class Table:
                 f"column has {len(values)} values; table has {self._num_rows} rows"
             )
         schema = Schema(list(self._schema.fields) + [Field(name, dtype)])
-        cols = list(self._columns) + [[coerce(v, dtype) for v in values]]
-        return Table(schema, cols)
+        new = Column.build([coerce(v, dtype) for v in values], dtype)
+        return Table._trusted(schema, self._columns + (new,),
+                              num_rows=self._num_rows)
 
     def with_cell(self, i: int, name: str, value: Any) -> "Table":
         """Return a copy with one cell replaced (the repair primitive)."""
+        return self.with_cells(name, {i: value})
+
+    def with_cells(self, name: str, updates: dict[int, Any]) -> "Table":
+        """Replace several cells of one column in a single copy.
+
+        The batch form of :meth:`with_cell` — the imputers use it to fill
+        every hole with one column rebuild instead of one table copy per
+        cell.  Values are coerced to the column dtype; ``None`` writes a
+        null.
+        """
         j = self._schema.index_of(name)
-        value = coerce(value, self._schema.dtypes[j])
-        cols = [list(c) for c in self._columns]
-        cols[j][i] = value
-        return Table(self._schema, cols)
+        col = self._columns[j]
+        if not updates:
+            return Table._trusted(self._schema, self._columns,
+                                  num_rows=self._num_rows)
+        dtype = self._schema.dtypes[j]
+        coerced = {}
+        for i, value in updates.items():
+            if not -self._num_rows <= i < self._num_rows:
+                raise IndexError(
+                    f"row {i} out of range for table of {self._num_rows}"
+                )
+            coerced[i] = coerce(value, dtype)
+        try:
+            values = col.values.copy()
+            mask = col.mask.copy()
+            for i, value in coerced.items():
+                if value is None:
+                    mask[i] = True
+                else:
+                    values[i] = value
+                    mask[i] = False
+            new_col = Column(dtype, values, mask)
+        except OverflowError:       # int beyond int64 — rebuild off-fast-path
+            pylist = col.to_pylist()
+            for i, value in coerced.items():
+                pylist[i] = value
+            new_col = Column.build(pylist, dtype)
+        cols = list(self._columns)
+        cols[j] = new_col
+        return Table._trusted(self._schema, tuple(cols),
+                              num_rows=self._num_rows)
 
     def map_column(self, name: str, fn: Callable[[Any], Any], dtype: str | None = None) -> "Table":
         """Apply ``fn`` to every value of a column (nulls included)."""
         j = self._schema.index_of(name)
         new_dtype = dtype or self._schema.dtypes[j]
-        cols = [list(c) for c in self._columns]
-        cols[j] = [coerce(fn(v), new_dtype) for v in cols[j]]
+        mapped = Column.build(
+            [coerce(fn(v), new_dtype) for v in self._columns[j].to_pylist()],
+            new_dtype,
+        )
+        cols = list(self._columns)
+        cols[j] = mapped
         fields = [
             Field(f.name, new_dtype if f.name == name else f.dtype)
             for f in self._schema
         ]
-        return Table(Schema(fields), cols)
+        return Table._trusted(Schema(fields), tuple(cols),
+                              num_rows=self._num_rows)
 
     def order_by(self, name: str, descending: bool = False) -> "Table":
-        """Sort rows by a column; nulls sort last regardless of direction."""
+        """Sort rows by a column; nulls sort last regardless of direction.
+
+        The sort is stable: rows with equal keys keep their original
+        relative order in both directions.
+        """
         col = self._columns[self._schema.index_of(name)]
-        idx = list(range(self._num_rows))
-        present = [i for i in idx if col[i] is not None]
-        absent = [i for i in idx if col[i] is None]
-        present.sort(key=lambda i: col[i], reverse=descending)
-        return self._take(present + absent)
+        valid_idx = np.flatnonzero(~col.mask)
+        null_idx = np.flatnonzero(col.mask)
+        vals = col.values[valid_idx]
+        if descending:
+            # Stable descending: stable-ascending argsort of the reversed
+            # array, reversed and re-mapped, keeps ties in original order.
+            s = np.argsort(vals[::-1], kind="stable")
+            order = (len(vals) - 1) - s[::-1]
+        else:
+            order = np.argsort(vals, kind="stable")
+        return self._take(np.concatenate([valid_idx[order], null_idx]))
 
     def limit(self, n: int) -> "Table":
-        return self._take(list(range(min(n, self._num_rows))))
+        return self._take(np.arange(min(max(n, 0), self._num_rows)))
 
     def distinct(self) -> "Table":
-        seen: set[Row] = set()
-        keep = []
-        for i, row in enumerate(self.rows()):
-            if row not in seen:
-                seen.add(row)
-                keep.append(i)
-        return self._take(keep)
+        """Drop duplicate rows, keeping the first occurrence of each."""
+        if self._num_rows == 0:
+            return self._take(np.empty(0, dtype=np.intp))
+        if not self._columns:
+            return self._take(np.array([0]))
+        codes = row_codes(self._columns)
+        _uniq, first = np.unique(codes, return_index=True)
+        return self._take(np.sort(first))
 
     def union(self, other: "Table") -> "Table":
         """Concatenate rows of two tables with identical schemas."""
@@ -289,8 +469,9 @@ class Table:
             raise SchemaError(
                 f"union requires identical schemas: {self._schema} vs {other._schema}"
             )
-        cols = [a + b for a, b in zip(self._columns, other._columns)]
-        return Table(self._schema, cols)
+        cols = tuple(a.concat(b) for a, b in zip(self._columns, other._columns))
+        return Table._trusted(self._schema, cols,
+                              num_rows=self._num_rows + other._num_rows)
 
     def join(
         self,
@@ -299,12 +480,107 @@ class Table:
         how: str = "inner",
         suffix: str = "_r",
     ) -> "Table":
-        """Hash join.  ``on`` is a column name shared by both sides, or a list
-        of ``(left, right)`` name pairs.  ``how`` is ``inner`` or ``left``.
+        """Vectorized equi-join on factorized key codes.
 
-        Join keys compare by equality; null keys never match (SQL semantics).
-        Right-side columns that clash with a left-side name get ``suffix``.
+        ``on`` is a column name shared by both sides, or a list of
+        ``(left, right)`` name pairs.  ``how`` is ``inner`` or ``left``.
+        Join keys compare by equality; null keys never match (SQL
+        semantics).  Right-side columns that clash with a left-side name get
+        ``suffix``.  Matches for each left row come out in right-row order,
+        matching :meth:`join_reference`.
         """
+        start = time.perf_counter()
+        pairs, left_keys, right_keys, out_schema, kept_right_idx = (
+            self._join_plan(other, on, how, suffix)
+        )
+        n_left, n_right = self._num_rows, other._num_rows
+
+        l_codes, r_codes, any_null_l = _factorize_key_pairs(
+            [self._columns[j] for j in left_keys],
+            [other._columns[j] for j in right_keys],
+        )
+
+        if r_codes is None:              # keys can never match (str vs number)
+            counts = np.zeros(n_left, dtype=np.int64)
+            lo = np.zeros(n_left, dtype=np.int64)
+            r_sorted = np.empty(0, dtype=np.intp)
+        else:
+            valid_r = np.flatnonzero(~_null_rows(
+                [other._columns[j] for j in right_keys]
+            ))
+            r_sorted = valid_r[np.argsort(r_codes[valid_r], kind="stable")]
+            sorted_codes = r_codes[r_sorted]
+            probe = np.where(any_null_l, np.int64(-1), l_codes)
+            lo = np.searchsorted(sorted_codes, probe, side="left")
+            hi = np.searchsorted(sorted_codes, probe, side="right")
+            counts = np.where(any_null_l, 0, hi - lo)
+
+        if how == "inner":
+            out_counts = counts
+        else:
+            out_counts = np.maximum(counts, 1)
+        total = int(out_counts.sum())
+        left_take = np.repeat(np.arange(n_left), out_counts)
+        offsets = np.cumsum(out_counts) - out_counts
+        within = np.arange(total) - np.repeat(offsets, out_counts)
+        if len(r_sorted):
+            slot = np.minimum(np.repeat(lo, out_counts) + within,
+                              len(r_sorted) - 1)
+            right_take = r_sorted[slot]
+        else:
+            right_take = np.full(total, -1, dtype=np.intp)
+        if how == "left":
+            matched = np.repeat(counts > 0, out_counts)
+            right_take = np.where(matched, right_take, -1)
+
+        cols = [c.take(left_take) for c in self._columns]
+        cols += [
+            other._columns[j].take_or_null(right_take) for j in kept_right_idx
+        ]
+        out = Table._trusted(out_schema, tuple(cols), num_rows=total)
+        _observe("join", start, n_left + n_right)
+        return out
+
+    def join_reference(
+        self,
+        other: "Table",
+        on: Sequence[tuple[str, str]] | str,
+        how: str = "inner",
+        suffix: str = "_r",
+    ) -> "Table":
+        """Row-at-a-time hash-join twin of :meth:`join`."""
+        pairs, left_keys, right_keys, out_schema, kept_right_idx = (
+            self._join_plan(other, on, how, suffix)
+        )
+        left_cols = [c.to_pylist() for c in self._columns]
+        right_cols = [c.to_pylist() for c in other._columns]
+
+        index: dict[Row, list[int]] = {}
+        for i in range(other._num_rows):
+            key = tuple(right_cols[k][i] for k in right_keys)
+            if any(v is None for v in key):
+                continue
+            index.setdefault(key, []).append(i)
+
+        out_rows: list[Row] = []
+        null_right = (None,) * len(kept_right_idx)
+        for i in range(self._num_rows):
+            key = tuple(left_cols[k][i] for k in left_keys)
+            left_row = tuple(col[i] for col in left_cols)
+            matches = [] if any(v is None for v in key) else index.get(key, [])
+            if matches:
+                for j in matches:
+                    right_row = tuple(right_cols[k][j] for k in kept_right_idx)
+                    out_rows.append(left_row + right_row)
+            elif how == "left":
+                out_rows.append(left_row + null_right)
+        return Table.from_rows(out_rows, schema=out_schema)
+
+    def _join_plan(
+        self, other: "Table", on: Sequence[tuple[str, str]] | str,
+        how: str, suffix: str,
+    ) -> tuple[list[tuple[str, str]], list[int], list[int], Schema, list[int]]:
+        """Shared validation + output-schema construction for both joins."""
         if how not in ("inner", "left"):
             raise SchemaError(f"unsupported join type {how!r}")
         if isinstance(on, str):
@@ -327,58 +603,124 @@ class Table:
                 name = name + suffix
             right_fields.append(Field(name, field.dtype))
         out_schema = Schema(list(self._schema.fields) + right_fields)
-
-        index: dict[Row, list[int]] = {}
-        for i in range(other._num_rows):
-            key = tuple(other._columns[k][i] for k in right_keys)
-            if any(v is None for v in key):
-                continue
-            index.setdefault(key, []).append(i)
-
-        out_rows: list[Row] = []
-        null_right = (None,) * len(kept_right_idx)
-        for i in range(self._num_rows):
-            key = tuple(self._columns[k][i] for k in left_keys)
-            left_row = tuple(col[i] for col in self._columns)
-            matches = [] if any(v is None for v in key) else index.get(key, [])
-            if matches:
-                for j in matches:
-                    right_row = tuple(other._columns[k][j] for k in kept_right_idx)
-                    out_rows.append(left_row + right_row)
-            elif how == "left":
-                out_rows.append(left_row + null_right)
-        return Table.from_rows(out_rows, schema=out_schema)
+        return pairs, left_keys, right_keys, out_schema, kept_right_idx
 
     def group_by(
         self,
         keys: Sequence[str],
         aggregates: Sequence[tuple[str, str, str]],
     ) -> "Table":
-        """Group rows and compute aggregates.
+        """Group rows and compute aggregates, vectorized.
 
         ``aggregates`` is a list of ``(function, column, output name)`` where
         function is one of count/sum/min/max/avg.  ``count`` counts non-null
         values of its column (use any column for row counts on null-free keys).
-        Aggregates skip nulls, per SQL semantics.
+        Aggregates skip nulls, per SQL semantics.  Groups come out in
+        first-appearance order, matching :meth:`group_by_reference`.
         """
+        start = time.perf_counter()
         keys = list(keys)
         key_idx = [self._schema.index_of(k) for k in keys]
-        for fn, col, _out in aggregates:
+        agg_specs = []
+        for fn, col, out in aggregates:
             if fn not in _AGGREGATES:
                 raise SchemaError(
                     f"unknown aggregate {fn!r}; options: {sorted(_AGGREGATES)}"
                 )
-            self._schema.index_of(col)
+            agg_specs.append((fn, self._schema.index_of(col), col, out))
+        out_fields = self._group_fields(keys, aggregates)
+
+        n = self._num_rows
+        if n == 0:
+            _observe("group_by", start, 0)
+            return Table.empty(Schema(out_fields))
+
+        if key_idx:
+            codes = row_codes([self._columns[j] for j in key_idx])
+        else:
+            codes = np.zeros(n, dtype=np.int64)
+        # One stable sort by group code, shared by every aggregate; within a
+        # group the original row order survives, matching the reference.
+        # Codes are dense (every value in [0, num_groups) occupied), so the
+        # segment boundaries of the sorted codes enumerate the groups and
+        # the first row of each segment is the group's first appearance.
+        order = np.argsort(codes, kind="stable")
+        sorted_gids = codes[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_gids[1:] != sorted_gids[:-1]]
+        )
+        num_groups = len(starts)
+        first_idx = order[starts]
+        # Output groups in first-appearance order.
+        appearance = np.argsort(first_idx, kind="stable")
+        position = np.empty(num_groups, dtype=np.int64)
+        position[appearance] = np.arange(num_groups)
+
+        out_cols = [
+            self._columns[j].take(first_idx[appearance]) for j in key_idx
+        ]
+        field_iter = iter(out_fields[len(keys):])
+        for fn, j, _colname, _out in agg_specs:
+            field = next(field_iter)
+            col = self._columns[j]
+            grouped = _segment_aggregate(fn, col, sorted_gids, order,
+                                         num_groups, position)
+            coerced = [None if v is None else coerce(v, field.dtype)
+                       for v in grouped]
+            out_cols.append(Column.build(coerced, field.dtype))
+        out = Table._trusted(Schema(out_fields), tuple(out_cols),
+                             num_rows=num_groups)
+        _observe("group_by", start, n)
+        return out
+
+    def group_by_reference(
+        self,
+        keys: Sequence[str],
+        aggregates: Sequence[tuple[str, str, str]],
+    ) -> "Table":
+        """Row-at-a-time twin of :meth:`group_by`."""
+        keys = list(keys)
+        key_idx = [self._schema.index_of(k) for k in keys]
+        # Column index resolution hoisted out of the per-group loop.
+        agg_specs = []
+        for fn, col, out in aggregates:
+            if fn not in _AGGREGATES:
+                raise SchemaError(
+                    f"unknown aggregate {fn!r}; options: {sorted(_AGGREGATES)}"
+                )
+            agg_specs.append(
+                (fn, self._schema.index_of(col), self._schema.dtype_of(col))
+            )
+        out_fields = self._group_fields(keys, aggregates)
+        cols = [c.to_pylist() for c in self._columns]
 
         groups: dict[Row, list[int]] = {}
         order: list[Row] = []
         for i in range(self._num_rows):
-            key = tuple(self._columns[k][i] for k in key_idx)
+            key = tuple(cols[k][i] for k in key_idx)
             if key not in groups:
                 groups[key] = []
                 order.append(key)
             groups[key].append(i)
 
+        out_rows = []
+        for key in order:
+            row: list[Any] = list(key)
+            for fn, j, dtype in agg_specs:
+                values = [
+                    cols[j][i] for i in groups[key] if cols[j][i] is not None
+                ]
+                result = _AGGREGATES[fn](values)
+                if fn == "sum" and result is not None and dtype == "int":
+                    result = int(result)
+                row.append(result)
+            out_rows.append(tuple(row))
+        return Table.from_rows(out_rows, schema=Schema(out_fields))
+
+    def _group_fields(
+        self, keys: list[str],
+        aggregates: Sequence[tuple[str, str, str]],
+    ) -> list[Field]:
         out_fields = [self._schema.field(k) for k in keys]
         for fn, col, out in aggregates:
             if fn == "count":
@@ -388,35 +730,127 @@ class Table:
             else:
                 dtype = "float"
             out_fields.append(Field(out, dtype))
-
-        out_rows = []
-        for key in order:
-            row: list[Any] = list(key)
-            for fn, col, _out in aggregates:
-                j = self._schema.index_of(col)
-                values = [
-                    self._columns[j][i] for i in groups[key]
-                    if self._columns[j][i] is not None
-                ]
-                result = _AGGREGATES[fn](values)
-                if fn == "sum" and result is not None and self._schema.dtype_of(col) == "int":
-                    result = int(result)
-                row.append(result)
-            out_rows.append(tuple(row))
-        return Table.from_rows(out_rows, schema=Schema(out_fields))
+        return out_fields
 
     def sample(self, n: int, rng) -> "Table":
         """Take ``n`` rows uniformly without replacement using ``rng``
         (a :class:`numpy.random.Generator`)."""
         n = min(n, self._num_rows)
-        idx = sorted(rng.choice(self._num_rows, size=n, replace=False).tolist())
+        idx = np.sort(rng.choice(self._num_rows, size=n, replace=False))
         return self._take(idx)
 
     # -- internals ----------------------------------------------------------
 
-    def _take(self, indices: list[int]) -> "Table":
-        cols = [[c[i] for i in indices] for c in self._columns]
-        return Table(self._schema, cols)
+    def _take(self, indices: Sequence[int] | np.ndarray) -> "Table":
+        idx = np.asarray(indices, dtype=np.intp)
+        cols = tuple(c.take(idx) for c in self._columns)
+        return Table._trusted(self._schema, cols, num_rows=len(idx))
+
+
+def _null_rows(columns: list[Column]) -> np.ndarray:
+    """Rows where any of the given columns is null."""
+    out = columns[0].mask.copy()
+    for col in columns[1:]:
+        out |= col.mask
+    return out
+
+
+def _factorize_key_pairs(
+    left: list[Column], right: list[Column],
+) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray]:
+    """Shared factorization of join keys: codes that are equal exactly when
+    the key tuples compare equal.
+
+    Returns ``(left_codes, right_codes, left_any_null)``; the code arrays
+    are ``None`` when the key dtypes can never match (string vs numeric),
+    so the join degenerates to "no matches" without comparing values.
+    """
+    n_left, n_right = len(left[0]), len(right[0])
+    left_any_null = _null_rows(left)
+    for lc, rc in zip(left, right):
+        if (lc.dtype == "str") != (rc.dtype == "str"):
+            return None, None, left_any_null
+
+    l_comb = np.zeros(n_left, dtype=np.int64)
+    r_comb = np.zeros(n_right, dtype=np.int64)
+    for lc, rc in zip(left, right):
+        lv, rv = ~lc.mask, ~rc.mask
+        lvals, rvals = lc.values[lv], rc.values[rv]
+        l_codes = np.zeros(n_left, dtype=np.int64)
+        r_codes = np.zeros(n_right, dtype=np.int64)
+        if len(lvals) or len(rvals):
+            if lvals.dtype == object and rvals.dtype == object:
+                # Str keys (or oversized-int fallbacks): one shared hash
+                # pass beats sort-based factorization, which would compare
+                # python objects element-by-element.
+                shared: dict = {}
+                l_sub, _ = factorize_objects(lvals, shared)
+                r_sub, cardinality = factorize_objects(rvals, shared)
+            else:
+                both = np.concatenate([lvals, rvals])
+                uniq = np.unique(both)
+                l_sub = np.searchsorted(uniq, lvals)
+                r_sub = np.searchsorted(uniq, rvals)
+                cardinality = len(uniq)
+            l_codes[lv] = l_sub
+            r_codes[rv] = r_sub
+        else:
+            cardinality = 1
+        # Combine with the previous keys, then densify so the running code
+        # stays < n and never overflows across many key columns.
+        combined = np.concatenate(
+            [l_comb * cardinality + l_codes, r_comb * cardinality + r_codes]
+        )
+        _, inverse = np.unique(combined, return_inverse=True)
+        l_comb, r_comb = inverse[:n_left], inverse[n_left:]
+    return l_comb, r_comb, left_any_null
+
+
+def _segment_aggregate(fn: str, col: Column, sorted_gids: np.ndarray,
+                       order: np.ndarray, num_groups: int,
+                       position: np.ndarray) -> list[Any]:
+    """One aggregate over all groups at once (null-skipping).
+
+    ``order`` is the shared stable row permutation sorting rows by group id
+    and ``sorted_gids`` the group ids in that order; ``position`` maps group
+    id -> output row.  Returns python values in output order (``None`` where
+    a group has no non-null input), which the caller coerces to the declared
+    output dtype — mirroring the per-cell coercion the row-at-a-time
+    reference applies via ``from_rows``.
+    """
+    valid = ~col.mask[order]
+    gids = sorted_gids[valid]
+    counts = np.bincount(gids, minlength=num_groups)
+    if fn == "count":
+        return counts[np.argsort(position, kind="stable")].tolist()
+
+    out: list[Any] = [None] * num_groups
+    if not len(gids):
+        return out
+    sorted_vals = col.values[order[valid]]
+    starts = np.flatnonzero(np.r_[True, gids[1:] != gids[:-1]])
+    present = gids[starts]
+    if fn in ("sum", "avg") and sorted_vals.dtype == np.float64:
+        # bincount accumulates sequentially in scan order — with the stable
+        # group sort that is original row order per group, so float sums are
+        # bit-identical to the reference's left-to-right ``sum()``.
+        sums = np.bincount(gids, weights=sorted_vals, minlength=num_groups)
+        reduced = sums[present]
+        if fn == "avg":
+            reduced = reduced / counts[present]
+    elif fn in ("sum", "avg"):
+        reduced = np.add.reduceat(sorted_vals, starts)
+        if fn == "avg":
+            reduced = reduced / counts[present]
+    elif fn == "min":
+        reduced = np.minimum.reduceat(sorted_vals, starts)
+    else:
+        reduced = np.maximum.reduceat(sorted_vals, starts)
+    reduced_list = (reduced.tolist() if isinstance(reduced, np.ndarray)
+                    else list(reduced))
+    for gid, value in zip(present.tolist(), reduced_list):
+        out[position[gid]] = value
+    return out
 
 
 def _csv_dtype(values: list[Any]) -> str:

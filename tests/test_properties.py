@@ -1,9 +1,11 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import SchemaError
 from repro.nn import Tensor, softmax
 from repro.sql import Database, parse_sql
 from repro.table import Table
@@ -139,6 +141,87 @@ class TestTableProperties:
     def test_union_row_count(self, values):
         table = Table.from_dict({"v": values})
         assert table.union(table).num_rows == 2 * table.num_rows
+
+
+key_values = st.lists(
+    st.one_of(st.sampled_from(["a", "b", "c", "d"]), st.none()),
+    min_size=1, max_size=20,
+)
+
+
+def _keyed_table(keys, values):
+    n = min(len(keys), len(values))
+    return Table.from_dict({"k": keys[:n], "v": values[:n]})
+
+
+class TestRelationalAlgebraLaws:
+    """Algebraic laws checked against the vectorized kernels AND their
+    row-at-a-time ``*_reference`` twins, so the twins stay honest."""
+
+    @given(key_values, table_values)
+    @settings(max_examples=40, deadline=None)
+    def test_filter_project_commute(self, keys, values):
+        table = _keyed_table(keys, values)
+        keep = [k is not None for k in table.column("k")]
+        for filt in (Table.filter, Table.filter_reference):
+            left = filt(table, keep).project(["v"])
+            right = filt(table.project(["k", "v"]), keep).project(["v"])
+            assert left == right
+
+    @given(key_values, table_values)
+    @settings(max_examples=40, deadline=None)
+    def test_filter_matches_reference(self, keys, values):
+        table = _keyed_table(keys, values)
+        keep = [v is not None and v > 0 for v in table.column("v")]
+        assert table.filter(keep) == table.filter_reference(keep)
+
+    @given(key_values, table_values)
+    @settings(max_examples=40, deadline=None)
+    def test_join_with_empty_table(self, keys, values):
+        table = _keyed_table(keys, values)
+        empty = Table.from_dict({"k": [], "extra": []})
+        for join in (Table.join, Table.join_reference):
+            inner = join(table, empty, on="k", how="inner")
+            assert inner.num_rows == 0
+            assert inner.schema.names == ["k", "v", "extra"]
+            left = join(table, empty, on="k", how="left")
+            assert left.num_rows == table.num_rows
+            assert left.column("extra") == [None] * table.num_rows
+
+    @given(key_values, table_values)
+    @settings(max_examples=40, deadline=None)
+    def test_union_rejects_schema_mismatch(self, keys, values):
+        table = _keyed_table(keys, values)
+        other = table.rename({"v": "w"})
+        with pytest.raises(SchemaError):
+            table.union(other)
+
+    @given(key_values, table_values)
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_skips_nulls(self, keys, values):
+        table = _keyed_table(keys, values)
+        aggregates = [("count", "v", "n"), ("sum", "v", "total")]
+        for group in (Table.group_by, Table.group_by_reference):
+            out = group(table, ["k"], aggregates)
+            by_key = {out.cell(i, "k"): i for i in range(out.num_rows)}
+            for key in by_key:
+                non_null = [
+                    v for k, v in zip(table.column("k"), table.column("v"))
+                    if k == key and v is not None
+                ]
+                i = by_key[key]
+                assert out.cell(i, "n") == len(non_null)
+                expected = sum(non_null) if non_null else None
+                assert out.cell(i, "total") == expected
+
+    @given(key_values, table_values)
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_matches_reference(self, keys, values):
+        table = _keyed_table(keys, values)
+        aggregates = [("count", "v", "n"), ("sum", "v", "total"),
+                      ("min", "v", "lo"), ("max", "v", "hi")]
+        assert (table.group_by(["k"], aggregates)
+                == table.group_by_reference(["k"], aggregates))
 
 
 class TestSQLProperties:

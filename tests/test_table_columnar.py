@@ -1,0 +1,222 @@
+"""Columnar storage layer: Column internals, trusted construction, and
+randomized equivalence of the vectorized kernels against their
+``*_reference`` twins."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import SchemaError
+from repro.obs import metrics
+from repro.table import (
+    NUMPY_DTYPES,
+    SENTINELS,
+    Column,
+    Field,
+    Schema,
+    Table,
+)
+
+
+def random_table(rng, n_rows, key_cardinality=6, null_rate=0.2):
+    """A table with every dtype and nulls sprinkled into each column."""
+    def maybe_null(values):
+        return [None if rng.random() < null_rate else v for v in values]
+
+    return Table.from_dict({
+        "k": maybe_null([f"key-{int(i)}"
+                         for i in rng.integers(0, key_cardinality, n_rows)]),
+        "i": maybe_null([int(v) for v in rng.integers(-50, 50, n_rows)]),
+        "f": maybe_null([round(float(v), 3)
+                         for v in rng.uniform(-10, 10, n_rows)]),
+        "b": maybe_null([bool(v) for v in rng.integers(0, 2, n_rows)]),
+    })
+
+
+class TestColumn:
+    def test_build_and_pylist_round_trip(self):
+        col = Column.build([1, None, 3], "int")
+        assert col.to_pylist() == [1, None, 3]
+        assert col.null_count == 1
+        assert col.values.dtype == NUMPY_DTYPES["int"]
+        assert col.values[1] == SENTINELS["int"]
+
+    def test_checked_path_rejects_wrong_type(self):
+        with pytest.raises(SchemaError, match="column 'x'.*not int"):
+            Column.from_pylist([1, "two"], "int", name="x")
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaError):
+            Column.from_pylist([True], "int")
+
+    def test_trusted_path_skips_validation(self):
+        # build() is the trusted entry: it must not re-check cells.
+        col = Column.build(["a", "b"], "str")
+        assert col.to_pylist() == ["a", "b"]
+
+    def test_oversized_int_falls_back_to_object(self):
+        big = 2**70
+        col = Column.build([big, 1], "int")
+        assert col.values.dtype == object
+        assert col.to_pylist() == [big, 1]
+
+    def test_take_or_null(self):
+        col = Column.build([10, 20, 30], "int")
+        out = col.take_or_null(np.array([2, -1, 0]))
+        assert out.to_pylist() == [30, None, 10]
+
+    def test_codes_group_equal_values(self):
+        col = Column.build(["b", None, "a", "b"], "str")
+        codes, cardinality = col.codes()
+        assert cardinality == 2
+        assert codes[1] == -1
+        assert codes[0] == codes[3] != codes[2]
+
+    def test_equals_is_mask_aware(self):
+        # int null slots store the sentinel 0 — a real 0 must not match one.
+        a = Column.build([0, 1], "int")
+        b = Column.build([None, 1], "int")
+        assert not a.equals(b)
+        assert a.equals(Column.build([0, 1], "int"))
+
+
+class TestTrustedConstruction:
+    def test_from_columns_round_trip(self):
+        schema = Schema([Field("a", "int"), Field("b", "str")])
+        table = Table.from_columns(schema, [
+            Column.build([1, 2], "int"), Column.build(["x", None], "str"),
+        ])
+        assert list(table.rows()) == [(1, "x"), (2, None)]
+
+    def test_from_columns_rejects_ragged(self):
+        schema = Schema([Field("a", "int"), Field("b", "int")])
+        with pytest.raises(SchemaError):
+            Table.from_columns(schema, [
+                Column.build([1, 2], "int"), Column.build([1], "int"),
+            ])
+
+    def test_column_array_is_read_only(self):
+        table = Table.from_dict({"v": [1, 2, 3]})
+        arr = table.column_array("v")
+        mask = table.null_mask("v")
+        with pytest.raises(ValueError):
+            arr[0] = 99
+        with pytest.raises(ValueError):
+            mask[0] = True
+
+    def test_checked_init_still_validates_lists(self):
+        schema = Schema([Field("a", "int")])
+        with pytest.raises(SchemaError):
+            Table(schema, [["not-an-int"]])
+
+
+class TestWithCells:
+    def test_batch_update(self):
+        table = Table.from_dict({"v": [1, None, 3]})
+        out = table.with_cells("v", {1: 2, 2: None})
+        assert out.column("v") == [1, 2, None]
+        assert table.column("v") == [1, None, 3]  # original untouched
+
+    def test_coerces_like_with_cell(self):
+        table = Table.from_dict({"v": [1.5, 2.5]})
+        assert table.with_cells("v", {0: 7}).column("v") == [7.0, 2.5]
+
+    def test_oversized_int_update(self):
+        table = Table.from_dict({"v": [1, 2]})
+        out = table.with_cells("v", {0: 2**70})
+        assert out.column("v") == [2**70, 2]
+
+
+class TestKernelEquivalence:
+    """The vectorized kernels must agree with the row-at-a-time twins on
+    randomized tables mixing all dtypes, null keys and null values."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_filter(self, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, 60)
+        keep = [bool(b) for b in rng.integers(0, 2, 60)]
+        assert table.filter(keep) == table.filter_reference(keep)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("how", ["inner", "left"])
+    def test_join_single_key(self, seed, how):
+        rng = np.random.default_rng(seed)
+        left = random_table(rng, 40)
+        right = random_table(rng, 25).rename({"i": "ri", "f": "rf"})
+        vec = left.join(right, on="k", how=how)
+        ref = left.join_reference(right, on="k", how=how)
+        assert vec == ref
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_join_multi_key_pairs(self, seed):
+        rng = np.random.default_rng(seed)
+        left = random_table(rng, 30)
+        right = random_table(rng, 30).rename({"k": "rk", "b": "rb"})
+        on = [("k", "rk"), ("b", "rb")]
+        for how in ("inner", "left"):
+            assert (left.join(right, on=on, how=how)
+                    == left.join_reference(right, on=on, how=how))
+
+    def test_join_str_vs_numeric_key_never_matches(self):
+        left = Table.from_dict({"k": ["1", "2"]})
+        right = Table.from_dict({"k": [1, 2], "v": [10, 20]})
+        vec = left.join(right, on="k", how="inner")
+        assert vec.num_rows == 0
+        assert vec == left.join_reference(right, on="k", how="inner")
+
+    def test_join_bool_key_matches_int_key(self):
+        left = Table.from_dict({"k": [True, False]})
+        right = Table.from_dict({"k": [1, 5], "v": [10, 20]})
+        vec = left.join(right, on="k", how="inner")
+        assert vec == left.join_reference(right, on="k", how="inner")
+        assert vec.num_rows == 1  # True == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_group_by_all_aggregates(self, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, 60)
+        aggregates = [
+            ("count", "i", "n"), ("sum", "i", "si"), ("avg", "f", "af"),
+            ("min", "f", "lo"), ("max", "i", "hi"),
+        ]
+        for keys in (["k"], ["k", "b"]):
+            assert (table.group_by(keys, aggregates)
+                    == table.group_by_reference(keys, aggregates))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_distinct_union_order_by_consistency(self, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, 40)
+        doubled = table.union(table)
+        assert doubled.distinct() == table.distinct()
+        ordered = table.order_by("i")
+        non_null = [v for v in ordered.column("i") if v is not None]
+        assert non_null == sorted(non_null)
+
+
+class TestOrderByStability:
+    def test_ties_keep_original_order_both_directions(self):
+        table = Table.from_dict({
+            "k": [2, 1, 2, 1, None, 2],
+            "tag": ["a", "b", "c", "d", "e", "f"],
+        })
+        asc = table.order_by("k")
+        assert asc.column("tag") == ["b", "d", "a", "c", "f", "e"]
+        desc = table.order_by("k", descending=True)
+        assert desc.column("tag") == ["a", "c", "f", "b", "d", "e"]
+
+
+class TestHotOpInstrumentation:
+    def test_hot_ops_record_metrics(self):
+        obs.reset()
+        table = Table.from_dict({"k": ["a", "b", "a"], "v": [1, 2, 3]})
+        table.filter([True, False, True])
+        table.join(table.rename({"v": "w"}), on="k")
+        table.group_by(["k"], [("count", "v", "n")])
+        names = metrics.get_registry().names()
+        for metric in ("table.filter.seconds", "table.join.seconds",
+                       "table.group_by.seconds"):
+            assert metric in names
+            assert metrics.histogram(metric).summary()["count"] >= 1
+        assert metrics.counter("table.rows_scanned").value > 0

@@ -227,3 +227,75 @@ class TestCSV:
     def test_empty_input_rejected(self):
         with pytest.raises(SchemaError):
             Table.from_csv("")
+
+
+# -- CSV round-trip properties (hypothesis) --------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+# Strings that survive a CSV round trip untouched: the "s" prefix keeps them
+# non-empty (empty cells read back as null) and out of the int/float/bool
+# inference buckets, while the alphabet forces the writer's quoting paths —
+# commas, double quotes, newlines — plus non-ASCII text.
+csv_safe_text = st.text(
+    alphabet='ab,"\n é漢ß', max_size=10,
+).map(lambda s: "s" + s)
+
+
+class TestCSVRoundTripProperties:
+    @given(st.lists(st.one_of(csv_safe_text, st.none()),
+                    min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_str_round_trip_with_nulls_quotes_unicode(self, values):
+        table = Table.from_dict({"v": values})
+        back = Table.from_csv(table.to_csv())
+        assert back.schema.dtype_of("v") == "str"
+        assert back.column("v") == values
+
+    @given(st.lists(st.one_of(st.booleans(), st.none()),
+                    min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_bool_round_trip_with_nulls(self, values):
+        table = Table.from_dict({"v": values})
+        back = Table.from_csv(table.to_csv())
+        assert back.column("v") == values
+        if any(v is not None for v in values):
+            assert back.schema.dtype_of("v") == "bool"
+
+    @given(st.lists(st.sampled_from(["true", "false", "TRUE", "False"]),
+                    min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_bool_like_strings_infer_bool(self, values):
+        # _csv_dtype folds case: a column of bool words parses as bool.
+        table = Table.from_dict({"v": values})
+        back = Table.from_csv(table.to_csv())
+        assert back.schema.dtype_of("v") == "bool"
+        assert back.column("v") == [v.lower() == "true" for v in values]
+
+    @given(st.lists(st.sampled_from(["true", "false"]), min_size=1,
+                    max_size=10),
+           csv_safe_text)
+    @settings(max_examples=40, deadline=None)
+    def test_bool_words_plus_other_string_stay_str(self, words, other):
+        # One non-bool word tips _csv_dtype back to str — nothing coerces.
+        values = words + [other]
+        table = Table.from_dict({"v": values})
+        back = Table.from_csv(table.to_csv())
+        assert back.schema.dtype_of("v") == "str"
+        assert back.column("v") == values
+
+    @given(st.lists(st.one_of(st.integers(min_value=-10**6,
+                                          max_value=10**6),
+                              st.none()),
+                    min_size=1, max_size=20),
+           st.lists(st.one_of(st.floats(min_value=-1e6, max_value=1e6,
+                                        allow_nan=False), st.none()),
+                    min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_numeric_round_trip_with_nulls(self, ints, floats):
+        n = min(len(ints), len(floats))
+        table = Table.from_dict({"i": ints[:n], "f": floats[:n]})
+        back = Table.from_csv(table.to_csv())
+        assert back.column("i") == ints[:n]
+        assert back.column("f") == floats[:n]

@@ -23,7 +23,7 @@ import os
 
 import numpy as np
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_artifact, run_once
 from repro import obs
 from repro.datasets.mltasks import make_ml_task
 from repro.evaluation import ResultTable
@@ -122,6 +122,17 @@ def test_ext_chaos_fault_recovery(benchmark, world, fact_store,
     table.add("uncaught exceptions (on_error=skip)", uncaught)
     table.add("fault recovery rate", f"{recovery:.3f}")
     table.show()
+
+    bench_artifact("chaos", {
+        "seed": seed,
+        "rate": rate,
+        "injected": dict(injector.injected),
+        "injected_total": injected,
+        "lost": lost,
+        "recovery_rate": recovery,
+        "uncaught_exceptions": uncaught,
+        "degradation_events": len(report.degradations),
+    })
 
     # The chaos harness actually fired, at both points.
     assert injector.injected.get("fm.complete", 0) > 0

@@ -1,0 +1,152 @@
+"""EXT-OBS: the instrumentation-overhead gate and trace exporter check.
+
+Runs the same traced serving workload twice — spans enabled vs spans
+disabled (``repro.obs.set_enabled``) — and asserts the tracing tax stays
+under :data:`OVERHEAD_LIMIT` (5%).  The workload is serial-mode serving
+over a numpy backend doing ~1ms of real work per request, so the measured
+fraction reflects the per-span cost against a realistic unit of work, not
+against an empty loop; both sides take the min over
+:data:`REPEATS` runs to shave scheduler noise.
+
+The run writes ``BENCH_obs.json`` (shared artifact schema) plus
+``BENCH_obs_trace.json`` — the Chrome trace-event / Perfetto export of one
+fully traced request batch, the artifact the CI obs job uploads.
+
+Knob: ``REPRO_OBS_BENCH_REQUESTS`` overrides the per-run request count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import REPO_ROOT, bench_artifact, run_once
+from repro import obs
+from repro.obs import tracing
+from repro.serving import Backend, Server
+
+#: The CI gate: spans-enabled wall clock may exceed spans-disabled by at
+#: most this fraction.
+OVERHEAD_LIMIT = 0.05
+
+REPEATS = 5
+
+
+class MatmulBackend(Backend):
+    """~1ms of numpy per request: the realistic unit of traced work."""
+
+    name = "mat"
+
+    def __init__(self, dim: int = 512, rounds: int = 32):
+        rng = np.random.default_rng(5)
+        self._m = rng.standard_normal((dim, dim)) / np.sqrt(dim)
+        self._rounds = rounds
+
+    def run_batch(self, payloads):
+        out = []
+        for seed in payloads:
+            v = self._m[:, seed % self._m.shape[1]]
+            for _ in range(self._rounds):
+                v = self._m @ v
+            out.append(float(v.sum()))
+        return out
+
+    def cache_key(self, payload):
+        return None  # every request does real work — no cache shortcut
+
+
+def _run_workload(backend: MatmulBackend, requests: int) -> list:
+    """One serial-mode serving pass; returns the responses."""
+    server = Server(workers=0, batch_window=0.0, max_batch=8)
+    server.register(backend)
+    futures = [server.submit("mat", i) for i in range(requests)]
+    server.flush()
+    server.close()
+    return [f.result(5.0) for f in futures]
+
+
+def _measure(backend: MatmulBackend, requests: int) -> tuple[float, float]:
+    """Min wall-clock of the workload with spans disabled and enabled.
+
+    Repeats interleave the two modes (off/on, off/on, ...) so CPU warmup
+    and frequency drift hit both sides equally instead of biasing
+    whichever ran second.
+    """
+    best = {False: float("inf"), True: float("inf")}
+    _run_workload(backend, requests)  # warmup: page in BLAS + serving paths
+    for _ in range(REPEATS):
+        for enabled in (False, True):
+            obs.reset()
+            obs.set_enabled(enabled)
+            start = time.perf_counter()
+            responses = _run_workload(backend, requests)
+            elapsed = time.perf_counter() - start
+            assert all(r.ok for r in responses)
+            best[enabled] = min(best[enabled], elapsed)
+    return best[False], best[True]
+
+
+def test_ext_obs_overhead_and_trace_export(benchmark):
+    requests = int(os.environ.get("REPRO_OBS_BENCH_REQUESTS", "96"))
+    backend = MatmulBackend()
+
+    def experiment():
+        try:
+            disabled, enabled = _measure(backend, requests)
+        finally:
+            obs.set_enabled(True)
+        # Leave one traced run in the tracer for the exported artifact.
+        obs.reset()
+        _run_workload(backend, 8)
+        return disabled, enabled
+
+    disabled, enabled = run_once(benchmark, experiment)
+    overhead = enabled / disabled - 1.0
+
+    roots = tracing.get_tracer().roots()
+    req_roots = [r for r in roots if r.name == "serving.request"]
+    assert len(req_roots) == 8
+    spans_per_request = sum(
+        1 + r.total_descendants() for r in req_roots
+    ) / len(req_roots)
+    # Every request produced one complete tree across the serving stages.
+    for root in req_roots:
+        names = {s.name for s in root.walk()}
+        assert {"serving.admission", "serving.queue",
+                "serving.batch"} <= names, names
+    trace_path = REPO_ROOT / "BENCH_obs_trace.json"
+    obs.save_chrome_trace(trace_path, roots, process_name="ext-obs")
+
+    from repro.evaluation import ResultTable
+
+    table = ResultTable(
+        f"EXT-OBS: tracing overhead ({requests} requests, "
+        f"best of {REPEATS})",
+        ["metric", "value"],
+    )
+    table.add("spans disabled (s)", f"{disabled:.4f}")
+    table.add("spans enabled (s)", f"{enabled:.4f}")
+    table.add("overhead", f"{overhead:+.2%}")
+    table.add("limit", f"{OVERHEAD_LIMIT:.0%}")
+    table.add("spans per request", f"{spans_per_request:.1f}")
+    table.add("traced rps", f"{requests / enabled:.0f}")
+    table.show()
+
+    bench_artifact("obs", {
+        "requests": requests,
+        "repeats": REPEATS,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_fraction": overhead,
+        "overhead_limit": OVERHEAD_LIMIT,
+        "spans_per_request": spans_per_request,
+        "traced_rps": requests / enabled,
+        "trace_artifact": trace_path.name,
+    })
+
+    # The gate: instrumentation costs < 5% on a realistic serving workload.
+    assert overhead < OVERHEAD_LIMIT, (
+        f"tracing overhead {overhead:+.2%} >= {OVERHEAD_LIMIT:.0%}"
+    )

@@ -20,15 +20,12 @@ dashboard (or the next PR) diffs against.
 
 from __future__ import annotations
 
-import json
 import os
-import subprocess
 import time
-from pathlib import Path
 
 import numpy as np
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_artifact, run_once
 from repro.datasets.em import EMDataset, Record
 from repro.datasets.mltasks import task_suite
 from repro.embeddings import FastTextModel, SkipGramModel, Vocab
@@ -40,16 +37,6 @@ from repro.plm import MiniBert, MLMPretrainer
 
 #: Wall-clock claim under test for the three biggest kernels.
 SPEEDUP_FLOOR = 3.0
-
-
-def _git_rev() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
-            cwd=Path(__file__).resolve().parent, timeout=10,
-        ).stdout.strip() or "unknown"
-    except Exception:  # noqa: BLE001 - the artifact degrades, the bench runs
-        return "unknown"
 
 
 def _word_corpus(rng: np.random.Generator, vocab_size: int, sentences: int,
@@ -225,15 +212,11 @@ def test_ext_perf_kernels(benchmark):
                   f"{row['speedup']:.1f}x")
     table.show()
 
-    artifact = {
-        "bench": "ext-perf",
-        "git_rev": _git_rev(),
+    bench_artifact("perf", {
         "smoke": smoke,
         "speedup_floor": SPEEDUP_FLOOR,
         "kernels": results,
-    }
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
-    out_path.write_text(json.dumps(artifact, indent=2) + "\n")
+    })
 
     if not smoke:
         for kernel in ("skipgram_train", "embedding_blocking",

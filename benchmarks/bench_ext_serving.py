@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_artifact, run_once
 from repro import obs
 from repro.foundation.prompts import matching_demo, matching_prompt, qa_prompt
 from repro.serving import FMBackend, Server
@@ -151,6 +151,28 @@ def test_ext_serving_throughput_and_shedding(benchmark, world, fact_store,
     out.add("uncaught exceptions", uncaught)
     out.add("admitted p95 e2e (s)", f"{p95:.4f}" if p95 is not None else "n/a")
     out.show()
+
+    bench_artifact("serving", {
+        "smoke": smoke,
+        "seed": seed,
+        "requests": len(workload),
+        "unique_prompts": num_unique,
+        "clients": clients,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "baseline_rps": baseline_rps,
+        "served_rps": served_rps,
+        "speedup": speedup,
+        "cache_hit_ratio": report.serving.get("cache_hit_ratio"),
+        "coalesced": report.serving.get("coalesced"),
+        "queue_depth_hwm": report.serving.get("queue_depth_hwm"),
+        "overload": {
+            "burst": len(burst_responses),
+            "rejected": len(rejected),
+            "admitted_ok": int(sum(r.ok for r in admitted)),
+            "uncaught_exceptions": uncaught,
+            "p95_e2e_seconds": p95,
+        },
+    })
 
     # Sanity: served answers match the sequential baseline answers.
     assert len(served) == len(baseline)

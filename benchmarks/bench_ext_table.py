@@ -19,15 +19,12 @@ times, row throughput, speedup, and the git revision.
 
 from __future__ import annotations
 
-import json
 import os
-import subprocess
 import time
-from pathlib import Path
 
 import numpy as np
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_artifact, run_once
 from repro.table import Column, Field, Schema, Table
 
 #: Wall-clock claim under test for the three relational kernels.
@@ -36,16 +33,6 @@ SPEEDUP_FLOOR = 3.0
 #: Fact-table sizes (rows) for asserted vs smoke runs.
 FACT_ROWS = 50_000
 SMOKE_FACT_ROWS = 3_000
-
-
-def _git_rev() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
-            cwd=Path(__file__).resolve().parent, timeout=10,
-        ).stdout.strip() or "unknown"
-    except Exception:  # noqa: BLE001 - the artifact degrades, the bench runs
-        return "unknown"
 
 
 def _fact_table(rng: np.random.Generator, n_rows: int,
@@ -191,16 +178,12 @@ def test_ext_table_kernels(benchmark):
                   f"{row['speedup']:.1f}x")
     table.show()
 
-    artifact = {
-        "bench": "ext-table",
-        "git_rev": _git_rev(),
+    bench_artifact("table", {
         "smoke": smoke,
         "rows": n_rows,
         "speedup_floor": SPEEDUP_FLOOR,
         "kernels": results,
-    }
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_table.json"
-    out_path.write_text(json.dumps(artifact, indent=2) + "\n")
+    })
 
     if not smoke:
         for kernel in ("filter", "join_inner", "group_by"):

@@ -17,8 +17,12 @@ redirect, or ``REPRO_OBS_DIR=0`` to disable.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import re
+import subprocess
+import time
 from pathlib import Path
 
 import numpy as np
@@ -36,6 +40,56 @@ from repro.plm import MiniBert, MLMPretrainer
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+#: Shared BENCH_*.json artifact schema, bumped on breaking changes.
+#: v1: every artifact carries schema_version / bench / git_rev /
+#: generated_at / environment, with bench-specific payload keys beside them.
+BENCH_SCHEMA_VERSION = 1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent, timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:  # noqa: BLE001 - the artifact degrades, the bench runs
+        return "unknown"
+
+
+def environment() -> dict:
+    """The environment manifest stamped into every bench artifact."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_artifact(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root in the shared schema.
+
+    Every bench writer goes through here so ``benchmarks/summarize.py``
+    (and any dashboard) can rely on one envelope: ``schema_version``,
+    ``bench``, ``git_rev``, ``generated_at`` (UTC ISO-8601) and the
+    ``environment`` manifest, with the bench-specific payload merged in.
+    """
+    artifact = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": name,
+        "git_rev": git_rev(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "environment": environment(),
+        **payload,
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    return path
 
 
 def _report_dir() -> Path | None:
@@ -66,6 +120,10 @@ def obs_run_report(request):
         return  # nothing instrumented ran; don't litter empty artifacts
     safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
     report.save(out_dir / f"{safe}.json")
+    if report.spans:
+        # The same trees as a Perfetto-loadable Chrome trace, for timeline
+        # inspection of what the bench actually did.
+        report.save_trace(out_dir / f"{safe}.trace.json")
 
 
 @pytest.fixture(scope="session")

@@ -21,13 +21,13 @@ from __future__ import annotations
 
 import hashlib
 import re
-import time
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.foundation.knowledge import FactStore
 from repro.foundation.prompts import Prompt, parse_prompt
 from repro.obs import metrics
+from repro.obs.instrument import timed
 from repro.resilience import FallbackChain, RetryPolicy, faults
 from repro.text.similarity import jaccard_similarity, jaro_winkler_similarity
 from repro.text.tokenize import words
@@ -168,38 +168,38 @@ class FoundationModel:
         retried, but exhaustion raises instead of degrading — callers that
         run their own fallback (e.g. :class:`FallbackMatcher`) use this.
         """
-        start = time.perf_counter()
-        metrics.counter("fm.prompts").inc()
-        prompt = parse_prompt(prompt_text)
-        if prompt.demonstrations:
-            metrics.counter("fm.prompts.few_shot").inc()
+        with timed("fm.complete.seconds", span_name="fm.complete",
+                   strict=strict) as fm_span:
+            metrics.counter("fm.prompts").inc()
+            prompt = parse_prompt(prompt_text)
+            if prompt.demonstrations:
+                metrics.counter("fm.prompts.few_shot").inc()
 
-        def primary(p: Prompt) -> tuple[str, Completion]:
-            def attempt() -> tuple[str, Completion]:
-                faults.point("fm.complete")
-                kind, completion = self._dispatch(p)
-                completion.text = faults.corrupt("fm.complete", completion.text)
-                return kind, completion
-            return self.retry.call(attempt, name="fm.complete")
+            def primary(p: Prompt) -> tuple[str, Completion]:
+                def attempt() -> tuple[str, Completion]:
+                    faults.point("fm.complete")
+                    kind, completion = self._dispatch(p)
+                    completion.text = faults.corrupt("fm.complete",
+                                                     completion.text)
+                    return kind, completion
+                return self.retry.call(attempt, name="fm.complete")
 
-        if strict:
-            kind, completion = primary(prompt)
-        else:
-            tiers: list[tuple[str, "CompletionTier"]] = [("fm", primary)]
-            tiers.extend(self.fallback_tiers)
-            # The floor: echo the query with rock-bottom confidence — a
-            # foundation model always produces *something*.
-            tiers.append(("degraded", lambda p: (
-                "degraded", Completion(p.query, confidence=0.05)
-            )))
-            (kind, completion), tier = FallbackChain(
-                "fm.complete", tiers
-            ).serve(prompt)
-            completion.tier = tier
-        metrics.counter(f"fm.completions.{kind}").inc()
-        metrics.histogram("fm.complete.seconds").observe(
-            time.perf_counter() - start
-        )
+            if strict:
+                kind, completion = primary(prompt)
+            else:
+                tiers: list[tuple[str, "CompletionTier"]] = [("fm", primary)]
+                tiers.extend(self.fallback_tiers)
+                # The floor: echo the query with rock-bottom confidence — a
+                # foundation model always produces *something*.
+                tiers.append(("degraded", lambda p: (
+                    "degraded", Completion(p.query, confidence=0.05)
+                )))
+                (kind, completion), tier = FallbackChain(
+                    "fm.complete", tiers
+                ).serve(prompt)
+                completion.tier = tier
+            metrics.counter(f"fm.completions.{kind}").inc()
+            fm_span.set(kind=kind)
         return completion
 
     def complete_batch(self, prompts: Sequence[str],

@@ -43,8 +43,21 @@ from repro.obs.metrics import (
     get_registry,
     histogram,
 )
+from repro.obs.export import chrome_trace, render_timeline, save_chrome_trace
 from repro.obs.report import RunReport
-from repro.obs.tracing import Span, Tracer, current_span, get_tracer, span
+from repro.obs.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    activate,
+    current_context,
+    current_span,
+    extract,
+    get_tracer,
+    inject,
+    set_enabled,
+    span,
+)
 
 
 def reset() -> None:
@@ -64,17 +77,26 @@ __all__ = [
     "MetricsRegistry",
     "RunReport",
     "Span",
+    "TraceContext",
     "Tracer",
+    "activate",
+    "chrome_trace",
     "configure",
     "counter",
+    "current_context",
     "current_span",
+    "extract",
     "gauge",
     "get_logger",
     "get_registry",
     "get_tracer",
     "histogram",
+    "inject",
+    "render_timeline",
     "reset",
     "results_logger",
+    "save_chrome_trace",
+    "set_enabled",
     "span",
     "timed",
     "timed_fn",

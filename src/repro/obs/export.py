@@ -1,0 +1,136 @@
+"""Span-tree exporters: Chrome trace-event JSON and a text timeline.
+
+Two renderings of the same span trees the tracer collects:
+
+- :func:`chrome_trace` — the Chrome trace-event format (``traceEvents``
+  with complete ``"ph": "X"`` events), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Spans keep their
+  recording thread (``tid``), so a serving request renders as one flow
+  spanning the submitting thread and the worker that executed its batch.
+- :func:`render_timeline` — a dependency-free text flame/timeline view:
+  one bar per span, positioned and scaled within its root's wall-clock
+  window, for terminals and CI logs.
+
+Both accept raw :class:`~repro.obs.tracing.Span` roots (live from
+``get_tracer().roots()`` or deserialized from a
+:class:`~repro.obs.report.RunReport`), so exports work on saved artifacts
+long after the process that recorded them is gone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.obs.tracing import Span
+
+#: Synthetic process id stamped on every event (one in-process system).
+_PID = 1
+
+
+def _min_start(roots: Sequence[Span]) -> float:
+    starts = [s.start for root in roots for s in root.walk()]
+    return min(starts) if starts else 0.0
+
+
+def chrome_trace(roots: Sequence[Span],
+                 process_name: str = "repro") -> dict[str, Any]:
+    """Span trees as a Chrome trace-event / Perfetto JSON object.
+
+    Timestamps are microseconds relative to the earliest span start, so
+    traces recorded with ``perf_counter`` (no epoch anchor) still lay out
+    correctly.  Spans recorded without timing metadata (deserialized v1
+    artifacts) fall back to nesting order.
+    """
+    roots = list(roots)
+    origin = _min_start(roots)
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID,
+        "args": {"name": process_name},
+    }]
+    threads: set[int] = set()
+
+    def emit(span: Span, fallback_ts: float) -> None:
+        ts = (span.start - origin) * 1e6 if span.start else fallback_ts
+        dur = (span.duration or 0.0) * 1e6
+        tid = span.thread_id or 0
+        threads.add(tid)
+        args: dict[str, Any] = {
+            str(k): v for k, v in sorted(span.attributes.items())
+        }
+        if span.trace_id:
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name, "ph": "X", "pid": _PID, "tid": tid,
+            "ts": round(ts, 3), "dur": round(dur, 3), "cat": "span",
+            "args": args,
+        })
+        child_ts = ts
+        for child in span.children:
+            emit(child, child_ts)
+            child_ts += (child.duration or 0.0) * 1e6
+
+    cursor = 0.0
+    for root in roots:
+        emit(root, cursor)
+        cursor += (root.duration or 0.0) * 1e6
+    for i, tid in enumerate(sorted(threads)):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"name": f"thread-{i}" if tid else "untimed"},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(path: str | Path, roots: Sequence[Span],
+                      process_name: str = "repro") -> Path:
+    """Write :func:`chrome_trace` JSON to ``path`` (dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(roots, process_name), indent=2))
+    return path
+
+
+def render_timeline(roots: Iterable[Span], width: int = 64) -> str:
+    """Text timeline: one bar per span, scaled within its root's window.
+
+    ``width`` is the bar-column width in characters; durations render in
+    ms.  Spans without timing metadata render with empty bars.
+    """
+    lines: list[str] = []
+    for root in roots:
+        window = root.duration or 0.0
+        labels = [
+            ("  " * depth + span.name, span)
+            for depth, span in _walk_depth(root)
+        ]
+        label_w = max(len(label) for label, _ in labels)
+        for label, span in labels:
+            bar = _bar(span, root, window, width)
+            dur = ("?" if span.duration is None
+                   else f"{span.duration * 1e3:.2f}ms")
+            lines.append(f"{label.ljust(label_w)} |{bar}| {dur}")
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
+def _walk_depth(root: Span, depth: int = 0):
+    yield depth, root
+    for child in root.children:
+        yield from _walk_depth(child, depth + 1)
+
+
+def _bar(span: Span, root: Span, window: float, width: int) -> str:
+    if window <= 0.0 or span.duration is None:
+        return " " * width
+    offset = span.start - root.start if span.start and root.start else 0.0
+    offset = min(max(offset / window, 0.0), 1.0)
+    frac = min(max(span.duration / window, 0.0), 1.0 - offset)
+    lo = int(round(offset * width))
+    length = max(1, int(round(frac * width)))
+    length = min(length, width - lo) or 1
+    return " " * lo + "#" * length + " " * (width - lo - length)

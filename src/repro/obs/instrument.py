@@ -25,24 +25,30 @@ F = TypeVar("F", bound=Callable[..., Any])
 
 @contextmanager
 def timed(metric_name: str, span_name: str | None = None,
-          **attributes: Any) -> Iterator[None]:
+          **attributes: Any) -> Iterator[Any]:
     """Time a block into ``histogram(metric_name)``.
 
     When ``span_name`` is given, the block also opens a span (nesting under
     any active parent), so the duration shows up both in aggregate
-    (histogram percentiles) and in context (the span tree).
+    (histogram percentiles) and in context (the span tree); the span is
+    yielded so the block can attach result attributes (row counts,
+    selectivities).  Without a span name the yield is ``None``.
+
+    This helper is the sanctioned way for library code to measure
+    wall-clock: raw ``time.perf_counter()`` timing outside ``repro/obs``
+    and ``repro/resilience`` is CI-linted away.
     """
     if span_name is not None:
-        with _span(span_name, **attributes):
+        with _span(span_name, **attributes) as s:
             start = time.perf_counter()
             try:
-                yield
+                yield s
             finally:
                 histogram(metric_name).observe(time.perf_counter() - start)
         return
     start = time.perf_counter()
     try:
-        yield
+        yield None
     finally:
         histogram(metric_name).observe(time.perf_counter() - start)
 

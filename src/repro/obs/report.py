@@ -24,8 +24,9 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import Span, Tracer, get_tracer
 
 #: Schema version stamped into every report, bumped on breaking changes.
-#: v2 added the ``serving`` section.
-SCHEMA_VERSION = 2
+#: v2 added the ``serving`` section; v3 added trace ids on spans plus the
+#: ``orphan_spans`` counter.
+SCHEMA_VERSION = 3
 
 
 def _serving_section(registry: MetricsRegistry) -> dict[str, Any]:
@@ -73,6 +74,9 @@ class RunReport:
     spans: list[Span] = field(default_factory=list)
     metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
     dropped_spans: int = 0
+    #: Spans that finished after their cross-thread parent was evicted and
+    #: were promoted to roots instead (see repro.obs.tracing).
+    orphan_spans: int = 0
     #: Graceful-degradation audit trail (dicts; see repro.resilience).
     degradations: list[dict[str, Any]] = field(default_factory=list)
     #: Serving-runtime rollup (queue high-water mark, admission and cache
@@ -99,6 +103,7 @@ class RunReport:
             spans=tracer.roots(),
             metrics=registry.snapshot(),
             dropped_spans=tracer.dropped,
+            orphan_spans=tracer.orphans,
             degradations=[e.to_dict() for e in get_log().events()],
             serving=_serving_section(registry),
         )
@@ -113,6 +118,7 @@ class RunReport:
             "spans": [s.to_dict() for s in self.spans],
             "metrics": self.metrics,
             "dropped_spans": self.dropped_spans,
+            "orphan_spans": self.orphan_spans,
             "degradations": list(self.degradations),
             "serving": dict(self.serving),
             # The human-readable summary, via the shared table path.
@@ -127,6 +133,7 @@ class RunReport:
             spans=[Span.from_dict(s) for s in data.get("spans", [])],
             metrics=dict(data.get("metrics", {})),
             dropped_spans=data.get("dropped_spans", 0),
+            orphan_spans=data.get("orphan_spans", 0),
             degradations=[dict(d) for d in data.get("degradations", [])],
             serving=dict(data.get("serving", {})),
         )
@@ -147,6 +154,13 @@ class RunReport:
     @classmethod
     def load(cls, path: str | Path) -> "RunReport":
         return cls.from_json(Path(path).read_text())
+
+    def save_trace(self, path: str | Path) -> Path:
+        """Write the span trees as a Chrome trace-event / Perfetto JSON
+        file alongside the report (see repro.obs.export)."""
+        from repro.obs.export import save_chrome_trace
+
+        return save_chrome_trace(path, self.spans, process_name=self.name)
 
     # -- rendering ----------------------------------------------------------
 
@@ -171,6 +185,12 @@ class RunReport:
 
     def spans_text(self) -> str:
         return "\n".join(s.render() for s in self.spans)
+
+    def timeline(self, width: int = 64) -> str:
+        """Text flame/timeline rendering of the span trees."""
+        from repro.obs.export import render_timeline
+
+        return render_timeline(self.spans, width=width)
 
     def degradations_text(self, limit: int = 50) -> str:
         lines = [f"degradations: {len(self.degradations)}"]

@@ -1,6 +1,6 @@
-"""Tracing: nested, timed span trees with a thread-local active-span stack.
+"""Tracing: nested, timed span trees with cross-thread trace propagation.
 
-The API is a single context manager::
+The everyday API is still a single context manager::
 
     from repro.obs import span
 
@@ -10,21 +10,79 @@ The API is a single context manager::
 
 Spans opened while another span is active on the *same thread* become
 children of that span; spans opened with no active parent become roots and
-are collected by the process-global :class:`Tracer`.  A
-:class:`~repro.obs.report.RunReport` snapshots the tracer's finished roots
-into JSON.
+are collected by the process-global :class:`Tracer`.
 
-Overhead is two ``perf_counter`` calls and a couple of list operations per
-span; instrumented hot paths stay within noise (see docs/observability.md).
+v2 adds **trace-context propagation**, the in-process analogue of
+distributed tracing:
+
+- every span carries ``trace_id`` / ``span_id`` / ``parent_id``;
+- :class:`TraceContext` names a position in a trace and travels through
+  plain dict carriers via :func:`inject` / :func:`extract` (a W3C
+  ``traceparent``-style string plus baggage), e.g. riding on
+  ``serving.Request.trace``;
+- :func:`activate` installs an extracted context on the current thread, so
+  a span opened on a worker thread attaches under its logical parent from
+  another thread — one serving request renders as a single span tree
+  across admission → queue → batch → backend → cache;
+- :meth:`Tracer.start_span` / :meth:`Tracer.finish_span` are the manual
+  (non-context-manager) form for spans whose lifetime crosses function
+  boundaries (a request span opened at submit, finished at resolution);
+- :meth:`Tracer.record` attaches an already-measured duration as a
+  finished span (queue wait, externally-timed phases).
+
+Cross-thread attachment works through a span index the tracer maintains
+for every retained trace; a finished span whose remote parent has been
+evicted (or never existed) becomes a root and bumps the ``orphans``
+counter.  Roots are capped (FIFO) so a long-lived process cannot grow
+without bound; the number of dropped roots is reported in snapshots and
+the index entries of evicted trees are purged with them.
+
+Tracing can be disabled wholesale (``set_enabled(False)`` or the
+``REPRO_OBS_SPANS=0`` environment variable): every entry point then hands
+back a shared no-op span, which is how the CI overhead gate measures the
+instrumentation tax.  Overhead when enabled is two ``perf_counter`` calls,
+an id allocation and a couple of dict/list operations per span.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
+
+#: Carrier key for the ``<trace_id>-<span_id>`` position string.
+TRACEPARENT_KEY = "traceparent"
+#: Carrier key for propagated baggage (a flat str->str dict).
+BAGGAGE_KEY = "baggage"
+
+_IDS = itertools.count(1)
+
+
+def _new_id() -> str:
+    """A short process-unique hex id (``itertools.count`` is atomic)."""
+    return f"{next(_IDS):012x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A position inside a trace: which trace, which span, plus baggage."""
+
+    trace_id: str
+    span_id: str
+    baggage: tuple[tuple[str, str], ...] = ()
+
+    def with_baggage(self, **items: str) -> "TraceContext":
+        merged = dict(self.baggage)
+        merged.update({k: str(v) for k, v in items.items()})
+        return TraceContext(self.trace_id, self.span_id,
+                            tuple(sorted(merged.items())))
+
+    def baggage_dict(self) -> dict[str, str]:
+        return dict(self.baggage)
 
 
 @dataclass
@@ -36,6 +94,10 @@ class Span:
     children: list["Span"] = field(default_factory=list)
     start: float = 0.0           # perf_counter seconds (monotonic)
     duration: float | None = None  # None while still open
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str | None = None
+    thread_id: int = 0
 
     def set(self, **attributes: Any) -> "Span":
         """Attach attributes to the span; returns self for chaining."""
@@ -45,6 +107,11 @@ class Span:
     @property
     def finished(self) -> bool:
         return self.duration is not None
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's position as a propagatable :class:`TraceContext`."""
+        return TraceContext(self.trace_id, self.span_id)
 
     def total_descendants(self) -> int:
         return len(self.children) + sum(
@@ -61,6 +128,12 @@ class Span:
                 return found
         return None
 
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over self and every descendant."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
             "name": self.name,
@@ -68,6 +141,13 @@ class Span:
         }
         if self.attributes:
             out["attributes"] = dict(self.attributes)
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+            out["start_s"] = self.start
+            out["thread_id"] = self.thread_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
@@ -79,6 +159,11 @@ class Span:
             attributes=dict(data.get("attributes", {})),
             children=[cls.from_dict(c) for c in data.get("children", [])],
             duration=data.get("duration_s"),
+            start=data.get("start_s", 0.0),
+            trace_id=data.get("trace_id", ""),
+            span_id=data.get("span_id", ""),
+            parent_id=data.get("parent_id"),
+            thread_id=data.get("thread_id", 0),
         )
 
     def render(self, indent: int = 0) -> str:
@@ -94,38 +179,80 @@ class Span:
         return "\n".join(lines)
 
 
+class _NoopSpan(Span):
+    """The shared span handed out while tracing is disabled."""
+
+    def __init__(self):
+        super().__init__(name="noop", duration=0.0)
+
+    def set(self, **attributes: Any) -> "Span":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
 class Tracer:
     """Collects finished root spans; one per process (see :func:`get_tracer`).
 
     Roots are capped (FIFO) so a long-lived process cannot grow without
-    bound; the number of dropped roots is reported in snapshots.
+    bound; the number of dropped roots is reported in snapshots and the
+    span index entries of every evicted tree are purged alongside it.
     """
 
-    def __init__(self, max_roots: int = 4096):
+    def __init__(self, max_roots: int = 4096, enabled: bool | None = None):
         self.max_roots = max_roots
         self._lock = threading.Lock()
         self._roots: list[Span] = []
         self.dropped = 0
+        #: Finished spans whose remote parent could not be found (evicted,
+        #: reset, or never recorded) — they were promoted to roots instead.
+        self.orphans = 0
         self._local = threading.local()
+        #: span_id -> Span for every span of every retained trace, the
+        #: lookup cross-thread attachment uses.
+        self._index: dict[str, Span] = {}
+        if enabled is None:
+            enabled = os.environ.get("REPRO_OBS_SPANS", "") not in ("0", "off")
+        self.enabled = enabled
 
-    # -- thread-local active-span stack -------------------------------------
+    # -- thread-local active stack (open spans + activated contexts) --------
 
-    def _stack(self) -> list[Span]:
+    def _stack(self) -> list[Any]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
 
     def current(self) -> Span | None:
-        """The innermost open span on this thread, or None."""
+        """The innermost open span on this thread, or None.
+
+        An activated remote :class:`TraceContext` is *not* a span — there
+        is nothing to attach attributes to — so it reports None.
+        """
         stack = self._stack()
-        return stack[-1] if stack else None
+        top = stack[-1] if stack else None
+        return top if isinstance(top, Span) else None
+
+    def current_context(self) -> TraceContext | None:
+        """The innermost trace position on this thread (span or activated
+        context), or None when no trace is active."""
+        stack = self._stack()
+        if not stack:
+            return None
+        top = stack[-1]
+        return top.context if isinstance(top, Span) else top
+
+    # -- span lifecycle ------------------------------------------------------
 
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
-        node = Span(name=name, attributes=attributes)
+        if not self.enabled:
+            yield _NOOP
+            return
         stack = self._stack()
         parent = stack[-1] if stack else None
+        node = self._open(name, parent, attributes)
         stack.append(node)
         node.start = time.perf_counter()
         try:
@@ -133,18 +260,119 @@ class Tracer:
         finally:
             node.duration = time.perf_counter() - node.start
             stack.pop()
-            if parent is not None:
-                parent.children.append(node)
-            else:
-                self._add_root(node)
+            self._close(node, parent)
+
+    @contextmanager
+    def activate(self, ctx: TraceContext | None) -> Iterator[None]:
+        """Install a remote trace position on this thread.
+
+        Spans opened while the context is innermost become its children
+        even though the parent span lives on (or lived on) another thread.
+        ``None`` deactivates nothing and is allowed so call sites can pass
+        an optional context through unconditionally.
+        """
+        if not self.enabled or ctx is None:
+            yield
+            return
+        stack = self._stack()
+        stack.append(ctx)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def start_span(self, name: str, parent: TraceContext | None = None,
+                   **attributes: Any) -> Span:
+        """Open a span *without* putting it on this thread's stack.
+
+        The manual form for spans whose lifetime crosses function (or
+        thread) boundaries — finish with :meth:`finish_span`.  ``parent``
+        anchors it in an existing trace; None starts a new trace.
+        """
+        if not self.enabled:
+            return _NOOP
+        node = self._open(name, parent, attributes)
+        node.start = time.perf_counter()
+        return node
+
+    def finish_span(self, span: Span, **attributes: Any) -> None:
+        """Finish a span opened by :meth:`start_span` (idempotent)."""
+        if span is _NOOP or span.finished:
+            return
+        span.attributes.update(attributes)
+        span.duration = time.perf_counter() - span.start
+        # Manual spans always attach by id (their parent, if any, was given
+        # as a TraceContext), so replay the remote-parent path.
+        parent_ctx = (TraceContext(span.trace_id, span.parent_id)
+                      if span.parent_id is not None else None)
+        self._close(span, parent_ctx)
+
+    def record(self, name: str, duration: float,
+               parent: TraceContext | None = None, **attributes: Any) -> Span:
+        """Attach an already-measured duration as a finished span.
+
+        For phases timed by other means (queue waits measured on the
+        serving clock, imported timings): the span is created finished and
+        attached under ``parent`` (or becomes a root).
+        """
+        if not self.enabled:
+            return _NOOP
+        node = self._open(name, parent, attributes)
+        node.duration = float(duration)
+        self._close(node, parent)
+        return node
+
+    # -- internals -----------------------------------------------------------
+
+    def _open(self, name: str, parent: Any, attributes: dict[str, Any]) -> Span:
+        node = Span(name=name, attributes=attributes,
+                    span_id=_new_id(), thread_id=threading.get_ident())
+        if isinstance(parent, Span):
+            node.trace_id = parent.trace_id
+            node.parent_id = parent.span_id
+        elif isinstance(parent, TraceContext):
+            node.trace_id = parent.trace_id
+            node.parent_id = parent.span_id
+        else:
+            node.trace_id = _new_id()
+        self._index[node.span_id] = node
+        return node
+
+    def _close(self, node: Span, parent: Any) -> None:
+        if isinstance(parent, Span):
+            # Same-thread nesting: the parent is still open on this thread's
+            # stack, so the eager append cannot race its own finish.
+            parent.children.append(node)
+        elif isinstance(parent, TraceContext):
+            self._attach_remote(node, parent)
+        else:
+            self._add_root(node)
+
+    def _attach_remote(self, node: Span, ctx: TraceContext) -> None:
+        with self._lock:
+            target = self._index.get(ctx.span_id)
+            if target is not None:
+                target.children.append(node)
+                return
+        # Parent evicted/reset before the child finished: promote to root.
+        self.orphans += 1
+        node.set(orphaned=True)
+        self._add_root(node)
 
     def _add_root(self, node: Span) -> None:
         with self._lock:
             self._roots.append(node)
             overflow = len(self._roots) - self.max_roots
             if overflow > 0:
+                for evicted in self._roots[:overflow]:
+                    self._forget(evicted)
                 del self._roots[:overflow]
                 self.dropped += overflow
+
+    def _forget(self, root: Span) -> None:
+        """Purge an evicted tree's ids from the cross-thread index."""
+        for span in root.walk():
+            self._index.pop(span.span_id, None)
 
     # -- inspection / lifecycle ---------------------------------------------
 
@@ -164,13 +392,16 @@ class Tracer:
         """Drop all collected roots (open spans on live stacks survive)."""
         with self._lock:
             self._roots.clear()
+            self._index.clear()
             self.dropped = 0
+            self.orphans = 0
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
             return {
                 "roots": [r.to_dict() for r in self._roots],
                 "dropped": self.dropped,
+                "orphans": self.orphans,
             }
 
 
@@ -190,3 +421,56 @@ def span(name: str, **attributes: Any):
 def current_span() -> Span | None:
     """The innermost open span on the calling thread, or None."""
     return _TRACER.current()
+
+
+def current_context() -> TraceContext | None:
+    """The calling thread's trace position, or None outside any trace."""
+    return _TRACER.current_context()
+
+
+def activate(ctx: TraceContext | None):
+    """Install a (possibly None) remote context on the calling thread."""
+    return _TRACER.activate(ctx)
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable/disable span creation (metrics are unaffected)."""
+    _TRACER.enabled = bool(enabled)
+
+
+def inject(ctx: TraceContext | None = None,
+           carrier: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Write a trace position into a dict carrier and return the carrier.
+
+    Defaults to the calling thread's current context; a no-op (returning
+    the carrier unchanged) when there is no context to propagate.
+    """
+    if carrier is None:
+        carrier = {}
+    if ctx is None:
+        ctx = current_context()
+    if ctx is None:
+        return carrier
+    carrier[TRACEPARENT_KEY] = f"{ctx.trace_id}-{ctx.span_id}"
+    if ctx.baggage:
+        carrier[BAGGAGE_KEY] = ctx.baggage_dict()
+    return carrier
+
+
+def extract(carrier: dict[str, Any] | None) -> TraceContext | None:
+    """Read a trace position out of a dict carrier, or None if absent."""
+    if not carrier:
+        return None
+    header = carrier.get(TRACEPARENT_KEY)
+    if not isinstance(header, str) or "-" not in header:
+        return None
+    trace_id, _, span_id = header.partition("-")
+    if not trace_id or not span_id:
+        return None
+    baggage = carrier.get(BAGGAGE_KEY) or {}
+    if not isinstance(baggage, dict):
+        baggage = {}
+    return TraceContext(
+        trace_id, span_id,
+        tuple(sorted((str(k), str(v)) for k, v in baggage.items())),
+    )

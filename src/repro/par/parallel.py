@@ -23,19 +23,21 @@ bit-for-bit reproducible:
   index once the pool drains, so the surfaced exception is deterministic
   even when chunks race.
 
-Observability: the calling thread opens a ``par.map`` span; each chunk
-runs under its own ``par.chunk`` span (a root span when executed on a
-worker thread) and feeds the ``par.items`` / ``par.chunks`` /
+Observability: the calling thread opens a ``par.map`` span whose
+:class:`~repro.obs.tracing.TraceContext` travels into the workers, so each
+``par.chunk`` span attaches under it even across threads (one tree per
+map, serial or pooled), and feeds the ``par.items`` / ``par.chunks`` /
 ``par.degraded`` counters and the ``par.chunk.seconds`` histogram.
 """
 
 from __future__ import annotations
 
 import threading
-import time
+from contextlib import nullcontext
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.obs import metrics, tracing
+from repro.obs.instrument import timed
 from repro.resilience import RetryPolicy, degradation
 from repro.par.pool import WorkerPool
 
@@ -102,14 +104,18 @@ class ParallelMap:
         errors: dict[int, BaseException] = {}
         with tracing.span("par.map", label=label, items=len(items),
                           workers=self.workers, chunks=len(chunks)) as span:
+            # The map span's position, carried into worker threads so each
+            # par.chunk attaches under it instead of orphaning as a root.
+            ctx = tracing.current_context()
             if self.workers <= 0 or len(chunks) == 1:
                 for index, (lo, hi) in enumerate(chunks):
                     self._run_chunk(fn, items, index, lo, hi, results,
-                                    errors, label)
+                                    errors, label, ctx)
                     if errors and self.on_error == "raise":
                         break  # fail fast in serial mode
             else:
-                self._run_pooled(fn, items, chunks, results, errors, label)
+                self._run_pooled(fn, items, chunks, results, errors, label,
+                                 ctx)
             span.set(errors=len(errors))
         if errors and self.on_error == "raise":
             raise errors[min(errors)]
@@ -123,7 +129,8 @@ class ParallelMap:
 
     def _run_pooled(self, fn, items: Sequence[Any],
                     chunks: list[tuple[int, int]], results: list[Any],
-                    errors: dict[int, BaseException], label: str) -> None:
+                    errors: dict[int, BaseException], label: str,
+                    ctx: tracing.TraceContext | None) -> None:
         lock = threading.Lock()
         cursor = iter(enumerate(chunks))
 
@@ -136,7 +143,7 @@ class ParallelMap:
 
             def work() -> None:
                 self._run_chunk(fn, items, index, lo, hi, results, errors,
-                                label)
+                                label, ctx)
 
             return work
 
@@ -146,10 +153,15 @@ class ParallelMap:
 
     def _run_chunk(self, fn, items: Sequence[Any], index: int, lo: int,
                    hi: int, results: list[Any],
-                   errors: dict[int, BaseException], label: str) -> None:
-        start = time.perf_counter()
-        with tracing.span("par.chunk", label=label, chunk=index,
-                          size=hi - lo):
+                   errors: dict[int, BaseException], label: str,
+                   ctx: tracing.TraceContext | None = None) -> None:
+        # On a worker thread there is no active span, so activate the
+        # caller's par.map context; serially the map span is already the
+        # innermost parent and activation would only duplicate it.
+        scope = (tracing.activate(ctx) if tracing.current_span() is None
+                 else nullcontext())
+        with scope, timed("par.chunk.seconds", span_name="par.chunk",
+                          label=label, chunk=index, size=hi - lo):
             metrics.counter("par.chunks").inc()
             for i in range(lo, hi):
                 try:
@@ -165,9 +177,6 @@ class ParallelMap:
                         action="fallback", error=str(exc),
                     )
                 metrics.counter("par.items").inc()
-        metrics.histogram("par.chunk.seconds").observe(
-            time.perf_counter() - start
-        )
 
     def _call_one(self, fn, item: Any, label: str) -> Any:
         if self.retry is None:

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import hashlib
 import threading
-import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -21,6 +20,7 @@ from repro.ml.metrics import accuracy
 from repro.ml.models import Classifier, LogisticRegression
 from repro.ml.selection import kfold_indices
 from repro.obs import metrics, tracing
+from repro.obs.instrument import timed
 from repro.pipelines.operators import STAGES, Operator
 from repro.resilience import RetryPolicy, degradation, faults, is_transient
 
@@ -82,41 +82,39 @@ class PrepPipeline:
                X_test: np.ndarray,
                on_error: str = "raise") -> tuple[np.ndarray, np.ndarray]:
         for op in self.operators:
-            start = time.perf_counter()
-            try:
-                def attempt() -> tuple[np.ndarray, np.ndarray]:
-                    faults.point("pipeline.operator")
-                    return op.apply(X_train, y_train, X_test)
+            # timed() observes the histogram in a finally, so the degrade
+            # and re-raise exits below all still record the stage latency.
+            with timed(f"pipeline.op.{op.stage}.seconds"):
+                try:
+                    def attempt() -> tuple[np.ndarray, np.ndarray]:
+                        faults.point("pipeline.operator")
+                        return op.apply(X_train, y_train, X_test)
 
-                new_train, new_test = OPERATOR_RETRY.call(
-                    attempt, name="pipeline.op"
-                )
-                if new_train.shape[1] == 0:
-                    raise PipelineError(
-                        f"operator {op.name} removed every feature"
+                    new_train, new_test = OPERATOR_RETRY.call(
+                        attempt, name="pipeline.op"
                     )
-            except Exception as exc:  # noqa: BLE001 - degrade or re-raise
-                metrics.counter("pipeline.op.failures").inc()
-                if on_error == "raise":
-                    if isinstance(exc, PipelineError):
-                        raise
-                    raise PipelineError(
-                        f"operator {op.name} failed: {exc}"
-                    ) from exc
-                metrics.counter("pipeline.op.degraded").inc()
-                degradation.record(
-                    component="pipeline", point=f"{op.stage}:{op.name}",
-                    action="skipped" if on_error == "skip" else "identity",
-                    error=str(exc), transient=is_transient(exc),
-                )
-                if on_error == "identity":
-                    return X_train, X_test
-                continue  # skip: leave features unchanged, run later stages
-            finally:
-                metrics.histogram(f"pipeline.op.{op.stage}.seconds").observe(
-                    time.perf_counter() - start
-                )
-            X_train, X_test = new_train, new_test
+                    if new_train.shape[1] == 0:
+                        raise PipelineError(
+                            f"operator {op.name} removed every feature"
+                        )
+                except Exception as exc:  # noqa: BLE001 - degrade or re-raise
+                    metrics.counter("pipeline.op.failures").inc()
+                    if on_error == "raise":
+                        if isinstance(exc, PipelineError):
+                            raise
+                        raise PipelineError(
+                            f"operator {op.name} failed: {exc}"
+                        ) from exc
+                    metrics.counter("pipeline.op.degraded").inc()
+                    degradation.record(
+                        component="pipeline", point=f"{op.stage}:{op.name}",
+                        action="skipped" if on_error == "skip" else "identity",
+                        error=str(exc), transient=is_transient(exc),
+                    )
+                    if on_error == "identity":
+                        return X_train, X_test
+                    continue  # skip: leave features as-is, run later stages
+                X_train, X_test = new_train, new_test
         return X_train, X_test
 
 

@@ -10,7 +10,6 @@ Two task shapes cover the tutorial's applications:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,6 +18,7 @@ from repro.errors import NotFittedError
 from repro.nn.functional import cross_entropy
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.obs import metrics, tracing
+from repro.obs.instrument import timed
 from repro.plm.model import ClassifierHead, MiniBert
 
 
@@ -49,12 +49,11 @@ class _BertClassifierBase:
                   epochs: int, batch_size: int) -> FinetuneReport:
         n = len(labels)
         losses = []
-        epoch_hist = metrics.histogram("plm.finetune.epoch_seconds")
         with tracing.span("plm.finetune", classifier=type(self).__name__,
                           examples=n, epochs=epochs) as span:
             for epoch in range(epochs):
-                with tracing.span("plm.finetune.epoch", epoch=epoch):
-                    epoch_start = time.perf_counter()
+                with timed("plm.finetune.epoch_seconds",
+                           span_name="plm.finetune.epoch", epoch=epoch):
                     order = self._rng.permutation(n)
                     for lo in range(0, n, batch_size):
                         batch = order[lo : lo + batch_size]
@@ -71,7 +70,6 @@ class _BertClassifierBase:
                         self._optimizer.step()
                         losses.append(loss.item())
                     metrics.counter("plm.finetune.epochs").inc()
-                    epoch_hist.observe(time.perf_counter() - epoch_start)
             if losses:
                 span.set(initial_loss=losses[0], final_loss=losses[-1])
         self.fitted = True

@@ -7,7 +7,6 @@ only.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +16,7 @@ from repro.nn.functional import log_softmax
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor
 from repro.obs import metrics, tracing
+from repro.obs.instrument import timed
 from repro.plm.model import MiniBert, MLMHead
 
 
@@ -124,23 +124,21 @@ class MLMPretrainer:
             encoded = self.model.batch_encode(corpus)
             all_ids, all_masks = encoded
             losses = []
-            step_hist = metrics.histogram("plm.pretrain.step_seconds")
             step_counter = metrics.counter("plm.pretrain.steps")
             for _ in range(steps):
-                step_start = time.perf_counter()
-                idx = self._rng.integers(0, len(corpus), size=batch_size)
-                ids, mask = all_ids[idx], all_masks[idx]
-                corrupted, labels = self.corruption(ids, mask)
-                loss = self.loss_on(corrupted, mask, labels)
-                if loss is None:
-                    continue
-                self._optimizer.zero_grad()
-                loss.backward()
-                clip_grad_norm(self._optimizer.parameters, 5.0)
-                self._optimizer.step()
-                losses.append(loss.item())
-                step_counter.inc()
-                step_hist.observe(time.perf_counter() - step_start)
+                with timed("plm.pretrain.step_seconds"):
+                    idx = self._rng.integers(0, len(corpus), size=batch_size)
+                    ids, mask = all_ids[idx], all_masks[idx]
+                    corrupted, labels = self.corruption(ids, mask)
+                    loss = self.loss_on(corrupted, mask, labels)
+                    if loss is None:
+                        continue
+                    self._optimizer.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(self._optimizer.parameters, 5.0)
+                    self._optimizer.step()
+                    losses.append(loss.item())
+                    step_counter.inc()
             if losses:
                 span.set(initial_loss=losses[0], final_loss=losses[-1])
             return PretrainReport(losses=losses)

@@ -44,10 +44,15 @@ class Request:
     #: Backend-scoped result-cache key; ``None`` marks the payload uncacheable
     #: (it then also skips single-flight coalescing).
     key: str | None = None
+    #: Trace carrier: user-supplied attributes plus the injected
+    #: ``traceparent`` linking queue/batch spans back to the submit-side
+    #: request span (see repro.obs.tracing.inject/extract).
     trace: dict[str, Any] = field(default_factory=dict)
     id: int = 0
     #: Clock time at admission; queue latency is measured from here.
     enqueued_at: float = 0.0
+    #: The open ``serving.request`` span, finished when the future resolves.
+    span: Any = None
 
     def __post_init__(self):
         if self.priority not in PRIORITIES:

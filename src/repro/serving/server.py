@@ -160,27 +160,43 @@ class Server:
         if self._closed:
             raise ServerClosedError("server is closed")
         metrics.counter("serving.submitted").inc()
+        tracer = tracing.get_tracer()
+        # The request's root span: opened here, finished wherever the future
+        # resolves (possibly a worker thread).  Its context rides the request
+        # carrier so queue/batch spans attach under it across thread hops.
+        root = tracer.start_span("serving.request", parent=tracing.current_context(),
+                                 backend=backend, priority=priority)
         key = entry.backend.cache_key(payload)
         request = Request(
             payload=payload, backend=backend, priority=priority,
             deadline=(Deadline(timeout, clock=self._clock)
                       if timeout is not None else None),
             key=f"{backend}:{key}" if key is not None else None,
-            trace=dict(trace or {}), id=next(self._seq),
+            trace=dict(trace or {}), id=next(self._seq), span=root,
         )
+        tracing.inject(root.context, request.trace)
         future = ResponseFuture()
-        if request.key is not None:
-            hit, value = self.cache.get(request.key)
-            if hit:
-                future.resolve(Response(OK, value=value, backend=backend,
-                                        cache_hit=True))
-                return future
-            if not self._flights.claim(request.key, future):
-                return future  # joined an identical in-flight request
-        with self._cond:
-            reason = entry.scheduler.offer(request, future)
-            if reason is None:
-                self._cond.notify()
+        with tracing.activate(root.context):
+            if request.key is not None:
+                with tracing.span("serving.cache", key=request.key) as cs:
+                    hit, value = self.cache.get(request.key)
+                    cs.set(hit=hit)
+                if hit:
+                    future.resolve(Response(OK, value=value, backend=backend,
+                                            cache_hit=True))
+                    tracer.finish_span(root, status=OK, cache_hit=True)
+                    return future
+                if not self._flights.claim(request.key, future):
+                    # Joined an identical in-flight request; this trace ends
+                    # here — the leader's trace owns the batch spans.
+                    tracer.finish_span(root, status="coalesced")
+                    return future
+            with tracing.span("serving.admission", backend=backend) as asp:
+                with self._cond:
+                    reason = entry.scheduler.offer(request, future)
+                    if reason is None:
+                        self._cond.notify()
+                asp.set(admitted=reason is None)
         if reason is not None:
             self._finish(request, Response(
                 REJECTED, error=f"rejected: {reason}", backend=backend,
@@ -271,22 +287,35 @@ class Server:
     def _execute(self, entry: _BackendEntry, batch: list) -> None:
         name = entry.backend.name
         started = self._clock.monotonic()
-        with tracing.span("serving.batch", backend=name, size=len(batch)):
-            metrics.histogram(f"serving.{name}.batch_size",
-                              buckets=SIZE_BUCKETS).observe(len(batch))
-            live = []
-            for request, future in batch:
-                if request.deadline is not None and request.deadline.expired:
-                    metrics.counter("serving.expired").inc()
-                    self._finish(request, Response(
-                        EXPIRED, error="deadline expired in queue",
-                        backend=name,
-                        queue_seconds=started - request.enqueued_at,
-                    ), future)
-                else:
-                    live.append((request, future))
-            if not live:
-                return
+        tracer = tracing.get_tracer()
+        metrics.histogram(f"serving.{name}.batch_size",
+                          buckets=SIZE_BUCKETS).observe(len(batch))
+        live = []
+        for request, future in batch:
+            # Queue wait, measured on the serving clock and attached to the
+            # request's own trace (extracted from its carrier, so this works
+            # on whichever thread runs the batch).
+            tracer.record("serving.queue", started - request.enqueued_at,
+                          parent=tracing.extract(request.trace), backend=name,
+                          priority=request.priority)
+            if request.deadline is not None and request.deadline.expired:
+                metrics.counter("serving.expired").inc()
+                self._finish(request, Response(
+                    EXPIRED, error="deadline expired in queue",
+                    backend=name,
+                    queue_seconds=started - request.enqueued_at,
+                ), future)
+            else:
+                live.append((request, future))
+        if not live:
+            return
+        # The batch span lands in the first live request's trace; the other
+        # requests in the batch keep their request/queue spans in their own
+        # traces (the batch is shared work, owned by one trace).
+        batch_ctx = tracing.extract(live[0][0].trace)
+        with tracing.activate(batch_ctx), \
+                tracing.span("serving.batch", backend=name, size=len(batch),
+                             requests=len(live)):
             # Dedup identical payloads before dispatch: one backend slot per
             # distinct key (uncacheable requests stay distinct by id).
             groups: dict[Any, list] = {}
@@ -364,6 +393,10 @@ class Server:
                 response.queue_seconds + response.service_seconds
             )
         future.resolve(response)
+        if request.span is not None:
+            tracing.get_tracer().finish_span(
+                request.span, status=response.status, tier=response.tier,
+            )
         if request.key is not None:
             for joiner in self._flights.resolve(request.key):
                 if joiner is not future:

@@ -19,6 +19,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ParseError, SchemaError
+from repro.obs import tracing
 from repro.sql.ast import (
     BinaryOp,
     ColumnRef,
@@ -55,36 +56,154 @@ class Database:
 
     def query(self, sql: str) -> Table:
         """Parse and execute a SELECT statement."""
-        return execute(parse_sql(sql), self)
+        with tracing.span("sql.query", sql=sql.strip()) as s:
+            out = execute(parse_sql(sql), self)
+            s.set(rows_out=out.num_rows)
+        return out
+
+    def explain(self, sql: str, analyze: bool = False) -> str:
+        """EXPLAIN: the stage pipeline the executor will run for ``sql``.
+
+        With ``analyze=True`` the query actually executes and each stage
+        reports its measured rows in/out, selectivity and wall-clock time
+        (the same numbers the ``sql.*`` / ``table.*`` spans carry), followed
+        by the result's per-column statistics
+        (:meth:`~repro.table.Table.stats` — null fractions and distinct
+        counts, the inputs a cost-based planner needs).
+        """
+        query = parse_sql(sql)
+        if not analyze:
+            lines = [f"sql: {sql.strip()}", "plan:"]
+            lines += [f"  -> {step}" for step in _describe(query, self)]
+            return "\n".join(lines)
+        plan: list[dict[str, Any]] = []
+        with tracing.span("sql.explain", sql=sql.strip()):
+            result = execute(query, self, plan=plan)
+        lines = [f"sql: {sql.strip()}", "plan (analyzed):"]
+        for entry in plan:
+            parts = [f"{entry['stage']}"]
+            for key in ("table", "on", "vectorized", "by", "columns",
+                        "limit"):
+                if key in entry:
+                    parts.append(f"{key}={entry[key]}")
+            parts.append(f"rows={entry['rows_in']}->{entry['rows_out']}")
+            if entry.get("selectivity") is not None:
+                parts.append(f"selectivity={entry['selectivity']:.4f}")
+            if entry.get("seconds") is not None:
+                parts.append(f"time={entry['seconds'] * 1e3:.3f}ms")
+            lines.append("  -> " + " ".join(parts))
+        lines.append(
+            f"result: {result.num_rows} rows x {result.num_columns} columns"
+        )
+        lines.append(result.explain())
+        return "\n".join(lines)
 
 
-def execute(query: Query, db: Database) -> Table:
+def _describe(query: Query, db: Database) -> list[str]:
+    """Static (pre-execution) stage descriptions for EXPLAIN."""
+    steps = []
     table = db.table(query.table)
+    steps.append(f"scan {query.table} ({table.num_rows} rows)")
     for join in query.joins:
-        table = table.join(
-            db.table(join.table), on=[(join.left_col, join.right_col)]
+        right = db.table(join.table)
+        steps.append(
+            f"join {join.table} on {join.left_col}={join.right_col} "
+            f"({right.num_rows} rows)"
         )
     if query.where is not None:
-        keep = _where_mask(query.where, table)
-        if keep is None:                 # opaque expression — row fallback
-            table = table.select(lambda row: bool(_eval(query.where, row)))
-        else:
-            table = table.filter(keep)
+        steps.append("filter (WHERE)")
     if query.group_by or _has_aggregate(query):
-        table = _aggregate(query, table)
+        by = ", ".join(query.group_by) if query.group_by else "<all rows>"
+        steps.append(f"aggregate by {by}")
+    if query.order_by is not None:
+        column, descending = query.order_by
+        steps.append(f"sort by {column} {'desc' if descending else 'asc'}")
+    if not query.select_star and not (query.group_by or _has_aggregate(query)):
+        names = [item.alias or _default_name(item.expr)
+                 for item in query.select]
+        steps.append(f"project [{', '.join(names)}]")
+    if query.limit is not None:
+        steps.append(f"limit {query.limit}")
+    return steps
+
+
+def execute(query: Query, db: Database,
+            plan: list[dict[str, Any]] | None = None) -> Table:
+    """Run a parsed query.
+
+    Each stage executes under a ``sql.<stage>`` span carrying actual row
+    counts; when ``plan`` is given (EXPLAIN ANALYZE), one dict per executed
+    stage is appended with the same numbers plus the stage wall-clock.
+    """
+
+    def record(stage: str, span: Any, rows_in: int, rows_out: int,
+               **extra: Any) -> None:
+        if plan is None:
+            return
+        entry: dict[str, Any] = {
+            "stage": stage, "rows_in": rows_in, "rows_out": rows_out,
+        }
+        if span is not None:
+            entry["seconds"] = span.duration
+        entry.update(extra)
+        plan.append(entry)
+
+    table = db.table(query.table)
+    record("scan", None, table.num_rows, table.num_rows, table=query.table)
+    for join in query.joins:
+        rows_in = table.num_rows
+        right = db.table(join.table)
+        with tracing.span("sql.join", table=join.table) as s:
+            table = table.join(right, on=[(join.left_col, join.right_col)])
+            s.set(rows_out=table.num_rows)
+        record("join", s, rows_in, table.num_rows, table=join.table,
+               on=f"{join.left_col}={join.right_col}")
+    if query.where is not None:
+        rows_in = table.num_rows
+        with tracing.span("sql.where") as s:
+            keep = _where_mask(query.where, table)
+            if keep is None:             # opaque expression — row fallback
+                table = table.select(
+                    lambda row: bool(_eval(query.where, row))
+                )
+            else:
+                table = table.filter(keep)
+            selectivity = table.num_rows / rows_in if rows_in else None
+            s.set(rows_out=table.num_rows, vectorized=keep is not None)
+        record("where", s, rows_in, table.num_rows,
+               selectivity=selectivity, vectorized=keep is not None)
+    if query.group_by or _has_aggregate(query):
+        rows_in = table.num_rows
+        with tracing.span("sql.aggregate") as s:
+            table = _aggregate(query, table)
+            s.set(rows_out=table.num_rows)
+        record("aggregate", s, rows_in, table.num_rows,
+               by=",".join(query.group_by) or "<all>")
         if query.order_by is not None:
             column, descending = query.order_by
-            table = table.order_by(column, descending=descending)
+            with tracing.span("sql.sort", by=column) as s:
+                table = table.order_by(column, descending=descending)
+            record("sort", s, table.num_rows, table.num_rows, by=column)
     else:
         # ORDER BY may reference source columns the projection drops, so
         # sort before projecting (standard SQL allows both).
         if query.order_by is not None:
             column, descending = query.order_by
-            table = table.order_by(column, descending=descending)
+            with tracing.span("sql.sort", by=column) as s:
+                table = table.order_by(column, descending=descending)
+            record("sort", s, table.num_rows, table.num_rows, by=column)
         if not query.select_star:
-            table = _project(query.select, table)
+            rows_in = table.num_rows
+            with tracing.span("sql.project") as s:
+                table = _project(query.select, table)
+                s.set(columns=table.num_columns)
+            record("project", s, rows_in, table.num_rows,
+                   columns=table.num_columns)
     if query.limit is not None:
-        table = table.limit(query.limit)
+        rows_in = table.num_rows
+        with tracing.span("sql.limit", limit=query.limit) as s:
+            table = table.limit(query.limit)
+        record("limit", s, rows_in, table.num_rows, limit=query.limit)
     return table
 
 

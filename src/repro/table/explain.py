@@ -1,0 +1,91 @@
+"""Column statistics and EXPLAIN rendering for :class:`~repro.table.Table`.
+
+One vectorized pass per column produces the statistics a cost-based
+optimizer needs (ROADMAP item: SQL planner): row count, null count and
+fraction, distinct-value count, and min/max of the non-null values.
+``Table.stats()`` returns them as plain dicts; ``Table.explain()`` renders
+the same numbers as a fixed-width text report.
+
+The numbers are exact, not sampled — tables here are in-memory and a
+single ``np.unique`` per column is cheap at the scales the library runs.
+The dict shape is part of the EXPLAIN ANALYZE surface: the SQL engine
+embeds it in ``Database.explain(..., analyze=True)`` output, and span
+attributes on ``table.filter`` / ``table.join`` / ``table.group_by``
+(rows in/out, selectivity, match rate) report the same vocabulary at
+execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def _py(value: Any) -> Any:
+    """Numpy scalar -> python scalar (JSON-friendly stats values)."""
+    return value.item() if isinstance(value, np.generic) else value
+
+
+def column_stats(table) -> dict[str, dict[str, Any]]:
+    """Exact per-column statistics: ``{name: {dtype, count, nulls,
+    null_fraction, distinct, min, max}}``.
+
+    ``distinct`` counts distinct non-null values; ``min``/``max`` are
+    ``None`` for all-null columns (and compare lexicographically for str).
+    """
+    out: dict[str, dict[str, Any]] = {}
+    n = table.num_rows
+    for field in table.schema:
+        mask = table.null_mask(field.name)
+        values = table.column_array(field.name)
+        nulls = int(mask.sum())
+        non_null = values[~mask]
+        if len(non_null) == 0:
+            distinct, lo, hi = 0, None, None
+        elif non_null.dtype == object:
+            uniq = set(non_null.tolist())
+            distinct, lo, hi = len(uniq), min(uniq), max(uniq)
+        else:
+            uniq = np.unique(non_null)
+            distinct, lo, hi = len(uniq), _py(uniq[0]), _py(uniq[-1])
+        out[field.name] = {
+            "dtype": field.dtype,
+            "count": n,
+            "nulls": nulls,
+            "null_fraction": (nulls / n) if n else 0.0,
+            "distinct": distinct,
+            "min": lo,
+            "max": hi,
+        }
+    return out
+
+
+def render_stats(table) -> str:
+    """Fixed-width text report of :func:`column_stats`."""
+    stats = column_stats(table)
+    header = ["column", "dtype", "count", "nulls", "null%", "distinct",
+              "min", "max"]
+    rows = [
+        [name, s["dtype"], str(s["count"]), str(s["nulls"]),
+         f"{s['null_fraction'] * 100:.1f}", str(s["distinct"]),
+         _fmt(s["min"]), _fmt(s["max"])]
+        for name, s in stats.items()
+    ]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              if rows else len(header[i]) for i in range(len(header))]
+    line = " | ".join(h.ljust(w) for h, w in zip(header, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rows
+    )
+    title = f"table: {table.num_rows} rows x {table.num_columns} columns"
+    return "\n".join(p for p in (title, line, sep, body) if p)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "∅"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -26,13 +26,13 @@ from __future__ import annotations
 
 import csv
 import io
-import time
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import SchemaError
 from repro.obs import metrics
+from repro.obs.instrument import timed
 from repro.table.column import Column, factorize_objects, row_codes
 from repro.table.schema import Field, Schema, coerce, infer_dtype
 
@@ -45,14 +45,6 @@ _AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
     "max": lambda xs: max(xs) if xs else None,
     "avg": lambda xs: (sum(xs) / len(xs)) if xs else None,
 }
-
-
-def _observe(op: str, start: float, rows_scanned: int) -> None:
-    """Record one hot-op execution in the global metrics registry."""
-    metrics.histogram(f"table.{op}.seconds").observe(
-        time.perf_counter() - start
-    )
-    metrics.counter("table.rows_scanned").inc(rows_scanned)
 
 
 class Table:
@@ -292,6 +284,18 @@ class Table:
         tail = "" if self._num_rows <= max_rows else f"\n… {self._num_rows - max_rows} more rows"
         return f"{line}\n{sep}\n{body}{tail}" if body else f"{line}\n{sep}{tail}"
 
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Exact per-column statistics (see :mod:`repro.table.explain`)."""
+        from repro.table.explain import column_stats
+
+        return column_stats(self)
+
+    def explain(self) -> str:
+        """Text report of the per-column statistics :meth:`stats` computes."""
+        from repro.table.explain import render_stats
+
+        return render_stats(self)
+
     # -- relational operators ---------------------------------------------
 
     def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
@@ -311,16 +315,20 @@ class Table:
 
     def filter(self, keep: Sequence[bool] | np.ndarray) -> "Table":
         """Vectorized row filter by boolean mask (True = keep)."""
-        start = time.perf_counter()
-        keep = np.asarray(keep, dtype=bool)
-        if keep.shape != (self._num_rows,):
-            raise SchemaError(
-                f"filter mask has shape {keep.shape}; table has "
-                f"{self._num_rows} rows"
-            )
-        cols = tuple(c.compress(keep) for c in self._columns)
-        out = Table._trusted(self._schema, cols, num_rows=int(keep.sum()))
-        _observe("filter", start, self._num_rows)
+        with timed("table.filter.seconds", span_name="table.filter") as s:
+            keep = np.asarray(keep, dtype=bool)
+            if keep.shape != (self._num_rows,):
+                raise SchemaError(
+                    f"filter mask has shape {keep.shape}; table has "
+                    f"{self._num_rows} rows"
+                )
+            cols = tuple(c.compress(keep) for c in self._columns)
+            rows_out = int(keep.sum())
+            out = Table._trusted(self._schema, cols, num_rows=rows_out)
+            metrics.counter("table.rows_scanned").inc(self._num_rows)
+            s.set(rows_in=self._num_rows, rows_out=rows_out,
+                  selectivity=(rows_out / self._num_rows
+                               if self._num_rows else None))
         return out
 
     def filter_reference(self, keep: Sequence[bool] | np.ndarray) -> "Table":
@@ -489,56 +497,61 @@ class Table:
         ``suffix``.  Matches for each left row come out in right-row order,
         matching :meth:`join_reference`.
         """
-        start = time.perf_counter()
-        pairs, left_keys, right_keys, out_schema, kept_right_idx = (
-            self._join_plan(other, on, how, suffix)
-        )
-        n_left, n_right = self._num_rows, other._num_rows
+        with timed("table.join.seconds", span_name="table.join",
+                   how=how) as s:
+            pairs, left_keys, right_keys, out_schema, kept_right_idx = (
+                self._join_plan(other, on, how, suffix)
+            )
+            n_left, n_right = self._num_rows, other._num_rows
 
-        l_codes, r_codes, any_null_l = _factorize_key_pairs(
-            [self._columns[j] for j in left_keys],
-            [other._columns[j] for j in right_keys],
-        )
+            l_codes, r_codes, any_null_l = _factorize_key_pairs(
+                [self._columns[j] for j in left_keys],
+                [other._columns[j] for j in right_keys],
+            )
 
-        if r_codes is None:              # keys can never match (str vs number)
-            counts = np.zeros(n_left, dtype=np.int64)
-            lo = np.zeros(n_left, dtype=np.int64)
-            r_sorted = np.empty(0, dtype=np.intp)
-        else:
-            valid_r = np.flatnonzero(~_null_rows(
-                [other._columns[j] for j in right_keys]
-            ))
-            r_sorted = valid_r[np.argsort(r_codes[valid_r], kind="stable")]
-            sorted_codes = r_codes[r_sorted]
-            probe = np.where(any_null_l, np.int64(-1), l_codes)
-            lo = np.searchsorted(sorted_codes, probe, side="left")
-            hi = np.searchsorted(sorted_codes, probe, side="right")
-            counts = np.where(any_null_l, 0, hi - lo)
+            if r_codes is None:          # keys can never match (str vs number)
+                counts = np.zeros(n_left, dtype=np.int64)
+                lo = np.zeros(n_left, dtype=np.int64)
+                r_sorted = np.empty(0, dtype=np.intp)
+            else:
+                valid_r = np.flatnonzero(~_null_rows(
+                    [other._columns[j] for j in right_keys]
+                ))
+                r_sorted = valid_r[np.argsort(r_codes[valid_r], kind="stable")]
+                sorted_codes = r_codes[r_sorted]
+                probe = np.where(any_null_l, np.int64(-1), l_codes)
+                lo = np.searchsorted(sorted_codes, probe, side="left")
+                hi = np.searchsorted(sorted_codes, probe, side="right")
+                counts = np.where(any_null_l, 0, hi - lo)
 
-        if how == "inner":
-            out_counts = counts
-        else:
-            out_counts = np.maximum(counts, 1)
-        total = int(out_counts.sum())
-        left_take = np.repeat(np.arange(n_left), out_counts)
-        offsets = np.cumsum(out_counts) - out_counts
-        within = np.arange(total) - np.repeat(offsets, out_counts)
-        if len(r_sorted):
-            slot = np.minimum(np.repeat(lo, out_counts) + within,
-                              len(r_sorted) - 1)
-            right_take = r_sorted[slot]
-        else:
-            right_take = np.full(total, -1, dtype=np.intp)
-        if how == "left":
-            matched = np.repeat(counts > 0, out_counts)
-            right_take = np.where(matched, right_take, -1)
+            if how == "inner":
+                out_counts = counts
+            else:
+                out_counts = np.maximum(counts, 1)
+            total = int(out_counts.sum())
+            left_take = np.repeat(np.arange(n_left), out_counts)
+            offsets = np.cumsum(out_counts) - out_counts
+            within = np.arange(total) - np.repeat(offsets, out_counts)
+            if len(r_sorted):
+                slot = np.minimum(np.repeat(lo, out_counts) + within,
+                                  len(r_sorted) - 1)
+                right_take = r_sorted[slot]
+            else:
+                right_take = np.full(total, -1, dtype=np.intp)
+            if how == "left":
+                matched = np.repeat(counts > 0, out_counts)
+                right_take = np.where(matched, right_take, -1)
 
-        cols = [c.take(left_take) for c in self._columns]
-        cols += [
-            other._columns[j].take_or_null(right_take) for j in kept_right_idx
-        ]
-        out = Table._trusted(out_schema, tuple(cols), num_rows=total)
-        _observe("join", start, n_left + n_right)
+            cols = [c.take(left_take) for c in self._columns]
+            cols += [
+                other._columns[j].take_or_null(right_take)
+                for j in kept_right_idx
+            ]
+            out = Table._trusted(out_schema, tuple(cols), num_rows=total)
+            metrics.counter("table.rows_scanned").inc(n_left + n_right)
+            s.set(left_rows=n_left, right_rows=n_right, rows_out=total,
+                  match_rate=(int((counts > 0).sum()) / n_left
+                              if n_left else None))
         return out
 
     def join_reference(
@@ -618,59 +631,62 @@ class Table:
         Aggregates skip nulls, per SQL semantics.  Groups come out in
         first-appearance order, matching :meth:`group_by_reference`.
         """
-        start = time.perf_counter()
-        keys = list(keys)
-        key_idx = [self._schema.index_of(k) for k in keys]
-        agg_specs = []
-        for fn, col, out in aggregates:
-            if fn not in _AGGREGATES:
-                raise SchemaError(
-                    f"unknown aggregate {fn!r}; options: {sorted(_AGGREGATES)}"
-                )
-            agg_specs.append((fn, self._schema.index_of(col), col, out))
-        out_fields = self._group_fields(keys, aggregates)
+        with timed("table.group_by.seconds", span_name="table.group_by") as s:
+            keys = list(keys)
+            key_idx = [self._schema.index_of(k) for k in keys]
+            agg_specs = []
+            for fn, col, out in aggregates:
+                if fn not in _AGGREGATES:
+                    raise SchemaError(
+                        f"unknown aggregate {fn!r}; "
+                        f"options: {sorted(_AGGREGATES)}"
+                    )
+                agg_specs.append((fn, self._schema.index_of(col), col, out))
+            out_fields = self._group_fields(keys, aggregates)
 
-        n = self._num_rows
-        if n == 0:
-            _observe("group_by", start, 0)
-            return Table.empty(Schema(out_fields))
+            n = self._num_rows
+            if n == 0:
+                s.set(rows_in=0, groups=0)
+                return Table.empty(Schema(out_fields))
 
-        if key_idx:
-            codes = row_codes([self._columns[j] for j in key_idx])
-        else:
-            codes = np.zeros(n, dtype=np.int64)
-        # One stable sort by group code, shared by every aggregate; within a
-        # group the original row order survives, matching the reference.
-        # Codes are dense (every value in [0, num_groups) occupied), so the
-        # segment boundaries of the sorted codes enumerate the groups and
-        # the first row of each segment is the group's first appearance.
-        order = np.argsort(codes, kind="stable")
-        sorted_gids = codes[order]
-        starts = np.flatnonzero(
-            np.r_[True, sorted_gids[1:] != sorted_gids[:-1]]
-        )
-        num_groups = len(starts)
-        first_idx = order[starts]
-        # Output groups in first-appearance order.
-        appearance = np.argsort(first_idx, kind="stable")
-        position = np.empty(num_groups, dtype=np.int64)
-        position[appearance] = np.arange(num_groups)
+            if key_idx:
+                codes = row_codes([self._columns[j] for j in key_idx])
+            else:
+                codes = np.zeros(n, dtype=np.int64)
+            # One stable sort by group code, shared by every aggregate;
+            # within a group the original row order survives, matching the
+            # reference.  Codes are dense (every value in [0, num_groups)
+            # occupied), so the segment boundaries of the sorted codes
+            # enumerate the groups and the first row of each segment is the
+            # group's first appearance.
+            order = np.argsort(codes, kind="stable")
+            sorted_gids = codes[order]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_gids[1:] != sorted_gids[:-1]]
+            )
+            num_groups = len(starts)
+            first_idx = order[starts]
+            # Output groups in first-appearance order.
+            appearance = np.argsort(first_idx, kind="stable")
+            position = np.empty(num_groups, dtype=np.int64)
+            position[appearance] = np.arange(num_groups)
 
-        out_cols = [
-            self._columns[j].take(first_idx[appearance]) for j in key_idx
-        ]
-        field_iter = iter(out_fields[len(keys):])
-        for fn, j, _colname, _out in agg_specs:
-            field = next(field_iter)
-            col = self._columns[j]
-            grouped = _segment_aggregate(fn, col, sorted_gids, order,
-                                         num_groups, position)
-            coerced = [None if v is None else coerce(v, field.dtype)
-                       for v in grouped]
-            out_cols.append(Column.build(coerced, field.dtype))
-        out = Table._trusted(Schema(out_fields), tuple(out_cols),
-                             num_rows=num_groups)
-        _observe("group_by", start, n)
+            out_cols = [
+                self._columns[j].take(first_idx[appearance]) for j in key_idx
+            ]
+            field_iter = iter(out_fields[len(keys):])
+            for fn, j, _colname, _out in agg_specs:
+                field = next(field_iter)
+                col = self._columns[j]
+                grouped = _segment_aggregate(fn, col, sorted_gids, order,
+                                             num_groups, position)
+                coerced = [None if v is None else coerce(v, field.dtype)
+                           for v in grouped]
+                out_cols.append(Column.build(coerced, field.dtype))
+            out = Table._trusted(Schema(out_fields), tuple(out_cols),
+                                 num_rows=num_groups)
+            metrics.counter("table.rows_scanned").inc(n)
+            s.set(rows_in=n, groups=num_groups)
         return out
 
     def group_by_reference(

@@ -1,0 +1,349 @@
+"""Trace propagation, exporters, and the single-trace serving guarantee.
+
+The PR-6 acceptance criteria live here: a ``TraceContext`` survives an
+``inject``/``extract`` round trip through a dict carrier, ``activate``
+re-parents spans across thread hops, evicted parents promote their late
+children to *orphan* roots (never leaking the span index), and one
+``Server.submit`` produces exactly one exported trace tree containing the
+admission, queue, batch, backend and cache stages across thread
+boundaries.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import tracing
+from repro.obs.export import chrome_trace, render_timeline, save_chrome_trace
+from repro.obs.tracing import TraceContext, Tracer
+from repro.par import ParallelMap
+from repro.resilience.degradation import get_log, record
+from repro.serving import Backend, Server
+
+
+class TestTraceContext:
+    def test_inject_extract_round_trip(self):
+        ctx = TraceContext("t1", "s1", (("tenant", "acme"),))
+        carrier: dict = {}
+        tracing.inject(ctx, carrier)
+        clone = tracing.extract(carrier)
+        assert clone == ctx
+        assert carrier[tracing.TRACEPARENT_KEY] == "t1-s1"
+
+    def test_extract_tolerates_garbage(self):
+        assert tracing.extract(None) is None
+        assert tracing.extract({}) is None
+        assert tracing.extract({tracing.TRACEPARENT_KEY: "no-separator"
+                                .replace("-", "")}) is None
+        assert tracing.extract({tracing.TRACEPARENT_KEY: "-orphaned"}) is None
+        assert tracing.extract({tracing.TRACEPARENT_KEY: 42}) is None
+        # Malformed baggage degrades to empty, not an error.
+        got = tracing.extract({tracing.TRACEPARENT_KEY: "t-s",
+                               tracing.BAGGAGE_KEY: "not-a-dict"})
+        assert got == TraceContext("t", "s")
+
+    def test_span_context_points_at_itself(self):
+        with obs.span("ctx.owner") as s:
+            ctx = s.context
+        assert ctx.trace_id == s.trace_id
+        assert ctx.span_id == s.span_id
+
+    def test_inject_defaults_to_active_span(self):
+        with obs.span("active") as s:
+            carrier: dict = {}
+            tracing.inject(carrier=carrier)
+            assert tracing.extract(carrier).span_id == s.span_id
+
+
+class TestCrossThreadPropagation:
+    def test_activate_reparents_across_threads(self):
+        def worker(ctx):
+            with tracing.activate(ctx):
+                with obs.span("remote.child"):
+                    pass
+
+        with obs.span("local.root") as root:
+            t = threading.Thread(target=worker, args=(root.context,))
+            t.start()
+            t.join()
+        (only_root,) = obs.get_tracer().roots()
+        assert only_root is root
+        child = only_root.find("remote.child")
+        assert child is not None
+        assert child.trace_id == root.trace_id
+        assert child.thread_id != root.thread_id
+
+    def test_record_externally_timed_phase(self):
+        with obs.span("owner") as root:
+            pass
+        obs.get_tracer().record("ext.phase", 0.125, parent=root.context,
+                                stage="queue")
+        phase = root.find("ext.phase")
+        assert phase is not None and phase.finished
+        assert phase.duration == pytest.approx(0.125)
+        assert phase.attributes["stage"] == "queue"
+
+    def test_manual_lifecycle_is_idempotent(self):
+        tracer = obs.get_tracer()
+        span = tracer.start_span("manual", flavor="by-hand")
+        tracer.finish_span(span, status="ok")
+        tracer.finish_span(span, status="overwritten-not")
+        assert span.finished
+        assert span.attributes["status"] == "ok"
+
+    def test_orphaned_child_promotes_to_root(self):
+        tracer = Tracer(max_roots=2)
+        with tracer.span("evicted") as parent:
+            pass
+        late = tracer.start_span("late.child", parent=parent.context)
+        # Push the parent out of the retained-roots window.
+        for i in range(3):
+            with tracer.span(f"filler{i}"):
+                pass
+        tracer.finish_span(late)
+        assert tracer.orphans == 1
+        promoted = tracer.find("late.child")
+        assert promoted is not None
+        assert promoted.attributes.get("orphaned") is True
+        assert tracer.snapshot()["orphans"] == 1
+
+    def test_root_eviction_purges_span_index(self):
+        tracer = Tracer(max_roots=4)
+        for i in range(64):
+            with tracer.span(f"root{i}"):
+                with tracer.span("leaf"):
+                    pass
+        # The index holds only the retained trees, not everything ever
+        # opened — the leak the max-roots cap exists to prevent.
+        assert len(tracer._index) <= 2 * tracer.max_roots
+        assert tracer.dropped == 60
+
+
+class TestDisabledMode:
+    def test_disabled_spans_are_noops(self):
+        obs.set_enabled(False)
+        try:
+            with obs.span("invisible") as s:
+                s.set(ignored=True)
+                assert obs.current_span() is None
+            assert obs.get_tracer().roots() == []
+            assert tracing.current_context() is None
+        finally:
+            obs.set_enabled(True)
+        with obs.span("visible"):
+            pass
+        assert [r.name for r in obs.get_tracer().roots()] == ["visible"]
+
+
+class TestExporters:
+    def _tree(self):
+        with obs.span("request", kind="demo") as root:
+            with obs.span("stage.a"):
+                pass
+            with obs.span("stage.b"):
+                pass
+        return root
+
+    def test_chrome_trace_structure(self):
+        root = self._tree()
+        doc = chrome_trace([root], process_name="unit")
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert {e["name"] for e in slices} == {"request", "stage.a", "stage.b"}
+        req = next(e for e in slices if e["name"] == "request")
+        assert req["args"]["kind"] == "demo"
+        for e in slices:
+            assert e["pid"] == 1
+            assert isinstance(e["ts"], (int, float)) and e["ts"] >= 0
+            assert isinstance(e["dur"], (int, float)) and e["dur"] >= 0
+            # Children start at or after the root and fit inside it.
+            assert e["ts"] + e["dur"] <= req["ts"] + req["dur"] + 1
+
+    def test_save_chrome_trace_round_trips_json(self, tmp_path):
+        root = self._tree()
+        path = save_chrome_trace(tmp_path / "t.json", [root])
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert any(e.get("name") == "request" for e in data["traceEvents"])
+
+    def test_render_timeline_shows_all_spans(self):
+        root = self._tree()
+        text = render_timeline([root], width=32)
+        for name in ("request", "stage.a", "stage.b"):
+            assert name in text
+        # Children render indented under the root.
+        lines = text.splitlines()
+        root_line = next(l for l in lines if "request" in l)
+        child_line = next(l for l in lines if "stage.a" in l)
+        assert len(child_line) - len(child_line.lstrip()) > \
+            len(root_line) - len(root_line.lstrip())
+
+
+class _EchoBackend(Backend):
+    name = "echo"
+
+    def run_batch(self, payloads):
+        return [f"echo:{p}" for p in payloads]
+
+    def cache_key(self, payload):
+        return str(payload)
+
+
+class TestServingSingleTrace:
+    """Acceptance: one submit -> exactly one trace tree spanning admission,
+    queue, batch, backend and cache across thread boundaries."""
+
+    def test_one_submit_one_tree_across_threads(self):
+        server = Server(workers=1, batch_window=0.001, max_batch=8)
+        server.register(_EchoBackend())
+        with server:
+            response = server.submit("echo", "hi").result(5.0)
+        assert response.ok and response.value == "echo:hi"
+
+        roots = [r for r in obs.get_tracer().roots()
+                 if r.name == "serving.request"]
+        assert len(roots) == 1
+        (root,) = roots
+        names = {s.name for s in root.walk()}
+        assert {"serving.cache", "serving.admission", "serving.queue",
+                "serving.batch", "serving.backend"} <= names
+        # Every stage belongs to the same trace...
+        assert {s.trace_id for s in root.walk()} == {root.trace_id}
+        # ...and the tree genuinely crosses the submit->worker thread hop.
+        assert len({s.thread_id for s in root.walk()}) >= 2
+        assert obs.get_tracer().orphans == 0
+        assert root.finished and root.attributes["status"] == "ok"
+
+    def test_cache_hit_resolves_inside_the_request_trace(self):
+        server = Server(workers=0, batch_window=0.0, max_batch=8)
+        server.register(_EchoBackend())
+        server.submit("echo", "warm")
+        server.flush()
+        obs.get_tracer().reset()
+        hit = server.submit("echo", "warm").result(1.0)
+        server.close()
+        assert hit.ok and hit.cache_hit
+        (root,) = [r for r in obs.get_tracer().roots()
+                   if r.name == "serving.request"]
+        cache = root.find("serving.cache")
+        assert cache is not None and cache.attributes["hit"] is True
+        assert root.find("serving.batch") is None
+        assert root.attributes["cache_hit"] is True
+
+    def test_trace_context_flows_from_caller(self):
+        server = Server(workers=0, batch_window=0.0, max_batch=8)
+        server.register(_EchoBackend())
+        with obs.span("caller") as caller:
+            server.submit("echo", "nested")
+            server.flush()
+        server.close()
+        request = caller.find("serving.request")
+        assert request is not None
+        assert request.trace_id == caller.trace_id
+
+
+class TestParMapSingleTree:
+    def test_threaded_chunks_attach_under_map_root(self):
+        pmap = ParallelMap(workers=3, chunk_size=4)
+        out = pmap.map(lambda x: x + 1, range(20))
+        assert out == list(range(1, 21))
+        roots = [r for r in obs.get_tracer().roots() if r.name == "par.map"]
+        assert len(roots) == 1
+        chunks = [s for s in roots[0].walk() if s.name == "par.chunk"]
+        assert len(chunks) == 5
+        assert {c.trace_id for c in chunks} == {roots[0].trace_id}
+        # The tree crosses the caller -> pool-worker thread hop (a fast map
+        # may be drained by a single worker, so only the hop is guaranteed).
+        assert any(c.thread_id != roots[0].thread_id for c in chunks)
+        assert obs.get_tracer().orphans == 0
+
+    def test_serial_mode_builds_the_same_shape(self):
+        ParallelMap(workers=0, chunk_size=4).map(lambda x: x, range(20))
+        (root,) = [r for r in obs.get_tracer().roots() if r.name == "par.map"]
+        assert sum(1 for s in root.walk() if s.name == "par.chunk") == 5
+
+
+class TestHistogramEdgeProperties:
+    """Percentile estimates at exact bucket boundaries (property tests)."""
+
+    BOUNDS = (0.001, 0.01, 0.1, 1.0)
+
+    @given(st.lists(st.sampled_from(BOUNDS), min_size=1, max_size=40),
+           st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_boundary_observations_estimate_upper_bound(self, values, q):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("edge", buckets=self.BOUNDS)
+        for v in values:
+            h.observe(v)
+        estimate = h.quantile(q)
+        exact = sorted(values)[min(len(values) - 1,
+                                   max(0, int(q * len(values) + 1e-9) - 1))]
+        # Upper-bound estimation never under-reports a boundary value...
+        assert estimate >= exact
+        # ...and never exceeds the true maximum (overflow reports max).
+        assert estimate <= h.max
+
+    @given(st.lists(st.floats(min_value=1e-5, max_value=10.0),
+                    min_size=1, max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_quantile_is_monotone_in_q(self, values):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("mono", buckets=self.BOUNDS)
+        for v in values:
+            h.observe(v)
+        qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0]
+        estimates = [h.quantile(q) for q in qs]
+        assert estimates == sorted(estimates)
+        # The p100 estimate is a bucket upper bound: never below the max.
+        assert h.quantile(1.0) >= h.max
+
+
+class TestRunReportRoundTripProperties:
+    """RunReport JSON round trip with serving + degradations populated."""
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=0, max_value=20),
+           st.integers(min_value=0, max_value=10),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_preserves_all_sections(self, submitted, hits,
+                                               misses, events):
+        obs.reset()
+        get_log().reset()
+        obs.counter("serving.submitted").inc(submitted)
+        if hits:
+            obs.counter("serving.cache.hits").inc(hits)
+        if misses:
+            obs.counter("serving.cache.misses").inc(misses)
+        for i in range(events):
+            record(component="pipeline", point=f"impute:op{i}",
+                   action="skipped", error="injected fault", transient=True)
+        with obs.span("rt.root"):
+            with obs.span("rt.child"):
+                pass
+
+        report = obs.RunReport.collect("round-trip")
+        clone = obs.RunReport.from_json(report.to_json())
+
+        assert clone.serving == report.serving
+        assert clone.serving["submitted"] == submitted
+        lookups = hits + misses
+        expected_ratio = hits / lookups if lookups else None
+        assert clone.serving["cache_hit_ratio"] == expected_ratio
+        assert clone.degradations == report.degradations
+        assert len(clone.degradations) == events
+        assert clone.metrics == report.metrics
+        assert clone.orphan_spans == report.orphan_spans
+        assert [s.name for s in clone.spans] == ["rt.root"]
+        assert clone.spans[0].children[0].name == "rt.child"
+        # A second hop through JSON is a fixed point.
+        assert clone.to_json() == obs.RunReport.from_json(clone.to_json()).to_json()

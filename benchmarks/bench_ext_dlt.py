@@ -1,0 +1,207 @@
+"""EXT-DLT: the declarative pipeline's two quantitative claims.
+
+1. **Checkpointed resume beats full refresh.**  A medallion DAG with five
+   independent heavy silver branches materializes fully, then exactly one
+   source goes dirty and the refresh recomputes only that branch (plus the
+   cheap gold union) while the other four serve from the checkpoint.
+   ``resume_speedup`` (full wall time / dirty refresh wall time) must
+   clear ``RESUME_SPEEDUP_FLOOR`` (3×): with 1 of 5 heavy tables stale the
+   refresh does ~1/5th of the compute, and the headroom absorbs checkpoint
+   I/O for the cached branches.
+
+2. **Expectations are cheap.**  The same DAG runs with its full
+   expectation stack and with none; ``expectation_overhead_fraction``
+   (extra wall time / bare wall time) must stay under
+   ``EXPECTATION_OVERHEAD_CEILING`` (10%) — predicates are vectorized
+   column passes over data the transforms already touched.
+
+The artifact lands in ``BENCH_dlt.json`` via the shared envelope and the
+``resume_speedup`` / ``expectation_overhead_fraction`` metrics flow into
+``BENCH_summary.json`` for the regression gate.
+
+Knobs: ``REPRO_PERF_SMOKE=1`` shrinks the tables for the CI smoke lane
+(claims recorded, not asserted).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_artifact, run_once
+from repro import dlt, obs
+from repro.evaluation import ResultTable
+from repro.table import Table
+
+RESUME_SPEEDUP_FLOOR = 3.0
+EXPECTATION_OVERHEAD_CEILING = 0.10
+
+
+def _source_table(seed: int, rows: int) -> Table:
+    rng = np.random.default_rng(seed)
+    values = rng.normal(100.0, 30.0, size=rows)
+    nulls = rng.random(rows) < 0.05
+    return Table.from_dict({
+        "id": list(range(rows)),
+        "v": [None if n else float(f"{v:.4f}")
+              for v, n in zip(values, nulls)],
+        "grp": [int(g) for g in rng.integers(0, 50, size=rows)],
+    })
+
+
+def _heavy(table: Table, passes: int) -> Table:
+    """A deliberately compute-bound transform (sorted group scan x N)."""
+    out = table
+    for _ in range(passes):
+        groups = out.group_by(["grp"], [("avg", "v", "v_mean")])
+        assert groups.num_rows > 0
+    return out
+
+
+BRANCHES = 5
+
+
+def _build(checkpoint_dir, sources: dict[str, Table], *, passes: int,
+           with_expectations: bool) -> dlt.Pipeline:
+    """Five independent heavy silver branches (one per source) feeding a
+    single cheap gold union — dirtying one source invalidates ~1/5 of the
+    pipeline's compute."""
+    import inspect
+
+    silvers = []
+    for i in range(BRANCHES):
+        src_name = f"src_{i}"
+
+        def silver_fn(src, _passes=passes):
+            return _heavy(src, _passes)
+        silver_fn.__name__ = f"silver_{i}"
+        silver_fn.__signature__ = inspect.Signature([
+            inspect.Parameter(src_name,
+                              inspect.Parameter.POSITIONAL_OR_KEYWORD)])
+
+        silver = dlt.table(silver_fn, name=f"silver_{i}", layer="silver")
+        if with_expectations:
+            silver = dlt.expect_or_drop(
+                f"s{i}_v_known", dlt.col("v").not_null())(silver)
+            silver = dlt.expect(
+                f"s{i}_v_range",
+                dlt.col("v").between(-1000.0, 1000.0))(silver)
+        silvers.append(silver)
+
+    def gold_fn(*tables):
+        return Table.from_dict(
+            {"rows": [sum(t.num_rows for t in tables)]})
+    gold_fn.__name__ = "gold_all"
+    gold_fn.__signature__ = inspect.Signature([
+        inspect.Parameter(f"silver_{i}",
+                          inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        for i in range(BRANCHES)])
+    gold_all = dlt.table(gold_fn, name="gold_all", layer="gold")
+
+    pipe = dlt.Pipeline("bench", checkpoint_dir=checkpoint_dir)
+    for name, table in sources.items():
+        pipe.source(name, table)
+    return pipe.add(*silvers, gold_all)
+
+
+def test_ext_dlt_resume_and_expectations(benchmark, tmp_path):
+    smoke = os.environ.get("REPRO_PERF_SMOKE", "") not in ("", "0")
+    # ``passes`` sets the compute-to-checkpoint-I/O ratio: the resume claim
+    # needs the transforms (not JSON ser/de) to dominate, as they do in any
+    # real pipeline worth checkpointing.
+    rows = 2_000 if smoke else 20_000
+    passes = 2 if smoke else 100
+
+    obs.reset()
+
+    def experiment():
+        sources = {f"src_{i}": _source_table(i + 1, rows)
+                   for i in range(BRANCHES)}
+
+        # -- claim 1: resume vs full refresh with one dirty source --------
+        ckpt = tmp_path / "resume"
+        start = time.perf_counter()
+        full = _build(ckpt, sources, passes=passes,
+                      with_expectations=True).run(full_refresh=True)
+        full_seconds = time.perf_counter() - start
+        assert full.ok and len(full.computed) == BRANCHES + 1
+
+        # One source changes: only its silver branch and the (cheap) gold
+        # union are stale — 1 of 5 heavy tables recomputes.
+        dirty_sources = dict(sources)
+        dirty_sources["src_4"] = _source_table(99, rows)
+        start = time.perf_counter()
+        resumed = _build(ckpt, dirty_sources, passes=passes,
+                         with_expectations=True).refresh()
+        resume_seconds = time.perf_counter() - start
+        assert resumed.ok
+        assert set(resumed.computed) == {"silver_4", "gold_all"}
+        resume_speedup = full_seconds / resume_seconds
+
+        # -- claim 2: the expectation stack is cheap ----------------------
+        start = time.perf_counter()
+        bare = _build(tmp_path / "bare", sources, passes=passes,
+                      with_expectations=False).run(full_refresh=True)
+        bare_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        checked = _build(tmp_path / "checked", sources, passes=passes,
+                         with_expectations=True).run(full_refresh=True)
+        checked_seconds = time.perf_counter() - start
+        assert bare.ok and checked.ok
+        # the drop expectation actually dropped the injected nulls
+        assert (checked.table("silver_0").num_rows
+                < bare.table("silver_0").num_rows)
+        overhead = max(0.0, (checked_seconds - bare_seconds) / bare_seconds)
+
+        return {
+            "full_refresh_seconds": full_seconds,
+            "resume_seconds": resume_seconds,
+            "resume_speedup": resume_speedup,
+            "resume_recomputed_tables": len(resumed.computed),
+            "pipeline_tables": BRANCHES + 1,
+            "bare_seconds": bare_seconds,
+            "checked_seconds": checked_seconds,
+            "expectation_overhead_fraction": overhead,
+            "quarantined_rows": sum(
+                checked.results[f"silver_{i}"].quarantined
+                for i in range(BRANCHES)),
+        }
+
+    results = run_once(benchmark, experiment)
+
+    table = ResultTable(
+        f"EXT-DLT: checkpointed refresh + expectation overhead "
+        f"(smoke={smoke})",
+        ["claim", "value", "bound"],
+    )
+    table.add("resume speedup (1 of 5 sources dirty)",
+              f"{results['resume_speedup']:.1f}x",
+              f">= {RESUME_SPEEDUP_FLOOR}x")
+    table.add("expectation overhead",
+              f"{results['expectation_overhead_fraction'] * 100:.1f}%",
+              f"< {EXPECTATION_OVERHEAD_CEILING * 100:.0f}%")
+    table.add("quarantined rows", str(results["quarantined_rows"]), "> 0")
+    table.show()
+
+    bench_artifact("dlt", {
+        "smoke": smoke,
+        "rows_per_source": rows,
+        "resume_speedup_floor": RESUME_SPEEDUP_FLOOR,
+        "expectation_overhead_limit": EXPECTATION_OVERHEAD_CEILING,
+        "results": results,
+    })
+
+    assert results["quarantined_rows"] > 0
+    if not smoke:
+        assert results["resume_speedup"] >= RESUME_SPEEDUP_FLOOR, (
+            f"resume {results['resume_speedup']:.2f}x < "
+            f"{RESUME_SPEEDUP_FLOOR}x floor"
+        )
+        assert (results["expectation_overhead_fraction"]
+                < EXPECTATION_OVERHEAD_CEILING), (
+            f"expectations cost "
+            f"{results['expectation_overhead_fraction']:.1%}, ceiling is "
+            f"{EXPECTATION_OVERHEAD_CEILING:.0%}"
+        )

@@ -170,30 +170,40 @@ def test_ext_perf_kernels(benchmark):
         }
 
         # -- kernel 4: parallel pipeline search (no wall-clock floor — the
-        # claim here is byte-identical results, recorded for the dashboard)
+        # claim here is byte-identical results, recorded for the dashboard).
+        # Two timings: the pool forced on (parallel_min_budget=0, the raw
+        # fan-out cost at this small budget) and the default crossover
+        # policy, which falls back to serial below parallel_min_budget and
+        # so must never lose to the serial run by more than measurement
+        # noise.
         task = task_suite(seed=0, n_samples=160)[0]
         registry = build_registry()
 
-        def run_search(parallel):
-            searcher = RandomSearch(registry, seed=7, parallel=parallel)
+        def run_search(parallel, min_budget):
+            searcher = RandomSearch(registry, seed=7, parallel=parallel,
+                                    parallel_min_budget=min_budget)
             start = time.perf_counter()
             result = searcher.search(task, PipelineEvaluator(seed=1),
                                      budget=search_budget)
             return time.perf_counter() - start, result
 
-        serial_seconds, serial_result = run_search(None)
-        par_seconds, par_result = run_search(ParallelMap(workers=4,
-                                                         chunk_size=2))
-        assert par_result.best_pipeline.names == serial_result.best_pipeline.names
-        assert par_result.best_score == serial_result.best_score
-        assert par_result.trajectory == serial_result.trajectory
-        assert par_result.failures == serial_result.failures
+        serial_seconds, serial_result = run_search(None, 0)
+        pool = ParallelMap(workers=4, chunk_size=2)
+        forced_seconds, forced_result = run_search(pool, 0)
+        policy_seconds, policy_result = run_search(pool, 16)
+        for result in (forced_result, policy_result):
+            assert result.best_pipeline.names == serial_result.best_pipeline.names
+            assert result.best_score == serial_result.best_score
+            assert result.trajectory == serial_result.trajectory
+            assert result.failures == serial_result.failures
         results["pipeline_search"] = {
             "reference_seconds": serial_seconds,
-            "vectorized_seconds": par_seconds,
-            "speedup": serial_seconds / par_seconds,
+            "vectorized_seconds": forced_seconds,
+            "speedup": serial_seconds / forced_seconds,
+            "policy_seconds": policy_seconds,
+            "policy_speedup": serial_seconds / policy_seconds,
             "throughput_evaluations_per_second":
-                par_result.evaluated / par_seconds,
+                forced_result.evaluated / forced_seconds,
             "budget": search_budget,
         }
         return results

@@ -1,0 +1,299 @@
+"""Crash-safe checkpoint store: atomic per-table commits + one manifest.
+
+The commit protocol makes a killed pipeline run resumable without ever
+serving a torn table:
+
+1. the table (and its quarantine, when non-empty) is written to a
+   **content-addressed** file — ``tables/<name>-<hash>.json`` — via
+   write-temp → flush → fsync → atomic rename.  The previous version's
+   file is untouched until the new commit is fully durable;
+2. the manifest (``MANIFEST.json``), mapping table name → fingerprint +
+   data file + content hash, is rewritten the same way: temp + fsync +
+   atomic rename.  The rename is the commit point;
+3. only after the manifest rename are data files no longer referenced by
+   any entry garbage-collected.
+
+A crash at *any* point — including mid-manifest-write, which the chaos
+harness injects via the ``dlt.checkpoint.write`` fault point — leaves
+either the old manifest (pointing at intact old files) or the new one
+(pointing at intact new files).  Stray ``*.tmp`` and unreferenced data
+files are swept when the store reopens.  On read, :meth:`committed`
+re-validates the entry's content hash, so even external corruption
+downgrades to "recompute", never to "serve torn data".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.dlt.storage import content_hash, table_from_json, table_to_json
+from repro.errors import CheckpointError
+from repro.obs import metrics
+from repro.resilience import faults
+from repro.table import Table
+
+MANIFEST_NAME = "MANIFEST.json"
+#: Bumped on breaking changes to the manifest layout.
+MANIFEST_FORMAT = 1
+
+#: The chaos injection point armed by crash-recovery tests: it fires at
+#: three stages of :meth:`CheckpointStore.commit` (before the data write,
+#: between data write and manifest write, and mid-manifest-commit), so a
+#: seeded run kills the "process" at varying torn-write positions.
+CHECKPOINT_WRITE_POINT = "dlt.checkpoint.write"
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One committed table: identity, location, and integrity hashes."""
+
+    table: str
+    fingerprint: str
+    data_file: str
+    data_hash: str
+    rows: int
+    quarantine_file: str | None = None
+    quarantine_hash: str | None = None
+    quarantined: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "table": self.table,
+            "fingerprint": self.fingerprint,
+            "data_file": self.data_file,
+            "data_hash": self.data_hash,
+            "rows": self.rows,
+            "quarantine_file": self.quarantine_file,
+            "quarantine_hash": self.quarantine_hash,
+            "quarantined": self.quarantined,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ManifestEntry":
+        return cls(
+            table=data["table"],
+            fingerprint=data["fingerprint"],
+            data_file=data["data_file"],
+            data_hash=data["data_hash"],
+            rows=int(data.get("rows", 0)),
+            quarantine_file=data.get("quarantine_file"),
+            quarantine_hash=data.get("quarantine_hash"),
+            quarantined=int(data.get("quarantined", 0)),
+        )
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
+
+
+class CheckpointStore:
+    """Atomic, content-hashed materialization store under one directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.tables_dir = self.root / "tables"
+        self.tables_dir.mkdir(parents=True, exist_ok=True)
+        self._sweep()
+
+    # -- durability helpers ------------------------------------------------
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return  # directory fsync is best-effort (not all platforms)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        """write-temp → flush → fsync → rename; never exposes partial data."""
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._fsync_dir(path.parent)
+
+    def _sweep(self) -> None:
+        """Remove debris a crash can leave: temp files and data files no
+        manifest entry references."""
+        for tmp in [*self.root.glob("*.tmp"), *self.tables_dir.glob("*.tmp")]:
+            tmp.unlink(missing_ok=True)
+        referenced = set()
+        for entry in self.load_manifest().values():
+            referenced.add(entry.data_file)
+            if entry.quarantine_file:
+                referenced.add(entry.quarantine_file)
+        for data in self.tables_dir.glob("*.json"):
+            if data.name not in referenced:
+                data.unlink(missing_ok=True)
+
+    # -- manifest ----------------------------------------------------------
+
+    def load_manifest(self) -> dict[str, ManifestEntry]:
+        """The committed state; ``{}`` when absent (or unreadable — an
+        unparseable manifest degrades to "nothing committed", never to
+        serving bad data)."""
+        path = self.root / MANIFEST_NAME
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if payload.get("format") != MANIFEST_FORMAT:
+            return {}
+        return {
+            name: ManifestEntry.from_dict(entry)
+            for name, entry in payload.get("tables", {}).items()
+        }
+
+    def _write_manifest(self, manifest: dict[str, ManifestEntry]) -> None:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "tables": {name: e.to_dict() for name, e in manifest.items()},
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        path = self.root / MANIFEST_NAME
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # Stage 3: the manifest temp exists but the commit point (the
+        # rename) has not happened — a crash here must leave the previous
+        # manifest authoritative.
+        faults.point(CHECKPOINT_WRITE_POINT)
+        os.replace(tmp, path)
+        self._fsync_dir(self.root)
+
+    # -- reads -------------------------------------------------------------
+
+    def committed(self, name: str) -> ManifestEntry | None:
+        """The validated manifest entry for ``name``, else None.
+
+        Validation re-hashes the referenced files; any mismatch (missing,
+        truncated, corrupted) disqualifies the entry so the runner
+        recomputes instead of serving torn data.
+        """
+        entry = self.load_manifest().get(name)
+        if entry is None:
+            return None
+        if not self._file_valid(entry.data_file, entry.data_hash):
+            metrics.counter("dlt.checkpoint.invalid").inc()
+            return None
+        if entry.quarantine_file is not None and not self._file_valid(
+                entry.quarantine_file, entry.quarantine_hash or ""):
+            metrics.counter("dlt.checkpoint.invalid").inc()
+            return None
+        return entry
+
+    def _file_valid(self, file_name: str, expected_hash: str) -> bool:
+        path = self.tables_dir / file_name
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return False
+        return content_hash(text) == expected_hash
+
+    def read_table(self, name: str,
+                   entry: ManifestEntry | None = None) -> Table | None:
+        """The committed table, or None when absent/invalid.
+
+        Pass a just-validated ``entry`` (from :meth:`committed`) to skip
+        re-validating — the hot path for cache-hit refreshes.
+        """
+        entry = entry if entry is not None else self.committed(name)
+        if entry is None:
+            return None
+        return table_from_json(
+            (self.tables_dir / entry.data_file).read_text(encoding="utf-8")
+        )
+
+    def read_quarantine(self, name: str,
+                        entry: ManifestEntry | None = None) -> Table | None:
+        """The committed quarantine table, or None when there is none."""
+        entry = entry if entry is not None else self.committed(name)
+        if entry is None or entry.quarantine_file is None:
+            return None
+        return table_from_json(
+            (self.tables_dir / entry.quarantine_file).read_text(encoding="utf-8")
+        )
+
+    # -- commit ------------------------------------------------------------
+
+    def commit(self, name: str, fingerprint: str, table: Table,
+               quarantine: Table | None = None) -> ManifestEntry:
+        """Atomically materialize ``table`` (+ quarantine) under ``name``.
+
+        Raising anywhere inside — including the injected
+        ``dlt.checkpoint.write`` faults — leaves the store in its previous
+        committed state (modulo unreferenced debris the next open sweeps).
+        """
+        # Stage 1: crash before anything touches disk.
+        faults.point(CHECKPOINT_WRITE_POINT)
+        safe = _safe_name(name)
+        data_text = table_to_json(table)
+        data_hash = content_hash(data_text)
+        data_file = f"{safe}-{data_hash[:12]}.json"
+        self._write_atomic(self.tables_dir / data_file, data_text)
+
+        quarantine_file = quarantine_hash = None
+        quarantined = 0
+        if quarantine is not None and quarantine.num_rows:
+            q_text = table_to_json(quarantine)
+            quarantine_hash = content_hash(q_text)
+            quarantine_file = f"{safe}-quarantine-{quarantine_hash[:12]}.json"
+            self._write_atomic(self.tables_dir / quarantine_file, q_text)
+            quarantined = quarantine.num_rows
+
+        # Stage 2: data durable, manifest still pointing at the old state.
+        faults.point(CHECKPOINT_WRITE_POINT)
+        manifest = self.load_manifest()
+        old = manifest.get(name)
+        entry = ManifestEntry(
+            table=name, fingerprint=fingerprint,
+            data_file=data_file, data_hash=data_hash, rows=table.num_rows,
+            quarantine_file=quarantine_file, quarantine_hash=quarantine_hash,
+            quarantined=quarantined,
+        )
+        manifest[name] = entry
+        self._write_manifest(manifest)  # stage 3 fires inside
+        metrics.counter("dlt.checkpoint.commits").inc()
+
+        # Post-commit: the old version (if any) is now unreferenced.
+        if old is not None:
+            for stale in (old.data_file, old.quarantine_file):
+                if stale and stale not in (data_file, quarantine_file):
+                    (self.tables_dir / stale).unlink(missing_ok=True)
+        return entry
+
+    # -- maintenance -------------------------------------------------------
+
+    def invalidate(self, name: str) -> None:
+        """Drop ``name`` from the committed state (its next run recomputes)."""
+        manifest = self.load_manifest()
+        entry = manifest.pop(name, None)
+        if entry is None:
+            return
+        self._write_manifest(manifest)
+        for stale in (entry.data_file, entry.quarantine_file):
+            if stale:
+                (self.tables_dir / stale).unlink(missing_ok=True)
+
+    def clear(self) -> None:
+        """Forget everything (full-refresh semantics)."""
+        (self.root / MANIFEST_NAME).unlink(missing_ok=True)
+        for data in self.tables_dir.glob("*.json"):
+            data.unlink(missing_ok=True)
+        self._sweep()
+
+    def __len__(self) -> int:
+        return len(self.load_manifest())

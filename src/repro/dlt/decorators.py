@@ -1,0 +1,140 @@
+"""The declaration API: ``@table`` + stacked expectation decorators.
+
+A pipeline table is a plain function from upstream tables to a
+:class:`~repro.table.Table`, declared DLT-style::
+
+    from repro import dlt
+
+    @dlt.table(layer="bronze")
+    def bronze_orders(raw_orders):          # parameter = upstream name
+        return raw_orders
+
+    @dlt.table(layer="silver")
+    @dlt.expect_or_drop("valid_id", dlt.col("order_id").not_null())
+    @dlt.expect("plausible_amount", dlt.col("amount") < 10_000)
+    def silver_orders(bronze_orders):
+        return bronze_orders.distinct()
+
+Dependencies come from the function signature: each parameter names the
+upstream table (or a registered source) whose materialized value is passed
+in.  Expectations apply top-to-bottom in declaration order.  The decorated
+function stays directly callable — ``silver_orders(some_table)`` runs the
+transform without any expectation machinery, which keeps unit tests of the
+transform logic trivial.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from repro.errors import DltError
+from repro.dlt.expectations import Expectation, Predicate
+
+#: The medallion layers, in flow order.
+LAYERS = ("bronze", "silver", "gold")
+
+#: Attribute carrying the finished TableDef on a decorated function.
+_TABLE_ATTR = "__dlt_table__"
+#: Attribute accumulating expectations before ``@table`` runs.
+_EXPECT_ATTR = "__dlt_expectations__"
+
+
+@dataclass(frozen=True)
+class TableDef:
+    """One declared pipeline table: the transform plus its contracts."""
+
+    name: str
+    layer: str
+    fn: Callable[..., Any]
+    inputs: tuple[str, ...]
+    expectations: tuple[Expectation, ...] = ()
+    description: str = ""
+
+    def __post_init__(self):
+        if self.layer not in LAYERS:
+            raise DltError(
+                f"table {self.name!r}: layer must be one of {LAYERS}, "
+                f"got {self.layer!r}"
+            )
+
+
+def table(fn: Callable[..., Any] | None = None, *, name: str | None = None,
+          layer: str = "bronze", description: str = "") -> Callable[..., Any]:
+    """Declare a pipeline table (usable bare or with keyword arguments)."""
+
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if getattr(fn, _TABLE_ATTR, None) is not None:
+            raise DltError(f"{fn.__name__} is already declared as a table")
+        expectations = tuple(getattr(fn, _EXPECT_ATTR, ()))
+        inputs = tuple(inspect.signature(fn).parameters)
+        tdef = TableDef(
+            name=name or fn.__name__,
+            layer=layer,
+            fn=fn,
+            inputs=inputs,
+            expectations=expectations,
+            description=description,
+        )
+        setattr(fn, _TABLE_ATTR, tdef)
+        return fn
+
+    return wrap(fn) if fn is not None else wrap
+
+
+def _expectation_decorator(expectation: Expectation) -> Callable[..., Any]:
+    """Attach one expectation, tolerating either decorator order.
+
+    Decorators closest to the function run first, so prepending keeps the
+    stored tuple in top-to-bottom declaration order — the order they are
+    enforced in.
+    """
+
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        tdef: TableDef | None = getattr(fn, _TABLE_ATTR, None)
+        if tdef is not None:  # ``@table`` already ran (it was innermost)
+            setattr(fn, _TABLE_ATTR, replace(
+                tdef, expectations=(expectation,) + tdef.expectations
+            ))
+            return fn
+        pending = list(getattr(fn, _EXPECT_ATTR, ()))
+        pending.insert(0, expectation)
+        setattr(fn, _EXPECT_ATTR, tuple(pending))
+        return fn
+
+    return wrap
+
+
+def expect(name: str,
+           predicate: Predicate | Callable[..., Any]) -> Callable[..., Any]:
+    """Warn-level expectation: violations are counted and logged, rows kept."""
+    return _expectation_decorator(
+        Expectation(name, Predicate.wrap(predicate), "warn")
+    )
+
+
+def expect_or_drop(name: str,
+                   predicate: Predicate | Callable[..., Any]) -> Callable[..., Any]:
+    """Drop-level expectation: violating rows are routed to quarantine."""
+    return _expectation_decorator(
+        Expectation(name, Predicate.wrap(predicate), "drop")
+    )
+
+
+def expect_or_fail(name: str,
+                   predicate: Predicate | Callable[..., Any]) -> Callable[..., Any]:
+    """Fail-level expectation: any violation aborts the table."""
+    return _expectation_decorator(
+        Expectation(name, Predicate.wrap(predicate), "fail")
+    )
+
+
+def table_def(fn: Callable[..., Any]) -> TableDef:
+    """The :class:`TableDef` a ``@table`` decorator attached to ``fn``."""
+    tdef = getattr(fn, _TABLE_ATTR, None)
+    if tdef is None:
+        raise DltError(
+            f"{getattr(fn, '__name__', fn)!r} is not a @dlt.table function"
+        )
+    return tdef

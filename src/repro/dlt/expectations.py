@@ -1,0 +1,335 @@
+"""Data-quality expectations: vectorized row predicates with three
+enforcement levels.
+
+An :class:`Expectation` names a contract over a table's rows and says what
+happens to violators:
+
+- ``warn``  — count and log the violations, keep every row;
+- ``drop``  — route violating rows to the table's quarantine (with the
+  expectation name and a per-row reason) and keep the rest;
+- ``fail``  — abort the table (and, per the run's ``on_error`` policy, its
+  downstream) with :class:`~repro.errors.ExpectationFailedError`.
+
+Predicates are vectorized over column arrays — a predicate maps a
+:class:`~repro.table.Table` to one boolean numpy mask (``True`` = the row
+passes).  Three ways to build one:
+
+- the :func:`col` expression DSL::
+
+      expect_or_drop("positive_amount", col("amount") > 0)
+      expect("known_status", col("status").is_in({"paid", "shipped"}))
+      expect_or_fail("has_key", col("order_id").not_null())
+
+  Comparisons follow SQL's pessimistic null semantics: a null on either
+  side *violates* the expectation (only :meth:`ColumnExpr.is_null` passes
+  nulls), so contracts never silently wave unknown values through.
+
+- any ``table -> bool mask`` callable, via :meth:`Predicate.wrap`;
+
+- a ``repro.cleaning`` detector, via :func:`from_detector` — the paper's
+  detection techniques become enforceable contracts: rows with any flagged
+  cell violate, and each quarantined row carries the detector's reason.
+
+Predicates compose with ``&``, ``|`` and ``~``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.cleaning.detection import Detector, Flag
+from repro.errors import DltError
+from repro.table import Table
+
+#: The three enforcement levels, in escalating order.
+ACTIONS = ("warn", "drop", "fail")
+
+
+class Predicate:
+    """A vectorized row predicate: ``mask(table)`` → boolean keep-mask."""
+
+    #: Human-readable contract text; part of the table fingerprint, so
+    #: changing a predicate's meaning (and description) dirties the table.
+    description: str = "custom predicate"
+
+    def mask(self, table: Table) -> np.ndarray:
+        raise NotImplementedError
+
+    def reasons(self, table: Table, failing: np.ndarray) -> list[str]:
+        """One violation reason per failing row index (quarantine column).
+
+        The default repeats the predicate description; predicates with
+        per-row evidence (detectors) override.
+        """
+        return [self.description] * len(failing)
+
+    # -- composition -------------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return _Combined("and", self, Predicate.wrap(other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return _Combined("or", self, Predicate.wrap(other))
+
+    def __invert__(self) -> "Predicate":
+        return _Negated(self)
+
+    @staticmethod
+    def wrap(obj: "Predicate | Callable[[Table], np.ndarray]",
+             description: str | None = None) -> "Predicate":
+        """Coerce a predicate-shaped object into a :class:`Predicate`."""
+        if isinstance(obj, Predicate):
+            return obj
+        if callable(obj):
+            return _FnPredicate(obj, description)
+        raise DltError(
+            f"expected a Predicate or a table->mask callable, got {obj!r}"
+        )
+
+
+class _FnPredicate(Predicate):
+    """Adapter for a plain ``table -> mask`` callable."""
+
+    def __init__(self, fn: Callable[[Table], np.ndarray],
+                 description: str | None = None):
+        self._fn = fn
+        self.description = description or getattr(fn, "__name__", "predicate")
+
+    def mask(self, table: Table) -> np.ndarray:
+        out = np.asarray(self._fn(table), dtype=bool)
+        if out.shape != (table.num_rows,):
+            raise DltError(
+                f"predicate {self.description!r} returned shape {out.shape}, "
+                f"expected ({table.num_rows},)"
+            )
+        return out
+
+
+class _Combined(Predicate):
+    def __init__(self, op: str, left: Predicate, right: Predicate):
+        self._op = op
+        self._left = left
+        self._right = right
+        joiner = " and " if op == "and" else " or "
+        self.description = f"({left.description}{joiner}{right.description})"
+
+    def mask(self, table: Table) -> np.ndarray:
+        left, right = self._left.mask(table), self._right.mask(table)
+        return (left & right) if self._op == "and" else (left | right)
+
+
+class _Negated(Predicate):
+    def __init__(self, inner: Predicate):
+        self._inner = inner
+        self.description = f"not {inner.description}"
+
+    def mask(self, table: Table) -> np.ndarray:
+        return ~self._inner.mask(table)
+
+
+class _ColumnPredicate(Predicate):
+    """A vectorized column comparison with pessimistic null handling."""
+
+    def __init__(self, description: str,
+                 fn: Callable[[Table], np.ndarray]):
+        self.description = description
+        self._fn = fn
+
+    def mask(self, table: Table) -> np.ndarray:
+        return self._fn(table)
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnExpr:
+    """A named column inside a predicate expression — see :func:`col`.
+
+    ``eq=False``: ``==``/``!=`` build predicates instead of comparing
+    expression objects.
+    """
+
+    name: str
+
+    def _arrays(self, table: Table) -> tuple[np.ndarray, np.ndarray]:
+        return table.column_array(self.name), table.null_mask(self.name)
+
+    def _compare(self, op: str, other: Any,
+                 fn: Callable[[np.ndarray, Any], np.ndarray]) -> Predicate:
+        if isinstance(other, ColumnExpr):
+            text = f"{self.name} {op} {other.name}"
+
+            def mask(table: Table) -> np.ndarray:
+                left, left_null = self._arrays(table)
+                right, right_null = other._arrays(table)
+                valid = ~left_null & ~right_null
+                out = np.zeros(table.num_rows, dtype=bool)
+                out[valid] = fn(left[valid], right[valid])
+                return out
+        else:
+            text = f"{self.name} {op} {other!r}"
+
+            def mask(table: Table) -> np.ndarray:
+                values, null = self._arrays(table)
+                valid = ~null
+                out = np.zeros(table.num_rows, dtype=bool)
+                out[valid] = fn(values[valid], other)
+                return out
+        return _ColumnPredicate(text, mask)
+
+    def __gt__(self, other: Any) -> Predicate:
+        return self._compare(">", other, lambda a, b: a > b)
+
+    def __ge__(self, other: Any) -> Predicate:
+        return self._compare(">=", other, lambda a, b: a >= b)
+
+    def __lt__(self, other: Any) -> Predicate:
+        return self._compare("<", other, lambda a, b: a < b)
+
+    def __le__(self, other: Any) -> Predicate:
+        return self._compare("<=", other, lambda a, b: a <= b)
+
+    def __eq__(self, other: Any) -> Predicate:  # type: ignore[override]
+        return self._compare("==", other, lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> Predicate:  # type: ignore[override]
+        return self._compare("!=", other, lambda a, b: a != b)
+
+    def not_null(self) -> Predicate:
+        name = self.name
+        return _ColumnPredicate(
+            f"{name} is not null",
+            lambda table: ~table.null_mask(name),
+        )
+
+    def is_null(self) -> Predicate:
+        name = self.name
+        return _ColumnPredicate(
+            f"{name} is null",
+            lambda table: table.null_mask(name).copy(),
+        )
+
+    def is_in(self, values: Iterable[Any]) -> Predicate:
+        allowed = list(values)
+
+        def mask(table: Table) -> np.ndarray:
+            arr, null = self._arrays(table)
+            out = np.zeros(len(arr), dtype=bool)
+            valid = ~null
+            out[valid] = np.isin(arr[valid], np.array(allowed, dtype=arr.dtype))
+            return out
+
+        return _ColumnPredicate(
+            f"{self.name} in {sorted(map(str, allowed))}", mask
+        )
+
+    def between(self, lo: Any, hi: Any) -> Predicate:
+        def mask(table: Table) -> np.ndarray:
+            arr, null = self._arrays(table)
+            out = np.zeros(len(arr), dtype=bool)
+            valid = ~null
+            out[valid] = (arr[valid] >= lo) & (arr[valid] <= hi)
+            return out
+
+        return _ColumnPredicate(f"{self.name} between {lo!r} and {hi!r}", mask)
+
+    def matches(self, pattern: str) -> Predicate:
+        compiled = re.compile(pattern)
+
+        def mask(table: Table) -> np.ndarray:
+            arr, null = self._arrays(table)
+            out = np.zeros(len(arr), dtype=bool)
+            for i in np.flatnonzero(~null).tolist():
+                out[i] = compiled.fullmatch(str(arr[i])) is not None
+            return out
+
+        return _ColumnPredicate(f"{self.name} matches {pattern!r}", mask)
+
+
+def col(name: str) -> ColumnExpr:
+    """Start a column predicate expression: ``col("amount") > 0``."""
+    return ColumnExpr(name)
+
+
+def not_null(*names: str) -> Predicate:
+    """All of ``names`` are non-null (conjunction of ``col(n).not_null()``)."""
+    if not names:
+        raise DltError("not_null() needs at least one column name")
+    out = col(names[0]).not_null()
+    for name in names[1:]:
+        out = out & col(name).not_null()
+    return out
+
+
+class DetectorPredicate(Predicate):
+    """A ``repro.cleaning`` detector as a row contract.
+
+    A row violates when the detector flags any of its cells (optionally
+    restricted to ``columns``); each quarantined row carries the detector's
+    own reason text — the paper's detection techniques as enforceable
+    expectations.
+    """
+
+    def __init__(self, detector: Detector, columns: Iterable[str] | None = None,
+                 description: str | None = None):
+        self.detector = detector
+        self.columns = tuple(columns) if columns is not None else None
+        self.description = description or (
+            f"no {type(detector).__name__} flags"
+            + (f" on {list(self.columns)}" if self.columns else "")
+        )
+        self._cache: tuple[Table, list[Flag]] | None = None
+
+    def _flags(self, table: Table) -> list[Flag]:
+        if self._cache is not None and self._cache[0] is table:
+            return self._cache[1]
+        flags = self.detector.detect(table)
+        if self.columns is not None:
+            flags = [f for f in flags if f.column in self.columns]
+        self._cache = (table, flags)
+        return flags
+
+    def mask(self, table: Table) -> np.ndarray:
+        out = np.ones(table.num_rows, dtype=bool)
+        for flag in self._flags(table):
+            out[flag.row] = False
+        return out
+
+    def reasons(self, table: Table, failing: np.ndarray) -> list[str]:
+        by_row: dict[int, list[str]] = {}
+        for flag in self._flags(table):
+            by_row.setdefault(flag.row, []).append(
+                f"{flag.column}: {flag.reason}"
+            )
+        return [
+            "; ".join(by_row.get(int(i), [self.description]))
+            for i in failing
+        ]
+
+
+def from_detector(detector: Detector, columns: Iterable[str] | None = None,
+                  description: str | None = None) -> DetectorPredicate:
+    """Wrap a cleaning detector as an expectation predicate."""
+    return DetectorPredicate(detector, columns=columns, description=description)
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One named contract plus its enforcement level."""
+
+    name: str
+    predicate: Predicate
+    action: str  # one of ACTIONS
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise DltError(
+                f"expectation action must be one of {ACTIONS}, "
+                f"got {self.action!r}"
+            )
+
+    def signature(self) -> tuple[str, str, str]:
+        """The fingerprint-relevant identity of this expectation."""
+        return (self.name, self.action, self.predicate.description)

@@ -1,0 +1,109 @@
+"""Dependency resolution: from declared tables to an executable DAG.
+
+A :class:`PipelineGraph` wires :class:`~repro.dlt.decorators.TableDef`
+inputs (function parameter names) to the tables or sources that produce
+them, validates the result (unknown inputs, cycles — both
+:class:`~repro.errors.PipelineGraphError`), and answers the two questions
+the runner asks: *in what order do tables execute* (:meth:`topo_order`,
+deterministic — declaration order among ready tables) and *what is
+downstream of a failure* (:meth:`downstream_of`, the closure skipped under
+``on_error="skip_downstream"``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.dlt.decorators import TableDef
+from repro.errors import PipelineGraphError
+
+
+class PipelineGraph:
+    """The validated dependency DAG over declared tables and sources."""
+
+    def __init__(self, defs: Mapping[str, TableDef],
+                 sources: Iterable[str] = ()):
+        self.defs = dict(defs)
+        self.sources = set(sources)
+        overlap = self.sources & set(self.defs)
+        if overlap:
+            raise PipelineGraphError(
+                f"names declared both as source and table: {sorted(overlap)}"
+            )
+        for name, tdef in self.defs.items():
+            for dep in tdef.inputs:
+                if dep not in self.defs and dep not in self.sources:
+                    raise PipelineGraphError(
+                        f"table {name!r} depends on unknown input {dep!r} "
+                        f"(not a declared table or registered source)"
+                    )
+        self._order = self._toposort()
+
+    def _toposort(self) -> tuple[str, ...]:
+        """Kahn's algorithm, declaration-ordered among ready tables."""
+        remaining_deps = {
+            name: {d for d in tdef.inputs if d in self.defs}
+            for name, tdef in self.defs.items()
+        }
+        order: list[str] = []
+        done: set[str] = set()
+        pending = list(self.defs)  # declaration order
+        while pending:
+            ready = [n for n in pending if remaining_deps[n] <= done]
+            if not ready:
+                cycle = sorted(pending)
+                raise PipelineGraphError(
+                    f"dependency cycle among tables: {cycle}"
+                )
+            for name in ready:
+                order.append(name)
+                done.add(name)
+            pending = [n for n in pending if n not in done]
+        return tuple(order)
+
+    # -- queries -----------------------------------------------------------
+
+    def topo_order(self) -> tuple[str, ...]:
+        """Every table, upstream before downstream."""
+        return self._order
+
+    def parents(self, name: str) -> tuple[str, ...]:
+        """Direct inputs of ``name`` (tables and sources)."""
+        return self.defs[name].inputs
+
+    def children(self, name: str) -> tuple[str, ...]:
+        """Tables that read ``name`` directly."""
+        return tuple(
+            child for child in self._order
+            if name in self.defs[child].inputs
+        )
+
+    def downstream_of(self, *names: str) -> set[str]:
+        """The transitive consumers of ``names`` (exclusive of them)."""
+        tainted = set(names)
+        out: set[str] = set()
+        for name in self._order:  # topological: parents seen first
+            if name in tainted:
+                continue
+            if any(dep in tainted or dep in out
+                   for dep in self.defs[name].inputs):
+                out.add(name)
+                tainted.add(name)
+        return out
+
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        """Every lineage edge ``(input, table)``, sources included."""
+        return tuple(
+            (dep, name)
+            for name in self._order
+            for dep in self.defs[name].inputs
+        )
+
+    def render(self) -> str:
+        """A text rendering: one line per table with layer and inputs."""
+        lines = []
+        for name in self._order:
+            tdef = self.defs[name]
+            deps = ", ".join(tdef.inputs) if tdef.inputs else "(no inputs)"
+            lines.append(f"[{tdef.layer}] {name} <- {deps}")
+        return "\n".join(lines)

@@ -72,6 +72,24 @@ class FallbackExhaustedError(ResilienceError):
     """Every tier of a :class:`~repro.resilience.FallbackChain` failed."""
 
 
+class DltError(ReproError):
+    """Base class for declarative-pipeline (``repro.dlt``) failures."""
+
+
+class PipelineGraphError(DltError):
+    """A declared pipeline is structurally invalid: unknown inputs,
+    duplicate table names, or a dependency cycle."""
+
+
+class ExpectationFailedError(DltError):
+    """An ``expect_or_fail`` expectation found violating rows, aborting the
+    table it guards (and, per ``on_error``, its downstream)."""
+
+
+class CheckpointError(DltError):
+    """A checkpoint store operation was misused (unknown table, bad root)."""
+
+
 class ServingError(ReproError):
     """The serving runtime was misused or a response never materialized."""
 

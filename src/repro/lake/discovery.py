@@ -1,5 +1,12 @@
 """Dataset discovery over the lake: keyword search, joinable and unionable
 table search (the Aurum-style primitives the tutorial's intro cites).
+
+Both index classes are **version-tracking**: they remember the
+:attr:`~repro.lake.DataLake.version` they were built against and rebuild
+lazily on the first query after the lake mutates (a pipeline refresh
+overwriting a gold table, a new registration).  Queries therefore never
+serve results for a table that has been replaced — at the cost of one
+rebuild per batch of mutations rather than per mutation.
 """
 
 from __future__ import annotations
@@ -26,15 +33,26 @@ class LakeIndex:
 
     def __init__(self, lake: DataLake):
         self.lake = lake
-        rows = lake.datasets()
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        rows = self.lake.datasets()
         self._kinds = [r[0] for r in rows]
         self._names = [r[1] for r in rows]
         self._index = (
             TfidfIndex([r[2] for r in rows], drop_stopwords=True, stem_tokens=True)
             if rows else None
         )
+        self._built_version = self.lake.version
+
+    @property
+    def stale(self) -> bool:
+        """True when the lake has mutated since the index was built."""
+        return self.lake.version != self._built_version
 
     def search(self, query: str, k: int = 5) -> list[DiscoveryHit]:
+        if self.stale:
+            self._rebuild()
         if self._index is None:
             return []
         hits = self._index.search(query, k=k)
@@ -55,18 +73,29 @@ class JoinDiscovery:
         self.lake = lake
         self.threshold = threshold
         self._hasher = MinHasher(num_perm=num_perm)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
         self._signatures: dict[tuple[str, str], object] = {}
-        for lt in lake.tables.values():
+        for lt in self.lake.tables.values():
             for column in lt.table.schema.names:
                 values = {
                     str(v) for v in lt.table.column(column) if v is not None
                 }
                 if values:
                     self._signatures[(lt.name, column)] = self._hasher.signature(values)
+        self._built_version = self.lake.version
+
+    @property
+    def stale(self) -> bool:
+        """True when the lake has mutated since signatures were built."""
+        return self.lake.version != self._built_version
 
     def joinable_with(self, table_name: str, column: str) -> list[tuple[str, str, float]]:
         """Columns in *other* tables joinable with ``table.column``,
         as ``(table, column, estimated jaccard)`` sorted by score."""
+        if self.stale:
+            self._rebuild()
         key = (table_name, column)
         if key not in self._signatures:
             return []

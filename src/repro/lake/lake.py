@@ -3,6 +3,14 @@
 This is the substrate Symphony (tutorial §3.1(4)) queries and the discovery
 algorithms search.  Tables carry light metadata (name, description) of the
 kind real lakes keep in their catalogs.
+
+The lake is mutable — pipelines (:mod:`repro.dlt`) re-register their gold
+tables on every refresh — so it carries a monotonically increasing
+``version`` that every mutation bumps.  Derived indexes
+(:class:`~repro.lake.discovery.LakeIndex`,
+:class:`~repro.lake.discovery.JoinDiscovery`) remember the version they
+were built against and rebuild lazily when the lake has moved on, so a
+refreshed table is searchable without manual cache invalidation.
 """
 
 from __future__ import annotations
@@ -61,16 +69,43 @@ class DataLake:
 
     tables: dict[str, LakeTable] = field(default_factory=dict)
     documents: dict[str, LakeDocument] = field(default_factory=dict)
+    #: Bumped on every mutation; derived indexes compare against it to
+    #: detect staleness (see module docstring).
+    version: int = 0
 
-    def add_table(self, name: str, table: Table, description: str = "") -> None:
-        if name in self.tables:
-            raise SchemaError(f"table {name!r} already registered")
+    def add_table(self, name: str, table: Table, description: str = "",
+                  overwrite: bool = False) -> None:
+        """Register (or with ``overwrite=True``, replace) a table.
+
+        Replacing bumps :attr:`version` like any other mutation, so stale
+        discovery indexes rebuild on their next query.
+        """
+        if name in self.tables and not overwrite:
+            raise SchemaError(
+                f"table {name!r} already registered "
+                f"(pass overwrite=True to replace it)"
+            )
         self.tables[name] = LakeTable(name=name, table=table, description=description)
+        self.version += 1
 
-    def add_document(self, name: str, text: str) -> None:
-        if name in self.documents:
-            raise SchemaError(f"document {name!r} already registered")
+    def add_document(self, name: str, text: str,
+                     overwrite: bool = False) -> None:
+        if name in self.documents and not overwrite:
+            raise SchemaError(
+                f"document {name!r} already registered "
+                f"(pass overwrite=True to replace it)"
+            )
         self.documents[name] = LakeDocument(name=name, text=text)
+        self.version += 1
+
+    def remove_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise SchemaError(f"table {name!r} is not registered")
+        del self.tables[name]
+        self.version += 1
+
+    def table_names(self) -> list[str]:
+        return list(self.tables)
 
     def datasets(self) -> list[tuple[str, str, str]]:
         """All datasets as ``(kind, name, serialized text)`` rows."""

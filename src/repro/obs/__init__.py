@@ -64,9 +64,16 @@ def reset() -> None:
     """Zero the global metrics registry and drop collected spans.
 
     The one call a test (or a fresh experiment) needs for isolation.
+    Also clears the pipeline-run log when ``repro.dlt`` is loaded (read
+    via ``sys.modules`` — obs never imports dlt).
     """
+    import sys
+
     get_registry().reset()
     get_tracer().reset()
+    lineage = sys.modules.get("repro.dlt.lineage")
+    if lineage is not None:
+        lineage.get_log().reset()
 
 
 __all__ = [

@@ -15,6 +15,7 @@ serialization path.
 from __future__ import annotations
 
 import json
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -25,8 +26,9 @@ from repro.obs.tracing import Span, Tracer, get_tracer
 
 #: Schema version stamped into every report, bumped on breaking changes.
 #: v2 added the ``serving`` section; v3 added trace ids on spans plus the
-#: ``orphan_spans`` counter.
-SCHEMA_VERSION = 3
+#: ``orphan_spans`` counter; v4 added the ``dlt`` pipeline section
+#: (per-table events + lineage edges).
+SCHEMA_VERSION = 4
 
 
 def _serving_section(registry: MetricsRegistry) -> dict[str, Any]:
@@ -65,6 +67,28 @@ def _serving_section(registry: MetricsRegistry) -> dict[str, Any]:
     }
 
 
+def _dlt_section() -> dict[str, Any]:
+    """Snapshot the pipeline-run log into the report's ``dlt`` section.
+
+    Read through ``sys.modules`` only: ``repro.obs`` sits below
+    ``repro.dlt`` in the layering and must not import it — the section is
+    empty unless a pipeline actually ran in this process.
+    """
+    lineage = sys.modules.get("repro.dlt.lineage")
+    if lineage is None:
+        return {}
+    log = lineage.get_log()
+    events = log.events()
+    if not events and not log.dropped:
+        return {}
+    return {
+        "tables": [e.to_dict() for e in events],
+        "edges": [list(edge) for edge in log.edges()],
+        "quarantined": sum(e.quarantined for e in events),
+        "dropped_events": log.dropped,
+    }
+
+
 @dataclass
 class RunReport:
     """A named snapshot of spans + metrics + degradations, JSON-serializable."""
@@ -82,6 +106,9 @@ class RunReport:
     #: Serving-runtime rollup (queue high-water mark, admission and cache
     #: counts; see :func:`_serving_section` / docs/serving.md).
     serving: dict[str, Any] = field(default_factory=dict)
+    #: Declarative-pipeline rollup: per-table events + lineage edges
+    #: (see :func:`_dlt_section` / docs/dlt.md); empty when no pipeline ran.
+    dlt: dict[str, Any] = field(default_factory=dict)
 
     # -- collection ---------------------------------------------------------
 
@@ -106,6 +133,7 @@ class RunReport:
             orphan_spans=tracer.orphans,
             degradations=[e.to_dict() for e in get_log().events()],
             serving=_serving_section(registry),
+            dlt=_dlt_section(),
         )
 
     # -- serialization ------------------------------------------------------
@@ -121,6 +149,7 @@ class RunReport:
             "orphan_spans": self.orphan_spans,
             "degradations": list(self.degradations),
             "serving": dict(self.serving),
+            "dlt": dict(self.dlt),
             # The human-readable summary, via the shared table path.
             "metrics_table": self.metrics_table().to_dict(),
         }
@@ -136,6 +165,7 @@ class RunReport:
             orphan_spans=data.get("orphan_spans", 0),
             degradations=[dict(d) for d in data.get("degradations", [])],
             serving=dict(data.get("serving", {})),
+            dlt=dict(data.get("dlt", {})),
         )
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -220,6 +250,18 @@ class RunReport:
                 f"shed={s['shed']} queue_hwm={s['queue_depth_hwm']} "
                 f"cache_hit_ratio="
                 f"{'n/a' if ratio is None else f'{ratio:.3f}'}"
+            )
+        if self.dlt.get("tables"):
+            statuses: dict[str, int] = {}
+            for event in self.dlt["tables"]:
+                status = event.get("status", "?")
+                statuses[status] = statuses.get(status, 0) + 1
+            rollup = " ".join(
+                f"{status}={count}" for status, count in sorted(statuses.items())
+            )
+            parts.append(
+                f"dlt: tables={len(self.dlt['tables'])} {rollup} "
+                f"quarantined={self.dlt.get('quarantined', 0)}"
             )
         parts.append(self.metrics_table().render())
         return "\n".join(parts)

@@ -35,6 +35,7 @@ from repro.pipelines.pipeline import PipelineEvaluator, PrepPipeline
 from repro.pipelines.rnn_recommender import RNNOperatorRecommender
 from repro.pipelines.search import (
     ALL_STRATEGIES,
+    DEFAULT_PARALLEL_MIN_BUDGET,
     BayesianOptSearch,
     GeneticSearch,
     MetaLearningSearch,
@@ -48,6 +49,7 @@ from repro.pipelines.search import (
 __all__ = [
     "ALL_STRATEGIES",
     "AutoMLConfiguration",
+    "DEFAULT_PARALLEL_MIN_BUDGET",
     "AutoMLResult",
     "JointAutoMLSearch",
     "MODEL_FACTORIES",

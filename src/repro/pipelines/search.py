@@ -26,6 +26,16 @@ pass ``parallel=ParallelMap(workers=N)`` to any strategy and the returned
 :class:`SearchResult` — scores, trajectory ordering, failure counts — is
 identical to the serial run, because the evaluator is deterministic and
 results are recorded in candidate order regardless of completion order.
+
+Fan-out has a fixed price (task submission, thread wake-ups, result
+collection) that small searches never amortize: below ``budget ≈ 16`` the
+per-batch overhead outweighs the per-candidate work and a "parallel" run
+lands *slower* than the serial one (BENCH_perf once recorded 0.88×).  The
+base class therefore applies a **crossover policy**: a configured
+``parallel`` pool engages only when the run's budget reaches
+``parallel_min_budget`` (default 16); smaller runs silently fall back to
+serial evaluation.  Pass ``parallel_min_budget=0`` to force the pool on
+for any budget (benchmarks measuring raw fan-out cost do this).
 """
 
 from __future__ import annotations
@@ -53,6 +63,12 @@ class SearchResult:
     failures: int = 0
 
 
+#: Below this evaluation budget a configured parallel pool is not engaged:
+#: fan-out overhead dominates and the serial path is faster (see the
+#: module docstring and BENCH_perf's pipeline_search series).
+DEFAULT_PARALLEL_MIN_BUDGET = 16
+
+
 class SearchStrategy:
     """Base class: tracks best-so-far while spending the evaluation budget.
 
@@ -60,21 +76,44 @@ class SearchStrategy:
     execution policy for candidate *evaluation*; candidate *generation*
     stays sequential so the rng stream — and therefore the search result —
     does not depend on worker count.
+
+    :meth:`search` is a template method: it decides whether the run is
+    large enough to engage the pool (``budget >= parallel_min_budget``)
+    and then delegates to the subclass's ``_search``.  Results are
+    identical either way; only wall-clock differs.
     """
 
     name = "search"
 
     def __init__(self, registry: dict[str, list[Operator]], seed: int = 0,
-                 parallel: ParallelMap | None = None):
+                 parallel: ParallelMap | None = None,
+                 parallel_min_budget: int = DEFAULT_PARALLEL_MIN_BUDGET):
         self.registry = registry
         self.seed = seed
         self.parallel = parallel
+        self.parallel_min_budget = parallel_min_budget
+        self._active_pmap: ParallelMap | None = None
         self._encode_layout: tuple[dict[str, dict[str, int]], np.ndarray,
                                    int] | None = None
 
     def search(self, task: MLTask, evaluator: PipelineEvaluator,
                budget: int) -> SearchResult:
+        """Run the strategy, applying the serial/parallel crossover policy."""
+        self._active_pmap = self._select_parallel(budget)
+        try:
+            return self._search(task, evaluator, budget)
+        finally:
+            self._active_pmap = None
+
+    def _search(self, task: MLTask, evaluator: PipelineEvaluator,
+                budget: int) -> SearchResult:
         raise NotImplementedError
+
+    def _select_parallel(self, budget: int) -> ParallelMap | None:
+        """The pool to use for this run's budget, or None for serial."""
+        if self.parallel is None or budget < self.parallel_min_budget:
+            return None
+        return self.parallel
 
     # -- shared helpers --------------------------------------------------------
 
@@ -93,13 +132,15 @@ class SearchStrategy:
                         tracker: "_Tracker") -> list[float]:
         """Score a deduplicated candidate batch, recording in input order.
 
-        The batch fans out over ``self.parallel`` when configured; results
-        land back in candidate order, so the tracker's trajectory (and the
-        failure count) is the same whether the batch ran on 0 or N workers.
+        The batch fans out over the run's active pool (``self.parallel``
+        when the budget cleared ``parallel_min_budget``, serial otherwise);
+        results land back in candidate order, so the tracker's trajectory
+        (and the failure count) is the same whether the batch ran on 0 or
+        N workers.
         """
         if not pipelines:
             return []
-        pmap = self.parallel or ParallelMap(workers=0)
+        pmap = self._active_pmap or ParallelMap(workers=0)
         scores = pmap.map(
             lambda p: evaluator.score(p, task), pipelines,
             name=f"search.{self.name}",
@@ -193,8 +234,8 @@ class RandomSearch(SearchStrategy):
 
     name = "random"
 
-    def search(self, task: MLTask, evaluator: PipelineEvaluator,
-               budget: int) -> SearchResult:
+    def _search(self, task: MLTask, evaluator: PipelineEvaluator,
+                budget: int) -> SearchResult:
         rng = np.random.default_rng(self.seed)
         tracker = _Tracker()
         pending: list[PrepPipeline] = []
@@ -218,14 +259,16 @@ class BayesianOptSearch(SearchStrategy):
 
     def __init__(self, registry, seed: int = 0, init_random: int = 5,
                  kappa: float = 1.0, pool_size: int = 64,
-                 parallel: ParallelMap | None = None):
-        super().__init__(registry, seed, parallel=parallel)
+                 parallel: ParallelMap | None = None,
+                 parallel_min_budget: int = DEFAULT_PARALLEL_MIN_BUDGET):
+        super().__init__(registry, seed, parallel=parallel,
+                         parallel_min_budget=parallel_min_budget)
         self.init_random = init_random
         self.kappa = kappa
         self.pool_size = pool_size
 
-    def search(self, task: MLTask, evaluator: PipelineEvaluator,
-               budget: int) -> SearchResult:
+    def _search(self, task: MLTask, evaluator: PipelineEvaluator,
+                budget: int) -> SearchResult:
         from repro.ml.models import RandomForestRegressor
 
         rng = np.random.default_rng(self.seed)
@@ -332,13 +375,15 @@ class MetaLearningSearch(SearchStrategy):
     name = "meta-learning"
 
     def __init__(self, registry, store: MetaStore, seed: int = 0,
-                 warm_starts: int = 5, parallel: ParallelMap | None = None):
-        super().__init__(registry, seed, parallel=parallel)
+                 warm_starts: int = 5, parallel: ParallelMap | None = None,
+                 parallel_min_budget: int = DEFAULT_PARALLEL_MIN_BUDGET):
+        super().__init__(registry, seed, parallel=parallel,
+                         parallel_min_budget=parallel_min_budget)
         self.store = store
         self.warm_starts = warm_starts
 
-    def search(self, task: MLTask, evaluator: PipelineEvaluator,
-               budget: int) -> SearchResult:
+    def _search(self, task: MLTask, evaluator: PipelineEvaluator,
+                budget: int) -> SearchResult:
         from repro.pipelines.operators import operator_by_name
 
         tracker = _Tracker()
@@ -359,7 +404,8 @@ class MetaLearningSearch(SearchStrategy):
         remaining = budget - len(tracker.trajectory)
         if remaining > 0:
             bo = BayesianOptSearch(self.registry, seed=self.seed,
-                                   init_random=2, parallel=self.parallel)
+                                   init_random=2, parallel=self.parallel,
+                                   parallel_min_budget=self.parallel_min_budget)
             inner = bo.search(task, evaluator, remaining)
             tracker.failures += inner.failures
             for score in inner.trajectory:
@@ -377,8 +423,10 @@ class GeneticSearch(SearchStrategy):
 
     def __init__(self, registry, seed: int = 0, population: int = 8,
                  mutation_rate: float = 0.3, elite: int = 2,
-                 parallel: ParallelMap | None = None):
-        super().__init__(registry, seed, parallel=parallel)
+                 parallel: ParallelMap | None = None,
+                 parallel_min_budget: int = DEFAULT_PARALLEL_MIN_BUDGET):
+        super().__init__(registry, seed, parallel=parallel,
+                         parallel_min_budget=parallel_min_budget)
         self.population_size = population
         self.mutation_rate = mutation_rate
         self.elite = elite
@@ -394,8 +442,8 @@ class GeneticSearch(SearchStrategy):
         cut = int(rng.integers(1, len(STAGES)))
         return PrepPipeline(tuple(a.operators[:cut]) + tuple(b.operators[cut:]))
 
-    def search(self, task: MLTask, evaluator: PipelineEvaluator,
-               budget: int) -> SearchResult:
+    def _search(self, task: MLTask, evaluator: PipelineEvaluator,
+                budget: int) -> SearchResult:
         rng = np.random.default_rng(self.seed)
         tracker = _Tracker()
 
@@ -456,16 +504,18 @@ class QLearningSearch(SearchStrategy):
 
     def __init__(self, registry, seed: int = 0, epsilon: float = 0.35,
                  learning_rate: float = 0.4,
-                 parallel: ParallelMap | None = None):
+                 parallel: ParallelMap | None = None,
+                 parallel_min_budget: int = DEFAULT_PARALLEL_MIN_BUDGET):
         # ``parallel`` is accepted for API uniformity but unused: every
         # episode's policy depends on the previous episode's reward, so
         # Q-learning has no batchable evaluation grain.
-        super().__init__(registry, seed, parallel=parallel)
+        super().__init__(registry, seed, parallel=parallel,
+                         parallel_min_budget=parallel_min_budget)
         self.epsilon = epsilon
         self.learning_rate = learning_rate
 
-    def search(self, task: MLTask, evaluator: PipelineEvaluator,
-               budget: int) -> SearchResult:
+    def _search(self, task: MLTask, evaluator: PipelineEvaluator,
+                budget: int) -> SearchResult:
         rng = np.random.default_rng(self.seed)
         tracker = _Tracker()
         q_values: dict[tuple[str, str], float] = {

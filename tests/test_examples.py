@@ -20,6 +20,7 @@ def _examples_on_path():
 ALL_EXAMPLES = [
     "quickstart", "entity_resolution", "auto_prep_pipeline",
     "datalake_qa", "clean_table", "explore_and_enrich", "weak_labels",
+    "medallion_pipeline",
 ]
 
 
@@ -44,3 +45,15 @@ def test_clean_table_example_runs(capsys):
     out = capsys.readouterr().out
     assert "Detection" in out
     assert "Assisted review" in out
+
+
+def test_medallion_example_runs(capsys, tmp_path, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["medallion_pipeline", str(tmp_path)])
+    module = importlib.import_module("medallion_pipeline")
+    module.main()
+    out = capsys.readouterr().out
+    assert "checkpointed refresh" in out
+    assert "recomputed tables: none" in out
+    assert "Quarantine" in out
+    assert (tmp_path / "medallion_report.json").exists()
+    assert (tmp_path / "medallion_trace.json").exists()

@@ -184,3 +184,74 @@ class TestSymphony:
     def test_unanswerable_is_unknown(self, symphony):
         result = symphony.answer("qqq zzz vvv")
         assert result.answers[-1] == "unknown"
+
+
+class TestLakeMutation:
+    """Regression: replacing a table must invalidate derived indexes."""
+
+    def _lake(self):
+        lake = DataLake()
+        lake.add_table(
+            "cities", Table.from_dict({
+                "uid": ["c1", "c2"], "city": ["rome", "oslo"]}),
+            "city directory",
+        )
+        lake.add_table(
+            "weather", Table.from_dict({
+                "uid": ["c1", "c2"], "temp": [21.0, 4.0]}),
+            "temperatures by city",
+        )
+        return lake
+
+    def test_overwrite_replaces_table_and_bumps_version(self):
+        lake = self._lake()
+        before = lake.version
+        with pytest.raises(SchemaError, match="overwrite"):
+            lake.add_table("cities", Table.from_dict({"a": [1]}))
+        lake.add_table(
+            "cities", Table.from_dict({
+                "uid": ["c9"], "city": ["lima"]}),
+            overwrite=True,
+        )
+        assert lake.version == before + 1
+        assert lake.tables["cities"].table.column("city") == ["lima"]
+        assert lake.table_names() == ["cities", "weather"]
+
+    def test_remove_table(self):
+        lake = self._lake()
+        lake.remove_table("weather")
+        assert lake.table_names() == ["cities"]
+        with pytest.raises(SchemaError):
+            lake.remove_table("weather")
+
+    def test_lake_index_rebuilds_after_overwrite(self):
+        lake = self._lake()
+        index = LakeIndex(lake)
+        assert index.search("rome", k=1)[0].name == "cities"
+        lake.add_table(
+            "cities", Table.from_dict({
+                "uid": ["c9"], "city": ["lima"]}),
+            overwrite=True,
+        )
+        assert index.stale
+        hits = index.search("lima", k=1)
+        assert hits and hits[0].name == "cities"
+        assert not index.stale
+        # the replaced content is gone from the index
+        assert not any(h.name == "cities" for h in index.search("rome", k=3)
+                       if h.score > 0)
+
+    def test_join_discovery_rebuilds_after_overwrite(self):
+        lake = self._lake()
+        discovery = JoinDiscovery(lake, threshold=0.4)
+        assert ("weather", "uid") in [
+            (t, c) for t, c, _s in discovery.joinable_with("cities", "uid")]
+        # replace cities with disjoint uids: the old join must disappear
+        lake.add_table(
+            "cities", Table.from_dict({
+                "uid": ["z8", "z9"], "city": ["lima", "quito"]}),
+            overwrite=True,
+        )
+        assert discovery.stale
+        assert discovery.joinable_with("cities", "uid") == []
+        assert not discovery.stale

@@ -210,7 +210,7 @@ class TestRunReport:
                 pass
         report = obs.RunReport.collect("unit")
         data = json.loads(report.to_json())
-        assert data["schema_version"] == 3
+        assert data["schema_version"] == 4
         assert data["name"] == "unit"
         assert data["metrics"]["rr.count"]["value"] == 3
         assert data["metrics"]["rr.lat"]["count"] == 1

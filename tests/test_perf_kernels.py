@@ -21,6 +21,7 @@ from repro.nn.tensor import Tensor
 from repro.par import ParallelMap
 from repro.pipelines import (
     GeneticSearch,
+    MetaLearningSearch,
     PipelineEvaluator,
     RandomSearch,
     build_registry,
@@ -248,10 +249,43 @@ class TestParallelSearch:
         serial = strategy_cls(registry, seed=5).search(
             task, PipelineEvaluator(seed=1), budget=8
         )
+        # parallel_min_budget=0 forces the pool on even for this small run
         pooled = strategy_cls(
-            registry, seed=5, parallel=ParallelMap(workers=4, chunk_size=2)
+            registry, seed=5, parallel=ParallelMap(workers=4, chunk_size=2),
+            parallel_min_budget=0,
         ).search(task, PipelineEvaluator(seed=1), budget=8)
         assert self._as_tuple(pooled) == self._as_tuple(serial)
+
+    def test_small_budget_falls_back_to_serial(self, task, registry):
+        """The crossover policy: a configured pool is not engaged below
+        parallel_min_budget (fan-out overhead beats the win there)."""
+        pool = ParallelMap(workers=4, chunk_size=2)
+        searcher = RandomSearch(registry, seed=5, parallel=pool,
+                                parallel_min_budget=16)
+        assert searcher._select_parallel(8) is None
+        assert searcher._select_parallel(15) is None
+        assert searcher._select_parallel(16) is pool
+        # results are identical either side of the threshold
+        small = searcher.search(task, PipelineEvaluator(seed=1), budget=8)
+        serial = RandomSearch(registry, seed=5).search(
+            task, PipelineEvaluator(seed=1), budget=8)
+        assert self._as_tuple(small) == self._as_tuple(serial)
+        # the pool is released after every run, engaged or not
+        assert searcher._active_pmap is None
+
+    def test_no_pool_configured_is_always_serial(self, registry):
+        searcher = RandomSearch(registry, seed=0, parallel_min_budget=0)
+        assert searcher._select_parallel(1000) is None
+
+    def test_meta_learning_forwards_crossover_policy(self, registry):
+        pool = ParallelMap(workers=2)
+        searcher = MetaLearningSearch(
+            registry, MetaStore(), seed=0, parallel=pool,
+            parallel_min_budget=7,
+        )
+        assert searcher.parallel_min_budget == 7
+        assert searcher._select_parallel(6) is None
+        assert searcher._select_parallel(7) is pool
 
     def test_encode_batch_matches_single(self, registry):
         searcher = RandomSearch(registry, seed=0)

@@ -1,0 +1,188 @@
+"""EXT-IVM: delta-proportional view maintenance vs full recompute.
+
+Maintains the tentpole chain — ``filter(amount > 0) → join(users, on=uid)
+→ group_by(country, sum/count)`` — over a 100k-row orders stream, pushing
+1%-sized delta batches (a mix of inserts and deletes), and times each
+incremental update (push through the operator tree + fresh view read)
+against recomputing the same query from the post-delta snapshot with the
+batch kernels.
+
+Asserted on **every measured batch**: the maintained view equals the
+batch recompute as a bag of rows — the batch kernels are the semantics.
+Amounts are drawn from a dyadic grid (multiples of 0.25), where float
+addition is exact in any order, so the sum/avg comparison is exact
+equality, not approximate (docs/ivm.md).
+
+Asserted outside smoke mode: mean speedup >= 10x (the acceptance floor —
+incremental cost is O(delta + touched groups), recompute is O(table)).
+``REPRO_IVM_SMOKE=1`` shrinks the table for CI, keeping the equivalence
+asserts and the JSON artifact but skipping the wall-clock floor (CI
+machines are too noisy).
+
+The run writes ``BENCH_ivm.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import Counter
+
+import numpy as np
+
+from benchmarks.conftest import bench_artifact, run_once
+from repro.ivm import Delta, StreamTable
+from repro.table import Table
+
+#: Wall-clock claim under test (ISSUE 8 acceptance criteria).
+SPEEDUP_FLOOR = 10.0
+
+BASE_ROWS = 100_000
+SMOKE_BASE_ROWS = 4_000
+#: Each delta batch mutates 1% of the base table.
+DELTA_FRACTION = 0.01
+BATCHES = 5
+N_USERS = 1_000
+N_COUNTRIES = 40
+
+AGGREGATES = [("sum", "amount", "total"), ("count", "amount", "n")]
+
+
+def _amount(rng: np.random.Generator) -> float:
+    """Dyadic-grid amounts: exact float sums in any accumulation order."""
+    return float(rng.integers(-200, 2_000)) * 0.25
+
+
+def _orders(rng: np.random.Generator, n: int, start_oid: int) -> Table:
+    rows = [
+        (start_oid + i, int(rng.integers(0, N_USERS)), _amount(rng))
+        for i in range(n)
+    ]
+    return Table.from_rows(rows, schema=[("oid", "int"), ("uid", "int"),
+                                         ("amount", "float")])
+
+
+def _users() -> Table:
+    rows = [(u, f"country-{u % N_COUNTRIES}") for u in range(N_USERS)]
+    return Table.from_rows(rows, schema=[("uid", "int"), ("country", "str")])
+
+
+def _positive(table: Table):
+    return table.column_array("amount") > 0
+
+
+def _recompute(orders_snapshot: Table, users: Table) -> Table:
+    return (
+        orders_snapshot.filter(_positive(orders_snapshot))
+        .join(users, on="uid")
+        .group_by(["country"], AGGREGATES)
+    )
+
+
+def test_ext_ivm_view_maintenance(benchmark):
+    smoke = os.environ.get("REPRO_IVM_SMOKE", "") not in ("", "0")
+    rng = np.random.default_rng(8)
+    base_rows = SMOKE_BASE_ROWS if smoke else BASE_ROWS
+    delta_rows = max(int(base_rows * DELTA_FRACTION), 10)
+
+    base = _orders(rng, base_rows, start_oid=0)
+    users_table = _users()
+    live = list(base.rows())
+    next_oid = base_rows
+
+    def experiment():
+        nonlocal next_oid
+        orders = StreamTable(base, name="orders")
+        users = StreamTable(users_table, name="users")
+        start = time.perf_counter()
+        view = (
+            orders.view()
+            .filter(_positive)
+            .join(users, on="uid")
+            .group_by(["country"], AGGREGATES)
+            .materialize("spend_by_country")
+        )
+        seed_seconds = time.perf_counter() - start
+
+        batches = []
+        for _ in range(BATCHES):
+            # 1% churn: half fresh inserts, half deletes of live rows
+            n_deletes = delta_rows // 2
+            delete_idx = rng.choice(len(live), size=n_deletes, replace=False)
+            delete_set = set(int(i) for i in delete_idx)
+            deleted = [live[i] for i in delete_set]
+            inserts = _orders(rng, delta_rows - n_deletes, next_oid)
+            next_oid += delta_rows - n_deletes
+
+            delta_payload = Table.from_rows(
+                list(inserts.rows()) + deleted, schema=orders.schema
+            )
+            weights = [1] * inserts.num_rows + [-1] * len(deleted)
+
+            start = time.perf_counter()
+            orders.push(Delta.of(delta_payload, weights))
+            fresh = view.table()
+            incremental_seconds = time.perf_counter() - start
+
+            for i in sorted(delete_set, reverse=True):
+                live.pop(i)
+            live.extend(inserts.rows())
+
+            snapshot = orders.snapshot()
+            start = time.perf_counter()
+            recomputed = _recompute(snapshot, users_table)
+            recompute_seconds = time.perf_counter() - start
+
+            # exact equivalence, asserted on every measured batch
+            assert Counter(fresh.rows()) == Counter(recomputed.rows())
+
+            batches.append({
+                "incremental_seconds": incremental_seconds,
+                "recompute_seconds": recompute_seconds,
+                "speedup": recompute_seconds / incremental_seconds,
+                "delta_rows": delta_rows,
+                "state_rows": orders.num_rows,
+                "view_groups": fresh.num_rows,
+            })
+        return {"seed_seconds": seed_seconds, "batches": batches}
+
+    results = run_once(benchmark, experiment)
+
+    batches = results["batches"]
+    mean_incremental = float(np.mean(
+        [b["incremental_seconds"] for b in batches]))
+    mean_recompute = float(np.mean([b["recompute_seconds"] for b in batches]))
+    mean_speedup = mean_recompute / mean_incremental
+
+    from repro.evaluation import ResultTable
+
+    table = ResultTable(
+        f"EXT-IVM: incremental maintenance vs full recompute "
+        f"(rows={base_rows}, delta={delta_rows}, smoke={smoke})",
+        ["batch", "incremental (s)", "recompute (s)", "speedup"],
+    )
+    for i, b in enumerate(batches):
+        table.add(str(i), f"{b['incremental_seconds']:.4f}",
+                  f"{b['recompute_seconds']:.4f}", f"{b['speedup']:.1f}x")
+    table.add("mean", f"{mean_incremental:.4f}", f"{mean_recompute:.4f}",
+              f"{mean_speedup:.1f}x")
+    table.show()
+
+    bench_artifact("ivm", {
+        "smoke": smoke,
+        "rows": base_rows,
+        "delta_rows": delta_rows,
+        "batches": BATCHES,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "seed_seconds": results["seed_seconds"],
+        "mean_incremental_seconds": mean_incremental,
+        "mean_recompute_seconds": mean_recompute,
+        "speedup": mean_speedup,
+        "per_batch": batches,
+    })
+
+    if not smoke:
+        assert mean_speedup >= SPEEDUP_FLOOR, (
+            f"incremental maintenance {mean_speedup:.1f}x < "
+            f"{SPEEDUP_FLOOR}x floor vs full recompute"
+        )

@@ -50,7 +50,16 @@ CHECKPOINT_WRITE_POINT = "dlt.checkpoint.write"
 
 @dataclass(frozen=True)
 class ManifestEntry:
-    """One committed table: identity, location, and integrity hashes."""
+    """One committed table: identity, location, and integrity hashes.
+
+    ``base_fingerprint`` and ``source_state`` exist only for tables on the
+    incremental-source path: the base fingerprint hashes code + contracts
+    but NOT source content, and ``source_state`` records each append-only
+    source's high-water mark (``rows``) and content hash at commit time.
+    A later refresh whose source grew — but whose first ``rows`` rows
+    still hash to the recorded value — applies only the tail instead of
+    recomputing history (docs/dlt.md).
+    """
 
     table: str
     fingerprint: str
@@ -60,6 +69,8 @@ class ManifestEntry:
     quarantine_file: str | None = None
     quarantine_hash: str | None = None
     quarantined: int = 0
+    base_fingerprint: str | None = None
+    source_state: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -71,6 +82,8 @@ class ManifestEntry:
             "quarantine_file": self.quarantine_file,
             "quarantine_hash": self.quarantine_hash,
             "quarantined": self.quarantined,
+            "base_fingerprint": self.base_fingerprint,
+            "source_state": self.source_state,
         }
 
     @classmethod
@@ -84,6 +97,8 @@ class ManifestEntry:
             quarantine_file=data.get("quarantine_file"),
             quarantine_hash=data.get("quarantine_hash"),
             quarantined=int(data.get("quarantined", 0)),
+            base_fingerprint=data.get("base_fingerprint"),
+            source_state=data.get("source_state"),
         )
 
 
@@ -230,7 +245,9 @@ class CheckpointStore:
     # -- commit ------------------------------------------------------------
 
     def commit(self, name: str, fingerprint: str, table: Table,
-               quarantine: Table | None = None) -> ManifestEntry:
+               quarantine: Table | None = None, *,
+               base_fingerprint: str | None = None,
+               source_state: dict[str, Any] | None = None) -> ManifestEntry:
         """Atomically materialize ``table`` (+ quarantine) under ``name``.
 
         Raising anywhere inside — including the injected
@@ -263,6 +280,7 @@ class CheckpointStore:
             data_file=data_file, data_hash=data_hash, rows=table.num_rows,
             quarantine_file=quarantine_file, quarantine_hash=quarantine_hash,
             quarantined=quarantined,
+            base_fingerprint=base_fingerprint, source_state=source_state,
         )
         manifest[name] = entry
         self._write_manifest(manifest)  # stage 3 fires inside

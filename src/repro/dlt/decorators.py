@@ -43,7 +43,16 @@ _EXPECT_ATTR = "__dlt_expectations__"
 
 @dataclass(frozen=True)
 class TableDef:
-    """One declared pipeline table: the transform plus its contracts."""
+    """One declared pipeline table: the transform plus its contracts.
+
+    ``incremental=True`` declares the transform *linear over row batches*
+    — ``fn(a.union(b))`` row-equals ``fn(a).union(fn(b))`` (maps, filters,
+    per-row enrichment; NOT dedup, aggregation, or joins).  The runner
+    exploits the declaration only when the table's single input is an
+    append-only source registered with ``incremental=True``: a refresh
+    then runs the transform over the appended tail and unions it onto the
+    committed checkpoint instead of recomputing history (docs/dlt.md).
+    """
 
     name: str
     layer: str
@@ -51,6 +60,7 @@ class TableDef:
     inputs: tuple[str, ...]
     expectations: tuple[Expectation, ...] = ()
     description: str = ""
+    incremental: bool = False
 
     def __post_init__(self):
         if self.layer not in LAYERS:
@@ -61,8 +71,15 @@ class TableDef:
 
 
 def table(fn: Callable[..., Any] | None = None, *, name: str | None = None,
-          layer: str = "bronze", description: str = "") -> Callable[..., Any]:
-    """Declare a pipeline table (usable bare or with keyword arguments)."""
+          layer: str = "bronze", description: str = "",
+          incremental: bool = False) -> Callable[..., Any]:
+    """Declare a pipeline table (usable bare or with keyword arguments).
+
+    ``incremental=True`` asserts the transform is linear over row batches
+    so appended source rows can be processed as a tail (see
+    :class:`TableDef`); the declaration is the caller's contract — the
+    runner cannot check linearity.
+    """
 
     def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
         if getattr(fn, _TABLE_ATTR, None) is not None:
@@ -76,6 +93,7 @@ def table(fn: Callable[..., Any] | None = None, *, name: str | None = None,
             inputs=inputs,
             expectations=expectations,
             description=description,
+            incremental=incremental,
         )
         setattr(fn, _TABLE_ATTR, tdef)
         return fn

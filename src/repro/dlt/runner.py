@@ -64,11 +64,17 @@ ON_ERROR_MODES = ("halt", "skip_downstream")
 
 @dataclass
 class TableResult:
-    """One table's outcome in one :meth:`Pipeline.run`."""
+    """One table's outcome in one :meth:`Pipeline.run`.
+
+    ``appended`` means the incremental-source tail path ran: only the
+    source rows past the committed high-water mark went through the
+    transform, and the output was unioned onto the checkpoint.
+    ``rows_in``/``rows_out`` then count the *tail*, not history.
+    """
 
     name: str
     layer: str
-    status: str  # "materialized" | "cached" | "failed" | "skipped"
+    status: str  # "materialized" | "appended" | "cached" | "failed" | "skipped"
     rows_in: int = 0
     rows_out: int = 0
     dropped: int = 0
@@ -79,7 +85,7 @@ class TableResult:
 
     @property
     def ok(self) -> bool:
-        return self.status in ("materialized", "cached")
+        return self.status in ("materialized", "appended", "cached")
 
     def to_dict(self) -> dict[str, Any]:
         out = {
@@ -162,6 +168,7 @@ class Pipeline:
         self.clock = clock
         self.defs: dict[str, TableDef] = {}
         self.sources: dict[str, Table | Callable[[], Table]] = {}
+        self.incremental_sources: set[str] = set()
 
     # -- declaration -------------------------------------------------------
 
@@ -174,16 +181,27 @@ class Pipeline:
             self.defs[tdef.name] = tdef
         return self
 
-    def source(self, name: str,
-               data: Table | Callable[[], Table]) -> "Pipeline":
+    def source(self, name: str, data: Table | Callable[[], Table], *,
+               incremental: bool = False) -> "Pipeline":
         """Register an external input (a Table, or a callable producing one).
 
         Sources are content-hashed each run: mutating a source's data
         dirties exactly the tables downstream of it.
+
+        ``incremental=True`` declares the source *append-only*: refreshes
+        record a high-water mark (row count + prefix content hash) per
+        consumer checkpoint, and a consumer declared
+        ``@table(incremental=True)`` whose prefix still matches applies
+        the transform to the appended tail only, unioning it onto the
+        committed state.  A rewritten prefix is detected by the hash check
+        and falls back to a full recompute — the flag can never serve
+        wrong data, only faster refreshes.
         """
         if name in self.defs or name in self.sources:
             raise DltError(f"duplicate source name {name!r}")
         self.sources[name] = data
+        if incremental:
+            self.incremental_sources.add(name)
         return self
 
     def graph(self) -> PipelineGraph:
@@ -217,13 +235,23 @@ class Pipeline:
                     continue
                 fingerprint = self._fingerprint(tdef, fingerprints)
                 fingerprints[name] = fingerprint
+                base_fp = self._tail_base_fingerprint(tdef)
 
                 if not full_refresh and store is not None:
                     if self._load_cached(store, tdef, fingerprint, run):
                         continue
+                    handled = self._apply_tail(
+                        store, tdef, fingerprint, base_fp, source_tables,
+                        run, on_error=on_error,
+                    )
+                    if handled is not None:
+                        if not handled and on_error == "halt":
+                            halted = True
+                        continue
 
                 ok = self._compute(tdef, fingerprint, source_tables, store,
-                                   run, on_error=on_error)
+                                   run, on_error=on_error,
+                                   base_fingerprint=base_fp)
                 if not ok and on_error == "halt":
                     halted = True
         return run
@@ -262,6 +290,134 @@ class Pipeline:
             *[sig for exp in tdef.expectations for sig in exp.signature()],
             *[fingerprints[dep] for dep in tdef.inputs],
         )
+
+    def _tail_base_fingerprint(self, tdef: TableDef) -> str | None:
+        """The table's identity *excluding* source content, or None.
+
+        Non-None marks the table eligible for the incremental-source tail
+        path: the transform is declared linear (``incremental=True``), it
+        has exactly one input, and that input is an append-only source.
+        Multi-input incremental transforms are out of scope (narrow
+        wiring): linearity per argument does not compose across arguments
+        for joins, so the runner refuses rather than guesses.
+        """
+        if not tdef.incremental or len(tdef.inputs) != 1:
+            return None
+        if tdef.inputs[0] not in self.incremental_sources:
+            return None
+        return fingerprint_parts(
+            "base", tdef.name, tdef.layer, _code_hash(tdef.fn),
+            *[sig for exp in tdef.expectations for sig in exp.signature()],
+            *tdef.inputs,
+        )
+
+    @staticmethod
+    def _source_state(tdef: TableDef,
+                      source_tables: dict[str, Table]) -> dict[str, Any]:
+        """High-water mark + content hash per input source, at commit time."""
+        return {
+            dep: {"rows": source_tables[dep].num_rows,
+                  "hash": table_hash(source_tables[dep])}
+            for dep in tdef.inputs
+        }
+
+    def _apply_tail(self, store: CheckpointStore, tdef: TableDef,
+                    fingerprint: str, base_fp: str | None,
+                    source_tables: dict[str, Table], run: RunResult, *,
+                    on_error: str) -> bool | None:
+        """Try the append-only tail path; None = ineligible (fall through).
+
+        Eligibility beyond :meth:`_tail_base_fingerprint`: a committed
+        checkpoint entry with the same base fingerprint whose recorded
+        high-water mark still prefix-hashes into the current source.  When
+        it holds, the transform + expectations run over the appended tail
+        only and the result is unioned onto the committed table — cost
+        proportional to the tail, with the full fingerprint re-recorded so
+        downstream staleness stays content-driven.
+        """
+        if base_fp is None:
+            return None
+        entry = store.committed(tdef.name)
+        if (entry is None or entry.base_fingerprint != base_fp
+                or not entry.source_state):
+            return None
+        src_name = tdef.inputs[0]
+        current = source_tables[src_name]
+        recorded = entry.source_state.get(src_name)
+        if recorded is None:
+            return None
+        hwm = int(recorded["rows"])
+        if current.num_rows <= hwm:
+            return None                      # shrunk/rewritten: recompute
+        if table_hash(current.slice(0, hwm)) != recorded["hash"]:
+            metrics.counter("dlt.incremental.prefix_rewritten").inc()
+            return None                      # prefix mutated: recompute
+        cached = store.read_table(tdef.name, entry)
+        if cached is None:
+            return None
+        tail = current.slice(hwm)
+
+        with instrument.timed("dlt.table.seconds", span_name="dlt.table",
+                              table=tdef.name, layer=tdef.layer) as table_span:
+            try:
+                out_tail = self._call_fn(tdef, [tail])
+                rows_in = out_tail.num_rows
+                out_tail, tail_quarantine, dropped, warned = (
+                    self._apply_expectations(tdef, out_tail)
+                )
+            except Exception as exc:  # noqa: BLE001 - per-table isolation
+                run.results[tdef.name] = TableResult(
+                    tdef.name, tdef.layer, "failed", error=str(exc),
+                )
+                metrics.counter("dlt.tables.failed").inc()
+                table_span.set(status="failed", error=str(exc))
+                degradation.record(
+                    "dlt", tdef.name,
+                    "halt" if on_error == "halt" else "skip_downstream",
+                    error=str(exc),
+                )
+                logger.warning("table %s tail failed: %s", tdef.name, exc)
+                get_log().record(TableEvent(
+                    pipeline=self.name, table=tdef.name, layer=tdef.layer,
+                    status="failed", inputs=tdef.inputs, error=str(exc),
+                ))
+                return False
+
+            out = cached.union(out_tail)
+            quarantine = store.read_quarantine(tdef.name, entry)
+            if tail_quarantine is not None and tail_quarantine.num_rows:
+                quarantine = (tail_quarantine if quarantine is None
+                              else quarantine.union(tail_quarantine))
+            table_span.set(
+                status="appended", rows_in=rows_in,
+                rows_out=out_tail.num_rows, dropped=dropped,
+                tail_rows=tail.num_rows, total_rows=out.num_rows,
+            )
+            store.commit(
+                tdef.name, fingerprint, out, quarantine,
+                base_fingerprint=base_fp,
+                source_state=self._source_state(tdef, source_tables),
+            )
+
+        run.tables[tdef.name] = out
+        if quarantine is not None and quarantine.num_rows:
+            run.quarantines[tdef.name] = quarantine
+        quarantined = 0 if quarantine is None else quarantine.num_rows
+        run.results[tdef.name] = TableResult(
+            tdef.name, tdef.layer, "appended",
+            rows_in=rows_in, rows_out=out_tail.num_rows, dropped=dropped,
+            quarantined=quarantined, warned=warned, recomputed=True,
+        )
+        metrics.counter("dlt.tables.appended").inc()
+        metrics.counter("dlt.incremental.tail_rows").inc(tail.num_rows)
+        self._register(tdef, out)
+        get_log().record(TableEvent(
+            pipeline=self.name, table=tdef.name, layer=tdef.layer,
+            status="appended", rows_in=rows_in, rows_out=out_tail.num_rows,
+            dropped=dropped, quarantined=quarantined, warned=warned,
+            inputs=tdef.inputs, recomputed=True,
+        ))
+        return True
 
     def _record_skip(self, run: RunResult, tdef: TableDef,
                      reason: str) -> None:
@@ -305,7 +461,7 @@ class Pipeline:
     def _compute(self, tdef: TableDef, fingerprint: str,
                  source_tables: dict[str, Table],
                  store: CheckpointStore | None, run: RunResult, *,
-                 on_error: str) -> bool:
+                 on_error: str, base_fingerprint: str | None = None) -> bool:
         """Run one table's transform + expectations, then commit it.
 
         Transform/expectation failures are isolated per ``on_error``;
@@ -350,7 +506,14 @@ class Pipeline:
             # the materialization did not durably happen, and the safe
             # reaction is the one a process kill gets — stop and resume.
             if store is not None:
-                store.commit(tdef.name, fingerprint, out, quarantine)
+                store.commit(
+                    tdef.name, fingerprint, out, quarantine,
+                    base_fingerprint=base_fingerprint,
+                    source_state=(
+                        self._source_state(tdef, source_tables)
+                        if base_fingerprint is not None else None
+                    ),
+                )
 
         run.tables[tdef.name] = out
         if quarantine is not None and quarantine.num_rows:

@@ -90,6 +90,12 @@ class CheckpointError(DltError):
     """A checkpoint store operation was misused (unknown table, bad root)."""
 
 
+class IvmError(ReproError):
+    """The incremental view maintenance layer (``repro.ivm``) was misused:
+    mismatched schemas, negative multiplicities, or an unsupported view
+    definition."""
+
+
 class ServingError(ReproError):
     """The serving runtime was misused or a response never materialized."""
 

@@ -1,0 +1,363 @@
+"""Stream tables and materialized views.
+
+A :class:`StreamTable` is a continuously-mutating table: its net state is
+a Z-set (kept as lazily-consolidated parts plus a multiplicity ledger),
+and :meth:`~StreamTable.insert_rows` / :meth:`~StreamTable.delete_rows`
+push ``(row, ±1)`` deltas through every :class:`MaterializedView`
+registered over it.  A view is a compiled tree of
+:mod:`~repro.ivm.operators` nodes; each push advances the tree by one
+delta and appends the output delta to the view's pending parts, so the
+cost of an update is proportional to the delta (plus touched groups),
+never to the base table.  Reading :meth:`MaterializedView.table`
+consolidates lazily and caches.
+
+Views are *composed*, not queried: build one with the fluent
+:class:`ViewBuilder` (``stream.view().filter(...).join(...).group_by(...)
+.materialize()``) or from SQL via
+:meth:`repro.sql.Database.create_view`.  The builder holds an immutable
+spec tree, so the same recipe can be materialized repeatedly — every
+materialization compiles fresh stateful nodes and seeds them from the
+streams' current states.
+
+Chaos: every push crosses the ``ivm.push`` fault point *before* any state
+mutates, so an injected fault leaves stream and views untouched
+(tests/test_ivm_chaos assert exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import IvmError
+from repro.obs import metrics
+from repro.obs.instrument import timed
+from repro.resilience import faults
+from repro.table import Schema, Table
+from repro.ivm.operators import (
+    DistinctNode,
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    Node,
+    ProjectNode,
+    ScanNode,
+    UnionNode,
+)
+from repro.ivm.zset import Delta, ZSet
+
+#: Named chaos injection point crossed at the top of every delta push.
+PUSH_POINT = "ivm.push"
+
+
+class StreamTable:
+    """A mutable table that feeds materialized views.
+
+    Construct from a :class:`~repro.table.Table` (initial state) or a
+    schema (empty stream).  The net state is always a true multiset —
+    deleting rows that are not present raises
+    :class:`~repro.errors.IvmError` before anything mutates.  Physically
+    the state is a list of pending Z-set parts plus a row-multiplicity
+    ledger: a push validates against the ledger and appends one part
+    (O(delta) work), and consolidation happens lazily on the first
+    :meth:`snapshot` / seed after a burst of pushes.
+    """
+
+    def __init__(self, data: Table | Schema | Sequence[tuple[str, str]],
+                 name: str = "stream") -> None:
+        if isinstance(data, Table):
+            part = ZSet.from_table(data)
+            bag: dict[tuple[Any, ...], int] = {}
+            for row in data.rows():
+                bag[row] = bag.get(row, 0) + 1
+        else:
+            part = ZSet.empty(data)
+            bag = {}
+        self.name = name
+        self._parts: list[ZSet] = [part]
+        self._flat: ZSet | None = None
+        self._bag = bag
+        self._net = len(part)
+        self._views: list["MaterializedView"] = []
+        self._snapshot: Table | None = None
+
+    @property
+    def _state(self) -> ZSet:
+        """The net state as one consolidated Z-set (lazily folded)."""
+        if self._flat is None:
+            combined = self._parts[0]
+            for part in self._parts[1:]:
+                combined = combined + part
+            self._flat = combined.consolidate()
+            self._parts = [self._flat]
+        return self._flat
+
+    @property
+    def schema(self) -> Schema:
+        return self._parts[0].schema
+
+    @property
+    def num_rows(self) -> int:
+        """Net row count (duplicates weighted)."""
+        return self._net
+
+    def __repr__(self) -> str:
+        return (f"StreamTable({self.name!r}, rows={self.num_rows}, "
+                f"views={len(self._views)})")
+
+    def snapshot(self) -> Table:
+        """The current state as a plain table (cached until the next push)."""
+        if self._snapshot is None:
+            self._snapshot = self._state.to_table()
+        return self._snapshot
+
+    # -- mutation ---------------------------------------------------------
+
+    def _conform(self, table: Table) -> Table:
+        if table.schema != self.schema:
+            raise IvmError(
+                f"table schema {table.schema} does not match stream "
+                f"{self.name!r} schema {self.schema}"
+            )
+        return table
+
+    def insert(self, table: Table) -> None:
+        self.push(Delta.inserts(self._conform(table)))
+
+    def delete(self, table: Table) -> None:
+        self.push(Delta.deletes(self._conform(table)))
+
+    def insert_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        self.insert(Table.from_rows([tuple(r) for r in rows],
+                                    schema=self.schema))
+
+    def delete_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        self.delete(Table.from_rows([tuple(r) for r in rows],
+                                    schema=self.schema))
+
+    def push(self, delta: ZSet) -> None:
+        """Apply one delta batch: validate, advance state, notify views.
+
+        Cost is O(delta): validation nets the delta against the
+        multiplicity ledger, and the state update is one part append — no
+        re-consolidation of the accumulated state on the push path.
+
+        The state transition is atomic with respect to failure *before*
+        it: the ``ivm.push`` fault point and the negative-multiplicity
+        check both fire before state or any view mutates.  View
+        notification itself is sequential; a view whose operator raises
+        mid-apply leaves earlier views advanced (documented, not hidden —
+        operator errors indicate bugs, not data conditions).
+        """
+        if delta.schema != self.schema:
+            raise IvmError(
+                f"delta schema {delta.schema} does not match stream "
+                f"{self.name!r} schema {self.schema}"
+            )
+        with timed("ivm.push.seconds", span_name="ivm.push",
+                   stream=self.name, entries=len(delta)) as s:
+            faults.point(PUSH_POINT)
+            bag = self._bag
+            overlay: dict[tuple[Any, ...], int] = {}
+            cols = [c.to_pylist() for c in delta.payload.columns()]
+            row_iter = zip(*cols) if cols else iter(
+                [()] * delta.payload.num_rows)
+            for row, w in zip(row_iter, delta.weights.tolist()):
+                overlay[row] = overlay.get(row, 0) + w
+            # Only net-negative rows can push an existing multiplicity
+            # below zero (the ledger is never negative), so validation
+            # touches just the delete side of the delta.
+            bad = sum(1 for row, w in overlay.items()
+                      if w < 0 and bag.get(row, 0) + w < 0)
+            if bad:
+                raise IvmError(
+                    f"push would leave {bad} rows of stream {self.name!r} "
+                    f"with negative multiplicity (deleting absent rows?)"
+                )
+            for row, w in overlay.items():
+                new = bag.get(row, 0) + w
+                if new:
+                    bag[row] = new
+                else:
+                    bag.pop(row, None)
+            self._net += int(delta.weights.sum())
+            if len(delta):
+                self._parts.append(delta)
+                self._flat = None
+            self._snapshot = None
+            metrics.counter("ivm.pushes").inc()
+            metrics.counter("ivm.delta_rows").inc(len(delta))
+            for view in list(self._views):
+                view._apply(self, delta)
+            s.set(state_rows=self._net)
+
+    # -- view construction ------------------------------------------------
+
+    def view(self) -> "ViewBuilder":
+        """Start a view definition rooted at this stream."""
+        return ViewBuilder(_Spec("scan", (self,), ()))
+
+    def _register(self, view: "MaterializedView") -> None:
+        self._views.append(view)
+
+    def _unregister(self, view: "MaterializedView") -> None:
+        if view in self._views:
+            self._views.remove(view)
+
+
+class _Spec:
+    """One immutable node of a view recipe: kind, args, child specs."""
+
+    __slots__ = ("kind", "args", "inputs")
+
+    def __init__(self, kind: str, args: tuple, inputs: tuple):
+        self.kind = kind
+        self.args = args
+        self.inputs = inputs
+
+    def build(self) -> Node:
+        children = [child.build() for child in self.inputs]
+        if self.kind == "scan":
+            return ScanNode(self.args[0])
+        if self.kind == "filter":
+            return FilterNode(children[0], self.args[0])
+        if self.kind == "project":
+            return ProjectNode(children[0], self.args[0], self.args[1])
+        if self.kind == "union":
+            return UnionNode(children[0], children[1])
+        if self.kind == "join":
+            return JoinNode(children[0], children[1], self.args[0],
+                            self.args[1])
+        if self.kind == "group_by":
+            return GroupByNode(children[0], self.args[0], self.args[1])
+        if self.kind == "distinct":
+            return DistinctNode(children[0])
+        raise IvmError(f"unknown view operator {self.kind!r}")
+
+
+class ViewBuilder:
+    """Fluent, immutable view recipe over one or more streams.
+
+    Every method returns a new builder; :meth:`materialize` compiles the
+    recipe into fresh operator nodes, seeds them from the current stream
+    states, and registers the view for future pushes.
+    """
+
+    def __init__(self, spec: _Spec) -> None:
+        self._spec = spec
+
+    def filter(self, predicate) -> "ViewBuilder":
+        """Keep rows where ``predicate`` holds — a vectorized callable
+        ``Table -> bool mask`` or a dlt-style predicate with ``.mask``."""
+        return ViewBuilder(_Spec("filter", (predicate,), (self._spec,)))
+
+    def project(self, names: Sequence[str],
+                rename: dict[str, str] | None = None) -> "ViewBuilder":
+        return ViewBuilder(
+            _Spec("project", (list(names), dict(rename or {})), (self._spec,))
+        )
+
+    def join(self, other: "ViewBuilder | StreamTable",
+             on: Sequence[tuple[str, str]] | str,
+             suffix: str = "_r") -> "ViewBuilder":
+        other_spec = (other.view()._spec if isinstance(other, StreamTable)
+                      else other._spec)
+        return ViewBuilder(
+            _Spec("join", (on, suffix), (self._spec, other_spec))
+        )
+
+    def union(self, other: "ViewBuilder | StreamTable") -> "ViewBuilder":
+        other_spec = (other.view()._spec if isinstance(other, StreamTable)
+                      else other._spec)
+        return ViewBuilder(_Spec("union", (), (self._spec, other_spec)))
+
+    def group_by(self, keys: Sequence[str],
+                 aggregates: Sequence[tuple[str, str | None, str]],
+                 ) -> "ViewBuilder":
+        return ViewBuilder(
+            _Spec("group_by", (list(keys), list(aggregates)), (self._spec,))
+        )
+
+    def distinct(self) -> "ViewBuilder":
+        return ViewBuilder(_Spec("distinct", (), (self._spec,)))
+
+    def materialize(self, name: str = "view", *,
+                    order_by: tuple[str, bool] | None = None,
+                    limit: int | None = None) -> "MaterializedView":
+        return MaterializedView(name, self._spec.build(),
+                                order_by=order_by, limit=limit)
+
+
+class MaterializedView:
+    """An always-fresh query result maintained by deltas.
+
+    Holds the root operator node and the accumulated output as a list of
+    pending Z-set parts: applying a push appends one part (delta-sized
+    work), and :meth:`table` consolidates lazily so a burst of pushes pays
+    consolidation once.  ``order_by``/``limit`` are read-time decorations
+    (SQL views use them); the maintained state is always the full
+    unordered result.
+    """
+
+    def __init__(self, name: str, root: Node, *,
+                 order_by: tuple[str, bool] | None = None,
+                 limit: int | None = None) -> None:
+        self.name = name
+        self.root = root
+        self.order_by = order_by
+        self.limit = limit
+        self._parts: list[ZSet] = []
+        self._output: ZSet | None = None
+        self._table: Table | None = None
+        streams = sorted(root.streams, key=lambda s: s.name)
+        seed = {stream: stream._state for stream in streams}
+        self._parts.append(root.delta(seed))
+        for stream in streams:
+            stream._register(self)
+
+    @property
+    def schema(self) -> Schema:
+        return self.root.schema
+
+    def __repr__(self) -> str:
+        return f"MaterializedView({self.name!r}, schema={self.schema!r})"
+
+    def _apply(self, stream: StreamTable, delta: ZSet) -> None:
+        with timed("ivm.view.apply.seconds", span_name="ivm.view.apply",
+                   view=self.name) as s:
+            out = self.root.delta({stream: delta})
+            if len(out):
+                self._parts.append(out)
+                self._output = None
+                self._table = None
+            metrics.counter("ivm.views.applies").inc()
+            metrics.counter("ivm.views.rows_emitted").inc(len(out))
+            s.set(rows_out=len(out))
+
+    def output(self) -> ZSet:
+        """The maintained result as a consolidated Z-set."""
+        if self._output is None or len(self._parts) > 1:
+            combined = self._parts[0]
+            for part in self._parts[1:]:
+                combined = combined + part
+            flat = combined.consolidate()
+            self._parts = [flat]
+            self._output = flat
+        return self._output
+
+    def table(self) -> Table:
+        """The maintained result as a plain table (cached until the next
+        delta), with any ``order_by``/``limit`` read options applied."""
+        if self._table is None:
+            out = self.output().to_table()
+            if self.order_by is not None:
+                col, descending = self.order_by
+                out = out.order_by(col, descending=descending)
+            if self.limit is not None:
+                out = out.limit(self.limit)
+            self._table = out
+        return self._table
+
+    def detach(self) -> None:
+        """Stop maintaining this view (streams drop their reference)."""
+        for stream in self.root.streams:
+            stream._unregister(self)

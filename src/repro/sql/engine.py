@@ -36,23 +36,100 @@ from repro.table.schema import Schema, infer_dtype
 
 
 class Database:
-    """A named collection of tables with a ``query`` entry point."""
+    """A named collection of tables with a ``query`` entry point.
+
+    Three namespaces share one name space: plain tables (:meth:`register`),
+    mutable streams (:meth:`register_stream`), and incrementally-maintained
+    views (:meth:`create_view`).  :meth:`table` resolves any of them to a
+    :class:`~repro.table.Table`, so ``query()`` reads streams (current
+    snapshot) and views (always fresh, delta-maintained) exactly like
+    static tables.
+    """
 
     def __init__(self, tables: dict[str, Table] | None = None):
         self._tables: dict[str, Table] = dict(tables or {})
+        self._streams: dict[str, Any] = {}
+        self._views: dict[str, Any] = {}
 
     def register(self, name: str, table: Table) -> None:
+        self._check_free(name, allow="table")
         self._tables[name] = table
 
-    def table(self, name: str) -> Table:
-        if name not in self._tables:
+    def register_stream(self, name: str, source: Any):
+        """Register a mutable stream table (see :mod:`repro.ivm`).
+
+        ``source`` is a :class:`~repro.ivm.StreamTable`, or a
+        :class:`~repro.table.Table` / schema to wrap in a fresh one.
+        Returns the stream, whose ``insert_rows``/``delete_rows`` feed
+        every view created over it.
+        """
+        from repro.ivm import StreamTable
+        self._check_free(name)
+        stream = (source if isinstance(source, StreamTable)
+                  else StreamTable(source, name=name))
+        self._streams[name] = stream
+        return stream
+
+    def stream(self, name: str):
+        if name not in self._streams:
             raise SchemaError(
-                f"no table {name!r}; available: {sorted(self._tables)}"
+                f"no stream {name!r}; available: {sorted(self._streams)}"
             )
-        return self._tables[name]
+        return self._streams[name]
+
+    def create_view(self, name: str, sql: str):
+        """Create an incrementally-maintained view from a SELECT statement.
+
+        The query must range over registered streams and stay inside the
+        supported subset (:mod:`repro.sql.views`); the resulting
+        :class:`~repro.ivm.MaterializedView` is registered under ``name``
+        and updates itself on every stream push — ``query()`` against it
+        never recomputes from scratch.
+        """
+        from repro.sql.views import compile_view
+        self._check_free(name)
+        with tracing.span("sql.create_view", view=name, sql=sql.strip()):
+            view = compile_view(name, parse_sql(sql), self._streams)
+        self._views[name] = view
+        return view
+
+    def view(self, name: str):
+        if name not in self._views:
+            raise SchemaError(
+                f"no view {name!r}; available: {sorted(self._views)}"
+            )
+        return self._views[name]
+
+    def drop_view(self, name: str) -> None:
+        self.view(name).detach()
+        del self._views[name]
+
+    def _check_free(self, name: str, allow: str | None = None) -> None:
+        """Names are unique across tables, streams, and views — except
+        plain-table re-registration, which has always meant replacement."""
+        taken = (
+            ("table", self._tables), ("stream", self._streams),
+            ("view", self._views),
+        )
+        for kind, names in taken:
+            if name in names and kind != allow:
+                raise SchemaError(
+                    f"name {name!r} is already a registered {kind}"
+                )
+
+    def table(self, name: str) -> Table:
+        if name in self._tables:
+            return self._tables[name]
+        if name in self._streams:
+            return self._streams[name].snapshot()
+        if name in self._views:
+            return self._views[name].table()
+        raise SchemaError(
+            f"no table {name!r}; available: {self.table_names()}"
+        )
 
     def table_names(self) -> list[str]:
-        return sorted(self._tables)
+        return sorted({*self._tables, *self._streams, *self._views})
 
     def query(self, sql: str) -> Table:
         """Parse and execute a SELECT statement."""

@@ -173,6 +173,16 @@ class _Parser:
         kind, value = self.next()
         if kind != "name":
             raise ParseError(f"expected column name, got {value!r}")
+        # Accept a "table.column" qualifier and keep the column: the
+        # engine resolves columns by bare name (joins suffix clashes), so
+        # the qualifier is documentation, not disambiguation.
+        if self.peek() == ("op", "."):
+            self.next()
+            kind, column = self.next()
+            if kind != "name":
+                raise ParseError(f"expected column after {value!r}., "
+                                 f"got {column!r}")
+            return column
         return value
 
     def expr(self):

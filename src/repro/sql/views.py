@@ -1,0 +1,173 @@
+"""Compile parsed SELECT statements into incrementally-maintained views.
+
+:meth:`repro.sql.Database.create_view` lands here: a :class:`Query` over
+registered :class:`~repro.ivm.StreamTable`s becomes a
+:class:`~repro.ivm.ViewBuilder` recipe — scan → join* → filter →
+(group-by → project | project) — materialized with ORDER BY / LIMIT as
+read-time options.  The batch executor (:func:`repro.sql.engine.execute`
+over stream snapshots) is the semantics; ``db.query(sql)`` and
+``db.create_view(...).table()`` are property-tested equal row-for-row.
+
+Supported subset (anything else raises :class:`~repro.errors.IvmError`
+at ``create_view`` time, never at push time):
+
+* FROM / INNER JOIN over registered streams only
+* WHERE clauses the vectorized evaluator accepts (no aggregates)
+* SELECT of plain columns (with aliases), or GROUP BY with
+  count/sum/min/max/avg/COUNT(*) over plain columns — global aggregates
+  without GROUP BY are rejected (an empty incremental group cannot emit
+  the ``COUNT(*) = 0`` row batch SQL produces)
+* ORDER BY / LIMIT, applied when the view is read
+
+One deliberate divergence: the batch aggregate path re-infers output
+dtypes from materialized python values, so an all-NULL aggregate column
+degrades to ``str`` there while the view keeps the declared dtype.  Row
+values are identical either way.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IvmError
+from repro.ivm import MaterializedView, StreamTable, ViewBuilder
+from repro.sql.ast import ColumnRef, Expr, FuncCall, Query
+from repro.sql.engine import _default_name, _has_aggregate, _where_mask
+from repro.table import Table
+
+_AGG_FNS = ("count", "sum", "min", "max", "avg")
+
+
+class _WherePredicate:
+    """A WHERE clause as an ivm filter predicate (vectorized mask)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr):
+        self.expr = expr
+
+    def mask(self, table: Table):
+        mask = _where_mask(self.expr, table)
+        if mask is None:                     # guarded at compile time
+            raise IvmError(
+                f"WHERE clause {self.expr!r} stopped being vectorizable"
+            )
+        return mask
+
+
+def compile_view(name: str, query: Query,
+                 streams: dict[str, StreamTable]) -> MaterializedView:
+    """Build and seed a materialized view for ``query`` over ``streams``."""
+
+    def stream_of(table_name: str) -> StreamTable:
+        if table_name not in streams:
+            raise IvmError(
+                f"view {name!r} references {table_name!r}, which is not a "
+                f"registered stream; available: {sorted(streams)}"
+            )
+        return streams[table_name]
+
+    base = stream_of(query.table)
+    builder: ViewBuilder = base.view()
+    probe = Table.empty(base.schema)
+    for join in query.joins:
+        right = stream_of(join.table)
+        pairs = [(join.left_col, join.right_col)]
+        builder = builder.join(right, on=pairs)
+        _lt, _rt, out_schema, _k = probe.join_indices(
+            Table.empty(right.schema), pairs, "inner", "_r"
+        )
+        probe = Table.empty(out_schema)
+
+    if query.where is not None:
+        # Vectorizability is structural (no aggregate nodes), so probing
+        # the empty post-join schema decides it once, at creation — and
+        # surfaces unknown-column errors before any state exists.
+        if _where_mask(query.where, probe) is None:
+            raise IvmError(
+                f"view {name!r}: WHERE clause is not vectorizable; "
+                f"materialized views require vectorized predicates"
+            )
+        builder = builder.filter(_WherePredicate(query.where))
+
+    if query.group_by or _has_aggregate(query):
+        builder = _compile_grouped(name, query, builder)
+    elif not query.select_star:
+        builder = _compile_projection(name, query, builder)
+
+    view = builder.materialize(name, order_by=query.order_by,
+                               limit=query.limit)
+    if query.order_by is not None and query.order_by[0] not in view.schema:
+        view.detach()
+        raise IvmError(
+            f"view {name!r}: ORDER BY column {query.order_by[0]!r} is not "
+            f"in the view output {view.schema.names}"
+        )
+    return view
+
+
+def _compile_grouped(name: str, query: Query,
+                     builder: ViewBuilder) -> ViewBuilder:
+    if not query.group_by:
+        raise IvmError(
+            f"view {name!r}: aggregates without GROUP BY are not "
+            f"supported in materialized views (an empty group cannot "
+            f"emit the zero row incrementally)"
+        )
+    keys = list(query.group_by)
+    aggregates: list[tuple[str, str | None, str]] = []
+    internal: list[str] = []
+    finals: list[str] = []
+    for i, item in enumerate(query.select):
+        expr = item.expr
+        final = item.alias or _default_name(expr)
+        if isinstance(expr, ColumnRef):
+            if expr.name not in keys:
+                raise IvmError(
+                    f"view {name!r}: column {expr.name!r} must appear in "
+                    f"GROUP BY or an aggregate"
+                )
+            internal.append(expr.name)
+        elif isinstance(expr, FuncCall):
+            slot = f"__agg{i}"
+            if expr.argument == "*":
+                if expr.name != "count":
+                    raise IvmError(f"{expr.name}(*) is not valid SQL")
+                aggregates.append(("count_star", None, slot))
+            elif isinstance(expr.argument, ColumnRef):
+                if expr.name not in _AGG_FNS:
+                    raise IvmError(
+                        f"view {name!r}: unknown aggregate {expr.name!r}"
+                    )
+                aggregates.append((expr.name, expr.argument.name, slot))
+            else:
+                raise IvmError(
+                    f"view {name!r}: aggregates over expressions are not "
+                    f"supported in materialized views"
+                )
+            internal.append(slot)
+        else:
+            raise IvmError(
+                f"view {name!r}: unsupported SELECT expression in "
+                f"aggregate query"
+            )
+        finals.append(final)
+    builder = builder.group_by(keys, aggregates)
+    rename = {src: dst for src, dst in zip(internal, finals) if src != dst}
+    return builder.project(internal, rename)
+
+
+def _compile_projection(name: str, query: Query,
+                        builder: ViewBuilder) -> ViewBuilder:
+    names: list[str] = []
+    rename: dict[str, str] = {}
+    for item in query.select:
+        expr = item.expr
+        if not isinstance(expr, ColumnRef):
+            raise IvmError(
+                f"view {name!r}: only plain column projections are "
+                f"supported in materialized views"
+            )
+        names.append(expr.name)
+        final = item.alias or expr.name
+        if final != expr.name:
+            rename[expr.name] = final
+    return builder.project(names, rename)

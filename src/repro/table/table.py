@@ -147,6 +147,38 @@ class Table:
         ]
         return cls._trusted(schema, tuple(built), num_rows=len(materialized))
 
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> "Table":
+        """Append rows, validating only the new slice.
+
+        The delta-friendly fast path: each appended row passes the same
+        per-cell coercion the ``from_rows`` boundary runs, the new tail is
+        built through trusted construction, and the existing column arrays
+        are concatenated untouched — never re-validated.  Appending a batch
+        therefore costs O(existing + new) array copy but only O(new)
+        validation, which is what makes high-frequency append streams
+        (:mod:`repro.ivm`) affordable.
+        """
+        materialized = [tuple(r) for r in rows]
+        if not materialized:
+            return Table._trusted(self._schema, self._columns,
+                                  num_rows=self._num_rows)
+        for row in materialized:
+            if len(row) != len(self._schema):
+                raise SchemaError(
+                    f"row {row!r} has {len(row)} values; schema expects "
+                    f"{len(self._schema)}"
+                )
+        tails = [
+            Column.build(
+                [coerce(row[i], field.dtype) for row in materialized],
+                field.dtype,
+            )
+            for i, field in enumerate(self._schema)
+        ]
+        cols = tuple(a.concat(b) for a, b in zip(self._columns, tails))
+        return Table._trusted(self._schema, cols,
+                              num_rows=self._num_rows + len(materialized))
+
     @classmethod
     def from_dict(cls, data: dict[str, Sequence[Any]]) -> "Table":
         """Build a table from ``{column name: values}`` with inferred dtypes."""
@@ -206,6 +238,15 @@ class Table:
     def column(self, name: str) -> list[Any]:
         """Return a copy of the named column's values (``None`` = null)."""
         return self._columns[self._schema.index_of(name)].to_pylist()
+
+    def columns(self) -> tuple[Column, ...]:
+        """The underlying :class:`Column` objects in schema order.
+
+        Columns are immutable by convention; combining them with
+        :meth:`from_columns` stays on the trusted-construction path (the
+        ``repro.ivm`` delta layer assembles join outputs this way).
+        """
+        return self._columns
 
     def column_array(self, name: str) -> np.ndarray:
         """The raw numpy value array of a column (read-only view).
@@ -461,13 +502,29 @@ class Table:
     def limit(self, n: int) -> "Table":
         return self._take(np.arange(min(max(n, 0), self._num_rows)))
 
+    def slice(self, start: int, stop: int | None = None) -> "Table":
+        """Rows ``[start, stop)`` with python-slice clamping semantics."""
+        indices = np.arange(self._num_rows)[slice(start, stop)]
+        return self._take(indices)
+
+    def row_codes(self) -> np.ndarray:
+        """Dense row-equality codes: equal rows (nulls matching nulls, the
+        GROUP BY convention) share a code in ``[0, distinct rows)``.
+
+        The whole-row factorization under :meth:`distinct`, and the
+        consolidation key of the :mod:`repro.ivm` Z-set layer.
+        """
+        if not self._columns:
+            raise SchemaError("row_codes needs at least one column")
+        return row_codes(self._columns)
+
     def distinct(self) -> "Table":
         """Drop duplicate rows, keeping the first occurrence of each."""
         if self._num_rows == 0:
             return self._take(np.empty(0, dtype=np.intp))
         if not self._columns:
             return self._take(np.array([0]))
-        codes = row_codes(self._columns)
+        codes = self.row_codes()
         _uniq, first = np.unique(codes, return_index=True)
         return self._take(np.sort(first))
 
@@ -503,45 +560,10 @@ class Table:
                 self._join_plan(other, on, how, suffix)
             )
             n_left, n_right = self._num_rows, other._num_rows
-
-            l_codes, r_codes, any_null_l = _factorize_key_pairs(
-                [self._columns[j] for j in left_keys],
-                [other._columns[j] for j in right_keys],
+            left_take, right_take, counts = self._join_take_arrays(
+                other, left_keys, right_keys, how
             )
-
-            if r_codes is None:          # keys can never match (str vs number)
-                counts = np.zeros(n_left, dtype=np.int64)
-                lo = np.zeros(n_left, dtype=np.int64)
-                r_sorted = np.empty(0, dtype=np.intp)
-            else:
-                valid_r = np.flatnonzero(~_null_rows(
-                    [other._columns[j] for j in right_keys]
-                ))
-                r_sorted = valid_r[np.argsort(r_codes[valid_r], kind="stable")]
-                sorted_codes = r_codes[r_sorted]
-                probe = np.where(any_null_l, np.int64(-1), l_codes)
-                lo = np.searchsorted(sorted_codes, probe, side="left")
-                hi = np.searchsorted(sorted_codes, probe, side="right")
-                counts = np.where(any_null_l, 0, hi - lo)
-
-            if how == "inner":
-                out_counts = counts
-            else:
-                out_counts = np.maximum(counts, 1)
-            total = int(out_counts.sum())
-            left_take = np.repeat(np.arange(n_left), out_counts)
-            offsets = np.cumsum(out_counts) - out_counts
-            within = np.arange(total) - np.repeat(offsets, out_counts)
-            if len(r_sorted):
-                slot = np.minimum(np.repeat(lo, out_counts) + within,
-                                  len(r_sorted) - 1)
-                right_take = r_sorted[slot]
-            else:
-                right_take = np.full(total, -1, dtype=np.intp)
-            if how == "left":
-                matched = np.repeat(counts > 0, out_counts)
-                right_take = np.where(matched, right_take, -1)
-
+            total = len(left_take)
             cols = [c.take(left_take) for c in self._columns]
             cols += [
                 other._columns[j].take_or_null(right_take)
@@ -553,6 +575,83 @@ class Table:
                   match_rate=(int((counts > 0).sum()) / n_left
                               if n_left else None))
         return out
+
+    def join_indices(
+        self,
+        other: "Table",
+        on: Sequence[tuple[str, str]] | str,
+        how: str = "inner",
+        suffix: str = "_r",
+    ) -> tuple[np.ndarray, np.ndarray, Schema, list[int]]:
+        """The row-index pairs :meth:`join` would emit, without materializing
+        any output columns.
+
+        Returns ``(left_take, right_take, out_schema, kept_right_idx)``:
+        gathering ``self`` rows at ``left_take`` and ``other`` rows at
+        ``right_take`` (``-1`` marks an unmatched left row under
+        ``how="left"``; ``kept_right_idx`` lists the right-side columns the
+        output keeps) reproduces :meth:`join` exactly.  Callers that carry
+        side arrays through a join — the :mod:`repro.ivm` delta layer
+        multiplies per-row weight vectors — gather them with the same index
+        arrays instead of round-tripping through a column.
+        """
+        _pairs, left_keys, right_keys, out_schema, kept_right_idx = (
+            self._join_plan(other, on, how, suffix)
+        )
+        left_take, right_take, _counts = self._join_take_arrays(
+            other, left_keys, right_keys, how
+        )
+        return left_take, right_take, out_schema, kept_right_idx
+
+    def _join_take_arrays(
+        self, other: "Table", left_keys: list[int], right_keys: list[int],
+        how: str,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The vectorized probe shared by :meth:`join` / :meth:`join_indices`:
+        factorized key codes, sorted-right binary search, repeat expansion.
+
+        Returns ``(left_take, right_take, counts)`` where ``counts`` is the
+        per-left-row match count (drives the join span's match_rate).
+        """
+        n_left, n_right = self._num_rows, other._num_rows
+        l_codes, r_codes, any_null_l = _factorize_key_pairs(
+            [self._columns[j] for j in left_keys],
+            [other._columns[j] for j in right_keys],
+        )
+
+        if r_codes is None:          # keys can never match (str vs number)
+            counts = np.zeros(n_left, dtype=np.int64)
+            lo = np.zeros(n_left, dtype=np.int64)
+            r_sorted = np.empty(0, dtype=np.intp)
+        else:
+            valid_r = np.flatnonzero(~_null_rows(
+                [other._columns[j] for j in right_keys]
+            ))
+            r_sorted = valid_r[np.argsort(r_codes[valid_r], kind="stable")]
+            sorted_codes = r_codes[r_sorted]
+            probe = np.where(any_null_l, np.int64(-1), l_codes)
+            lo = np.searchsorted(sorted_codes, probe, side="left")
+            hi = np.searchsorted(sorted_codes, probe, side="right")
+            counts = np.where(any_null_l, 0, hi - lo)
+
+        if how == "inner":
+            out_counts = counts
+        else:
+            out_counts = np.maximum(counts, 1)
+        total = int(out_counts.sum())
+        left_take = np.repeat(np.arange(n_left), out_counts)
+        offsets = np.cumsum(out_counts) - out_counts
+        within = np.arange(total) - np.repeat(offsets, out_counts)
+        if len(r_sorted):
+            slot = np.minimum(np.repeat(lo, out_counts) + within,
+                              len(r_sorted) - 1)
+            right_take = r_sorted[slot]
+        else:
+            right_take = np.full(total, -1, dtype=np.intp)
+        if how == "left":
+            matched = np.repeat(counts > 0, out_counts)
+            right_take = np.where(matched, right_take, -1)
+        return left_take, right_take, counts
 
     def join_reference(
         self,

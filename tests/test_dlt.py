@@ -599,3 +599,168 @@ class TestCrashRecovery:
         mask = dlt.from_detector(detector).mask(t)
         assert {i for i in range(t.num_rows) if not mask[i]} == flagged
         assert flagged  # the 100.0 outlier is caught
+
+
+class TestIncrementalSources:
+    """Append-only sources: high-water-mark fingerprints + tail application."""
+
+    @staticmethod
+    def events(n: int, start: int = 0) -> Table:
+        return Table.from_rows(
+            [(i, float(i % 7)) for i in range(start, start + n)],
+            schema=[("id", "int"), ("v", "float")],
+        )
+
+    @staticmethod
+    def doubled_def():
+        @dlt.table(name="doubled", layer="silver", incremental=True)
+        @dlt.expect_or_drop("small", dlt.col("v") < 6)
+        def doubled(events):
+            return events.with_column(
+                "d", "float", [x * 2 for x in events.column("v")]
+            )
+        return doubled
+
+    def pipeline(self, tmp_path, source: Table):
+        return (dlt.Pipeline("inc", checkpoint_dir=tmp_path)
+                .source("events", source, incremental=True)
+                .add(self.doubled_def()))
+
+    def test_append_applies_only_the_tail(self, tmp_path):
+        self.pipeline(tmp_path, self.events(20)).run()
+        grown = self.events(20).append_rows(
+            list(self.events(5, start=20).rows()))
+        result = self.pipeline(tmp_path, grown).refresh()
+        res = result.results["doubled"]
+        assert res.status == "appended"
+        assert res.rows_in == 5                       # the tail, not history
+        full = self.pipeline(tmp_path, grown).run(full_refresh=True)
+        assert (result.table("doubled").num_rows
+                == full.table("doubled").num_rows)
+
+    def test_appended_equals_full_refresh(self, tmp_path):
+        self.pipeline(tmp_path, self.events(20)).run()
+        grown = self.events(25)
+        appended = self.pipeline(tmp_path, grown).refresh()
+        full = self.pipeline(tmp_path, grown).run(full_refresh=True)
+        assert (list(appended.table("doubled").rows())
+                == list(full.table("doubled").rows()))
+
+    def test_unchanged_source_still_cached(self, tmp_path):
+        self.pipeline(tmp_path, self.events(20)).run()
+        result = self.pipeline(tmp_path, self.events(20)).refresh()
+        assert result.results["doubled"].status == "cached"
+
+    def test_quarantine_accumulates_across_tails(self, tmp_path):
+        first = self.pipeline(tmp_path, self.events(20)).run()
+        q_first = first.results["doubled"].quarantined
+        assert q_first > 0                             # v == 6 rows dropped
+        grown = self.events(27)
+        result = self.pipeline(tmp_path, grown).refresh()
+        full = self.pipeline(tmp_path, grown).run(full_refresh=True)
+        # the appended result's quarantine is cumulative: committed rows
+        # plus the tail's violations, matching a from-scratch run
+        assert (result.results["doubled"].quarantined
+                == full.results["doubled"].quarantined)
+        assert (list(result.quarantine("doubled").column("id"))
+                == list(full.quarantine("doubled").column("id")))
+
+    def test_prefix_rewrite_falls_back_to_recompute(self, tmp_path):
+        self.pipeline(tmp_path, self.events(20)).run()
+        mutated = Table.from_rows(
+            [(99, 0.0)] + list(self.events(24).rows())[1:],
+            schema=[("id", "int"), ("v", "float")],
+        )
+        result = self.pipeline(tmp_path, mutated).refresh()
+        assert result.results["doubled"].status == "materialized"
+        full = self.pipeline(tmp_path, mutated).run(full_refresh=True)
+        assert (list(result.table("doubled").rows())
+                == list(full.table("doubled").rows()))
+
+    def test_shrunk_source_falls_back_to_recompute(self, tmp_path):
+        self.pipeline(tmp_path, self.events(20)).run()
+        result = self.pipeline(tmp_path, self.events(10)).refresh()
+        assert result.results["doubled"].status == "materialized"
+        assert result.table("doubled").num_rows <= 10
+
+    def test_non_incremental_table_never_takes_tail_path(self, tmp_path):
+        @dlt.table(name="plain", layer="silver")
+        def plain(events):
+            return events
+
+        pipe = (dlt.Pipeline("inc", checkpoint_dir=tmp_path)
+                .source("events", self.events(20), incremental=True)
+                .add(plain))
+        pipe.run()
+        pipe2 = (dlt.Pipeline("inc", checkpoint_dir=tmp_path)
+                 .source("events", self.events(25), incremental=True)
+                 .add(plain))
+        result = pipe2.refresh()
+        assert result.results["plain"].status == "materialized"
+        assert result.results["plain"].rows_in == 25  # full recompute
+
+    def test_multi_input_incremental_table_refused(self, tmp_path):
+        @dlt.table(name="joined", layer="silver", incremental=True)
+        def joined(events, extra):
+            return events.union(extra)
+
+        pipe = (dlt.Pipeline("inc", checkpoint_dir=tmp_path)
+                .source("events", self.events(20), incremental=True)
+                .source("extra", self.events(3), incremental=True)
+                .add(joined))
+        pipe.run()
+        pipe2 = (dlt.Pipeline("inc", checkpoint_dir=tmp_path)
+                 .source("events", self.events(25), incremental=True)
+                 .source("extra", self.events(3), incremental=True)
+                 .add(joined))
+        result = pipe2.refresh()
+        # linearity does not compose across arguments: full recompute
+        assert result.results["joined"].status == "materialized"
+
+    def test_downstream_of_appended_table_recomputes(self, tmp_path):
+        @dlt.table(name="rollup", layer="gold")
+        def rollup(doubled):
+            return doubled.group_by([], [("sum", "d", "total")])
+
+        def build(source):
+            return (dlt.Pipeline("inc", checkpoint_dir=tmp_path)
+                    .source("events", source, incremental=True)
+                    .add(self.doubled_def(), rollup))
+
+        build(self.events(20)).run()
+        result = build(self.events(25)).refresh()
+        assert result.results["doubled"].status == "appended"
+        # content-driven staleness: the aggregate sees the new rows
+        assert result.results["rollup"].status == "materialized"
+        full = build(self.events(25)).run(full_refresh=True)
+        assert (list(result.table("rollup").rows())
+                == list(full.table("rollup").rows()))
+
+    def test_tail_expect_or_fail_marks_table_failed(self, tmp_path):
+        @dlt.table(name="strict", layer="silver", incremental=True)
+        @dlt.expect_or_fail("nonneg", dlt.col("v") >= 0)
+        def strict(events):
+            return events
+
+        (dlt.Pipeline("inc", checkpoint_dir=tmp_path)
+         .source("events", self.events(20), incremental=True)
+         .add(strict)).run()
+        grown = self.events(20).append_rows([(99, -1.0)])
+        result = (dlt.Pipeline("inc", checkpoint_dir=tmp_path)
+                  .source("events", grown, incremental=True)
+                  .add(strict)).refresh()
+        assert result.results["strict"].status == "failed"
+
+    def test_manifest_without_source_state_loads(self, tmp_path):
+        """Manifests from before this feature (no source_state keys) parse."""
+        store = dlt.CheckpointStore(tmp_path)
+        store.commit("t", "fp", self.events(3))
+        manifest_path = tmp_path / "MANIFEST.json"
+        payload = json.loads(manifest_path.read_text())
+        for entry in payload["tables"].values():
+            entry.pop("source_state", None)
+            entry.pop("base_fingerprint", None)
+        manifest_path.write_text(json.dumps(payload))
+        entry = dlt.CheckpointStore(tmp_path).committed("t")
+        assert entry is not None
+        assert entry.source_state is None and entry.base_fingerprint is None

@@ -1,0 +1,255 @@
+"""Randomized incremental == batch equivalence for repro.ivm.
+
+The batch kernels on Table are the semantics.  Each property run drives a
+seeded stream of delta batches — inserts (including duplicates), deletes,
+re-inserts of previously deleted rows, null keys, empty deltas — through
+materialized views of every incremental operator, asserting after each
+batch that the maintained result equals recomputing the same query from
+the stream snapshot with the batch kernels.
+
+Float note: values are drawn from a dyadic grid (multiples of 0.25, small
+magnitudes), where float addition is exact in any order — so sum/avg
+equivalence is exact equality, not approximate (docs/ivm.md).
+
+The chaos cases arm the seeded FaultInjector at the ``ivm.push`` point
+and assert the documented atomicity: a failed push leaves the stream and
+every registered view exactly as they were.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.ivm import PUSH_POINT, StreamTable
+from repro.resilience import FaultInjector, set_injector
+from repro.table import Table
+
+FACT_SCHEMA = [("k", "int"), ("cat", "str"), ("v", "float")]
+DIM_SCHEMA = [("k", "int"), ("label", "str")]
+
+AGGS = [
+    ("count", "v", "n"), ("sum", "v", "total"),
+    ("min", "v", "lo"), ("max", "v", "hi"), ("avg", "v", "mean"),
+]
+
+
+def bag(table: Table) -> Counter:
+    return Counter(table.rows())
+
+
+def random_fact_row(rng: random.Random) -> tuple:
+    k = rng.choice([None, 0, 1, 2, 3, 4])
+    cat = rng.choice([None, "a", "b", "c"])
+    v = rng.choice([None, *(i * 0.25 for i in range(-32, 33))])
+    return (k, cat, v)
+
+
+def random_dim_row(rng: random.Random) -> tuple:
+    return (rng.choice([None, 0, 1, 2, 3, 4]),
+            rng.choice(["x", "y", "z"]))
+
+
+def mutate(rng: random.Random, stream: StreamTable, state: Counter,
+           make_row) -> None:
+    """One random delta batch: insert / delete / re-insert / empty."""
+    op = rng.random()
+    if op < 0.15 and state:
+        # delete a random sub-multiset of live rows
+        rows = list(state.elements())
+        batch = rng.sample(rows, k=rng.randint(1, min(4, len(rows))))
+        stream.delete_rows(batch)
+        state.subtract(batch)
+        state += Counter()  # drop zeros
+    elif op < 0.25:
+        stream.insert_rows([])  # empty delta: must be a clean no-op
+    else:
+        batch = [make_row(rng) for _ in range(rng.randint(1, 6))]
+        if state and rng.random() < 0.5:
+            batch.append(rng.choice(list(state)))  # duplicate a live row
+        stream.insert_rows(batch)
+        state.update(batch)
+
+
+def positive_mask(table: Table):
+    return table.column_array("v") > 0
+
+
+class TestIncrementalEqualsBatch:
+    """One seeded run per operator; 3 seeds x ~40 batches each."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_filter(self, seed):
+        rng = random.Random(seed)
+        stream = StreamTable(FACT_SCHEMA, name="facts")
+        view = stream.view().filter(positive_mask).materialize("f")
+        state: Counter = Counter()
+        for _ in range(40):
+            mutate(rng, stream, state, random_fact_row)
+            snap = stream.snapshot()
+            assert bag(view.table()) == bag(snap.filter(positive_mask(snap)))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_join(self, seed):
+        rng = random.Random(seed)
+        facts = StreamTable(FACT_SCHEMA, name="facts")
+        dims = StreamTable(DIM_SCHEMA, name="dims")
+        view = facts.view().join(dims, on="k").materialize("j")
+        fstate: Counter = Counter()
+        dstate: Counter = Counter()
+        for _ in range(40):
+            if rng.random() < 0.5:
+                mutate(rng, facts, fstate, random_fact_row)
+            else:
+                mutate(rng, dims, dstate, random_dim_row)
+            batch = facts.snapshot().join(dims.snapshot(), on="k")
+            assert bag(view.table()) == bag(batch)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_group_by(self, seed):
+        rng = random.Random(seed)
+        stream = StreamTable(FACT_SCHEMA, name="facts")
+        view = stream.view().group_by(["cat"], AGGS).materialize("g")
+        state: Counter = Counter()
+        for _ in range(40):
+            mutate(rng, stream, state, random_fact_row)
+            batch = stream.snapshot().group_by(["cat"], AGGS)
+            assert bag(view.table()) == bag(batch)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_distinct(self, seed):
+        rng = random.Random(seed)
+        stream = StreamTable(FACT_SCHEMA, name="facts")
+        view = stream.view().project(["k", "cat"]).distinct().materialize("d")
+        state: Counter = Counter()
+        for _ in range(40):
+            mutate(rng, stream, state, random_fact_row)
+            batch = stream.snapshot().project(["k", "cat"]).distinct()
+            assert bag(view.table()) == bag(batch)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_group_by_bulk_fold_large_batches(self, seed):
+        """Batches past the vectorized-fold threshold (64 rows) must agree
+        with batch too — covers the numpy bucket path for every aggregate,
+        with nulls in keys and values and bulk deletes."""
+        rng = random.Random(seed)
+        stream = StreamTable(FACT_SCHEMA, name="facts")
+        view = stream.view().group_by(["k", "cat"], AGGS).materialize("g")
+        state: Counter = Counter()
+        for _ in range(6):
+            batch = [random_fact_row(rng) for _ in range(200)]
+            stream.insert_rows(batch)
+            state.update(batch)
+            live = list(state.elements())
+            dels = rng.sample(live, k=min(150, len(live)))
+            stream.delete_rows(dels)
+            state.subtract(dels)
+            state += Counter()  # drop zeros
+            batch_result = stream.snapshot().group_by(["k", "cat"], AGGS)
+            assert bag(view.table()) == bag(batch_result)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_composed_filter_join_group_by(self, seed):
+        """The tentpole chain, exercising the chain rule end to end."""
+        rng = random.Random(seed)
+        facts = StreamTable(FACT_SCHEMA, name="facts")
+        dims = StreamTable(DIM_SCHEMA, name="dims")
+        view = (
+            facts.view()
+            .filter(positive_mask)
+            .join(dims, on="k")
+            .group_by(["label"], [("sum", "v", "total"), ("count", "v", "n")])
+            .materialize("chain")
+        )
+        fstate: Counter = Counter()
+        dstate: Counter = Counter()
+        for _ in range(50):
+            if rng.random() < 0.6:
+                mutate(rng, facts, fstate, random_fact_row)
+            else:
+                mutate(rng, dims, dstate, random_dim_row)
+            snap = facts.snapshot()
+            batch = (
+                snap.filter(positive_mask(snap))
+                .join(dims.snapshot(), on="k")
+                .group_by(["label"],
+                          [("sum", "v", "total"), ("count", "v", "n")])
+            )
+            assert bag(view.table()) == bag(batch)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sql_view_equals_batch_query(self, seed):
+        from repro.sql import Database
+
+        rng = random.Random(seed)
+        db = Database()
+        facts = db.register_stream("facts", Table.empty(FACT_SCHEMA))
+        dims = db.register_stream("dims", Table.empty(DIM_SCHEMA))
+        sql = ("SELECT label, COUNT(*) AS n, SUM(v) AS total "
+               "FROM facts JOIN dims ON facts.k = dims.k "
+               "WHERE v > 0 GROUP BY label")
+        view = db.create_view("chain", sql)
+        fstate: Counter = Counter()
+        dstate: Counter = Counter()
+        for _ in range(30):
+            if rng.random() < 0.6:
+                mutate(rng, facts, fstate, random_fact_row)
+            else:
+                mutate(rng, dims, dstate, random_dim_row)
+            assert bag(view.table()) == bag(db.query(sql))
+
+
+class TestPushAtomicityUnderChaos:
+    def _arm(self, rate: float, seed: int = 7) -> FaultInjector:
+        injector = FaultInjector(seed=seed)
+        injector.configure(PUSH_POINT, rate=rate, mode="raise")
+        return injector
+
+    def test_failed_push_mutates_nothing(self):
+        stream = StreamTable(FACT_SCHEMA, name="facts")
+        stream.insert_rows([(1, "a", 1.0), (2, "b", 2.0)])
+        view = stream.view().group_by(["cat"], AGGS).materialize("g")
+        before_stream = bag(stream.snapshot())
+        before_view = bag(view.table())
+        previous = set_injector(self._arm(rate=1.0))
+        try:
+            with pytest.raises(FaultInjectionError):
+                stream.insert_rows([(3, "c", 3.0)])
+            with pytest.raises(FaultInjectionError):
+                stream.delete_rows([(1, "a", 1.0)])
+        finally:
+            set_injector(previous)
+        assert bag(stream.snapshot()) == before_stream
+        assert bag(view.table()) == before_view
+        # disarmed: the same delta applies cleanly afterwards
+        stream.insert_rows([(3, "c", 3.0)])
+        assert bag(view.table()) == bag(stream.snapshot().group_by(["cat"], AGGS))
+
+    def test_mid_stream_faults_preserve_equivalence(self):
+        """Inject at 30%: every failed push is dropped whole, so the view
+        still equals the batch recompute of whatever actually landed."""
+        rng = random.Random(3)
+        stream = StreamTable(FACT_SCHEMA, name="facts")
+        view = stream.view().group_by(["cat"], AGGS).materialize("g")
+        state: Counter = Counter()
+        injected = 0
+        previous = set_injector(self._arm(rate=0.3, seed=11))
+        try:
+            for _ in range(60):
+                shadow = Counter(state)
+                try:
+                    mutate(rng, stream, state, random_fact_row)
+                except FaultInjectionError:
+                    state = shadow  # the batch never landed
+                    injected += 1
+        finally:
+            set_injector(previous)
+        assert injected > 0, "chaos run injected nothing; raise the rate"
+        assert bag(stream.snapshot()) == Counter(
+            {row: n for row, n in state.items() if n > 0}
+        )
+        batch = stream.snapshot().group_by(["cat"], AGGS)
+        assert bag(view.table()) == bag(batch)

@@ -1,0 +1,166 @@
+"""EXT-SHARD: sharded kernels vs the single-table oracles at scale.
+
+Times the 1M-row join and group_by through :mod:`repro.shard` —
+partitioned, co-located, with per-shard key indexes amortized at
+partition time — against the cold single-table kernels, and asserts:
+
+- **Equivalence** on every measured run: the sharded result is
+  row-identical (canonical order, union row-codes) to the whole-table
+  kernel.  Always asserted, smoke or not.
+- **Speedup**: join and group_by each clear the >= 3x floor at the
+  default sizes.  The win on a single-CPU machine comes from the
+  amortized :class:`~repro.shard.ShardIndex` (the cold kernels
+  re-factorize and re-sort per call); process workers multiply it on
+  real multicore, which the artifact records honestly (``cpu_count``,
+  ``workers``).  Skipped under ``REPRO_SHARD_SMOKE=1``, where CI runs
+  shrunken sizes for the equivalence asserts and the JSON artifact.
+
+The run writes ``BENCH_shard.json`` at the repo root;
+``benchmarks/BENCH_baseline.json`` gates ``shard.join.speedup`` and
+``shard.group_by.speedup``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_artifact, run_once
+from repro.par import ProcessMap, available_cpus
+from repro.shard import HashPartitioner, PartitionedTable, kernels
+from repro.table import Table, row_codes
+
+#: Wall-clock claim under test for both sharded kernels.
+SPEEDUP_FLOOR = 3.0
+NUM_SHARDS = 8
+
+
+def _min_of(n: int, fn):
+    """Best-of-n wall time plus the last result (noise-robust timing)."""
+    best, result = float("inf"), None
+    for _ in range(n):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _assert_same_rows(a: Table, b: Table) -> None:
+    """Canonical row-multiset equality — the exactness gate every measured
+    run must pass before its timing counts."""
+    assert a.schema.names == b.schema.names
+    assert a.num_rows == b.num_rows
+    if a.num_rows == 0:
+        return
+    both = kernels.concat_tables(a.schema, [a, b])
+    codes = row_codes(list(both.columns()))
+    n = a.num_rows
+    left = np.sort(codes[:n])
+    right = np.sort(codes[n:])
+    assert np.array_equal(left, right)
+
+
+def _tables(rng: np.random.Generator, n_left: int,
+            distinct: int) -> tuple[Table, Table]:
+    """An orders fact table (string customer keys, dyadic amounts) and a
+    key-unique customers dimension — the classic co-location workload."""
+    left = Table.from_dict({
+        "customer": [f"c{int(v)}" for v in rng.integers(0, distinct, n_left)],
+        "region": rng.integers(0, 12, n_left).tolist(),
+        "amount": (rng.integers(0, 4000, n_left) / 4.0).tolist(),
+    })
+    right = Table.from_dict({
+        "customer": [f"c{i}" for i in range(distinct)],
+        "tier": rng.integers(0, 5, distinct).tolist(),
+    })
+    return left, right
+
+
+def test_ext_shard_kernels(benchmark):
+    smoke = os.environ.get("REPRO_SHARD_SMOKE", "") not in ("", "0")
+    rng = np.random.default_rng(23)
+    n_left, distinct = (20_000, 2_000) if smoke else (1_000_000, 100_000)
+    pmap = ProcessMap()  # auto: serial on 1 CPU, min(cpus, 8) otherwise
+    on = [("customer", "customer")]
+    group_aggs = [("sum", "amount", "total"), ("count", "amount", "n")]
+
+    def experiment():
+        left, right = _tables(rng, n_left, distinct)
+
+        # Partition both sides co-located on the join key and build the
+        # shard indexes now — the amortized cost the artifact reports.
+        start = time.perf_counter()
+        pl = PartitionedTable.partition(
+            left, HashPartitioner(("customer",), NUM_SHARDS),
+            build_indexes=True)
+        pr = PartitionedTable.partition(
+            right, HashPartitioner(("customer",), NUM_SHARDS),
+            build_indexes=True)
+        partition_seconds = time.perf_counter() - start
+
+        results = {
+            "rows_left": n_left, "rows_right": right.num_rows,
+            "num_shards": NUM_SHARDS, "workers": pmap.workers,
+            "cpus": available_cpus(),
+            "partition_and_index_seconds": partition_seconds,
+        }
+
+        # -- join: cold single-table kernel vs co-located indexed shards --
+        single_seconds, oracle = _min_of(
+            3, lambda: left.join(right, on, "inner", suffix="_r"))
+        shard_seconds, sharded = _min_of(
+            3, lambda: kernels.join(pl, pr, on, "inner", suffix="_r",
+                                    pmap=pmap, broadcast_limit=0))
+        _assert_same_rows(sharded, oracle)
+        results["join"] = {
+            "single_seconds": single_seconds,
+            "sharded_seconds": shard_seconds,
+            "speedup": single_seconds / shard_seconds,
+            "rows_out": oracle.num_rows,
+        }
+
+        # -- group_by: cold single-table kernel vs indexed shards ---------
+        single_seconds, oracle = _min_of(
+            3, lambda: left.group_by(["customer"], group_aggs))
+        shard_seconds, sharded = _min_of(
+            3, lambda: kernels.group_by(pl, ["customer"], group_aggs,
+                                        pmap=pmap))
+        _assert_same_rows(sharded, oracle)
+        results["group_by"] = {
+            "single_seconds": single_seconds,
+            "sharded_seconds": shard_seconds,
+            "speedup": single_seconds / shard_seconds,
+            "groups": oracle.num_rows,
+        }
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    from repro.evaluation import ResultTable
+
+    table = ResultTable(
+        f"EXT-SHARD: sharded vs single-table kernels (smoke={smoke}, "
+        f"shards={NUM_SHARDS}, workers={results['workers']})",
+        ["kernel", "single (s)", "sharded (s)", "speedup"],
+    )
+    for kernel in ("join", "group_by"):
+        row = results[kernel]
+        table.add(kernel, f"{row['single_seconds']:.3f}",
+                  f"{row['sharded_seconds']:.3f}",
+                  f"{row['speedup']:.1f}x")
+    table.show()
+
+    bench_artifact("shard", {
+        "smoke": smoke,
+        "speedup_floor": SPEEDUP_FLOOR,
+        **results,
+    })
+
+    if not smoke:
+        for kernel in ("join", "group_by"):
+            speedup = results[kernel]["speedup"]
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"{kernel}: {speedup:.2f}x < {SPEEDUP_FLOOR}x floor"
+            )

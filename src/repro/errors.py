@@ -96,6 +96,21 @@ class IvmError(ReproError):
     definition."""
 
 
+class WorkerLostError(ReproError):
+    """A process-pool worker died before reporting its task's outcome
+    (killed, segfaulted, or OOM-reaped mid-morsel)."""
+
+
+class RemoteTaskError(ReproError):
+    """A worker-process task produced a result (or raised an exception)
+    that could not be pickled back to the parent."""
+
+
+class ShardError(ReproError):
+    """A partitioned-table operation was misused: mismatched partitioning,
+    unknown shard, or a corrupt spilled shard file."""
+
+
 class ServingError(ReproError):
     """The serving runtime was misused or a response never materialized."""
 

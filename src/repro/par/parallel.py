@@ -1,27 +1,18 @@
-"""``ParallelMap``: deterministic chunked fan-out over a worker pool.
+"""``ParallelMap``: deterministic chunked fan-out over a thread pool.
 
-The library's offline parallelism primitive.  One picklable object holds
-the whole execution policy — worker count, chunk size, error handling —
-and ``map(fn, items)`` returns results **in input order** regardless of
-which worker finished first, so callers (pipeline search, blocking) stay
-bit-for-bit reproducible:
+The library's thread-backed parallelism primitive.  The whole execution
+contract — input-order results, the ``workers=0`` serial mode, retry,
+``on_error="raise"``/``"degrade"`` semantics, chunk spans and counters —
+lives in :class:`repro.par.base.BaseMap`, shared with the process-backed
+:class:`~repro.par.ProcessMap` so the two backends cannot drift.  This
+module adds only the dispatch: chunks drain through a short-lived
+:class:`~repro.par.pool.WorkerPool` — the single ``threading.Thread`` site
+in the library, shared with the serving runtime.
 
-- ``workers=0`` is the sanctioned serial mode: the same chunking, retry,
-  and degradation paths run inline on the calling thread, which is what
-  determinism tests diff against (``workers=0`` == ``workers=N``);
-- ``workers>0`` drains the chunk list through a short-lived
-  :class:`~repro.par.pool.WorkerPool` — the single ``threading.Thread``
-  site in the library, shared with the serving runtime;
-- transient failures (chaos injection, flaky callables) retry on an
-  injected :class:`~repro.resilience.RetryPolicy` before the error policy
-  applies;
-- ``on_error="degrade"`` absorbs per-item failures into ``fallback``
-  values and the process-global
-  :class:`~repro.resilience.DegradationLog` — a poisoned item degrades
-  its slot, never the whole map, and the map never hangs;
-- ``on_error="raise"`` re-raises the failure from the *lowest* item
-  index once the pool drains, so the surfaced exception is deterministic
-  even when chunks race.
+Threads suit I/O-bound or numpy-releasing-the-GIL work; for GIL-bound
+python callables (the pipeline evaluator), use
+:class:`~repro.par.ProcessMap` instead (docs/performance.md has the
+crossover guidance).
 
 Observability: the calling thread opens a ``par.map`` span whose
 :class:`~repro.obs.tracing.TraceContext` travels into the workers, so each
@@ -33,104 +24,30 @@ map, serial or pooled), and feeds the ``par.items`` / ``par.chunks`` /
 from __future__ import annotations
 
 import threading
-from contextlib import nullcontext
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Sequence
 
-from repro.obs import metrics, tracing
-from repro.obs.instrument import timed
-from repro.resilience import RetryPolicy, degradation
+from repro.obs import tracing
+from repro.par.base import DEFAULT_CHUNK_SIZE, ON_ERROR_MODES, BaseMap
 from repro.par.pool import WorkerPool
 
-T = TypeVar("T")
-R = TypeVar("R")
-
-#: How a failing item is handled by :meth:`ParallelMap.map`.
-ON_ERROR_MODES = ("raise", "degrade")
-
-#: Default number of items per scheduled chunk.  Fixed (not derived from
-#: ``workers``) so serial and parallel runs of the same map produce the
-#: same chunk boundaries, spans and degradation events.
-DEFAULT_CHUNK_SIZE = 16
+__all__ = ["DEFAULT_CHUNK_SIZE", "ON_ERROR_MODES", "ParallelMap"]
 
 
-class ParallelMap:
-    """Ordered, chunked map with a serial mode and resilience-aware errors.
+class ParallelMap(BaseMap):
+    """Ordered, chunked map over a short-lived thread pool.
 
-    The object itself is picklable configuration — no locks, threads or
-    open resources are held between calls — so a ``ParallelMap`` can ride
-    inside task specs, be cloned across processes, or sit on a searcher as
-    a plain attribute.
+    ``workers=0`` runs serially inline; ``workers>0`` drains the chunk
+    list through a :class:`~repro.par.pool.WorkerPool`.  Results, errors,
+    and degradation events are identical either way (see
+    :class:`~repro.par.base.BaseMap`).
     """
 
-    def __init__(self, workers: int = 0, chunk_size: int | None = None,
-                 on_error: str = "raise", fallback: Any = None,
-                 retry: RetryPolicy | None = None, name: str = "par"):
-        if workers < 0:
-            raise ValueError("workers must be >= 0")
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
-        if on_error not in ON_ERROR_MODES:
-            raise ValueError(
-                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
-            )
-        self.workers = workers
-        self.chunk_size = chunk_size
-        self.on_error = on_error
-        self.fallback = fallback
-        self.retry = retry
-        self.name = name
+    kind = "threads"
 
-    def __repr__(self) -> str:
-        return (f"ParallelMap(workers={self.workers}, "
-                f"chunk_size={self.chunk_size}, on_error={self.on_error!r})")
-
-    # -- the one public operation -------------------------------------------
-
-    def map(self, fn: Callable[[T], R], items: Iterable[T],
-            name: str | None = None) -> list[R]:
-        """Apply ``fn`` to every item; results come back in input order.
-
-        Failing items follow ``on_error`` after any configured ``retry``:
-        ``"raise"`` re-raises the lowest-index failure after the pool has
-        drained; ``"degrade"`` substitutes ``fallback`` and records a
-        :class:`~repro.resilience.DegradationEvent` per absorbed item.
-        """
-        items = list(items)
-        label = name or self.name
-        if not items:
-            return []
-        chunks = self._chunks(len(items))
-        results: list[Any] = [None] * len(items)
-        errors: dict[int, BaseException] = {}
-        with tracing.span("par.map", label=label, items=len(items),
-                          workers=self.workers, chunks=len(chunks)) as span:
-            # The map span's position, carried into worker threads so each
-            # par.chunk attaches under it instead of orphaning as a root.
-            ctx = tracing.current_context()
-            if self.workers <= 0 or len(chunks) == 1:
-                for index, (lo, hi) in enumerate(chunks):
-                    self._run_chunk(fn, items, index, lo, hi, results,
-                                    errors, label, ctx)
-                    if errors and self.on_error == "raise":
-                        break  # fail fast in serial mode
-            else:
-                self._run_pooled(fn, items, chunks, results, errors, label,
-                                 ctx)
-            span.set(errors=len(errors))
-        if errors and self.on_error == "raise":
-            raise errors[min(errors)]
-        return results
-
-    # -- scheduling ----------------------------------------------------------
-
-    def _chunks(self, n: int) -> list[tuple[int, int]]:
-        size = self.chunk_size or DEFAULT_CHUNK_SIZE
-        return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
-
-    def _run_pooled(self, fn, items: Sequence[Any],
-                    chunks: list[tuple[int, int]], results: list[Any],
-                    errors: dict[int, BaseException], label: str,
-                    ctx: tracing.TraceContext | None) -> None:
+    def _run_dispatch(self, fn, items: Sequence[Any],
+                      chunks: list[tuple[int, int]], results: list[Any],
+                      errors: dict[int, BaseException], label: str,
+                      ctx: tracing.TraceContext | None) -> None:
         lock = threading.Lock()
         cursor = iter(enumerate(chunks))
 
@@ -150,35 +67,3 @@ class ParallelMap:
         pool = WorkerPool(label, min(self.workers, len(chunks)), fetch,
                           metric_prefix="par.pool").start()
         pool.join(timeout=None)
-
-    def _run_chunk(self, fn, items: Sequence[Any], index: int, lo: int,
-                   hi: int, results: list[Any],
-                   errors: dict[int, BaseException], label: str,
-                   ctx: tracing.TraceContext | None = None) -> None:
-        # On a worker thread there is no active span, so activate the
-        # caller's par.map context; serially the map span is already the
-        # innermost parent and activation would only duplicate it.
-        scope = (tracing.activate(ctx) if tracing.current_span() is None
-                 else nullcontext())
-        with scope, timed("par.chunk.seconds", span_name="par.chunk",
-                          label=label, chunk=index, size=hi - lo):
-            metrics.counter("par.chunks").inc()
-            for i in range(lo, hi):
-                try:
-                    results[i] = self._call_one(fn, items[i], label)
-                except Exception as exc:  # noqa: BLE001 - policy decides
-                    if self.on_error == "raise":
-                        errors[i] = exc
-                        return  # abandon the rest of this chunk
-                    results[i] = self.fallback
-                    metrics.counter("par.degraded").inc()
-                    degradation.record(
-                        component="par", point=f"{label}[{i}]",
-                        action="fallback", error=str(exc),
-                    )
-                metrics.counter("par.items").inc()
-
-    def _call_one(self, fn, item: Any, label: str) -> Any:
-        if self.retry is None:
-            return fn(item)
-        return self.retry.call(lambda: fn(item), name=f"par.{label}")

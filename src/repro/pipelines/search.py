@@ -21,11 +21,16 @@ fairly in E13.
 
 Candidate **generation** (which consumes each strategy's rng) is kept
 strictly sequential and separated from candidate **evaluation**, which
-runs through a :class:`repro.par.ParallelMap` in deduplicated batches:
-pass ``parallel=ParallelMap(workers=N)`` to any strategy and the returned
-:class:`SearchResult` — scores, trajectory ordering, failure counts — is
-identical to the serial run, because the evaluator is deterministic and
-results are recorded in candidate order regardless of completion order.
+runs through any :class:`repro.par.BaseMap` in deduplicated batches: pass
+``parallel=ProcessMap()`` (the right backend for the GIL-bound evaluator
+— threads cannot overlap it) or ``parallel=ParallelMap(workers=N)`` to
+any strategy and the returned :class:`SearchResult` — scores, trajectory
+ordering, failure counts — is identical to the serial run, because the
+evaluator is deterministic and results are recorded in candidate order
+regardless of completion order.  Each candidate's failure flag is
+computed inside the same map call as its score, so it reports correctly
+even when the evaluation ran in a forked worker whose failure cache the
+parent never sees.
 
 Fan-out has a fixed price (task submission, thread wake-ups, result
 collection) that small searches never amortize: below ``budget ≈ 16`` the
@@ -45,7 +50,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.datasets.mltasks import MLTask
-from repro.par import ParallelMap
+from repro.par import BaseMap, ParallelMap
 from repro.pipelines.operators import STAGES, Operator
 from repro.pipelines.pipeline import PipelineEvaluator, PrepPipeline
 
@@ -72,7 +77,8 @@ DEFAULT_PARALLEL_MIN_BUDGET = 16
 class SearchStrategy:
     """Base class: tracks best-so-far while spending the evaluation budget.
 
-    ``parallel`` (a :class:`repro.par.ParallelMap`, default serial) is the
+    ``parallel`` (any :class:`repro.par.BaseMap` — process-backed for the
+    GIL-bound evaluator, thread-backed for I/O, default serial) is the
     execution policy for candidate *evaluation*; candidate *generation*
     stays sequential so the rng stream — and therefore the search result —
     does not depend on worker count.
@@ -86,13 +92,13 @@ class SearchStrategy:
     name = "search"
 
     def __init__(self, registry: dict[str, list[Operator]], seed: int = 0,
-                 parallel: ParallelMap | None = None,
+                 parallel: BaseMap | None = None,
                  parallel_min_budget: int = DEFAULT_PARALLEL_MIN_BUDGET):
         self.registry = registry
         self.seed = seed
         self.parallel = parallel
         self.parallel_min_budget = parallel_min_budget
-        self._active_pmap: ParallelMap | None = None
+        self._active_pmap: BaseMap | None = None
         self._encode_layout: tuple[dict[str, dict[str, int]], np.ndarray,
                                    int] | None = None
 
@@ -109,7 +115,7 @@ class SearchStrategy:
                 budget: int) -> SearchResult:
         raise NotImplementedError
 
-    def _select_parallel(self, budget: int) -> ParallelMap | None:
+    def _select_parallel(self, budget: int) -> BaseMap | None:
         """The pool to use for this run's budget, or None for serial."""
         if self.parallel is None or budget < self.parallel_min_budget:
             return None
@@ -141,16 +147,20 @@ class SearchStrategy:
         if not pipelines:
             return []
         pmap = self._active_pmap or ParallelMap(workers=0)
-        scores = pmap.map(
-            lambda p: evaluator.score(p, task), pipelines,
-            name=f"search.{self.name}",
-        )
-        for pipeline, score in zip(pipelines, scores):
-            tracker.record(
-                pipeline, score,
-                failed=evaluator.failure_reason(pipeline, task) is not None,
-            )
-        return scores
+
+        def score_one(pipeline: PrepPipeline) -> tuple[float, bool]:
+            # The failure flag must be read where the score was computed:
+            # under a process-backed map the evaluator's failure cache
+            # lives in the forked worker, not in the parent.
+            score = evaluator.score(pipeline, task)
+            failed = evaluator.failure_reason(pipeline, task) is not None
+            return score, failed
+
+        outcomes = pmap.map(score_one, pipelines,
+                            name=f"search.{self.name}")
+        for pipeline, (score, failed) in zip(pipelines, outcomes):
+            tracker.record(pipeline, score, failed=failed)
+        return [score for score, _ in outcomes]
 
     def _random_pipeline(self, rng: np.random.Generator) -> PrepPipeline:
         ops = tuple(

@@ -1,0 +1,282 @@
+"""Partitioners: deciding which shard each row lives in.
+
+Both partitioners are **content-deterministic**: the shard a row lands in
+depends only on its key values — not on ``PYTHONHASHSEED``, process
+identity, or row position — so two tables partitioned with equal
+partitioners co-locate equal keys in the same shard index.  That property
+is what makes the sharded kernels exact: hash (or shared-bounds range)
+partitioning on the join keys means matching rows meet in the same shard,
+partitioning on a subset of the group keys means no group straddles a
+shard boundary, and any partitioner co-locates duplicate rows for
+``distinct``.
+
+- :class:`HashPartitioner` — splitmix64-style mixing of per-column value
+  hashes (crc32 for strings, bit-mix for ints, floats normalized so ``2``
+  and ``2.0`` land together and ``-0.0`` with ``0.0``); nulls form their
+  own bucket.  Works for any key columns; the default.
+- :class:`RangePartitioner` — quantile bounds over one numeric key, so
+  shards are contiguous key ranges (cheap pruning for range predicates).
+  Both sides of a join must share the *same* bounds to co-locate.
+- :func:`choose_partitioner` — picks between them from
+  :meth:`Table.stats`: range for a single spread-out numeric key, hash
+  otherwise.
+
+Partitioners serialize to plain dicts (:meth:`to_dict` /
+:func:`partitioner_from_dict`) so a spilled partitioned table's manifest
+can rebuild the exact partitioning on restore.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ShardError
+from repro.table import Column, Table
+
+#: Hash assigned to every null key cell (any fixed odd constant works).
+NULL_HASH = np.uint64(0x9E3779B97F4A7C15)
+#: Rolling multi-column combine multiplier (golden-ratio prime).
+_COMBINE = np.uint64(0xBF58476D1CE4E5B9)
+_SEED = np.uint64(0x8A5CD789635D2DFF)
+
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+_NAN_HASH = np.uint64(0x5851F42D4C957F2D)
+_POS_INF_HASH = np.uint64(0x14057B7EF767814F)
+_NEG_INF_HASH = np.uint64(0xDA942042E4DD58B5)
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """Splitmix64 finalizer, vectorized (uint64 wrap-around arithmetic)."""
+    x = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x ^= x >> np.uint64(30)
+        x *= _MIX_1
+        x ^= x >> np.uint64(27)
+        x *= _MIX_2
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def _hash_object(v: Any) -> int:
+    """Deterministic 64-bit pre-hash of one python value (str columns, and
+    the object-dtype fallback that holds oversized ints)."""
+    if isinstance(v, str):
+        data = v.encode("utf-8")
+        # Two crc32 passes (second one salted) widen to 64 bits.
+        return zlib.crc32(data) | (zlib.crc32(data, 0x9747B28C) << 32)
+    if isinstance(v, bool):
+        return int(v)
+    if isinstance(v, int):
+        return v & _MASK64
+    if isinstance(v, float):
+        return _hash_float_scalar(v)
+    raise ShardError(f"cannot hash partition key value of type {type(v)!r}")
+
+
+def _hash_float_scalar(v: float) -> int:
+    if v != v:
+        return int(_NAN_HASH)
+    if v == float("inf"):
+        return int(_POS_INF_HASH)
+    if v == float("-inf"):
+        return int(_NEG_INF_HASH)
+    if v == int(v):
+        return int(v) & _MASK64  # integral floats hash like the int
+    return np.float64(v).view(np.uint64).item()
+
+
+def hash_column(col: Column) -> np.ndarray:
+    """Content hash of every cell as ``uint64``; nulls get :data:`NULL_HASH`.
+
+    Equal logical values hash equal across dtypes that can compare equal
+    (``int`` vs integral ``float``) and across processes — this is the
+    co-location invariant every sharded kernel relies on.
+    """
+    n = len(col)
+    values, mask = col.values, col.mask
+    if values.dtype == object:
+        pre = np.fromiter(
+            (0 if m else _hash_object(v)
+             for v, m in zip(values.tolist(), mask.tolist())),
+            dtype=np.uint64, count=n,
+        )
+        out = _mix64(pre)
+    elif col.dtype == "float":
+        out = _hash_float_array(values)
+    else:  # int64 / bool storage
+        out = _mix64(values.astype(np.int64).view(np.uint64))
+    out[mask] = NULL_HASH
+    return out
+
+
+def _hash_float_array(values: np.ndarray) -> np.ndarray:
+    v = values.astype(np.float64, copy=True)
+    v[v == 0.0] = 0.0  # collapse -0.0 into +0.0
+    finite = np.isfinite(v)
+    integral = finite & (v == np.floor(v)) & (np.abs(v) < 2.0 ** 63)
+    pre = np.empty(len(v), dtype=np.uint64)
+    with np.errstate(invalid="ignore"):
+        pre[integral] = v[integral].astype(np.int64).view(np.uint64)
+    odd = ~integral
+    if odd.any():
+        bits = v[odd].view(np.uint64).copy()
+        sub = v[odd]
+        bits[np.isnan(sub)] = _NAN_HASH
+        bits[sub == np.inf] = _POS_INF_HASH
+        bits[sub == -np.inf] = _NEG_INF_HASH
+        pre[odd] = bits
+    return _mix64(pre)
+
+
+def hash_rows(columns: Sequence[Column]) -> np.ndarray:
+    """Rolling combine of per-column hashes into one ``uint64`` per row."""
+    if not columns:
+        raise ShardError("hash_rows needs at least one key column")
+    h = np.full(len(columns[0]), _SEED, dtype=np.uint64)
+    for col in columns:
+        with np.errstate(over="ignore"):
+            h = _mix64(h * _COMBINE ^ hash_column(col))
+    return h
+
+
+def _key_columns(table: Table, keys: Sequence[str]) -> list[Column]:
+    columns = table.columns()
+    return [columns[table.schema.index_of(k)] for k in keys]
+
+
+@dataclass(frozen=True)
+class HashPartitioner:
+    """Row → ``hash(keys) % num_shards``.  Works for any key columns."""
+
+    keys: tuple[str, ...]
+    num_shards: int
+
+    kind = "hash"
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ShardError("num_shards must be >= 1")
+        if not self.keys:
+            raise ShardError("HashPartitioner needs at least one key")
+
+    def assign(self, table: Table) -> np.ndarray:
+        """Shard id per row, ``int64`` in ``[0, num_shards)``."""
+        h = hash_rows(_key_columns(table, self.keys))
+        return (h % np.uint64(self.num_shards)).astype(np.int64)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "keys": list(self.keys),
+                "num_shards": self.num_shards}
+
+
+@dataclass(frozen=True)
+class RangePartitioner:
+    """Row → the range bucket its (single, numeric) key falls in.
+
+    ``bounds`` are the ``num_shards - 1`` ascending split points; shard
+    ``i`` holds keys in ``(bounds[i-1], bounds[i]]`` (``searchsorted``
+    left-open), nulls and NaNs go to shard 0.  Two tables co-locate only
+    under the *same* bounds — reuse one partitioner object (or its
+    ``to_dict``) for both sides of a join.
+    """
+
+    key: str
+    bounds: tuple[float, ...]
+
+    kind = "range"
+
+    def __post_init__(self):
+        if list(self.bounds) != sorted(self.bounds):
+            raise ShardError("range bounds must be ascending")
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return (self.key,)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.bounds) + 1
+
+    @classmethod
+    def from_table(cls, table: Table, key: str,
+                   num_shards: int) -> "RangePartitioner":
+        """Quantile bounds over the key's non-null values."""
+        if num_shards < 1:
+            raise ShardError("num_shards must be >= 1")
+        col = _key_columns(table, [key])[0]
+        valid = col.values[~col.mask]
+        if col.dtype not in ("int", "float") or valid.dtype == object:
+            raise ShardError(
+                f"RangePartitioner needs an in-range numeric key, "
+                f"got {key!r} ({col.dtype})"
+            )
+        if num_shards == 1 or len(valid) == 0:
+            return cls(key=key, bounds=())
+        qs = np.arange(1, num_shards) / num_shards
+        bounds = np.quantile(valid.astype(np.float64), qs)
+        # Deduplicate: equal quantiles would leave empty shards *between*
+        # the duplicates; keeping them distinct is not possible, so the
+        # partitioner simply has fewer effective cut points (empty shards
+        # at the tail are fine — every kernel handles them).
+        return cls(key=key, bounds=tuple(float(b) for b in bounds))
+
+    def assign(self, table: Table) -> np.ndarray:
+        col = _key_columns(table, [self.key])[0]
+        if not self.bounds:
+            return np.zeros(len(col), dtype=np.int64)
+        values = col.values.astype(np.float64, copy=False)
+        ids = np.searchsorted(np.asarray(self.bounds, dtype=np.float64),
+                              values, side="left")
+        ids = ids.astype(np.int64)
+        with np.errstate(invalid="ignore"):
+            ids[np.isnan(values)] = 0
+        ids[col.mask] = 0
+        return ids
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "key": self.key,
+                "bounds": list(self.bounds)}
+
+
+Partitioner = HashPartitioner | RangePartitioner
+
+
+def partitioner_from_dict(data: dict[str, Any]) -> Partitioner:
+    """Rebuild a partitioner from its :meth:`to_dict` form (spill manifests)."""
+    kind = data.get("kind")
+    if kind == "hash":
+        return HashPartitioner(keys=tuple(data["keys"]),
+                               num_shards=int(data["num_shards"]))
+    if kind == "range":
+        return RangePartitioner(key=data["key"],
+                                bounds=tuple(float(b)
+                                             for b in data["bounds"]))
+    raise ShardError(f"unknown partitioner kind {kind!r}")
+
+
+def choose_partitioner(table: Table, keys: Sequence[str],
+                       num_shards: int) -> Partitioner:
+    """Pick a partitioner from :meth:`Table.stats`.
+
+    Range partitioning wins for a single numeric key whose distinct count
+    comfortably exceeds the shard count (so quantile bounds spread rows
+    evenly) with few nulls (nulls pile into shard 0); everything else —
+    string keys, multi-column keys, skewed or null-heavy columns — hashes.
+    """
+    keys = list(keys)
+    if len(keys) == 1:
+        st = table.stats().get(keys[0])
+        if (st is not None and st["dtype"] in ("int", "float")
+                and st["distinct"] >= 4 * num_shards
+                and st["null_fraction"] <= 0.25):
+            try:
+                return RangePartitioner.from_table(table, keys[0], num_shards)
+            except ShardError:
+                pass  # object-dtype overflow ints etc. — fall through
+    return HashPartitioner(keys=tuple(keys), num_shards=num_shards)

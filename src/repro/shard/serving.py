@@ -1,0 +1,151 @@
+"""Shard-aware serving: fan one query across partitions and merge.
+
+:class:`ShardedTableBackend` plugs a :class:`~repro.shard.
+PartitionedTable` into the serving runtime's :class:`~repro.serving.
+Backend` protocol, so one :class:`~repro.serving.Server` answers
+analytical queries (filter / count / group_by / distinct) by fanning each
+query across the table's shards — through a process pool when one is
+configured — and merging shard results via the :mod:`repro.shard.kernels`
+machinery.  Queries are declarative :class:`ShardQuery` values with
+vectorized ``where`` predicates, which makes them hashable → cacheable
+(``stable_key``), and keeps evaluation picklable for forked workers.
+
+Degraded tier: a query that fails under the parallel map is retried once
+serially (``pmap=None``) before the error propagates — a dead worker
+degrades to slower service, not failure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ShardError
+from repro.obs import get_logger, metrics
+from repro.par.base import BaseMap
+from repro.serving.cache import stable_key
+from repro.serving.server import Backend
+from repro.shard import kernels
+from repro.shard.table import PartitionedTable
+from repro.table import Table
+
+log = get_logger("shard.serving")
+
+#: where-clause operators → vectorized comparisons.
+_OPS = {
+    "==": lambda v, x: v == x,
+    "!=": lambda v, x: v != x,
+    "<": lambda v, x: v < x,
+    "<=": lambda v, x: v <= x,
+    ">": lambda v, x: v > x,
+    ">=": lambda v, x: v >= x,
+}
+
+
+@dataclass(frozen=True)
+class ShardQuery:
+    """One declarative query over a partitioned table.
+
+    ``where`` is a conjunction of ``(column, op, value)`` conditions (ops:
+    ``== != < <= > >= isnull notnull``; value ignored for the null
+    checks).  ``op`` selects the shape of the answer: ``filter`` returns
+    matching rows (optionally ``limit``-ed), ``count`` their number,
+    ``group_by`` aggregates them (``keys`` + ``aggregates`` as in
+    :meth:`Table.group_by`), ``distinct`` deduplicates them.
+    """
+
+    op: str = "filter"
+    where: tuple[tuple[str, str, Any], ...] = ()
+    keys: tuple[str, ...] = ()
+    aggregates: tuple[tuple[str, str, str], ...] = ()
+    limit: int | None = None
+
+    def canonical(self) -> str:
+        return json.dumps(
+            {"op": self.op, "where": list(self.where),
+             "keys": list(self.keys),
+             "aggregates": [list(a) for a in self.aggregates],
+             "limit": self.limit},
+            sort_keys=True, default=repr,
+        )
+
+
+def where_mask(table: Table, where) -> np.ndarray:
+    """Vectorized conjunctive predicate; null cells fail every comparison
+    (SQL three-valued logic collapsed to False)."""
+    keep = np.ones(table.num_rows, dtype=bool)
+    for column, op, value in where:
+        mask = table.null_mask(column)
+        if op == "isnull":
+            keep &= mask
+            continue
+        if op == "notnull":
+            keep &= ~mask
+            continue
+        cmp = _OPS.get(op)
+        if cmp is None:
+            raise ShardError(f"unknown where operator {op!r}")
+        values = table.column_array(column)
+        with np.errstate(invalid="ignore"):
+            hit = cmp(values, value)
+        keep &= np.asarray(hit, dtype=bool) & ~mask
+    return keep
+
+
+class ShardedTableBackend(Backend):
+    """Serve :class:`ShardQuery` payloads over one partitioned table."""
+
+    def __init__(self, ptable: PartitionedTable, name: str = "shard",
+                 pmap: BaseMap | None = None):
+        self.ptable = ptable
+        self.name = name
+        self.pmap = pmap
+
+    # -- Backend protocol --------------------------------------------------
+
+    def run_batch(self, payloads: list[ShardQuery]) -> list[Any]:
+        return [self._run_one(q, self.pmap) for q in payloads]
+
+    def cache_key(self, payload: ShardQuery) -> str:
+        return stable_key(self.name, payload.canonical())
+
+    def fallback(self, payload: ShardQuery, error: BaseException) -> Any:
+        """Degraded tier: retry serially — shards evaluate in-process, so a
+        lost worker (or any parallel-path failure) costs latency, not the
+        answer."""
+        if self.pmap is None:
+            raise error
+        log.warning("query %s degrading to serial after: %s",
+                    payload.op, error)
+        metrics.counter("shard.serving.serial_retries").inc()
+        return self._run_one(payload, None)
+
+    # -- evaluation --------------------------------------------------------
+
+    def _run_one(self, query: ShardQuery, pmap: BaseMap | None) -> Any:
+        metrics.counter("shard.serving.queries").inc()
+        filtered = self.ptable
+        if query.where:
+            where = query.where
+            filtered = kernels.filter(
+                filtered, lambda t: where_mask(t, where), pmap=pmap)
+        if query.op == "filter":
+            out = filtered.to_table()
+            if query.limit is not None:
+                out = out.limit(query.limit)
+            return out
+        if query.op == "count":
+            return filtered.num_rows
+        if query.op == "group_by":
+            return kernels.group_by(filtered, list(query.keys),
+                                    [tuple(a) for a in query.aggregates],
+                                    pmap=pmap)
+        if query.op == "distinct":
+            out = kernels.distinct(filtered, pmap=pmap).to_table()
+            if query.limit is not None:
+                out = out.limit(query.limit)
+            return out
+        raise ShardError(f"unknown query op {query.op!r}")

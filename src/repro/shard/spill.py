@@ -1,0 +1,201 @@
+"""Out-of-core partitions: content-addressed shard files on disk.
+
+A :class:`ShardStore` spills a :class:`~repro.shard.PartitionedTable` to
+a directory and restores it lazily — the restored table holds
+:class:`SpilledShard` handles, so only the shard a kernel is currently
+working on occupies memory (and a forked worker loads just its own
+shard).  The layout borrows the :class:`~repro.dlt.CheckpointStore`
+durability discipline wholesale:
+
+- each shard serializes through :func:`~repro.dlt.storage.table_to_json`
+  (exact round-trip including null masks, object-dtype strings, and the
+  int64-overflow object fallback — the same format checkpoints trust);
+- shard files are **content-addressed** (``<name>-<shard>-<hash12>.json``)
+  and every write is write-temp → flush → fsync → ``os.replace`` →
+  directory fsync, so a crash never exposes a partial shard;
+- a per-name manifest records the partitioner (via ``to_dict``), the
+  schema, and each shard's file + full content hash; loads re-hash the
+  file and raise :class:`~repro.errors.ShardError` on any mismatch;
+- ``*.tmp`` debris and unreferenced shard files are swept at open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+from repro.dlt.storage import content_hash, table_from_json, table_to_json
+from repro.errors import ShardError
+from repro.obs import get_logger, metrics
+from repro.shard.partition import partitioner_from_dict
+from repro.shard.table import PartitionedTable
+from repro.table import Schema, Table
+
+log = get_logger("shard.spill")
+
+MANIFEST_SUFFIX = ".manifest.json"
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
+
+
+class SpilledShard:
+    """Handle to one on-disk shard; loads (and verifies) on ``get()``."""
+
+    __slots__ = ("path", "expected_hash", "num_rows")
+
+    def __init__(self, path: Path, expected_hash: str, num_rows: int):
+        self.path = Path(path)
+        self.expected_hash = expected_hash
+        self.num_rows = num_rows
+
+    def get(self) -> Table:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ShardError(f"spilled shard missing: {self.path}") from exc
+        if content_hash(text) != self.expected_hash:
+            raise ShardError(
+                f"spilled shard corrupt (hash mismatch): {self.path}"
+            )
+        metrics.counter("shard.spill.loads").inc()
+        return table_from_json(text)
+
+    def __repr__(self) -> str:
+        return f"SpilledShard({self.path.name}, rows={self.num_rows})"
+
+
+class ShardStore:
+    """Directory of spilled partitioned tables, one manifest per name."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep()
+
+    # -- durability helpers (CheckpointStore discipline) -------------------
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return  # directory fsync is best-effort (not all platforms)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._fsync_dir(path.parent)
+
+    def _sweep(self) -> None:
+        for tmp in self.root.glob("*.tmp"):
+            tmp.unlink(missing_ok=True)
+        referenced = set()
+        for name in self.names():
+            try:
+                manifest = self._load_manifest(name)
+            except ShardError:
+                continue
+            for entry in manifest["shards"]:
+                referenced.add(entry["file"])
+        for data in self.root.glob("*.json"):
+            if data.name.endswith(MANIFEST_SUFFIX):
+                continue
+            if data.name not in referenced:
+                data.unlink(missing_ok=True)
+
+    # -- manifests ---------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(
+            p.name[:-len(MANIFEST_SUFFIX)]
+            for p in self.root.glob(f"*{MANIFEST_SUFFIX}")
+        )
+
+    def _manifest_path(self, name: str) -> Path:
+        return self.root / f"{_safe_name(name)}{MANIFEST_SUFFIX}"
+
+    def _load_manifest(self, name: str) -> dict:
+        path = self._manifest_path(name)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ShardError(
+                f"no readable spill manifest for {name!r}"
+            ) from exc
+
+    # -- spill / restore ---------------------------------------------------
+
+    def spill(self, ptable: PartitionedTable,
+              name: str) -> PartitionedTable:
+        """Write every shard to disk; returns the same logical table backed
+        by :class:`SpilledShard` handles (in-memory shards are released as
+        soon as the caller drops its own reference)."""
+        safe = _safe_name(name)
+        entries = []
+        handles = []
+        for i in range(ptable.num_shards):
+            table = ptable.shard(i)
+            text = table_to_json(table)
+            digest = content_hash(text)
+            file_name = f"{safe}-{i:04d}-{digest[:12]}.json"
+            path = self.root / file_name
+            if not path.exists():
+                self._write_atomic(path, text)
+            entries.append({"file": file_name, "hash": digest,
+                            "rows": table.num_rows})
+            handles.append(SpilledShard(path, digest, table.num_rows))
+        manifest = {
+            "name": name,
+            "partitioner": ptable.partitioner.to_dict(),
+            "schema": [[f.name, f.dtype] for f in ptable.schema],
+            "shards": entries,
+        }
+        self._write_atomic(self._manifest_path(name),
+                           json.dumps(manifest, indent=1, sort_keys=True))
+        metrics.counter("shard.spill.writes").inc(ptable.num_shards)
+        log.info("spilled %r: %d shards, %d rows", name,
+                 ptable.num_shards, ptable.num_rows)
+        return PartitionedTable(ptable.schema, handles, ptable.partitioner)
+
+    def restore(self, name: str) -> PartitionedTable:
+        """Rebuild a spilled table lazily — no shard loads until a kernel
+        asks for it."""
+        manifest = self._load_manifest(name)
+        partitioner = partitioner_from_dict(manifest["partitioner"])
+        schema = Schema([(n, d) for n, d in manifest["schema"]])
+        handles = [
+            SpilledShard(self.root / entry["file"], entry["hash"],
+                         int(entry["rows"]))
+            for entry in manifest["shards"]
+        ]
+        return PartitionedTable(schema, handles, partitioner)
+
+    def stream(self, name: str):
+        """Yield ``(shard_index, Table)`` one shard at a time — the
+        out-of-core iteration primitive (at most one shard in memory)."""
+        restored = self.restore(name)
+        for i in range(restored.num_shards):
+            yield i, restored.shard(i)
+
+    def delete(self, name: str) -> None:
+        manifest_path = self._manifest_path(name)
+        try:
+            manifest = self._load_manifest(name)
+        except ShardError:
+            manifest = {"shards": []}
+        for entry in manifest["shards"]:
+            (self.root / entry["file"]).unlink(missing_ok=True)
+        manifest_path.unlink(missing_ok=True)
+        self._fsync_dir(self.root)

@@ -1,0 +1,266 @@
+"""Partitioned tables: a :class:`~repro.table.Table` split into shards.
+
+A :class:`PartitionedTable` is a schema, a partitioner, and a list of
+shard *handles*.  A handle is anything with ``num_rows`` and
+``get() -> Table``; two implementations exist:
+
+- :class:`MemoryShard` — wraps an in-memory table built zero-copy at
+  partition time (each shard's columns are contiguous views into one
+  gathered array, no per-shard copies) and caches :class:`ShardIndex`
+  objects on itself;
+- ``SpilledShard`` (:mod:`repro.shard.spill`) — a content-addressed file
+  on disk, loaded (and hash-verified) on ``get()``, so tables larger than
+  memory stream shard-at-a-time — a forked worker loads only its own
+  shard.
+
+The :class:`ShardIndex` is the perf story on top of co-location: built
+once per shard (ideally at partition time via :meth:`PartitionedTable.
+build_indexes`), it caches the dense key codes, the stable sort order and
+the group segmentation that both the grouped-aggregate core
+(:func:`repro.table.segment_group_by`) and the co-located hash join probe
+consume.  Amortized across queries, the sharded kernels skip the
+factorize + sort work that dominates the cold single-table kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError, ShardError
+from repro.obs import metrics
+from repro.obs.instrument import timed
+from repro.shard.partition import (
+    Partitioner,
+    choose_partitioner,
+)
+from repro.table import Column, Schema, Table, row_codes
+from repro.table.table import _null_rows
+
+
+class ShardIndex:
+    """Per-shard key index: dense codes + stable order + group segments.
+
+    ``codes`` follow the :func:`~repro.table.row_codes` convention (dense
+    in ``[0, num_groups)``, nulls bucketed per key column), ``order`` is
+    their stable argsort, so rows of group ``g`` occupy
+    ``order[starts[g] : starts[g] + sizes[g]]`` in original row order.
+    ``group_null`` marks groups whose key tuple contains a null (excluded
+    from join matching, SQL semantics); ``reps`` is each group's first
+    row, used to compare group keys *across* shards when joining.
+    """
+
+    __slots__ = ("keys", "codes", "order", "starts", "sizes", "reps",
+                 "group_null", "num_groups")
+
+    def __init__(self, keys: tuple[str, ...], codes: np.ndarray,
+                 order: np.ndarray, starts: np.ndarray, sizes: np.ndarray,
+                 reps: np.ndarray, group_null: np.ndarray):
+        self.keys = keys
+        self.codes = codes
+        self.order = order
+        self.starts = starts
+        self.sizes = sizes
+        self.reps = reps
+        self.group_null = group_null
+        self.num_groups = len(starts)
+
+    @classmethod
+    def build(cls, table: Table, keys: Sequence[str]) -> "ShardIndex":
+        keys = tuple(keys)
+        with timed("shard.index.seconds", span_name="shard.index",
+                   rows=table.num_rows, keys=len(keys)):
+            columns = table.columns()
+            key_cols = [columns[table.schema.index_of(k)] for k in keys]
+            n = table.num_rows
+            if n == 0:
+                empty_i = np.empty(0, dtype=np.int64)
+                return cls(keys, empty_i, empty_i.copy(), empty_i.copy(),
+                           empty_i.copy(), empty_i.copy(),
+                           np.empty(0, dtype=bool))
+            codes = row_codes(key_cols)
+            order = np.argsort(codes, kind="stable")
+            sorted_gids = codes[order]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_gids[1:] != sorted_gids[:-1]]
+            )
+            # Codes are dense and sorted ascending, so segment g starts at
+            # starts[g] — no lookup table needed for the join probe.
+            sizes = np.diff(np.r_[starts, n])
+            reps = order[starts]
+            group_null = _null_rows(key_cols)[reps]
+            metrics.counter("shard.index.built").inc()
+        return cls(keys, codes, order, starts, sizes, reps, group_null)
+
+
+class MemoryShard:
+    """In-memory shard handle; caches indexes keyed by the key tuple."""
+
+    __slots__ = ("table", "_indexes")
+
+    def __init__(self, table: Table):
+        self.table = table
+        self._indexes: dict[tuple[str, ...], ShardIndex] = {}
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    def get(self) -> Table:
+        return self.table
+
+    def index(self, keys: Sequence[str]) -> ShardIndex:
+        keys = tuple(keys)
+        cached = self._indexes.get(keys)
+        if cached is None:
+            cached = ShardIndex.build(self.table, keys)
+            self._indexes[keys] = cached
+        return cached
+
+    def cached_index(self, keys: Sequence[str]) -> ShardIndex | None:
+        return self._indexes.get(tuple(keys))
+
+
+class PartitionedTable:
+    """A table split into shards by a content-deterministic partitioner.
+
+    Construction does not copy cell data: rows are gathered once by a
+    stable sort on shard id (preserving original row order within each
+    shard), then every shard's columns are zero-copy slices of the
+    gathered arrays.  All relational work goes through
+    :mod:`repro.shard.kernels`; this class only owns layout, indexes, and
+    round-trips (:meth:`to_table`, spill via
+    :class:`~repro.shard.spill.ShardStore`).
+    """
+
+    def __init__(self, schema: Schema, shards: Sequence[Any],
+                 partitioner: Partitioner):
+        if len(shards) != partitioner.num_shards:
+            raise ShardError(
+                f"partitioner expects {partitioner.num_shards} shards, "
+                f"got {len(shards)}"
+            )
+        self.schema = schema
+        self.shards = list(shards)
+        self.partitioner = partitioner
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def partition(cls, table: Table, partitioner: Partitioner | None = None,
+                  *, keys: Sequence[str] | None = None,
+                  num_shards: int | None = None,
+                  build_indexes: bool = False) -> "PartitionedTable":
+        """Split ``table`` by ``partitioner`` (or pick one from its stats).
+
+        Either pass a ready partitioner, or ``keys`` + ``num_shards`` to
+        let :func:`~repro.shard.choose_partitioner` decide.
+        ``build_indexes=True`` additionally builds each shard's key index
+        now, amortizing the sort/factorize work the kernels would
+        otherwise do per query.
+        """
+        if partitioner is None:
+            if keys is None or num_shards is None:
+                raise ShardError(
+                    "partition() needs a partitioner, or keys + num_shards"
+                )
+            partitioner = choose_partitioner(table, keys, num_shards)
+        for key in partitioner.keys:
+            if key not in table.schema.names:
+                raise SchemaError(f"unknown partition key {key!r}")
+        with timed("shard.partition.seconds", span_name="shard.partition",
+                   rows=table.num_rows, shards=partitioner.num_shards,
+                   kind=partitioner.kind) as s:
+            ids = partitioner.assign(table)
+            order = np.argsort(ids, kind="stable")
+            gathered = [c.take(order) for c in table.columns()]
+            bounds = np.searchsorted(ids[order],
+                                     np.arange(partitioner.num_shards + 1))
+            shards = []
+            for i in range(partitioner.num_shards):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                cols = tuple(
+                    Column(c.dtype, c.values[lo:hi], c.mask[lo:hi])
+                    for c in gathered
+                )
+                shard_table = Table._trusted(table.schema, cols,
+                                             num_rows=hi - lo)
+                shards.append(MemoryShard(shard_table))
+            out = cls(table.schema, shards, partitioner)
+            if build_indexes:
+                out.build_indexes(partitioner.keys)
+            s.set(empty_shards=sum(1 for sh in shards if sh.num_rows == 0))
+        return out
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(s.num_rows for s in self.shards)
+
+    def __repr__(self) -> str:
+        return (f"PartitionedTable(shards={self.num_shards}, "
+                f"rows={self.num_rows}, "
+                f"partitioner={self.partitioner.kind})")
+
+    def shard(self, i: int) -> Table:
+        """Materialize shard ``i`` (loads from disk for spilled shards)."""
+        return self.shards[i].get()
+
+    def shard_tables(self) -> list[Table]:
+        return [self.shard(i) for i in range(self.num_shards)]
+
+    # -- indexes -----------------------------------------------------------
+
+    def build_indexes(self, keys: Sequence[str] | None = None) -> None:
+        """Build (and cache) every in-memory shard's index on ``keys``
+        (default: the partition keys).  Spilled shards are skipped — they
+        rebuild on load."""
+        keys = tuple(keys) if keys is not None else tuple(
+            self.partitioner.keys)
+        for handle in self.shards:
+            if isinstance(handle, MemoryShard):
+                handle.index(keys)
+
+    def index(self, i: int, keys: Sequence[str]) -> ShardIndex:
+        """Shard ``i``'s index on ``keys`` — cached on in-memory shards,
+        built fresh for spilled ones."""
+        handle = self.shards[i]
+        if isinstance(handle, MemoryShard):
+            return handle.index(keys)
+        return ShardIndex.build(handle.get(), keys)
+
+    # -- round-trips -------------------------------------------------------
+
+    def to_table(self) -> Table:
+        """Concatenate all shards back into one table (shard order)."""
+        tables = self.shard_tables()
+        columns = []
+        for j, field in enumerate(self.schema):
+            parts = [t.columns()[j] for t in tables]
+            columns.append(Column(
+                field.dtype,
+                np.concatenate([p.values for p in parts]),
+                np.concatenate([p.mask for p in parts]),
+            ))
+        return Table._trusted(self.schema, tuple(columns),
+                              num_rows=self.num_rows)
+
+    def map_shards(self, fn: Callable[[Table], Table],
+                   partitioner: Partitioner | None = None
+                   ) -> "PartitionedTable":
+        """A new partitioned table with ``fn`` applied to every shard.
+
+        The caller asserts the transform preserves the partitioning
+        (row-wise filters do; anything that rewrites key columns must pass
+        a new ``partitioner``)."""
+        shards = [MemoryShard(fn(self.shard(i)))
+                  for i in range(self.num_shards)]
+        return PartitionedTable(
+            shards[0].table.schema if shards else self.schema, shards,
+            partitioner or self.partitioner)

@@ -2,9 +2,9 @@
 explicit null masks, vectorized joins/grouping, trusted fast-path
 construction (docs/table.md)."""
 
-from repro.table.column import NUMPY_DTYPES, SENTINELS, Column
+from repro.table.column import NUMPY_DTYPES, SENTINELS, Column, row_codes
 from repro.table.schema import DTYPES, Field, Schema, coerce, infer_dtype, validate
-from repro.table.table import Table
+from repro.table.table import Table, segment_group_by
 
 __all__ = [
     "Column",
@@ -16,5 +16,7 @@ __all__ = [
     "Table",
     "coerce",
     "infer_dtype",
+    "row_codes",
+    "segment_group_by",
     "validate",
 ]

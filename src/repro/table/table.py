@@ -730,63 +730,7 @@ class Table:
         Aggregates skip nulls, per SQL semantics.  Groups come out in
         first-appearance order, matching :meth:`group_by_reference`.
         """
-        with timed("table.group_by.seconds", span_name="table.group_by") as s:
-            keys = list(keys)
-            key_idx = [self._schema.index_of(k) for k in keys]
-            agg_specs = []
-            for fn, col, out in aggregates:
-                if fn not in _AGGREGATES:
-                    raise SchemaError(
-                        f"unknown aggregate {fn!r}; "
-                        f"options: {sorted(_AGGREGATES)}"
-                    )
-                agg_specs.append((fn, self._schema.index_of(col), col, out))
-            out_fields = self._group_fields(keys, aggregates)
-
-            n = self._num_rows
-            if n == 0:
-                s.set(rows_in=0, groups=0)
-                return Table.empty(Schema(out_fields))
-
-            if key_idx:
-                codes = row_codes([self._columns[j] for j in key_idx])
-            else:
-                codes = np.zeros(n, dtype=np.int64)
-            # One stable sort by group code, shared by every aggregate;
-            # within a group the original row order survives, matching the
-            # reference.  Codes are dense (every value in [0, num_groups)
-            # occupied), so the segment boundaries of the sorted codes
-            # enumerate the groups and the first row of each segment is the
-            # group's first appearance.
-            order = np.argsort(codes, kind="stable")
-            sorted_gids = codes[order]
-            starts = np.flatnonzero(
-                np.r_[True, sorted_gids[1:] != sorted_gids[:-1]]
-            )
-            num_groups = len(starts)
-            first_idx = order[starts]
-            # Output groups in first-appearance order.
-            appearance = np.argsort(first_idx, kind="stable")
-            position = np.empty(num_groups, dtype=np.int64)
-            position[appearance] = np.arange(num_groups)
-
-            out_cols = [
-                self._columns[j].take(first_idx[appearance]) for j in key_idx
-            ]
-            field_iter = iter(out_fields[len(keys):])
-            for fn, j, _colname, _out in agg_specs:
-                field = next(field_iter)
-                col = self._columns[j]
-                grouped = _segment_aggregate(fn, col, sorted_gids, order,
-                                             num_groups, position)
-                coerced = [None if v is None else coerce(v, field.dtype)
-                           for v in grouped]
-                out_cols.append(Column.build(coerced, field.dtype))
-            out = Table._trusted(Schema(out_fields), tuple(out_cols),
-                                 num_rows=num_groups)
-            metrics.counter("table.rows_scanned").inc(n)
-            s.set(rows_in=n, groups=num_groups)
-        return out
+        return segment_group_by(self, keys, aggregates)
 
     def group_by_reference(
         self,
@@ -919,6 +863,87 @@ def _factorize_key_pairs(
         _, inverse = np.unique(combined, return_inverse=True)
         l_comb, r_comb = inverse[:n_left], inverse[n_left:]
     return l_comb, r_comb, left_any_null
+
+
+def segment_group_by(
+    table: Table,
+    keys: Sequence[str],
+    aggregates: Sequence[tuple[str, str, str]],
+    *,
+    codes: np.ndarray | None = None,
+    order: np.ndarray | None = None,
+) -> Table:
+    """The vectorized GROUP BY core behind :meth:`Table.group_by`.
+
+    Exposed as a function so the sharded kernels (:mod:`repro.shard`) run
+    the *same* aggregation code per shard instead of a parallel
+    reimplementation that could drift.  ``codes`` (dense row → group ids in
+    the :func:`~repro.table.column.row_codes` convention: every value in
+    ``[0, num_groups)`` occupied, nulls bucketed per key column) and
+    ``order`` (a stable argsort of ``codes``) may be passed precomputed —
+    a shard index amortizes both at partition time, which is where the
+    sharded group-by speedup comes from.
+    """
+    with timed("table.group_by.seconds", span_name="table.group_by") as s:
+        keys = list(keys)
+        schema = table.schema
+        key_idx = [schema.index_of(k) for k in keys]
+        agg_specs = []
+        for fn, col, out in aggregates:
+            if fn not in _AGGREGATES:
+                raise SchemaError(
+                    f"unknown aggregate {fn!r}; "
+                    f"options: {sorted(_AGGREGATES)}"
+                )
+            agg_specs.append((fn, schema.index_of(col), col, out))
+        out_fields = table._group_fields(keys, aggregates)
+
+        columns = table.columns()
+        n = table.num_rows
+        if n == 0:
+            s.set(rows_in=0, groups=0)
+            return Table.empty(Schema(out_fields))
+
+        if codes is None:
+            if key_idx:
+                codes = row_codes([columns[j] for j in key_idx])
+            else:
+                codes = np.zeros(n, dtype=np.int64)
+        # One stable sort by group code, shared by every aggregate; within
+        # a group the original row order survives, matching the reference.
+        # Codes are dense (every value in [0, num_groups) occupied), so the
+        # segment boundaries of the sorted codes enumerate the groups and
+        # the first row of each segment is the group's first appearance.
+        if order is None:
+            order = np.argsort(codes, kind="stable")
+        sorted_gids = codes[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_gids[1:] != sorted_gids[:-1]]
+        )
+        num_groups = len(starts)
+        first_idx = order[starts]
+        # Output groups in first-appearance order.
+        appearance = np.argsort(first_idx, kind="stable")
+        position = np.empty(num_groups, dtype=np.int64)
+        position[appearance] = np.arange(num_groups)
+
+        out_cols = [
+            columns[j].take(first_idx[appearance]) for j in key_idx
+        ]
+        field_iter = iter(out_fields[len(keys):])
+        for fn, j, _colname, _out in agg_specs:
+            field = next(field_iter)
+            col = columns[j]
+            grouped = _segment_aggregate(fn, col, sorted_gids, order,
+                                         num_groups, position)
+            coerced = [None if v is None else coerce(v, field.dtype)
+                       for v in grouped]
+            out_cols.append(Column.build(coerced, field.dtype))
+        out = Table._trusted(Schema(out_fields), tuple(out_cols),
+                             num_rows=num_groups)
+        metrics.counter("table.rows_scanned").inc(n)
+        s.set(rows_in=n, groups=num_groups)
+    return out
 
 
 def _segment_aggregate(fn: str, col: Column, sorted_gids: np.ndarray,

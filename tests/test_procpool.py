@@ -1,0 +1,316 @@
+"""repro.par process backend: ProcessPool morsel semantics, ProcessMap
+determinism, cross-process trace re-parenting, and the SIGKILL chaos
+contract (per-task degradation, never a hang)."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import obs, resilience
+from repro.errors import RemoteTaskError, WorkerLostError
+from repro.par import (
+    BaseMap,
+    ParallelMap,
+    ProcessMap,
+    ProcessPool,
+    available_cpus,
+    default_process_workers,
+)
+from repro.par.procpool import fork_available
+from repro.resilience import RetryPolicy, get_log
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process backend requires fork"
+)
+
+#: The test process; chaos tasks must only SIGKILL forked children.
+PARENT_PID = os.getpid()
+
+
+@pytest.fixture(autouse=True)
+def _reset_state():
+    obs.reset()
+    resilience.reset()
+    yield
+
+
+def _suicide_if_child():
+    if os.getpid() != PARENT_PID:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestSizing:
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+    def test_default_workers_serial_below_two_cpus(self):
+        cpus = available_cpus()
+        expected = 0 if cpus < 2 else min(cpus, 8)
+        assert default_process_workers() == expected
+
+    def test_auto_sized_map_records_the_policy(self):
+        pmap = ProcessMap()
+        assert pmap.auto_sized
+        assert pmap.workers == default_process_workers()
+        assert not ProcessMap(workers=2).auto_sized
+
+
+class TestProcessPool:
+    def test_outcomes_in_index_order(self):
+        pool = ProcessPool("t", 3)
+        outcomes = pool.run(lambda i: i * i, 10)
+        assert [o.index for o in outcomes] == list(range(10))
+        assert all(o.ok for o in outcomes)
+        assert [o.value for o in outcomes] == [i * i for i in range(10)]
+
+    def test_task_exception_ships_home_typed(self):
+        def boom(i):
+            if i == 2:
+                raise KeyError(f"bad {i}")
+            return i
+
+        outcomes = ProcessPool("t", 2).run(boom, 4)
+        assert [o.ok for o in outcomes] == [True, True, False, True]
+        assert isinstance(outcomes[2].error, KeyError)
+
+    def test_unpicklable_result_degrades_to_remote_task_error(self):
+        lock = threading.Lock()  # unpicklable
+
+        outcomes = ProcessPool("t", 2).run(
+            lambda i: lock if i == 1 else i, 3)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert isinstance(outcomes[1].error, RemoteTaskError)
+
+    def test_unpicklable_exception_also_degrades(self):
+        def boom(i):
+            exc = ValueError("carrying a lock")
+            exc.payload = threading.Lock()
+            raise exc
+
+        (outcome,) = ProcessPool("t", 1).run(boom, 1)
+        assert not outcome.ok
+        assert isinstance(outcome.error, RemoteTaskError)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPool("t", 0)
+
+    def test_empty_run(self):
+        assert ProcessPool("t", 2).run(lambda i: i, 0) == []
+
+    def test_killed_worker_loses_only_its_claimed_morsel(self):
+        def work(i):
+            if i == 3:
+                _suicide_if_child()
+            return i * 2
+
+        outcomes = ProcessPool("t", 2).run(work, 8)
+        lost = [o.index for o in outcomes if not o.ok]
+        assert lost == [3]
+        assert isinstance(outcomes[3].error, WorkerLostError)
+        for o in outcomes:
+            if o.ok:
+                assert o.value == o.index * 2
+
+    def test_all_workers_dead_drains_inline_and_never_hangs(self):
+        def work(i):
+            _suicide_if_child()  # every child dies on its first morsel
+            return i * 2
+
+        start = time.perf_counter()
+        outcomes = ProcessPool("t", 2).run(work, 12)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0
+        assert len(outcomes) == 12
+        lost = [o for o in outcomes if not o.ok]
+        done = [o for o in outcomes if o.ok]
+        # The claimed morsels die with their workers; everything still in
+        # the queue finishes inline on the parent.
+        assert 1 <= len(lost) <= 2
+        assert all(isinstance(o.error, WorkerLostError) for o in lost)
+        assert all(o.value == o.index * 2 for o in done)
+
+
+class TestProcessMap:
+    def test_serial_equals_parallel(self):
+        items = list(range(57))
+        serial = ProcessMap(workers=0).map(lambda x: x * 3, items)
+        pooled = ProcessMap(workers=4, chunk_size=8).map(
+            lambda x: x * 3, items)
+        threads = ParallelMap(workers=4, chunk_size=8).map(
+            lambda x: x * 3, items)
+        assert serial == pooled == threads == [x * 3 for x in items]
+
+    def test_results_in_input_order(self):
+        def slow_for_small(x):
+            time.sleep(0.002 if x < 4 else 0.0)
+            return x * x
+
+        out = ProcessMap(workers=4, chunk_size=1).map(slow_for_small,
+                                                      range(12))
+        assert out == [x * x for x in range(12)]
+
+    def test_unpicklable_fn_and_items_ride_the_fork(self):
+        lock = threading.Lock()  # closure state no pickle could ship
+
+        def fn(x):
+            with lock:
+                return x + 1
+
+        assert ProcessMap(workers=2, chunk_size=2).map(fn, range(6)) == list(
+            range(1, 7))
+
+    def test_raise_mode_surfaces_lowest_index_error(self):
+        def boom_on_odd(x):
+            if x % 2:
+                raise ValueError(f"bad {x}")
+            return x
+
+        for workers in (0, 4):
+            pmap = ProcessMap(workers=workers, chunk_size=2)
+            with pytest.raises(ValueError, match="bad 1"):
+                pmap.map(boom_on_odd, range(20))
+
+    def test_degrade_mode_records_in_parent_log(self):
+        def boom_on_multiples_of_5(x):
+            if x % 5 == 0:
+                raise ValueError(f"bad {x}")
+            return x
+
+        pmap = ProcessMap(workers=4, chunk_size=3, on_error="degrade",
+                          fallback=-99)
+        out = pmap.map(boom_on_multiples_of_5, range(20), name="degrading")
+        assert out == [-99 if x % 5 == 0 else x for x in range(20)]
+        # The children's degradation logs die with them; the events must
+        # have been recorded on the parent's log.
+        events = [e for e in get_log().events() if e.component == "par"]
+        assert {e.point for e in events} == {
+            f"degrading[{i}]" for i in (0, 5, 10, 15)
+        }
+
+    def test_retry_runs_inside_the_worker(self):
+        # Worker-local attempt counters: each chunk's first attempt fails,
+        # the in-worker retry recovers it (state forked, not shared).
+        attempts = {"n": 0}
+
+        def flaky(x):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                from repro.errors import FaultInjectionError
+                raise FaultInjectionError("first attempt in this worker")
+            return x
+
+        pmap = ProcessMap(workers=2, chunk_size=4,
+                          retry=RetryPolicy(max_attempts=3,
+                                            base_delay=0.001))
+        assert pmap.map(flaky, range(8)) == list(range(8))
+        assert attempts["n"] == 0  # parent state untouched: forked copies
+
+    def test_picklable(self):
+        pmap = ProcessMap(workers=3, chunk_size=8, on_error="degrade",
+                          fallback=-1)
+        clone = pickle.loads(pickle.dumps(pmap))
+        assert clone.workers == 3
+        assert clone.kind == "processes"
+        assert clone.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+    def test_with_options_clones_the_subclass(self):
+        pmap = ProcessMap(workers=3, chunk_size=8)
+        clone = pmap.with_options(chunk_size=1, on_error="degrade")
+        assert isinstance(clone, ProcessMap)
+        assert clone.workers == 3
+        assert clone.chunk_size == 1
+        assert pmap.chunk_size == 8
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessMap(workers=-1)
+        with pytest.raises(ValueError):
+            ProcessMap(chunk_size=0)
+        with pytest.raises(ValueError):
+            ProcessMap(on_error="explode")
+
+    def test_shared_base_contract(self):
+        assert isinstance(ProcessMap(), BaseMap)
+        assert isinstance(ParallelMap(), BaseMap)
+        assert ProcessMap().kind == "processes"
+        assert ParallelMap().kind == "threads"
+
+
+class TestProcessMapTracing:
+    def test_chunks_reparent_under_the_map_root(self):
+        pmap = ProcessMap(workers=2, chunk_size=4)
+        out = pmap.map(lambda x: x + 1, range(16), name="traced")
+        assert out == list(range(1, 17))
+        roots = [r for r in obs.get_tracer().roots() if r.name == "par.map"]
+        assert len(roots) == 1
+        chunks = [s for s in roots[0].walk() if s.name == "par.chunk"]
+        assert len(chunks) == 4
+        for chunk in chunks:
+            assert chunk.attributes["remote"] is True
+            assert chunk.attributes["pid"] != os.getpid()
+            assert chunk.finished and chunk.duration >= 0.0
+        assert {c.trace_id for c in chunks} == {roots[0].trace_id}
+
+    def test_serial_mode_builds_local_spans(self):
+        ProcessMap(workers=0, chunk_size=4).map(lambda x: x, range(8))
+        (root,) = [r for r in obs.get_tracer().roots()
+                   if r.name == "par.map"]
+        chunks = [s for s in root.walk() if s.name == "par.chunk"]
+        assert len(chunks) == 2
+        assert all("remote" not in c.attributes for c in chunks)
+
+
+class TestProcessMapChaos:
+    def test_sigkill_mid_morsel_degrades_that_chunk_only(self):
+        """A worker killed mid-morsel costs exactly its in-flight chunk;
+        every other item completes, in order, without a hang."""
+        def work(x):
+            if x == 3:
+                _suicide_if_child()
+            return x * 2
+
+        pmap = ProcessMap(workers=2, chunk_size=1, on_error="degrade",
+                          fallback=-99)
+        start = time.perf_counter()
+        out = pmap.map(work, range(8), name="chaos")
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0
+        assert out == [0, 2, 4, -99, 8, 10, 12, 14]
+        events = [e for e in get_log().events() if e.component == "par"]
+        assert [e.point for e in events] == ["chaos[3]"]
+
+    def test_sigkill_in_raise_mode_surfaces_worker_lost(self):
+        def work(x):
+            if x == 2:
+                _suicide_if_child()
+            return x
+
+        pmap = ProcessMap(workers=1, chunk_size=1)
+        with pytest.raises(WorkerLostError):
+            pmap.map(work, range(4))
+
+    def test_total_worker_loss_still_returns_everything(self):
+        def work(x):
+            _suicide_if_child()
+            return x * 2
+
+        pmap = ProcessMap(workers=2, chunk_size=1, on_error="degrade",
+                          fallback=None)
+        out = pmap.map(work, range(10), name="killall")
+        assert len(out) == 10
+        degraded = [i for i, v in enumerate(out) if v is None]
+        assert degraded, "expected at least one claimed morsel to be lost"
+        for i, value in enumerate(out):
+            assert value is None or value == i * 2
+        events = [e for e in get_log().events() if e.component == "par"]
+        assert {e.point for e in events} == {
+            f"killall[{i}]" for i in degraded
+        }

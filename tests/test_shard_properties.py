@@ -1,0 +1,258 @@
+"""Randomized partition-invariance: every sharded kernel must be
+row-identical (canonical order) to its single-table oracle, for random
+tables, seeds, shard counts, and both partitioner kinds — including null
+keys, empty tables, and empty shards.
+
+Float aggregates use dyadic values (multiples of 0.25) so parallel sums
+are exact and the comparison can demand equality, not tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard import (
+    HashPartitioner,
+    PartitionedTable,
+    RangePartitioner,
+    kernels,
+)
+from repro.table import Table, row_codes
+
+SEEDS = [0, 1, 2, 3, 4]
+SHARD_COUNTS = [1, 2, 7]
+
+
+def assert_same_rows(a: Table, b: Table):
+    """Order-insensitive multiset equality via union row codes."""
+    assert a.schema.names == b.schema.names
+    assert [f.dtype for f in a.schema] == [f.dtype for f in b.schema]
+    assert a.num_rows == b.num_rows
+    if a.num_rows == 0:
+        return
+    both = kernels.concat_tables(a.schema, [a, b])
+    codes = row_codes(list(both.columns()))
+    n = a.num_rows
+    assert sorted(codes[:n].tolist()) == sorted(codes[n:].tolist())
+
+
+def random_table(rng: np.random.Generator, n: int) -> Table:
+    """Nullable int + str keys, dyadic float values, low-cardinality
+    payloads — the shapes that stress co-location and null bucketing."""
+    def with_nulls(values, rate=0.12):
+        return [None if rng.random() < rate else v for v in values]
+
+    columns = [
+        with_nulls(rng.integers(0, 13, n).tolist()),
+        with_nulls([f"g{int(v)}" for v in rng.integers(0, 9, n)]),
+        with_nulls((rng.integers(-200, 200, n) / 4.0).tolist()),
+        rng.integers(0, 50, n).tolist(),
+    ]
+    # Explicit schema: an empty table must still carry the real dtypes.
+    return Table.from_rows(
+        list(zip(*columns)) if n else [],
+        schema=[("k_int", "int"), ("k_str", "str"), ("val", "float"),
+                ("cnt", "int")])
+
+
+def random_size(rng: np.random.Generator) -> int:
+    return int(rng.choice([0, 1, 3, 40, 150]))
+
+
+def partitioners(table: Table, num_shards: int):
+    """Both kinds over the same table (range needs the numeric key)."""
+    yield HashPartitioner(("k_int",), num_shards)
+    yield HashPartitioner(("k_str", "k_int"), num_shards)
+    yield RangePartitioner.from_table(table, "k_int", num_shards)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_partition_round_trip(seed, num_shards):
+    rng = np.random.default_rng(seed)
+    table = random_table(rng, random_size(rng))
+    for part in partitioners(table, num_shards):
+        pt = PartitionedTable.partition(table, part)
+        assert pt.num_rows == table.num_rows
+        assert_same_rows(pt.to_table(), table)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_filter_invariance(seed, num_shards):
+    rng = np.random.default_rng(100 + seed)
+    table = random_table(rng, random_size(rng))
+    threshold = float(rng.integers(-100, 100)) / 4.0
+
+    def predicate(t: Table) -> np.ndarray:
+        vals = t.column_array("val")
+        with np.errstate(invalid="ignore"):
+            return (vals > threshold) & ~t.null_mask("val")
+
+    oracle = table.filter(predicate(table))
+    for part in partitioners(table, num_shards):
+        pt = PartitionedTable.partition(table, part)
+        result = kernels.filter(pt, predicate)
+        assert result.partitioner is pt.partitioner
+        assert_same_rows(result.to_table(), oracle)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_distinct_invariance(seed, num_shards):
+    rng = np.random.default_rng(200 + seed)
+    n = random_size(rng)
+    # Low-cardinality columns only, so duplicates actually occur.
+    table = Table.from_rows(
+        [(None if rng.random() < 0.2 else int(a), f"g{int(b)}")
+         for a, b in zip(rng.integers(0, 4, n), rng.integers(0, 3, n))],
+        schema=[("k_int", "int"), ("k_str", "str")])
+    oracle = table.distinct()
+    for part in (HashPartitioner(("k_int",), num_shards),
+                 HashPartitioner(("k_str",), num_shards)):
+        pt = PartitionedTable.partition(table, part)
+        assert_same_rows(kernels.distinct(pt).to_table(), oracle)
+
+
+AGGS = [("count", "val", "n_val"), ("sum", "val", "s_val"),
+        ("avg", "val", "a_val"), ("min", "val", "lo"),
+        ("max", "cnt", "hi")]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_group_by_partitioned_plan_invariance(seed, num_shards):
+    """Partition keys ⊆ group keys: the per-shard plan, both with and
+    without pre-built indexes."""
+    rng = np.random.default_rng(300 + seed)
+    table = random_table(rng, random_size(rng))
+    oracle = table.group_by(["k_int", "k_str"], AGGS)
+    for part in partitioners(table, num_shards):
+        for build in (False, True):
+            pt = PartitionedTable.partition(table, part,
+                                            build_indexes=build)
+            result = kernels.group_by(pt, ["k_int", "k_str"], AGGS)
+            assert_same_rows(result, oracle)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_group_by_merge_plan_invariance(seed, num_shards):
+    """Partition keys disjoint from group keys: partial aggregates must
+    merge exactly (dyadic float sums, null-only groups included)."""
+    rng = np.random.default_rng(400 + seed)
+    table = random_table(rng, random_size(rng))
+    oracle = table.group_by(["k_str"], AGGS)
+    pt = PartitionedTable.partition(
+        table, HashPartitioner(("k_int",), num_shards))
+    assert_same_rows(kernels.group_by(pt, ["k_str"], AGGS), oracle)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("how", ["inner", "left"])
+def test_join_invariance(seed, num_shards, how):
+    rng = np.random.default_rng(500 + seed)
+    left = random_table(rng, random_size(rng))
+    m = random_size(rng)
+    right = Table.from_rows(
+        [(None if rng.random() < 0.15 else int(v), float(p) / 4.0)
+         for v, p in zip(rng.integers(0, 13, m),
+                         rng.integers(0, 400, m))],
+        schema=[("rk", "int"), ("payload", "float")])
+    oracle = left.join(right, [("k_int", "rk")], how)
+    for part in partitioners(left, num_shards):
+        pt = PartitionedTable.partition(left, part)
+        # Broadcast strategy (small build side)…
+        broadcast = kernels.join(pt, right, [("k_int", "rk")], how)
+        assert_same_rows(broadcast, oracle)
+        # …and the co-located indexed strategy, forced.
+        colocated = kernels.join(pt, right, [("k_int", "rk")], how,
+                                 broadcast_limit=0)
+        assert_same_rows(colocated, oracle)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_join_with_prepartitioned_right(seed, num_shards):
+    """A right side already co-located on the join keys is used as-is —
+    and still matches the oracle."""
+    rng = np.random.default_rng(600 + seed)
+    left = random_table(rng, 120)
+    right = Table.from_dict({
+        "rk": [None if rng.random() < 0.1 else int(v)
+               for v in rng.integers(0, 13, 90)],
+        "payload": rng.integers(0, 9, 90).tolist(),
+    })
+    oracle = left.join(right, [("k_int", "rk")], "inner")
+    lp = HashPartitioner(("k_int",), num_shards)
+    rp = HashPartitioner(("rk",), num_shards)
+    pl = PartitionedTable.partition(left, lp, build_indexes=True)
+    pr = PartitionedTable.partition(right, rp, build_indexes=True)
+    result = kernels.join(pl, pr, [("k_int", "rk")], "inner",
+                          broadcast_limit=0)
+    assert_same_rows(result, oracle)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_string_key_join_invariance(seed):
+    rng = np.random.default_rng(700 + seed)
+    left = random_table(rng, 100)
+    right = Table.from_dict({
+        "rk": [None if rng.random() < 0.1 else f"g{int(v)}"
+               for v in rng.integers(0, 9, 70)],
+        "tag": [f"t{int(v)}" for v in rng.integers(0, 5, 70)],
+    })
+    for how in ("inner", "left"):
+        oracle = left.join(right, [("k_str", "rk")], how)
+        pt = PartitionedTable.partition(left,
+                                        HashPartitioner(("k_str",), 5))
+        assert_same_rows(
+            kernels.join(pt, right, [("k_str", "rk")], how,
+                         broadcast_limit=0),
+            oracle)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_kernels_identical_under_process_pool(seed):
+    """The morsel-driven parallel path returns byte-identical shards."""
+    from repro.par import ProcessMap
+    from repro.par.procpool import fork_available
+
+    if not fork_available():
+        pytest.skip("process backend requires fork")
+    rng = np.random.default_rng(800 + seed)
+    table = random_table(rng, 150)
+    pt = PartitionedTable.partition(table, HashPartitioner(("k_int",), 4),
+                                    build_indexes=True)
+    pmap = ProcessMap(workers=2)
+    serial = kernels.group_by(pt, ["k_int"], AGGS)
+    pooled = kernels.group_by(pt, ["k_int"], AGGS, pmap=pmap)
+    assert_same_rows(serial, pooled)
+    right = Table.from_rows(
+        [(int(v), int(p)) for v, p in zip(rng.integers(0, 13, 60),
+                                          rng.integers(0, 9, 60))],
+        schema=[("rk", "int"), ("payload", "int")])
+    assert_same_rows(
+        kernels.join(pt, right, [("k_int", "rk")], "left",
+                     broadcast_limit=0),
+        kernels.join(pt, right, [("k_int", "rk")], "left", pmap=pmap,
+                     broadcast_limit=0))
+    predicate = lambda t: ~t.null_mask("val")  # noqa: E731
+    assert_same_rows(kernels.filter(pt, predicate).to_table(),
+                     kernels.filter(pt, predicate, pmap=pmap).to_table())
+
+
+def test_all_rows_in_one_shard_degenerate():
+    """A partitioner that collapses everything into one shard (range with
+    no bounds) leaves six empty shards — kernels must not care."""
+    table = Table.from_dict({"k_int": [1, 2, 3], "k_str": ["a", "b", "a"],
+                             "val": [1.0, 2.0, 3.0], "cnt": [1, 1, 2]})
+    pt = PartitionedTable.partition(
+        table, RangePartitioner(key="k_int", bounds=()))
+    assert pt.num_shards == 1
+    assert_same_rows(kernels.distinct(pt).to_table(), table.distinct())
+    assert_same_rows(
+        kernels.group_by(pt, ["k_str"], [("sum", "val", "s")]),
+        table.group_by(["k_str"], [("sum", "val", "s")]))

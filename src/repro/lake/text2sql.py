@@ -16,6 +16,20 @@ from repro.errors import ParseError
 from repro.table import Table
 from repro.text.tokenize import words
 
+def _quote(value: str) -> str:
+    escaped = value.replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _predicate(column: str, values: list[str]) -> str:
+    """One column's grounded values as SQL: equality for a single value,
+    an ``IN`` list (sorted, deduplicated) for several."""
+    unique = sorted(set(values))
+    if len(unique) == 1:
+        return f"{column} = {_quote(unique[0])}"
+    return f"{column} in ({', '.join(_quote(v) for v in unique)})"
+
+
 _AGG_KEYWORDS = [
     ("how many", "count"),
     ("number of", "count"),
@@ -71,8 +85,12 @@ class TextToSQL:
         select = self._select_clause(aggregate, target_column, q)
         where = ""
         if filters:
+            by_column: dict[str, list[str]] = {}
+            for column, value in filters:
+                by_column.setdefault(column, []).append(value)
             predicates = " and ".join(
-                f"{column} = '{value}'" for column, value in filters
+                _predicate(column, values)
+                for column, values in sorted(by_column.items())
             )
             where = f" where {predicates}"
         sql = f"select {select} from {self.table_name}{where}"
@@ -133,11 +151,14 @@ class TextToSQL:
     def _ground_filters(self, q: str) -> list[tuple[str, str]]:
         """Match query tokens against the column-value index.
 
-        A value is grounded when all of its tokens appear in the question;
-        per column we keep the longest grounded value.
+        A value is grounded when all of its tokens appear in the question.
+        Every grounded value is kept — multiple values for one column
+        become an ``IN`` list — except values whose token set is a strict
+        subset of another grounded value's in the same column ("oak" must
+        not survive when "the oak kitchen" grounded).
         """
         tokens = set(words(q))
-        candidates: dict[str, str] = {}
+        grounded: dict[str, dict[str, set[str]]] = {}
         seen: set[tuple[str, str]] = set()
         for token in sorted(tokens):  # sorted: ties must not depend on hash order
             for column, value in self._value_index.get(token, ()):
@@ -146,7 +167,11 @@ class TextToSQL:
                 seen.add((column, value))
                 value_tokens = set(words(value))
                 if value_tokens <= tokens:
-                    current = candidates.get(column)
-                    if current is None or len(value) > len(current):
-                        candidates[column] = value
-        return sorted(candidates.items())
+                    grounded.setdefault(column, {})[value] = value_tokens
+        out: list[tuple[str, str]] = []
+        for column, values in grounded.items():
+            for value, value_tokens in values.items():
+                if any(value_tokens < other for other in values.values()):
+                    continue
+                out.append((column, value))
+        return sorted(out)

@@ -4,56 +4,77 @@ Semantics follow SQL where it matters for the library: three-valued NULL
 comparisons (any comparison with NULL is false), aggregates skip NULLs,
 COUNT(*) counts rows.
 
-Expression evaluation over WHERE clauses and SELECT projections is
-whole-column vectorized (:func:`_eval_vec`): every parser-produced AST node
-evaluates against the table's numpy column arrays and null masks in one
-shot, and the filtered/projected table is built through the trusted
-columnar path.  The row-at-a-time :func:`_eval` survives as the fallback
-for opaque expression nodes and as the aggregate-argument evaluator.
+Queries run through three layers: :func:`repro.sql.plan.compile_query`
+lowers the parsed AST to a logical plan, :func:`repro.sql.optimizer.optimize`
+rewrites it (constant folding, predicate pushdown, materialized-view
+substitution, projection pruning, stats-driven join reordering), and
+:func:`repro.sql.physical.bind` binds each node to an execution backend —
+single-table columnar kernels, :mod:`repro.shard` morsel kernels for
+partitioned sources, or an existing incremental view.  The original
+fixed-order AST interpreter survives as :func:`execute_naive`, the
+equivalence oracle behind ``optimizer=False``.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
-
-from repro.errors import ParseError, SchemaError
+from repro.errors import SchemaError
 from repro.obs import tracing
-from repro.sql.ast import (
-    BinaryOp,
-    ColumnRef,
-    Expr,
-    FuncCall,
-    Literal,
-    Query,
-    SelectItem,
-    UnaryOp,
+from repro.sql import plan as plan_ir
+from repro.sql.ast import Query
+from repro.sql.expr import (
+    aggregate_rows,
+    default_name,
+    eval_aggregate,
+    eval_row,
+    eval_vec,
+    has_aggregate,
+    project_items,
+    where_mask,
 )
+from repro.sql.optimizer import optimize
 from repro.sql.parser import parse_sql
-from repro.table import Column, Table
-from repro.table.schema import Schema, infer_dtype
+from repro.sql.physical import bind
+from repro.table import Table
+from repro.table.schema import Schema
 
 
 class Database:
     """A named collection of tables with a ``query`` entry point.
 
-    Three namespaces share one name space: plain tables (:meth:`register`),
-    mutable streams (:meth:`register_stream`), and incrementally-maintained
-    views (:meth:`create_view`).  :meth:`table` resolves any of them to a
+    Three namespaces share one name space: plain tables (:meth:`register`,
+    which also accepts :class:`~repro.shard.PartitionedTable`), mutable
+    streams (:meth:`register_stream`), and incrementally-maintained views
+    (:meth:`create_view`).  :meth:`table` resolves any of them to a
     :class:`~repro.table.Table`, so ``query()`` reads streams (current
     snapshot) and views (always fresh, delta-maintained) exactly like
     static tables.
+
+    ``optimizer=False`` pins every query to the naive fixed-order
+    executor (:func:`execute_naive`); per-call
+    ``query(sql, optimizer=...)`` overrides the default either way.
+    ``pmap`` forwards a :class:`~repro.par.BaseMap` to the shard kernels
+    when partitioned tables are queried.
     """
 
-    def __init__(self, tables: dict[str, Table] | None = None):
-        self._tables: dict[str, Table] = dict(tables or {})
+    def __init__(self, tables: dict[str, Any] | None = None, *,
+                 optimizer: bool = True, pmap: Any = None):
+        self._tables: dict[str, Any] = {}
+        self._materialized: dict[str, Table] = {}
         self._streams: dict[str, Any] = {}
         self._views: dict[str, Any] = {}
+        self._view_keys: dict[str, str] = {}
+        self._optimizer = optimizer
+        self._pmap = pmap
+        for name, table in (tables or {}).items():
+            self.register(name, table)
 
-    def register(self, name: str, table: Table) -> None:
+    def register(self, name: str, table: Any) -> None:
+        """Register a :class:`Table` or a partitioned table under ``name``."""
         self._check_free(name, allow="table")
         self._tables[name] = table
+        self._materialized.pop(name, None)
 
     def register_stream(self, name: str, source: Any):
         """Register a mutable stream table (see :mod:`repro.ivm`).
@@ -84,13 +105,24 @@ class Database:
         supported subset (:mod:`repro.sql.views`); the resulting
         :class:`~repro.ivm.MaterializedView` is registered under ``name``
         and updates itself on every stream push — ``query()`` against it
-        never recomputes from scratch.
+        never recomputes from scratch.  The view's logical-plan
+        fingerprint is also recorded so the optimizer can substitute it
+        into matching ad-hoc queries.
         """
         from repro.sql.views import compile_view
         self._check_free(name)
+        query = parse_sql(sql)
         with tracing.span("sql.create_view", view=name, sql=sql.strip()):
-            view = compile_view(name, parse_sql(sql), self._streams)
+            view = compile_view(name, query, self._streams)
         self._views[name] = view
+        try:
+            node, _ = optimize(plan_ir.compile_query(query, self), self,
+                               prune=False, reorder=False)
+            self._view_keys[plan_ir.plan_key(node)] = name
+        except Exception:
+            # Fingerprinting is best-effort: a view outside the plannable
+            # subset simply never substitutes.
+            pass
         return view
 
     def view(self, name: str):
@@ -103,6 +135,8 @@ class Database:
     def drop_view(self, name: str) -> None:
         self.view(name).detach()
         del self._views[name]
+        self._view_keys = {key: view for key, view in self._view_keys.items()
+                           if view != name}
 
     def _check_free(self, name: str, allow: str | None = None) -> None:
         """Names are unique across tables, streams, and views — except
@@ -119,7 +153,13 @@ class Database:
 
     def table(self, name: str) -> Table:
         if name in self._tables:
-            return self._tables[name]
+            source = self._tables[name]
+            if isinstance(source, Table):
+                return source
+            cached = self._materialized.get(name)
+            if cached is None:
+                cached = self._materialized[name] = source.to_table()
+            return cached
         if name in self._streams:
             return self._streams[name].snapshot()
         if name in self._views:
@@ -131,32 +171,120 @@ class Database:
     def table_names(self) -> list[str]:
         return sorted({*self._tables, *self._streams, *self._views})
 
-    def query(self, sql: str) -> Table:
-        """Parse and execute a SELECT statement."""
+    # -- catalog interface (logical planner / optimizer / physical) ------------
+
+    def schema_of(self, name: str) -> Schema:
+        """Schema of a table, stream, or view without materializing it."""
+        for namespace in (self._tables, self._streams, self._views):
+            if name in namespace:
+                return namespace[name].schema
+        raise SchemaError(
+            f"no table {name!r}; available: {self.table_names()}"
+        )
+
+    def stats_of(self, name: str) -> dict[str, dict[str, Any]]:
+        """Per-column statistics (memoized on the table)."""
+        return self.table(name).stats()
+
+    def is_partitioned(self, name: str) -> bool:
+        source = self._tables.get(name)
+        return source is not None and not isinstance(source, Table)
+
+    def scan_source(self, name: str) -> Any:
+        """What a Scan node reads: the raw partitioned table when one is
+        registered (so shard kernels can run on it), else a plain table."""
+        if name in self._tables:
+            return self._tables[name]
+        if name in self._streams:
+            return self._streams[name].snapshot()
+        if name in self._views:
+            return self._views[name].table()
+        raise SchemaError(
+            f"no table {name!r}; available: {self.table_names()}"
+        )
+
+    def plan_is_partitioned(self, node: plan_ir.Node) -> bool:
+        """Whether a plan subtree yields a partitioned table (per-shard
+        filters preserve partitioning; everything else is conservative)."""
+        if isinstance(node, plan_ir.Scan):
+            return self.is_partitioned(node.table)
+        if isinstance(node, plan_ir.Filter):
+            return self.plan_is_partitioned(node.child)
+        return False
+
+    def plan_partition_keys(self, node: plan_ir.Node) -> tuple[str, ...] | None:
+        """Partition keys of a subtree's output, or None when unknown —
+        the guarantee behind the partition-aligned GROUP BY backend."""
+        if isinstance(node, plan_ir.Scan):
+            source = self._tables.get(node.table)
+            if source is not None and not isinstance(source, Table):
+                return tuple(source.partitioner.keys)
+            return None
+        if isinstance(node, plan_ir.Filter):
+            return self.plan_partition_keys(node.child)
+        return None
+
+    # -- query / explain -------------------------------------------------------
+
+    def query(self, sql: str, optimizer: bool | None = None) -> Table:
+        """Parse and execute a SELECT statement.
+
+        ``optimizer`` overrides the database default: ``False`` forces the
+        naive fixed-order executor (the equivalence oracle), ``True`` the
+        plan-based path.
+        """
         with tracing.span("sql.query", sql=sql.strip()) as s:
-            out = execute(parse_sql(sql), self)
+            out = execute(parse_sql(sql), self, optimizer=optimizer)
             s.set(rows_out=out.num_rows)
         return out
 
-    def explain(self, sql: str, analyze: bool = False) -> str:
-        """EXPLAIN: the stage pipeline the executor will run for ``sql``.
+    def explain(self, sql: str, analyze: bool = False,
+                optimizer: bool | None = None) -> str:
+        """EXPLAIN: logical, optimized, and physical plans for ``sql``,
+        with one annotation per applied rewrite rule.
 
         With ``analyze=True`` the query actually executes and each stage
         reports its measured rows in/out, selectivity and wall-clock time
         (the same numbers the ``sql.*`` / ``table.*`` spans carry), followed
         by the result's per-column statistics
         (:meth:`~repro.table.Table.stats` — null fractions and distinct
-        counts, the inputs a cost-based planner needs).
+        counts, the inputs the cost-based join reorderer needs).
+
+        Under ``optimizer=False`` the historic fixed-stage pipeline is
+        described instead (the before/after views in docs/sql.md diff the
+        two renderings).
         """
         query = parse_sql(sql)
-        if not analyze:
-            lines = [f"sql: {sql.strip()}", "plan:"]
+        use_optimizer = self._optimizer if optimizer is None else optimizer
+        lines = [f"sql: {sql.strip()}"]
+        physical = None
+        if use_optimizer:
+            logical = plan_ir.compile_query(query, self)
+            optimized, notes = optimize(logical, self,
+                                        view_keys=self._view_keys or None)
+            physical = bind(optimized, self, self._pmap)
+            lines.append("logical plan:")
+            lines += ["  " + row
+                      for row in plan_ir.render_plan(logical).splitlines()]
+            lines.append("rewrites:" if notes else "rewrites: (none)")
+            lines += [f"  - {note}" for note in notes]
+            lines.append("optimized plan:")
+            lines += ["  " + row
+                      for row in plan_ir.render_plan(optimized).splitlines()]
+            lines.append("physical plan:")
+            lines += ["  " + row for row in physical.render().splitlines()]
+        else:
+            lines.append("plan:")
             lines += [f"  -> {step}" for step in _describe(query, self)]
+        if not analyze:
             return "\n".join(lines)
         plan: list[dict[str, Any]] = []
         with tracing.span("sql.explain", sql=sql.strip()):
-            result = execute(query, self, plan=plan)
-        lines = [f"sql: {sql.strip()}", "plan (analyzed):"]
+            if physical is not None:
+                result = physical.execute(plan)
+            else:
+                result = execute_naive(query, self, plan)
+        lines.append("plan (analyzed):")
         for entry in plan:
             parts = [f"{entry['stage']}"]
             for key in ("table", "on", "vectorized", "by", "columns",
@@ -177,7 +305,7 @@ class Database:
 
 
 def _describe(query: Query, db: Database) -> list[str]:
-    """Static (pre-execution) stage descriptions for EXPLAIN."""
+    """Static stage descriptions for the naive fixed-order pipeline."""
     steps = []
     table = db.table(query.table)
     steps.append(f"scan {query.table} ({table.num_rows} rows)")
@@ -196,7 +324,7 @@ def _describe(query: Query, db: Database) -> list[str]:
         column, descending = query.order_by
         steps.append(f"sort by {column} {'desc' if descending else 'asc'}")
     if not query.select_star and not (query.group_by or _has_aggregate(query)):
-        names = [item.alias or _default_name(item.expr)
+        names = [item.alias or default_name(item.expr)
                  for item in query.select]
         steps.append(f"project [{', '.join(names)}]")
     if query.limit is not None:
@@ -205,13 +333,29 @@ def _describe(query: Query, db: Database) -> list[str]:
 
 
 def execute(query: Query, db: Database,
-            plan: list[dict[str, Any]] | None = None) -> Table:
-    """Run a parsed query.
+            plan: list[dict[str, Any]] | None = None,
+            optimizer: bool | None = None) -> Table:
+    """Run a parsed query through compile → optimize → bind → execute.
 
-    Each stage executes under a ``sql.<stage>`` span carrying actual row
-    counts; when ``plan`` is given (EXPLAIN ANALYZE), one dict per executed
-    stage is appended with the same numbers plus the stage wall-clock.
+    ``optimizer=False`` (or a database constructed with
+    ``optimizer=False``) routes to :func:`execute_naive` instead.  Each
+    stage executes under a ``sql.<stage>`` span carrying actual row
+    counts; when ``plan`` is given (EXPLAIN ANALYZE), one dict per
+    executed stage is appended with the same numbers plus the stage
+    wall-clock.
     """
+    use = db._optimizer if optimizer is None else optimizer
+    if not use:
+        return execute_naive(query, db, plan)
+    node = plan_ir.compile_query(query, db)
+    node, _notes = optimize(node, db, view_keys=db._view_keys or None)
+    return bind(node, db, db._pmap).execute(plan)
+
+
+def execute_naive(query: Query, db: Database,
+                  plan: list[dict[str, Any]] | None = None) -> Table:
+    """The historic fixed-order AST interpreter (join → where → aggregate
+    → project), kept verbatim as the optimizer's equivalence oracle."""
 
     def record(stage: str, span: Any, rows_in: int, rows_out: int,
                **extra: Any) -> None:
@@ -238,10 +382,10 @@ def execute(query: Query, db: Database,
     if query.where is not None:
         rows_in = table.num_rows
         with tracing.span("sql.where") as s:
-            keep = _where_mask(query.where, table)
+            keep = where_mask(query.where, table)
             if keep is None:             # opaque expression — row fallback
                 table = table.select(
-                    lambda row: bool(_eval(query.where, row))
+                    lambda row: bool(eval_row(query.where, row))
                 )
             else:
                 table = table.filter(keep)
@@ -252,7 +396,8 @@ def execute(query: Query, db: Database,
     if query.group_by or _has_aggregate(query):
         rows_in = table.num_rows
         with tracing.span("sql.aggregate") as s:
-            table = _aggregate(query, table)
+            table = aggregate_rows(list(query.select), list(query.group_by),
+                                   table)
             s.set(rows_out=table.num_rows)
         record("aggregate", s, rows_in, table.num_rows,
                by=",".join(query.group_by) or "<all>")
@@ -272,7 +417,7 @@ def execute(query: Query, db: Database,
         if not query.select_star:
             rows_in = table.num_rows
             with tracing.span("sql.project") as s:
-                table = _project(query.select, table)
+                table = project_items(list(query.select), table)
                 s.set(columns=table.num_columns)
             record("project", s, rows_in, table.num_rows,
                    columns=table.num_columns)
@@ -285,343 +430,13 @@ def execute(query: Query, db: Database,
 
 
 def _has_aggregate(query: Query) -> bool:
-    return any(isinstance(item.expr, FuncCall) for item in query.select)
+    return has_aggregate(query.select)
 
 
-def _project(items: list[SelectItem], table: Table) -> Table:
-    names = [item.alias or _default_name(item.expr) for item in items]
-    if table.num_rows == 0:
-        # Infer dtypes from source schema where possible.
-        fields = []
-        for item, name in zip(items, names):
-            dtype = (
-                table.schema.dtype_of(item.expr.name)
-                if isinstance(item.expr, ColumnRef) and item.expr.name in table.schema
-                else "str"
-            )
-            fields.append((name, dtype))
-        return Table.empty(fields)
-    columns = []
-    for item in items:
-        col = _project_column(item.expr, table)
-        if col is None:                  # opaque expression — row fallback
-            return _project_rows(items, names, table)
-        columns.append(col)
-    schema = Schema(
-        (name, col.dtype) for name, col in zip(names, columns)
-    )
-    return Table.from_columns(schema, columns)
-
-
-def _project_column(expr: Expr, table: Table) -> Column | None:
-    """One SELECT item as a trusted :class:`Column`, or None if opaque.
-
-    Dtype rules mirror the historic row path, which re-inferred dtypes from
-    the materialized python values: an all-null result degrades to ``str``
-    (what :func:`infer_dtype` does with no evidence), a source column
-    otherwise keeps its dtype, and computed expressions take the numpy
-    result dtype.
-    """
-    out = _eval_vec(expr, table)
-    if out is None:
-        return None
-    values, mask = out
-    n = table.num_rows
-    if not isinstance(values, np.ndarray):     # scalar expression: broadcast
-        if values is None:
-            mask = np.ones(n, dtype=bool)
-            values = np.full(n, None, dtype=object)
-        else:
-            values = np.full(
-                n, values,
-                dtype=object if isinstance(values, str) else None,
-            )
-    if mask is None:
-        mask = np.zeros(n, dtype=bool)
-    if mask.all():
-        return Column("str", np.full(n, None, dtype=object),
-                      np.ones(n, dtype=bool))
-    if isinstance(expr, ColumnRef) and expr.name in table.schema:
-        return Column(table.schema.dtype_of(expr.name), values, mask)
-    if values.dtype == np.bool_:
-        dtype = "bool"
-    elif np.issubdtype(values.dtype, np.integer):
-        dtype = "int"
-    elif np.issubdtype(values.dtype, np.floating):
-        dtype = "float"
-    else:
-        pylist = values.tolist()
-        for i in np.flatnonzero(mask).tolist():
-            pylist[i] = None
-        dtype = infer_dtype(pylist)
-        return Column.build(pylist, dtype)
-    return Column(dtype, values, mask)
-
-
-def _project_rows(items: list[SelectItem], names: list[str],
-                  table: Table) -> Table:
-    """Row-at-a-time projection fallback for opaque expressions."""
-    rows = [
-        tuple(_eval(item.expr, row) for item in items)
-        for row in table.row_dicts()
-    ]
-    return Table.from_rows(rows, names=names)
-
-
-def _aggregate(query: Query, table: Table) -> Table:
-    groups: dict[tuple, list[dict[str, Any]]] = {}
-    order: list[tuple] = []
-    for row in table.row_dicts():
-        key = tuple(row[k] for k in query.group_by)
-        if key not in groups:
-            groups[key] = []
-            order.append(key)
-        groups[key].append(row)
-    if not query.group_by and not groups:
-        groups[()] = []
-        order.append(())
-    names = []
-    for item in query.select:
-        names.append(item.alias or _default_name(item.expr))
-    out_rows = []
-    for key in order:
-        rows = groups[key]
-        values = []
-        for item in query.select:
-            values.append(_eval_aggregate(item.expr, rows, dict(zip(query.group_by, key))))
-        out_rows.append(tuple(values))
-    return Table.from_rows(out_rows, names=names)
-
-
-def _eval_aggregate(expr: Expr, rows: list[dict[str, Any]],
-                    key_values: dict[str, Any]) -> Any:
-    if isinstance(expr, FuncCall):
-        if expr.argument == "*":
-            if expr.name != "count":
-                raise ParseError(f"{expr.name}(*) is not valid SQL")
-            return len(rows)
-        args = [_eval(expr.argument, row) for row in rows]
-        args = [a for a in args if a is not None]
-        if expr.name == "count":
-            return len(args)
-        if not args:
-            return None
-        if expr.name == "sum":
-            return sum(args)
-        if expr.name == "min":
-            return min(args)
-        if expr.name == "max":
-            return max(args)
-        if expr.name == "avg":
-            return sum(args) / len(args)
-        raise ParseError(f"unknown aggregate {expr.name}")
-    if isinstance(expr, ColumnRef):
-        if expr.name in key_values:
-            return key_values[expr.name]
-        raise ParseError(
-            f"column {expr.name!r} must appear in GROUP BY or an aggregate"
-        )
-    if isinstance(expr, Literal):
-        return expr.value
-    raise ParseError("unsupported expression in aggregate SELECT list")
-
-
-def _default_name(expr: Expr) -> str:
-    if isinstance(expr, ColumnRef):
-        return expr.name
-    if isinstance(expr, FuncCall):
-        arg = expr.argument if isinstance(expr.argument, str) else _default_name(expr.argument)
-        return f"{expr.name}_{arg}".replace("*", "all")
-    return "expr"
-
-
-def _eval(expr: Expr, row: dict[str, Any]) -> Any:
-    if isinstance(expr, Literal):
-        return expr.value
-    if isinstance(expr, ColumnRef):
-        if expr.name not in row:
-            raise SchemaError(f"no column {expr.name!r} in row")
-        return row[expr.name]
-    if isinstance(expr, UnaryOp):
-        if expr.op == "not":
-            return not bool(_eval(expr.operand, row))
-        if expr.op == "neg":
-            value = _eval(expr.operand, row)
-            return -value if value is not None else None
-        if expr.op == "isnull":
-            return _eval(expr.operand, row) is None
-        raise ParseError(f"unknown unary op {expr.op}")
-    if isinstance(expr, BinaryOp):
-        if expr.op == "and":
-            return bool(_eval(expr.left, row)) and bool(_eval(expr.right, row))
-        if expr.op == "or":
-            return bool(_eval(expr.left, row)) or bool(_eval(expr.right, row))
-        left = _eval(expr.left, row)
-        right = _eval(expr.right, row)
-        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
-            if left is None or right is None:
-                return False
-            if expr.op == "=":
-                return left == right
-            if expr.op == "<>":
-                return left != right
-            if expr.op == "<":
-                return left < right
-            if expr.op == "<=":
-                return left <= right
-            if expr.op == ">":
-                return left > right
-            return left >= right
-        if left is None or right is None:
-            return None
-        if expr.op == "+":
-            return left + right
-        if expr.op == "-":
-            return left - right
-        if expr.op == "*":
-            return left * right
-        if expr.op == "/":
-            return left / right if right != 0 else None
-        raise ParseError(f"unknown binary op {expr.op}")
-    raise ParseError(f"cannot evaluate {expr!r}")
-
-
-# -- vectorized expression evaluation -----------------------------------------
-#
-# ``_eval_vec`` mirrors ``_eval`` over whole columns.  An expression
-# evaluates to ``(values, mask)`` where ``values`` is a numpy array of
-# length num_rows (or a python scalar for literal-only subtrees) and
-# ``mask`` marks NULL results (``None`` = no nulls).  Returning ``None``
-# from ``_eval_vec`` means "this node cannot be vectorized" and sends the
-# caller down the row-at-a-time path.
-
-_Vec = "tuple[Any, np.ndarray | None]"
-
-
-def _where_mask(expr: Expr, table: Table) -> np.ndarray | None:
-    """WHERE clause as a boolean keep-mask, or None for opaque expressions."""
-    out = _eval_vec(expr, table)
-    if out is None:
-        return None
-    values, mask = out
-    return _truthy(values, mask, table.num_rows)
-
-
-def _truthy(values: Any, mask: np.ndarray | None, n: int) -> np.ndarray:
-    """SQL condition truthiness: NULL is false, everything else is bool()."""
-    if not isinstance(values, np.ndarray):
-        arr = np.full(n, bool(values))
-    elif values.dtype == object:
-        arr = np.frompyfunc(bool, 1, 1)(values).astype(bool)
-    else:
-        arr = values.astype(bool)
-    if mask is not None:
-        arr = arr & ~mask
-    return arr
-
-
-def _filled(values: Any, mask: np.ndarray | None) -> Any:
-    """Replace masked object slots with '' so elementwise ops never touch
-    None (numeric sentinels are already computable)."""
-    if (isinstance(values, np.ndarray) and values.dtype == object
-            and mask is not None and mask.any()):
-        return np.where(mask, "", values)
-    return values
-
-
-def _combine_masks(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
-    if a is None:
-        return b
-    if b is None:
-        return a
-    return a | b
-
-
-def _eval_vec(expr: Expr, table: Table):
-    n = table.num_rows
-    if isinstance(expr, Literal):
-        return expr.value, None
-    if isinstance(expr, ColumnRef):
-        if expr.name not in table.schema:
-            raise SchemaError(f"no column {expr.name!r} in row")
-        mask = table.null_mask(expr.name)
-        return table.column_array(expr.name), (mask if mask.any() else None)
-    if isinstance(expr, UnaryOp):
-        operand = _eval_vec(expr.operand, table)
-        if operand is None:
-            return None
-        values, mask = operand
-        if expr.op == "not":
-            return ~_truthy(values, mask, n), None
-        if expr.op == "neg":
-            if values is None:
-                return None, np.ones(n, dtype=bool)
-            return -values, mask
-        if expr.op == "isnull":
-            if values is None:
-                return np.ones(n, dtype=bool), None
-            if not isinstance(values, np.ndarray):
-                return np.zeros(n, dtype=bool), None
-            return (mask.copy() if mask is not None
-                    else np.zeros(n, dtype=bool)), None
-        raise ParseError(f"unknown unary op {expr.op}")
-    if isinstance(expr, BinaryOp):
-        if expr.op in ("and", "or"):
-            left = _eval_vec(expr.left, table)
-            right = _eval_vec(expr.right, table)
-            if left is None or right is None:
-                return None
-            lb = _truthy(left[0], left[1], n)
-            rb = _truthy(right[0], right[1], n)
-            return (lb & rb) if expr.op == "and" else (lb | rb), None
-        left = _eval_vec(expr.left, table)
-        right = _eval_vec(expr.right, table)
-        if left is None or right is None:
-            return None
-        lv, lm = left
-        rv, rm = right
-        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
-            if lv is None or rv is None:   # NULL literal: comparison is false
-                return np.zeros(n, dtype=bool), None
-            a, b = _filled(lv, lm), _filled(rv, rm)
-            if expr.op == "=":
-                res = a == b
-            elif expr.op == "<>":
-                res = a != b
-            elif expr.op == "<":
-                res = a < b
-            elif expr.op == "<=":
-                res = a <= b
-            elif expr.op == ">":
-                res = a > b
-            else:
-                res = a >= b
-            res = np.broadcast_to(np.asarray(res, dtype=bool), (n,)).copy()
-            null = _combine_masks(lm, rm)
-            if null is not None:
-                res &= ~null
-            return res, None
-        # arithmetic: NULL operands propagate
-        if lv is None or rv is None:
-            return np.zeros(n), np.ones(n, dtype=bool)
-        a, b = _filled(lv, lm), _filled(rv, rm)
-        mask = _combine_masks(lm, rm)
-        if expr.op == "+":
-            return a + b, mask
-        if expr.op == "-":
-            return a - b, mask
-        if expr.op == "*":
-            return a * b, mask
-        if expr.op == "/":
-            b_arr = np.asarray(b)
-            zero = b_arr == 0
-            safe = np.where(zero, 1, b_arr) if np.any(zero) else b_arr
-            res = np.asarray(a) / safe
-            if np.any(zero):
-                zmask = np.broadcast_to(
-                    np.asarray(zero, dtype=bool), (n,)
-                ).copy()
-                mask = _combine_masks(mask, zmask)
-            return res, mask
-        raise ParseError(f"unknown binary op {expr.op}")
-    return None
+# Historic private names, re-exported for back-compat (the expression
+# machinery now lives in repro.sql.expr, shared by every executor).
+_default_name = default_name
+_eval = eval_row
+_eval_aggregate = eval_aggregate
+_eval_vec = eval_vec
+_where_mask = where_mask

@@ -8,7 +8,10 @@ Grammar (case-insensitive keywords)::
     items    := '*' | item (',' item)*
     item     := expr [AS name]
     expr     := or-expression over comparisons, arithmetic, literals,
-                column refs, and aggregate calls
+                column refs, and aggregate calls; comparisons include
+                [NOT] IN (literal, ...) and [NOT] BETWEEN low AND high,
+                desugared to =/<>/>=/<= chains with SQL three-valued
+                NULL semantics
 """
 
 from __future__ import annotations
@@ -39,7 +42,7 @@ _TOKEN_RE = re.compile(
 KEYWORDS = {
     "select", "from", "where", "group", "by", "order", "limit", "as",
     "and", "or", "not", "join", "on", "asc", "desc", "null", "is",
-    "true", "false",
+    "true", "false", "in", "between",
 }
 
 AGGREGATES = {"count", "sum", "avg", "min", "max"}
@@ -219,7 +222,72 @@ class _Parser:
             self.expect_keyword("null")
             node = UnaryOp("isnull", left)
             return UnaryOp("not", node) if negated else node
+        # Postfix [NOT] IN / [NOT] BETWEEN.  NOT is only consumed here
+        # when IN/BETWEEN follows — a bare trailing NOT belongs to the
+        # caller (e.g. "a = 1 and not b").
+        negated = False
+        if (token == ("keyword", "not")
+                and self.pos + 1 < len(self.tokens)
+                and self.tokens[self.pos + 1] in (("keyword", "in"),
+                                                  ("keyword", "between"))):
+            self.next()
+            negated = True
+            token = self.peek()
+        if token and token[0] == "keyword" and token[1] == "in":
+            self.next()
+            return self._in_list(left, negated)
+        if token and token[0] == "keyword" and token[1] == "between":
+            self.next()
+            return self._between(left, negated)
         return left
+
+    def _in_list(self, left, negated: bool):
+        """Desugar ``x [NOT] IN (a, b, ...)`` to comparison chains.
+
+        ``IN`` becomes ``x = a OR x = b``; ``NOT IN`` becomes
+        ``x <> a AND x <> b`` — *not* ``NOT (x = a OR ...)``, because a
+        NULL ``x`` must drop the row (each ``<>`` is false), whereas the
+        engine's NOT over the false comparison would wrongly keep it.
+        """
+        if not self.accept_op("("):
+            raise ParseError("IN expects a parenthesized literal list")
+        values = [self._in_literal()]
+        while self.accept_op(","):
+            values.append(self._in_literal())
+        if not self.accept_op(")"):
+            raise ParseError("missing ) after IN list")
+        if negated:
+            out = BinaryOp("<>", left, values[0])
+            for value in values[1:]:
+                out = BinaryOp("and", out, BinaryOp("<>", left, value))
+            return out
+        out = BinaryOp("=", left, values[0])
+        for value in values[1:]:
+            out = BinaryOp("or", out, BinaryOp("=", left, value))
+        return out
+
+    def _in_literal(self) -> Literal:
+        expr = self.primary()
+        if not isinstance(expr, Literal):
+            raise ParseError("IN list elements must be literals")
+        return expr
+
+    def _between(self, left, negated: bool):
+        """Desugar ``x [NOT] BETWEEN low AND high``.
+
+        ``BETWEEN`` becomes ``x >= low AND x <= high``; the negation
+        becomes ``x < low OR x > high`` so a NULL ``x`` yields false on
+        both sides and the row drops, matching SQL's UNKNOWN.  Bounds
+        parse at additive precedence so the separating AND stays ours.
+        """
+        low = self.additive()
+        self.expect_keyword("and")
+        high = self.additive()
+        if negated:
+            return BinaryOp("or", BinaryOp("<", left, low),
+                            BinaryOp(">", left, high))
+        return BinaryOp("and", BinaryOp(">=", left, low),
+                        BinaryOp("<=", left, high))
 
     def additive(self):
         left = self.multiplicative()

@@ -62,8 +62,9 @@ def column_stats(table) -> dict[str, dict[str, Any]]:
 
 
 def render_stats(table) -> str:
-    """Fixed-width text report of :func:`column_stats`."""
-    stats = column_stats(table)
+    """Fixed-width text report of :func:`column_stats` (served from the
+    table's memoized :meth:`~repro.table.Table.stats` cache)."""
+    stats = table.stats()
     header = ["column", "dtype", "count", "nulls", "null%", "distinct",
               "min", "max"]
     rows = [

@@ -326,10 +326,20 @@ class Table:
         return f"{line}\n{sep}\n{body}{tail}" if body else f"{line}\n{sep}{tail}"
 
     def stats(self) -> dict[str, dict[str, Any]]:
-        """Exact per-column statistics (see :mod:`repro.table.explain`)."""
-        from repro.table.explain import column_stats
+        """Exact per-column statistics (see :mod:`repro.table.explain`).
 
-        return column_stats(self)
+        Memoized on the table: columns are immutable after construction
+        (every mutating operation builds a new ``Table``), so the first
+        call's ``np.unique`` pass is reused by the optimizer's join
+        reordering and repeated EXPLAIN ANALYZE — no invalidation needed.
+        Treat the returned dicts as read-only.
+        """
+        cached = self.__dict__.get("_stats")
+        if cached is None:
+            from repro.table.explain import column_stats
+
+            cached = self.__dict__["_stats"] = column_stats(self)
+        return cached
 
     def explain(self) -> str:
         """Text report of the per-column statistics :meth:`stats` computes."""

@@ -117,6 +117,41 @@ class TestSqlExplain:
         span = obs.get_tracer().find("sql.query")
         assert span.attributes["rows_out"] == out.num_rows
 
+    def test_renders_logical_optimized_physical(self, db):
+        text = db.explain(
+            "select sku, category from facts join dim on sku = sku "
+            "where amount > 5 and category = 'tools'"
+        )
+        assert "logical plan:" in text
+        assert "optimized plan:" in text
+        assert "physical plan:" in text
+        assert "rewrites:" in text
+        # The WHERE conjuncts split across the join inputs...
+        assert "predicate_pushdown" in text
+        # ...and scans narrow to the referenced columns.
+        assert "projection_pruning" in text
+        # Physical nodes carry their backend.
+        assert "[columnar" in text
+
+    def test_rewrite_annotations_name_the_rules(self, db):
+        text = db.explain("select sku from facts where 1 = 1")
+        assert "constant_folding" in text
+
+    def test_optimizer_off_renders_fixed_pipeline(self, db):
+        text = db.explain("select sku from facts where amount > 5",
+                          optimizer=False)
+        assert "plan:" in text
+        assert "logical plan:" not in text
+        assert "filter (WHERE)" in text
+
+    def test_analyze_matches_between_paths(self, db):
+        sql = "select sku, amount from facts where amount > 15"
+        optimized = db.explain(sql, analyze=True)
+        naive = db.explain(sql, analyze=True, optimizer=False)
+        for text in (optimized, naive):
+            assert "rows=6->3" in text
+            assert "result: 3 rows x 2 columns" in text
+
 
 class TestSummarizeCompare:
     """The perf-regression gate (benchmarks/summarize.py)."""

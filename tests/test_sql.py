@@ -85,6 +85,59 @@ class TestParser:
         q = parse_sql("select a from t where a is not null")
         assert q.where.op == "not"
 
+    def test_in_desugars_to_or_of_equals(self):
+        q = parse_sql("select a from t where a in (1, 2, 3)")
+        # ((a = 1 or a = 2) or a = 3): left-associated OR chain.
+        assert q.where.op == "or"
+        assert q.where.left.op == "or"
+        assert q.where.right.op == "="
+        assert q.where.right.right.value == 3
+
+    def test_not_in_desugars_to_and_of_not_equals(self):
+        q = parse_sql("select a from t where a not in ('x', 'y')")
+        # NOT IN must be <> conjuncts, not NOT(OR): a NULL `a` has to
+        # drop the row under three-valued logic.
+        assert q.where.op == "and"
+        assert q.where.left.op == "<>"
+        assert q.where.right.op == "<>"
+
+    def test_in_single_element(self):
+        q = parse_sql("select a from t where a in (5)")
+        assert q.where.op == "="
+
+    def test_in_requires_literals(self):
+        with pytest.raises(ParseError):
+            parse_sql("select a from t where a in (b, c)")
+
+    def test_in_requires_parenthesized_list(self):
+        with pytest.raises(ParseError):
+            parse_sql("select a from t where a in 1, 2")
+
+    def test_between_desugars_to_range(self):
+        q = parse_sql("select a from t where a between 1 and 5")
+        assert q.where.op == "and"
+        assert q.where.left.op == ">="
+        assert q.where.right.op == "<="
+
+    def test_not_between_desugars_to_outside_range(self):
+        q = parse_sql("select a from t where a not between 1 and 5")
+        assert q.where.op == "or"
+        assert q.where.left.op == "<"
+        assert q.where.right.op == ">"
+
+    def test_between_with_surrounding_and(self):
+        # The BETWEEN's separating AND binds to the bounds; the outer
+        # AND still belongs to the boolean expression.
+        q = parse_sql("select a from t where a between 1 and 5 and b = 2")
+        assert q.where.op == "and"
+        assert q.where.right.op == "="
+
+    def test_trailing_not_still_prefix(self):
+        # A NOT not followed by IN/BETWEEN keeps its prefix meaning.
+        q = parse_sql("select a from t where a = 1 and not b")
+        assert q.where.op == "and"
+        assert q.where.right.op == "not"
+
 
 class TestExecution:
     def test_project(self, db):
@@ -177,3 +230,29 @@ class TestExecution:
         out = db.query("select name from products where id = 999")
         assert out.num_rows == 0
         assert out.schema.names == ["name"]
+
+    def test_in_filter(self, db):
+        out = db.query("select id from products where brand in ('apex', 'nope')")
+        assert out.column("id") == [1, 2]
+
+    def test_in_with_null_column_drops_row(self, db):
+        # price is NULL for id=4: NULL IN (...) is UNKNOWN, row dropped.
+        out = db.query("select id from products where price in (100.0, 150.0)")
+        assert out.column("id") == [1, 3]
+
+    def test_not_in_with_null_column_drops_row(self, db):
+        # SQL three-valued logic: NULL NOT IN (...) is UNKNOWN, not true.
+        out = db.query(
+            "select id from products where price not in (100.0, 150.0)"
+        )
+        assert out.column("id") == [2]
+
+    def test_between_filter(self, db):
+        out = db.query("select id from products where price between 100 and 150")
+        assert out.column("id") == [1, 3]
+
+    def test_not_between_drops_null(self, db):
+        out = db.query(
+            "select id from products where price not between 100 and 150"
+        )
+        assert out.column("id") == [2]  # id=4's NULL price is not "outside"
